@@ -1,0 +1,81 @@
+//! E4 (SPROUT, ICDE'09): lazy vs eager safe plans on tuple-independent
+//! TPC-H-style databases, against the general exact d-tree on the same
+//! lineage as the non-specialised baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maybms_bench::workloads::tpch_ti;
+use maybms_conf::sprout::{
+    eval_eager, eval_lazy, lineage_dnf, safe_plan, Cq, SproutDb, Subgoal, Term,
+};
+use maybms_conf::exact;
+
+fn v(name: &str) -> Term {
+    Term::Var(name.into())
+}
+
+/// q(segment) :- customer(ck, segment, _), orders(ok, ck, _) — hierarchical.
+fn grouped_query() -> Cq {
+    Cq {
+        head: vec!["segment".into()],
+        subgoals: vec![
+            Subgoal {
+                table: "customer".into(),
+                terms: vec![v("ck"), v("segment"), v("pc")],
+            },
+            Subgoal { table: "orders".into(), terms: vec![v("ok"), v("ck"), v("po")] },
+        ],
+    }
+}
+
+/// q() :- orders(ok, ck, _), lineitem(ok, qty, _) — Boolean, hierarchical.
+fn boolean_query() -> Cq {
+    Cq {
+        head: vec![],
+        subgoals: vec![
+            Subgoal { table: "orders".into(), terms: vec![v("ok"), v("ck"), v("po")] },
+            Subgoal { table: "lineitem".into(), terms: vec![v("ok"), v("qty"), v("pl")] },
+        ],
+    }
+}
+
+fn bench_sprout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sprout_lazy_eager");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for customers in [100usize, 1000] {
+        let (wt, tables) = tpch_ti(13, customers, 3, 3);
+        let db = SproutDb { tables: &tables, wt: &wt };
+        for (qname, q) in [("grouped", grouped_query()), ("boolean", boolean_query())] {
+            let plan = safe_plan(&q).expect("hierarchical query");
+            group.bench_with_input(
+                BenchmarkId::new(format!("eager_{qname}"), customers),
+                &customers,
+                |b, _| b.iter(|| eval_eager(&db, &plan).unwrap().len()),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("lazy_{qname}"), customers),
+                &customers,
+                |b, _| b.iter(|| eval_lazy(&db, &plan).unwrap().len()),
+            );
+            // Baseline: general exact algorithm over the extracted lineage.
+            group.bench_with_input(
+                BenchmarkId::new(format!("dtree_{qname}"), customers),
+                &customers,
+                |b, _| {
+                    b.iter(|| {
+                        let lineages = lineage_dnf(&db, &plan, &q.head).unwrap();
+                        lineages
+                            .values()
+                            .map(|d| exact::probability(d, &wt).unwrap())
+                            .sum::<f64>()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sprout);
+criterion_main!(benches);

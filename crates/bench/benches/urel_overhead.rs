@@ -1,0 +1,47 @@
+//! E5 (Antova–Jansen–Koch–Olteanu, ICDE'08): positive relational algebra
+//! on U-relations costs about the same as on certain tables of the same
+//! representation size, although the U-relation stands for 2^rows worlds —
+//! query time depends on the representation, never on the world count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maybms_bench::workloads::overhead_pair;
+use maybms_engine::{ops, BinaryOp, Expr};
+use maybms_urel::algebra;
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("urel_overhead");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for rows in [1_000usize, 10_000] {
+        let (certain, _wt, uncertain) = overhead_pair(21, rows, (rows / 10) as i64);
+        let pred = Expr::col("v").binary(BinaryOp::Lt, Expr::lit(500i64));
+
+        // σ then self-⋈ on k, on the certain twin (plain engine).
+        group.bench_with_input(
+            BenchmarkId::new("certain_select_join", rows),
+            &rows,
+            |b, _| {
+                b.iter(|| {
+                    let f = ops::filter(&certain, &pred).unwrap();
+                    ops::hash_join(&f, &certain, &[0], &[0]).unwrap().len()
+                })
+            },
+        );
+        // The same plan on the U-relational twin (WSD bookkeeping).
+        group.bench_with_input(
+            BenchmarkId::new("uncertain_select_join", rows),
+            &rows,
+            |b, _| {
+                b.iter(|| {
+                    let f = algebra::select(&uncertain, &pred).unwrap();
+                    algebra::hash_join(&f, &uncertain, &[0], &[0]).unwrap().len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

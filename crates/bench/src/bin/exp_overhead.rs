@@ -1,0 +1,44 @@
+//! E5 harness: relational processing on U-relations vs certain twins
+//! (ICDE'08 "Fast and Simple Relational Processing of Uncertain Data") —
+//! overhead of the WSD bookkeeping, with the represented world count shown
+//! to emphasise that time tracks representation size, not worlds.
+
+use std::time::Instant;
+
+use maybms_bench::workloads::overhead_pair;
+use maybms_engine::{ops, BinaryOp, Expr};
+use maybms_urel::algebra;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    println!("E5 — σ + self-⋈ on certain vs U-relational twins");
+    println!(
+        "{:>8} {:>14} {:>14} {:>10} {:>14}",
+        "rows", "certain ms", "urel ms", "overhead", "worlds"
+    );
+    for rows in [1_000usize, 5_000, 10_000, 50_000] {
+        let (certain, _wt, uncertain) = overhead_pair(21, rows, (rows / 10) as i64);
+        let pred = Expr::col("v").binary(BinaryOp::Lt, Expr::lit(500i64));
+        let mut ct = Vec::new();
+        let mut ut = Vec::new();
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            let f = ops::filter(&certain, &pred).unwrap();
+            let j = ops::hash_join(&f, &certain, &[0], &[0]).unwrap();
+            std::hint::black_box(j.len());
+            ct.push(t0.elapsed().as_secs_f64() * 1e3);
+
+            let t0 = Instant::now();
+            let f = algebra::select(&uncertain, &pred).unwrap();
+            let j = algebra::hash_join(&f, &uncertain, &[0], &[0]).unwrap();
+            std::hint::black_box(j.len());
+            ut.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        let (c, u) = (median(ct), median(ut));
+        println!("{:>8} {:>14.3} {:>14.3} {:>9.2}x {:>13}", rows, c, u, u / c, format!("2^{rows}"));
+    }
+}

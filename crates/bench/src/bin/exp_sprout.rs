@@ -1,0 +1,120 @@
+//! E4 harness: SPROUT lazy vs eager plans vs the general exact d-tree on
+//! tuple-independent TPC-H-style queries (ICDE'09).
+
+use std::time::Instant;
+
+use maybms_bench::workloads::tpch_ti;
+use maybms_conf::exact;
+use maybms_conf::sprout::{
+    eval_eager, eval_lazy, lineage_dnf, safe_plan, Cq, SproutDb, Subgoal, Term,
+};
+
+fn v(name: &str) -> Term {
+    Term::Var(name.into())
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn time<R>(mut f: impl FnMut() -> R) -> (f64, R) {
+    let t0 = Instant::now();
+    let r = f();
+    (t0.elapsed().as_secs_f64() * 1e3, r)
+}
+
+fn main() {
+    println!("E4 — SPROUT lazy vs eager vs d-tree (tuple-independent TPC-H shape)");
+    println!(
+        "{:>10} {:>9} {:>12} {:>12} {:>12} {:>8}",
+        "customers", "query", "eager ms", "lazy ms", "dtree ms", "groups"
+    );
+    for customers in [100usize, 1_000, 10_000] {
+        let (wt, tables) = tpch_ti(13, customers, 3, 3);
+        let db = SproutDb { tables: &tables, wt: &wt };
+        let queries = [
+            (
+                "grouped",
+                Cq {
+                    head: vec!["segment".into()],
+                    subgoals: vec![
+                        Subgoal {
+                            table: "customer".into(),
+                            terms: vec![v("ck"), v("segment"), v("pc")],
+                        },
+                        Subgoal {
+                            table: "orders".into(),
+                            terms: vec![v("ok"), v("ck"), v("po")],
+                        },
+                    ],
+                },
+            ),
+            (
+                "boolean",
+                Cq {
+                    head: vec![],
+                    subgoals: vec![
+                        Subgoal {
+                            table: "orders".into(),
+                            terms: vec![v("ok"), v("ck"), v("po")],
+                        },
+                        Subgoal {
+                            table: "lineitem".into(),
+                            terms: vec![v("ok"), v("qty"), v("pl")],
+                        },
+                    ],
+                },
+            ),
+            (
+                // One output group per customer: stresses the group machinery.
+                "percust",
+                Cq {
+                    head: vec!["ck".into()],
+                    subgoals: vec![
+                        Subgoal {
+                            table: "orders".into(),
+                            terms: vec![v("ok"), v("ck"), v("po")],
+                        },
+                        Subgoal {
+                            table: "lineitem".into(),
+                            terms: vec![v("ok"), v("qty"), v("pl")],
+                        },
+                    ],
+                },
+            ),
+        ];
+        for (name, q) in queries {
+            let plan = safe_plan(&q).expect("hierarchical");
+            let mut eager_t = Vec::new();
+            let mut lazy_t = Vec::new();
+            let mut dtree_t = Vec::new();
+            let mut groups = 0usize;
+            for _ in 0..3 {
+                let (t, rows) = time(|| eval_eager(&db, &plan).unwrap());
+                eager_t.push(t);
+                groups = rows.len();
+                let (t, lazy_rows) = time(|| eval_lazy(&db, &plan).unwrap());
+                lazy_t.push(t);
+                assert_eq!(lazy_rows.len(), groups);
+                let (t, _) = time(|| {
+                    let lineages = lineage_dnf(&db, &plan, &q.head).unwrap();
+                    lineages
+                        .values()
+                        .map(|d| exact::probability(d, &wt).unwrap())
+                        .sum::<f64>()
+                });
+                dtree_t.push(t);
+            }
+            println!(
+                "{:>10} {:>9} {:>12.3} {:>12.3} {:>12.3} {:>8}",
+                customers,
+                name,
+                median(eager_t),
+                median(lazy_t),
+                median(dtree_t),
+                groups
+            );
+        }
+    }
+}

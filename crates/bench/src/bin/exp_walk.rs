@@ -1,0 +1,72 @@
+//! E1 harness: random-walk scaling table (Figure 1 / §3).
+//!
+//! Prints median wall time of the full SQL pipeline (repair-key + conf)
+//! per (players, steps) cell, plus a correctness column: the walk output
+//! distribution sums to 1 per player.
+
+use std::time::Instant;
+
+use maybms_bench::workloads;
+use maybms_core::MayBms;
+
+fn run_walk(players: usize, steps: usize) -> (f64, bool) {
+    let (ft, states) = workloads::nba(42, players);
+    let start = Instant::now();
+    let mut db = MayBms::new();
+    db.register("ft", ft).unwrap();
+    db.register("states", states).unwrap();
+    db.run(
+        "create table W1 as
+         select R.Player, S.State as Init, R.Final, conf() as p from
+         (repair key Player, Init in FT weight by p) R, States S
+         where R.Player = S.Player and R.Init = S.State
+         group by R.Player, S.State, R.Final;",
+    )
+    .unwrap();
+    for k in 2..=steps {
+        db.run(&format!(
+            "create table W{k} as
+             select R1.Player, R1.Init, R2.Final, conf() as p from
+             (repair key Player, Init in W{} weight by p) R1,
+             (repair key Player, Init in FT weight by p) R2
+             where R1.Final = R2.Init and R1.Player = R2.Player
+             group by R1.Player, R1.Init, R2.Final;",
+            k - 1
+        ))
+        .unwrap();
+    }
+    let out = db.query(&format!("select Player, p from W{steps}")).unwrap();
+    let elapsed = start.elapsed().as_secs_f64() * 1e3;
+    // Correctness: per-player distribution sums to 1.
+    let mut sums: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    for t in out.tuples() {
+        *sums.entry(t.value(0).to_string()).or_insert(0.0) +=
+            t.value(1).as_f64().unwrap();
+    }
+    let ok = sums.values().all(|s| (s - 1.0).abs() < 1e-9);
+    (elapsed, ok)
+}
+
+fn main() {
+    println!("E1 — k-step random walks via repair-key + conf (Figure 1)");
+    println!("{:<10} {:>6} {:>12} {:>8}", "players", "steps", "median ms", "sums=1");
+    for players in [4usize, 16, 64, 256] {
+        for steps in [1usize, 2, 3, 4] {
+            let mut times = Vec::new();
+            let mut ok = true;
+            for _ in 0..3 {
+                let (t, o) = run_walk(players, steps);
+                times.push(t);
+                ok &= o;
+            }
+            times.sort_by(f64::total_cmp);
+            println!(
+                "{:<10} {:>6} {:>12.2} {:>8}",
+                players,
+                steps,
+                times[times.len() / 2],
+                if ok { "yes" } else { "NO" }
+            );
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! # maybms-bench — workload generators and experiment harnesses
+//!
+//! Reproduces the MayBMS evaluation artifacts (DESIGN.md §3): seeded
+//! generators for the NBA what-if scenario (Figure 1), random DNF
+//! families, TPC-H-style tuple-independent databases for SPROUT, and the
+//! U-relation-overhead workloads. Criterion benches live in `benches/`;
+//! printable experiment harnesses in `src/bin/exp_*.rs`.
+
+pub mod workloads;

@@ -1,0 +1,349 @@
+//! Seeded workload generators for the experiment suite (DESIGN.md §3).
+//!
+//! Every generator is deterministic in its seed so experiment tables are
+//! reproducible run-to-run.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use maybms_conf::Dnf;
+use maybms_engine::{DataType, Expr, Field, Relation, Schema, Tuple, Value};
+use maybms_urel::pick::{pick_tuples, PickTuplesOptions};
+use maybms_urel::{Assignment, URelation, Var, WorldTable, Wsd};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fitness states of the NBA scenario.
+pub const STATES: [&str; 3] = ["F", "SE", "SL"];
+
+/// Generate the NBA what-if scenario (§3 / Figure 1): `players` random
+/// per-player stochastic matrices as the `FT` relation plus an initial
+/// `States` table.
+pub fn nba(seed: u64, players: usize) -> (Relation, Relation) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ft_schema = Arc::new(Schema::new(vec![
+        Field::new("player", DataType::Text),
+        Field::new("init", DataType::Text),
+        Field::new("final", DataType::Text),
+        Field::new("p", DataType::Float),
+    ]));
+    let states_schema = Arc::new(Schema::new(vec![
+        Field::new("player", DataType::Text),
+        Field::new("state", DataType::Text),
+    ]));
+    let mut ft = Vec::new();
+    let mut states = Vec::new();
+    for pid in 0..players {
+        let name = format!("player{pid:04}");
+        for from in STATES {
+            // A random distribution over the three target states.
+            let a: f64 = rng.gen_range(0.05..1.0);
+            let b: f64 = rng.gen_range(0.05..1.0);
+            let c: f64 = rng.gen_range(0.05..1.0);
+            let total = a + b + c;
+            for (to, w) in STATES.iter().zip([a / total, b / total, c / total]) {
+                ft.push(Tuple::new(vec![
+                    Value::str(&name),
+                    Value::str(from),
+                    Value::str(*to),
+                    Value::Float(w),
+                ]));
+            }
+        }
+        let init = STATES[rng.gen_range(0..STATES.len())];
+        states.push(Tuple::new(vec![Value::str(&name), Value::str(init)]));
+    }
+    (
+        Relation::new_unchecked(ft_schema, ft),
+        Relation::new_unchecked(states_schema, states),
+    )
+}
+
+/// Parameters of a random DNF family (experiment E2/E7).
+#[derive(Debug, Clone, Copy)]
+pub struct DnfParams {
+    /// Number of clauses.
+    pub clauses: usize,
+    /// Number of distinct variables.
+    pub vars: usize,
+    /// Literals per clause.
+    pub clause_len: usize,
+    /// Domain size of every variable.
+    pub domain: u16,
+}
+
+/// Generate a random monotone DNF over fresh variables.
+pub fn random_dnf(seed: u64, p: DnfParams) -> (WorldTable, Dnf) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut wt = WorldTable::new();
+    let vars: Vec<Var> = (0..p.vars.max(1))
+        .map(|_| {
+            let mut dist = vec![0.0; p.domain as usize];
+            let mut total = 0.0;
+            for d in dist.iter_mut() {
+                *d = rng.gen_range(0.05..1.0);
+                total += *d;
+            }
+            for d in dist.iter_mut() {
+                *d /= total;
+            }
+            wt.new_var(&dist).expect("valid distribution")
+        })
+        .collect();
+    let mut clauses = Vec::with_capacity(p.clauses);
+    while clauses.len() < p.clauses {
+        let len = p.clause_len.max(1).min(vars.len());
+        let mut assignments = Vec::with_capacity(len);
+        let mut used = std::collections::HashSet::new();
+        while assignments.len() < len {
+            let v = vars[rng.gen_range(0..vars.len())];
+            if used.insert(v) {
+                assignments.push(Assignment::new(v, rng.gen_range(0..p.domain)));
+            }
+        }
+        if let Some(w) = Wsd::from_assignments(assignments) {
+            clauses.push(w);
+        }
+    }
+    (wt, Dnf::new(clauses))
+}
+
+/// A block-structured DNF: `blocks` independent groups of `per_block`
+/// clauses over `vars_per_block` shared variables — the family where
+/// independence decomposition shines (E7).
+pub fn block_dnf(
+    seed: u64,
+    blocks: usize,
+    per_block: usize,
+    vars_per_block: usize,
+    domain: u16,
+) -> (WorldTable, Dnf) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut wt = WorldTable::new();
+    let mut clauses = Vec::new();
+    for _ in 0..blocks {
+        let vars: Vec<Var> = (0..vars_per_block)
+            .map(|_| {
+                let p = 1.0 / f64::from(domain);
+                let mut dist = vec![p; domain as usize];
+                dist[0] = 1.0 - p * f64::from(domain - 1);
+                wt.new_var(&dist).expect("valid distribution")
+            })
+            .collect();
+        for _ in 0..per_block {
+            let len = rng.gen_range(1..=vars.len());
+            let mut assignments = Vec::new();
+            let mut used = std::collections::HashSet::new();
+            while assignments.len() < len {
+                let v = vars[rng.gen_range(0..vars.len())];
+                if used.insert(v) {
+                    assignments.push(Assignment::new(v, rng.gen_range(0..domain)));
+                }
+            }
+            if let Some(w) = Wsd::from_assignments(assignments) {
+                clauses.push(w);
+            }
+        }
+    }
+    (wt, Dnf::new(clauses))
+}
+
+/// A TPC-H-shaped tuple-independent probabilistic database (E4):
+/// `customer(ck, segment)`, `orders(ok, ck)`, `lineitem(ok, qty)` with a
+/// per-tuple probability column. Stands in for the probabilistic TPC-H
+/// instances of the SPROUT evaluation (see DESIGN.md §1).
+pub fn tpch_ti(
+    seed: u64,
+    customers: usize,
+    orders_per_customer: usize,
+    lineitems_per_order: usize,
+) -> (WorldTable, HashMap<String, URelation>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut wt = WorldTable::new();
+    let mut tables = HashMap::new();
+
+    let segments = ["BUILDING", "AUTOMOBILE", "MACHINERY"];
+    let mut cust_rows = Vec::new();
+    for ck in 0..customers {
+        cust_rows.push(vec![
+            Value::Int(ck as i64),
+            Value::str(segments[rng.gen_range(0..segments.len())]),
+            Value::Float(rng.gen_range(0.05..1.0)),
+        ]);
+    }
+    let customer = maybms_engine::rel(
+        &[("ck", DataType::Int), ("segment", DataType::Text), ("prob", DataType::Float)],
+        cust_rows,
+    );
+
+    let mut order_rows = Vec::new();
+    let mut ok = 0i64;
+    for ck in 0..customers {
+        for _ in 0..orders_per_customer {
+            order_rows.push(vec![
+                Value::Int(ok),
+                Value::Int(ck as i64),
+                Value::Float(rng.gen_range(0.05..1.0)),
+            ]);
+            ok += 1;
+        }
+    }
+    let orders = maybms_engine::rel(
+        &[("ok", DataType::Int), ("ck", DataType::Int), ("prob", DataType::Float)],
+        order_rows,
+    );
+
+    let mut li_rows = Vec::new();
+    for o in 0..ok {
+        for _ in 0..lineitems_per_order {
+            li_rows.push(vec![
+                Value::Int(o),
+                Value::Int(rng.gen_range(1..50)),
+                Value::Float(rng.gen_range(0.05..1.0)),
+            ]);
+        }
+    }
+    let lineitem = maybms_engine::rel(
+        &[("ok", DataType::Int), ("qty", DataType::Int), ("prob", DataType::Float)],
+        li_rows,
+    );
+
+    let opts = PickTuplesOptions { probability: Some(Expr::col("prob")) };
+    tables.insert(
+        "customer".to_string(),
+        pick_tuples(&customer, &opts, &mut wt).expect("valid probabilities"),
+    );
+    tables.insert(
+        "orders".to_string(),
+        pick_tuples(&orders, &opts, &mut wt).expect("valid probabilities"),
+    );
+    tables.insert(
+        "lineitem".to_string(),
+        pick_tuples(&lineitem, &opts, &mut wt).expect("valid probabilities"),
+    );
+    (wt, tables)
+}
+
+/// E5 workload: a pair of relations (certain twin + uncertain twin over a
+/// fresh world table). The uncertain twin conditions every row on a fresh
+/// Boolean variable, so it represents 2^rows worlds while storing the same
+/// number of tuples.
+pub fn overhead_pair(seed: u64, rows: usize, keys: i64) -> (Relation, WorldTable, URelation) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        data.push(vec![
+            Value::Int(rng.gen_range(0..keys)),
+            Value::Int(rng.gen_range(0..1000)),
+            Value::Float(rng.gen_range(0.05..1.0)),
+        ]);
+    }
+    let certain = maybms_engine::rel(
+        &[("k", DataType::Int), ("v", DataType::Int), ("prob", DataType::Float)],
+        data,
+    );
+    let mut wt = WorldTable::new();
+    let uncertain = pick_tuples(
+        &certain,
+        &PickTuplesOptions { probability: Some(Expr::col("prob")) },
+        &mut wt,
+    )
+    .expect("valid probabilities");
+    (certain, wt, uncertain)
+}
+
+/// E6 workload: a key-violating relation with `groups` keys ×
+/// `alternatives` rows per key and random positive weights.
+pub fn repair_input(seed: u64, groups: usize, alternatives: usize) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(groups * alternatives);
+    for g in 0..groups {
+        for a in 0..alternatives {
+            rows.push(vec![
+                Value::Int(g as i64),
+                Value::Int(a as i64),
+                Value::Float(rng.gen_range(0.1..10.0)),
+            ]);
+        }
+    }
+    maybms_engine::rel(
+        &[("k", DataType::Int), ("alt", DataType::Int), ("w", DataType::Float)],
+        rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nba_shapes() {
+        let (ft, states) = nba(7, 5);
+        assert_eq!(ft.len(), 5 * 9);
+        assert_eq!(states.len(), 5);
+        // Rows of each player's matrix sum to 1.
+        let p0: f64 = ft
+            .tuples()
+            .iter()
+            .filter(|t| {
+                t.value(0).as_str() == Some("player0000") && t.value(1).as_str() == Some("F")
+            })
+            .map(|t| t.value(3).as_f64().unwrap())
+            .sum();
+        assert!((p0 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nba_deterministic_in_seed() {
+        let (a, _) = nba(42, 3);
+        let (b, _) = nba(42, 3);
+        assert_eq!(a.tuples(), b.tuples());
+    }
+
+    #[test]
+    fn random_dnf_shape() {
+        let (wt, d) =
+            random_dnf(1, DnfParams { clauses: 10, vars: 6, clause_len: 3, domain: 2 });
+        assert_eq!(d.len(), 10);
+        assert_eq!(wt.num_vars(), 6);
+        for c in d.clauses() {
+            assert!(c.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn block_dnf_decomposes() {
+        let (wt, d) = block_dnf(1, 4, 3, 2, 2);
+        assert_eq!(wt.num_vars(), 8);
+        assert!(d.len() <= 12);
+        // Exact must agree with naive.
+        let e = maybms_conf::exact::probability(&d, &wt).unwrap();
+        let n = maybms_conf::naive::probability(&d, &wt, 1 << 20).unwrap();
+        assert!((e - n).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tpch_tables_are_tuple_independent() {
+        let (_wt, tables) = tpch_ti(3, 10, 2, 3);
+        assert_eq!(tables["customer"].len(), 10);
+        assert_eq!(tables["orders"].len(), 20);
+        assert_eq!(tables["lineitem"].len(), 60);
+        for t in tables.values() {
+            assert!(maybms_conf::sprout::is_tuple_independent(t));
+        }
+    }
+
+    #[test]
+    fn overhead_pair_matches() {
+        let (certain, wt, uncertain) = overhead_pair(5, 100, 10);
+        assert_eq!(certain.len(), 100);
+        assert_eq!(uncertain.len(), 100);
+        assert_eq!(wt.num_vars(), 100); // 2^100 worlds represented
+    }
+
+    #[test]
+    fn repair_input_shape() {
+        let r = repair_input(9, 10, 4);
+        assert_eq!(r.len(), 40);
+    }
+}

@@ -1,0 +1,326 @@
+//! The Dagum–Karp–Luby–Ross "optimal algorithm for Monte Carlo estimation"
+//! (SIAM J. Comput. 29(5), 2000), driving the Karp–Luby estimator to an
+//! (ε, δ)-approximation (§2.3):
+//!
+//! > "The latter is based on sequential analysis and determines the number
+//! > of invocations of the Karp–Luby estimator needed to achieve the
+//! > required bound by running the estimator a small number of times to
+//! > estimate its mean and variance."
+//!
+//! Implemented here:
+//!
+//! * [`stopping_rule`] — the Stopping Rule Algorithm (SRA): sample until
+//!   the running sum reaches `Υ₁ = 1 + (1+ε)Υ`, output `Υ₁/N`;
+//! * [`approximate`] — the full 𝒜𝒜 algorithm: (1) a coarse SRA run,
+//!   (2) a variance-estimation phase on sample *pairs*, (3) the final run
+//!   with the optimal number of samples `∝ max(σ², εμ)/μ²`.
+//!
+//! Guarantee: `P(|μ̃ − μ| ≤ ε·μ) ≥ 1 − δ` for any estimator with outcomes
+//! in `[0, 1]` — satisfied by the Karp–Luby indicator. Because the output
+//! is rescaled by the constant `S`, the *relative* error guarantee carries
+//! over to the DNF probability.
+
+use rand::Rng;
+
+use maybms_urel::{Result, UrelError, WorldTable};
+
+use crate::dnf::Dnf;
+use crate::karp_luby::KarpLuby;
+
+/// λ = e − 2, the constant of the generalised zero-one estimator theorem.
+const LAMBDA: f64 = std::f64::consts::E - 2.0;
+
+/// Outcome of an (ε, δ) approximation, with sampling statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Approximation {
+    /// The estimate `p̂`.
+    pub estimate: f64,
+    /// Total Karp–Luby invocations across all phases.
+    pub samples: u64,
+}
+
+/// Configuration for the DKLR driver.
+#[derive(Debug, Clone, Copy)]
+pub struct DklrOptions {
+    /// Relative error bound ε (0 < ε < 1 is the meaningful range).
+    pub epsilon: f64,
+    /// Failure probability δ (0 < δ < 1).
+    pub delta: f64,
+    /// Hard cap on total samples; exceeding it is an error rather than a
+    /// silent loss of the guarantee.
+    pub max_samples: u64,
+}
+
+impl DklrOptions {
+    /// `aconf(ε, δ)` with the default cap of 2·10⁸ invocations.
+    pub fn new(epsilon: f64, delta: f64) -> DklrOptions {
+        DklrOptions { epsilon, delta, max_samples: 200_000_000 }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
+            return Err(UrelError::BadProbability {
+                message: format!("aconf epsilon {} outside (0, 1)", self.epsilon),
+            });
+        }
+        if !(self.delta > 0.0 && self.delta < 1.0) {
+            return Err(UrelError::BadProbability {
+                message: format!("aconf delta {} outside (0, 1)", self.delta),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// `Υ(ε, δ) = 4·λ·ln(2/δ)/ε²` — the base sample-count scale.
+fn upsilon(epsilon: f64, delta: f64) -> f64 {
+    4.0 * LAMBDA * (2.0 / delta).ln() / (epsilon * epsilon)
+}
+
+/// Stopping Rule Algorithm: keep invoking the estimator until the running
+/// sum of outcomes reaches `Υ₁ = 1 + (1+ε)Υ`; output `μ̂ = Υ₁ / N`.
+///
+/// For outcomes in `[0,1]` with mean `μ > 0`:
+/// `P(|μ̂ − μ| ≤ ε·μ) > 1 − δ` (DKLR Theorem 1).
+pub fn stopping_rule<R: Rng + ?Sized>(
+    kl: &KarpLuby,
+    wt: &WorldTable,
+    options: &DklrOptions,
+    rng: &mut R,
+) -> Result<Approximation> {
+    options.validate()?;
+    if let Some(p) = kl.constant_value() {
+        return Ok(Approximation { estimate: p, samples: 0 });
+    }
+    let upsilon1 = 1.0 + (1.0 + options.epsilon) * upsilon(options.epsilon, options.delta);
+    let mut sum = 0.0;
+    let mut n: u64 = 0;
+    while sum < upsilon1 {
+        if n >= options.max_samples {
+            return Err(UrelError::BadProbability {
+                message: format!(
+                    "stopping rule exceeded {} samples (sum {sum:.1} < {upsilon1:.1}); \
+                     the event probability is too small for this (ε, δ)",
+                    options.max_samples
+                ),
+            });
+        }
+        sum += kl.sample_indicator(wt, rng);
+        n += 1;
+    }
+    Ok(Approximation { estimate: kl.scale() * upsilon1 / n as f64, samples: n })
+}
+
+/// The 𝒜𝒜 algorithm (DKLR §2.2): optimal up to constants — its expected
+/// sample count is within a constant factor of any estimator achieving the
+/// same (ε, δ) guarantee.
+pub fn approximate<R: Rng + ?Sized>(
+    kl: &KarpLuby,
+    wt: &WorldTable,
+    options: &DklrOptions,
+    rng: &mut R,
+) -> Result<Approximation> {
+    options.validate()?;
+    if let Some(p) = kl.constant_value() {
+        return Ok(Approximation { estimate: p, samples: 0 });
+    }
+    let eps = options.epsilon;
+    let delta = options.delta;
+    let ups = upsilon(eps, delta);
+    let ups2 = 2.0 * (1.0 + eps.sqrt()) * (1.0 + 2.0 * eps.sqrt())
+        * (1.0 + (3.0f64 / 2.0).ln() / (2.0 / delta).ln())
+        * ups;
+
+    // Step 1: coarse SRA with ε' = min(1/2, √ε), δ' = δ/3.
+    let coarse = DklrOptions {
+        epsilon: (0.5f64).min(eps.sqrt()),
+        delta: delta / 3.0,
+        max_samples: options.max_samples,
+    };
+    let sra = stopping_rule(kl, wt, &coarse, rng)?;
+    let mut spent = sra.samples;
+    // μ̂ of the *indicator* (mean in [0,1]), not of the scaled estimate.
+    let mu_hat = sra.estimate / kl.scale();
+
+    // Step 2: variance estimation from sample pairs.
+    let n2 = ((ups2 * eps / mu_hat).ceil() as u64).max(1);
+    if spent + 2 * n2 > options.max_samples {
+        return Err(UrelError::BadProbability {
+            message: format!(
+                "AA step 2 would need {} samples, above the cap {}",
+                2 * n2,
+                options.max_samples
+            ),
+        });
+    }
+    let mut s2 = 0.0;
+    for _ in 0..n2 {
+        let a = kl.sample_indicator(wt, rng);
+        let b = kl.sample_indicator(wt, rng);
+        s2 += (a - b) * (a - b) / 2.0;
+    }
+    spent += 2 * n2;
+    let rho_hat = (s2 / n2 as f64).max(eps * mu_hat);
+
+    // Step 3: the optimal main run.
+    let n3 = ((ups2 * rho_hat / (mu_hat * mu_hat)).ceil() as u64).max(1);
+    if spent + n3 > options.max_samples {
+        return Err(UrelError::BadProbability {
+            message: format!(
+                "AA step 3 would need {n3} samples, above the cap {}",
+                options.max_samples
+            ),
+        });
+    }
+    let mut sum = 0.0;
+    for _ in 0..n3 {
+        sum += kl.sample_indicator(wt, rng);
+    }
+    spent += n3;
+    Ok(Approximation { estimate: kl.scale() * sum / n3 as f64, samples: spent })
+}
+
+/// Convenience: `aconf(ε, δ)` for a DNF — prepare Karp–Luby and run 𝒜𝒜.
+pub fn aconf<R: Rng + ?Sized>(
+    dnf: &Dnf,
+    wt: &WorldTable,
+    epsilon: f64,
+    delta: f64,
+    rng: &mut R,
+) -> Result<f64> {
+    let kl = KarpLuby::new(dnf, wt)?;
+    Ok(approximate(&kl, wt, &DklrOptions::new(epsilon, delta), rng)?.estimate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact;
+    use maybms_urel::{Assignment, Var, Wsd};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn clause(pairs: &[(Var, u16)]) -> Wsd {
+        Wsd::from_assignments(pairs.iter().map(|&(v, a)| Assignment::new(v, a)).collect())
+            .unwrap()
+    }
+
+    /// A DNF whose clauses overlap, with known probability.
+    fn test_dnf(wt: &mut WorldTable, blocks: usize) -> Dnf {
+        let mut clauses = Vec::new();
+        for _ in 0..blocks {
+            let x = wt.new_var(&[0.5, 0.5]).unwrap();
+            let y = wt.new_var(&[0.7, 0.3]).unwrap();
+            clauses.push(clause(&[(x, 1), (y, 1)]));
+            clauses.push(clause(&[(x, 0), (y, 0)]));
+        }
+        Dnf::new(clauses)
+    }
+
+    #[test]
+    fn options_validated() {
+        assert!(DklrOptions::new(0.0, 0.5).validate().is_err());
+        assert!(DklrOptions::new(1.5, 0.5).validate().is_err());
+        assert!(DklrOptions::new(0.1, 0.0).validate().is_err());
+        assert!(DklrOptions::new(0.1, 1.0).validate().is_err());
+        assert!(DklrOptions::new(0.1, 0.05).validate().is_ok());
+    }
+
+    #[test]
+    fn constants_cost_zero_samples() {
+        let wt = WorldTable::new();
+        let kl = KarpLuby::new(&Dnf::falsum(), &wt).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = approximate(&kl, &wt, &DklrOptions::new(0.1, 0.1), &mut rng).unwrap();
+        assert_eq!(a, Approximation { estimate: 0.0, samples: 0 });
+    }
+
+    #[test]
+    fn stopping_rule_achieves_relative_error() {
+        let mut wt = WorldTable::new();
+        let d = test_dnf(&mut wt, 3);
+        let truth = exact::probability(&d, &wt).unwrap();
+        let kl = KarpLuby::new(&d, &wt).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let opts = DklrOptions::new(0.1, 0.05);
+        let mut failures = 0;
+        let runs = 30;
+        for _ in 0..runs {
+            let a = stopping_rule(&kl, &wt, &opts, &mut rng).unwrap();
+            if ((a.estimate - truth) / truth).abs() > opts.epsilon {
+                failures += 1;
+            }
+        }
+        // δ = 0.05: expect ~1.5 failures in 30; allow generous slack.
+        assert!(failures <= 4, "failures {failures}/{runs}");
+    }
+
+    #[test]
+    fn aa_achieves_relative_error_with_fewer_samples() {
+        let mut wt = WorldTable::new();
+        let d = test_dnf(&mut wt, 4);
+        let truth = exact::probability(&d, &wt).unwrap();
+        let kl = KarpLuby::new(&d, &wt).unwrap();
+        let opts = DklrOptions::new(0.1, 0.05);
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut failures = 0;
+        let mut aa_samples = 0u64;
+        let mut sra_samples = 0u64;
+        let runs = 20;
+        for _ in 0..runs {
+            let aa = approximate(&kl, &wt, &opts, &mut rng).unwrap();
+            let sra = stopping_rule(&kl, &wt, &opts, &mut rng).unwrap();
+            aa_samples += aa.samples;
+            sra_samples += sra.samples;
+            if ((aa.estimate - truth) / truth).abs() > opts.epsilon {
+                failures += 1;
+            }
+        }
+        assert!(failures <= 3, "failures {failures}/{runs}");
+        // The Karp-Luby indicator has mean p/S; for this family the AA's
+        // variance-adapted step-3 run should not be wildly worse than SRA.
+        assert!(
+            aa_samples < sra_samples * 4,
+            "AA used {aa_samples}, SRA {sra_samples}"
+        );
+    }
+
+    #[test]
+    fn sample_cap_enforced() {
+        let mut wt = WorldTable::new();
+        let d = test_dnf(&mut wt, 2);
+        let kl = KarpLuby::new(&d, &wt).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let opts = DklrOptions { epsilon: 0.01, delta: 0.01, max_samples: 100 };
+        assert!(stopping_rule(&kl, &wt, &opts, &mut rng).is_err());
+        assert!(approximate(&kl, &wt, &opts, &mut rng).is_err());
+    }
+
+    #[test]
+    fn smaller_epsilon_needs_more_samples() {
+        let mut wt = WorldTable::new();
+        let d = test_dnf(&mut wt, 3);
+        let kl = KarpLuby::new(&d, &wt).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let loose =
+            approximate(&kl, &wt, &DklrOptions::new(0.2, 0.05), &mut rng).unwrap();
+        let tight =
+            approximate(&kl, &wt, &DklrOptions::new(0.05, 0.05), &mut rng).unwrap();
+        assert!(
+            tight.samples > loose.samples * 4,
+            "tight {} vs loose {}",
+            tight.samples,
+            loose.samples
+        );
+    }
+
+    #[test]
+    fn aconf_end_to_end() {
+        let mut wt = WorldTable::new();
+        let d = test_dnf(&mut wt, 2);
+        let truth = exact::probability(&d, &wt).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let est = aconf(&d, &wt, 0.05, 0.05, &mut rng).unwrap();
+        assert!(((est - truth) / truth).abs() < 0.05, "est {est} truth {truth}");
+    }
+}

@@ -1,0 +1,202 @@
+//! DNF lineage events.
+//!
+//! Confidence computation in MayBMS reduces to computing the probability
+//! of a DNF "of which each clause is a conjunctive local condition" (§2.3):
+//! the tuples contributing to one result tuple each carry a WSD, and the
+//! result's confidence is the probability that *at least one* of those
+//! conditions holds.
+
+use std::collections::HashSet;
+
+use maybms_urel::{Var, Wsd};
+
+/// A DNF over variable assignments: the disjunction of its clauses.
+///
+/// * no clauses — `false` (probability 0);
+/// * a tautology clause — `true` (probability 1).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Dnf {
+    clauses: Vec<Wsd>,
+}
+
+impl Dnf {
+    /// The empty (false) DNF.
+    pub fn falsum() -> Dnf {
+        Dnf { clauses: Vec::new() }
+    }
+
+    /// Build from clauses, as-is.
+    pub fn new(clauses: Vec<Wsd>) -> Dnf {
+        Dnf { clauses }
+    }
+
+    /// Build from the WSDs of a group of tuples (the `conf()` aggregate's
+    /// input).
+    pub fn from_wsds<'a>(wsds: impl IntoIterator<Item = &'a Wsd>) -> Dnf {
+        Dnf { clauses: wsds.into_iter().cloned().collect() }
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Wsd] {
+        &self.clauses
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// True iff there are no clauses (the `false` event).
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// True iff some clause is the tautology (the `true` event).
+    pub fn is_true(&self) -> bool {
+        self.clauses.iter().any(Wsd::is_tautology)
+    }
+
+    /// The set of variables mentioned.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut set = HashSet::new();
+        for c in &self.clauses {
+            set.extend(c.vars());
+        }
+        let mut v: Vec<Var> = set.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Whether a world satisfies the disjunction.
+    pub fn satisfied_by(&self, world: &[u16]) -> bool {
+        self.clauses.iter().any(|c| c.satisfied_by(world))
+    }
+
+    /// Logical simplification: deduplicate clauses and apply absorption
+    /// (drop any clause that is a superset of another clause — the subset
+    /// clause subsumes it). Detecting a tautology clause short-circuits to
+    /// the `true` DNF. O(n² · clause length); intended for the exact
+    /// algorithm's inputs, which are small after decomposition.
+    pub fn simplify(&self) -> Dnf {
+        if self.is_true() {
+            return Dnf { clauses: vec![Wsd::tautology()] };
+        }
+        let mut clauses = self.clauses.clone();
+        clauses.sort();
+        clauses.dedup();
+        // Absorption: keep clause c unless some other kept clause d ⊆ c.
+        // Sorting by length first makes subset checks one-directional.
+        clauses.sort_by_key(Wsd::len);
+        let mut kept: Vec<Wsd> = Vec::with_capacity(clauses.len());
+        'outer: for c in clauses {
+            for d in &kept {
+                if subset(d, &c) {
+                    continue 'outer;
+                }
+            }
+            kept.push(c);
+        }
+        kept.sort();
+        Dnf { clauses: kept }
+    }
+
+    /// Condition every clause on `var = alt`, dropping clauses that become
+    /// unsatisfiable (Shannon expansion step of variable elimination).
+    pub fn condition(&self, var: Var, alt: u16) -> Dnf {
+        Dnf {
+            clauses: self
+                .clauses
+                .iter()
+                .filter_map(|c| c.condition(var, alt))
+                .collect(),
+        }
+    }
+}
+
+/// Is `a` a sub-conjunction of `b`? (Both sorted by variable.)
+fn subset(a: &Wsd, b: &Wsd) -> bool {
+    if a.len() > b.len() {
+        return false;
+    }
+    a.assignments().iter().all(|x| b.get(x.var) == Some(x.alt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maybms_urel::Assignment;
+
+    fn clause(pairs: &[(u32, u16)]) -> Wsd {
+        Wsd::from_assignments(
+            pairs.iter().map(|&(v, a)| Assignment::new(Var(v), a)).collect(),
+        )
+        .expect("consistent clause")
+    }
+
+    #[test]
+    fn falsum_and_verum() {
+        assert!(Dnf::falsum().is_empty());
+        assert!(!Dnf::falsum().is_true());
+        let t = Dnf::new(vec![Wsd::tautology(), clause(&[(0, 1)])]);
+        assert!(t.is_true());
+    }
+
+    #[test]
+    fn vars_sorted_unique() {
+        let d = Dnf::new(vec![clause(&[(3, 0), (1, 1)]), clause(&[(1, 1), (2, 0)])]);
+        assert_eq!(d.vars(), vec![Var(1), Var(2), Var(3)]);
+    }
+
+    #[test]
+    fn simplify_dedups() {
+        let d = Dnf::new(vec![clause(&[(0, 1)]), clause(&[(0, 1)])]);
+        assert_eq!(d.simplify().len(), 1);
+    }
+
+    #[test]
+    fn simplify_absorbs_supersets() {
+        // (x0=1) ∨ (x0=1 ∧ x1=0)  ≡  x0=1
+        let d = Dnf::new(vec![clause(&[(0, 1)]), clause(&[(0, 1), (1, 0)])]);
+        let s = d.simplify();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.clauses()[0], clause(&[(0, 1)]));
+    }
+
+    #[test]
+    fn simplify_keeps_incomparable_clauses() {
+        let d = Dnf::new(vec![clause(&[(0, 1)]), clause(&[(1, 0)])]);
+        assert_eq!(d.simplify().len(), 2);
+    }
+
+    #[test]
+    fn simplify_true_dnf_collapses() {
+        let d = Dnf::new(vec![Wsd::tautology(), clause(&[(0, 1)])]);
+        let s = d.simplify();
+        assert_eq!(s.len(), 1);
+        assert!(s.is_true());
+    }
+
+    #[test]
+    fn condition_drops_conflicts_and_reduces() {
+        let d = Dnf::new(vec![clause(&[(0, 1), (1, 0)]), clause(&[(0, 2)])]);
+        let c = d.condition(Var(0), 1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.clauses()[0], clause(&[(1, 0)]));
+    }
+
+    #[test]
+    fn condition_can_make_true() {
+        let d = Dnf::new(vec![clause(&[(0, 1)])]);
+        let c = d.condition(Var(0), 1);
+        assert!(c.is_true());
+    }
+
+    #[test]
+    fn satisfied_by_any_clause() {
+        let d = Dnf::new(vec![clause(&[(0, 1)]), clause(&[(1, 2)])]);
+        assert!(d.satisfied_by(&[1, 0]));
+        assert!(d.satisfied_by(&[0, 2]));
+        assert!(!d.satisfied_by(&[0, 0]));
+        assert!(!Dnf::falsum().satisfied_by(&[0, 0]));
+    }
+}

@@ -1,0 +1,436 @@
+//! Exact confidence computation: the Koch–Olteanu decomposition-tree
+//! algorithm ("Conditioning Probabilistic Databases", VLDB 2008; §2.3 of
+//! the demo paper).
+//!
+//! "Given a DNF (of which each clause is a conjunctive local condition),
+//! the algorithm employs a combination of variable elimination and
+//! decomposition of the DNF into independent subsets of clauses (i.e.,
+//! subsets that do not share variables), with cost-estimation heuristics
+//! for choosing whether to use the former (and for which variable) or the
+//! latter."
+//!
+//! The recursion builds a decomposition tree (d-tree):
+//!
+//! * **⊥ / ⊤ leaves** — empty DNF (probability 0), tautology clause
+//!   (probability 1);
+//! * **independent-partition nodes** — split the clauses into connected
+//!   components of the clause/variable incidence graph;
+//!   `P = 1 − Π(1 − P(componentᵢ))`;
+//! * **single-clause leaves** — product of the assignment probabilities;
+//! * **variable-elimination nodes** (Shannon expansion over a variable's
+//!   alternatives) — `P = Σ_a P(x = a) · P(DNF | x = a)`, with the variable
+//!   chosen by a pluggable heuristic.
+
+use std::collections::HashMap;
+
+use maybms_urel::{Result, Var, WorldTable};
+
+use crate::dnf::Dnf;
+
+/// Heuristic for picking the variable to eliminate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VarChoice {
+    /// The variable occurring in the most clauses (default; maximises the
+    /// chance that conditioning decomposes the rest).
+    #[default]
+    MaxOccurrence,
+    /// The variable with the smallest domain (fewest recursive branches).
+    MinDomain,
+    /// The smallest variable id (baseline for the E7 ablation).
+    First,
+}
+
+/// Tuning knobs, exposed for the E7 ablation bench.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactOptions {
+    /// Variable-elimination heuristic.
+    pub var_choice: VarChoice,
+    /// When `false`, skip independence partitioning (ablation).
+    pub decompose: bool,
+    /// When `false`, skip the O(n²) absorption simplification.
+    pub simplify: bool,
+    /// Cache sub-DNF probabilities across the recursion. Pays off when
+    /// Shannon branches recreate identical subproblems (recurrent
+    /// structures like random-walk lineage); costs hashing on every node.
+    pub memoize: bool,
+}
+
+impl ExactOptions {
+    /// The configuration used by `conf()`: decomposition on, absorption
+    /// on, max-occurrence elimination, no memoization.
+    pub fn standard() -> ExactOptions {
+        ExactOptions {
+            var_choice: VarChoice::MaxOccurrence,
+            decompose: true,
+            simplify: true,
+            memoize: false,
+        }
+    }
+
+    /// [`ExactOptions::standard`] with sub-DNF memoization enabled.
+    pub fn memoized() -> ExactOptions {
+        ExactOptions { memoize: true, ..ExactOptions::standard() }
+    }
+}
+
+/// Statistics of one exact computation (d-tree shape), for benches/tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExactStats {
+    /// Number of independent-partition nodes.
+    pub decompositions: usize,
+    /// Number of variable-elimination (Shannon) nodes.
+    pub eliminations: usize,
+    /// Number of leaves (constants and single clauses).
+    pub leaves: usize,
+    /// Maximum recursion depth reached.
+    pub max_depth: usize,
+    /// Memoization cache hits (0 unless [`ExactOptions::memoize`]).
+    pub cache_hits: usize,
+}
+
+/// Exact probability of `dnf` with the standard options.
+pub fn probability(dnf: &Dnf, wt: &WorldTable) -> Result<f64> {
+    probability_with(dnf, wt, &ExactOptions::standard()).map(|(p, _)| p)
+}
+
+/// Exact probability with explicit options; also returns d-tree statistics.
+pub fn probability_with(
+    dnf: &Dnf,
+    wt: &WorldTable,
+    options: &ExactOptions,
+) -> Result<(f64, ExactStats)> {
+    let mut stats = ExactStats::default();
+    let d = if options.simplify { dnf.simplify() } else { dnf.clone() };
+    let mut cache: Option<HashMap<Vec<maybms_urel::Wsd>, f64>> =
+        options.memoize.then(HashMap::new);
+    let p = go(&d, wt, options, &mut stats, 1, &mut cache)?;
+    Ok((p, stats))
+}
+
+type Cache = Option<HashMap<Vec<maybms_urel::Wsd>, f64>>;
+
+/// Canonical cache key: the clause list, sorted.
+fn cache_key(dnf: &Dnf) -> Vec<maybms_urel::Wsd> {
+    let mut k = dnf.clauses().to_vec();
+    k.sort();
+    k
+}
+
+fn go(
+    dnf: &Dnf,
+    wt: &WorldTable,
+    options: &ExactOptions,
+    stats: &mut ExactStats,
+    depth: usize,
+    cache: &mut Cache,
+) -> Result<f64> {
+    stats.max_depth = stats.max_depth.max(depth);
+    // Constant leaves.
+    if dnf.is_empty() {
+        stats.leaves += 1;
+        return Ok(0.0);
+    }
+    if dnf.is_true() {
+        stats.leaves += 1;
+        return Ok(1.0);
+    }
+    // Single clause: product of independent assignment probabilities.
+    if dnf.len() == 1 {
+        stats.leaves += 1;
+        return dnf.clauses()[0].prob(wt);
+    }
+    let key = if cache.is_some() { Some(cache_key(dnf)) } else { None };
+    if let (Some(c), Some(k)) = (cache.as_ref(), key.as_ref()) {
+        if let Some(&p) = c.get(k) {
+            stats.cache_hits += 1;
+            return Ok(p);
+        }
+    }
+    // Independence partition.
+    if options.decompose {
+        let comps = components(dnf);
+        if comps.len() > 1 {
+            stats.decompositions += 1;
+            let mut none = 1.0;
+            for comp in comps {
+                let p = go(&comp, wt, options, stats, depth + 1, cache)?;
+                none *= 1.0 - p;
+            }
+            let total = 1.0 - none;
+            if let (Some(c), Some(k)) = (cache.as_mut(), key) {
+                c.insert(k, total);
+            }
+            return Ok(total);
+        }
+    }
+    // Variable elimination (Shannon expansion).
+    stats.eliminations += 1;
+    let x = choose_var(dnf, wt, options.var_choice)?;
+    let dist = wt.distribution(x)?.to_vec();
+    let mut total = 0.0;
+    for (alt, &p_alt) in dist.iter().enumerate() {
+        if p_alt == 0.0 {
+            continue;
+        }
+        let conditioned = dnf.condition(x, alt as u16);
+        let conditioned =
+            if options.simplify { conditioned.simplify() } else { conditioned };
+        total += p_alt * go(&conditioned, wt, options, stats, depth + 1, cache)?;
+    }
+    if let (Some(c), Some(k)) = (cache.as_mut(), key) {
+        c.insert(k, total);
+    }
+    Ok(total)
+}
+
+/// Split a DNF into connected components of the clause–variable graph
+/// (union–find over clause indices keyed by shared variables).
+fn components(dnf: &Dnf) -> Vec<Dnf> {
+    let n = dnf.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], i: usize) -> usize {
+        let mut root = i;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = i;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    let mut owner: HashMap<Var, usize> = HashMap::new();
+    for (i, c) in dnf.clauses().iter().enumerate() {
+        for v in c.vars() {
+            match owner.get(&v) {
+                Some(&j) => {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+                None => {
+                    owner.insert(v, i);
+                }
+            }
+        }
+    }
+    let mut groups: HashMap<usize, Vec<maybms_urel::Wsd>> = HashMap::new();
+    for (i, c) in dnf.clauses().iter().enumerate() {
+        groups.entry(find(&mut parent, i)).or_default().push(c.clone());
+    }
+    let mut out: Vec<Dnf> = groups.into_values().map(Dnf::new).collect();
+    // Deterministic order helps reproducibility of stats.
+    out.sort_by(|a, b| a.clauses().cmp(b.clauses()));
+    out
+}
+
+/// Pick the elimination variable according to the heuristic.
+fn choose_var(dnf: &Dnf, wt: &WorldTable, heuristic: VarChoice) -> Result<Var> {
+    let mut counts: HashMap<Var, usize> = HashMap::new();
+    for c in dnf.clauses() {
+        for v in c.vars() {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+    }
+    debug_assert!(!counts.is_empty(), "non-constant DNF must mention a variable");
+    let var = match heuristic {
+        VarChoice::MaxOccurrence => counts
+            .iter()
+            .max_by_key(|(v, &n)| (n, std::cmp::Reverse(v.0)))
+            .map(|(&v, _)| v),
+        VarChoice::MinDomain => {
+            let mut best: Option<(usize, Var)> = None;
+            for &v in counts.keys() {
+                let d = wt.domain_size(v)?;
+                if best.is_none_or(|(bd, bv)| (d, v.0) < (bd, bv.0)) {
+                    best = Some((d, v));
+                }
+            }
+            best.map(|(_, v)| v)
+        }
+        VarChoice::First => counts.keys().copied().min(),
+    };
+    Ok(var.expect("counts non-empty"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use maybms_urel::{Assignment, Wsd};
+
+    fn clause(pairs: &[(Var, u16)]) -> Wsd {
+        Wsd::from_assignments(pairs.iter().map(|&(v, a)| Assignment::new(v, a)).collect())
+            .unwrap()
+    }
+
+    #[test]
+    fn constants() {
+        let wt = WorldTable::new();
+        assert_eq!(probability(&Dnf::falsum(), &wt).unwrap(), 0.0);
+        assert_eq!(
+            probability(&Dnf::new(vec![Wsd::tautology()]), &wt).unwrap(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn independent_clauses_decompose() {
+        let mut wt = WorldTable::new();
+        let x = wt.new_var(&[0.7, 0.3]).unwrap();
+        let y = wt.new_var(&[0.4, 0.6]).unwrap();
+        let d = Dnf::new(vec![clause(&[(x, 1)]), clause(&[(y, 1)])]);
+        let (p, stats) = probability_with(&d, &wt, &ExactOptions::standard()).unwrap();
+        assert!((p - 0.72).abs() < 1e-12);
+        assert_eq!(stats.decompositions, 1);
+        assert_eq!(stats.eliminations, 0);
+    }
+
+    #[test]
+    fn shared_variable_forces_elimination() {
+        let mut wt = WorldTable::new();
+        let x = wt.new_var(&[0.5, 0.5]).unwrap();
+        let y = wt.new_var(&[0.5, 0.5]).unwrap();
+        // (x=1 ∧ y=1) ∨ (x=0): P = 0.25 + 0.5 = 0.75
+        let d = Dnf::new(vec![clause(&[(x, 1), (y, 1)]), clause(&[(x, 0)])]);
+        let (p, stats) = probability_with(&d, &wt, &ExactOptions::standard()).unwrap();
+        assert!((p - 0.75).abs() < 1e-12);
+        assert!(stats.eliminations >= 1);
+    }
+
+    #[test]
+    fn mutually_exclusive_assignments() {
+        let mut wt = WorldTable::new();
+        let x = wt.new_var(&[0.2, 0.3, 0.5]).unwrap();
+        let d = Dnf::new(vec![clause(&[(x, 0)]), clause(&[(x, 2)])]);
+        assert!((probability(&d, &wt).unwrap() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agrees_with_naive_on_handcrafted_cases() {
+        let mut wt = WorldTable::new();
+        let v: Vec<Var> = (0..5)
+            .map(|i| {
+                wt.new_var(&[0.1 + 0.1 * i as f64, 0.9 - 0.1 * i as f64]).unwrap()
+            })
+            .collect();
+        let cases = vec![
+            Dnf::new(vec![clause(&[(v[0], 1), (v[1], 1)]), clause(&[(v[1], 0), (v[2], 1)])]),
+            Dnf::new(vec![
+                clause(&[(v[0], 1)]),
+                clause(&[(v[1], 1), (v[2], 1)]),
+                clause(&[(v[3], 1), (v[4], 0)]),
+            ]),
+            Dnf::new(vec![
+                clause(&[(v[0], 1), (v[1], 1), (v[2], 1)]),
+                clause(&[(v[0], 0), (v[3], 1)]),
+                clause(&[(v[2], 0), (v[4], 1)]),
+                clause(&[(v[1], 0)]),
+            ]),
+        ];
+        for d in cases {
+            let exact = probability(&d, &wt).unwrap();
+            let oracle = naive::probability(&d, &wt, 1 << 20).unwrap();
+            assert!(
+                (exact - oracle).abs() < 1e-9,
+                "exact {exact} vs naive {oracle} on {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_heuristics_agree() {
+        let mut wt = WorldTable::new();
+        let v: Vec<Var> = (0..4).map(|_| wt.new_var(&[0.5, 0.3, 0.2]).unwrap()).collect();
+        let d = Dnf::new(vec![
+            clause(&[(v[0], 0), (v[1], 1)]),
+            clause(&[(v[1], 2), (v[2], 0)]),
+            clause(&[(v[2], 1), (v[3], 2)]),
+            clause(&[(v[0], 2)]),
+        ]);
+        let standard = probability(&d, &wt).unwrap();
+        for choice in [VarChoice::MaxOccurrence, VarChoice::MinDomain, VarChoice::First] {
+            for decompose in [true, false] {
+                for simplify in [true, false] {
+                    for memoize in [true, false] {
+                        let opts =
+                            ExactOptions { var_choice: choice, decompose, simplify, memoize };
+                        let (p, _) = probability_with(&d, &wt, &opts).unwrap();
+                        assert!(
+                            (p - standard).abs() < 1e-9,
+                            "{choice:?} decompose={decompose} simplify={simplify} \
+                             memoize={memoize}: {p} vs {standard}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decomposition_reduces_eliminations_on_block_dnfs() {
+        // 6 independent blocks of 2 clauses sharing one variable each:
+        // with decomposition the eliminations stay per-block; without it
+        // the recursion interleaves blocks and balloons.
+        let mut wt = WorldTable::new();
+        let mut clauses = Vec::new();
+        for _ in 0..6 {
+            let x = wt.new_var(&[0.5, 0.5]).unwrap();
+            let y = wt.new_var(&[0.5, 0.5]).unwrap();
+            clauses.push(clause(&[(x, 1), (y, 1)]));
+            clauses.push(clause(&[(x, 0), (y, 0)]));
+        }
+        let d = Dnf::new(clauses);
+        let with = probability_with(&d, &wt, &ExactOptions::standard()).unwrap();
+        let without = probability_with(
+            &d,
+            &wt,
+            &ExactOptions { decompose: false, simplify: true, ..Default::default() },
+        )
+        .unwrap();
+        assert!((with.0 - without.0).abs() < 1e-9);
+        assert!(
+            with.1.eliminations < without.1.eliminations,
+            "with: {:?}, without: {:?}",
+            with.1,
+            without.1
+        );
+    }
+
+    #[test]
+    fn memoization_hits_on_recurrent_structure() {
+        // Chain DNF (x_i=1 ∧ x_{i+1}=1): conditioning on either end keeps
+        // regenerating the same inner chains.
+        let mut wt = WorldTable::new();
+        let xs: Vec<Var> = (0..10).map(|_| wt.new_var(&[0.5, 0.5]).unwrap()).collect();
+        let clauses: Vec<maybms_urel::Wsd> = xs
+            .windows(2)
+            .map(|w| clause(&[(w[0], 1), (w[1], 1)]))
+            .collect();
+        let d = Dnf::new(clauses);
+        let plain_opts = ExactOptions { decompose: false, ..ExactOptions::standard() };
+        let memo_opts = ExactOptions { memoize: true, ..plain_opts };
+        let (p_plain, s_plain) = probability_with(&d, &wt, &plain_opts).unwrap();
+        let (p_memo, s_memo) = probability_with(&d, &wt, &memo_opts).unwrap();
+        assert!((p_plain - p_memo).abs() < 1e-12);
+        assert!(s_memo.cache_hits > 0, "expected cache hits: {s_memo:?}");
+        assert!(
+            s_memo.eliminations < s_plain.eliminations,
+            "memoized {s_memo:?} vs plain {s_plain:?}"
+        );
+        assert_eq!(s_plain.cache_hits, 0);
+    }
+
+    #[test]
+    fn zero_probability_branches_skipped() {
+        let mut wt = WorldTable::new();
+        let x = wt.new_var(&[0.0, 1.0]).unwrap();
+        let y = wt.new_var(&[0.5, 0.5]).unwrap();
+        let d = Dnf::new(vec![clause(&[(x, 0), (y, 0)]), clause(&[(x, 1), (y, 1)])]);
+        // P = 0·(…) + 1·P(y=1) = 0.5
+        assert!((probability(&d, &wt).unwrap() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,247 @@
+//! The Karp–Luby unbiased estimator for DNF probability, "in a modified
+//! version adapted to confidence computation in probabilistic databases"
+//! (§2.3): clauses are conjunctions of assignments of *multi-valued*
+//! independent variables, not just Boolean literals.
+//!
+//! The estimator uses the coverage (importance-sampling) scheme:
+//!
+//! 1. let `S = Σᵢ P(cᵢ)` (each clause's probability is a simple product);
+//! 2. draw clause `i` with probability `P(cᵢ)/S`;
+//! 3. draw a world `w` from the distribution *conditioned on cᵢ being
+//!    true*: fix cᵢ's assignments, sample every other variable of the DNF
+//!    independently;
+//! 4. output `X = 1` if `i = min{ j : w ⊨ cⱼ }`, else `0`.
+//!
+//! Then `E[X] = P(⋁ cⱼ)/S`, so `S·X̄` is an unbiased estimate of the DNF
+//! probability, and `E[X] ≥ 1/m` for `m` clauses — the property the
+//! Dagum–Karp–Luby–Ross stopping rules rely on.
+
+use rand::Rng;
+
+use maybms_urel::{Result, Var, WorldTable};
+
+use crate::dnf::Dnf;
+
+/// A prepared Karp–Luby sampler over a fixed DNF.
+#[derive(Debug, Clone)]
+pub struct KarpLuby {
+    clauses: Vec<maybms_urel::Wsd>,
+    /// Cumulative clause probabilities (unnormalised, ending at `sum`).
+    cumulative: Vec<f64>,
+    /// `S = Σ P(cᵢ)`.
+    sum: f64,
+    /// All variables mentioned by the DNF.
+    vars: Vec<Var>,
+    /// Scratch world indexed by raw variable id.
+    world_len: usize,
+    /// Trivial cases resolved at construction.
+    constant: Option<f64>,
+}
+
+impl KarpLuby {
+    /// Prepare a sampler. Constant DNFs (false / true / zero total mass)
+    /// short-circuit.
+    pub fn new(dnf: &Dnf, wt: &WorldTable) -> Result<KarpLuby> {
+        if dnf.is_empty() {
+            return Ok(Self::constant(0.0));
+        }
+        if dnf.is_true() {
+            return Ok(Self::constant(1.0));
+        }
+        let clauses: Vec<_> = dnf.clauses().to_vec();
+        let mut cumulative = Vec::with_capacity(clauses.len());
+        let mut sum = 0.0;
+        for c in &clauses {
+            sum += c.prob(wt)?;
+            cumulative.push(sum);
+        }
+        if sum == 0.0 {
+            return Ok(Self::constant(0.0));
+        }
+        let vars = dnf.vars();
+        let world_len = vars.iter().map(|v| v.0 as usize + 1).max().unwrap_or(0);
+        Ok(KarpLuby { clauses, cumulative, sum, vars, world_len, constant: None })
+    }
+
+    fn constant(p: f64) -> KarpLuby {
+        KarpLuby {
+            clauses: Vec::new(),
+            cumulative: Vec::new(),
+            sum: p,
+            vars: Vec::new(),
+            world_len: 0,
+            constant: Some(p),
+        }
+    }
+
+    /// The probability when the DNF is constant (no sampling needed).
+    pub fn constant_value(&self) -> Option<f64> {
+        self.constant
+    }
+
+    /// `S = Σ P(cᵢ)`, the scale factor of the estimator.
+    pub fn scale(&self) -> f64 {
+        self.sum
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Draw one Bernoulli outcome `X ∈ {0, 1}` with
+    /// `E[X] = P(DNF)/S`. Panics on constant samplers (callers check
+    /// [`KarpLuby::constant_value`] first).
+    pub fn sample_indicator<R: Rng + ?Sized>(&self, wt: &WorldTable, rng: &mut R) -> f64 {
+        assert!(
+            self.constant.is_none(),
+            "sample_indicator called on a constant Karp-Luby sampler"
+        );
+        // 1. pick clause i ∝ P(cᵢ)
+        let x: f64 = rng.gen::<f64>() * self.sum;
+        let i = match self.cumulative.binary_search_by(|c| c.total_cmp(&x)) {
+            Ok(i) => (i + 1).min(self.clauses.len() - 1),
+            Err(i) => i.min(self.clauses.len() - 1),
+        };
+        // 2. sample a world conditioned on cᵢ: fix cᵢ's assignments, draw
+        //    the remaining DNF variables.
+        let mut world = vec![0u16; self.world_len];
+        let ci = &self.clauses[i];
+        let free: Vec<Var> =
+            self.vars.iter().copied().filter(|&v| ci.get(v).is_none()).collect();
+        wt.sample_into(&mut world, &free, rng);
+        for a in ci.assignments() {
+            world[a.var.0 as usize] = a.alt;
+        }
+        // 3. indicator: is i the first satisfied clause?
+        for (j, cj) in self.clauses.iter().enumerate() {
+            if cj.satisfied_by(&world) {
+                return if j == i { 1.0 } else { 0.0 };
+            }
+        }
+        unreachable!("clause i is satisfied by construction");
+    }
+
+    /// Plain Monte Carlo estimate with a fixed number of samples:
+    /// `S · mean(X)`. (The (ε,δ)-adaptive version lives in [`crate::dklr`].)
+    pub fn estimate<R: Rng + ?Sized>(
+        &self,
+        wt: &WorldTable,
+        samples: usize,
+        rng: &mut R,
+    ) -> f64 {
+        if let Some(p) = self.constant {
+            return p;
+        }
+        let mut acc = 0.0;
+        for _ in 0..samples {
+            acc += self.sample_indicator(wt, rng);
+        }
+        self.sum * acc / samples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{exact, naive};
+    use maybms_urel::{Assignment, Wsd};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn clause(pairs: &[(Var, u16)]) -> Wsd {
+        Wsd::from_assignments(pairs.iter().map(|&(v, a)| Assignment::new(v, a)).collect())
+            .unwrap()
+    }
+
+    #[test]
+    fn constant_dnfs_short_circuit() {
+        let wt = WorldTable::new();
+        let kl = KarpLuby::new(&Dnf::falsum(), &wt).unwrap();
+        assert_eq!(kl.constant_value(), Some(0.0));
+        let kl = KarpLuby::new(&Dnf::new(vec![Wsd::tautology()]), &wt).unwrap();
+        assert_eq!(kl.constant_value(), Some(1.0));
+    }
+
+    #[test]
+    fn zero_mass_dnf_is_constant_zero() {
+        let mut wt = WorldTable::new();
+        let x = wt.new_var(&[1.0, 0.0]).unwrap();
+        let d = Dnf::new(vec![clause(&[(x, 1)])]);
+        let kl = KarpLuby::new(&d, &wt).unwrap();
+        assert_eq!(kl.constant_value(), Some(0.0));
+    }
+
+    #[test]
+    fn estimator_is_unbiased_small_dnf() {
+        let mut wt = WorldTable::new();
+        let x = wt.new_var(&[0.5, 0.5]).unwrap();
+        let y = wt.new_var(&[0.3, 0.7]).unwrap();
+        let d = Dnf::new(vec![clause(&[(x, 1), (y, 1)]), clause(&[(x, 0)])]);
+        let truth = naive::probability(&d, &wt, 100).unwrap();
+        let kl = KarpLuby::new(&d, &wt).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let est = kl.estimate(&wt, 200_000, &mut rng);
+        assert!(
+            (est - truth).abs() < 0.01,
+            "estimate {est} too far from truth {truth}"
+        );
+    }
+
+    #[test]
+    fn estimator_matches_exact_on_overlapping_clauses() {
+        let mut wt = WorldTable::new();
+        let vars: Vec<Var> =
+            (0..6).map(|_| wt.new_var(&[0.6, 0.4]).unwrap()).collect();
+        let d = Dnf::new(vec![
+            clause(&[(vars[0], 1), (vars[1], 1)]),
+            clause(&[(vars[1], 1), (vars[2], 1)]),
+            clause(&[(vars[2], 0), (vars[3], 1), (vars[4], 1)]),
+            clause(&[(vars[5], 1)]),
+        ]);
+        let truth = exact::probability(&d, &wt).unwrap();
+        let kl = KarpLuby::new(&d, &wt).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let est = kl.estimate(&wt, 400_000, &mut rng);
+        assert!(
+            ((est - truth) / truth).abs() < 0.02,
+            "relative error too large: est {est}, truth {truth}"
+        );
+    }
+
+    #[test]
+    fn indicator_mean_is_at_least_one_over_m() {
+        // E[X] = p/S ≥ 1/m — the DKLR precondition.
+        let mut wt = WorldTable::new();
+        let vars: Vec<Var> =
+            (0..4).map(|_| wt.new_var(&[0.5, 0.5]).unwrap()).collect();
+        let d = Dnf::new(vars.iter().map(|&v| clause(&[(v, 1)])).collect());
+        let kl = KarpLuby::new(&d, &wt).unwrap();
+        let truth = exact::probability(&d, &wt).unwrap();
+        let mean = truth / kl.scale();
+        assert!(mean >= 1.0 / kl.num_clauses() as f64 - 1e-12);
+    }
+
+    #[test]
+    fn scale_is_clause_probability_sum() {
+        let mut wt = WorldTable::new();
+        let x = wt.new_var(&[0.25, 0.75]).unwrap();
+        let y = wt.new_var(&[0.5, 0.5]).unwrap();
+        let d = Dnf::new(vec![clause(&[(x, 1)]), clause(&[(y, 0)])]);
+        let kl = KarpLuby::new(&d, &wt).unwrap();
+        assert!((kl.scale() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multivalued_variables_handled() {
+        let mut wt = WorldTable::new();
+        let x = wt.new_var(&[0.2, 0.3, 0.5]).unwrap();
+        let y = wt.new_var(&[0.1, 0.2, 0.3, 0.4]).unwrap();
+        let d = Dnf::new(vec![clause(&[(x, 2), (y, 3)]), clause(&[(x, 0)]), clause(&[(y, 0)])]);
+        let truth = naive::probability(&d, &wt, 100).unwrap();
+        let kl = KarpLuby::new(&d, &wt).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let est = kl.estimate(&wt, 300_000, &mut rng);
+        assert!((est - truth).abs() < 0.01, "est {est} truth {truth}");
+    }
+}

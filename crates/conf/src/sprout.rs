@@ -1,0 +1,945 @@
+//! SPROUT: scalable confidence computation for *tractable* queries on
+//! tuple-independent probabilistic databases "by reduction of confidence
+//! computation to a sequence of SQL-like aggregations" (§2.3, following
+//! Olteanu–Huang–Koch, ICDE 2009).
+//!
+//! * [`Cq`] describes a conjunctive query without self-joins over
+//!   tuple-independent U-relations.
+//! * [`is_hierarchical`] implements the tractability test: for any two
+//!   existential query variables, the sets of subgoals using them must be
+//!   nested or disjoint.
+//! * [`safe_plan`] compiles a hierarchical query into a [`SproutPlan`]
+//!   whose operators are ordinary relational work plus probability
+//!   bookkeeping: **independent join** (`p = p_l · p_r`) and
+//!   **independent project** (`p = 1 − Π(1 − pᵢ)`).
+//! * [`eval_eager`] interleaves that probability aggregation with the
+//!   relational operators (the classic safe-plan execution).
+//! * [`eval_lazy`] runs the relational part first, materialising full
+//!   lineage, and then computes all confidences in a single
+//!   structure-directed pass over the grouped lineage — SPROUT's lazy
+//!   plans (one scan over lexicographically sorted one-occurrence-form
+//!   lineage; we group hash-wise, which is the same aggregation shape).
+//!
+//! Both evaluators return identical probabilities; they differ in where
+//! the aggregation work happens, which is exactly what experiment E4
+//! measures.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use maybms_engine::Value;
+use maybms_urel::{Result, URelation, UrelError, WorldTable};
+
+use crate::dnf::Dnf;
+
+// ---------------------------------------------------------------------------
+// Query description
+// ---------------------------------------------------------------------------
+
+/// A term in a subgoal: a named query variable or a constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// Query variable (shared names join).
+    Var(String),
+    /// Constant (selection).
+    Const(Value),
+}
+
+/// One subgoal `R(t₁, …, tₖ)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subgoal {
+    /// Relation name (must be tuple-independent; no self-joins).
+    pub table: String,
+    /// Terms, one per column of the relation.
+    pub terms: Vec<Term>,
+}
+
+impl Subgoal {
+    /// Distinct variable names, in first-occurrence order.
+    pub fn var_names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for t in &self.terms {
+            if let Term::Var(v) = t {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A conjunctive query `q(head) :- sg₁, …, sgₙ` without self-joins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cq {
+    /// Head (grouping/output) variables.
+    pub head: Vec<String>,
+    /// Subgoals.
+    pub subgoals: Vec<Subgoal>,
+}
+
+impl Cq {
+    /// All variable names, in first-occurrence order.
+    pub fn all_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for sg in &self.subgoals {
+            for v in sg.var_names() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Existential (non-head) variables.
+    pub fn existential_vars(&self) -> Vec<String> {
+        self.all_vars().into_iter().filter(|v| !self.head.contains(v)).collect()
+    }
+
+    /// True when no relation name repeats (SPROUT's tractable class here
+    /// excludes self-joins).
+    pub fn has_no_self_joins(&self) -> bool {
+        let mut seen = BTreeSet::new();
+        self.subgoals.iter().all(|sg| seen.insert(sg.table.clone()))
+    }
+}
+
+/// The hierarchy test: for every pair of existential variables `x`, `y`,
+/// `sg(x)` and `sg(y)` must be nested or disjoint (`sg(v)` = indices of
+/// subgoals mentioning `v`). Hierarchical queries without self-joins are
+/// exactly the tractable conjunctive queries on tuple-independent
+/// databases.
+pub fn is_hierarchical(cq: &Cq) -> bool {
+    let ex = cq.existential_vars();
+    let sg_of = |v: &String| -> BTreeSet<usize> {
+        cq.subgoals
+            .iter()
+            .enumerate()
+            .filter(|(_, sg)| sg.var_names().contains(v))
+            .map(|(i, _)| i)
+            .collect()
+    };
+    for (i, x) in ex.iter().enumerate() {
+        let sx = sg_of(x);
+        for y in ex.iter().skip(i + 1) {
+            let sy = sg_of(y);
+            let nested = sx.is_subset(&sy) || sy.is_subset(&sx);
+            let disjoint = sx.is_disjoint(&sy);
+            if !nested && !disjoint {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Safe plans
+// ---------------------------------------------------------------------------
+
+/// A SPROUT plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SproutPlan {
+    /// Scan one subgoal (constants become selections, repeated variables
+    /// become intra-tuple equality). `leaf` indexes the subgoal in the
+    /// originating query, identifying its lineage column.
+    Scan {
+        /// Leaf id (position of the subgoal in the query).
+        leaf: usize,
+        /// The subgoal.
+        subgoal: Subgoal,
+    },
+    /// Natural join of two independent subplans (disjoint tables);
+    /// `p = p_l · p_r` per joined row.
+    IndepJoin {
+        /// Left input.
+        left: Box<SproutPlan>,
+        /// Right input.
+        right: Box<SproutPlan>,
+    },
+    /// Project onto `onto`, eliminating variables whose distinct values
+    /// have pairwise-independent lineage; `p = 1 − Π(1 − pᵢ)`.
+    IndepProject {
+        /// Input plan.
+        input: Box<SproutPlan>,
+        /// Output columns (variable names).
+        onto: Vec<String>,
+    },
+}
+
+impl SproutPlan {
+    /// The output columns (variable names) of this node.
+    pub fn columns(&self) -> Vec<String> {
+        match self {
+            SproutPlan::Scan { subgoal, .. } => subgoal.var_names(),
+            SproutPlan::IndepJoin { left, right } => {
+                let mut cols = left.columns();
+                for c in right.columns() {
+                    if !cols.contains(&c) {
+                        cols.push(c);
+                    }
+                }
+                cols
+            }
+            SproutPlan::IndepProject { onto, .. } => onto.clone(),
+        }
+    }
+
+    /// Collect the leaf ids appearing below this node.
+    pub fn leaves(&self, out: &mut Vec<usize>) {
+        match self {
+            SproutPlan::Scan { leaf, .. } => out.push(*leaf),
+            SproutPlan::IndepJoin { left, right } => {
+                left.leaves(out);
+                right.leaves(out);
+            }
+            SproutPlan::IndepProject { input, .. } => input.leaves(out),
+        }
+    }
+}
+
+/// Compile a hierarchical query (no self-joins) into a safe plan.
+/// Returns `None` when the query is not hierarchical or repeats a table —
+/// callers then fall back to the general exact/approximate algorithms.
+pub fn safe_plan(cq: &Cq) -> Option<SproutPlan> {
+    if !cq.has_no_self_joins() || !is_hierarchical(cq) {
+        return None;
+    }
+    let indices: Vec<usize> = (0..cq.subgoals.len()).collect();
+    let head: BTreeSet<String> = cq.head.iter().cloned().collect();
+    let plan = build(cq, &indices, &head)?;
+    // Final projection fixes the output column order to the head.
+    Some(SproutPlan::IndepProject { input: Box::new(plan), onto: cq.head.clone() })
+}
+
+fn build(cq: &Cq, subgoals: &[usize], head: &BTreeSet<String>) -> Option<SproutPlan> {
+    debug_assert!(!subgoals.is_empty());
+    if subgoals.len() == 1 {
+        let i = subgoals[0];
+        let scan = SproutPlan::Scan { leaf: i, subgoal: cq.subgoals[i].clone() };
+        let keep: Vec<String> = scan
+            .columns()
+            .into_iter()
+            .filter(|c| head.contains(c))
+            .collect();
+        if keep.len() == scan.columns().len() {
+            return Some(scan);
+        }
+        // Independent project: tuples of one TI table are independent.
+        return Some(SproutPlan::IndepProject { input: Box::new(scan), onto: keep });
+    }
+    // Connected components through shared *existential* variables.
+    let comps = connected_components(cq, subgoals, head);
+    if comps.len() > 1 {
+        let mut plans = comps.iter().map(|c| build(cq, c, head));
+        let first = plans.next()??;
+        let mut acc = first;
+        for p in plans {
+            acc = SproutPlan::IndepJoin { left: Box::new(acc), right: Box::new(p?) };
+        }
+        return Some(acc);
+    }
+    // One component: find a root existential variable present in every
+    // subgoal; lift it into the head and project it away on the way out.
+    let root = cq
+        .all_vars()
+        .into_iter()
+        .filter(|v| !head.contains(v))
+        .find(|v| {
+            subgoals
+                .iter()
+                .all(|&i| cq.subgoals[i].var_names().contains(v))
+        })?;
+    let mut inner_head = head.clone();
+    inner_head.insert(root);
+    let inner = build(cq, subgoals, &inner_head)?;
+    let onto: Vec<String> =
+        inner.columns().into_iter().filter(|c| head.contains(c)).collect();
+    Some(SproutPlan::IndepProject { input: Box::new(inner), onto })
+}
+
+/// Partition `subgoals` into components connected by shared existential
+/// variables.
+fn connected_components(
+    cq: &Cq,
+    subgoals: &[usize],
+    head: &BTreeSet<String>,
+) -> Vec<Vec<usize>> {
+    let n = subgoals.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], i: usize) -> usize {
+        let mut r = i;
+        while parent[r] != r {
+            r = parent[r];
+        }
+        let mut c = i;
+        while parent[c] != r {
+            let nx = parent[c];
+            parent[c] = r;
+            c = nx;
+        }
+        r
+    }
+    let mut owner: HashMap<String, usize> = HashMap::new();
+    for (pos, &i) in subgoals.iter().enumerate() {
+        for v in cq.subgoals[i].var_names() {
+            if head.contains(&v) {
+                continue;
+            }
+            match owner.get(&v) {
+                Some(&q) => {
+                    let (a, b) = (find(&mut parent, pos), find(&mut parent, q));
+                    if a != b {
+                        parent[a] = b;
+                    }
+                }
+                None => {
+                    owner.insert(v, pos);
+                }
+            }
+        }
+    }
+    let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (pos, &i) in subgoals.iter().enumerate() {
+        groups.entry(find(&mut parent, pos)).or_default().push(i);
+    }
+    groups.into_values().collect()
+}
+
+// ---------------------------------------------------------------------------
+// Tuple independence
+// ---------------------------------------------------------------------------
+
+/// Check that `u` is tuple-independent: every WSD has at most one
+/// assignment, over a *Boolean-style* variable not shared with any other
+/// tuple (within this relation).
+pub fn is_tuple_independent(u: &URelation) -> bool {
+    let mut seen = BTreeSet::new();
+    u.tuples().iter().all(|t| {
+        t.wsd.len() <= 1
+            && t.wsd.vars().all(|v| seen.insert(v))
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+/// A row of output values keyed for grouping.
+pub type Row = Vec<Value>;
+
+/// Result rows: distinct head-value rows with their confidence.
+pub type ConfRows = Vec<(Row, f64)>;
+
+/// The database a plan runs over.
+#[derive(Debug)]
+pub struct SproutDb<'a> {
+    /// Tuple-independent input relations by name.
+    pub tables: &'a HashMap<String, URelation>,
+    /// The shared world table.
+    pub wt: &'a WorldTable,
+}
+
+impl SproutDb<'_> {
+    fn table(&self, name: &str) -> Result<&URelation> {
+        self.tables.get(name).ok_or_else(|| {
+            UrelError::Engine(maybms_engine::EngineError::TableNotFound {
+                name: name.to_string(),
+            })
+        })
+    }
+}
+
+/// Scan a subgoal: returns `(row over var columns, tuple index, prob)` for
+/// every matching tuple.
+fn scan_rows(
+    db: &SproutDb<'_>,
+    subgoal: &Subgoal,
+) -> Result<Vec<(Row, usize, f64)>> {
+    let rel = db.table(&subgoal.table)?;
+    if rel.schema().len() != subgoal.terms.len() {
+        return Err(UrelError::Engine(maybms_engine::EngineError::SchemaMismatch {
+            message: format!(
+                "subgoal over {} has {} terms but the relation has {} columns",
+                subgoal.table,
+                subgoal.terms.len(),
+                rel.schema().len()
+            ),
+        }));
+    }
+    let var_names = subgoal.var_names();
+    let mut out = Vec::new();
+    'tuples: for (ti, t) in rel.tuples().iter().enumerate() {
+        // Constants and repeated-variable equality.
+        let mut binding: HashMap<&str, &Value> = HashMap::new();
+        for (term, v) in subgoal.terms.iter().zip(t.data.values()) {
+            match term {
+                Term::Const(c) => {
+                    if c != v {
+                        continue 'tuples;
+                    }
+                }
+                Term::Var(name) => match binding.get(name.as_str()) {
+                    Some(&prev) if prev != v => continue 'tuples,
+                    _ => {
+                        binding.insert(name, v);
+                    }
+                },
+            }
+        }
+        let row: Row =
+            var_names.iter().map(|n| (*binding[n.as_str()]).clone()).collect();
+        out.push((row, ti, t.wsd.prob(db.wt)?));
+    }
+    Ok(out)
+}
+
+/// Eager (classic safe-plan) evaluation: each operator outputs *distinct*
+/// rows with their probability, aggregating as it goes.
+pub fn eval_eager(db: &SproutDb<'_>, plan: &SproutPlan) -> Result<ConfRows> {
+    match plan {
+        SproutPlan::Scan { subgoal, .. } => {
+            // Combine duplicate value-rows (distinct independent tuples).
+            let mut map: BTreeMap<Row, f64> = BTreeMap::new();
+            for (row, _ti, p) in scan_rows(db, subgoal)? {
+                let none = map.entry(row).or_insert(1.0);
+                *none *= 1.0 - p;
+            }
+            Ok(map.into_iter().map(|(r, none)| (r, 1.0 - none)).collect())
+        }
+        SproutPlan::IndepJoin { left, right } => {
+            let lcols = left.columns();
+            let rcols = right.columns();
+            let shared: Vec<String> =
+                rcols.iter().filter(|c| lcols.contains(c)).cloned().collect();
+            let l_key: Vec<usize> = shared
+                .iter()
+                .map(|c| lcols.iter().position(|x| x == c).expect("shared col"))
+                .collect();
+            let r_key: Vec<usize> = shared
+                .iter()
+                .map(|c| rcols.iter().position(|x| x == c).expect("shared col"))
+                .collect();
+            let r_extra: Vec<usize> = (0..rcols.len())
+                .filter(|i| !shared.contains(&rcols[*i]))
+                .collect();
+            let lrows = eval_eager(db, left)?;
+            let rrows = eval_eager(db, right)?;
+            let mut table: HashMap<Row, Vec<&(Row, f64)>> = HashMap::new();
+            for lr in &lrows {
+                let key: Row = l_key.iter().map(|&i| lr.0[i].clone()).collect();
+                table.entry(key).or_default().push(lr);
+            }
+            let mut out = Vec::new();
+            for (rrow, rp) in &rrows {
+                let key: Row = r_key.iter().map(|&i| rrow[i].clone()).collect();
+                if let Some(ls) = table.get(&key) {
+                    for (lrow, lp) in ls {
+                        let mut row = lrow.clone();
+                        row.extend(r_extra.iter().map(|&i| rrow[i].clone()));
+                        out.push((row, lp * rp));
+                    }
+                }
+            }
+            Ok(out)
+        }
+        SproutPlan::IndepProject { input, onto } => {
+            let in_cols = input.columns();
+            let keep: Vec<usize> = onto
+                .iter()
+                .map(|c| in_cols.iter().position(|x| x == c).expect("onto ⊆ input"))
+                .collect();
+            let rows = eval_eager(db, input)?;
+            let mut map: BTreeMap<Row, f64> = BTreeMap::new();
+            for (row, p) in rows {
+                let out_row: Row = keep.iter().map(|&i| row[i].clone()).collect();
+                let none = map.entry(out_row).or_insert(1.0);
+                *none *= 1.0 - p;
+            }
+            Ok(map.into_iter().map(|(r, none)| (r, 1.0 - none)).collect())
+        }
+    }
+}
+
+/// One fully-materialised lineage row of the lazy evaluation: the values of
+/// *all* plan variables plus, per leaf, the contributing tuple id and its
+/// probability.
+#[derive(Debug, Clone)]
+struct LineageRow {
+    vals: Row,
+    /// `(leaf id → (tuple idx, prob))`, sorted by leaf id.
+    leaves: Vec<(usize, (usize, f64))>,
+}
+
+/// Lazy evaluation: materialise the relational join with full lineage
+/// first, then compute every confidence in one structure-directed
+/// aggregation pass.
+pub fn eval_lazy(db: &SproutDb<'_>, plan: &SproutPlan) -> Result<ConfRows> {
+    let (cols, rows) = materialise(db, plan)?;
+    let map = lazy_conf(plan, &cols, &rows);
+    Ok(map.into_iter().collect())
+}
+
+/// Relational phase: pure joins, no probability aggregation, all columns
+/// kept. `IndepProject` is a no-op here — that is what "lazy" means.
+fn materialise(
+    db: &SproutDb<'_>,
+    plan: &SproutPlan,
+) -> Result<(Vec<String>, Vec<LineageRow>)> {
+    match plan {
+        SproutPlan::Scan { leaf, subgoal } => {
+            let rows = scan_rows(db, subgoal)?
+                .into_iter()
+                .map(|(vals, ti, p)| LineageRow { vals, leaves: vec![(*leaf, (ti, p))] })
+                .collect();
+            Ok((subgoal.var_names(), rows))
+        }
+        SproutPlan::IndepJoin { left, right } => {
+            let (lcols, lrows) = materialise(db, left)?;
+            let (rcols, rrows) = materialise(db, right)?;
+            let shared: Vec<String> =
+                rcols.iter().filter(|c| lcols.contains(c)).cloned().collect();
+            let l_key: Vec<usize> = shared
+                .iter()
+                .map(|c| lcols.iter().position(|x| x == c).expect("shared"))
+                .collect();
+            let r_key: Vec<usize> = shared
+                .iter()
+                .map(|c| rcols.iter().position(|x| x == c).expect("shared"))
+                .collect();
+            let r_extra: Vec<usize> =
+                (0..rcols.len()).filter(|i| !shared.contains(&rcols[*i])).collect();
+            let mut out_cols = lcols.clone();
+            out_cols.extend(r_extra.iter().map(|&i| rcols[i].clone()));
+            let mut table: HashMap<Row, Vec<&LineageRow>> = HashMap::new();
+            for lr in &lrows {
+                let key: Row = l_key.iter().map(|&i| lr.vals[i].clone()).collect();
+                table.entry(key).or_default().push(lr);
+            }
+            let mut out = Vec::new();
+            for rr in &rrows {
+                let key: Row = r_key.iter().map(|&i| rr.vals[i].clone()).collect();
+                if let Some(ls) = table.get(&key) {
+                    for lr in ls {
+                        let mut vals = lr.vals.clone();
+                        vals.extend(r_extra.iter().map(|&i| rr.vals[i].clone()));
+                        let mut leaves = lr.leaves.clone();
+                        leaves.extend(rr.leaves.iter().cloned());
+                        leaves.sort_by_key(|(l, _)| *l);
+                        out.push(LineageRow { vals, leaves });
+                    }
+                }
+            }
+            Ok((out_cols, out))
+        }
+        SproutPlan::IndepProject { input, .. } => materialise(db, input),
+    }
+}
+
+/// Confidence phase of the lazy evaluation: replay the plan structure over
+/// the materialised lineage, aggregating bottom-up. Each recursion level is
+/// one grouping pass (the "SQL-like aggregation" of §2.3).
+fn lazy_conf(
+    plan: &SproutPlan,
+    cols: &[String],
+    rows: &[LineageRow],
+) -> BTreeMap<Row, f64> {
+    let proj = |names: &[String], r: &LineageRow| -> Row {
+        names
+            .iter()
+            .map(|n| {
+                let i = cols.iter().position(|c| c == n).expect("column present");
+                r.vals[i].clone()
+            })
+            .collect()
+    };
+    match plan {
+        SproutPlan::Scan { leaf, subgoal } => {
+            let names = subgoal.var_names();
+            // Per distinct value-row: the set of distinct contributing
+            // tuples of this leaf, combined as independent events.
+            let mut groups: BTreeMap<Row, BTreeMap<usize, f64>> = BTreeMap::new();
+            for r in rows {
+                let (_l, (ti, p)) = r
+                    .leaves
+                    .iter()
+                    .find(|(l, _)| l == leaf)
+                    .expect("leaf lineage present");
+                groups.entry(proj(&names, r)).or_default().insert(*ti, *p);
+            }
+            groups
+                .into_iter()
+                .map(|(row, tuples)| {
+                    let none: f64 = tuples.values().map(|p| 1.0 - p).product();
+                    (row, 1.0 - none)
+                })
+                .collect()
+        }
+        SproutPlan::IndepJoin { left, right } => {
+            let lmap = lazy_conf(left, cols, rows);
+            let rmap = lazy_conf(right, cols, rows);
+            let (lnames, rnames) = (left.columns(), right.columns());
+            let out_names = plan.columns();
+            let mut out: BTreeMap<Row, f64> = BTreeMap::new();
+            for r in rows {
+                let key = proj(&out_names, r);
+                if out.contains_key(&key) {
+                    continue;
+                }
+                let lp = lmap[&proj(&lnames, r)];
+                let rp = rmap[&proj(&rnames, r)];
+                out.insert(key, lp * rp);
+            }
+            out
+        }
+        SproutPlan::IndepProject { input, onto } => {
+            let inner = lazy_conf(input, cols, rows);
+            let in_names = input.columns();
+            let keep: Vec<usize> = onto
+                .iter()
+                .map(|c| in_names.iter().position(|x| x == c).expect("onto ⊆ input"))
+                .collect();
+            let mut out: BTreeMap<Row, f64> = BTreeMap::new();
+            for (row, p) in inner {
+                let out_row: Row = keep.iter().map(|&i| row[i].clone()).collect();
+                let none = out.entry(out_row).or_insert(1.0);
+                *none *= 1.0 - p;
+            }
+            out.into_iter().map(|(r, none)| (r, 1.0 - none)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lineage extraction (for validating against the general algorithms)
+// ---------------------------------------------------------------------------
+
+/// The lineage DNF of one head-value row: one clause per materialised
+/// lineage row (conjunction of the contributing tuples' conditions).
+/// Used by tests to cross-check SPROUT against the exact d-tree algorithm.
+pub fn lineage_dnf(
+    db: &SproutDb<'_>,
+    plan: &SproutPlan,
+    cq_head: &[String],
+) -> Result<BTreeMap<Row, Dnf>> {
+    let (cols, rows) = materialise(db, plan)?;
+    let keep: Vec<usize> = cq_head
+        .iter()
+        .map(|c| {
+            cols.iter().position(|x| x == c).ok_or_else(|| {
+                UrelError::Engine(maybms_engine::EngineError::ColumnNotFound {
+                    name: c.clone(),
+                    available: cols.clone(),
+                })
+            })
+        })
+        .collect::<Result<_>>()?;
+    // Rebuild each row's clause from the leaf tuples' WSDs.
+    let mut leaf_tables: HashMap<usize, &URelation> = HashMap::new();
+    collect_leaf_tables(db, plan, &mut leaf_tables)?;
+    let mut out: BTreeMap<Row, Vec<maybms_urel::Wsd>> = BTreeMap::new();
+    for r in rows {
+        let key: Row = keep.iter().map(|&i| r.vals[i].clone()).collect();
+        let mut clause = maybms_urel::Wsd::tautology();
+        let mut dead = false;
+        for (leaf, (ti, _p)) in &r.leaves {
+            let wsd = &leaf_tables[leaf].tuples()[*ti].wsd;
+            match clause.conjoin(wsd) {
+                Some(c) => clause = c,
+                None => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        if !dead {
+            out.entry(key).or_default().push(clause);
+        }
+    }
+    Ok(out.into_iter().map(|(k, cs)| (k, Dnf::new(cs))).collect())
+}
+
+fn collect_leaf_tables<'a>(
+    db: &SproutDb<'a>,
+    plan: &SproutPlan,
+    out: &mut HashMap<usize, &'a URelation>,
+) -> Result<()> {
+    match plan {
+        SproutPlan::Scan { leaf, subgoal } => {
+            let table = db.tables.get(&subgoal.table).ok_or_else(|| {
+                UrelError::Engine(maybms_engine::EngineError::TableNotFound {
+                    name: subgoal.table.clone(),
+                })
+            })?;
+            out.insert(*leaf, table);
+            Ok(())
+        }
+        SproutPlan::IndepJoin { left, right } => {
+            collect_leaf_tables(db, left, out)?;
+            collect_leaf_tables(db, right, out)
+        }
+        SproutPlan::IndepProject { input, .. } => collect_leaf_tables(db, input, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact;
+    use maybms_engine::{rel, DataType, Expr};
+    use maybms_urel::pick::{pick_tuples, PickTuplesOptions};
+
+    fn v(name: &str) -> Term {
+        Term::Var(name.into())
+    }
+
+    fn c(val: impl Into<Value>) -> Term {
+        Term::Const(val.into())
+    }
+
+    /// R(a,b), S(b,c) tuple-independent test database.
+    fn db(wt: &mut WorldTable) -> HashMap<String, URelation> {
+        let mk = |wt: &mut WorldTable, rows: Vec<Vec<Value>>, names: [&str; 3]| {
+            let r = rel(
+                &[
+                    (names[0], DataType::Int),
+                    (names[1], DataType::Int),
+                    (names[2], DataType::Float),
+                ],
+                rows,
+            );
+            pick_tuples(
+                &r,
+                &PickTuplesOptions { probability: Some(Expr::col(names[2])) },
+                wt,
+            )
+            .unwrap()
+        };
+        let mut tables = HashMap::new();
+        tables.insert(
+            "R".to_string(),
+            mk(
+                wt,
+                vec![
+                    vec![1.into(), 10.into(), Value::Float(0.5)],
+                    vec![1.into(), 20.into(), Value::Float(0.4)],
+                    vec![2.into(), 10.into(), Value::Float(0.3)],
+                    vec![2.into(), 30.into(), Value::Float(0.8)],
+                ],
+                ["a", "b", "pr"],
+            ),
+        );
+        tables.insert(
+            "S".to_string(),
+            mk(
+                wt,
+                vec![
+                    vec![10.into(), 100.into(), Value::Float(0.9)],
+                    vec![10.into(), 200.into(), Value::Float(0.2)],
+                    vec![20.into(), 100.into(), Value::Float(0.6)],
+                    vec![30.into(), 300.into(), Value::Float(0.7)],
+                ],
+                ["b", "c", "ps"],
+            ),
+        );
+        tables
+    }
+
+    /// q(a) :- R(a, b, _), S(b, c, _) — hierarchical (sg(b) = {R,S} ⊇
+    /// sg(c) = {S}).
+    fn q_a() -> Cq {
+        Cq {
+            head: vec!["a".into()],
+            subgoals: vec![
+                Subgoal { table: "R".into(), terms: vec![v("a"), v("b"), v("pr")] },
+                Subgoal { table: "S".into(), terms: vec![v("b"), v("c"), v("ps")] },
+            ],
+        }
+    }
+
+    #[test]
+    fn hierarchy_test_positive_and_negative() {
+        assert!(is_hierarchical(&q_a()));
+        // q() :- R(x, y), S(y, z), T(x, z) — the classic non-hierarchical
+        // triangle: sg(x) = {R,T}, sg(y) = {R,S} overlap without nesting.
+        let bad = Cq {
+            head: vec![],
+            subgoals: vec![
+                Subgoal { table: "R".into(), terms: vec![v("x"), v("y"), v("pr")] },
+                Subgoal { table: "S".into(), terms: vec![v("y"), v("z"), v("ps")] },
+                Subgoal { table: "T".into(), terms: vec![v("x"), v("z"), v("pt")] },
+            ],
+        };
+        assert!(!is_hierarchical(&bad));
+        assert!(safe_plan(&bad).is_none());
+    }
+
+    #[test]
+    fn self_joins_rejected() {
+        let q = Cq {
+            head: vec![],
+            subgoals: vec![
+                Subgoal { table: "R".into(), terms: vec![v("x"), v("y"), v("p1")] },
+                Subgoal { table: "R".into(), terms: vec![v("y"), v("z"), v("p2")] },
+            ],
+        };
+        assert!(safe_plan(&q).is_none());
+    }
+
+    #[test]
+    fn safe_plan_shape_for_q_a() {
+        let plan = safe_plan(&q_a()).unwrap();
+        assert_eq!(plan.columns(), vec!["a".to_string()]);
+        let mut leaves = Vec::new();
+        plan.leaves(&mut leaves);
+        leaves.sort_unstable();
+        assert_eq!(leaves, vec![0, 1]);
+    }
+
+    #[test]
+    fn eager_equals_lazy_equals_exact() {
+        let mut wt = WorldTable::new();
+        let tables = db(&mut wt);
+        for t in tables.values() {
+            assert!(is_tuple_independent(t));
+        }
+        let sdb = SproutDb { tables: &tables, wt: &wt };
+        let q = q_a();
+        let plan = safe_plan(&q).unwrap();
+
+        let mut eager = eval_eager(&sdb, &plan).unwrap();
+        let mut lazy = eval_lazy(&sdb, &plan).unwrap();
+        eager.sort_by(|a, b| a.0.cmp(&b.0));
+        lazy.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(eager.len(), lazy.len());
+        for ((re, pe), (rl, pl)) in eager.iter().zip(&lazy) {
+            assert_eq!(re, rl);
+            assert!((pe - pl).abs() < 1e-12, "eager {pe} lazy {pl} for {re:?}");
+        }
+
+        // Cross-check against the exact algorithm on the lineage DNF.
+        let lineages = lineage_dnf(&sdb, &plan, &q.head).unwrap();
+        assert_eq!(lineages.len(), eager.len());
+        for (row, p) in &eager {
+            let truth = exact::probability(&lineages[row], &wt).unwrap();
+            assert!(
+                (p - truth).abs() < 1e-9,
+                "sprout {p} vs exact {truth} for {row:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn boolean_query_single_probability() {
+        let mut wt = WorldTable::new();
+        let tables = db(&mut wt);
+        let sdb = SproutDb { tables: &tables, wt: &wt };
+        // q() :- R(a, b, _), S(b, c, _)
+        let q = Cq { head: vec![], subgoals: q_a().subgoals };
+        let plan = safe_plan(&q).unwrap();
+        let eager = eval_eager(&sdb, &plan).unwrap();
+        assert_eq!(eager.len(), 1);
+        assert_eq!(eager[0].0, Vec::<Value>::new());
+        let lineages = lineage_dnf(&sdb, &plan, &q.head).unwrap();
+        let truth = exact::probability(&lineages[&vec![]], &wt).unwrap();
+        assert!((eager[0].1 - truth).abs() < 1e-9);
+        let lazy = eval_lazy(&sdb, &plan).unwrap();
+        assert!((lazy[0].1 - truth).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constants_act_as_selections() {
+        let mut wt = WorldTable::new();
+        let tables = db(&mut wt);
+        let sdb = SproutDb { tables: &tables, wt: &wt };
+        // q() :- R(1, b, _), S(b, c, _)
+        let q = Cq {
+            head: vec![],
+            subgoals: vec![
+                Subgoal { table: "R".into(), terms: vec![c(1i64), v("b"), v("pr")] },
+                Subgoal { table: "S".into(), terms: vec![v("b"), v("cc"), v("ps")] },
+            ],
+        };
+        let plan = safe_plan(&q).unwrap();
+        let eager = eval_eager(&sdb, &plan).unwrap();
+        let lineages = lineage_dnf(&sdb, &plan, &q.head).unwrap();
+        let truth = exact::probability(&lineages[&vec![]], &wt).unwrap();
+        assert!((eager[0].1 - truth).abs() < 1e-9);
+        // Sanity: manual value. R(1,10) p=.5 with S(10,·): 1-(1-.9)(1-.2)=.92;
+        // R(1,20) p=.4 with S(20,·): .6.
+        // P = 1-(1-.5*.92)(1-.4*.6) = 1-(0.54)(0.76) = 0.5896
+        assert!((eager[0].1 - 0.5896).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_subgoals_independent_join() {
+        let mut wt = WorldTable::new();
+        let tables = db(&mut wt);
+        let sdb = SproutDb { tables: &tables, wt: &wt };
+        // q() :- R(a, b, _), S(b2, cc, _) — no shared vars: product of the
+        // two Boolean sub-queries.
+        let q = Cq {
+            head: vec![],
+            subgoals: vec![
+                Subgoal { table: "R".into(), terms: vec![v("a"), v("b"), v("pr")] },
+                Subgoal { table: "S".into(), terms: vec![v("b2"), v("cc"), v("ps")] },
+            ],
+        };
+        let plan = safe_plan(&q).unwrap();
+        let p = eval_eager(&sdb, &plan).unwrap()[0].1;
+        let lineages = lineage_dnf(&sdb, &plan, &q.head).unwrap();
+        let truth = exact::probability(&lineages[&vec![]], &wt).unwrap();
+        assert!((p - truth).abs() < 1e-9);
+        let lazy = eval_lazy(&sdb, &plan).unwrap()[0].1;
+        assert!((lazy - truth).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_variable_within_subgoal_is_equality() {
+        let mut wt = WorldTable::new();
+        let r = rel(
+            &[("a", DataType::Int), ("b", DataType::Int), ("p", DataType::Float)],
+            vec![
+                vec![1.into(), 1.into(), Value::Float(0.5)],
+                vec![1.into(), 2.into(), Value::Float(0.5)],
+            ],
+        );
+        let u = pick_tuples(
+            &r,
+            &PickTuplesOptions { probability: Some(Expr::col("p")) },
+            &mut wt,
+        )
+        .unwrap();
+        let mut tables = HashMap::new();
+        tables.insert("R".to_string(), u);
+        let sdb = SproutDb { tables: &tables, wt: &wt };
+        // q() :- R(x, x, _): only the (1,1) tuple matches.
+        let q = Cq {
+            head: vec![],
+            subgoals: vec![Subgoal {
+                table: "R".into(),
+                terms: vec![v("x"), v("x"), v("p")],
+            }],
+        };
+        let plan = safe_plan(&q).unwrap();
+        let p = eval_eager(&sdb, &plan).unwrap()[0].1;
+        assert!((p - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tuple_independence_detector() {
+        let mut wt = WorldTable::new();
+        let r = rel(&[("a", DataType::Int)], vec![vec![1.into()], vec![2.into()]]);
+        let ti = pick_tuples(&r, &PickTuplesOptions::default(), &mut wt).unwrap();
+        assert!(is_tuple_independent(&ti));
+        // A repair-key pair over one group shares a variable → dependent.
+        let rk = maybms_urel::repair_key(
+            &r,
+            &[],
+            &maybms_urel::RepairKeyOptions::default(),
+            &mut wt,
+        )
+        .unwrap();
+        assert!(!is_tuple_independent(&rk));
+    }
+}

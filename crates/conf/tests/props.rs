@@ -1,0 +1,265 @@
+//! Property tests: the exact d-tree algorithm against the enumeration
+//! oracle on random DNFs, in every heuristic configuration; Karp–Luby
+//! statistical sanity; SPROUT against exact on random hierarchical
+//! instances.
+
+use std::collections::HashMap;
+
+use maybms_conf::exact::{self, ExactOptions, VarChoice};
+use maybms_conf::sprout::{self, Cq, SproutDb, Subgoal, Term};
+use maybms_conf::{naive, Dnf};
+use maybms_engine::{rel, DataType, Expr, Value};
+use maybms_urel::pick::{pick_tuples, PickTuplesOptions};
+use maybms_urel::{Assignment, Var, WorldTable, Wsd};
+use proptest::prelude::*;
+
+/// A random world table (n variables with domains 2–3) plus a random DNF
+/// over it.
+fn arb_dnf() -> impl Strategy<Value = (WorldTable, Dnf)> {
+    let var_specs = prop::collection::vec(2usize..4, 1..7);
+    (var_specs, prop::collection::vec(prop::collection::vec((0usize..7, 0u16..3), 1..4), 0..7))
+        .prop_map(|(domains, raw_clauses)| {
+            let mut wt = WorldTable::new();
+            let vars: Vec<Var> = domains
+                .iter()
+                .map(|&d| {
+                    let p = 1.0 / d as f64;
+                    let mut dist = vec![p; d];
+                    // Make it non-uniform but valid.
+                    dist[0] = 1.0 - p * (d - 1) as f64;
+                    wt.new_var(&dist).unwrap()
+                })
+                .collect();
+            let mut clauses = Vec::new();
+            for raw in raw_clauses {
+                let assignments: Vec<Assignment> = raw
+                    .into_iter()
+                    .map(|(vi, alt)| {
+                        let v = vars[vi % vars.len()];
+                        let dom = wt.domain_size(v).unwrap() as u16;
+                        Assignment::new(v, alt % dom)
+                    })
+                    .collect();
+                if let Some(w) = Wsd::from_assignments(assignments) {
+                    clauses.push(w);
+                }
+            }
+            (wt, Dnf::new(clauses))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Exact == naive for every options combination.
+    #[test]
+    fn exact_equals_naive((wt, dnf) in arb_dnf()) {
+        let oracle = naive::probability(&dnf, &wt, 1 << 20).unwrap();
+        for var_choice in [VarChoice::MaxOccurrence, VarChoice::MinDomain, VarChoice::First] {
+            for decompose in [true, false] {
+                for simplify in [true, false] {
+                    for memoize in [true, false] {
+                        let opts = ExactOptions { var_choice, decompose, simplify, memoize };
+                        let (p, _) = exact::probability_with(&dnf, &wt, &opts).unwrap();
+                        prop_assert!(
+                            (p - oracle).abs() < 1e-9,
+                            "opts {:?}: exact {} oracle {}", opts, p, oracle
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Probabilities are always within [0, 1].
+    #[test]
+    fn exact_in_unit_interval((wt, dnf) in arb_dnf()) {
+        let p = exact::probability(&dnf, &wt).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p), "p = {}", p);
+    }
+
+    /// Simplification preserves probability.
+    #[test]
+    fn simplify_preserves_probability((wt, dnf) in arb_dnf()) {
+        let a = naive::probability(&dnf, &wt, 1 << 20).unwrap();
+        let b = naive::probability(&dnf.simplify(), &wt, 1 << 20).unwrap();
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    /// Monotonicity: adding a clause never lowers the probability.
+    #[test]
+    fn adding_clause_is_monotone((wt, dnf) in arb_dnf()) {
+        if dnf.is_empty() { return Ok(()); }
+        let mut clauses = dnf.clauses().to_vec();
+        let dropped = clauses.pop().unwrap();
+        let smaller = Dnf::new(clauses);
+        let p_small = exact::probability(&smaller, &wt).unwrap();
+        let p_full = exact::probability(&dnf, &wt).unwrap();
+        prop_assert!(p_full >= p_small - 1e-12, "dropped {:?}", dropped);
+    }
+}
+
+// Random hierarchical 2-chain instances: q(a?) :- R(a,b), S(b,c).
+// SPROUT eager == lazy == exact-on-lineage.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sprout_agrees_with_exact(
+        r_rows in prop::collection::vec((0i64..3, 0i64..4, 1u32..10), 1..8),
+        s_rows in prop::collection::vec((0i64..4, 0i64..3, 1u32..10), 1..8),
+        boolean in any::<bool>(),
+    ) {
+        let mut wt = WorldTable::new();
+        let mk = |wt: &mut WorldTable, rows: &[(i64, i64, u32)]| {
+            let r = rel(
+                &[("x", DataType::Int), ("y", DataType::Int), ("p", DataType::Float)],
+                rows.iter()
+                    .map(|&(x, y, p)| {
+                        vec![Value::Int(x), Value::Int(y), Value::Float(f64::from(p) / 10.0)]
+                    })
+                    .collect(),
+            );
+            pick_tuples(&r, &PickTuplesOptions { probability: Some(Expr::col("p")) }, wt)
+                .unwrap()
+        };
+        let mut tables = HashMap::new();
+        tables.insert("R".to_string(), mk(&mut wt, &r_rows));
+        tables.insert("S".to_string(), mk(&mut wt, &s_rows));
+        let head = if boolean { vec![] } else { vec!["a".to_string()] };
+        let q = Cq {
+            head: head.clone(),
+            subgoals: vec![
+                Subgoal {
+                    table: "R".into(),
+                    terms: vec![
+                        Term::Var("a".into()),
+                        Term::Var("b".into()),
+                        Term::Var("pr".into()),
+                    ],
+                },
+                Subgoal {
+                    table: "S".into(),
+                    terms: vec![
+                        Term::Var("b".into()),
+                        Term::Var("c".into()),
+                        Term::Var("ps".into()),
+                    ],
+                },
+            ],
+        };
+        let plan = sprout::safe_plan(&q).expect("hierarchical");
+        let sdb = SproutDb { tables: &tables, wt: &wt };
+        let mut eager = sprout::eval_eager(&sdb, &plan).unwrap();
+        let mut lazy = sprout::eval_lazy(&sdb, &plan).unwrap();
+        eager.sort_by(|a, b| a.0.cmp(&b.0));
+        lazy.sort_by(|a, b| a.0.cmp(&b.0));
+        prop_assert_eq!(eager.len(), lazy.len());
+        let lineages = sprout::lineage_dnf(&sdb, &plan, &head).unwrap();
+        // Every row with nonzero probability appears with the exact value.
+        for ((row_e, pe), (row_l, pl)) in eager.iter().zip(&lazy) {
+            prop_assert_eq!(row_e, row_l);
+            prop_assert!((pe - pl).abs() < 1e-9, "eager {} lazy {}", pe, pl);
+            let truth = exact::probability(&lineages[row_e], &wt).unwrap();
+            prop_assert!((pe - truth).abs() < 1e-9, "sprout {} exact {}", pe, truth);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Chain rule: P(A ∧ B) = P(A | B) · P(B) whenever P(B) > 0, with the
+    /// conjunction built by the conditioning module.
+    #[test]
+    fn conditioning_chain_rule((wt, a) in arb_dnf(), clause_pick in any::<prop::sample::Index>()) {
+        use maybms_conf::condition;
+        // Derive B from A's vocabulary so the events are dependent: B is a
+        // single random clause of A (or skip when A is empty).
+        if a.is_empty() { return Ok(()); }
+        let b = Dnf::new(vec![a.clauses()[clause_pick.index(a.len())].clone()]);
+        let p_b = exact::probability(&b, &wt).unwrap();
+        if p_b <= 0.0 { return Ok(()); }
+        let p_and = exact::probability(&condition::and(&a, &b), &wt).unwrap();
+        let p_given = condition::conditional_probability(
+            &a, &b, &wt, maybms_conf::ConfMethod::Exact,
+        ).unwrap();
+        prop_assert!((p_given * p_b - p_and).abs() < 1e-9,
+            "P(A|B)={} P(B)={} P(A∧B)={}", p_given, p_b, p_and);
+        // B ⊆ A here (B is one of A's clauses), so P(A | B) must be 1.
+        prop_assert!((p_given - 1.0).abs() < 1e-9);
+    }
+
+    /// Conjunction semantics: and(A, B) is satisfied exactly by the worlds
+    /// satisfying both.
+    #[test]
+    fn dnf_and_semantics((wt, a) in arb_dnf(), (wt2, b_raw) in arb_dnf()) {
+        use maybms_conf::condition;
+        // Rebuild B over wt's variables (truncate ids into range).
+        let _ = wt2;
+        let nvars = wt.num_vars() as u32;
+        if nvars == 0 { return Ok(()); }
+        let clauses: Vec<_> = b_raw
+            .clauses()
+            .iter()
+            .filter_map(|c| {
+                maybms_urel::Wsd::from_assignments(
+                    c.assignments()
+                        .iter()
+                        .map(|asg| {
+                            let v = Var(asg.var.0 % nvars);
+                            let dom = wt.domain_size(v).unwrap() as u16;
+                            Assignment::new(v, asg.alt % dom)
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let b = Dnf::new(clauses);
+        let both = condition::and(&a, &b);
+        // Enumerate the worlds of wt and compare satisfaction.
+        for (world, _p) in wt.enumerate_worlds(1 << 16).unwrap() {
+            let expect = a.satisfied_by(&world) && b.satisfied_by(&world);
+            prop_assert_eq!(both.satisfied_by(&world), expect, "world {:?}", world);
+        }
+    }
+}
+
+/// Statistical check of the DKLR (ε, δ) guarantee on a fixed DNF family —
+/// not a proptest (needs many Monte Carlo runs per instance).
+#[test]
+fn dklr_guarantee_statistical() {
+    use maybms_conf::dklr::{approximate, DklrOptions};
+    use maybms_conf::karp_luby::KarpLuby;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut wt = WorldTable::new();
+    let mut clauses = Vec::new();
+    for i in 0..8 {
+        let x = wt.new_var(&[0.6, 0.4]).unwrap();
+        let y = wt.new_var(&[0.5, 0.5]).unwrap();
+        clauses.push(
+            Wsd::from_assignments(vec![
+                Assignment::new(x, 1),
+                Assignment::new(y, (i % 2) as u16),
+            ])
+            .unwrap(),
+        );
+    }
+    let dnf = Dnf::new(clauses);
+    let truth = exact::probability(&dnf, &wt).unwrap();
+    let kl = KarpLuby::new(&dnf, &wt).unwrap();
+    let opts = DklrOptions::new(0.15, 0.1);
+    let mut rng = StdRng::seed_from_u64(2024);
+    let runs = 40;
+    let mut failures = 0;
+    for _ in 0..runs {
+        let a = approximate(&kl, &wt, &opts, &mut rng).unwrap();
+        if ((a.estimate - truth) / truth).abs() > opts.epsilon {
+            failures += 1;
+        }
+    }
+    // δ = 0.1 → expect ≤ ~4 failures in 40; allow slack to avoid flakiness.
+    assert!(failures <= 8, "(ε,δ) guarantee violated: {failures}/{runs} failures");
+}

@@ -1,0 +1,561 @@
+//! Evaluation of the MayBMS aggregates over grouped U-relations (§2.2).
+//!
+//! * `conf` / `aconf` map uncertain tables to t-certain tables via the
+//!   confidence engines of `maybms-conf`;
+//! * `esum` / `ecount` use linearity of expectation — "while it may seem
+//!   that these aggregates are at least as hard as confidence computation
+//!   (which is #P-hard), this is in fact not so";
+//! * `argmax` and the standard SQL aggregates require t-certain input —
+//!   "we do not support the standard SQL aggregates such as sum or count
+//!   on uncertain relations".
+
+use std::sync::Arc;
+
+use maybms_conf::{confidence, ConfMethod, Dnf};
+use maybms_engine::ops::AggFunc;
+use maybms_engine::{DataType, Expr, Field, Relation, Schema, Tuple, Value};
+use maybms_urel::{URelation, WorldTable};
+
+use crate::error::{plan_err, typing, Result};
+use crate::translate::AggSpec;
+
+/// How `conf()` should be computed (the executor threads this through so
+/// benches can switch engines and `aconf` can carry its parameters).
+#[derive(Debug, Clone, Copy)]
+pub struct ConfContext {
+    /// Method used by `conf()`.
+    pub exact: ConfMethod,
+    /// Seed source for `aconf` (bumped per call by the session).
+    pub seed: u64,
+    /// Use the tuple-independence fast path (SPROUT-style reduction of
+    /// confidence to an aggregation) when the group's lineage allows it.
+    pub sprout_fast_path: bool,
+}
+
+impl Default for ConfContext {
+    fn default() -> Self {
+        ConfContext { exact: ConfMethod::Exact, seed: 0x5eed, sprout_fast_path: true }
+    }
+}
+
+/// One output group: indices of the member tuples in the input U-relation.
+pub struct Groups {
+    /// Group key values (empty when no GROUP BY).
+    pub keys: Vec<Vec<Value>>,
+    /// Tuple indices per group, parallel to `keys`.
+    pub members: Vec<Vec<usize>>,
+}
+
+/// Group the tuples of `u` by the (bound) key expressions.
+pub fn group(u: &URelation, key_exprs: &[Expr]) -> Result<Groups> {
+    use std::collections::HashMap;
+    if key_exprs.is_empty() {
+        return Ok(Groups { keys: vec![Vec::new()], members: vec![(0..u.len()).collect()] });
+    }
+    let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut keys = Vec::new();
+    let mut members: Vec<Vec<usize>> = Vec::new();
+    for (i, t) in u.tuples().iter().enumerate() {
+        let key: Vec<Value> =
+            key_exprs.iter().map(|e| e.eval(&t.data)).collect::<std::result::Result<_, _>>()?;
+        match index.get(&key) {
+            Some(&g) => members[g].push(i),
+            None => {
+                index.insert(key.clone(), keys.len());
+                keys.push(key);
+                members.push(vec![i]);
+            }
+        }
+    }
+    Ok(Groups { keys, members })
+}
+
+/// Is the lineage of this group tuple-independent (each clause at most one
+/// assignment, no variable shared between clauses)? If so `conf` reduces to
+/// the aggregation `1 − Π(1 − pᵢ)` — the SPROUT fast path (§2.3).
+fn independent_group(u: &URelation, members: &[usize]) -> bool {
+    let mut seen = std::collections::HashSet::new();
+    members.iter().all(|&i| {
+        let wsd = &u.tuples()[i].wsd;
+        wsd.len() <= 1 && wsd.vars().all(|v| seen.insert(v))
+    })
+}
+
+/// Compute one confidence value for a group of tuples.
+pub fn group_confidence(
+    u: &URelation,
+    members: &[usize],
+    wt: &WorldTable,
+    method: ConfMethod,
+    ctx: &ConfContext,
+) -> Result<f64> {
+    if ctx.sprout_fast_path
+        && matches!(method, ConfMethod::Exact)
+        && independent_group(u, members)
+    {
+        let mut none = 1.0;
+        for &i in members {
+            none *= 1.0 - u.tuples()[i].wsd.prob(wt)?;
+        }
+        return Ok(1.0 - none);
+    }
+    let dnf = Dnf::from_wsds(members.iter().map(|&i| &u.tuples()[i].wsd));
+    Ok(confidence(&dnf, wt, method)?)
+}
+
+/// Evaluate a list of aggregates over grouped input, producing a t-certain
+/// relation `group keys ++ aggregate columns`.
+///
+/// `argmax` is special (it may emit several rows per group) and must be the
+/// *only* aggregate when present.
+pub fn aggregate_groups(
+    u: &URelation,
+    groups: &Groups,
+    key_fields: Vec<Field>,
+    aggs: &[(AggSpec, String)],
+    wt: &WorldTable,
+    ctx: &ConfContext,
+) -> Result<Relation> {
+    let input_certain = u.is_t_certain();
+    // argmax special case.
+    if let Some((AggSpec::ArgMax { .. }, _)) = aggs.iter().find(|(s, _)| matches!(s, AggSpec::ArgMax { .. })) {
+        if aggs.len() != 1 {
+            return Err(plan_err("argmax cannot be combined with other aggregates"));
+        }
+        let (AggSpec::ArgMax { arg, value }, name) = &aggs[0] else { unreachable!() };
+        if !input_certain {
+            return Err(typing(
+                "argmax requires a t-certain input relation (§2.2)",
+            ));
+        }
+        return eval_argmax(u, groups, key_fields, arg, value, name);
+    }
+
+    // Standard aggregates demand a t-certain input.
+    for (spec, _) in aggs {
+        if matches!(spec, AggSpec::Std { .. }) && !input_certain {
+            return Err(typing(
+                "standard SQL aggregates (sum/count/avg/min/max) are not supported on \
+                 uncertain relations; use esum/ecount or conf (§2.2)",
+            ));
+        }
+    }
+
+    let mut fields = key_fields;
+    for (spec, name) in aggs {
+        let dtype = match spec {
+            AggSpec::Conf | AggSpec::AConf { .. } | AggSpec::TConf => DataType::Float,
+            AggSpec::ESum(_) | AggSpec::ECount(_) => DataType::Float,
+            AggSpec::Std { func, arg } => match func {
+                AggFunc::Count => DataType::Int,
+                AggFunc::Avg => DataType::Float,
+                _ => arg
+                    .as_ref()
+                    .map(|e| e.data_type(u.schema()))
+                    .unwrap_or(DataType::Unknown),
+            },
+            AggSpec::ArgMax { .. } => unreachable!("handled above"),
+        };
+        fields.push(Field::new(name.clone(), dtype));
+    }
+    let schema = Arc::new(Schema::new(fields));
+
+    let mut out = Vec::with_capacity(groups.keys.len());
+    let mut seed_bump = 0u64;
+    for (key, members) in groups.keys.iter().zip(&groups.members) {
+        let mut row = key.clone();
+        for (spec, _) in aggs {
+            let v = match spec {
+                AggSpec::Conf => Value::float(group_confidence(
+                    u,
+                    members,
+                    wt,
+                    ctx.exact,
+                    ctx,
+                )?)?,
+                AggSpec::AConf { epsilon, delta } => {
+                    seed_bump += 1;
+                    Value::float(group_confidence(
+                        u,
+                        members,
+                        wt,
+                        ConfMethod::Approx {
+                            epsilon: *epsilon,
+                            delta: *delta,
+                            seed: ctx.seed.wrapping_add(seed_bump),
+                        },
+                        ctx,
+                    )?)?
+                }
+                AggSpec::TConf => {
+                    return Err(plan_err(
+                        "tconf() is per-tuple and cannot be grouped; use it without GROUP BY",
+                    ))
+                }
+                AggSpec::ESum(e) => {
+                    let mut acc = 0.0;
+                    for &i in members {
+                        let t = &u.tuples()[i];
+                        let v = e.eval(&t.data)?;
+                        if v.is_null() {
+                            continue;
+                        }
+                        let x = v.as_f64().ok_or_else(|| {
+                            typing(format!("esum over non-numeric value {v}"))
+                        })?;
+                        acc += x * t.wsd.prob(wt)?;
+                    }
+                    Value::float(acc)?
+                }
+                AggSpec::ECount(e) => {
+                    let mut acc = 0.0;
+                    for &i in members {
+                        let t = &u.tuples()[i];
+                        if let Some(expr) = e {
+                            if expr.eval(&t.data)?.is_null() {
+                                continue;
+                            }
+                        }
+                        acc += t.wsd.prob(wt)?;
+                    }
+                    Value::float(acc)?
+                }
+                AggSpec::Std { func, arg } => {
+                    eval_std(u, members, *func, arg.as_ref())?
+                }
+                AggSpec::ArgMax { .. } => unreachable!(),
+            };
+            row.push(v);
+        }
+        out.push(Tuple::new(row));
+    }
+    Ok(Relation::new_unchecked(schema, out))
+}
+
+/// `tconf()`: per stored tuple, its marginal probability. Output: the
+/// selected scalar columns plus the tconf column(s), one row per tuple.
+pub fn eval_tconf(
+    u: &URelation,
+    scalar_items: &[(Expr, String)],
+    tconf_names: &[String],
+    wt: &WorldTable,
+) -> Result<Relation> {
+    let mut fields: Vec<Field> = scalar_items
+        .iter()
+        .map(|(e, n)| Field::new(n.clone(), e.data_type(u.schema())))
+        .collect();
+    for n in tconf_names {
+        fields.push(Field::new(n.clone(), DataType::Float));
+    }
+    let schema = Arc::new(Schema::new(fields));
+    let mut out = Vec::with_capacity(u.len());
+    for t in u.tuples() {
+        let mut row: Vec<Value> = scalar_items
+            .iter()
+            .map(|(e, _)| e.eval(&t.data))
+            .collect::<std::result::Result<_, _>>()?;
+        let p = Value::float(t.wsd.prob(wt)?)?;
+        for _ in tconf_names {
+            row.push(p.clone());
+        }
+        out.push(Tuple::new(row));
+    }
+    Ok(Relation::new_unchecked(schema, out))
+}
+
+fn eval_std(
+    u: &URelation,
+    members: &[usize],
+    func: AggFunc,
+    arg: Option<&Expr>,
+) -> Result<Value> {
+    // Reuse the engine's aggregate by materialising the group.
+    let rel = Relation::new_unchecked(
+        u.schema().clone(),
+        members.iter().map(|&i| u.tuples()[i].data.clone()).collect(),
+    );
+    let call = maybms_engine::ops::AggCall::new(func, arg.cloned(), "v");
+    let out = maybms_engine::ops::aggregate(&rel, &[], &[], std::slice::from_ref(&call))?;
+    Ok(out.tuples()[0].value(0).clone())
+}
+
+fn eval_argmax(
+    u: &URelation,
+    groups: &Groups,
+    key_fields: Vec<Field>,
+    arg: &Expr,
+    value: &Expr,
+    name: &str,
+) -> Result<Relation> {
+    let mut fields = key_fields;
+    fields.push(Field::new(name.to_string(), arg.data_type(u.schema())));
+    let schema = Arc::new(Schema::new(fields));
+    let mut out = Vec::new();
+    for (key, members) in groups.keys.iter().zip(&groups.members) {
+        // Find the group's maximum value.
+        let mut best: Option<Value> = None;
+        for &i in members {
+            let v = value.eval(&u.tuples()[i].data)?;
+            if v.is_null() {
+                continue;
+            }
+            if best.as_ref().is_none_or(|b| v > *b) {
+                best = Some(v);
+            }
+        }
+        let Some(best) = best else { continue };
+        // Emit every arg value attaining it (distinct, first-seen order).
+        let mut seen = std::collections::HashSet::new();
+        for &i in members {
+            let v = value.eval(&u.tuples()[i].data)?;
+            if v == best {
+                let a = arg.eval(&u.tuples()[i].data)?;
+                if seen.insert(a.clone()) {
+                    let mut row = key.clone();
+                    row.push(a);
+                    out.push(Tuple::new(row));
+                }
+            }
+        }
+    }
+    Ok(Relation::new_unchecked(schema, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maybms_engine::{rel, DataType};
+    use maybms_urel::pick::{pick_tuples, PickTuplesOptions};
+    use maybms_urel::repair::{repair_key, RepairKeyOptions};
+
+    fn ti_setup() -> (WorldTable, URelation) {
+        let mut wt = WorldTable::new();
+        let r = rel(
+            &[("g", DataType::Text), ("v", DataType::Int), ("p", DataType::Float)],
+            vec![
+                vec!["a".into(), 10.into(), Value::Float(0.5)],
+                vec!["a".into(), 20.into(), Value::Float(0.5)],
+                vec!["b".into(), 30.into(), Value::Float(0.25)],
+            ],
+        );
+        let u = pick_tuples(
+            &r,
+            &PickTuplesOptions { probability: Some(Expr::col("p")) },
+            &mut wt,
+        )
+        .unwrap();
+        (wt, u)
+    }
+
+    #[test]
+    fn conf_groups_with_fast_path_and_dtree_agree() {
+        let (wt, u) = ti_setup();
+        let key = Expr::col("g").bind(u.schema()).unwrap();
+        let groups = group(&u, &[key]).unwrap();
+        let ctx_fast = ConfContext::default();
+        let ctx_slow = ConfContext { sprout_fast_path: false, ..Default::default() };
+        for members in &groups.members {
+            let a = group_confidence(&u, members, &wt, ConfMethod::Exact, &ctx_fast)
+                .unwrap();
+            let b = group_confidence(&u, members, &wt, ConfMethod::Exact, &ctx_slow)
+                .unwrap();
+            assert!((a - b).abs() < 1e-12);
+        }
+        // Group "a": 1 - 0.5 * 0.5 = 0.75.
+        let a_idx = groups
+            .keys
+            .iter()
+            .position(|k| k[0] == Value::str("a"))
+            .unwrap();
+        let p = group_confidence(
+            &u,
+            &groups.members[a_idx],
+            &wt,
+            ConfMethod::Exact,
+            &ctx_fast,
+        )
+        .unwrap();
+        assert!((p - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn esum_ecount_linearity() {
+        let (wt, u) = ti_setup();
+        let key = Expr::col("g").bind(u.schema()).unwrap();
+        let groups = group(&u, &[key]).unwrap();
+        let v = Expr::col("v").bind(u.schema()).unwrap();
+        let out = aggregate_groups(
+            &u,
+            &groups,
+            vec![Field::new("g", DataType::Text)],
+            &[
+                (AggSpec::ESum(v.clone()), "es".into()),
+                (AggSpec::ECount(None), "ec".into()),
+            ],
+            &wt,
+            &ConfContext::default(),
+        )
+        .unwrap();
+        // group a: esum = 10*0.5 + 20*0.5 = 15; ecount = 1.0
+        let a_row = out
+            .tuples()
+            .iter()
+            .find(|t| t.value(0) == &Value::str("a"))
+            .unwrap();
+        assert_eq!(a_row.value(1), &Value::Float(15.0));
+        assert_eq!(a_row.value(2), &Value::Float(1.0));
+        // group b: esum = 30*0.25 = 7.5; ecount = 0.25
+        let b_row = out
+            .tuples()
+            .iter()
+            .find(|t| t.value(0) == &Value::str("b"))
+            .unwrap();
+        assert_eq!(b_row.value(1), &Value::Float(7.5));
+        assert_eq!(b_row.value(2), &Value::Float(0.25));
+    }
+
+    #[test]
+    fn esum_matches_brute_force_expectation() {
+        let (wt, u) = ti_setup();
+        let groups = group(&u, &[]).unwrap();
+        let v = Expr::col("v").bind(u.schema()).unwrap();
+        let out = aggregate_groups(
+            &u,
+            &groups,
+            vec![],
+            &[(AggSpec::ESum(v), "es".into())],
+            &wt,
+            &ConfContext::default(),
+        )
+        .unwrap();
+        let esum = out.tuples()[0].value(0).as_f64().unwrap();
+        let brute = maybms_urel::worlds::expectation(&wt, &u, 1 << 10, |r| {
+            r.tuples().iter().map(|t| t.value(1).as_f64().unwrap()).sum()
+        })
+        .unwrap();
+        assert!((esum - brute).abs() < 1e-9, "esum {esum} brute {brute}");
+    }
+
+    #[test]
+    fn std_aggregates_rejected_on_uncertain() {
+        let (wt, u) = ti_setup();
+        let groups = group(&u, &[]).unwrap();
+        let v = Expr::col("v").bind(u.schema()).unwrap();
+        let out = aggregate_groups(
+            &u,
+            &groups,
+            vec![],
+            &[(
+                AggSpec::Std { func: AggFunc::Sum, arg: Some(v) },
+                "s".into(),
+            )],
+            &wt,
+            &ConfContext::default(),
+        );
+        assert!(matches!(out, Err(crate::error::CoreError::Typing { .. })));
+    }
+
+    #[test]
+    fn std_aggregates_work_on_certain() {
+        let wt = WorldTable::new();
+        let u = URelation::from_certain(&rel(
+            &[("v", DataType::Int)],
+            vec![vec![1.into()], vec![2.into()]],
+        ));
+        let groups = group(&u, &[]).unwrap();
+        let v = Expr::col("v").bind(u.schema()).unwrap();
+        let out = aggregate_groups(
+            &u,
+            &groups,
+            vec![],
+            &[(AggSpec::Std { func: AggFunc::Sum, arg: Some(v) }, "s".into())],
+            &wt,
+            &ConfContext::default(),
+        )
+        .unwrap();
+        assert_eq!(out.tuples()[0].value(0), &Value::Int(3));
+    }
+
+    #[test]
+    fn argmax_outputs_all_maximisers() {
+        let wt = WorldTable::new();
+        let u = URelation::from_certain(&rel(
+            &[("team", DataType::Text), ("player", DataType::Text), ("pts", DataType::Int)],
+            vec![
+                vec!["LAL".into(), "Bryant".into(), 40.into()],
+                vec!["LAL".into(), "Gasol".into(), 40.into()],
+                vec!["LAL".into(), "Fisher".into(), 10.into()],
+                vec!["SAS".into(), "Duncan".into(), 25.into()],
+            ],
+        ));
+        let key = Expr::col("team").bind(u.schema()).unwrap();
+        let groups = group(&u, &[key]).unwrap();
+        let arg = Expr::col("player").bind(u.schema()).unwrap();
+        let val = Expr::col("pts").bind(u.schema()).unwrap();
+        let out = aggregate_groups(
+            &u,
+            &groups,
+            vec![Field::new("team", DataType::Text)],
+            &[(AggSpec::ArgMax { arg, value: val }, "star".into())],
+            &wt,
+            &ConfContext::default(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 3); // Bryant, Gasol, Duncan
+    }
+
+    #[test]
+    fn argmax_on_uncertain_rejected() {
+        let (wt, u) = ti_setup();
+        let groups = group(&u, &[]).unwrap();
+        let arg = Expr::col("g").bind(u.schema()).unwrap();
+        let val = Expr::col("v").bind(u.schema()).unwrap();
+        let out = aggregate_groups(
+            &u,
+            &groups,
+            vec![],
+            &[(AggSpec::ArgMax { arg, value: val }, "a".into())],
+            &wt,
+            &ConfContext::default(),
+        );
+        assert!(matches!(out, Err(crate::error::CoreError::Typing { .. })));
+    }
+
+    #[test]
+    fn tconf_per_tuple() {
+        let (wt, u) = ti_setup();
+        let g = Expr::col("g").bind(u.schema()).unwrap();
+        let out = eval_tconf(&u, &[(g, "g".into())], &["p".to_string()], &wt).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.tuples()[0].value(1), &Value::Float(0.5));
+        assert_eq!(out.tuples()[2].value(1), &Value::Float(0.25));
+    }
+
+    #[test]
+    fn conf_on_repair_key_groups_uses_dtree() {
+        // Repair-key output is NOT tuple-independent: the fast path must
+        // detect this and fall through to the d-tree.
+        let mut wt = WorldTable::new();
+        let r = rel(
+            &[("k", DataType::Int), ("v", DataType::Int)],
+            vec![
+                vec![1.into(), 1.into()],
+                vec![1.into(), 2.into()],
+                vec![1.into(), 3.into()],
+            ],
+        );
+        let u = repair_key(&r, &[Expr::col("k")], &RepairKeyOptions::default(), &mut wt)
+            .unwrap();
+        let groups = group(&u, &[]).unwrap();
+        // P(any tuple exists) = 1 (repair always keeps one).
+        let p = group_confidence(
+            &u,
+            &groups.members[0],
+            &wt,
+            ConfMethod::Exact,
+            &ConfContext::default(),
+        )
+        .unwrap();
+        assert!((p - 1.0).abs() < 1e-12);
+    }
+}

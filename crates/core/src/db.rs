@@ -1,0 +1,494 @@
+//! The MayBMS database facade: a catalog of U-relations plus the shared
+//! world table, with a SQL entry point.
+//!
+//! "As a consequence of our choice of a purely relational representation
+//! system, [updates, concurrency control and recovery] cause surprisingly
+//! little difficulty. U-relations are represented relationally and updates
+//! are just modifications of these tables" (§2.3). Accordingly INSERT /
+//! UPDATE / DELETE here are plain representation-level edits.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use maybms_engine::{Field, Relation, Schema, Tuple, Value};
+use maybms_sql::{parse_statement, parse_statements, InsertSource, Statement};
+use maybms_urel::{URelation, UTuple, WorldTable};
+
+use crate::agg::ConfContext;
+use crate::error::{plan_err, unsupported, CoreError, Result};
+use crate::exec::{eval_query, ExecCtx, QueryOutput};
+use crate::translate::{data_type_of, scalar};
+
+/// Result of running one statement.
+#[derive(Debug, Clone)]
+pub enum StatementResult {
+    /// A query result.
+    Query(QueryOutput),
+    /// DDL/DML acknowledgement.
+    Ok {
+        /// Human-readable acknowledgement (`CREATE TABLE`, `INSERT 3`, …).
+        message: String,
+    },
+}
+
+impl StatementResult {
+    /// The query output, if this was a query.
+    pub fn query(self) -> Option<QueryOutput> {
+        match self {
+            StatementResult::Query(q) => Some(q),
+            StatementResult::Ok { .. } => None,
+        }
+    }
+}
+
+/// An in-memory MayBMS database.
+#[derive(Debug, Default)]
+pub struct MayBms {
+    tables: BTreeMap<String, URelation>,
+    wt: WorldTable,
+    conf: ConfContext,
+}
+
+impl MayBms {
+    /// A fresh, empty database.
+    pub fn new() -> MayBms {
+        MayBms::default()
+    }
+
+    /// Access the world table (variable registry).
+    pub fn world_table(&self) -> &WorldTable {
+        &self.wt
+    }
+
+    /// Sample one possible world (seeded) and instantiate every stored
+    /// table in it — a Monte Carlo view of the whole database. Certain
+    /// tables come back unchanged; uncertain tables keep exactly the
+    /// tuples whose conditions the sampled world satisfies (§2.1).
+    pub fn sample_instance(&self, seed: u64) -> Vec<(String, Relation)> {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let world = self.wt.sample_world(&mut rng);
+        self.tables
+            .iter()
+            .map(|(name, u)| (name.clone(), u.instantiate(&world)))
+            .collect()
+    }
+
+    /// The confidence-computation configuration (mutable, so callers can
+    /// switch `conf()` engines or reseed `aconf`).
+    pub fn conf_context_mut(&mut self) -> &mut ConfContext {
+        &mut self.conf
+    }
+
+    /// Register a certain relation as a table (programmatic loading).
+    pub fn register(&mut self, name: &str, relation: Relation) -> Result<()> {
+        self.register_u(name, URelation::from_certain(&relation))
+    }
+
+    /// Register a U-relation directly.
+    pub fn register_u(&mut self, name: &str, u: URelation) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) {
+            return Err(CoreError::Engine(maybms_engine::EngineError::TableExists {
+                name: name.to_string(),
+            }));
+        }
+        let schema = Arc::new(u.schema().without_qualifiers());
+        self.tables.insert(key, u.with_schema(schema));
+        Ok(())
+    }
+
+    /// Look up a stored table.
+    pub fn table(&self, name: &str) -> Result<&URelation> {
+        self.tables.get(&name.to_ascii_lowercase()).ok_or_else(|| {
+            CoreError::Engine(maybms_engine::EngineError::TableNotFound {
+                name: name.to_string(),
+            })
+        })
+    }
+
+    /// Names of all stored tables.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Parse and run one statement.
+    pub fn run(&mut self, sql: &str) -> Result<StatementResult> {
+        let stmt = parse_statement(sql)?;
+        self.execute(&stmt)
+    }
+
+    /// Parse and run a `;`-separated script, returning every result.
+    pub fn run_script(&mut self, sql: &str) -> Result<Vec<StatementResult>> {
+        let stmts = parse_statements(sql)?;
+        stmts.iter().map(|s| self.execute(s)).collect()
+    }
+
+    /// Run a query and require a t-certain result.
+    pub fn query(&mut self, sql: &str) -> Result<Relation> {
+        match self.run(sql)? {
+            StatementResult::Query(QueryOutput::Certain(r)) => Ok(r),
+            StatementResult::Query(QueryOutput::Uncertain(_)) => Err(plan_err(
+                "query produced an uncertain relation; use query_uncertain() or add \
+                 a confidence construct (conf/tconf/possible)",
+            )),
+            StatementResult::Ok { message } => {
+                Err(plan_err(format!("statement was not a query ({message})")))
+            }
+        }
+    }
+
+    /// Run a query, lifting the result to a U-relation.
+    pub fn query_uncertain(&mut self, sql: &str) -> Result<URelation> {
+        match self.run(sql)? {
+            StatementResult::Query(out) => Ok(out.into_urelation()),
+            StatementResult::Ok { message } => {
+                Err(plan_err(format!("statement was not a query ({message})")))
+            }
+        }
+    }
+
+    /// Execute a parsed statement.
+    pub fn execute(&mut self, stmt: &Statement) -> Result<StatementResult> {
+        match stmt {
+            Statement::Select(q) => {
+                let mut ctx =
+                    ExecCtx { catalog: &self.tables, wt: &mut self.wt, conf: self.conf };
+                let out = eval_query(q, &mut ctx)?;
+                Ok(StatementResult::Query(out))
+            }
+            Statement::CreateTable { name, columns } => {
+                let fields: Vec<Field> = columns
+                    .iter()
+                    .map(|c| Ok(Field::new(c.name.clone(), data_type_of(&c.type_name)?)))
+                    .collect::<Result<_>>()?;
+                let u = URelation::empty(Arc::new(Schema::new(fields)));
+                self.register_u(name, u)?;
+                Ok(StatementResult::Ok { message: "CREATE TABLE".into() })
+            }
+            Statement::CreateTableAs { name, query } => {
+                let mut ctx =
+                    ExecCtx { catalog: &self.tables, wt: &mut self.wt, conf: self.conf };
+                let out = eval_query(query, &mut ctx)?.into_urelation();
+                self.register_u(name, out)?;
+                Ok(StatementResult::Ok { message: "CREATE TABLE AS".into() })
+            }
+            Statement::Insert { table, columns, source } => {
+                let n = self.insert(table, columns.as_deref(), source)?;
+                Ok(StatementResult::Ok { message: format!("INSERT {n}") })
+            }
+            Statement::Update { table, assignments, filter } => {
+                let n = self.update(table, assignments, filter.as_ref())?;
+                Ok(StatementResult::Ok { message: format!("UPDATE {n}") })
+            }
+            Statement::Delete { table, filter } => {
+                let n = self.delete(table, filter.as_ref())?;
+                Ok(StatementResult::Ok { message: format!("DELETE {n}") })
+            }
+            Statement::Drop { table, if_exists } => {
+                let key = table.to_ascii_lowercase();
+                if self.tables.remove(&key).is_none() && !if_exists {
+                    return Err(CoreError::Engine(
+                        maybms_engine::EngineError::TableNotFound { name: table.clone() },
+                    ));
+                }
+                Ok(StatementResult::Ok { message: "DROP TABLE".into() })
+            }
+        }
+    }
+
+    fn insert(
+        &mut self,
+        table: &str,
+        columns: Option<&[String]>,
+        source: &InsertSource,
+    ) -> Result<usize> {
+        // Evaluate the source first (it may read the target table).
+        let rows: Vec<Tuple> = match source {
+            InsertSource::Values(rows) => {
+                let empty = Tuple::new(Vec::new());
+                rows.iter()
+                    .map(|row| {
+                        let vals: Vec<Value> = row
+                            .iter()
+                            .map(|e| Ok(scalar(e)?.eval(&empty)?))
+                            .collect::<Result<_>>()?;
+                        Ok(Tuple::new(vals))
+                    })
+                    .collect::<Result<_>>()?
+            }
+            InsertSource::Query(q) => {
+                let mut ctx =
+                    ExecCtx { catalog: &self.tables, wt: &mut self.wt, conf: self.conf };
+                let out = eval_query(q, &mut ctx)?;
+                match out {
+                    QueryOutput::Certain(r) => r.into_tuples(),
+                    QueryOutput::Uncertain(_) => {
+                        return Err(unsupported(
+                            "INSERT … SELECT from an uncertain query; materialise it with \
+                             CREATE TABLE AS instead (conditions must be preserved)",
+                        ))
+                    }
+                }
+            }
+        };
+        let target = self.tables.get_mut(&table.to_ascii_lowercase()).ok_or_else(|| {
+            CoreError::Engine(maybms_engine::EngineError::TableNotFound {
+                name: table.to_string(),
+            })
+        })?;
+        let arity = target.schema().len();
+        // Column mapping.
+        let mapping: Option<Vec<usize>> = match columns {
+            None => None,
+            Some(cols) => Some(
+                cols.iter()
+                    .map(|c| Ok(target.schema().index_of(None, c)?))
+                    .collect::<Result<_>>()?,
+            ),
+        };
+        let n = rows.len();
+        for row in rows {
+            let tuple = match &mapping {
+                None => {
+                    if row.arity() != arity {
+                        return Err(CoreError::Engine(
+                            maybms_engine::EngineError::SchemaMismatch {
+                                message: format!(
+                                    "INSERT row arity {} vs table arity {arity}",
+                                    row.arity()
+                                ),
+                            },
+                        ));
+                    }
+                    row
+                }
+                Some(map) => {
+                    if row.arity() != map.len() {
+                        return Err(CoreError::Engine(
+                            maybms_engine::EngineError::SchemaMismatch {
+                                message: format!(
+                                    "INSERT row arity {} vs column list {}",
+                                    row.arity(),
+                                    map.len()
+                                ),
+                            },
+                        ));
+                    }
+                    let mut vals = vec![Value::Null; arity];
+                    for (v, &i) in row.values().iter().zip(map) {
+                        vals[i] = v.clone();
+                    }
+                    Tuple::new(vals)
+                }
+            };
+            target.tuples_mut().push(UTuple::certain(tuple));
+        }
+        Ok(n)
+    }
+
+    fn update(
+        &mut self,
+        table: &str,
+        assignments: &[(String, maybms_sql::Expr)],
+        filter: Option<&maybms_sql::Expr>,
+    ) -> Result<usize> {
+        let target = self.tables.get_mut(&table.to_ascii_lowercase()).ok_or_else(|| {
+            CoreError::Engine(maybms_engine::EngineError::TableNotFound {
+                name: table.to_string(),
+            })
+        })?;
+        let schema = target.schema().clone();
+        let pred = filter.map(|f| Ok::<_, CoreError>(scalar(f)?.bind(&schema)?)).transpose()?;
+        let sets: Vec<(usize, maybms_engine::Expr)> = assignments
+            .iter()
+            .map(|(c, e)| {
+                Ok::<_, CoreError>((schema.index_of(None, c)?, scalar(e)?.bind(&schema)?))
+            })
+            .collect::<Result<_>>()?;
+        let mut n = 0;
+        for t in target.tuples_mut() {
+            let hit = match &pred {
+                None => true,
+                Some(p) => p.eval_predicate(&t.data)?,
+            };
+            if hit {
+                let mut vals = t.data.values().to_vec();
+                for (i, e) in &sets {
+                    vals[*i] = e.eval(&t.data)?;
+                }
+                t.data = Tuple::new(vals);
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    fn delete(&mut self, table: &str, filter: Option<&maybms_sql::Expr>) -> Result<usize> {
+        let target = self.tables.get_mut(&table.to_ascii_lowercase()).ok_or_else(|| {
+            CoreError::Engine(maybms_engine::EngineError::TableNotFound {
+                name: table.to_string(),
+            })
+        })?;
+        let schema = target.schema().clone();
+        let pred = filter.map(|f| Ok::<_, CoreError>(scalar(f)?.bind(&schema)?)).transpose()?;
+        let before = target.len();
+        match pred {
+            None => target.tuples_mut().clear(),
+            Some(p) => {
+                let mut err = None;
+                target.tuples_mut().retain(|t| match p.eval_predicate(&t.data) {
+                    Ok(hit) => !hit,
+                    Err(e) => {
+                        err.get_or_insert(e);
+                        true
+                    }
+                });
+                if let Some(e) = err {
+                    return Err(e.into());
+                }
+            }
+        }
+        Ok(before - target.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maybms_engine::{rel, DataType};
+
+    fn db_with_games() -> MayBms {
+        let mut db = MayBms::new();
+        db.register(
+            "games",
+            rel(
+                &[("player", DataType::Text), ("pts", DataType::Int)],
+                vec![
+                    vec!["Bryant".into(), 40.into()],
+                    vec!["Duncan".into(), 25.into()],
+                ],
+            ),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_query_roundtrip() {
+        let mut db = MayBms::new();
+        db.run("create table t (a bigint, b text)").unwrap();
+        db.run("insert into t values (1, 'x'), (2, 'y')").unwrap();
+        let r = db.query("select a, b from t where a > 1").unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.tuples()[0].value(1), &Value::str("y"));
+    }
+
+    #[test]
+    fn insert_with_column_list_fills_nulls() {
+        let mut db = MayBms::new();
+        db.run("create table t (a bigint, b text, c double precision)").unwrap();
+        db.run("insert into t (b, a) values ('x', 1)").unwrap();
+        let r = db.query("select a, b, c from t").unwrap();
+        assert_eq!(r.tuples()[0].value(0), &Value::Int(1));
+        assert_eq!(r.tuples()[0].value(1), &Value::str("x"));
+        assert_eq!(r.tuples()[0].value(2), &Value::Null);
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let mut db = db_with_games();
+        let StatementResult::Ok { message } =
+            db.run("update games set pts = pts + 1 where player = 'Bryant'").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(message, "UPDATE 1");
+        let r = db.query("select pts from games where player = 'Bryant'").unwrap();
+        assert_eq!(r.tuples()[0].value(0), &Value::Int(41));
+
+        let StatementResult::Ok { message } =
+            db.run("delete from games where pts < 30").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(message, "DELETE 1");
+        assert_eq!(db.table("games").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn drop_and_if_exists() {
+        let mut db = db_with_games();
+        db.run("drop table games").unwrap();
+        assert!(db.run("drop table games").is_err());
+        db.run("drop table if exists games").unwrap();
+    }
+
+    #[test]
+    fn create_table_as_stores_uncertain_result() {
+        let mut db = db_with_games();
+        db.run("create table picks as select * from (pick tuples from games with probability 0.5) p")
+            .unwrap();
+        let t = db.table("picks").unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_t_certain());
+        // Downstream conf query over the stored uncertain table.
+        let r = db
+            .query("select player, conf() as p from picks group by player")
+            .unwrap();
+        assert_eq!(r.len(), 2);
+        for t in r.tuples() {
+            assert_eq!(t.value(1), &Value::Float(0.5));
+        }
+    }
+
+    #[test]
+    fn insert_select_from_uncertain_rejected() {
+        let mut db = db_with_games();
+        db.run("create table t (player text, pts bigint)").unwrap();
+        let err = db.run("insert into t select * from (pick tuples from games) p");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = db_with_games();
+        let err = db.run("create table games (x bigint)");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn query_requires_certain_output() {
+        let mut db = db_with_games();
+        assert!(db.query("select * from (pick tuples from games) p").is_err());
+        assert!(db.query_uncertain("select * from (pick tuples from games) p").is_ok());
+    }
+
+    #[test]
+    fn run_script_executes_all() {
+        let mut db = MayBms::new();
+        let results = db
+            .run_script(
+                "create table t (a bigint); insert into t values (1); select a from t;",
+            )
+            .unwrap();
+        assert_eq!(results.len(), 3);
+        assert!(matches!(results[2], StatementResult::Query(_)));
+    }
+
+    #[test]
+    fn update_on_uncertain_representation() {
+        // Updates are representation-level edits (§2.3).
+        let mut db = db_with_games();
+        db.run("create table picks as select * from (pick tuples from games) p").unwrap();
+        db.run("update picks set pts = 0 where player = 'Bryant'").unwrap();
+        let t = db.table("picks").unwrap();
+        let bryant = t
+            .tuples()
+            .iter()
+            .find(|t| t.data.value(0) == &Value::str("Bryant"))
+            .unwrap();
+        assert_eq!(bryant.data.value(1), &Value::Int(0));
+        assert!(!bryant.wsd.is_tautology()); // condition untouched
+    }
+}

@@ -1,0 +1,108 @@
+//! Errors for MayBMS query processing.
+
+use std::fmt;
+
+use maybms_engine::EngineError;
+use maybms_sql::ParseError;
+use maybms_urel::UrelError;
+
+/// Error raised while planning or executing a MayBMS statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Lex/parse failure.
+    Parse(ParseError),
+    /// Relational-engine failure.
+    Engine(EngineError),
+    /// U-relational-layer failure.
+    Urel(UrelError),
+    /// The statement violates a MayBMS typing rule (§2.2) — e.g. standard
+    /// SQL aggregates over an uncertain relation.
+    Typing {
+        /// What rule was violated.
+        message: String,
+    },
+    /// The statement is outside the supported language fragment.
+    Unsupported {
+        /// What construct is unsupported.
+        message: String,
+    },
+    /// Planner-level error (bad aggregate arguments, select items not in
+    /// GROUP BY, …).
+    Plan {
+        /// Description.
+        message: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Parse(e) => write!(f, "{e}"),
+            CoreError::Engine(e) => write!(f, "{e}"),
+            CoreError::Urel(e) => write!(f, "{e}"),
+            CoreError::Typing { message } => write!(f, "typing error: {message}"),
+            CoreError::Unsupported { message } => write!(f, "unsupported: {message}"),
+            CoreError::Plan { message } => write!(f, "plan error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Parse(e) => Some(e),
+            CoreError::Engine(e) => Some(e),
+            CoreError::Urel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for CoreError {
+    fn from(e: ParseError) -> Self {
+        CoreError::Parse(e)
+    }
+}
+
+impl From<EngineError> for CoreError {
+    fn from(e: EngineError) -> Self {
+        CoreError::Engine(e)
+    }
+}
+
+impl From<UrelError> for CoreError {
+    fn from(e: UrelError) -> Self {
+        CoreError::Urel(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Shorthand constructors used across the planner.
+pub(crate) fn typing(message: impl Into<String>) -> CoreError {
+    CoreError::Typing { message: message.into() }
+}
+
+pub(crate) fn unsupported(message: impl Into<String>) -> CoreError {
+    CoreError::Unsupported { message: message.into() }
+}
+
+pub(crate) fn plan_err(message: impl Into<String>) -> CoreError {
+    CoreError::Plan { message: message.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: CoreError = EngineError::TableNotFound { name: "x".into() }.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: CoreError = UrelError::NotTCertain { operation: "repair key".into() }.into();
+        assert!(e.to_string().contains("t-certain"));
+        let e = typing("sum on uncertain relation");
+        assert!(e.to_string().contains("typing error"));
+    }
+}

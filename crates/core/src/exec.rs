@@ -1,0 +1,1052 @@
+//! The MayBMS query executor.
+//!
+//! Evaluates parsed queries over the catalog of U-relations:
+//!
+//! 1. FROM items become U-relations (`repair key` / `pick tuples` extend
+//!    the hypothesis space, §2.2);
+//! 2. WHERE is split into conjuncts: single-source predicates are pushed
+//!    down, equality conjuncts drive hash joins, `IN (SELECT …)`
+//!    conjuncts are rewritten to joins (positive occurrence only), and the
+//!    rest filter the joined result — the parsimonious translation of
+//!    §2.3 throughout;
+//! 3. the SELECT list maps to projections and the uncertainty-aware
+//!    aggregates (`conf`, `aconf`, `tconf`, `possible`, `esum`, `ecount`,
+//!    `argmax`), enforcing the typing rules of §2.2;
+//! 4. UNION is multiset union; ORDER BY orders the representation; LIMIT
+//!    is only allowed on t-certain results.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use maybms_engine::ops::ProjectItem;
+use maybms_engine::{BinaryOp, Expr as EExpr, Field, Relation, Schema, Tuple};
+use maybms_sql::{Expr as SExpr, FromItem, Query, QueryInput, Select, SelectItem};
+use maybms_urel::{
+    algebra, pick_tuples_u, repair_key_u, PickTuplesOptions, RepairKeyOptions, URelation,
+    WorldTable,
+};
+
+use crate::agg::{self, ConfContext};
+use crate::error::{plan_err, typing, Result};
+use crate::translate::{classify_item, scalar, AggSpec, Item};
+
+/// The mutable database state a query runs against.
+pub struct ExecCtx<'a> {
+    /// Stored tables.
+    pub catalog: &'a BTreeMap<String, URelation>,
+    /// The shared world table (mutable: `repair key` / `pick tuples`
+    /// register fresh variables).
+    pub wt: &'a mut WorldTable,
+    /// Confidence-computation configuration.
+    pub conf: ConfContext,
+}
+
+/// The result of a query: a t-certain table or an uncertain one.
+#[derive(Debug, Clone)]
+pub enum QueryOutput {
+    /// A typed-certain table (§2.2): plain relational output.
+    Certain(Relation),
+    /// An uncertain table: the U-relational representation.
+    Uncertain(URelation),
+}
+
+impl QueryOutput {
+    /// View as a U-relation (lifting certain tables).
+    pub fn into_urelation(self) -> URelation {
+        match self {
+            QueryOutput::Certain(r) => URelation::from_certain(&r),
+            QueryOutput::Uncertain(u) => u,
+        }
+    }
+
+    /// The number of stored (representation) rows.
+    pub fn len(&self) -> usize {
+        match self {
+            QueryOutput::Certain(r) => r.len(),
+            QueryOutput::Uncertain(u) => u.len(),
+        }
+    }
+
+    /// True when no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The certain relation, if this output is t-certain.
+    pub fn as_certain(&self) -> Option<&Relation> {
+        match self {
+            QueryOutput::Certain(r) => Some(r),
+            QueryOutput::Uncertain(_) => None,
+        }
+    }
+}
+
+/// Evaluate a full query (UNION chain + ORDER BY/LIMIT).
+pub fn eval_query(q: &Query, ctx: &mut ExecCtx<'_>) -> Result<QueryOutput> {
+    let mut result = eval_select(&q.first, ctx)?;
+    for (all, s) in &q.rest {
+        let next = eval_select(s, ctx)?;
+        result = match (result, next) {
+            (QueryOutput::Certain(a), QueryOutput::Certain(b)) => {
+                // Certain UNION deduplicates (left-associatively, as in
+                // SQL); UNION ALL keeps the bag.
+                let merged = maybms_engine::ops::union_all(&[&a, &b])?;
+                let merged =
+                    if *all { merged } else { maybms_engine::ops::distinct(&merged) };
+                QueryOutput::Certain(merged)
+            }
+            (a, b) => {
+                // Uncertain union is multiset union of representations in
+                // both spellings (§2.2: "the multiset union of uncertain
+                // queries (using SQL union)") — distinct would require
+                // conditions beyond per-tuple conjunctions.
+                let (ua, ub) = (a.into_urelation(), b.into_urelation());
+                QueryOutput::Uncertain(algebra::union_all(&[&ua, &ub])?)
+            }
+        };
+    }
+    // ORDER BY orders the stored representation. Keys resolve against the
+    // select list first (`ORDER BY r2.final` after `r2.final AS state`),
+    // then against the output schema, with a qualifier-dropping fallback.
+    if !q.order_by.is_empty() {
+        let schema_for_keys = match &result {
+            QueryOutput::Certain(r) => r.schema().clone(),
+            QueryOutput::Uncertain(u) => u.schema().clone(),
+        };
+        // Output-position map for non-wildcard select lists of a plain
+        // (non-union) query.
+        let item_positions: Option<Vec<&SExpr>> = if q.rest.is_empty()
+            && q.first.items.iter().all(|i| matches!(i, SelectItem::Expr { .. }))
+        {
+            Some(
+                q.first
+                    .items
+                    .iter()
+                    .map(|i| match i {
+                        SelectItem::Expr { expr, .. } => expr,
+                        _ => unreachable!(),
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let keys: Vec<maybms_engine::ops::SortKey> = q
+            .order_by
+            .iter()
+            .map(|k| {
+                // `ORDER BY 2` — positional reference to an output column.
+                if let SExpr::Lit(maybms_sql::Lit::Int(n)) = &k.expr {
+                    let n = *n;
+                    if n < 1 || n as usize > schema_for_keys.len() {
+                        return Err(plan_err(format!(
+                            "ORDER BY position {n} is out of range 1..={}",
+                            schema_for_keys.len()
+                        )));
+                    }
+                    return Ok(maybms_engine::ops::SortKey {
+                        expr: EExpr::ColumnIdx(n as usize - 1),
+                        ascending: k.ascending,
+                    });
+                }
+                let expr = match &item_positions {
+                    Some(items) => match items.iter().position(|e| **e == k.expr) {
+                        Some(i) => EExpr::ColumnIdx(i),
+                        None => bind_with_fallback(&scalar(&k.expr)?, &schema_for_keys)?,
+                    },
+                    None => bind_with_fallback(&scalar(&k.expr)?, &schema_for_keys)?,
+                };
+                Ok(maybms_engine::ops::SortKey { expr, ascending: k.ascending })
+            })
+            .collect::<Result<_>>()?;
+        result = match result {
+            QueryOutput::Certain(r) => {
+                QueryOutput::Certain(maybms_engine::ops::sort(&r, &keys)?)
+            }
+            QueryOutput::Uncertain(u) => {
+                // Stable sort of the representation by data columns.
+                let bound: Vec<(EExpr, bool)> = keys
+                    .iter()
+                    .map(|k| Ok((k.expr.bind(u.schema())?, k.ascending)))
+                    .collect::<Result<_>>()?;
+                let mut idx: Vec<usize> = (0..u.len()).collect();
+                let mut sort_err = None;
+                idx.sort_by(|&a, &b| {
+                    for (e, asc) in &bound {
+                        let va = e.eval(&u.tuples()[a].data);
+                        let vb = e.eval(&u.tuples()[b].data);
+                        match (va, vb) {
+                            (Ok(va), Ok(vb)) => {
+                                let ord = va.cmp(&vb);
+                                let ord = if *asc { ord } else { ord.reverse() };
+                                if ord != std::cmp::Ordering::Equal {
+                                    return ord;
+                                }
+                            }
+                            (Err(e), _) | (_, Err(e)) => {
+                                sort_err.get_or_insert(e);
+                                return std::cmp::Ordering::Equal;
+                            }
+                        }
+                    }
+                    a.cmp(&b)
+                });
+                if let Some(e) = sort_err {
+                    return Err(e.into());
+                }
+                let tuples = idx.into_iter().map(|i| u.tuples()[i].clone()).collect();
+                QueryOutput::Uncertain(URelation::new(u.schema().clone(), tuples))
+            }
+        };
+    }
+    if let Some(n) = q.limit {
+        result = match result {
+            QueryOutput::Certain(r) => {
+                QueryOutput::Certain(maybms_engine::ops::limit(&r, n as usize))
+            }
+            QueryOutput::Uncertain(_) => {
+                return Err(typing(
+                    "LIMIT on an uncertain relation would truncate the representation, \
+                     changing its possible-worlds semantics; compute a t-certain result first",
+                ))
+            }
+        };
+    }
+    Ok(result)
+}
+
+/// Evaluate one SELECT block.
+pub fn eval_select(s: &Select, ctx: &mut ExecCtx<'_>) -> Result<QueryOutput> {
+    // ---- FROM --------------------------------------------------------
+    let mut sources: Vec<URelation> = Vec::with_capacity(s.from.len());
+    for item in &s.from {
+        sources.push(eval_from_item(item, ctx)?);
+    }
+    if sources.is_empty() {
+        // SELECT without FROM: one empty tuple.
+        sources.push(URelation::new(
+            Schema::empty(),
+            vec![maybms_urel::UTuple::certain(Tuple::new(Vec::new()))],
+        ));
+    }
+
+    // ---- WHERE: conjunct split --------------------------------------
+    let mut conjuncts: Vec<SExpr> = Vec::new();
+    if let Some(w) = &s.where_clause {
+        split_conjuncts(w, &mut conjuncts);
+    }
+    // IN (SELECT …) conjuncts are handled after the joins.
+    let (in_selects, plain): (Vec<SExpr>, Vec<SExpr>) = conjuncts
+        .into_iter()
+        .partition(|c| matches!(c, SExpr::InSelect { .. }));
+    let mut predicates: Vec<EExpr> =
+        plain.iter().map(scalar).collect::<Result<_>>()?;
+
+    // Push single-source predicates down.
+    for src in &mut sources {
+        let mut kept = Vec::new();
+        for p in predicates.drain(..) {
+            if p.bind(src.schema()).is_ok() && sources_binding(&p, std::slice::from_ref(&*src)) {
+                *src = algebra::select(src, &p)?;
+            } else {
+                kept.push(p);
+            }
+        }
+        predicates = kept;
+    }
+
+    // Greedy join of the sources using equality conjuncts.
+    // (predicate idx, source idx, [(left col, left qual, right col, right qual)])
+    type JoinChoice = (usize, usize, Vec<(String, Option<String>, String, Option<String>)>);
+    let mut joined = sources.remove(0);
+    while !sources.is_empty() {
+        // Find a predicate linking `joined` to some remaining source.
+        let mut choice: Option<JoinChoice> = None;
+        'outer: for (pi, p) in predicates.iter().enumerate() {
+            if let Some((lq, ln, rq, rn)) = as_column_equality(p) {
+                for (si, src) in sources.iter().enumerate() {
+                    let l_in_joined = joined.schema().index_of(lq.as_deref(), &ln).is_ok();
+                    let r_in_src = src.schema().index_of(rq.as_deref(), &rn).is_ok();
+                    let r_in_joined = joined.schema().index_of(rq.as_deref(), &rn).is_ok();
+                    let l_in_src = src.schema().index_of(lq.as_deref(), &ln).is_ok();
+                    if l_in_joined && r_in_src {
+                        choice = Some((pi, si, vec![(ln, lq, rn, rq)]));
+                        break 'outer;
+                    }
+                    if r_in_joined && l_in_src {
+                        choice = Some((pi, si, vec![(rn, rq, ln, lq)]));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        match choice {
+            Some((pi, si, keys)) => {
+                predicates.remove(pi);
+                let src = sources.remove(si);
+                let (jn, jq, sn, sq) = &keys[0];
+                let lk = joined.schema().index_of(jq.as_deref(), jn)?;
+                let rk = src.schema().index_of(sq.as_deref(), sn)?;
+                joined = algebra::hash_join(&joined, &src, &[lk], &[rk])?;
+            }
+            None => {
+                let src = sources.remove(0);
+                joined = algebra::nested_loop_join(&joined, &src, None)?;
+            }
+        }
+        // Apply any predicates that became fully bound.
+        let mut kept = Vec::new();
+        for p in predicates.drain(..) {
+            match p.bind(joined.schema()) {
+                Ok(bound) => joined = filter_bound(&joined, &bound)?,
+                Err(_) => kept.push(p),
+            }
+        }
+        predicates = kept;
+    }
+    // Any remaining predicate must now bind.
+    for p in predicates {
+        let bound = p.bind(joined.schema())?;
+        joined = filter_bound(&joined, &bound)?;
+    }
+
+    // ---- IN (SELECT …) rewrites --------------------------------------
+    for in_sel in &in_selects {
+        let SExpr::InSelect { expr, query } = in_sel else { unreachable!() };
+        joined = rewrite_in_select(joined, expr, query, ctx)?;
+    }
+
+    // ---- SELECT list --------------------------------------------------
+    let items = expand_items(s, &joined)?;
+
+    if s.possible {
+        return eval_possible(&joined, &items, ctx);
+    }
+
+    let has_aggs = items.iter().any(|i| matches!(i, Item::Agg { .. }));
+    let has_tconf = items
+        .iter()
+        .any(|i| matches!(i, Item::Agg { spec: AggSpec::TConf, .. }));
+
+    if has_tconf {
+        if !s.group_by.is_empty() {
+            return Err(plan_err(
+                "tconf() computes per-tuple marginals and cannot be combined with GROUP BY",
+            ));
+        }
+        if items.iter().any(|i| {
+            matches!(i, Item::Agg { spec, .. } if !matches!(spec, AggSpec::TConf))
+        }) {
+            return Err(plan_err("tconf() cannot be combined with other aggregates"));
+        }
+        let mut scalars = Vec::new();
+        let mut tconf_names = Vec::new();
+        for item in &items {
+            match item {
+                Item::Scalar { expr, name } => {
+                    scalars.push((expr.bind(joined.schema())?, name.clone()))
+                }
+                Item::Agg { name, .. } => tconf_names.push(name.clone()),
+            }
+        }
+        let rel = agg::eval_tconf(&joined, &scalars, &tconf_names, ctx.wt)?;
+        // Reorder columns to the select order.
+        let rel = reorder_to_select_order(rel, &items)?;
+        return Ok(QueryOutput::Certain(apply_having(rel, s)?));
+    }
+
+    if has_aggs || !s.group_by.is_empty() {
+        let out = eval_aggregate_select(s, &joined, &items, ctx)?;
+        return Ok(QueryOutput::Certain(apply_having(out, s)?));
+    }
+
+    if s.having.is_some() {
+        return Err(plan_err("HAVING requires GROUP BY or aggregates"));
+    }
+
+    // Plain projection.
+    let proj: Vec<ProjectItem> = items
+        .iter()
+        .map(|i| match i {
+            Item::Scalar { expr, name } => Ok(ProjectItem::new(expr.clone(), name.clone())),
+            Item::Agg { .. } => unreachable!("no aggregates on this path"),
+        })
+        .collect::<Result<_>>()?;
+    let projected = algebra::project(&joined, &proj)?;
+    if s.distinct {
+        if !projected.is_t_certain() {
+            return Err(typing(
+                "SELECT DISTINCT is not supported on uncertain relations (§2.2); \
+                 use `select possible` or a confidence aggregate",
+            ));
+        }
+        let r = maybms_engine::ops::distinct(&projected.into_certain());
+        return Ok(QueryOutput::Certain(r));
+    }
+    if projected.is_t_certain() {
+        Ok(QueryOutput::Certain(projected.into_certain()))
+    } else {
+        Ok(QueryOutput::Uncertain(projected))
+    }
+}
+
+/// `select possible …` (§2.2): project, drop zero-probability tuples,
+/// deduplicate — mapping uncertain to t-certain.
+fn eval_possible(
+    joined: &URelation,
+    items: &[Item],
+    ctx: &ExecCtx<'_>,
+) -> Result<QueryOutput> {
+    let proj: Vec<ProjectItem> = items
+        .iter()
+        .map(|i| match i {
+            Item::Scalar { expr, name } => Ok(ProjectItem::new(expr.clone(), name.clone())),
+            Item::Agg { .. } => Err(plan_err(
+                "select possible cannot be combined with aggregates",
+            )),
+        })
+        .collect::<Result<_>>()?;
+    let projected = algebra::project(joined, &proj)?;
+    let mut out = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for t in projected.tuples() {
+        if t.wsd.prob(ctx.wt)? > 0.0 && seen.insert(t.data.clone()) {
+            out.push(t.data.clone());
+        }
+    }
+    Ok(QueryOutput::Certain(Relation::new_unchecked(
+        Arc::new(projected.schema().without_qualifiers()),
+        out,
+    )))
+}
+
+/// Grouped/aggregate SELECT evaluation.
+fn eval_aggregate_select(
+    s: &Select,
+    joined: &URelation,
+    items: &[Item],
+    ctx: &mut ExecCtx<'_>,
+) -> Result<Relation> {
+    // Bind group-by expressions.
+    let group_exprs: Vec<EExpr> = s
+        .group_by
+        .iter()
+        .map(|e| Ok(scalar(e)?.bind(joined.schema())?))
+        .collect::<Result<_>>()?;
+    // Every scalar select item must match a group-by expression.
+    let mut key_fields = Vec::new();
+    let mut key_exprs = Vec::new();
+    let mut aggs: Vec<(AggSpec, String)> = Vec::new();
+    for item in items {
+        match item {
+            Item::Scalar { expr, name } => {
+                let bound = expr.bind(joined.schema())?;
+                if !group_exprs.contains(&bound) {
+                    return Err(plan_err(format!(
+                        "select item `{name}` must appear in GROUP BY or be aggregated"
+                    )));
+                }
+                key_fields
+                    .push(Field::new(name.clone(), bound.data_type(joined.schema())));
+                key_exprs.push(bound);
+            }
+            Item::Agg { spec, name } => {
+                let spec = bind_agg(spec, joined.schema())?;
+                aggs.push((spec, name.clone()));
+            }
+        }
+    }
+    // Group on the union: selected keys first, then any extra GROUP BY
+    // expressions (grouped but not output).
+    let mut grouping = key_exprs.clone();
+    for g in &group_exprs {
+        if !grouping.contains(g) {
+            grouping.push(g.clone());
+        }
+    }
+    let groups_full = agg::group(joined, &grouping)?;
+    // Reduce keys to the selected prefix for output.
+    let groups = agg::Groups {
+        keys: groups_full
+            .keys
+            .iter()
+            .map(|k| k[..key_exprs.len()].to_vec())
+            .collect(),
+        members: groups_full.members,
+    };
+    let rel =
+        agg::aggregate_groups(joined, &groups, key_fields, &aggs, ctx.wt, &ctx.conf)?;
+    reorder_to_select_order(rel, items)
+}
+
+/// Bind the inner expressions of an aggregate spec.
+fn bind_agg(spec: &AggSpec, schema: &Schema) -> Result<AggSpec> {
+    Ok(match spec {
+        AggSpec::ESum(e) => AggSpec::ESum(e.bind(schema)?),
+        AggSpec::ECount(e) => {
+            AggSpec::ECount(e.as_ref().map(|x| x.bind(schema)).transpose()?)
+        }
+        AggSpec::ArgMax { arg, value } => {
+            AggSpec::ArgMax { arg: arg.bind(schema)?, value: value.bind(schema)? }
+        }
+        AggSpec::Std { func, arg } => AggSpec::Std {
+            func: *func,
+            arg: arg.as_ref().map(|x| x.bind(schema)).transpose()?,
+        },
+        other => other.clone(),
+    })
+}
+
+/// The aggregate evaluator outputs keys-then-aggregates; restore the
+/// original select order.
+fn reorder_to_select_order(rel: Relation, items: &[Item]) -> Result<Relation> {
+    // Current layout: scalars (in item order) then aggregates (in item
+    // order). Compute the permutation back to select order.
+    let n_scalars = items.iter().filter(|i| matches!(i, Item::Scalar { .. })).count();
+    let mut scalar_seen = 0usize;
+    let mut agg_seen = 0usize;
+    let mut perm = Vec::with_capacity(items.len());
+    for item in items {
+        match item {
+            Item::Scalar { .. } => {
+                perm.push(scalar_seen);
+                scalar_seen += 1;
+            }
+            Item::Agg { .. } => {
+                perm.push(n_scalars + agg_seen);
+                agg_seen += 1;
+            }
+        }
+    }
+    if perm.iter().enumerate().all(|(i, &p)| i == p) {
+        return Ok(rel);
+    }
+    let fields: Vec<Field> =
+        perm.iter().map(|&i| rel.schema().field(i).clone()).collect();
+    let schema = Arc::new(Schema::new(fields));
+    let tuples = rel.tuples().iter().map(|t| t.take(&perm)).collect();
+    Ok(Relation::new_unchecked(schema, tuples))
+}
+
+/// Apply HAVING to an aggregate output (binds against the output schema,
+/// so aliases like `p` work).
+fn apply_having(rel: Relation, s: &Select) -> Result<Relation> {
+    match &s.having {
+        None => Ok(rel),
+        Some(h) => {
+            let pred = scalar(h)?;
+            Ok(maybms_engine::ops::filter(&rel, &pred)?)
+        }
+    }
+}
+
+/// Expand wildcards and classify the select list.
+fn expand_items(s: &Select, joined: &URelation) -> Result<Vec<Item>> {
+    let mut items = Vec::new();
+    for (pos, item) in s.items.iter().enumerate() {
+        match item {
+            SelectItem::Wildcard => {
+                for (i, f) in joined.schema().fields().iter().enumerate() {
+                    items.push(Item::Scalar {
+                        expr: EExpr::ColumnIdx(i),
+                        name: f.name.clone(),
+                    });
+                }
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                let mut any = false;
+                for (i, f) in joined.schema().fields().iter().enumerate() {
+                    if f.qualifier.as_deref().is_some_and(|fq| fq.eq_ignore_ascii_case(q)) {
+                        items.push(Item::Scalar {
+                            expr: EExpr::ColumnIdx(i),
+                            name: f.name.clone(),
+                        });
+                        any = true;
+                    }
+                }
+                if !any {
+                    return Err(plan_err(format!("unknown relation alias `{q}.*`")));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                items.push(classify_item(expr, alias.as_deref(), pos)?);
+            }
+        }
+    }
+    Ok(items)
+}
+
+/// Evaluate one FROM item to a qualified U-relation.
+fn eval_from_item(item: &FromItem, ctx: &mut ExecCtx<'_>) -> Result<URelation> {
+    match item {
+        FromItem::Table { name, alias } => {
+            let u = ctx
+                .catalog
+                .get(&name.to_ascii_lowercase())
+                .ok_or_else(|| {
+                    crate::error::CoreError::Engine(
+                        maybms_engine::EngineError::TableNotFound { name: name.clone() },
+                    )
+                })?
+                .clone();
+            let q = alias.as_deref().unwrap_or(name);
+            let schema = Arc::new(u.schema().without_qualifiers().with_qualifier(q));
+            Ok(u.with_schema(schema))
+        }
+        FromItem::Subquery { query, alias } => {
+            let u = eval_query(query, ctx)?.into_urelation();
+            let schema = Arc::new(u.schema().without_qualifiers().with_qualifier(alias));
+            Ok(u.with_schema(schema))
+        }
+        FromItem::RepairKey { key, input, weight, alias } => {
+            let input = eval_query_input(input, ctx)?;
+            let key_exprs: Vec<EExpr> =
+                key.iter().map(|k| EExpr::col(k.clone())).collect();
+            let options = RepairKeyOptions {
+                weight: weight.as_ref().map(scalar).transpose()?,
+            };
+            let out = repair_key_u(&input, &key_exprs, &options, ctx.wt)?;
+            Ok(apply_alias(out, alias.as_deref()))
+        }
+        FromItem::PickTuples { input, independently: _, probability, alias } => {
+            // `independently` is the only supported semantics (see
+            // DESIGN.md §5.5); the keyword is accepted in both spellings.
+            let input = eval_query_input(input, ctx)?;
+            let options = PickTuplesOptions {
+                probability: probability.as_ref().map(scalar).transpose()?,
+            };
+            let out = pick_tuples_u(&input, &options, ctx.wt)?;
+            Ok(apply_alias(out, alias.as_deref()))
+        }
+        FromItem::Join { left, right, on } => {
+            let l = eval_from_item(left, ctx)?;
+            let r = eval_from_item(right, ctx)?;
+            let pred = scalar(on)?;
+            Ok(algebra::nested_loop_join(&l, &r, Some(&pred))?)
+        }
+    }
+}
+
+fn apply_alias(u: URelation, alias: Option<&str>) -> URelation {
+    match alias {
+        Some(a) => {
+            let schema = Arc::new(u.schema().without_qualifiers().with_qualifier(a));
+            u.with_schema(schema)
+        }
+        None => u,
+    }
+}
+
+/// Evaluate the `<t-certain-query>` input of repair-key/pick-tuples.
+fn eval_query_input(input: &QueryInput, ctx: &mut ExecCtx<'_>) -> Result<URelation> {
+    match input {
+        QueryInput::Table(name) => {
+            let u = ctx
+                .catalog
+                .get(&name.to_ascii_lowercase())
+                .ok_or_else(|| {
+                    crate::error::CoreError::Engine(
+                        maybms_engine::EngineError::TableNotFound { name: name.clone() },
+                    )
+                })?
+                .clone();
+            Ok(u)
+        }
+        QueryInput::Select(q) => Ok(eval_query(q, ctx)?.into_urelation()),
+    }
+}
+
+/// `x IN (SELECT …)` rewritten to join + project-back. Correct for
+/// confidence computation because downstream aggregation treats duplicate
+/// tuples disjunctively — the reason the language restricts IN-subqueries
+/// to positive occurrences (§2.2).
+fn rewrite_in_select(
+    joined: URelation,
+    probe: &SExpr,
+    query: &Query,
+    ctx: &mut ExecCtx<'_>,
+) -> Result<URelation> {
+    let sub = eval_query(query, ctx)?.into_urelation();
+    if sub.schema().len() != 1 {
+        return Err(plan_err(format!(
+            "IN-subquery must produce exactly one column, got {}",
+            sub.schema().len()
+        )));
+    }
+    let n = joined.schema().len();
+    // Append the probe value as a synthetic column, hash-join against the
+    // subquery, then project the original columns back.
+    let mut proj: Vec<ProjectItem> = (0..n)
+        .map(|i| {
+            ProjectItem::new(EExpr::ColumnIdx(i), joined.schema().field(i).name.clone())
+        })
+        .collect();
+    proj.push(ProjectItem::new(scalar(probe)?, "__probe".to_string()));
+    let with_probe = algebra::project(&joined, &proj)?;
+    // Keep original qualified schema plus the probe column.
+    let mut fields = joined.schema().fields().to_vec();
+    fields.push(Field::new(
+        "__probe",
+        with_probe.schema().field(n).dtype,
+    ));
+    let with_probe = with_probe.with_schema(Arc::new(Schema::new(fields)));
+    let joined2 = algebra::hash_join(&with_probe, &sub, &[n], &[0])?;
+    // Project back to the original columns.
+    let keep: Vec<usize> = (0..n).collect();
+    let fields: Vec<Field> = joined.schema().fields().to_vec();
+    let schema = Arc::new(Schema::new(fields));
+    let tuples = joined2
+        .tuples()
+        .iter()
+        .map(|t| maybms_urel::UTuple::new(t.data.take(&keep), t.wsd.clone()))
+        .collect();
+    Ok(URelation::new(schema, tuples))
+}
+
+/// Bind an expression, retrying qualified column references without their
+/// qualifier when they fail — aggregate outputs lose their qualifiers, but
+/// `ORDER BY r1.player` after `GROUP BY r1.player` is idiomatic SQL.
+fn bind_with_fallback(e: &EExpr, schema: &Schema) -> Result<EExpr> {
+    match e.bind(schema) {
+        Ok(b) => Ok(b),
+        Err(first_err) => {
+            let stripped = strip_qualifiers(e);
+            stripped.bind(schema).map_err(|_| first_err.into())
+        }
+    }
+}
+
+/// A copy of the expression with all column qualifiers removed.
+fn strip_qualifiers(e: &EExpr) -> EExpr {
+    match e {
+        EExpr::Column { name, .. } => EExpr::Column { qualifier: None, name: name.clone() },
+        EExpr::ColumnIdx(i) => EExpr::ColumnIdx(*i),
+        EExpr::Literal(v) => EExpr::Literal(v.clone()),
+        EExpr::Binary { left, op, right } => EExpr::Binary {
+            left: Box::new(strip_qualifiers(left)),
+            op: *op,
+            right: Box::new(strip_qualifiers(right)),
+        },
+        EExpr::Unary { op, expr } => {
+            EExpr::Unary { op: *op, expr: Box::new(strip_qualifiers(expr)) }
+        }
+        EExpr::IsNull { expr, negated } => EExpr::IsNull {
+            expr: Box::new(strip_qualifiers(expr)),
+            negated: *negated,
+        },
+        EExpr::InList { expr, list, negated } => EExpr::InList {
+            expr: Box::new(strip_qualifiers(expr)),
+            list: list.iter().map(strip_qualifiers).collect(),
+            negated: *negated,
+        },
+        EExpr::Case { branches, else_expr } => EExpr::Case {
+            branches: branches
+                .iter()
+                .map(|(c, r)| (strip_qualifiers(c), strip_qualifiers(r)))
+                .collect(),
+            else_expr: else_expr.as_ref().map(|x| Box::new(strip_qualifiers(x))),
+        },
+        EExpr::Cast { expr, dtype } => {
+            EExpr::Cast { expr: Box::new(strip_qualifiers(expr)), dtype: *dtype }
+        }
+    }
+}
+
+/// Split an expression into top-level AND conjuncts.
+fn split_conjuncts(e: &SExpr, out: &mut Vec<SExpr>) {
+    if let SExpr::Binary { left, op: maybms_sql::BinOp::And, right } = e {
+        split_conjuncts(left, out);
+        split_conjuncts(right, out);
+    } else {
+        out.push(e.clone());
+    }
+}
+
+/// Recognise `col = col` equality predicates (for hash-join planning).
+#[allow(clippy::type_complexity)]
+fn as_column_equality(
+    e: &EExpr,
+) -> Option<(Option<String>, String, Option<String>, String)> {
+    if let EExpr::Binary { left, op: BinaryOp::Eq, right } = e {
+        if let (
+            EExpr::Column { qualifier: lq, name: ln },
+            EExpr::Column { qualifier: rq, name: rn },
+        ) = (left.as_ref(), right.as_ref())
+        {
+            return Some((lq.clone(), ln.clone(), rq.clone(), rn.clone()));
+        }
+    }
+    None
+}
+
+/// Does the predicate reference only columns resolvable in these sources?
+/// (Guards against pushing a literal-only predicate into the wrong place —
+/// harmless, but keeps plans predictable.)
+fn sources_binding(p: &EExpr, sources: &[URelation]) -> bool {
+    sources.iter().any(|s| p.bind(s.schema()).is_ok())
+}
+
+fn filter_bound(u: &URelation, bound: &EExpr) -> Result<URelation> {
+    let mut out = Vec::new();
+    for t in u.tuples() {
+        if bound.eval_predicate(&t.data)? {
+            out.push(t.clone());
+        }
+    }
+    Ok(URelation::new(u.schema().clone(), out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maybms_engine::{rel, DataType, Value};
+    use maybms_sql::parse_query;
+
+    fn fixture() -> (BTreeMap<String, URelation>, WorldTable) {
+        let mut catalog = BTreeMap::new();
+        catalog.insert(
+            "games".to_string(),
+            URelation::from_certain(&rel(
+                &[
+                    ("player", DataType::Text),
+                    ("team", DataType::Text),
+                    ("pts", DataType::Int),
+                ],
+                vec![
+                    vec!["Bryant".into(), "LAL".into(), 40.into()],
+                    vec!["Bryant".into(), "LAL".into(), 30.into()],
+                    vec!["Duncan".into(), "SAS".into(), 25.into()],
+                ],
+            )),
+        );
+        catalog.insert(
+            "teams".to_string(),
+            URelation::from_certain(&rel(
+                &[("team", DataType::Text), ("city", DataType::Text)],
+                vec![
+                    vec!["LAL".into(), "Los Angeles".into()],
+                    vec!["SAS".into(), "San Antonio".into()],
+                ],
+            )),
+        );
+        (catalog, WorldTable::new())
+    }
+
+    fn run(sql: &str) -> Result<QueryOutput> {
+        let (catalog, mut wt) = fixture();
+        let mut ctx = ExecCtx { catalog: &catalog, wt: &mut wt, conf: ConfContext::default() };
+        let q = parse_query(sql).unwrap();
+        eval_query(&q, &mut ctx)
+    }
+
+    fn certain(sql: &str) -> Relation {
+        match run(sql).unwrap() {
+            QueryOutput::Certain(r) => r,
+            QueryOutput::Uncertain(_) => panic!("expected certain output"),
+        }
+    }
+
+    #[test]
+    fn select_star() {
+        let r = certain("select * from games");
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.schema().names(), vec!["player", "team", "pts"]);
+    }
+
+    #[test]
+    fn filter_and_projection() {
+        let r = certain("select player, pts * 2 as double_pts from games where pts > 28");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.schema().names(), vec!["player", "double_pts"]);
+        assert_eq!(r.tuples()[0].value(1), &Value::Int(80));
+    }
+
+    #[test]
+    fn equi_join_via_where() {
+        let r = certain(
+            "select g.player, t.city from games g, teams t where g.team = t.team and g.pts > 30",
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.tuples()[0].value(1), &Value::str("Los Angeles"));
+    }
+
+    #[test]
+    fn join_on_sugar() {
+        let r = certain("select g.player, t.city from games g join teams t on g.team = t.team");
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn aggregates_on_certain() {
+        let r = certain(
+            "select player, sum(pts) as total, count(*) as n from games group by player",
+        );
+        assert_eq!(r.len(), 2);
+        let bryant = r
+            .tuples()
+            .iter()
+            .find(|t| t.value(0) == &Value::str("Bryant"))
+            .unwrap();
+        assert_eq!(bryant.value(1), &Value::Int(70));
+        assert_eq!(bryant.value(2), &Value::Int(2));
+    }
+
+    #[test]
+    fn select_item_not_in_group_by_rejected() {
+        assert!(run("select player, pts from games group by player").is_err());
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let r = certain(
+            "select player, sum(pts) as total from games group by player having total > 30",
+        );
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let r = certain("select player, pts from games order by pts desc limit 2");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.tuples()[0].value(1), &Value::Int(40));
+    }
+
+    #[test]
+    fn union_and_union_all() {
+        let r = certain("select team from teams union all select team from teams");
+        assert_eq!(r.len(), 4);
+        let r = certain("select team from teams union select team from teams");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn distinct_on_certain() {
+        let r = certain("select distinct player from games");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn in_list_predicate() {
+        let r = certain("select player from games where pts in (25, 40)");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn in_select_rewrite() {
+        let r = certain(
+            "select player from games where team in (select team from teams where city = 'Los Angeles')",
+        );
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn select_without_from() {
+        let r = certain("select 1 as one, 'x' as s");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.tuples()[0].value(0), &Value::Int(1));
+    }
+
+    #[test]
+    fn argmax_query() {
+        let r = certain("select team, argmax(player, pts) as star from games group by team");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn cross_join_cardinality() {
+        let r = certain("select * from games, teams");
+        assert_eq!(r.len(), 6);
+    }
+
+    #[test]
+    fn qualified_wildcard() {
+        let r = certain("select t.* from games g, teams t where g.team = t.team");
+        assert_eq!(r.schema().names(), vec!["team", "city"]);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        assert!(run("select * from nope").is_err());
+    }
+
+    #[test]
+    fn unknown_alias_in_wildcard_errors() {
+        assert!(run("select z.* from games g").is_err());
+    }
+
+    #[test]
+    fn conf_on_certain_input_is_one() {
+        let r = certain("select player, conf() as p from games group by player");
+        for t in r.tuples() {
+            assert_eq!(t.value(1), &Value::Float(1.0));
+        }
+    }
+
+    #[test]
+    fn extra_group_by_columns_not_in_select() {
+        // Grouping by (player, team) but selecting only player: Bryant's
+        // two games share a team, so two groups collapse into one row key
+        // appearing once... player appears once per (player, team) group.
+        let r = certain("select player, count(*) as n from games group by player, team");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn three_way_join_chain_uses_hash_joins() {
+        // joined via two equality conjuncts across three sources.
+        let r = certain(
+            "select a.player from games a, games b, teams t
+             where a.player = b.player and a.team = t.team and a.pts > b.pts",
+        );
+        assert_eq!(r.len(), 1); // Bryant 40 > Bryant 30
+    }
+
+    #[test]
+    fn query_output_helpers() {
+        let out = run("select * from games").unwrap();
+        assert_eq!(out.len(), 3);
+        assert!(!out.is_empty());
+        assert!(out.as_certain().is_some());
+        let u = out.into_urelation();
+        assert!(u.is_t_certain());
+    }
+
+    #[test]
+    fn order_by_on_uncertain_representation() {
+        let (catalog, mut wt) = fixture();
+        let mut ctx =
+            ExecCtx { catalog: &catalog, wt: &mut wt, conf: ConfContext::default() };
+        let q = parse_query(
+            "select * from (pick tuples from games) p order by pts desc",
+        )
+        .unwrap();
+        let QueryOutput::Uncertain(u) = eval_query(&q, &mut ctx).unwrap() else {
+            panic!("expected uncertain output")
+        };
+        let pts: Vec<i64> = u
+            .tuples()
+            .iter()
+            .map(|t| t.data.value(2).as_int().unwrap())
+            .collect();
+        assert_eq!(pts, vec![40, 30, 25]);
+    }
+
+    #[test]
+    fn in_select_against_uncertain_subquery() {
+        // Positive IN over an uncertain subquery: rewrites to a join; the
+        // result is uncertain (conditions ride along).
+        let (catalog, mut wt) = fixture();
+        let mut ctx =
+            ExecCtx { catalog: &catalog, wt: &mut wt, conf: ConfContext::default() };
+        let q = parse_query(
+            "select player from games where team in
+               (select team from (pick tuples from teams) pt)",
+        )
+        .unwrap();
+        let QueryOutput::Uncertain(u) = eval_query(&q, &mut ctx).unwrap() else {
+            panic!("expected uncertain output")
+        };
+        assert_eq!(u.len(), 3);
+        assert!(u.tuples().iter().all(|t| !t.wsd.is_tautology()));
+    }
+}

@@ -1,0 +1,59 @@
+//! # maybms-core — MayBMS query processing
+//!
+//! This crate ties the stack together into "a complete probabilistic
+//! database management system" (§1): the SQL frontend (`maybms-sql`), the
+//! U-relational representation and algebra (`maybms-urel`), the confidence
+//! engines (`maybms-conf`), and the relational substrate
+//! (`maybms-engine`).
+//!
+//! The paper's §2.2 language maps here as follows:
+//!
+//! | construct | module |
+//! |---|---|
+//! | `conf`, `aconf(ε,δ)`, `tconf`, `possible` | [`agg`], [`exec`] |
+//! | `repair key … weight by …`, `pick tuples …` | [`exec`] (via `maybms-urel`) |
+//! | `esum`, `ecount` (linearity of expectation) | [`agg`] |
+//! | `argmax(arg, value)` | [`agg`] |
+//! | typing rules (t-certain vs uncertain, forbidden aggregates) | [`exec`], [`agg`] |
+//! | updates as table modifications (§2.3) | [`db`] |
+//!
+//! ## Example: the paper's Figure 1, verbatim
+//!
+//! ```
+//! use maybms_core::MayBms;
+//! use maybms_engine::{rel, DataType, Value};
+//!
+//! let mut db = MayBms::new();
+//! db.register(
+//!     "ft",
+//!     rel(
+//!         &[("player", DataType::Text), ("init", DataType::Text),
+//!           ("final", DataType::Text), ("p", DataType::Float)],
+//!         vec![
+//!             vec!["Bryant".into(), "F".into(), "F".into(), Value::Float(0.8)],
+//!             vec!["Bryant".into(), "F".into(), "SE".into(), Value::Float(0.05)],
+//!             vec!["Bryant".into(), "F".into(), "SL".into(), Value::Float(0.15)],
+//!         ],
+//!     ),
+//! ).unwrap();
+//! // One-step random walk (Figure 1's R2) and its confidence.
+//! let r = db.query(
+//!     "select Final, conf() as p from (repair key Player, Init in FT weight by p) R \
+//!      group by Final",
+//! ).unwrap();
+//! assert_eq!(r.len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod agg;
+pub mod db;
+pub mod error;
+pub mod exec;
+pub mod translate;
+
+pub use agg::ConfContext;
+pub use db::{MayBms, StatementResult};
+pub use error::{CoreError, Result};
+pub use exec::QueryOutput;

@@ -1,0 +1,81 @@
+//! # maybms-engine — relational substrate for the MayBMS reproduction
+//!
+//! The original MayBMS (SIGMOD 2009) is "built entirely inside PostgreSQL"
+//! (§2.4): U-relations are ordinary tables, uncertainty-aware queries are
+//! rewritten to ordinary relational plans, and the confidence-computation
+//! constructs are registered as executor aggregates. This crate is the
+//! from-scratch stand-in for that relational backend:
+//!
+//! * [`types`] — dynamically-typed scalar [`types::Value`] with a total
+//!   order and hash (join/group keys), NaN-free floats;
+//! * [`schema`] — named, typed, qualifier-aware columns;
+//! * [`mod@tuple`] — rows and materialised bag [`tuple::Relation`]s;
+//! * [`expr`] — scalar expressions with SQL three-valued logic;
+//! * [`ops`] — physical operators: σ, π, ⨯, ⋈ (nested-loop and hash),
+//!   ∪, distinct, sort, limit, grouped aggregation;
+//! * [`plan`] — a composable physical plan tree;
+//! * [`optimizer`] — algebraic rewrites: constant folding, filter
+//!   merging/pushdown, trivial-plan elimination;
+//! * [`catalog`] — in-memory named tables.
+//!
+//! Everything is deterministic and single-threaded per query, matching the
+//! execution model the paper's rewrites target.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use maybms_engine::prelude::*;
+//!
+//! let mut catalog = Catalog::new();
+//! catalog
+//!     .create(
+//!         "ft",
+//!         rel(
+//!             &[("player", DataType::Text), ("p", DataType::Float)],
+//!             vec![
+//!                 vec!["Bryant".into(), Value::Float(0.8)],
+//!                 vec!["Duncan".into(), Value::Float(0.6)],
+//!             ],
+//!         ),
+//!     )
+//!     .unwrap();
+//! let plan = PhysicalPlan::Filter {
+//!     input: Box::new(PhysicalPlan::Scan { table: "ft".into(), alias: None }),
+//!     predicate: Expr::col("p").binary(BinaryOp::Gt, Expr::lit(Value::Float(0.7))),
+//! };
+//! let out = plan.execute(&catalog).unwrap();
+//! assert_eq!(out.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+pub mod error;
+pub mod expr;
+pub mod ops;
+pub mod optimizer;
+pub mod plan;
+pub mod schema;
+pub mod tuple;
+pub mod types;
+
+pub use catalog::Catalog;
+pub use error::{EngineError, Result};
+pub use expr::{BinaryOp, Expr, UnaryOp};
+pub use plan::PhysicalPlan;
+pub use schema::{Field, Schema};
+pub use tuple::{rel, Relation, Tuple};
+pub use types::{DataType, Value};
+
+/// Glob-import convenience: `use maybms_engine::prelude::*;`.
+pub mod prelude {
+    pub use crate::catalog::Catalog;
+    pub use crate::error::{EngineError, Result};
+    pub use crate::expr::{BinaryOp, Expr, UnaryOp};
+    pub use crate::ops::{AggCall, AggFunc, ProjectItem, SortKey};
+    pub use crate::plan::PhysicalPlan;
+    pub use crate::schema::{Field, Schema};
+    pub use crate::tuple::{rel, Relation, Tuple};
+    pub use crate::types::{DataType, Value};
+}

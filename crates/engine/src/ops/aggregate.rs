@@ -1,0 +1,379 @@
+//! Grouped aggregation: `GROUP BY` with SUM / COUNT / AVG / MIN / MAX.
+//!
+//! This operator implements only *certain* SQL aggregation. The
+//! uncertainty-aware aggregates of MayBMS (`conf`, `aconf`, `esum`,
+//! `ecount`, `argmax`) live in `maybms-core`, which composes them from the
+//! same grouping machinery ([`group_indices`]).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::{EngineError, Result};
+use crate::expr::Expr;
+use crate::schema::{Field, Schema};
+use crate::tuple::{Relation, Tuple};
+use crate::types::{DataType, Value};
+
+/// A standard SQL aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `count(*)` / `count(expr)` (non-NULL count).
+    Count,
+    /// `sum(expr)`.
+    Sum,
+    /// `avg(expr)`.
+    Avg,
+    /// `min(expr)`.
+    Min,
+    /// `max(expr)`.
+    Max,
+}
+
+impl AggFunc {
+    /// The function's SQL name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+}
+
+/// One aggregate call in a SELECT list.
+#[derive(Debug, Clone)]
+pub struct AggCall {
+    /// Which function.
+    pub func: AggFunc,
+    /// Argument (`None` = `count(*)`).
+    pub arg: Option<Expr>,
+    /// Output column name.
+    pub name: String,
+}
+
+impl AggCall {
+    /// Construct an aggregate call.
+    pub fn new(func: AggFunc, arg: Option<Expr>, name: impl Into<String>) -> AggCall {
+        AggCall { func, arg, name: name.into() }
+    }
+}
+
+/// Partition the input by the values of `group_exprs`.
+///
+/// Returns `(group key values, tuple indices)` per group, in first-seen
+/// order. An empty `group_exprs` yields a single global group (even over an
+/// empty input, matching SQL's scalar-aggregate behaviour).
+pub fn group_indices(
+    input: &Relation,
+    group_exprs: &[Expr],
+) -> Result<Vec<(Vec<Value>, Vec<usize>)>> {
+    let bound: Vec<Expr> =
+        group_exprs.iter().map(|e| e.bind(input.schema())).collect::<Result<_>>()?;
+    if bound.is_empty() {
+        return Ok(vec![(Vec::new(), (0..input.len()).collect())]);
+    }
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut out: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
+    for (i, t) in input.tuples().iter().enumerate() {
+        let key: Vec<Value> = bound.iter().map(|e| e.eval(t)).collect::<Result<_>>()?;
+        match groups.get(&key) {
+            Some(&g) => out[g].1.push(i),
+            None => {
+                groups.insert(key.clone(), out.len());
+                order.push(key.clone());
+                out.push((key, vec![i]));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Grouped aggregation. Output columns are the group keys (named after
+/// `group_names`) followed by one column per aggregate call.
+pub fn aggregate(
+    input: &Relation,
+    group_exprs: &[Expr],
+    group_names: &[String],
+    aggs: &[AggCall],
+) -> Result<Relation> {
+    if group_exprs.len() != group_names.len() {
+        return Err(EngineError::InvalidOperator {
+            message: "group expression/name arity mismatch".into(),
+        });
+    }
+    let in_schema = input.schema();
+    let bound_aggs: Vec<(AggFunc, Option<Expr>)> = aggs
+        .iter()
+        .map(|a| Ok((a.func, a.arg.as_ref().map(|e| e.bind(in_schema)).transpose()?)))
+        .collect::<Result<_>>()?;
+
+    // Output schema.
+    let mut fields: Vec<Field> = group_exprs
+        .iter()
+        .zip(group_names)
+        .map(|(e, n)| Field::new(n.clone(), e.data_type(in_schema)))
+        .collect();
+    for (call, (func, arg)) in aggs.iter().zip(&bound_aggs) {
+        let dtype = match func {
+            AggFunc::Count => DataType::Int,
+            AggFunc::Avg => DataType::Float,
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => arg
+                .as_ref()
+                .map(|e| e.data_type(in_schema))
+                .unwrap_or(DataType::Unknown),
+        };
+        fields.push(Field::new(call.name.clone(), dtype));
+    }
+    let schema = Arc::new(Schema::new(fields));
+
+    let groups = group_indices(input, group_exprs)?;
+    // With GROUP BY present and no input rows there are no groups at all.
+    let groups = if group_exprs.is_empty() || !input.is_empty() {
+        groups
+    } else {
+        Vec::new()
+    };
+
+    let mut out = Vec::with_capacity(groups.len());
+    for (key, indices) in groups {
+        let mut row = key;
+        for (func, arg) in &bound_aggs {
+            row.push(eval_agg(*func, arg.as_ref(), input, &indices)?);
+        }
+        out.push(Tuple::new(row));
+    }
+    Ok(Relation::new_unchecked(schema, out))
+}
+
+/// Evaluate one aggregate over the tuples at `indices`.
+fn eval_agg(
+    func: AggFunc,
+    arg: Option<&Expr>,
+    input: &Relation,
+    indices: &[usize],
+) -> Result<Value> {
+    // Collect non-NULL argument values (SQL aggregates skip NULLs).
+    let values = |arg: &Expr| -> Result<Vec<Value>> {
+        let mut vs = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let v = arg.eval(&input.tuples()[i])?;
+            if !v.is_null() {
+                vs.push(v);
+            }
+        }
+        Ok(vs)
+    };
+    match func {
+        AggFunc::Count => match arg {
+            None => Ok(Value::Int(indices.len() as i64)),
+            Some(a) => Ok(Value::Int(values(a)?.len() as i64)),
+        },
+        AggFunc::Sum | AggFunc::Avg => {
+            let a = arg.ok_or_else(|| EngineError::InvalidOperator {
+                message: format!("{}() requires an argument", func.name()),
+            })?;
+            let vs = values(a)?;
+            if vs.is_empty() {
+                return Ok(Value::Null);
+            }
+            let mut all_int = true;
+            let mut fsum = 0.0f64;
+            let mut isum: i64 = 0;
+            for v in &vs {
+                match v {
+                    Value::Int(i) => {
+                        isum = isum.checked_add(*i).ok_or_else(|| EngineError::Arithmetic {
+                            message: "integer overflow in sum()".into(),
+                        })?;
+                        fsum += *i as f64;
+                    }
+                    Value::Float(f) => {
+                        all_int = false;
+                        fsum += f;
+                    }
+                    other => {
+                        return Err(EngineError::TypeMismatch {
+                            message: format!(
+                                "{}() applied to {}",
+                                func.name(),
+                                other.data_type()
+                            ),
+                        })
+                    }
+                }
+            }
+            match func {
+                AggFunc::Sum if all_int => Ok(Value::Int(isum)),
+                AggFunc::Sum => Value::float(fsum),
+                AggFunc::Avg => Value::float(fsum / vs.len() as f64),
+                _ => unreachable!(),
+            }
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let a = arg.ok_or_else(|| EngineError::InvalidOperator {
+                message: format!("{}() requires an argument", func.name()),
+            })?;
+            let vs = values(a)?;
+            Ok(match func {
+                AggFunc::Min => vs.into_iter().min().unwrap_or(Value::Null),
+                AggFunc::Max => vs.into_iter().max().unwrap_or(Value::Null),
+                _ => unreachable!("outer match guarantees Min or Max"),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::rel;
+
+    fn games() -> Relation {
+        rel(
+            &[("player", DataType::Text), ("pts", DataType::Int)],
+            vec![
+                vec!["Bryant".into(), 30.into()],
+                vec!["Bryant".into(), 40.into()],
+                vec!["Duncan".into(), 20.into()],
+                vec!["Duncan".into(), Value::Null],
+            ],
+        )
+    }
+
+    #[test]
+    fn grouped_sum_count_avg() {
+        let out = aggregate(
+            &games(),
+            &[Expr::col("player")],
+            &["player".into()],
+            &[
+                AggCall::new(AggFunc::Sum, Some(Expr::col("pts")), "total"),
+                AggCall::new(AggFunc::Count, None, "games"),
+                AggCall::new(AggFunc::Count, Some(Expr::col("pts")), "scored"),
+                AggCall::new(AggFunc::Avg, Some(Expr::col("pts")), "mean"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        let bryant = &out.tuples()[0];
+        assert_eq!(bryant.value(0), &Value::str("Bryant"));
+        assert_eq!(bryant.value(1), &Value::Int(70));
+        assert_eq!(bryant.value(2), &Value::Int(2));
+        assert_eq!(bryant.value(3), &Value::Int(2));
+        assert_eq!(bryant.value(4), &Value::Float(35.0));
+        let duncan = &out.tuples()[1];
+        assert_eq!(duncan.value(1), &Value::Int(20)); // NULL skipped
+        assert_eq!(duncan.value(2), &Value::Int(2)); // count(*) counts NULL row
+        assert_eq!(duncan.value(3), &Value::Int(1)); // count(pts) skips NULL
+    }
+
+    #[test]
+    fn min_max() {
+        let out = aggregate(
+            &games(),
+            &[],
+            &[],
+            &[
+                AggCall::new(AggFunc::Min, Some(Expr::col("pts")), "lo"),
+                AggCall::new(AggFunc::Max, Some(Expr::col("pts")), "hi"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.tuples()[0].value(0), &Value::Int(20));
+        assert_eq!(out.tuples()[0].value(1), &Value::Int(40));
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input_yields_one_row() {
+        let empty = rel(&[("x", DataType::Int)], vec![]);
+        let out = aggregate(
+            &empty,
+            &[],
+            &[],
+            &[
+                AggCall::new(AggFunc::Count, None, "n"),
+                AggCall::new(AggFunc::Sum, Some(Expr::col("x")), "s"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.tuples()[0].value(0), &Value::Int(0));
+        assert_eq!(out.tuples()[0].value(1), &Value::Null);
+    }
+
+    #[test]
+    fn grouped_aggregate_over_empty_input_yields_no_rows() {
+        let empty = rel(&[("x", DataType::Int)], vec![]);
+        let out = aggregate(
+            &empty,
+            &[Expr::col("x")],
+            &["x".into()],
+            &[AggCall::new(AggFunc::Count, None, "n")],
+        )
+        .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sum_of_floats() {
+        let r = rel(
+            &[("p", DataType::Float)],
+            vec![vec![Value::Float(0.25)], vec![Value::Float(0.5)]],
+        );
+        let out = aggregate(
+            &r,
+            &[],
+            &[],
+            &[AggCall::new(AggFunc::Sum, Some(Expr::col("p")), "s")],
+        )
+        .unwrap();
+        assert_eq!(out.tuples()[0].value(0), &Value::Float(0.75));
+    }
+
+    #[test]
+    fn sum_without_argument_is_invalid() {
+        let out = aggregate(
+            &games(),
+            &[],
+            &[],
+            &[AggCall::new(AggFunc::Sum, None, "s")],
+        );
+        assert!(out.is_err());
+    }
+
+    #[test]
+    fn sum_over_text_is_type_error() {
+        let out = aggregate(
+            &games(),
+            &[],
+            &[],
+            &[AggCall::new(AggFunc::Sum, Some(Expr::col("player")), "s")],
+        );
+        assert!(out.is_err());
+    }
+
+    #[test]
+    fn group_by_expression() {
+        let out = aggregate(
+            &games(),
+            &[Expr::col("pts").binary(crate::expr::BinaryOp::Mod, Expr::lit(20i64))],
+            &["bucket".into()],
+            &[AggCall::new(AggFunc::Count, None, "n")],
+        );
+        // NULL % 20 is NULL; NULL is a valid group key.
+        let out = out.unwrap();
+        assert_eq!(out.len(), 3); // 10 (30), 0 (40, 20), NULL
+    }
+
+    #[test]
+    fn group_indices_first_seen_order() {
+        let gs = group_indices(&games(), &[Expr::col("player")]).unwrap();
+        assert_eq!(gs.len(), 2);
+        assert_eq!(gs[0].0[0], Value::str("Bryant"));
+        assert_eq!(gs[0].1, vec![0, 1]);
+        assert_eq!(gs[1].1, vec![2, 3]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Selection (σ).
+
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::tuple::Relation;
+
+/// Keep tuples satisfying `predicate` (NULL counts as not satisfied).
+///
+/// The predicate may be unbound; it is bound against the input schema here.
+pub fn filter(input: &Relation, predicate: &Expr) -> Result<Relation> {
+    let bound = predicate.bind(input.schema())?;
+    let mut out = Vec::new();
+    for t in input.tuples() {
+        if bound.eval_predicate(t)? {
+            out.push(t.clone());
+        }
+    }
+    Ok(Relation::new_unchecked(input.schema().clone(), out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinaryOp;
+    use crate::tuple::rel;
+    use crate::types::{DataType, Value};
+
+    fn nums() -> Relation {
+        rel(
+            &[("x", DataType::Int)],
+            vec![vec![1.into()], vec![2.into()], vec![3.into()], vec![Value::Null]],
+        )
+    }
+
+    #[test]
+    fn keeps_matching_rows() {
+        let out = filter(&nums(), &Expr::col("x").binary(BinaryOp::Gt, Expr::lit(1i64))).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn null_comparison_filters_out() {
+        // x > 1 on NULL row is unknown -> dropped.
+        let out = filter(&nums(), &Expr::col("x").binary(BinaryOp::Gt, Expr::lit(0i64))).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn unknown_column_is_an_error() {
+        assert!(filter(&nums(), &Expr::col("nope").eq(Expr::lit(1i64))).is_err());
+    }
+
+    #[test]
+    fn preserves_schema() {
+        let r = nums();
+        let out = filter(&r, &Expr::lit(true)).unwrap();
+        assert_eq!(out.schema(), r.schema());
+        assert_eq!(out.len(), r.len());
+    }
+}

@@ -1,0 +1,228 @@
+//! Joins: cross product, predicate nested-loop join, and hash equi-join.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::{EngineError, Result};
+use crate::expr::Expr;
+use crate::tuple::{Relation, Tuple};
+use crate::types::Value;
+
+/// Cartesian product. Output schema is `left.schema ++ right.schema`.
+pub fn cross_join(left: &Relation, right: &Relation) -> Relation {
+    let schema = Arc::new(left.schema().join(right.schema()));
+    let mut out = Vec::with_capacity(left.len().saturating_mul(right.len()));
+    for l in left.tuples() {
+        for r in right.tuples() {
+            out.push(l.concat(r));
+        }
+    }
+    Relation::new_unchecked(schema, out)
+}
+
+/// Nested-loop inner join with an arbitrary predicate over the combined
+/// schema. `None` means no predicate (cross join).
+pub fn nested_loop_join(
+    left: &Relation,
+    right: &Relation,
+    predicate: Option<&Expr>,
+) -> Result<Relation> {
+    let schema = Arc::new(left.schema().join(right.schema()));
+    let bound = match predicate {
+        Some(p) => Some(p.bind(&schema)?),
+        None => None,
+    };
+    let mut out = Vec::new();
+    for l in left.tuples() {
+        for r in right.tuples() {
+            let joined = l.concat(r);
+            let keep = match &bound {
+                Some(p) => p.eval_predicate(&joined)?,
+                None => true,
+            };
+            if keep {
+                out.push(joined);
+            }
+        }
+    }
+    Ok(Relation::new_unchecked(schema, out))
+}
+
+/// Hash equi-join on positional key columns (`left_keys[i] = right_keys[i]`).
+///
+/// NULL keys never match (SQL equality). Builds on the smaller input.
+pub fn hash_join(
+    left: &Relation,
+    right: &Relation,
+    left_keys: &[usize],
+    right_keys: &[usize],
+) -> Result<Relation> {
+    if left_keys.len() != right_keys.len() {
+        return Err(EngineError::InvalidOperator {
+            message: format!(
+                "hash join key arity mismatch: {} vs {}",
+                left_keys.len(),
+                right_keys.len()
+            ),
+        });
+    }
+    if left_keys.is_empty() {
+        return Err(EngineError::InvalidOperator {
+            message: "hash join requires at least one key; use cross_join".into(),
+        });
+    }
+    for &k in left_keys {
+        if k >= left.schema().len() {
+            return Err(EngineError::InvalidOperator {
+                message: format!("left key #{k} out of range"),
+            });
+        }
+    }
+    for &k in right_keys {
+        if k >= right.schema().len() {
+            return Err(EngineError::InvalidOperator {
+                message: format!("right key #{k} out of range"),
+            });
+        }
+    }
+    let schema = Arc::new(left.schema().join(right.schema()));
+
+    // Build side: the smaller relation.
+    let (build, probe, build_keys, probe_keys, build_is_left) = if left.len() <= right.len() {
+        (left, right, left_keys, right_keys, true)
+    } else {
+        (right, left, right_keys, left_keys, false)
+    };
+
+    let key_of = |t: &Tuple, keys: &[usize]| -> Option<Vec<Value>> {
+        let mut k = Vec::with_capacity(keys.len());
+        for &i in keys {
+            let v = t.value(i);
+            if v.is_null() {
+                return None; // NULL = NULL is unknown, never joins
+            }
+            k.push(v.clone());
+        }
+        Some(k)
+    };
+
+    let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::with_capacity(build.len());
+    for t in build.tuples() {
+        if let Some(k) = key_of(t, build_keys) {
+            table.entry(k).or_default().push(t);
+        }
+    }
+
+    let mut out = Vec::new();
+    for p in probe.tuples() {
+        let Some(k) = key_of(p, probe_keys) else { continue };
+        if let Some(matches) = table.get(&k) {
+            for b in matches {
+                out.push(if build_is_left { b.concat(p) } else { p.concat(b) });
+            }
+        }
+    }
+    Ok(Relation::new_unchecked(schema, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::rel;
+    use crate::types::DataType;
+
+    fn players() -> Relation {
+        rel(
+            &[("player", DataType::Text), ("team", DataType::Text)],
+            vec![
+                vec!["Bryant".into(), "LAL".into()],
+                vec!["Duncan".into(), "SAS".into()],
+                vec!["Parker".into(), "SAS".into()],
+            ],
+        )
+    }
+
+    fn teams() -> Relation {
+        rel(
+            &[("team", DataType::Text), ("city", DataType::Text)],
+            vec![
+                vec!["LAL".into(), "Los Angeles".into()],
+                vec!["SAS".into(), "San Antonio".into()],
+            ],
+        )
+    }
+
+    #[test]
+    fn cross_join_sizes() {
+        let out = cross_join(&players(), &teams());
+        assert_eq!(out.len(), 6);
+        assert_eq!(out.schema().len(), 4);
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop() {
+        let p = players();
+        let t = teams();
+        let hj = hash_join(&p, &t, &[1], &[0]).unwrap();
+        let pred = Expr::qcol("p", "team").eq(Expr::qcol("t", "team"));
+        let p2 = p
+            .clone()
+            .with_schema(Arc::new(p.schema().with_qualifier("p")))
+            .unwrap();
+        let t2 = t
+            .clone()
+            .with_schema(Arc::new(t.schema().with_qualifier("t")))
+            .unwrap();
+        let nl = nested_loop_join(&p2, &t2, Some(&pred)).unwrap();
+        assert_eq!(hj.len(), nl.len());
+        assert_eq!(hj.len(), 3);
+        // Same multiset of rows (ignoring qualifiers).
+        let mut a: Vec<_> = hj.tuples().to_vec();
+        let mut b: Vec<_> = nl.tuples().to_vec();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let l = rel(&[("k", DataType::Int)], vec![vec![Value::Null], vec![1.into()]]);
+        let r = rel(&[("k", DataType::Int)], vec![vec![Value::Null], vec![1.into()]]);
+        let out = hash_join(&l, &r, &[0], &[0]).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn key_arity_mismatch_rejected() {
+        assert!(hash_join(&players(), &teams(), &[0, 1], &[0]).is_err());
+    }
+
+    #[test]
+    fn empty_keys_rejected() {
+        assert!(hash_join(&players(), &teams(), &[], &[]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_keys_rejected() {
+        assert!(hash_join(&players(), &teams(), &[9], &[0]).is_err());
+        assert!(hash_join(&players(), &teams(), &[0], &[9]).is_err());
+    }
+
+    #[test]
+    fn duplicate_build_keys_produce_all_pairs() {
+        let l = rel(&[("k", DataType::Int)], vec![vec![1.into()], vec![1.into()]]);
+        let r = rel(&[("k", DataType::Int)], vec![vec![1.into()], vec![1.into()]]);
+        let out = hash_join(&l, &r, &[0], &[0]).unwrap();
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn nested_loop_with_non_equi_predicate() {
+        let l = rel(&[("a", DataType::Int)], vec![vec![1.into()], vec![5.into()]]);
+        let r = rel(&[("b", DataType::Int)], vec![vec![3.into()]]);
+        let pred = Expr::col("a").binary(crate::expr::BinaryOp::Lt, Expr::col("b"));
+        let out = nested_loop_join(&l, &r, Some(&pred)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.tuples()[0].value(0), &Value::Int(1));
+    }
+}

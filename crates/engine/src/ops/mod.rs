@@ -1,0 +1,24 @@
+//! Physical relational operators over materialised [`Relation`]s.
+//!
+//! Operators come in two layers:
+//! * free functions (this module's submodules) that transform relations
+//!   directly — these are what `maybms-urel` composes its parsimonious
+//!   translation from;
+//! * a composable [`crate::plan::PhysicalPlan`] tree for standalone engine
+//!   use.
+//!
+//! [`Relation`]: crate::tuple::Relation
+
+mod aggregate;
+mod filter;
+mod join;
+mod project;
+mod set;
+mod sort;
+
+pub use aggregate::{aggregate, group_indices, AggCall, AggFunc};
+pub use filter::filter;
+pub use join::{cross_join, hash_join, nested_loop_join};
+pub use project::{project, ProjectItem};
+pub use set::{distinct, union_all};
+pub use sort::{limit, sort, SortKey};

@@ -1,0 +1,117 @@
+//! Bag union and duplicate elimination.
+
+use std::collections::HashSet;
+
+use crate::error::{EngineError, Result};
+use crate::tuple::Relation;
+
+/// SQL `UNION ALL`: concatenates inputs. All inputs must have the same
+/// arity and compatible column types; the first input's schema is kept.
+pub fn union_all(inputs: &[&Relation]) -> Result<Relation> {
+    let Some(first) = inputs.first() else {
+        return Err(EngineError::InvalidOperator {
+            message: "union of zero inputs".into(),
+        });
+    };
+    let schema = first.schema().clone();
+    for r in &inputs[1..] {
+        if r.schema().len() != schema.len() {
+            return Err(EngineError::SchemaMismatch {
+                message: format!(
+                    "UNION arity mismatch: {} vs {}",
+                    schema.len(),
+                    r.schema().len()
+                ),
+            });
+        }
+        for (a, b) in schema.fields().iter().zip(r.schema().fields()) {
+            if a.dtype.unify(b.dtype).is_none() {
+                return Err(EngineError::SchemaMismatch {
+                    message: format!(
+                        "UNION column type mismatch: {} vs {}",
+                        a.dtype, b.dtype
+                    ),
+                });
+            }
+        }
+    }
+    let mut tuples = Vec::with_capacity(inputs.iter().map(|r| r.len()).sum());
+    for r in inputs {
+        tuples.extend(r.tuples().iter().cloned());
+    }
+    Ok(Relation::new_unchecked(schema, tuples))
+}
+
+/// Duplicate elimination, preserving first occurrence order.
+pub fn distinct(input: &Relation) -> Relation {
+    let mut seen = HashSet::with_capacity(input.len());
+    let mut out = Vec::new();
+    for t in input.tuples() {
+        if seen.insert(t.clone()) {
+            out.push(t.clone());
+        }
+    }
+    Relation::new_unchecked(input.schema().clone(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::rel;
+    use crate::types::{DataType, Value};
+
+    #[test]
+    fn union_all_keeps_duplicates() {
+        let a = rel(&[("x", DataType::Int)], vec![vec![1.into()]]);
+        let b = rel(&[("x", DataType::Int)], vec![vec![1.into()], vec![2.into()]]);
+        let out = union_all(&[&a, &b]).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn union_arity_mismatch_rejected() {
+        let a = rel(&[("x", DataType::Int)], vec![]);
+        let b = rel(&[("x", DataType::Int), ("y", DataType::Int)], vec![]);
+        assert!(union_all(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn union_type_mismatch_rejected() {
+        let a = rel(&[("x", DataType::Int)], vec![]);
+        let b = rel(&[("x", DataType::Text)], vec![]);
+        assert!(union_all(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn union_int_float_unifies() {
+        let a = rel(&[("x", DataType::Int)], vec![vec![1.into()]]);
+        let b = rel(&[("x", DataType::Float)], vec![vec![Value::Float(0.5)]]);
+        assert_eq!(union_all(&[&a, &b]).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn union_of_zero_inputs_is_error() {
+        assert!(union_all(&[]).is_err());
+    }
+
+    #[test]
+    fn distinct_removes_duplicates_keeps_order() {
+        let r = rel(
+            &[("x", DataType::Int)],
+            vec![vec![2.into()], vec![1.into()], vec![2.into()], vec![1.into()]],
+        );
+        let out = distinct(&r);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.tuples()[0].value(0), &Value::Int(2));
+        assert_eq!(out.tuples()[1].value(0), &Value::Int(1));
+    }
+
+    #[test]
+    fn distinct_treats_numeric_equal_values_as_duplicates() {
+        let r = rel(
+            &[("x", DataType::Float)],
+            vec![vec![Value::Int(1)], vec![Value::Float(1.0)]],
+        );
+        assert_eq!(distinct(&r).len(), 1);
+    }
+}

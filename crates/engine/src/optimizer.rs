@@ -1,0 +1,553 @@
+//! A small rule-based plan optimizer.
+//!
+//! The original MayBMS inherits PostgreSQL's optimizer for the rewritten
+//! relational plans (§2.3); this module gives the substrate the standard
+//! algebraic rewrites so the engine is a credible stand-in:
+//!
+//! * constant folding inside predicates and projections;
+//! * `Filter` merging (`σ_p(σ_q(R)) → σ_{p∧q}(R)`);
+//! * `Filter` pushdown through `UnionAll`, `Sort`, and into the matching
+//!   side of joins (when the predicate binds against one input's schema);
+//! * trivial-filter elimination (`σ_true(R) → R`,
+//!   `σ_false(R) → ∅`);
+//! * `Distinct` idempotence and `Limit(0)` short-circuiting.
+//!
+//! Every rewrite preserves the bag semantics of the plan; the property
+//! tests in `tests/optimizer_props.rs` check optimized ≡ unoptimized on
+//! random plans and data.
+
+use std::sync::Arc;
+
+use crate::catalog::Catalog;
+use crate::error::Result;
+use crate::expr::{BinaryOp, Expr, UnaryOp};
+use crate::plan::PhysicalPlan;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::types::Value;
+
+/// Optimize a plan against a catalog (schemas are needed to route
+/// predicates through joins). The result computes the same bag of tuples.
+pub fn optimize(plan: &PhysicalPlan, catalog: &Catalog) -> Result<PhysicalPlan> {
+    let p = rewrite(plan.clone(), catalog)?;
+    Ok(p)
+}
+
+/// Compute a plan's output schema without executing it.
+pub fn plan_schema(plan: &PhysicalPlan, catalog: &Catalog) -> Result<Arc<Schema>> {
+    Ok(match plan {
+        PhysicalPlan::Values { schema, .. } => schema.clone(),
+        PhysicalPlan::Scan { table, alias } => {
+            let base = catalog.get(table)?.schema().clone();
+            match alias {
+                None => base,
+                Some(a) => Arc::new(base.with_qualifier(a)),
+            }
+        }
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::Distinct { input }
+        | PhysicalPlan::Sort { input, .. }
+        | PhysicalPlan::Limit { input, .. } => plan_schema(input, catalog)?,
+        PhysicalPlan::Project { input, items } => {
+            let in_schema = plan_schema(input, catalog)?;
+            let fields = items
+                .iter()
+                .map(|item| {
+                    let bound = item.expr.bind(&in_schema)?;
+                    Ok(crate::schema::Field::new(
+                        item.name.clone(),
+                        bound.data_type(&in_schema),
+                    ))
+                })
+                .collect::<Result<Vec<_>>>()?;
+            Arc::new(Schema::new(fields))
+        }
+        PhysicalPlan::NestedLoopJoin { left, right, .. }
+        | PhysicalPlan::HashJoin { left, right, .. } => {
+            let l = plan_schema(left, catalog)?;
+            let r = plan_schema(right, catalog)?;
+            Arc::new(l.join(&r))
+        }
+        PhysicalPlan::UnionAll { inputs } => plan_schema(
+            inputs.first().ok_or_else(|| crate::error::EngineError::InvalidOperator {
+                message: "UNION of zero inputs".into(),
+            })?,
+            catalog,
+        )?,
+        PhysicalPlan::Aggregate { input, group_exprs, group_names, aggs } => {
+            let in_schema = plan_schema(input, catalog)?;
+            let mut fields = Vec::new();
+            for (e, n) in group_exprs.iter().zip(group_names) {
+                let bound = e.bind(&in_schema)?;
+                fields.push(crate::schema::Field::new(
+                    n.clone(),
+                    bound.data_type(&in_schema),
+                ));
+            }
+            for a in aggs {
+                fields.push(crate::schema::Field::new(
+                    a.name.clone(),
+                    crate::types::DataType::Unknown,
+                ));
+            }
+            Arc::new(Schema::new(fields))
+        }
+    })
+}
+
+fn rewrite(plan: PhysicalPlan, catalog: &Catalog) -> Result<PhysicalPlan> {
+    // Bottom-up: optimize children first.
+    let plan = match plan {
+        PhysicalPlan::Filter { input, predicate } => {
+            let input = rewrite(*input, catalog)?;
+            let predicate = fold(predicate);
+            apply_filter_rules(input, predicate, catalog)?
+        }
+        PhysicalPlan::Project { input, items } => {
+            let input = rewrite(*input, catalog)?;
+            let items = items
+                .into_iter()
+                .map(|mut i| {
+                    i.expr = fold(i.expr);
+                    i
+                })
+                .collect();
+            PhysicalPlan::Project { input: Box::new(input), items }
+        }
+        PhysicalPlan::NestedLoopJoin { left, right, predicate } => {
+            PhysicalPlan::NestedLoopJoin {
+                left: Box::new(rewrite(*left, catalog)?),
+                right: Box::new(rewrite(*right, catalog)?),
+                predicate: predicate.map(fold),
+            }
+        }
+        PhysicalPlan::HashJoin { left, right, left_keys, right_keys } => {
+            PhysicalPlan::HashJoin {
+                left: Box::new(rewrite(*left, catalog)?),
+                right: Box::new(rewrite(*right, catalog)?),
+                left_keys,
+                right_keys,
+            }
+        }
+        PhysicalPlan::UnionAll { inputs } => PhysicalPlan::UnionAll {
+            inputs: inputs
+                .into_iter()
+                .map(|p| rewrite(p, catalog))
+                .collect::<Result<_>>()?,
+        },
+        PhysicalPlan::Distinct { input } => {
+            let input = rewrite(*input, catalog)?;
+            // distinct(distinct(R)) = distinct(R)
+            if matches!(input, PhysicalPlan::Distinct { .. }) {
+                input
+            } else {
+                PhysicalPlan::Distinct { input: Box::new(input) }
+            }
+        }
+        PhysicalPlan::Sort { input, keys } => {
+            PhysicalPlan::Sort { input: Box::new(rewrite(*input, catalog)?), keys }
+        }
+        PhysicalPlan::Limit { input, n } => {
+            if n == 0 {
+                // LIMIT 0: no rows; keep the schema.
+                let schema = plan_schema(&input, catalog)?;
+                PhysicalPlan::Values { schema, rows: Vec::new() }
+            } else {
+                PhysicalPlan::Limit { input: Box::new(rewrite(*input, catalog)?), n }
+            }
+        }
+        PhysicalPlan::Aggregate { input, group_exprs, group_names, aggs } => {
+            PhysicalPlan::Aggregate {
+                input: Box::new(rewrite(*input, catalog)?),
+                group_exprs: group_exprs.into_iter().map(fold).collect(),
+                group_names,
+                aggs,
+            }
+        }
+        leaf @ (PhysicalPlan::Values { .. } | PhysicalPlan::Scan { .. }) => leaf,
+    };
+    Ok(plan)
+}
+
+/// The filter-specific rewrites, applied after the child is optimized.
+fn apply_filter_rules(
+    input: PhysicalPlan,
+    predicate: Expr,
+    catalog: &Catalog,
+) -> Result<PhysicalPlan> {
+    // σ_true(R) → R;   σ_false(R) → empty Values.
+    match &predicate {
+        Expr::Literal(Value::Bool(true)) => return Ok(input),
+        Expr::Literal(Value::Bool(false)) | Expr::Literal(Value::Null) => {
+            let schema = plan_schema(&input, catalog)?;
+            return Ok(PhysicalPlan::Values { schema, rows: Vec::new() });
+        }
+        _ => {}
+    }
+    match input {
+        // σ_p(σ_q(R)) → σ_{q AND p}(R)  (evaluation order preserved: q first).
+        PhysicalPlan::Filter { input: inner, predicate: q } => {
+            let merged = q.and(predicate);
+            apply_filter_rules(*inner, merged, catalog)
+        }
+        // σ_p(R ∪ S) → σ_p(R) ∪ σ_p(S)
+        PhysicalPlan::UnionAll { inputs } => {
+            let pushed = inputs
+                .into_iter()
+                .map(|p| apply_filter_rules(p, predicate.clone(), catalog))
+                .collect::<Result<_>>()?;
+            Ok(PhysicalPlan::UnionAll { inputs: pushed })
+        }
+        // σ_p(sort(R)) → sort(σ_p(R)) — filtering first is never slower.
+        PhysicalPlan::Sort { input: inner, keys } => {
+            let filtered = apply_filter_rules(*inner, predicate, catalog)?;
+            Ok(PhysicalPlan::Sort { input: Box::new(filtered), keys })
+        }
+        // Push into a join side when the predicate binds there. Name-based
+        // predicates only — positional (ColumnIdx) predicates stay put.
+        PhysicalPlan::NestedLoopJoin { left, right, predicate: join_pred } => {
+            let l_schema = plan_schema(&left, catalog)?;
+            let r_schema = plan_schema(&right, catalog)?;
+            if is_name_based(&predicate) && predicate.bind(&l_schema).is_ok() {
+                let pushed = apply_filter_rules(*left, predicate, catalog)?;
+                return Ok(PhysicalPlan::NestedLoopJoin {
+                    left: Box::new(pushed),
+                    right,
+                    predicate: join_pred,
+                });
+            }
+            if is_name_based(&predicate) && predicate.bind(&r_schema).is_ok() {
+                let pushed = apply_filter_rules(*right, predicate, catalog)?;
+                return Ok(PhysicalPlan::NestedLoopJoin {
+                    left,
+                    right: Box::new(pushed),
+                    predicate: join_pred,
+                });
+            }
+            Ok(PhysicalPlan::Filter {
+                input: Box::new(PhysicalPlan::NestedLoopJoin {
+                    left,
+                    right,
+                    predicate: join_pred,
+                }),
+                predicate,
+            })
+        }
+        other => Ok(PhysicalPlan::Filter { input: Box::new(other), predicate }),
+    }
+}
+
+/// Is the expression free of positional column references? Pushing a
+/// positional predicate below an operator would re-index it incorrectly.
+fn is_name_based(e: &Expr) -> bool {
+    let mut positional = Vec::new();
+    e.referenced_columns(&mut positional);
+    positional.is_empty()
+}
+
+/// Constant folding. Folds only subexpressions whose evaluation cannot
+/// fail (so `1/0` stays a runtime error at the original position).
+pub fn fold(e: Expr) -> Expr {
+    let empty = Tuple::new(Vec::new());
+    match e {
+        Expr::Binary { left, op, right } => {
+            let left = fold(*left);
+            let right = fold(*right);
+            // Boolean short-circuits with one constant side.
+            match (op, &left, &right) {
+                (BinaryOp::And, Expr::Literal(Value::Bool(false)), _)
+                | (BinaryOp::And, _, Expr::Literal(Value::Bool(false))) => {
+                    return Expr::Literal(Value::Bool(false));
+                }
+                (BinaryOp::And, Expr::Literal(Value::Bool(true)), other)
+                | (BinaryOp::And, other, Expr::Literal(Value::Bool(true))) => {
+                    return other.clone();
+                }
+                (BinaryOp::Or, Expr::Literal(Value::Bool(true)), _)
+                | (BinaryOp::Or, _, Expr::Literal(Value::Bool(true))) => {
+                    return Expr::Literal(Value::Bool(true));
+                }
+                (BinaryOp::Or, Expr::Literal(Value::Bool(false)), other)
+                | (BinaryOp::Or, other, Expr::Literal(Value::Bool(false))) => {
+                    return other.clone();
+                }
+                _ => {}
+            }
+            let folded = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+            try_eval_const(folded, &empty)
+        }
+        Expr::Unary { op, expr } => {
+            let inner = fold(*expr);
+            match (op, &inner) {
+                (UnaryOp::Not, Expr::Literal(Value::Bool(b))) => {
+                    Expr::Literal(Value::Bool(!b))
+                }
+                _ => try_eval_const(Expr::Unary { op, expr: Box::new(inner) }, &empty),
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let inner = fold(*expr);
+            if let Expr::Literal(v) = &inner {
+                return Expr::Literal(Value::Bool(v.is_null() != negated));
+            }
+            Expr::IsNull { expr: Box::new(inner), negated }
+        }
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(fold(*expr)),
+            list: list.into_iter().map(fold).collect(),
+            negated,
+        },
+        Expr::Case { branches, else_expr } => Expr::Case {
+            branches: branches
+                .into_iter()
+                .map(|(c, r)| (fold(c), fold(r)))
+                .collect(),
+            else_expr: else_expr.map(|x| Box::new(fold(*x))),
+        },
+        Expr::Cast { expr, dtype } => {
+            try_eval_const(Expr::Cast { expr: Box::new(fold(*expr)), dtype }, &empty)
+        }
+        other => other,
+    }
+}
+
+/// If the expression is literal-only, try evaluating it; keep the original
+/// on error (runtime errors must surface at execution, not planning).
+fn try_eval_const(e: Expr, empty: &Tuple) -> Expr {
+    if !is_literal_only(&e) {
+        return e;
+    }
+    match e.eval(empty) {
+        Ok(v) => Expr::Literal(v),
+        Err(_) => e,
+    }
+}
+
+fn is_literal_only(e: &Expr) -> bool {
+    match e {
+        Expr::Literal(_) => true,
+        Expr::Column { .. } | Expr::ColumnIdx(_) => false,
+        Expr::Binary { left, right, .. } => is_literal_only(left) && is_literal_only(right),
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
+            is_literal_only(expr)
+        }
+        Expr::InList { expr, list, .. } => {
+            is_literal_only(expr) && list.iter().all(is_literal_only)
+        }
+        Expr::Case { branches, else_expr } => {
+            branches.iter().all(|(c, r)| is_literal_only(c) && is_literal_only(r))
+                && else_expr.as_ref().is_none_or(|x| is_literal_only(x))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::ProjectItem;
+    use crate::tuple::rel;
+    use crate::types::DataType;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.create(
+            "t",
+            rel(
+                &[("k", DataType::Int), ("v", DataType::Int)],
+                vec![
+                    vec![1.into(), 10.into()],
+                    vec![2.into(), 20.into()],
+                    vec![3.into(), 30.into()],
+                ],
+            ),
+        )
+        .unwrap();
+        c.create(
+            "s",
+            rel(
+                &[("k2", DataType::Int), ("w", DataType::Int)],
+                vec![vec![1.into(), 100.into()], vec![2.into(), 200.into()]],
+            ),
+        )
+        .unwrap();
+        c
+    }
+
+    fn scan(t: &str) -> PhysicalPlan {
+        PhysicalPlan::Scan { table: t.into(), alias: None }
+    }
+
+    #[test]
+    fn fold_arithmetic_and_booleans() {
+        let e = Expr::lit(2i64).binary(BinaryOp::Add, Expr::lit(3i64));
+        assert_eq!(fold(e), Expr::Literal(Value::Int(5)));
+        let e = Expr::lit(true).and(Expr::col("x").eq(Expr::lit(1i64)));
+        assert_eq!(fold(e).to_string(), "(x = 1)");
+        let e = Expr::lit(false).and(Expr::col("x").eq(Expr::lit(1i64)));
+        assert_eq!(fold(e), Expr::Literal(Value::Bool(false)));
+        let e = Expr::lit(false).or(Expr::col("y"));
+        assert_eq!(fold(e).to_string(), "y");
+    }
+
+    #[test]
+    fn fold_keeps_failing_constants_unfolded() {
+        let e = Expr::lit(1i64).binary(BinaryOp::Div, Expr::lit(0i64));
+        let folded = fold(e.clone());
+        assert_eq!(folded, e); // division by zero stays a runtime error
+    }
+
+    #[test]
+    fn fold_is_null_on_literals() {
+        let e = Expr::IsNull { expr: Box::new(Expr::lit(Value::Null)), negated: false };
+        assert_eq!(fold(e), Expr::Literal(Value::Bool(true)));
+    }
+
+    #[test]
+    fn filter_true_removed_false_emptied() {
+        let c = catalog();
+        let p = PhysicalPlan::Filter {
+            input: Box::new(scan("t")),
+            predicate: Expr::lit(true),
+        };
+        assert!(matches!(optimize(&p, &c).unwrap(), PhysicalPlan::Scan { .. }));
+        let p = PhysicalPlan::Filter {
+            input: Box::new(scan("t")),
+            predicate: Expr::lit(1i64).eq(Expr::lit(2i64)),
+        };
+        let opt = optimize(&p, &c).unwrap();
+        assert!(matches!(&opt, PhysicalPlan::Values { rows, .. } if rows.is_empty()));
+        // Schema preserved for downstream operators.
+        assert_eq!(plan_schema(&opt, &c).unwrap().names(), vec!["k", "v"]);
+    }
+
+    #[test]
+    fn filters_merge() {
+        let c = catalog();
+        let p = PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::Filter {
+                input: Box::new(scan("t")),
+                predicate: Expr::col("k").binary(BinaryOp::Gt, Expr::lit(1i64)),
+            }),
+            predicate: Expr::col("v").binary(BinaryOp::Lt, Expr::lit(30i64)),
+        };
+        let opt = optimize(&p, &c).unwrap();
+        let PhysicalPlan::Filter { input, .. } = &opt else { panic!("{opt:?}") };
+        assert!(matches!(**input, PhysicalPlan::Scan { .. }), "single merged filter");
+        assert_eq!(opt.execute(&c).unwrap().len(), 1); // k=2
+    }
+
+    #[test]
+    fn filter_pushes_through_union() {
+        let c = catalog();
+        let p = PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::UnionAll {
+                inputs: vec![scan("t"), scan("t")],
+            }),
+            predicate: Expr::col("k").eq(Expr::lit(1i64)),
+        };
+        let opt = optimize(&p, &c).unwrap();
+        let PhysicalPlan::UnionAll { inputs } = &opt else { panic!("{opt:?}") };
+        assert!(inputs.iter().all(|i| matches!(i, PhysicalPlan::Filter { .. })));
+        assert_eq!(opt.execute(&c).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn filter_pushes_into_join_side() {
+        let c = catalog();
+        let join = PhysicalPlan::NestedLoopJoin {
+            left: Box::new(scan("t")),
+            right: Box::new(scan("s")),
+            predicate: Some(Expr::col("k").eq(Expr::col("k2"))),
+        };
+        let p = PhysicalPlan::Filter {
+            input: Box::new(join),
+            predicate: Expr::col("w").binary(BinaryOp::GtEq, Expr::lit(200i64)),
+        };
+        let opt = optimize(&p, &c).unwrap();
+        // The filter must now sit on the right side of the join.
+        let PhysicalPlan::NestedLoopJoin { right, .. } = &opt else {
+            panic!("expected join at root, got {opt:?}")
+        };
+        assert!(matches!(**right, PhysicalPlan::Filter { .. }));
+        assert_eq!(opt.execute(&c).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn positional_predicates_not_pushed() {
+        let c = catalog();
+        let join = PhysicalPlan::NestedLoopJoin {
+            left: Box::new(scan("t")),
+            right: Box::new(scan("s")),
+            predicate: None,
+        };
+        let p = PhysicalPlan::Filter {
+            input: Box::new(join),
+            predicate: Expr::ColumnIdx(3).eq(Expr::lit(200i64)),
+        };
+        let opt = optimize(&p, &c).unwrap();
+        assert!(matches!(opt, PhysicalPlan::Filter { .. }));
+        assert_eq!(opt.execute(&c).unwrap().len(), 3); // 3 t-rows × 1 s-row
+    }
+
+    #[test]
+    fn distinct_collapses_and_limit_zero_shortcuts() {
+        let c = catalog();
+        let p = PhysicalPlan::Distinct {
+            input: Box::new(PhysicalPlan::Distinct { input: Box::new(scan("t")) }),
+        };
+        let opt = optimize(&p, &c).unwrap();
+        let PhysicalPlan::Distinct { input } = &opt else { panic!() };
+        assert!(matches!(**input, PhysicalPlan::Scan { .. }));
+
+        let p = PhysicalPlan::Limit { input: Box::new(scan("t")), n: 0 };
+        let opt = optimize(&p, &c).unwrap();
+        assert!(matches!(opt, PhysicalPlan::Values { .. }));
+    }
+
+    #[test]
+    fn filter_moves_below_sort() {
+        let c = catalog();
+        let p = PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::Sort {
+                input: Box::new(scan("t")),
+                keys: vec![crate::ops::SortKey::desc(Expr::col("v"))],
+            }),
+            predicate: Expr::col("k").binary(BinaryOp::Lt, Expr::lit(3i64)),
+        };
+        let opt = optimize(&p, &c).unwrap();
+        let PhysicalPlan::Sort { input, .. } = &opt else { panic!("{opt:?}") };
+        assert!(matches!(**input, PhysicalPlan::Filter { .. }));
+        let out = opt.execute(&c).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.tuples()[0].value(1), &Value::Int(20)); // still sorted desc
+    }
+
+    #[test]
+    fn plan_schema_matches_execution() {
+        let c = catalog();
+        let plans = vec![
+            scan("t"),
+            PhysicalPlan::Project {
+                input: Box::new(scan("t")),
+                items: vec![ProjectItem::new(
+                    Expr::col("k").binary(BinaryOp::Add, Expr::lit(1i64)),
+                    "k1",
+                )],
+            },
+            PhysicalPlan::NestedLoopJoin {
+                left: Box::new(scan("t")),
+                right: Box::new(scan("s")),
+                predicate: None,
+            },
+        ];
+        for p in plans {
+            let predicted = plan_schema(&p, &c).unwrap();
+            let actual = p.execute(&c).unwrap().schema().clone();
+            assert_eq!(predicted.names(), actual.names());
+        }
+    }
+}

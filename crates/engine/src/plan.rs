@@ -1,0 +1,295 @@
+//! A composable physical plan tree for standalone engine use.
+//!
+//! `maybms-core` drives most execution through the free operator functions
+//! directly (it has to interleave world-set bookkeeping), but the plan tree
+//! is useful for t-certain subqueries, for tests, and as the engine's own
+//! public face.
+
+use std::sync::Arc;
+
+use crate::catalog::Catalog;
+use crate::error::{EngineError, Result};
+use crate::expr::Expr;
+use crate::ops::{self, AggCall, ProjectItem, SortKey};
+use crate::schema::Schema;
+use crate::tuple::{Relation, Tuple};
+
+/// A physical query plan. Executed bottom-up, fully materialised.
+#[derive(Debug, Clone)]
+pub enum PhysicalPlan {
+    /// Literal rows.
+    Values {
+        /// Output schema.
+        schema: Arc<Schema>,
+        /// The rows.
+        rows: Vec<Tuple>,
+    },
+    /// Scan a catalog table, optionally re-qualifying columns with an alias.
+    Scan {
+        /// Table name.
+        table: String,
+        /// Optional alias; when set all columns are qualified with it.
+        alias: Option<String>,
+    },
+    /// σ
+    Filter {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Predicate over the input schema.
+        predicate: Expr,
+    },
+    /// π
+    Project {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Output columns.
+        items: Vec<ProjectItem>,
+    },
+    /// Inner join with optional predicate (nested loop).
+    NestedLoopJoin {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+        /// Join predicate over the concatenated schema.
+        predicate: Option<Expr>,
+    },
+    /// Hash equi-join on positional keys.
+    HashJoin {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+        /// Key column indices in the left schema.
+        left_keys: Vec<usize>,
+        /// Key column indices in the right schema.
+        right_keys: Vec<usize>,
+    },
+    /// Bag union.
+    UnionAll {
+        /// Inputs (all same arity).
+        inputs: Vec<PhysicalPlan>,
+    },
+    /// Duplicate elimination.
+    Distinct {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+    },
+    /// ORDER BY.
+    Sort {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Sort keys.
+        keys: Vec<SortKey>,
+    },
+    /// LIMIT.
+    Limit {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Row cap.
+        n: usize,
+    },
+    /// GROUP BY + aggregates.
+    Aggregate {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Group key expressions.
+        group_exprs: Vec<Expr>,
+        /// Output names for the group keys.
+        group_names: Vec<String>,
+        /// Aggregate calls.
+        aggs: Vec<AggCall>,
+    },
+}
+
+impl PhysicalPlan {
+    /// Execute against a catalog, materialising the result.
+    pub fn execute(&self, catalog: &Catalog) -> Result<Relation> {
+        match self {
+            PhysicalPlan::Values { schema, rows } => {
+                Relation::new(schema.clone(), rows.clone())
+            }
+            PhysicalPlan::Scan { table, alias } => {
+                let r = catalog.get(table)?.clone();
+                match alias {
+                    None => Ok(r),
+                    Some(a) => {
+                        let qualified = Arc::new(r.schema().with_qualifier(a));
+                        r.with_schema(qualified)
+                    }
+                }
+            }
+            PhysicalPlan::Filter { input, predicate } => {
+                ops::filter(&input.execute(catalog)?, predicate)
+            }
+            PhysicalPlan::Project { input, items } => {
+                ops::project(&input.execute(catalog)?, items)
+            }
+            PhysicalPlan::NestedLoopJoin { left, right, predicate } => ops::nested_loop_join(
+                &left.execute(catalog)?,
+                &right.execute(catalog)?,
+                predicate.as_ref(),
+            ),
+            PhysicalPlan::HashJoin { left, right, left_keys, right_keys } => ops::hash_join(
+                &left.execute(catalog)?,
+                &right.execute(catalog)?,
+                left_keys,
+                right_keys,
+            ),
+            PhysicalPlan::UnionAll { inputs } => {
+                if inputs.is_empty() {
+                    return Err(EngineError::InvalidOperator {
+                        message: "UNION of zero inputs".into(),
+                    });
+                }
+                let rels: Vec<Relation> =
+                    inputs.iter().map(|p| p.execute(catalog)).collect::<Result<_>>()?;
+                let refs: Vec<&Relation> = rels.iter().collect();
+                ops::union_all(&refs)
+            }
+            PhysicalPlan::Distinct { input } => Ok(ops::distinct(&input.execute(catalog)?)),
+            PhysicalPlan::Sort { input, keys } => ops::sort(&input.execute(catalog)?, keys),
+            PhysicalPlan::Limit { input, n } => Ok(ops::limit(&input.execute(catalog)?, *n)),
+            PhysicalPlan::Aggregate { input, group_exprs, group_names, aggs } => {
+                ops::aggregate(&input.execute(catalog)?, group_exprs, group_names, aggs)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinaryOp;
+    use crate::ops::AggFunc;
+    use crate::tuple::rel;
+    use crate::types::{DataType, Value};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.create(
+            "games",
+            rel(
+                &[("player", DataType::Text), ("pts", DataType::Int)],
+                vec![
+                    vec!["Bryant".into(), 30.into()],
+                    vec!["Bryant".into(), 40.into()],
+                    vec!["Duncan".into(), 20.into()],
+                ],
+            ),
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn scan_filter_project_pipeline() {
+        let plan = PhysicalPlan::Project {
+            input: Box::new(PhysicalPlan::Filter {
+                input: Box::new(PhysicalPlan::Scan { table: "games".into(), alias: None }),
+                predicate: Expr::col("pts").binary(BinaryOp::GtEq, Expr::lit(30i64)),
+            }),
+            items: vec![ProjectItem::col("player")],
+        };
+        let out = plan.execute(&catalog()).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.schema().names(), vec!["player"]);
+    }
+
+    #[test]
+    fn scan_with_alias_qualifies() {
+        let plan = PhysicalPlan::Scan { table: "games".into(), alias: Some("g".into()) };
+        let out = plan.execute(&catalog()).unwrap();
+        assert_eq!(out.schema().field(0).qualified_name(), "g.player");
+    }
+
+    #[test]
+    fn aggregate_plan() {
+        let plan = PhysicalPlan::Aggregate {
+            input: Box::new(PhysicalPlan::Scan { table: "games".into(), alias: None }),
+            group_exprs: vec![Expr::col("player")],
+            group_names: vec!["player".into()],
+            aggs: vec![AggCall::new(AggFunc::Sum, Some(Expr::col("pts")), "total")],
+        };
+        let out = plan.execute(&catalog()).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.tuples()[0].value(1), &Value::Int(70));
+    }
+
+    #[test]
+    fn self_join_via_aliases() {
+        let scan = |alias: &str| PhysicalPlan::Scan {
+            table: "games".into(),
+            alias: Some(alias.into()),
+        };
+        let plan = PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::NestedLoopJoin {
+                left: Box::new(scan("a")),
+                right: Box::new(scan("b")),
+                predicate: Some(Expr::qcol("a", "player").eq(Expr::qcol("b", "player"))),
+            }),
+            predicate: Expr::qcol("a", "pts").binary(BinaryOp::Lt, Expr::qcol("b", "pts")),
+        };
+        let out = plan.execute(&catalog()).unwrap();
+        assert_eq!(out.len(), 1); // Bryant 30 < Bryant 40
+    }
+
+    #[test]
+    fn union_distinct_sort_limit() {
+        let scan = PhysicalPlan::Scan { table: "games".into(), alias: None };
+        let plan = PhysicalPlan::Limit {
+            input: Box::new(PhysicalPlan::Sort {
+                input: Box::new(PhysicalPlan::Distinct {
+                    input: Box::new(PhysicalPlan::UnionAll {
+                        inputs: vec![scan.clone(), scan],
+                    }),
+                }),
+                keys: vec![SortKey::desc(Expr::col("pts"))],
+            }),
+            n: 2,
+        };
+        let out = plan.execute(&catalog()).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.tuples()[0].value(1), &Value::Int(40));
+    }
+
+    #[test]
+    fn missing_table_propagates() {
+        let plan = PhysicalPlan::Scan { table: "nope".into(), alias: None };
+        assert!(plan.execute(&Catalog::new()).is_err());
+    }
+
+    #[test]
+    fn values_node_checks_arity() {
+        let schema = Arc::new(crate::Schema::from_pairs(&[("a", DataType::Int)]));
+        let good = PhysicalPlan::Values {
+            schema: schema.clone(),
+            rows: vec![crate::Tuple::new(vec![1.into()])],
+        };
+        assert_eq!(good.execute(&Catalog::new()).unwrap().len(), 1);
+        let bad = PhysicalPlan::Values {
+            schema,
+            rows: vec![crate::Tuple::new(vec![1.into(), 2.into()])],
+        };
+        assert!(bad.execute(&Catalog::new()).is_err());
+    }
+
+    #[test]
+    fn hash_join_plan_node() {
+        let c = catalog();
+        let plan = PhysicalPlan::HashJoin {
+            left: Box::new(PhysicalPlan::Scan { table: "games".into(), alias: None }),
+            right: Box::new(PhysicalPlan::Scan { table: "games".into(), alias: None }),
+            left_keys: vec![0],
+            right_keys: vec![0],
+        };
+        let out = plan.execute(&c).unwrap();
+        assert_eq!(out.len(), 5); // Bryant 2×2 + Duncan 1×1
+    }
+
+    #[test]
+    fn empty_union_rejected() {
+        let plan = PhysicalPlan::UnionAll { inputs: vec![] };
+        assert!(plan.execute(&Catalog::new()).is_err());
+    }
+}

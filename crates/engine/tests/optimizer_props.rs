@@ -1,0 +1,144 @@
+//! Equivalence property: for random plans over random data, the optimized
+//! plan computes the same bag of tuples as the original.
+
+use std::sync::Arc;
+
+use maybms_engine::catalog::Catalog;
+use maybms_engine::ops::{ProjectItem, SortKey};
+use maybms_engine::optimizer::optimize;
+use maybms_engine::{
+    BinaryOp, DataType, Expr, PhysicalPlan, Relation, Schema, Tuple,
+};
+use proptest::prelude::*;
+
+fn arb_catalog() -> impl Strategy<Value = Catalog> {
+    (
+        prop::collection::vec((0i64..5, -20i64..20), 0..12),
+        prop::collection::vec((0i64..5, -20i64..20), 0..12),
+    )
+        .prop_map(|(t_rows, s_rows)| {
+            let mut c = Catalog::new();
+            let mk = |names: [&str; 2], rows: Vec<(i64, i64)>| {
+                let schema = Arc::new(Schema::from_pairs(&[
+                    (names[0], DataType::Int),
+                    (names[1], DataType::Int),
+                ]));
+                Relation::new(
+                    schema,
+                    rows.into_iter()
+                        .map(|(a, b)| Tuple::new(vec![a.into(), b.into()]))
+                        .collect(),
+                )
+                .unwrap()
+            };
+            c.create("t", mk(["k", "v"], t_rows)).unwrap();
+            c.create("s", mk(["k2", "w"], s_rows)).unwrap();
+            c
+        })
+}
+
+fn arb_predicate() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(|n| Expr::col("k").binary(BinaryOp::Gt, Expr::lit(n))),
+        (-20i64..20).prop_map(|n| Expr::col("v").binary(BinaryOp::LtEq, Expr::lit(n))),
+        Just(Expr::lit(true)),
+        Just(Expr::lit(false)),
+        (-20i64..20).prop_map(|n| Expr::lit(n).eq(Expr::lit(n))), // foldable
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.clone().prop_map(|a| a.not()),
+        ]
+    })
+}
+
+/// Random plans over table t (single-source shapes where every predicate
+/// binds).
+fn arb_plan() -> impl Strategy<Value = PhysicalPlan> {
+    let scan = Just(PhysicalPlan::Scan { table: "t".into(), alias: None });
+    (scan, prop::collection::vec(arb_predicate(), 0..4), any::<u8>()).prop_map(
+        |(base, preds, shape)| {
+            let mut plan = base;
+            for (i, p) in preds.into_iter().enumerate() {
+                plan = PhysicalPlan::Filter { input: Box::new(plan), predicate: p };
+                // Interleave other operators based on shape bits.
+                match (shape >> (2 * i)) & 3 {
+                    1 => {
+                        plan = PhysicalPlan::Distinct { input: Box::new(plan) };
+                    }
+                    2 => {
+                        plan = PhysicalPlan::Sort {
+                            input: Box::new(plan),
+                            keys: vec![SortKey::asc(Expr::col("v"))],
+                        };
+                    }
+                    3 => {
+                        plan = PhysicalPlan::UnionAll {
+                            inputs: vec![plan.clone(), plan],
+                        };
+                    }
+                    _ => {}
+                }
+            }
+            plan
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// optimize(p) ≡ p as bags.
+    #[test]
+    fn optimized_plan_equivalent(catalog in arb_catalog(), plan in arb_plan()) {
+        let original = plan.execute(&catalog).unwrap();
+        let optimized_plan = optimize(&plan, &catalog).unwrap();
+        let optimized = optimized_plan.execute(&catalog).unwrap();
+        let mut a = original.into_tuples();
+        let mut b = optimized.into_tuples();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Join + filter plans keep their semantics under pushdown.
+    #[test]
+    fn join_pushdown_equivalent(
+        catalog in arb_catalog(),
+        filter in arb_predicate(),
+        right_bound in -20i64..20,
+    ) {
+        let join = PhysicalPlan::NestedLoopJoin {
+            left: Box::new(PhysicalPlan::Scan { table: "t".into(), alias: None }),
+            right: Box::new(PhysicalPlan::Scan { table: "s".into(), alias: None }),
+            predicate: Some(Expr::col("k").eq(Expr::col("k2"))),
+        };
+        let plan = PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::Filter {
+                input: Box::new(join),
+                predicate: Expr::col("w").binary(BinaryOp::Gt, Expr::lit(right_bound)),
+            }),
+            predicate: filter,
+        };
+        let original = plan.execute(&catalog).unwrap();
+        let optimized = optimize(&plan, &catalog).unwrap().execute(&catalog).unwrap();
+        let mut a = original.into_tuples();
+        let mut b = optimized.into_tuples();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Folding preserves evaluation on literal-only expressions.
+    #[test]
+    fn fold_preserves_value(pred in arb_predicate()) {
+        use maybms_engine::optimizer::fold;
+        let schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)]);
+        let row = Tuple::new(vec![1.into(), 2.into()]);
+        let original = pred.bind(&schema).unwrap().eval(&row).unwrap();
+        let folded = fold(pred).bind(&schema).unwrap().eval(&row).unwrap();
+        prop_assert_eq!(original, folded);
+    }
+}

@@ -1,0 +1,48 @@
+//! # maybms-sql — the MayBMS query language frontend
+//!
+//! The MayBMS query language "extends SQL with uncertainty-aware
+//! constructs" (§2.2). This crate provides the lexer, AST, and
+//! recursive-descent parser for that language:
+//!
+//! * `repair key <attrs> in <t-certain-query> [weight by <expr>]`
+//! * `pick tuples from <t-certain-query> [independently] [with probability <expr>]`
+//! * confidence aggregates `conf()`, `aconf(ε, δ)`, `tconf()`
+//! * `select possible …`
+//! * expectation aggregates `esum(e)`, `ecount([e])`
+//! * `argmax(arg, value)`
+//! * plus the standard SQL subset MayBMS inherits: select/from/where/
+//!   group by/having/union/order by/limit, create table (as), insert,
+//!   update, delete, drop.
+//!
+//! The two query programs in the paper's Figure 1 parse verbatim.
+//!
+//! ```
+//! use maybms_sql::parse_statement;
+//!
+//! let stmt = parse_statement(
+//!     "select R1.Player, R2.Final as State, conf() as p from \
+//!      (repair key Player, Init in FT2 weight by p) R1, \
+//!      (repair key Player, Init in FT weight by p) R2 \
+//!      where R1.Final = R2.Init and R1.Player = R2.Player \
+//!      group by R1.player, R2.Final;",
+//! )
+//! .unwrap();
+//! // Every AST node prints back to valid SQL:
+//! assert!(stmt.to_string().starts_with("SELECT R1.Player"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use ast::{
+    BinOp, ColumnDef, Expr, FromItem, InsertSource, Lit, OrderKey, Query, QueryInput, Select,
+    SelectItem, Statement,
+};
+pub use error::{ParseError, Result};
+pub use parser::{parse_expr, parse_query, parse_statement, parse_statements};

@@ -1,0 +1,64 @@
+//! Robustness: the lexer and parser must never panic — they return
+//! `Ok`/`Err` on *any* input, including adversarial near-SQL.
+
+use maybms_sql::{parse_expr, parse_statement, parse_statements};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Totally arbitrary unicode input.
+    #[test]
+    fn parser_total_on_arbitrary_input(s in "\\PC{0,60}") {
+        let _ = parse_statement(&s);
+        let _ = parse_statements(&s);
+        let _ = parse_expr(&s);
+    }
+
+    /// Near-SQL: random token soup from the language's own vocabulary —
+    /// much better at hitting deep parser states than raw unicode.
+    #[test]
+    fn parser_total_on_token_soup(tokens in prop::collection::vec(
+        prop::sample::select(vec![
+            "select", "from", "where", "group", "by", "order", "limit",
+            "repair", "key", "in", "weight", "pick", "tuples", "with",
+            "probability", "independently", "conf()", "aconf(0.1,0.1)",
+            "tconf()", "possible", "esum(x)", "ecount()", "argmax(a,b)",
+            "union", "all", "distinct", "create", "table", "as", "insert",
+            "into", "values", "update", "set", "delete", "drop", "if",
+            "exists", "and", "or", "not", "is", "null", "case", "when",
+            "then", "else", "end", "cast", "join", "on",
+            "t", "r1", "x", "y", "p", "(", ")", ",", ";", "*", "=", "<",
+            ">", "<=", ">=", "<>", "+", "-", "/", "%", "||", ".",
+            "1", "2.5", "'str'", "\"q id\"", "--c\n", "/*b*/",
+        ]),
+        0..24,
+    )) {
+        let sql = tokens.join(" ");
+        let _ = parse_statement(&sql);
+        let _ = parse_statements(&sql);
+    }
+
+    /// Anything that parses must print, and the printed form must parse
+    /// again (printer totality on parser output).
+    #[test]
+    fn printer_total_on_parsed_output(tokens in prop::collection::vec(
+        prop::sample::select(vec![
+            "select", "from", "where", "conf()", "possible", "x", "y",
+            "t", "1", "'s'", "(", ")", ",", "*", "=", "and", "repair",
+            "key", "in", "weight", "by", "group",
+        ]),
+        0..16,
+    )) {
+        let sql = tokens.join(" ");
+        if let Ok(stmt) = parse_statement(&sql) {
+            let printed = stmt.to_string();
+            let reparsed = parse_statement(&printed);
+            prop_assert!(
+                reparsed.is_ok(),
+                "printed form failed to reparse: {} -> {}", sql, printed
+            );
+            prop_assert_eq!(stmt, reparsed.unwrap());
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! # maybms-urel — U-relational databases
+//!
+//! "MayBMS stores probabilistic data in U-relational databases, a succinct
+//! and complete representation system for large sets of possible worlds"
+//! (§2.1). This crate implements that representation system and the query
+//! machinery that works directly on it:
+//!
+//! * [`var`] / [`world_table`] — finite independent random variables,
+//!   their distributions, world sampling and enumeration;
+//! * [`wsd`] — world-set descriptors: the per-tuple condition columns;
+//! * [`urelation`] — U-relations and the t-certain test;
+//! * [`algebra`] — the parsimonious positive-RA translation (σ, π, ⋈, ∪ on
+//!   the representation; cost independent of the number of worlds);
+//! * [`repair`] / [`pick`] — the `repair key` and `pick tuples`
+//!   hypothesis-space constructs (§2.2);
+//! * [`vertical`] — attribute-level uncertainty through vertical
+//!   decomposition with system tuple ids (§2.1);
+//! * [`worlds`] — exponential possible-world enumeration, used as the
+//!   ground-truth oracle in tests.
+//!
+//! ## Example: Figure 1's one-step random walk
+//!
+//! ```
+//! use maybms_engine::{rel, DataType, Expr, Value};
+//! use maybms_urel::repair::{repair_key, RepairKeyOptions};
+//! use maybms_urel::world_table::WorldTable;
+//!
+//! let ft = rel(
+//!     &[("player", DataType::Text), ("init", DataType::Text),
+//!       ("final", DataType::Text), ("p", DataType::Float)],
+//!     vec![
+//!         vec!["Bryant".into(), "F".into(), "F".into(), Value::Float(0.8)],
+//!         vec!["Bryant".into(), "F".into(), "SE".into(), Value::Float(0.05)],
+//!         vec!["Bryant".into(), "F".into(), "SL".into(), Value::Float(0.15)],
+//!     ],
+//! );
+//! let mut wt = WorldTable::new();
+//! let r2 = repair_key(
+//!     &ft,
+//!     &[Expr::col("player"), Expr::col("init")],
+//!     &RepairKeyOptions { weight: Some(Expr::col("p")) },
+//!     &mut wt,
+//! ).unwrap();
+//! assert_eq!(r2.len(), 3);            // three conditioned alternatives
+//! assert_eq!(wt.num_vars(), 1);       // one variable for the (Bryant, F) group
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod algebra;
+pub mod error;
+pub mod pick;
+pub mod repair;
+pub mod urelation;
+pub mod var;
+pub mod vertical;
+pub mod world_table;
+pub mod worlds;
+pub mod wsd;
+
+pub use error::{Result, UrelError};
+pub use pick::{pick_tuples, pick_tuples_u, PickTuplesOptions};
+pub use repair::{repair_key, repair_key_u, RepairKeyOptions};
+pub use urelation::{URelation, UTuple};
+pub use var::{Assignment, Var};
+pub use world_table::{World, WorldTable};
+pub use wsd::Wsd;

@@ -1,0 +1,241 @@
+//! `pick tuples` (§2.2, construct 2): "creates a probabilistic relation
+//! representing all the possible subsets of the input table".
+//!
+//! Each input tuple receives a fresh Boolean variable: alternative 0 =
+//! absent, alternative 1 = present with the tuple's probability (default
+//! 0.5 — the uniform distribution over all subsets). The `independently`
+//! keyword makes the tuple-independence explicit; it is the semantics we
+//! implement in both spellings (see DESIGN.md §5.5 — materialising the
+//! correlated 2^n-ary choice is intentionally not supported).
+
+use maybms_engine::{Expr, Relation};
+
+use crate::error::{Result, UrelError};
+use crate::urelation::{URelation, UTuple};
+use crate::world_table::WorldTable;
+use crate::wsd::Wsd;
+
+/// Options for [`pick_tuples`].
+#[derive(Debug, Clone, Default)]
+pub struct PickTuplesOptions {
+    /// `with probability` expression (per tuple); `None` = 0.5.
+    pub probability: Option<Expr>,
+}
+
+/// Apply `pick tuples from R [independently] [with probability e]`.
+///
+/// Probabilities must lie in `[0, 1]`. A tuple with probability 0 exists in
+/// no subset and is dropped; probability 1 keeps the tuple certain without
+/// spending a variable.
+pub fn pick_tuples(
+    input: &Relation,
+    options: &PickTuplesOptions,
+    wt: &mut WorldTable,
+) -> Result<URelation> {
+    let bound = options.probability.as_ref().map(|e| e.bind(input.schema())).transpose()?;
+    let mut out = Vec::with_capacity(input.len());
+    for t in input.tuples() {
+        let p = match &bound {
+            None => 0.5,
+            Some(e) => {
+                let v = e.eval(t)?;
+                v.as_f64().ok_or_else(|| UrelError::BadProbability {
+                    message: format!("probability expression produced non-numeric value {v}"),
+                })?
+            }
+        };
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(UrelError::BadProbability {
+                message: format!("tuple probability {p} outside [0, 1]"),
+            });
+        }
+        if p == 0.0 {
+            continue;
+        }
+        if p == 1.0 {
+            out.push(UTuple::certain(t.clone()));
+            continue;
+        }
+        let var = wt.new_var(&[1.0 - p, p])?;
+        out.push(UTuple::new(t.clone(), Wsd::of(var, 1)));
+    }
+    Ok(URelation::new(input.schema().clone(), out))
+}
+
+/// `pick tuples` over a U-relation input; enforces t-certainty (§2.2).
+pub fn pick_tuples_u(
+    input: &URelation,
+    options: &PickTuplesOptions,
+    wt: &mut WorldTable,
+) -> Result<URelation> {
+    if !input.is_t_certain() {
+        return Err(UrelError::NotTCertain { operation: "pick tuples".into() });
+    }
+    let certain = Relation::new_unchecked(
+        input.schema().clone(),
+        input.tuples().iter().map(|t| t.data.clone()).collect(),
+    );
+    pick_tuples(&certain, options, wt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maybms_engine::{rel, DataType, Value};
+
+    fn three_rows() -> Relation {
+        rel(
+            &[("v", DataType::Int)],
+            vec![vec![1.into()], vec![2.into()], vec![3.into()]],
+        )
+    }
+
+    #[test]
+    fn default_probability_is_half_over_all_subsets() {
+        let mut wt = WorldTable::new();
+        let out = pick_tuples(&three_rows(), &PickTuplesOptions::default(), &mut wt).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(wt.num_vars(), 3);
+        assert_eq!(wt.world_count(), Some(8)); // all 2^3 subsets
+        for t in out.tuples() {
+            assert!((t.wsd.prob(&wt).unwrap() - 0.5).abs() < 1e-12);
+        }
+        // Every subset cardinality appears among the worlds.
+        let mut sizes = std::collections::HashSet::new();
+        for (w, _) in wt.enumerate_worlds(10).unwrap() {
+            sizes.insert(out.instantiate(&w).len());
+        }
+        assert_eq!(sizes, [0usize, 1, 2, 3].into_iter().collect());
+    }
+
+    #[test]
+    fn per_tuple_probability_expression() {
+        let mut wt = WorldTable::new();
+        let r = rel(
+            &[("v", DataType::Int), ("p", DataType::Float)],
+            vec![
+                vec![1.into(), Value::Float(0.9)],
+                vec![2.into(), Value::Float(0.1)],
+            ],
+        );
+        let out = pick_tuples(
+            &r,
+            &PickTuplesOptions { probability: Some(Expr::col("p")) },
+            &mut wt,
+        )
+        .unwrap();
+        let probs: Vec<f64> =
+            out.tuples().iter().map(|t| t.wsd.prob(&wt).unwrap()).collect();
+        assert!((probs[0] - 0.9).abs() < 1e-12);
+        assert!((probs[1] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_one_keeps_tuple_certain() {
+        let mut wt = WorldTable::new();
+        let r = rel(
+            &[("v", DataType::Int), ("p", DataType::Float)],
+            vec![vec![1.into(), Value::Float(1.0)]],
+        );
+        let out = pick_tuples(
+            &r,
+            &PickTuplesOptions { probability: Some(Expr::col("p")) },
+            &mut wt,
+        )
+        .unwrap();
+        assert!(out.is_t_certain());
+        assert_eq!(wt.num_vars(), 0);
+    }
+
+    #[test]
+    fn probability_zero_drops_tuple() {
+        let mut wt = WorldTable::new();
+        let r = rel(
+            &[("v", DataType::Int), ("p", DataType::Float)],
+            vec![vec![1.into(), Value::Float(0.0)], vec![2.into(), Value::Float(0.5)]],
+        );
+        let out = pick_tuples(
+            &r,
+            &PickTuplesOptions { probability: Some(Expr::col("p")) },
+            &mut wt,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.tuples()[0].data.value(0), &Value::Int(2));
+    }
+
+    #[test]
+    fn out_of_range_probability_rejected() {
+        let mut wt = WorldTable::new();
+        let r = rel(
+            &[("p", DataType::Float)],
+            vec![vec![Value::Float(1.5)]],
+        );
+        let out = pick_tuples(
+            &r,
+            &PickTuplesOptions { probability: Some(Expr::col("p")) },
+            &mut wt,
+        );
+        assert!(matches!(out, Err(UrelError::BadProbability { .. })));
+    }
+
+    #[test]
+    fn non_numeric_probability_rejected() {
+        let mut wt = WorldTable::new();
+        let r = rel(&[("p", DataType::Text)], vec![vec!["x".into()]]);
+        let out = pick_tuples(
+            &r,
+            &PickTuplesOptions { probability: Some(Expr::col("p")) },
+            &mut wt,
+        );
+        assert!(matches!(out, Err(UrelError::BadProbability { .. })));
+    }
+
+    #[test]
+    fn pick_tuples_u_requires_t_certain() {
+        let mut wt = WorldTable::new();
+        let r = three_rows();
+        let mut u = URelation::from_certain(&r);
+        let x = wt.new_var(&[0.5, 0.5]).unwrap();
+        u.tuples_mut()[0].wsd = Wsd::of(x, 1);
+        assert!(matches!(
+            pick_tuples_u(&u, &PickTuplesOptions::default(), &mut wt),
+            Err(UrelError::NotTCertain { .. })
+        ));
+    }
+
+    /// Brute-force check: the probability that tuple i is present equals
+    /// its probability, and tuple presences are independent.
+    #[test]
+    fn subset_semantics_exact() {
+        let mut wt = WorldTable::new();
+        let r = rel(
+            &[("v", DataType::Int), ("p", DataType::Float)],
+            vec![
+                vec![1.into(), Value::Float(0.25)],
+                vec![2.into(), Value::Float(0.75)],
+            ],
+        );
+        let out = pick_tuples(
+            &r,
+            &PickTuplesOptions { probability: Some(Expr::col("p")) },
+            &mut wt,
+        )
+        .unwrap();
+        let mut p_both = 0.0;
+        let mut p_first = 0.0;
+        for (w, p) in wt.enumerate_worlds(10).unwrap() {
+            let inst = out.instantiate(&w);
+            let has1 = inst.tuples().iter().any(|t| t.value(0) == &Value::Int(1));
+            let has2 = inst.tuples().iter().any(|t| t.value(0) == &Value::Int(2));
+            if has1 {
+                p_first += p;
+            }
+            if has1 && has2 {
+                p_both += p;
+            }
+        }
+        assert!((p_first - 0.25).abs() < 1e-12);
+        assert!((p_both - 0.25 * 0.75).abs() < 1e-12); // independence
+    }
+}

@@ -1,0 +1,237 @@
+//! U-relations: "standard relations extended with condition … columns to
+//! encode correlations between the uncertain values and probability
+//! distribution for the set of possible worlds" (§2.1).
+//!
+//! A [`URelation`] pairs each data tuple with a [`Wsd`]. A U-relation with
+//! only tautological WSDs is a *typed-certain (t-certain) table* (§2.2).
+
+use std::sync::Arc;
+
+use maybms_engine::{Relation, Schema, Tuple};
+
+use crate::error::Result;
+use crate::world_table::WorldTable;
+use crate::wsd::Wsd;
+
+/// One uncertain tuple: data plus the condition under which it exists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UTuple {
+    /// The data columns.
+    pub data: Tuple,
+    /// The world-set descriptor (condition columns).
+    pub wsd: Wsd,
+}
+
+impl UTuple {
+    /// A certain tuple (tautological condition).
+    pub fn certain(data: Tuple) -> UTuple {
+        UTuple { data, wsd: Wsd::tautology() }
+    }
+
+    /// A conditioned tuple.
+    pub fn new(data: Tuple, wsd: Wsd) -> UTuple {
+        UTuple { data, wsd }
+    }
+}
+
+/// A U-relation: schema over the *data* columns plus per-tuple WSDs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct URelation {
+    schema: Arc<Schema>,
+    tuples: Vec<UTuple>,
+}
+
+impl URelation {
+    /// Empty U-relation.
+    pub fn empty(schema: Arc<Schema>) -> URelation {
+        URelation { schema, tuples: Vec::new() }
+    }
+
+    /// Build from parts (arity unchecked; callers construct from typed
+    /// operators).
+    pub fn new(schema: Arc<Schema>, tuples: Vec<UTuple>) -> URelation {
+        URelation { schema, tuples }
+    }
+
+    /// Lift a certain relation into a (t-certain) U-relation.
+    pub fn from_certain(rel: &Relation) -> URelation {
+        URelation {
+            schema: rel.schema().clone(),
+            tuples: rel.tuples().iter().cloned().map(UTuple::certain).collect(),
+        }
+    }
+
+    /// The data schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The tuples.
+    pub fn tuples(&self) -> &[UTuple] {
+        &self.tuples
+    }
+
+    /// Mutable access (updates).
+    pub fn tuples_mut(&mut self) -> &mut Vec<UTuple> {
+        &mut self.tuples
+    }
+
+    /// Number of stored tuples (representation size, *not* world count).
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True iff no tuples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// True iff every tuple is unconditional — the t-certain test (§2.2).
+    pub fn is_t_certain(&self) -> bool {
+        self.tuples.iter().all(|t| t.wsd.is_tautology())
+    }
+
+    /// Replace the schema (same arity required by construction discipline).
+    pub fn with_schema(mut self, schema: Arc<Schema>) -> URelation {
+        self.schema = schema;
+        self
+    }
+
+    /// Forget the conditions, keeping every stored tuple. Only meaningful
+    /// for t-certain relations; used to hand results to the engine.
+    pub fn into_certain(self) -> Relation {
+        Relation::new_unchecked(
+            self.schema,
+            self.tuples.into_iter().map(|t| t.data).collect(),
+        )
+    }
+
+    /// Instantiate the relation in one world: keep tuples whose WSD the
+    /// world satisfies (semantics of the representation, §2.1).
+    pub fn instantiate(&self, world: &[u16]) -> Relation {
+        let tuples = self
+            .tuples
+            .iter()
+            .filter(|t| t.wsd.satisfied_by(world))
+            .map(|t| t.data.clone())
+            .collect();
+        Relation::new_unchecked(self.schema.clone(), tuples)
+    }
+
+    /// Render the relation the way Figure 1 prints U-relations: data
+    /// columns, a `condition` column, and a `P` column with the
+    /// condition's probability.
+    pub fn to_table_string(&self, wt: &WorldTable) -> Result<String> {
+        let mut headers: Vec<String> =
+            self.schema.fields().iter().map(|f| f.qualified_name()).collect();
+        headers.push("condition".into());
+        headers.push("P".into());
+        let mut rows = Vec::with_capacity(self.tuples.len());
+        for t in &self.tuples {
+            let mut row: Vec<String> =
+                t.data.values().iter().map(|v| v.to_string()).collect();
+            row.push(t.wsd.to_string());
+            row.push(format!("{:.6}", t.wsd.prob(wt)?));
+            rows.push(row);
+        }
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        for row in &rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let hline = |out: &mut String| {
+            out.push('+');
+            for w in &widths {
+                out.push_str(&"-".repeat(w + 2));
+                out.push('+');
+            }
+            out.push('\n');
+        };
+        hline(&mut out);
+        out.push('|');
+        for (h, w) in headers.iter().zip(&widths) {
+            let pad = w - h.chars().count();
+            out.push_str(&format!(" {h}{} |", " ".repeat(pad)));
+        }
+        out.push('\n');
+        hline(&mut out);
+        for row in &rows {
+            out.push('|');
+            for (cell, w) in row.iter().zip(&widths) {
+                let pad = w - cell.chars().count();
+                out.push_str(&format!(" {cell}{} |", " ".repeat(pad)));
+            }
+            out.push('\n');
+        }
+        hline(&mut out);
+        out.push_str(&format!("({} tuples)\n", rows.len()));
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::Var;
+    use maybms_engine::{rel, DataType, Value};
+
+    fn base() -> Relation {
+        rel(
+            &[("player", DataType::Text), ("state", DataType::Text)],
+            vec![
+                vec!["Bryant".into(), "F".into()],
+                vec!["Bryant".into(), "SE".into()],
+            ],
+        )
+    }
+
+    #[test]
+    fn from_certain_is_t_certain() {
+        let u = URelation::from_certain(&base());
+        assert!(u.is_t_certain());
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn conditioned_relation_is_not_t_certain() {
+        let mut u = URelation::from_certain(&base());
+        u.tuples_mut()[0].wsd = Wsd::of(Var(0), 0);
+        assert!(!u.is_t_certain());
+    }
+
+    #[test]
+    fn instantiate_filters_by_world() {
+        let mut wt = WorldTable::new();
+        let x = wt.new_var(&[0.5, 0.5]).unwrap();
+        let mut u = URelation::from_certain(&base());
+        u.tuples_mut()[0].wsd = Wsd::of(x, 0);
+        u.tuples_mut()[1].wsd = Wsd::of(x, 1);
+        let w0 = u.instantiate(&[0]);
+        assert_eq!(w0.len(), 1);
+        assert_eq!(w0.tuples()[0].value(1), &Value::str("F"));
+        let w1 = u.instantiate(&[1]);
+        assert_eq!(w1.tuples()[0].value(1), &Value::str("SE"));
+    }
+
+    #[test]
+    fn into_certain_drops_conditions() {
+        let u = URelation::from_certain(&base());
+        let r = u.into_certain();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn table_string_shows_condition_and_probability() {
+        let mut wt = WorldTable::new();
+        let x = wt.new_var(&[0.8, 0.2]).unwrap();
+        let mut u = URelation::from_certain(&base());
+        u.tuples_mut()[0].wsd = Wsd::of(x, 0);
+        let s = u.to_table_string(&wt).unwrap();
+        assert!(s.contains("condition"));
+        assert!(s.contains("x0 ↦ 1"));
+        assert!(s.contains("0.800000"));
+        assert!(s.contains("⊤"));
+    }
+}

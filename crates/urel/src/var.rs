@@ -1,0 +1,61 @@
+//! Random variables and assignments.
+//!
+//! MayBMS represents uncertainty with "a finite set of independent random
+//! variables" (§2.1) over finite domains; physically, "variables and their
+//! possible assignments [are stored] as pairs of integers" (§2.4). This
+//! module is that encoding: [`Var`] is the variable id, [`Assignment`] the
+//! `(variable, alternative)` integer pair.
+
+use std::fmt;
+
+/// A random variable identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// `var ↦ alt`: the variable `var` takes its `alt`-th alternative
+/// (0-based; the paper's Figure 1 displays 1-based `x ↦ 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Assignment {
+    /// The variable.
+    pub var: Var,
+    /// The chosen alternative (index into the variable's distribution).
+    pub alt: u16,
+}
+
+impl Assignment {
+    /// Construct an assignment.
+    pub fn new(var: Var, alt: u16) -> Assignment {
+        Assignment { var, alt }
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} \u{21a6} {}", self.var, self.alt + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_by_var_then_alt() {
+        let a = Assignment::new(Var(1), 2);
+        let b = Assignment::new(Var(2), 0);
+        let c = Assignment::new(Var(2), 1);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn display_matches_paper_figure() {
+        // Figure 1 writes "x ↦ 1" for the first alternative.
+        assert_eq!(Assignment::new(Var(0), 0).to_string(), "x0 ↦ 1");
+    }
+}

@@ -1,0 +1,213 @@
+//! Vertical decomposition for attribute-level uncertainty (§2.1):
+//! "Attribute-level uncertainty is achieved through vertical
+//! decompositions, and an additional (system) column is used for storing
+//! tuple ids and undoing the vertical decomposition on demand."
+//!
+//! [`decompose`] splits a U-relation into column groups, each carrying the
+//! system tuple-id column `_tid`; each piece can then be conditioned on its
+//! own variables (different attributes of one logical tuple may vary
+//! independently). [`recompose`] joins the pieces back on `_tid`,
+//! conjoining their conditions.
+
+use std::sync::Arc;
+
+use maybms_engine::{DataType, Field, Schema, Tuple, Value};
+
+use crate::error::{Result, UrelError};
+use crate::urelation::{URelation, UTuple};
+
+/// Name of the system tuple-id column.
+pub const TID_COLUMN: &str = "_tid";
+
+/// Split `input` into one piece per column group. Each piece's schema is
+/// `(_tid, group columns…)`; every piece row keeps the original tuple's
+/// WSD. Column indices must be in range; groups may overlap (e.g. a shared
+/// key column) but must not be empty.
+pub fn decompose(input: &URelation, groups: &[Vec<usize>]) -> Result<Vec<URelation>> {
+    if groups.is_empty() {
+        return Err(UrelError::BadDecomposition {
+            message: "no column groups given".into(),
+        });
+    }
+    let arity = input.schema().len();
+    for g in groups {
+        if g.is_empty() {
+            return Err(UrelError::BadDecomposition {
+                message: "empty column group".into(),
+            });
+        }
+        for &c in g {
+            if c >= arity {
+                return Err(UrelError::BadDecomposition {
+                    message: format!("column #{c} out of range (arity {arity})"),
+                });
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(groups.len());
+    for g in groups {
+        let mut fields = vec![Field::new(TID_COLUMN, DataType::Int)];
+        for &c in g {
+            fields.push(input.schema().field(c).clone());
+        }
+        let schema = Arc::new(Schema::new(fields));
+        let tuples = input
+            .tuples()
+            .iter()
+            .enumerate()
+            .map(|(tid, t)| {
+                let mut row = Vec::with_capacity(g.len() + 1);
+                row.push(Value::Int(tid as i64));
+                for &c in g {
+                    row.push(t.data.value(c).clone());
+                }
+                UTuple::new(Tuple::new(row), t.wsd.clone())
+            })
+            .collect();
+        out.push(URelation::new(schema, tuples));
+    }
+    Ok(out)
+}
+
+/// Undo a vertical decomposition: join all pieces on `_tid` (conjoining
+/// WSDs) and drop the tuple-id column. Pieces must each have `_tid` as
+/// their first column.
+pub fn recompose(pieces: &[URelation]) -> Result<URelation> {
+    let Some(first) = pieces.first() else {
+        return Err(UrelError::BadDecomposition { message: "no pieces".into() });
+    };
+    for p in pieces {
+        let ok = p
+            .schema()
+            .fields()
+            .first()
+            .is_some_and(|f| f.name.eq_ignore_ascii_case(TID_COLUMN));
+        if !ok {
+            return Err(UrelError::BadDecomposition {
+                message: format!("piece schema {} lacks leading {TID_COLUMN}", p.schema()),
+            });
+        }
+    }
+    let mut acc = first.clone();
+    for p in &pieces[1..] {
+        let joined = crate::algebra::hash_join(&acc, p, &[0], &[0])?;
+        // Drop the duplicated _tid column of the right piece.
+        let keep: Vec<usize> = (0..joined.schema().len())
+            .filter(|&i| i != acc.schema().len())
+            .collect();
+        let fields: Vec<Field> =
+            keep.iter().map(|&i| joined.schema().field(i).clone()).collect();
+        let schema = Arc::new(Schema::new(fields));
+        let tuples = joined
+            .tuples()
+            .iter()
+            .map(|t| UTuple::new(t.data.take(&keep), t.wsd.clone()))
+            .collect();
+        acc = URelation::new(schema, tuples);
+    }
+    // Drop the leading _tid.
+    let keep: Vec<usize> = (1..acc.schema().len()).collect();
+    let fields: Vec<Field> = keep.iter().map(|&i| acc.schema().field(i).clone()).collect();
+    let schema = Arc::new(Schema::new(fields));
+    let tuples = acc
+        .tuples()
+        .iter()
+        .map(|t| UTuple::new(t.data.take(&keep), t.wsd.clone()))
+        .collect();
+    Ok(URelation::new(schema, tuples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world_table::WorldTable;
+    use crate::wsd::Wsd;
+    use maybms_engine::{rel, DataType};
+
+    fn sample() -> URelation {
+        URelation::from_certain(&rel(
+            &[
+                ("player", DataType::Text),
+                ("team", DataType::Text),
+                ("pts", DataType::Int),
+            ],
+            vec![
+                vec!["Bryant".into(), "LAL".into(), 81.into()],
+                vec!["Duncan".into(), "SAS".into(), 25.into()],
+            ],
+        ))
+    }
+
+    #[test]
+    fn decompose_then_recompose_is_identity_on_data() {
+        let u = sample();
+        let pieces = decompose(&u, &[vec![0], vec![1, 2]]).unwrap();
+        assert_eq!(pieces.len(), 2);
+        assert_eq!(pieces[0].schema().names(), vec![TID_COLUMN, "player"]);
+        let back = recompose(&pieces).unwrap();
+        assert_eq!(back.schema().names(), vec!["player", "team", "pts"]);
+        let a: Vec<_> = u.tuples().iter().map(|t| t.data.clone()).collect();
+        let mut b: Vec<_> = back.tuples().iter().map(|t| t.data.clone()).collect();
+        b.sort();
+        let mut a = a;
+        a.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn attribute_level_uncertainty_via_independent_pieces() {
+        // Make the pts attribute of tuple 0 uncertain independently of the
+        // team attribute: condition different pieces on different vars.
+        let mut wt = WorldTable::new();
+        let x = wt.new_var(&[0.5, 0.5]).unwrap(); // team variant
+        let y = wt.new_var(&[0.9, 0.1]).unwrap(); // pts variant
+        let u = sample();
+        let mut pieces = decompose(&u, &[vec![0], vec![1], vec![2]]).unwrap();
+        // Two alternative teams for tuple 0.
+        let t0_team = pieces[1].tuples()[0].clone();
+        let mut alt = t0_team.clone();
+        alt.data = Tuple::new(vec![Value::Int(0), "MIA".into()]);
+        pieces[1].tuples_mut()[0].wsd = Wsd::of(x, 0);
+        let mut alt_tuple = alt;
+        alt_tuple.wsd = Wsd::of(x, 1);
+        pieces[1].tuples_mut().push(alt_tuple);
+        // Two alternative pts for tuple 0.
+        pieces[2].tuples_mut()[0].wsd = Wsd::of(y, 0);
+        let mut pts_alt = pieces[2].tuples()[0].clone();
+        pts_alt.data = Tuple::new(vec![Value::Int(0), Value::Int(50)]);
+        pts_alt.wsd = Wsd::of(y, 1);
+        pieces[2].tuples_mut().push(pts_alt);
+
+        let back = recompose(&pieces).unwrap();
+        // Tuple 0 now has 4 variants (2 teams × 2 pts), tuple 1 has 1.
+        assert_eq!(back.len(), 5);
+        // All four combinations for Bryant must exist and be satisfiable.
+        let bryant: Vec<_> = back
+            .tuples()
+            .iter()
+            .filter(|t| t.data.value(0) == &Value::str("Bryant"))
+            .collect();
+        assert_eq!(bryant.len(), 4);
+        let mass: f64 = bryant.iter().map(|t| t.wsd.prob(&wt).unwrap()).sum();
+        assert!((mass - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decompose_rejects_bad_input() {
+        let u = sample();
+        assert!(decompose(&u, &[]).is_err());
+        assert!(decompose(&u, &[vec![]]).is_err());
+        assert!(decompose(&u, &[vec![9]]).is_err());
+    }
+
+    #[test]
+    fn recompose_rejects_pieces_without_tid() {
+        let u = sample();
+        assert!(matches!(
+            recompose(&[u]),
+            Err(UrelError::BadDecomposition { .. })
+        ));
+    }
+
+    use maybms_engine::Tuple;
+}

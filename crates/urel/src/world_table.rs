@@ -1,0 +1,338 @@
+//! The world table: the database-wide registry of independent random
+//! variables, their finite domains, and their probability distributions.
+//!
+//! In released MayBMS this is the `W` system table holding
+//! `(variable, assignment, probability)` rows; here it is an indexed
+//! structure with the same information. The set of possible worlds is the
+//! product of the variables' domains; a world's probability is the product
+//! of its chosen alternatives' probabilities (§2.1).
+
+use rand::Rng;
+
+use crate::error::{Result, UrelError};
+use crate::var::{Assignment, Var};
+
+/// Tolerance for validating that a distribution sums to 1.
+const DIST_TOLERANCE: f64 = 1e-6;
+
+/// A total choice of alternatives, one per registered variable
+/// (`world[v]` = the alternative variable `v` takes).
+pub type World = Vec<u16>;
+
+/// Registry of all random variables in a database.
+#[derive(Debug, Clone, Default)]
+pub struct WorldTable {
+    /// `dists[v]` = probabilities of variable v's alternatives.
+    dists: Vec<Vec<f64>>,
+}
+
+impl WorldTable {
+    /// An empty world table (zero variables; exactly one world).
+    pub fn new() -> WorldTable {
+        WorldTable::default()
+    }
+
+    /// Register a fresh independent variable with the given alternative
+    /// probabilities. The distribution must be non-empty, contain only
+    /// finite values in `[0, 1]`, and sum to 1 (±1e-6).
+    pub fn new_var(&mut self, probs: &[f64]) -> Result<Var> {
+        if probs.is_empty() {
+            return Err(UrelError::BadDistribution {
+                message: "empty distribution".into(),
+            });
+        }
+        if probs.len() > u16::MAX as usize {
+            return Err(UrelError::BadDistribution {
+                message: format!("domain size {} exceeds u16::MAX", probs.len()),
+            });
+        }
+        let mut sum = 0.0;
+        for &p in probs {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(UrelError::BadDistribution {
+                    message: format!("probability {p} outside [0, 1]"),
+                });
+            }
+            sum += p;
+        }
+        if (sum - 1.0).abs() > DIST_TOLERANCE {
+            return Err(UrelError::BadDistribution {
+                message: format!("distribution sums to {sum}, expected 1"),
+            });
+        }
+        let var = Var(self.dists.len() as u32);
+        self.dists.push(probs.to_vec());
+        Ok(var)
+    }
+
+    /// Number of registered variables.
+    pub fn num_vars(&self) -> usize {
+        self.dists.len()
+    }
+
+    /// Domain size of `var`.
+    pub fn domain_size(&self, var: Var) -> Result<usize> {
+        self.dists
+            .get(var.0 as usize)
+            .map(Vec::len)
+            .ok_or(UrelError::UnknownVariable { var: var.0 })
+    }
+
+    /// Probability of an assignment.
+    pub fn prob(&self, a: Assignment) -> Result<f64> {
+        let dist = self
+            .dists
+            .get(a.var.0 as usize)
+            .ok_or(UrelError::UnknownVariable { var: a.var.0 })?;
+        dist.get(a.alt as usize).copied().ok_or(UrelError::BadAlternative {
+            var: a.var.0,
+            alt: a.alt,
+            domain: dist.len(),
+        })
+    }
+
+    /// The full distribution of `var`.
+    pub fn distribution(&self, var: Var) -> Result<&[f64]> {
+        self.dists
+            .get(var.0 as usize)
+            .map(Vec::as_slice)
+            .ok_or(UrelError::UnknownVariable { var: var.0 })
+    }
+
+    /// Number of possible worlds (product of domain sizes), or `None` when
+    /// it exceeds `u128`.
+    pub fn world_count(&self) -> Option<u128> {
+        let mut n: u128 = 1;
+        for d in &self.dists {
+            n = n.checked_mul(d.len() as u128)?;
+        }
+        Some(n)
+    }
+
+    /// Probability of a full world (product over all variables).
+    pub fn world_prob(&self, world: &[u16]) -> Result<f64> {
+        if world.len() != self.dists.len() {
+            return Err(UrelError::BadDistribution {
+                message: format!(
+                    "world has {} assignments, expected {}",
+                    world.len(),
+                    self.dists.len()
+                ),
+            });
+        }
+        let mut p = 1.0;
+        for (v, &alt) in world.iter().enumerate() {
+            p *= self.prob(Assignment::new(Var(v as u32), alt))?;
+        }
+        Ok(p)
+    }
+
+    /// Sample a world (independent draw per variable).
+    pub fn sample_world<R: Rng + ?Sized>(&self, rng: &mut R) -> World {
+        self.dists.iter().map(|d| sample_categorical(d, rng)).collect()
+    }
+
+    /// Sample only the variables in `vars`, writing into a sparse world
+    /// overlay; other positions keep the supplied defaults. Used by the
+    /// Karp–Luby estimator, which conditions part of a world and samples
+    /// the rest.
+    pub fn sample_into<R: Rng + ?Sized>(
+        &self,
+        world: &mut [u16],
+        vars: &[Var],
+        rng: &mut R,
+    ) {
+        for &v in vars {
+            world[v.0 as usize] = sample_categorical(&self.dists[v.0 as usize], rng);
+        }
+    }
+
+    /// Iterate every world with its probability. Errors if the world count
+    /// exceeds `limit` (enumeration is the *testing oracle*, exponential by
+    /// design).
+    pub fn enumerate_worlds(&self, limit: u128) -> Result<WorldIter<'_>> {
+        let count = self.world_count().ok_or(UrelError::WorldLimitExceeded {
+            count: u128::MAX,
+            limit,
+        })?;
+        if count > limit {
+            return Err(UrelError::WorldLimitExceeded { count, limit });
+        }
+        Ok(WorldIter { table: self, current: vec![0; self.dists.len()], done: false })
+    }
+}
+
+/// Sample an index from a categorical distribution.
+fn sample_categorical<R: Rng + ?Sized>(dist: &[f64], rng: &mut R) -> u16 {
+    let x: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (i, &p) in dist.iter().enumerate() {
+        acc += p;
+        if x < acc {
+            return i as u16;
+        }
+    }
+    // Float round-off: fall back to the last alternative with nonzero mass.
+    dist.iter().rposition(|&p| p > 0.0).unwrap_or(dist.len() - 1) as u16
+}
+
+/// Odometer iterator over all worlds of a [`WorldTable`].
+#[derive(Debug)]
+pub struct WorldIter<'a> {
+    table: &'a WorldTable,
+    current: World,
+    done: bool,
+}
+
+impl Iterator for WorldIter<'_> {
+    type Item = (World, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let world = self.current.clone();
+        let prob = self
+            .table
+            .world_prob(&world)
+            .expect("odometer worlds are always in range");
+        // Advance the odometer.
+        let mut i = self.current.len();
+        loop {
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            let dom = self.table.dists[i].len() as u16;
+            if self.current[i] + 1 < dom {
+                self.current[i] += 1;
+                for c in &mut self.current[i + 1..] {
+                    *c = 0;
+                }
+                break;
+            }
+        }
+        Some((world, prob))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn new_var_validates_distribution() {
+        let mut wt = WorldTable::new();
+        assert!(wt.new_var(&[]).is_err());
+        assert!(wt.new_var(&[0.5, 0.6]).is_err()); // sums to 1.1
+        assert!(wt.new_var(&[-0.1, 1.1]).is_err());
+        assert!(wt.new_var(&[f64::NAN, 1.0]).is_err());
+        assert!(wt.new_var(&[0.25, 0.75]).is_ok());
+    }
+
+    #[test]
+    fn variables_get_sequential_ids() {
+        let mut wt = WorldTable::new();
+        let a = wt.new_var(&[1.0]).unwrap();
+        let b = wt.new_var(&[0.5, 0.5]).unwrap();
+        assert_eq!(a, Var(0));
+        assert_eq!(b, Var(1));
+        assert_eq!(wt.num_vars(), 2);
+    }
+
+    #[test]
+    fn prob_and_domain_lookups() {
+        let mut wt = WorldTable::new();
+        let v = wt.new_var(&[0.8, 0.05, 0.15]).unwrap();
+        assert_eq!(wt.domain_size(v).unwrap(), 3);
+        assert_eq!(wt.prob(Assignment::new(v, 0)).unwrap(), 0.8);
+        assert!(wt.prob(Assignment::new(v, 3)).is_err());
+        assert!(wt.prob(Assignment::new(Var(9), 0)).is_err());
+    }
+
+    #[test]
+    fn world_count_and_enumeration() {
+        let mut wt = WorldTable::new();
+        wt.new_var(&[0.5, 0.5]).unwrap();
+        wt.new_var(&[0.2, 0.3, 0.5]).unwrap();
+        assert_eq!(wt.world_count(), Some(6));
+        let worlds: Vec<_> = wt.enumerate_worlds(100).unwrap().collect();
+        assert_eq!(worlds.len(), 6);
+        let total: f64 = worlds.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Lexicographic order.
+        assert_eq!(worlds[0].0, vec![0, 0]);
+        assert_eq!(worlds[5].0, vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_table_has_one_world() {
+        let wt = WorldTable::new();
+        assert_eq!(wt.world_count(), Some(1));
+        let worlds: Vec<_> = wt.enumerate_worlds(10).unwrap().collect();
+        assert_eq!(worlds.len(), 1);
+        assert_eq!(worlds[0].1, 1.0);
+    }
+
+    #[test]
+    fn enumeration_limit_enforced() {
+        let mut wt = WorldTable::new();
+        for _ in 0..20 {
+            wt.new_var(&[0.5, 0.5]).unwrap();
+        }
+        assert!(matches!(
+            wt.enumerate_worlds(1000),
+            Err(UrelError::WorldLimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn world_prob_is_product() {
+        let mut wt = WorldTable::new();
+        wt.new_var(&[0.8, 0.2]).unwrap();
+        wt.new_var(&[0.1, 0.9]).unwrap();
+        let p = wt.world_prob(&[0, 1]).unwrap();
+        assert!((p - 0.72).abs() < 1e-12);
+        assert!(wt.world_prob(&[0]).is_err());
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let mut wt = WorldTable::new();
+        wt.new_var(&[0.8, 0.05, 0.15]).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            let w = wt.sample_world(&mut rng);
+            counts[w[0] as usize] += 1;
+        }
+        let freq0 = counts[0] as f64 / n as f64;
+        assert!((freq0 - 0.8).abs() < 0.02, "freq0 = {freq0}");
+    }
+
+    #[test]
+    fn sample_into_only_touches_requested_vars() {
+        let mut wt = WorldTable::new();
+        let a = wt.new_var(&[0.0, 1.0]).unwrap(); // always alt 1
+        let _b = wt.new_var(&[1.0]).unwrap();
+        let mut world = vec![7, 7];
+        let mut rng = StdRng::seed_from_u64(1);
+        wt.sample_into(&mut world, &[a], &mut rng);
+        assert_eq!(world[0], 1);
+        assert_eq!(world[1], 7); // untouched
+    }
+
+    #[test]
+    fn zero_probability_alternative_never_sampled() {
+        let mut wt = WorldTable::new();
+        wt.new_var(&[0.0, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(wt.sample_world(&mut rng)[0], 1);
+        }
+    }
+}

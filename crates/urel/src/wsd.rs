@@ -1,0 +1,255 @@
+//! World-set descriptors (WSDs): the per-tuple condition columns of a
+//! U-relation.
+//!
+//! A WSD is a conjunction of variable assignments — "the special
+//! conjunctions that can be stored with each tuple in U-relations" (§2.2).
+//! A tuple is present exactly in the worlds satisfying its WSD. The empty
+//! conjunction is the tautology (tuple certain); a conjunction mentioning
+//! the same variable with two different alternatives is unsatisfiable and
+//! is represented by [`Wsd::conjoin`] returning `None` — such tuples are
+//! dropped by the join translation.
+
+use std::fmt;
+
+use crate::error::Result;
+use crate::var::{Assignment, Var};
+use crate::world_table::WorldTable;
+
+/// A satisfiable conjunction of assignments over *distinct* variables,
+/// sorted by variable id.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Wsd(Vec<Assignment>);
+
+impl Wsd {
+    /// The empty conjunction (true in every world).
+    pub fn tautology() -> Wsd {
+        Wsd(Vec::new())
+    }
+
+    /// A single-assignment WSD.
+    pub fn of(var: Var, alt: u16) -> Wsd {
+        Wsd(vec![Assignment::new(var, alt)])
+    }
+
+    /// Build from assignments. Returns `None` when two assignments bind the
+    /// same variable to different alternatives (unsatisfiable).
+    pub fn from_assignments(mut assignments: Vec<Assignment>) -> Option<Wsd> {
+        assignments.sort_unstable();
+        assignments.dedup();
+        for w in assignments.windows(2) {
+            if w[0].var == w[1].var {
+                return None; // same var, different alt (dedup removed equals)
+            }
+        }
+        Some(Wsd(assignments))
+    }
+
+    /// The assignments, sorted by variable.
+    pub fn assignments(&self) -> &[Assignment] {
+        &self.0
+    }
+
+    /// True iff this is the tautology.
+    pub fn is_tautology(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of assignments.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff no assignments (same as [`Wsd::is_tautology`]).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The variables mentioned.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.0.iter().map(|a| a.var)
+    }
+
+    /// The alternative this WSD binds `var` to, if any.
+    pub fn get(&self, var: Var) -> Option<u16> {
+        self.0
+            .binary_search_by_key(&var, |a| a.var)
+            .ok()
+            .map(|i| self.0[i].alt)
+    }
+
+    /// Conjunction. `None` when the result is unsatisfiable — this is the
+    /// workhorse of the join translation: joined tuples whose conditions
+    /// conflict exist in no common world and are dropped.
+    pub fn conjoin(&self, other: &Wsd) -> Option<Wsd> {
+        let (a, b) = (&self.0, &other.0);
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].var.cmp(&b[j].var) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    if a[i].alt != b[j].alt {
+                        return None;
+                    }
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        Some(Wsd(out))
+    }
+
+    /// Probability of the conjunction: the product of the assignments'
+    /// probabilities (variables are independent and distinct within a WSD).
+    pub fn prob(&self, wt: &WorldTable) -> Result<f64> {
+        let mut p = 1.0;
+        for &a in &self.0 {
+            p *= wt.prob(a)?;
+        }
+        Ok(p)
+    }
+
+    /// Whether a full world satisfies this conjunction.
+    pub fn satisfied_by(&self, world: &[u16]) -> bool {
+        self.0.iter().all(|a| world.get(a.var.0 as usize) == Some(&a.alt))
+    }
+
+    /// Condition on `var = alt`: `Some(reduced)` when compatible (with the
+    /// binding removed), `None` when this WSD requires a different
+    /// alternative. Used by the exact algorithm's variable elimination.
+    pub fn condition(&self, var: Var, alt: u16) -> Option<Wsd> {
+        match self.get(var) {
+            None => Some(self.clone()),
+            Some(a) if a == alt => {
+                let reduced =
+                    self.0.iter().copied().filter(|x| x.var != var).collect();
+                Some(Wsd(reduced))
+            }
+            Some(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Wsd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return f.write_str("⊤");
+        }
+        for (i, a) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ∧ ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asg(v: u32, a: u16) -> Assignment {
+        Assignment::new(Var(v), a)
+    }
+
+    #[test]
+    fn from_assignments_sorts_and_dedups() {
+        let w = Wsd::from_assignments(vec![asg(2, 1), asg(0, 3), asg(2, 1)]).unwrap();
+        assert_eq!(w.assignments(), &[asg(0, 3), asg(2, 1)]);
+    }
+
+    #[test]
+    fn from_assignments_detects_conflict() {
+        assert!(Wsd::from_assignments(vec![asg(1, 0), asg(1, 1)]).is_none());
+    }
+
+    #[test]
+    fn conjoin_merges_sorted() {
+        let a = Wsd::from_assignments(vec![asg(0, 1), asg(2, 0)]).unwrap();
+        let b = Wsd::from_assignments(vec![asg(1, 5), asg(2, 0)]).unwrap();
+        let c = a.conjoin(&b).unwrap();
+        assert_eq!(c.assignments(), &[asg(0, 1), asg(1, 5), asg(2, 0)]);
+    }
+
+    #[test]
+    fn conjoin_conflict_is_none() {
+        let a = Wsd::of(Var(3), 0);
+        let b = Wsd::of(Var(3), 1);
+        assert!(a.conjoin(&b).is_none());
+    }
+
+    #[test]
+    fn conjoin_with_tautology_is_identity() {
+        let a = Wsd::from_assignments(vec![asg(0, 1)]).unwrap();
+        assert_eq!(a.conjoin(&Wsd::tautology()).unwrap(), a);
+        assert_eq!(Wsd::tautology().conjoin(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn conjoin_is_commutative_and_idempotent() {
+        let a = Wsd::from_assignments(vec![asg(0, 1), asg(4, 2)]).unwrap();
+        let b = Wsd::from_assignments(vec![asg(2, 3)]).unwrap();
+        assert_eq!(a.conjoin(&b), b.conjoin(&a));
+        assert_eq!(a.conjoin(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn prob_is_product() {
+        let mut wt = WorldTable::new();
+        let x = wt.new_var(&[0.8, 0.2]).unwrap();
+        let y = wt.new_var(&[0.5, 0.5]).unwrap();
+        let w = Wsd::from_assignments(vec![
+            Assignment::new(x, 1),
+            Assignment::new(y, 0),
+        ])
+        .unwrap();
+        assert!((w.prob(&wt).unwrap() - 0.1).abs() < 1e-12);
+        assert_eq!(Wsd::tautology().prob(&wt).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn satisfied_by_checks_all_assignments() {
+        let w = Wsd::from_assignments(vec![asg(0, 1), asg(1, 0)]).unwrap();
+        assert!(w.satisfied_by(&[1, 0]));
+        assert!(!w.satisfied_by(&[1, 1]));
+        assert!(Wsd::tautology().satisfied_by(&[9, 9]));
+    }
+
+    #[test]
+    fn condition_reduces_or_kills() {
+        let w = Wsd::from_assignments(vec![asg(0, 1), asg(1, 0)]).unwrap();
+        // Compatible binding: assignment removed.
+        let r = w.condition(Var(0), 1).unwrap();
+        assert_eq!(r.assignments(), &[asg(1, 0)]);
+        // Conflicting binding: clause dies.
+        assert!(w.condition(Var(0), 2).is_none());
+        // Unmentioned variable: unchanged.
+        assert_eq!(w.condition(Var(7), 3).unwrap(), w);
+    }
+
+    #[test]
+    fn get_binary_search() {
+        let w = Wsd::from_assignments(vec![asg(2, 9), asg(5, 1)]).unwrap();
+        assert_eq!(w.get(Var(2)), Some(9));
+        assert_eq!(w.get(Var(5)), Some(1));
+        assert_eq!(w.get(Var(3)), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Wsd::tautology().to_string(), "⊤");
+        let w = Wsd::of(Var(0), 0);
+        assert_eq!(w.to_string(), "x0 ↦ 1");
+    }
+}

@@ -1,0 +1,254 @@
+//! An interactive MayBMS shell (psql-style) over the in-memory database.
+//!
+//! ```text
+//! $ cargo run --bin maybms-shell
+//! maybms> create table coin (face text, w double precision);
+//! CREATE TABLE
+//! maybms> insert into coin values ('heads', 1.0), ('tails', 1.0);
+//! INSERT 2
+//! maybms> select face, conf() as p from (repair key face in coin weight by w) c group by face;
+//! ...
+//! maybms> \d
+//! maybms> \q
+//! ```
+//!
+//! Meta commands: `\q` quit, `\d [table]` list/describe tables, `\w` world
+//! table summary, `\timing` toggle timing, `\i FILE` run a SQL script,
+//! `\help`.
+
+use std::io::{BufRead, Write};
+use std::time::Instant;
+
+use maybms::{MayBms, QueryOutput, StatementResult};
+
+fn main() {
+    let mut db = MayBms::new();
+    let mut timing = false;
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    print_banner();
+    prompt(&buffer);
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if buffer.trim().is_empty() && trimmed.starts_with('\\') {
+            buffer.clear();
+            if !handle_meta(trimmed, &mut db, &mut timing) {
+                return;
+            }
+            prompt(&buffer);
+            continue;
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        while let Some(stmt) = take_statement(&mut buffer) {
+            execute(&stmt, &mut db, timing);
+        }
+        prompt(&buffer);
+    }
+}
+
+fn print_banner() {
+    println!("MayBMS shell — probabilistic database management system (SIGMOD 2009 reproduction)");
+    println!("Type SQL terminated by `;`, or \\help for meta commands.\n");
+}
+
+fn prompt(buffer: &str) {
+    if buffer.trim().is_empty() {
+        print!("maybms> ");
+    } else {
+        print!("....... ");
+    }
+    let _ = std::io::stdout().flush();
+}
+
+/// Pop the first complete `;`-terminated statement off the buffer,
+/// respecting string literals (a `;` inside `'…'` does not terminate).
+fn take_statement(buffer: &mut String) -> Option<String> {
+    let mut in_string = false;
+    let chars: Vec<char> = buffer.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '\'' => {
+                // `''` is an escaped quote inside a string.
+                if in_string && chars.get(i + 1) == Some(&'\'') {
+                    i += 1;
+                } else {
+                    in_string = !in_string;
+                }
+            }
+            ';' if !in_string => {
+                let stmt: String = chars[..=i].iter().collect();
+                let rest: String = chars[i + 1..].iter().collect();
+                *buffer = rest;
+                let stmt = stmt.trim().to_string();
+                if stmt == ";" {
+                    return take_statement(buffer);
+                }
+                return Some(stmt);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+fn execute(sql: &str, db: &mut MayBms, timing: bool) {
+    let t0 = Instant::now();
+    match db.run(sql) {
+        Ok(StatementResult::Ok { message }) => println!("{message}"),
+        Ok(StatementResult::Query(QueryOutput::Certain(rel))) => {
+            print!("{}", rel.to_table_string());
+        }
+        Ok(StatementResult::Query(QueryOutput::Uncertain(u))) => {
+            // Render as Figure 1 renders U-relations: data columns plus
+            // condition and P.
+            match u.to_table_string(db.world_table()) {
+                Ok(s) => print!("{s}"),
+                Err(e) => println!("error rendering result: {e}"),
+            }
+        }
+        Err(e) => println!("error: {e}"),
+    }
+    if timing {
+        println!("Time: {:.3} ms", t0.elapsed().as_secs_f64() * 1e3);
+    }
+}
+
+/// Returns `false` when the shell should exit.
+fn handle_meta(cmd: &str, db: &mut MayBms, timing: &mut bool) -> bool {
+    let mut parts = cmd.splitn(2, char::is_whitespace);
+    let head = parts.next().unwrap_or("");
+    let arg = parts.next().map(str::trim).filter(|s| !s.is_empty());
+    match head {
+        "\\q" | "\\quit" => return false,
+        "\\help" | "\\?" => {
+            println!("\\d [table]   list tables / describe one");
+            println!("\\w           world-table summary (variables, worlds)");
+            println!("\\timing      toggle per-statement timing");
+            println!("\\i FILE      execute a SQL script");
+            println!("\\q           quit");
+        }
+        "\\d" => match arg {
+            None => {
+                let names = db.table_names();
+                if names.is_empty() {
+                    println!("(no tables)");
+                }
+                for n in names {
+                    let t = db.table(n).expect("listed table exists");
+                    println!(
+                        "{n}  — {} rows, {}",
+                        t.len(),
+                        if t.is_t_certain() { "t-certain" } else { "uncertain" }
+                    );
+                }
+            }
+            Some(name) => match db.table(name) {
+                Ok(t) => {
+                    println!(
+                        "{name} ({} rows, {})",
+                        t.len(),
+                        if t.is_t_certain() { "t-certain" } else { "uncertain" }
+                    );
+                    for f in t.schema().fields() {
+                        println!("  {}  {}", f.name, f.dtype);
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            },
+        },
+        "\\w" => {
+            let wt = db.world_table();
+            match wt.world_count() {
+                Some(n) => println!("{} variables; {} possible worlds", wt.num_vars(), n),
+                None => println!(
+                    "{} variables; more than 2^128 possible worlds",
+                    wt.num_vars()
+                ),
+            }
+        }
+        "\\timing" => {
+            *timing = !*timing;
+            println!("Timing is {}.", if *timing { "on" } else { "off" });
+        }
+        "\\i" => match arg {
+            None => println!("usage: \\i FILE"),
+            Some(path) => match std::fs::read_to_string(path) {
+                Ok(script) => match db.run_script(&script) {
+                    Ok(results) => println!("{} statements executed", results.len()),
+                    Err(e) => println!("error: {e}"),
+                },
+                Err(e) => println!("error reading {path}: {e}"),
+            },
+        },
+        other => println!("unknown meta command `{other}` — try \\help"),
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_statement_splits_on_semicolons() {
+        let mut buf = "select 1; select 2;".to_string();
+        assert_eq!(take_statement(&mut buf).as_deref(), Some("select 1;"));
+        assert_eq!(take_statement(&mut buf).as_deref(), Some("select 2;"));
+        assert_eq!(take_statement(&mut buf), None);
+    }
+
+    #[test]
+    fn take_statement_ignores_semicolons_in_strings() {
+        let mut buf = "insert into t values ('a;b');".to_string();
+        let stmt = take_statement(&mut buf).unwrap();
+        assert!(stmt.contains("'a;b'"));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn take_statement_handles_escaped_quotes() {
+        let mut buf = "insert into t values ('it''s; fine');".to_string();
+        let stmt = take_statement(&mut buf).unwrap();
+        assert!(stmt.contains("it''s; fine"));
+    }
+
+    #[test]
+    fn take_statement_waits_for_terminator() {
+        let mut buf = "select 1".to_string();
+        assert_eq!(take_statement(&mut buf), None);
+        assert_eq!(buf, "select 1");
+    }
+
+    #[test]
+    fn take_statement_skips_empty_statements() {
+        let mut buf = "; ;select 1;".to_string();
+        assert_eq!(take_statement(&mut buf).as_deref(), Some("select 1;"));
+    }
+
+    #[test]
+    fn meta_commands_do_not_quit_except_q() {
+        let mut db = MayBms::new();
+        let mut timing = false;
+        assert!(handle_meta("\\d", &mut db, &mut timing));
+        assert!(handle_meta("\\w", &mut db, &mut timing));
+        assert!(handle_meta("\\timing", &mut db, &mut timing));
+        assert!(timing);
+        assert!(handle_meta("\\nonsense", &mut db, &mut timing));
+        assert!(!handle_meta("\\q", &mut db, &mut timing));
+    }
+
+    #[test]
+    fn execute_reports_errors_without_panicking() {
+        let mut db = MayBms::new();
+        execute("select * from missing;", &mut db, false);
+        execute("create table t (a bigint);", &mut db, true);
+        execute("select a from t;", &mut db, false);
+    }
+}

@@ -1,0 +1,171 @@
+//! The §2.2 typing rules: "Some restrictions are in place to assure that
+//! query evaluation is feasible." Every restriction must fail loudly, with
+//! an error that names the rule.
+
+use maybms::{CoreError, MayBms};
+use maybms_engine::{rel, DataType, Value};
+
+fn db_with_uncertain() -> MayBms {
+    let mut db = MayBms::new();
+    db.register(
+        "t",
+        rel(
+            &[("k", DataType::Int), ("v", DataType::Int), ("p", DataType::Float)],
+            vec![
+                vec![1.into(), 10.into(), Value::Float(0.5)],
+                vec![1.into(), 20.into(), Value::Float(0.5)],
+                vec![2.into(), 30.into(), Value::Float(0.5)],
+            ],
+        ),
+    )
+    .unwrap();
+    db.run("create table u as select * from (pick tuples from t) x").unwrap();
+    db
+}
+
+#[test]
+fn standard_aggregates_forbidden_on_uncertain() {
+    // "we do not support the standard SQL aggregates such as sum or count
+    // on uncertain relations (but we do support expectations of
+    // aggregates)".
+    let mut db = db_with_uncertain();
+    for agg in ["sum(v)", "count(*)", "avg(v)", "min(v)", "max(v)"] {
+        let err = db.run(&format!("select {agg} from u")).unwrap_err();
+        assert!(
+            matches!(err, CoreError::Typing { .. }),
+            "{agg}: expected typing error, got {err:?}"
+        );
+    }
+    // The expectations are supported instead.
+    assert!(db.run("select esum(v), ecount() from u").is_ok());
+}
+
+#[test]
+fn standard_aggregates_fine_on_certain() {
+    let mut db = db_with_uncertain();
+    assert!(db.run("select sum(v), count(*), avg(v) from t").is_ok());
+}
+
+#[test]
+fn select_distinct_forbidden_on_uncertain() {
+    // "By using aggregation syntax and not supporting select distinct on
+    // uncertain relations, we avoid the need for conditions beyond the
+    // special conjunctions…".
+    let mut db = db_with_uncertain();
+    let err = db.run("select distinct k from u").unwrap_err();
+    assert!(matches!(err, CoreError::Typing { .. }), "{err:?}");
+    // `possible` is the sanctioned alternative.
+    assert!(db.run("select possible k from u").is_ok());
+    // distinct on certain tables is plain SQL.
+    assert!(db.run("select distinct k from t").is_ok());
+}
+
+#[test]
+fn repair_key_requires_t_certain_input() {
+    let mut db = db_with_uncertain();
+    let err = db.run("select * from (repair key k in u weight by p) r").unwrap_err();
+    assert!(err.to_string().contains("t-certain"), "{err}");
+}
+
+#[test]
+fn pick_tuples_requires_t_certain_input() {
+    let mut db = db_with_uncertain();
+    let err = db.run("select * from (pick tuples from u) r").unwrap_err();
+    assert!(err.to_string().contains("t-certain"), "{err}");
+}
+
+#[test]
+fn limit_forbidden_on_uncertain_result() {
+    let mut db = db_with_uncertain();
+    let err = db.run("select * from u limit 1").unwrap_err();
+    assert!(matches!(err, CoreError::Typing { .. }), "{err:?}");
+    assert!(db.run("select k, conf() from u group by k limit 1").is_ok());
+}
+
+#[test]
+fn argmax_requires_t_certain() {
+    let mut db = db_with_uncertain();
+    let err = db.run("select argmax(k, v) from u").unwrap_err();
+    assert!(matches!(err, CoreError::Typing { .. }), "{err:?}");
+    assert!(db.run("select argmax(k, v) from t").is_ok());
+}
+
+#[test]
+fn argmax_cannot_mix_with_other_aggregates() {
+    let mut db = db_with_uncertain();
+    let err = db.run("select argmax(k, v), count(*) from t").unwrap_err();
+    assert!(matches!(err, CoreError::Plan { .. }), "{err:?}");
+}
+
+#[test]
+fn tconf_incompatible_with_group_by() {
+    let mut db = db_with_uncertain();
+    let err = db.run("select k, tconf() from u group by k").unwrap_err();
+    assert!(matches!(err, CoreError::Plan { .. }), "{err:?}");
+}
+
+#[test]
+fn not_in_subquery_rejected_at_parse_time() {
+    // "uncertain subqueries in IN-conditions that occur positively" (§2.2).
+    let mut db = db_with_uncertain();
+    let err = db.run("select * from t where k not in (select k from u)").unwrap_err();
+    assert!(matches!(err, CoreError::Parse(_)), "{err:?}");
+}
+
+#[test]
+fn aggregates_in_scalar_position_rejected() {
+    let mut db = db_with_uncertain();
+    let err = db.run("select conf() + 1 from u").unwrap_err();
+    assert!(matches!(err, CoreError::Plan { .. }), "{err:?}");
+}
+
+#[test]
+fn conf_argument_validation() {
+    let mut db = db_with_uncertain();
+    assert!(db.run("select conf(1) from u").is_err());
+    assert!(db.run("select aconf(2.0, 0.5) from u group by k").is_err()); // ε ≥ 1
+    assert!(db.run("select aconf(0.1) from u").is_err());
+}
+
+#[test]
+fn possible_with_aggregates_rejected() {
+    let mut db = db_with_uncertain();
+    let err = db.run("select possible conf() from u").unwrap_err();
+    assert!(matches!(err, CoreError::Plan { .. }), "{err:?}");
+}
+
+#[test]
+fn group_by_violations_detected() {
+    let mut db = db_with_uncertain();
+    let err = db.run("select v, conf() from u group by k").unwrap_err();
+    assert!(matches!(err, CoreError::Plan { .. }), "{err:?}");
+}
+
+#[test]
+fn weight_errors_surface() {
+    let mut db = MayBms::new();
+    db.register(
+        "neg",
+        rel(
+            &[("k", DataType::Int), ("w", DataType::Float)],
+            vec![vec![1.into(), Value::Float(-2.0)], vec![1.into(), Value::Float(1.0)]],
+        ),
+    )
+    .unwrap();
+    let err = db.run("select * from (repair key k in neg weight by w) r").unwrap_err();
+    assert!(err.to_string().contains("weight"), "{err}");
+}
+
+#[test]
+fn probability_range_errors_surface() {
+    let mut db = MayBms::new();
+    db.register(
+        "bad",
+        rel(&[("p", DataType::Float)], vec![vec![Value::Float(1.5)]]),
+    )
+    .unwrap();
+    let err = db
+        .run("select * from (pick tuples from bad with probability p) r")
+        .unwrap_err();
+    assert!(err.to_string().contains("probability"), "{err}");
+}

@@ -1,0 +1,56 @@
+//! Drive the interactive shell binary end to end through a pipe — the
+//! closest thing to the original demo's web front-end smoke test.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn shell_binary() -> Option<std::path::PathBuf> {
+    // target/debug/maybms-shell next to the test executable.
+    let mut exe = std::env::current_exe().ok()?;
+    exe.pop(); // test binary name
+    if exe.ends_with("deps") {
+        exe.pop();
+    }
+    let candidate = exe.join("maybms-shell");
+    candidate.exists().then_some(candidate)
+}
+
+#[test]
+fn shell_runs_a_session() {
+    let Some(bin) = shell_binary() else {
+        eprintln!("maybms-shell binary not built; skipping");
+        return;
+    };
+    let mut child = Command::new(bin)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn shell");
+    let script = "\
+create table t (a bigint, w double precision);
+insert into t values (1, 1.0), (2, 3.0);
+select a, conf() as p from (repair key in t weight by w) r group by a;
+\\d
+\\w
+bad sql here;
+\\q
+";
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(script.as_bytes())
+        .expect("write script");
+    let out = child.wait_with_output().expect("shell exits");
+    assert!(out.status.success(), "shell exited with {:?}", out.status);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("CREATE TABLE"), "{stdout}");
+    assert!(stdout.contains("INSERT 2"), "{stdout}");
+    assert!(stdout.contains("0.25"), "{stdout}");
+    assert!(stdout.contains("0.75"), "{stdout}");
+    assert!(stdout.contains("t-certain"), "{stdout}");
+    assert!(stdout.contains("possible worlds"), "{stdout}");
+    // Errors are reported inline, not fatal.
+    assert!(stdout.contains("error"), "{stdout}");
+}
