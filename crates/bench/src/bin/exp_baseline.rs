@@ -1,0 +1,286 @@
+//! `exp_baseline` — the zero-clone execution-core scorecard.
+//!
+//! Runs the join / filter / distinct / sort / repair-key workloads twice —
+//! once through the seed-faithful naive operators
+//! ([`maybms_bench::naive`]: deep clones, `Vec<Value>` join keys, per-row
+//! WSD heap allocation) and once through the optimized operators
+//! (selection vectors, hashed join keys, batched row buffers, inline
+//! WSDs) — interleaved in one process so machine drift cancels out, and
+//! writes `BENCH_baseline.json` with both numbers per workload. Later PRs
+//! re-run this to extend the measured trajectory.
+//!
+//! Usage: `exp_baseline [--quick] [output.json]`
+//!   --quick   small sizes / few reps (CI smoke; result file still valid)
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use maybms_bench::{naive, workloads};
+use maybms_engine::{ops, BinaryOp, Expr};
+use maybms_urel::pick::PickTuplesOptions;
+use maybms_urel::repair::RepairKeyOptions;
+use maybms_urel::{algebra, WorldTable};
+
+struct Outcome {
+    name: &'static str,
+    rows_in: usize,
+    rows_out: usize,
+    naive_ms: f64,
+    optimized_ms: f64,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// Interleave naive/optimized samples so slow drift hits both equally.
+fn compare<N, O>(reps: usize, mut naive_run: N, mut opt_run: O) -> (f64, f64, usize)
+where
+    N: FnMut() -> usize,
+    O: FnMut() -> usize,
+{
+    let mut n_samples = Vec::with_capacity(reps);
+    let mut o_samples = Vec::with_capacity(reps);
+    let mut rows_out = 0;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        rows_out = std::hint::black_box(naive_run());
+        n_samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        let o_rows = std::hint::black_box(opt_run());
+        o_samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(rows_out, o_rows, "naive and optimized disagree on cardinality");
+    }
+    (median(n_samples), median(o_samples), rows_out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_baseline.json".to_string());
+
+    let (scale, reps) = if quick { (10_000usize, 3usize) } else { (100_000, 11) };
+    let mut outcomes: Vec<Outcome> = Vec::new();
+
+    // -- σ over a wide certain relation --------------------------------
+    let (certain, _wt, uncertain) =
+        workloads::overhead_pair(21, scale, (scale / 10) as i64);
+    let pred = Expr::col("v").binary(BinaryOp::Lt, Expr::lit(500i64));
+    let (n, o, out) = compare(
+        reps,
+        || naive::filter(&certain, &pred).unwrap().len(),
+        || ops::filter(&certain, &pred).unwrap().len(),
+    );
+    outcomes.push(Outcome {
+        name: "filter_certain",
+        rows_in: certain.len(),
+        rows_out: out,
+        naive_ms: n,
+        optimized_ms: o,
+    });
+
+    // -- σ over the U-relational twin (WSDs ride along) ----------------
+    let (n, o, out) = compare(
+        reps,
+        || naive::select_u(&uncertain, &pred).unwrap().len(),
+        || algebra::select(&uncertain, &pred).unwrap().len(),
+    );
+    outcomes.push(Outcome {
+        name: "select_urel",
+        rows_in: uncertain.len(),
+        rows_out: out,
+        naive_ms: n,
+        optimized_ms: o,
+    });
+
+    // -- E5 wide self-join: output ≈ 5× input, copy-bound --------------
+    let wide_rows = scale / 5;
+    let (cw, _wtw, uw) = workloads::overhead_pair(22, wide_rows, (wide_rows / 10) as i64);
+    let cwf = ops::filter(&cw, &pred).unwrap();
+    let uwf = algebra::select(&uw, &pred).unwrap();
+    let (n, o, out) = compare(
+        reps,
+        || naive::hash_join(&cwf, &cw, &[0], &[0]).unwrap().len(),
+        || ops::hash_join(&cwf, &cw, &[0], &[0]).unwrap().len(),
+    );
+    outcomes.push(Outcome {
+        name: "join_wide_certain",
+        rows_in: cw.len(),
+        rows_out: out,
+        naive_ms: n,
+        optimized_ms: o,
+    });
+    let (n, o, out) = compare(
+        reps,
+        || naive::hash_join_u(&uwf, &uw, &[0], &[0]).unwrap().len(),
+        || algebra::hash_join(&uwf, &uw, &[0], &[0]).unwrap().len(),
+    );
+    outcomes.push(Outcome {
+        name: "join_wide_urel",
+        rows_in: uw.len(),
+        rows_out: out,
+        naive_ms: n,
+        optimized_ms: o,
+    });
+
+    // -- Selective FK join: huge probe side, small output — the
+    //    join-heavy case where per-row key/WSD allocations dominated ----
+    let (big, _w2, ubig) = workloads::overhead_pair(33, scale * 2, 1_000_000);
+    let (small, _w3, usmall) = workloads::overhead_pair(34, scale / 50, 1_000_000);
+    let (n, o, out) = compare(
+        reps,
+        || naive::hash_join(&small, &big, &[0], &[0]).unwrap().len(),
+        || ops::hash_join(&small, &big, &[0], &[0]).unwrap().len(),
+    );
+    outcomes.push(Outcome {
+        name: "join_selective_certain",
+        rows_in: big.len(),
+        rows_out: out,
+        naive_ms: n,
+        optimized_ms: o,
+    });
+    let (n, o, out) = compare(
+        reps,
+        || naive::hash_join_u(&usmall, &ubig, &[0], &[0]).unwrap().len(),
+        || algebra::hash_join(&usmall, &ubig, &[0], &[0]).unwrap().len(),
+    );
+    outcomes.push(Outcome {
+        name: "join_selective_urel",
+        rows_in: ubig.len(),
+        rows_out: out,
+        naive_ms: n,
+        optimized_ms: o,
+    });
+
+    // -- Duplicate elimination under heavy duplication -----------------
+    let dup = {
+        let base = workloads::repair_input(55, scale / 100, 4);
+        let mut all = base.clone();
+        for _ in 0..24 {
+            all = ops::union_all(&[&all, &base]).unwrap();
+        }
+        all
+    };
+    let (n, o, out) = compare(
+        reps,
+        || naive::distinct(&dup).len(),
+        || ops::distinct(&dup).len(),
+    );
+    outcomes.push(Outcome {
+        name: "distinct_certain",
+        rows_in: dup.len(),
+        rows_out: out,
+        naive_ms: n,
+        optimized_ms: o,
+    });
+
+    // -- ORDER BY (selection-vector sort vs clone-per-row) -------------
+    let keys = [ops::SortKey::desc(Expr::col("v")), ops::SortKey::asc(Expr::col("k"))];
+    let (n, o, out) = compare(
+        reps,
+        || naive::sort(&certain, &keys).unwrap().len(),
+        || ops::sort(&certain, &keys).unwrap().len(),
+    );
+    outcomes.push(Outcome {
+        name: "sort_certain",
+        rows_in: certain.len(),
+        rows_out: out,
+        naive_ms: n,
+        optimized_ms: o,
+    });
+
+    // -- repair key: hypothesis-space construction ---------------------
+    let repair_in = workloads::repair_input(31, scale / 10, 8);
+    let repair_opts = RepairKeyOptions { weight: Some(Expr::col("w")) };
+    let (n, o, out) = compare(
+        reps,
+        || {
+            let mut wt = WorldTable::new();
+            naive::repair_key(&repair_in, &[Expr::col("k")], &repair_opts, &mut wt)
+                .unwrap()
+                .len()
+        },
+        || {
+            let mut wt = WorldTable::new();
+            maybms_urel::repair::repair_key(
+                &repair_in,
+                &[Expr::col("k")],
+                &repair_opts,
+                &mut wt,
+            )
+            .unwrap()
+            .len()
+        },
+    );
+    outcomes.push(Outcome {
+        name: "repair_key",
+        rows_in: repair_in.len(),
+        rows_out: out,
+        naive_ms: n,
+        optimized_ms: o,
+    });
+
+    // -- pick tuples ---------------------------------------------------
+    let pick_in = workloads::repair_input(35, scale, 1);
+    let pick_opts = PickTuplesOptions { probability: Some(Expr::col("w").binary(
+        BinaryOp::Div,
+        Expr::lit(maybms_engine::Value::Float(10.0)),
+    )) };
+    let (n, o, out) = compare(
+        reps,
+        || {
+            let mut wt = WorldTable::new();
+            naive::pick_tuples(&pick_in, &pick_opts, &mut wt).unwrap().len()
+        },
+        || {
+            let mut wt = WorldTable::new();
+            maybms_urel::pick::pick_tuples(&pick_in, &pick_opts, &mut wt).unwrap().len()
+        },
+    );
+    outcomes.push(Outcome {
+        name: "pick_tuples",
+        rows_in: pick_in.len(),
+        rows_out: out,
+        naive_ms: n,
+        optimized_ms: o,
+    });
+
+    // -- Report --------------------------------------------------------
+    println!(
+        "{:<24} {:>10} {:>10} {:>12} {:>12} {:>9}",
+        "workload", "rows_in", "rows_out", "naive ms", "opt ms", "speedup"
+    );
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"meta\": {{ \"scale\": {scale}, \"reps\": {reps}, \"quick\": {quick}, \
+         \"note\": \"naive = seed algorithms (deep clones, Vec<Value> join keys, \
+         per-row WSD heap allocation); optimized = zero-clone core (selection \
+         vectors, hashed keys, batched rows, inline WSDs); interleaved medians, \
+         same process\" }},"
+    );
+    json.push_str("  \"workloads\": [\n");
+    for (i, w) in outcomes.iter().enumerate() {
+        let speedup = w.naive_ms / w.optimized_ms;
+        println!(
+            "{:<24} {:>10} {:>10} {:>12.3} {:>12.3} {:>8.2}x",
+            w.name, w.rows_in, w.rows_out, w.naive_ms, w.optimized_ms, speedup
+        );
+        let _ = write!(
+            json,
+            "    {{ \"name\": \"{}\", \"rows_in\": {}, \"rows_out\": {}, \
+             \"naive_ms\": {:.3}, \"optimized_ms\": {:.3}, \"speedup\": {:.2} }}",
+            w.name, w.rows_in, w.rows_out, w.naive_ms, w.optimized_ms, speedup
+        );
+        json.push_str(if i + 1 < outcomes.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write baseline json");
+    println!("\nwrote {out_path}");
+}

@@ -6,4 +6,5 @@
 //! U-relation-overhead workloads. Criterion benches live in `benches/`;
 //! printable experiment harnesses in `src/bin/exp_*.rs`.
 
+pub mod naive;
 pub mod workloads;

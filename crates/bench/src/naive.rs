@@ -1,0 +1,354 @@
+//! Seed-faithful "naive" operator implementations, kept as the measured
+//! *before* of the zero-clone execution core (`exp_baseline`) and as the
+//! oracle for the operator-equivalence property tests.
+//!
+//! Each function reproduces the pre-refactor algorithm exactly as the seed
+//! engine ran it:
+//!
+//! * tuples are **deep-copied** at every operator boundary (the seed's
+//!   `Box<[Value]>`-backed rows made every clone an allocation plus a
+//!   value-by-value copy);
+//! * `distinct` clones every surviving tuple twice (once into the seen-set
+//!   and once into the output);
+//! * hash joins key their build table with an owned `Vec<Value>` cloned
+//!   from the key columns of every build *and* probe row.
+//!
+//! They are correct, just allocation-heavy — exactly what `exp_baseline`
+//! measures the optimized operators against.
+
+use std::collections::{HashMap, HashSet};
+
+use maybms_engine::{ops, EngineError, Expr, Relation, Tuple, Value};
+use maybms_urel::{URelation, UTuple};
+
+/// Deep copy of a row: allocates and copies every value (the seed's clone
+/// semantics, bypassing today's `Arc` sharing).
+pub fn deep_clone(t: &Tuple) -> Tuple {
+    Tuple::new(t.values().to_vec())
+}
+
+/// Deep copy of an uncertain row (data values and WSD assignment list).
+pub fn deep_clone_u(t: &UTuple) -> UTuple {
+    let wsd = maybms_urel::Wsd::from_assignments(t.wsd.assignments().to_vec())
+        .expect("existing WSD is satisfiable");
+    UTuple::new(deep_clone(&t.data), wsd)
+}
+
+/// Seed `filter`: clone every surviving tuple.
+pub fn filter(input: &Relation, predicate: &Expr) -> Result<Relation, EngineError> {
+    let bound = predicate.bind(input.schema())?;
+    let mut out = Vec::new();
+    for t in input.tuples() {
+        if bound.eval_predicate(t)? {
+            out.push(deep_clone(t));
+        }
+    }
+    Ok(Relation::new_unchecked(input.schema().clone(), out))
+}
+
+/// Seed `distinct`: the double clone (seen-set + output).
+pub fn distinct(input: &Relation) -> Relation {
+    let mut seen = HashSet::with_capacity(input.len());
+    let mut out = Vec::new();
+    for t in input.tuples() {
+        if seen.insert(deep_clone(t)) {
+            out.push(deep_clone(t));
+        }
+    }
+    Relation::new_unchecked(input.schema().clone(), out)
+}
+
+/// Seed `sort`: decorate, sort, clone each tuple into place.
+pub fn sort(input: &Relation, keys: &[ops::SortKey]) -> Result<Relation, EngineError> {
+    let bound: Vec<(Expr, bool)> = keys
+        .iter()
+        .map(|k| Ok((k.expr.bind(input.schema())?, k.ascending)))
+        .collect::<Result<_, EngineError>>()?;
+    let mut decorated: Vec<(Vec<Value>, usize)> = Vec::with_capacity(input.len());
+    for (i, t) in input.tuples().iter().enumerate() {
+        let kv: Vec<Value> = bound
+            .iter()
+            .map(|(e, _)| e.eval(t))
+            .collect::<Result<_, EngineError>>()?;
+        decorated.push((kv, i));
+    }
+    decorated.sort_by(|(ka, ia), (kb, ib)| {
+        for ((a, b), (_, asc)) in ka.iter().zip(kb).zip(&bound) {
+            let ord = a.cmp(b);
+            let ord = if *asc { ord } else { ord.reverse() };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        ia.cmp(ib)
+    });
+    let tuples = decorated
+        .into_iter()
+        .map(|(_, i)| deep_clone(&input.tuples()[i]))
+        .collect();
+    Ok(Relation::new_unchecked(input.schema().clone(), tuples))
+}
+
+/// The seed's key extractor: an owned `Vec<Value>` per row, `None` on any
+/// NULL key.
+fn key_of(values: &[Value], keys: &[usize]) -> Option<Vec<Value>> {
+    let mut k = Vec::with_capacity(keys.len());
+    for &i in keys {
+        let v = &values[i];
+        if v.is_null() {
+            return None;
+        }
+        k.push(v.clone());
+    }
+    Some(k)
+}
+
+/// Seed `hash_join` over certain relations: `Vec<Value>`-keyed build
+/// table, build on the smaller side.
+pub fn hash_join(
+    left: &Relation,
+    right: &Relation,
+    left_keys: &[usize],
+    right_keys: &[usize],
+) -> Result<Relation, EngineError> {
+    let schema = std::sync::Arc::new(left.schema().join(right.schema()));
+    let (build, probe, build_keys, probe_keys, build_is_left) = if left.len() <= right.len() {
+        (left, right, left_keys, right_keys, true)
+    } else {
+        (right, left, right_keys, left_keys, false)
+    };
+    let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::with_capacity(build.len());
+    for t in build.tuples() {
+        if let Some(k) = key_of(t.values(), build_keys) {
+            table.entry(k).or_default().push(t);
+        }
+    }
+    let mut out = Vec::new();
+    for p in probe.tuples() {
+        let Some(k) = key_of(p.values(), probe_keys) else { continue };
+        if let Some(matches) = table.get(&k) {
+            for b in matches {
+                out.push(if build_is_left { b.concat(p) } else { p.concat(b) });
+            }
+        }
+    }
+    Ok(Relation::new_unchecked(schema, out))
+}
+
+/// Seed U-relational σ: clone every surviving `UTuple` (data + WSD).
+pub fn select_u(input: &URelation, predicate: &Expr) -> maybms_urel::Result<URelation> {
+    let bound = predicate.bind(input.schema())?;
+    let mut out = Vec::new();
+    for t in input.tuples() {
+        if bound.eval_predicate(&t.data)? {
+            out.push(deep_clone_u(t));
+        }
+    }
+    Ok(URelation::new(input.schema().clone(), out))
+}
+
+/// Seed U-relational hash ⋈: `Vec<Value>` keys, WSD conjunction per
+/// surviving pair.
+pub fn hash_join_u(
+    left: &URelation,
+    right: &URelation,
+    left_keys: &[usize],
+    right_keys: &[usize],
+) -> maybms_urel::Result<URelation> {
+    let schema = std::sync::Arc::new(left.schema().join(right.schema()));
+    let mut table: HashMap<Vec<Value>, Vec<&UTuple>> = HashMap::with_capacity(left.len());
+    for t in left.tuples() {
+        if let Some(k) = key_of(t.data.values(), left_keys) {
+            table.entry(k).or_default().push(t);
+        }
+    }
+    let mut out = Vec::new();
+    for r in right.tuples() {
+        let Some(k) = key_of(r.data.values(), right_keys) else { continue };
+        if let Some(matches) = table.get(&k) {
+            for l in matches {
+                if let Some(wsd) = l.wsd.conjoin(&r.wsd) {
+                    // The seed conjoin heap-allocated a fresh
+                    // `Vec<Assignment>` per output row; reconstruct the
+                    // WSD through the Vec path to reproduce that cost.
+                    let wsd = maybms_urel::Wsd::from_assignments(
+                        wsd.assignments().to_vec(),
+                    )
+                    .expect("conjoined WSD is satisfiable");
+                    out.push(UTuple::new(l.data.concat(&r.data), wsd));
+                }
+            }
+        }
+    }
+    Ok(URelation::new(schema, out))
+}
+
+/// Seed nested-loop ⋈ over U-relations (predicate oracle for the property
+/// tests: every hashed equi-join must agree with it as a bag).
+pub fn nested_loop_join_u(
+    left: &URelation,
+    right: &URelation,
+    predicate: Option<&Expr>,
+) -> maybms_urel::Result<URelation> {
+    let schema = std::sync::Arc::new(left.schema().join(right.schema()));
+    let bound = predicate.map(|p| p.bind(&schema)).transpose()?;
+    let mut out = Vec::new();
+    for l in left.tuples() {
+        for r in right.tuples() {
+            let Some(wsd) = l.wsd.conjoin(&r.wsd) else { continue };
+            let data = l.data.concat(&r.data);
+            if let Some(p) = &bound {
+                if !p.eval_predicate(&data)? {
+                    continue;
+                }
+            }
+            out.push(UTuple::new(data, wsd));
+        }
+    }
+    Ok(URelation::new(schema, out))
+}
+
+/// Seed `repair key`: SipHash `Vec<Value>`-keyed grouping, deep-cloned
+/// output rows, and per-row heap-allocated WSD construction.
+pub fn repair_key(
+    input: &Relation,
+    key_exprs: &[Expr],
+    options: &maybms_urel::repair::RepairKeyOptions,
+    wt: &mut maybms_urel::WorldTable,
+) -> maybms_urel::Result<URelation> {
+    use maybms_urel::{Assignment, UrelError, Wsd};
+    let weights: Vec<f64> = match &options.weight {
+        None => vec![1.0; input.len()],
+        Some(w) => {
+            let bound = w.bind(input.schema())?;
+            let mut ws = Vec::with_capacity(input.len());
+            for t in input.tuples() {
+                let v = bound.eval(t)?;
+                let x = v.as_f64().ok_or_else(|| UrelError::BadWeight {
+                    message: format!("weight expression produced non-numeric value {v}"),
+                })?;
+                if !x.is_finite() || x < 0.0 {
+                    return Err(UrelError::BadWeight {
+                        message: format!("weight {x} is negative or not finite"),
+                    });
+                }
+                ws.push(x);
+            }
+            ws
+        }
+    };
+    // Seed grouping: one owned Vec<Value> key per row into a SipHash map.
+    let bound: Vec<Expr> = key_exprs
+        .iter()
+        .map(|e| e.bind(input.schema()))
+        .collect::<Result<_, EngineError>>()?;
+    let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (i, t) in input.tuples().iter().enumerate() {
+        let key: Vec<Value> = bound
+            .iter()
+            .map(|e| e.eval(t))
+            .collect::<Result<_, EngineError>>()?;
+        match index.get(&key) {
+            Some(&g) => groups[g].push(i),
+            None => {
+                index.insert(key, groups.len());
+                groups.push(vec![i]);
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(input.len());
+    for indices in groups {
+        let alive: Vec<usize> =
+            indices.iter().copied().filter(|&i| weights[i] > 0.0).collect();
+        if alive.is_empty() {
+            return Err(UrelError::BadWeight {
+                message: "all weights in a repair-key group are zero".into(),
+            });
+        }
+        if alive.len() == 1 {
+            out.push(UTuple::certain(deep_clone(&input.tuples()[alive[0]])));
+            continue;
+        }
+        let total: f64 = alive.iter().map(|&i| weights[i]).sum();
+        let probs: Vec<f64> = alive.iter().map(|&i| weights[i] / total).collect();
+        let var = wt.new_var(&probs)?;
+        for (alt, &i) in alive.iter().enumerate() {
+            let wsd = Wsd::from_assignments(vec![Assignment::new(var, alt as u16)])
+                .expect("single assignment is satisfiable");
+            out.push(UTuple::new(deep_clone(&input.tuples()[i]), wsd));
+        }
+    }
+    Ok(URelation::new(input.schema().clone(), out))
+}
+
+/// Seed `pick tuples`: deep-cloned rows and heap-built single-assignment
+/// WSDs.
+pub fn pick_tuples(
+    input: &Relation,
+    options: &maybms_urel::pick::PickTuplesOptions,
+    wt: &mut maybms_urel::WorldTable,
+) -> maybms_urel::Result<URelation> {
+    use maybms_urel::{Assignment, UrelError, Wsd};
+    let bound =
+        options.probability.as_ref().map(|e| e.bind(input.schema())).transpose()?;
+    let mut out = Vec::with_capacity(input.len());
+    for t in input.tuples() {
+        let p = match &bound {
+            None => 0.5,
+            Some(e) => {
+                let v = e.eval(t)?;
+                v.as_f64().ok_or_else(|| UrelError::BadProbability {
+                    message: format!("probability expression produced non-numeric value {v}"),
+                })?
+            }
+        };
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(UrelError::BadProbability {
+                message: format!("tuple probability {p} outside [0, 1]"),
+            });
+        }
+        if p == 0.0 {
+            continue;
+        }
+        if p == 1.0 {
+            out.push(UTuple::certain(deep_clone(t)));
+            continue;
+        }
+        let var = wt.new_var(&[1.0 - p, p])?;
+        let wsd = Wsd::from_assignments(vec![Assignment::new(var, 1)])
+            .expect("single assignment is satisfiable");
+        out.push(UTuple::new(deep_clone(t), wsd));
+    }
+    Ok(URelation::new(input.schema().clone(), out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maybms_engine::{rel, BinaryOp, DataType};
+
+    #[test]
+    fn naive_ops_agree_with_engine_ops() {
+        let r = rel(
+            &[("k", DataType::Int), ("v", DataType::Int)],
+            vec![
+                vec![1.into(), 10.into()],
+                vec![2.into(), 20.into()],
+                vec![1.into(), 10.into()],
+                vec![Value::Null, 5.into()],
+            ],
+        );
+        let pred = Expr::col("v").binary(BinaryOp::Gt, Expr::lit(5i64));
+        assert_eq!(
+            filter(&r, &pred).unwrap().tuples(),
+            ops::filter(&r, &pred).unwrap().tuples()
+        );
+        assert_eq!(distinct(&r).tuples(), ops::distinct(&r).tuples());
+        let mut a = hash_join(&r, &r, &[0], &[0]).unwrap().into_tuples();
+        let mut b = ops::hash_join(&r, &r, &[0], &[0]).unwrap().into_tuples();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,230 @@
+//! Operator-equivalence property tests for the zero-clone execution core.
+//!
+//! The optimized operators (selection vectors, hashed join keys, batched
+//! row buffers, inline WSDs) must agree tuple-for-tuple with the
+//! seed-faithful naive implementations in `maybms_bench::naive` — exactly
+//! (order included) for order-defined operators (σ, distinct, sort), and
+//! as bags for joins. Inputs include NULL join keys (which must never
+//! match) and conflicting WSDs (whose join pairs must be dropped as
+//! unsatisfiable).
+
+use maybms_bench::naive;
+use maybms_engine::{ops, BinaryOp, DataType, Expr, Relation, Schema, Tuple, Value};
+use maybms_urel::{algebra, Assignment, URelation, UTuple, Var, WorldTable, Wsd};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Numeric-or-NULL values: usable as join keys and in comparison
+/// predicates, with cross-type Int/Float duplicates (1 == 1.0).
+fn arb_num() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        (0i64..5).prop_map(Value::Int),
+        (0i64..8).prop_map(|i| Value::Float(i as f64 / 2.0)),
+    ]
+}
+
+/// Text payload (exercises `Arc<str>` sharing through the operators).
+fn arb_text() -> impl Strategy<Value = Value> {
+    prop::sample::select(vec!["a", "b", "c"]).prop_map(Value::str)
+}
+
+fn schema3() -> Arc<Schema> {
+    Arc::new(Schema::from_pairs(&[
+        ("k", DataType::Unknown),
+        ("v", DataType::Unknown),
+        ("s", DataType::Text),
+    ]))
+}
+
+/// A relation over (k, v, s) with NULLs and cross-type numeric duplicates
+/// in the key column.
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    prop::collection::vec((arb_num(), arb_num(), arb_text()), 0..24).prop_map(|rows| {
+        Relation::new_unchecked(
+            schema3(),
+            rows.into_iter().map(|(k, v, s)| Tuple::new(vec![k, v, s])).collect(),
+        )
+    })
+}
+
+/// A world table with three small variables plus a U-relation whose WSDs
+/// mention them — self-joins hit conflicting assignments (unsatisfiable
+/// conjunctions that the join must drop).
+fn arb_urelation() -> impl Strategy<Value = (WorldTable, URelation)> {
+    (
+        prop::collection::vec((arb_num(), arb_num(), arb_text()), 0..16),
+        prop::collection::vec(prop::collection::vec((0u32..3, 0u16..2), 0..3), 0..16),
+    )
+        .prop_map(|(rows, raw_wsds)| {
+            let mut wt = WorldTable::new();
+            for _ in 0..3 {
+                wt.new_var(&[0.5, 0.5]).unwrap();
+            }
+            let tuples = rows
+                .into_iter()
+                .zip(raw_wsds.into_iter().chain(std::iter::repeat(Vec::new())))
+                .map(|((k, v, s), raw)| {
+                    let wsd = Wsd::from_assignments(
+                        raw.into_iter()
+                            .map(|(v, a)| Assignment::new(Var(v), a))
+                            .collect(),
+                    )
+                    .unwrap_or_else(Wsd::tautology);
+                    UTuple::new(Tuple::new(vec![k, v, s]), wsd)
+                })
+                .collect();
+            (wt, URelation::new(schema3(), tuples))
+        })
+}
+
+fn bag(r: &Relation) -> Vec<Tuple> {
+    let mut v = r.tuples().to_vec();
+    v.sort();
+    v
+}
+
+fn ubag(u: &URelation) -> Vec<(Tuple, Wsd)> {
+    let mut v: Vec<(Tuple, Wsd)> =
+        u.tuples().iter().map(|t| (t.data.clone(), t.wsd.clone())).collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// σ: selection-vector filter equals the cloning filter, order and all.
+    #[test]
+    fn filter_matches_naive(r in arb_relation()) {
+        let pred = Expr::col("v").binary(BinaryOp::Gt, Expr::lit(1i64));
+        let a = ops::filter(&r, &pred).unwrap();
+        let b = naive::filter(&r, &pred).unwrap();
+        prop_assert_eq!(a.tuples(), b.tuples());
+    }
+
+    /// distinct: index-dedup equals the double-clone dedup, order included.
+    #[test]
+    fn distinct_matches_naive(r in arb_relation()) {
+        prop_assert_eq!(ops::distinct(&r).tuples(), naive::distinct(&r).tuples());
+    }
+
+    /// sort: gather-based sort equals the clone-based sort exactly
+    /// (stability included).
+    #[test]
+    fn sort_matches_naive(r in arb_relation()) {
+        let keys = [ops::SortKey::desc(Expr::col("v")), ops::SortKey::asc(Expr::col("k"))];
+        let a = ops::sort(&r, &keys).unwrap();
+        let b = naive::sort(&r, &keys).unwrap();
+        prop_assert_eq!(a.tuples(), b.tuples());
+    }
+
+    /// Hashed join equals the Vec-keyed join as a bag, including NULL join
+    /// keys (never match) and cross-type numeric keys (1 == 1.0).
+    #[test]
+    fn hash_join_matches_naive(l in arb_relation(), r in arb_relation()) {
+        let a = ops::hash_join(&l, &r, &[0], &[0]).unwrap();
+        let b = naive::hash_join(&l, &r, &[0], &[0]).unwrap();
+        prop_assert_eq!(bag(&a), bag(&b));
+    }
+
+    /// Hashed join also equals a nested-loop join with the equivalent
+    /// equality predicate (independent oracle).
+    #[test]
+    fn hash_join_matches_nested_loop(l in arb_relation(), r in arb_relation()) {
+        let a = ops::hash_join(&l, &r, &[0], &[0]).unwrap();
+        let pred = Expr::ColumnIdx(0).eq(Expr::ColumnIdx(3));
+        let b = ops::nested_loop_join(&l, &r, Some(&pred)).unwrap();
+        prop_assert_eq!(bag(&a), bag(&b));
+    }
+
+    /// U-relational σ: selection vector equals deep-clone select.
+    #[test]
+    fn select_u_matches_naive((_wt, u) in arb_urelation()) {
+        let pred = Expr::col("v").binary(BinaryOp::Gt, Expr::lit(1i64));
+        let a = algebra::select(&u, &pred).unwrap();
+        let b = naive::select_u(&u, &pred).unwrap();
+        prop_assert_eq!(ubag(&a), ubag(&b));
+    }
+
+    /// U-relational hashed join equals the Vec-keyed join as a bag of
+    /// (data, wsd) pairs — WSD conjunction and unsatisfiable-pair drops
+    /// included.
+    #[test]
+    fn hash_join_u_matches_naive((_wt, u) in arb_urelation(), (_w2, u2) in arb_urelation()) {
+        let a = algebra::hash_join(&u, &u2, &[0], &[0]).unwrap();
+        let b = naive::hash_join_u(&u, &u2, &[0], &[0]).unwrap();
+        prop_assert_eq!(ubag(&a), ubag(&b));
+    }
+
+    /// U-relational hashed self-join equals the nested-loop translation —
+    /// self-joins maximise conflicting-WSD pairs.
+    #[test]
+    fn hash_join_u_self_matches_nested_loop((_wt, u) in arb_urelation()) {
+        let a = algebra::hash_join(&u, &u, &[0], &[0]).unwrap();
+        let pred = Expr::ColumnIdx(0).eq(Expr::ColumnIdx(3));
+        let b = naive::nested_loop_join_u(&u, &u, Some(&pred)).unwrap();
+        prop_assert_eq!(ubag(&a), ubag(&b));
+    }
+
+    /// repair key: the optimized construction (scratch grouping, inline
+    /// WSDs) produces the identical U-relation to the seed construction —
+    /// same rows, same variables, same conditions.
+    #[test]
+    fn repair_key_matches_naive(
+        rows in prop::collection::vec((0i64..6, 1u32..10), 1..40),
+    ) {
+        let schema = Arc::new(Schema::from_pairs(&[
+            ("k", DataType::Int),
+            ("w", DataType::Float),
+        ]));
+        let input = Relation::new_unchecked(
+            schema,
+            rows.iter()
+                .map(|&(k, w)| Tuple::new(vec![
+                    Value::Int(k),
+                    Value::Float(f64::from(w) / 10.0),
+                ]))
+                .collect(),
+        );
+        let opts = maybms_urel::repair::RepairKeyOptions {
+            weight: Some(Expr::col("w")),
+        };
+        let mut wt_a = WorldTable::new();
+        let a = maybms_urel::repair::repair_key(&input, &[Expr::col("k")], &opts, &mut wt_a)
+            .unwrap();
+        let mut wt_b = WorldTable::new();
+        let b = naive::repair_key(&input, &[Expr::col("k")], &opts, &mut wt_b).unwrap();
+        prop_assert_eq!(a.tuples(), b.tuples());
+        prop_assert_eq!(wt_a.num_vars(), wt_b.num_vars());
+    }
+
+    /// pick tuples: identical output and world table.
+    #[test]
+    fn pick_tuples_matches_naive(
+        rows in prop::collection::vec((0i64..6, 0u32..=10), 1..40),
+    ) {
+        let schema = Arc::new(Schema::from_pairs(&[
+            ("v", DataType::Int),
+            ("p", DataType::Float),
+        ]));
+        let input = Relation::new_unchecked(
+            schema,
+            rows.iter()
+                .map(|&(v, p)| Tuple::new(vec![
+                    Value::Int(v),
+                    Value::Float(f64::from(p) / 10.0),
+                ]))
+                .collect(),
+        );
+        let opts = maybms_urel::pick::PickTuplesOptions {
+            probability: Some(Expr::col("p")),
+        };
+        let mut wt_a = WorldTable::new();
+        let a = maybms_urel::pick::pick_tuples(&input, &opts, &mut wt_a).unwrap();
+        let mut wt_b = WorldTable::new();
+        let b = naive::pick_tuples(&input, &opts, &mut wt_b).unwrap();
+        prop_assert_eq!(a.tuples(), b.tuples());
+        prop_assert_eq!(wt_a.num_vars(), wt_b.num_vars());
+    }
+}

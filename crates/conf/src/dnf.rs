@@ -14,6 +14,11 @@ use maybms_urel::{Var, Wsd};
 ///
 /// * no clauses — `false` (probability 0);
 /// * a tautology clause — `true` (probability 1).
+///
+/// **Invariant:** the clause list is always sorted (by the `Wsd` total
+/// order). Every constructor establishes it and every transformation
+/// preserves it, so canonical comparisons — in particular the exact
+/// algorithm's memoization key — never need to re-sort.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Dnf {
     clauses: Vec<Wsd>,
@@ -25,15 +30,17 @@ impl Dnf {
         Dnf { clauses: Vec::new() }
     }
 
-    /// Build from clauses, as-is.
-    pub fn new(clauses: Vec<Wsd>) -> Dnf {
+    /// Build from clauses (sorted here; duplicates are kept — use
+    /// [`Dnf::simplify`] to drop them).
+    pub fn new(mut clauses: Vec<Wsd>) -> Dnf {
+        clauses.sort_unstable();
         Dnf { clauses }
     }
 
     /// Build from the WSDs of a group of tuples (the `conf()` aggregate's
     /// input).
     pub fn from_wsds<'a>(wsds: impl IntoIterator<Item = &'a Wsd>) -> Dnf {
-        Dnf { clauses: wsds.into_iter().cloned().collect() }
+        Dnf::new(wsds.into_iter().cloned().collect())
     }
 
     /// The clauses.
@@ -81,8 +88,9 @@ impl Dnf {
         if self.is_true() {
             return Dnf { clauses: vec![Wsd::tautology()] };
         }
+        // Clauses are sorted by construction invariant; dedup directly.
+        debug_assert!(self.clauses.windows(2).all(|w| w[0] <= w[1]));
         let mut clauses = self.clauses.clone();
-        clauses.sort();
         clauses.dedup();
         // Absorption: keep clause c unless some other kept clause d ⊆ c.
         // Sorting by length first makes subset checks one-directional.
@@ -102,14 +110,15 @@ impl Dnf {
 
     /// Condition every clause on `var = alt`, dropping clauses that become
     /// unsatisfiable (Shannon expansion step of variable elimination).
+    /// Removing a binding can reorder clauses, so the sorted invariant is
+    /// re-established here.
     pub fn condition(&self, var: Var, alt: u16) -> Dnf {
-        Dnf {
-            clauses: self
-                .clauses
+        Dnf::new(
+            self.clauses
                 .iter()
                 .filter_map(|c| c.condition(var, alt))
                 .collect(),
-        }
+        )
     }
 }
 

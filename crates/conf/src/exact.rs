@@ -109,11 +109,11 @@ pub fn probability_with(
 
 type Cache = Option<HashMap<Vec<maybms_urel::Wsd>, f64>>;
 
-/// Canonical cache key: the clause list, sorted.
+/// Canonical cache key: the clause list, which [`Dnf`] keeps sorted as a
+/// construction invariant — no re-sort per node.
 fn cache_key(dnf: &Dnf) -> Vec<maybms_urel::Wsd> {
-    let mut k = dnf.clauses().to_vec();
-    k.sort();
-    k
+    debug_assert!(dnf.clauses().windows(2).all(|w| w[0] <= w[1]));
+    dnf.clauses().to_vec()
 }
 
 fn go(
@@ -166,7 +166,7 @@ fn go(
     // Variable elimination (Shannon expansion).
     stats.eliminations += 1;
     let x = choose_var(dnf, wt, options.var_choice)?;
-    let dist = wt.distribution(x)?.to_vec();
+    let dist = wt.distribution(x)?;
     let mut total = 0.0;
     for (alt, &p_alt) in dist.iter().enumerate() {
         if p_alt == 0.0 {

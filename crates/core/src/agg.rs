@@ -47,22 +47,31 @@ pub struct Groups {
 }
 
 /// Group the tuples of `u` by the (bound) key expressions.
+///
+/// Groups by row index with a hashed, scratch-buffered key: key values are
+/// staged in a reusable buffer and cloned only when they found a *new*
+/// group, so grouping allocates per group, not per row.
 pub fn group(u: &URelation, key_exprs: &[Expr]) -> Result<Groups> {
-    use std::collections::HashMap;
+    use maybms_engine::hash::{fast_hash_one, FastMap};
     if key_exprs.is_empty() {
         return Ok(Groups { keys: vec![Vec::new()], members: vec![(0..u.len()).collect()] });
     }
-    let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
-    let mut keys = Vec::new();
+    let mut buckets: FastMap<u64, Vec<usize>> = FastMap::default();
+    let mut keys: Vec<Vec<Value>> = Vec::new();
     let mut members: Vec<Vec<usize>> = Vec::new();
+    let mut scratch: Vec<Value> = Vec::with_capacity(key_exprs.len());
     for (i, t) in u.tuples().iter().enumerate() {
-        let key: Vec<Value> =
-            key_exprs.iter().map(|e| e.eval(&t.data)).collect::<std::result::Result<_, _>>()?;
-        match index.get(&key) {
+        scratch.clear();
+        for e in key_exprs {
+            scratch.push(e.eval(&t.data)?);
+        }
+        let h = fast_hash_one(&scratch[..]);
+        let bucket = buckets.entry(h).or_default();
+        match bucket.iter().find(|&&g| keys[g] == scratch) {
             Some(&g) => members[g].push(i),
             None => {
-                index.insert(key.clone(), keys.len());
-                keys.push(key);
+                bucket.push(keys.len());
+                keys.push(scratch.clone());
                 members.push(vec![i]);
             }
         }

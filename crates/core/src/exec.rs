@@ -194,8 +194,7 @@ pub fn eval_query(q: &Query, ctx: &mut ExecCtx<'_>) -> Result<QueryOutput> {
                 if let Some(e) = sort_err {
                     return Err(e.into());
                 }
-                let tuples = idx.into_iter().map(|i| u.tuples()[i].clone()).collect();
-                QueryOutput::Uncertain(URelation::new(u.schema().clone(), tuples))
+                QueryOutput::Uncertain(u.gather(&idx))
             }
         };
     }
@@ -407,16 +406,22 @@ fn eval_possible(
         })
         .collect::<Result<_>>()?;
     let projected = algebra::project(joined, &proj)?;
-    let mut out = Vec::new();
+    // Dedup by row reference, gathering only the surviving rows at the
+    // end (final clones are Arc bumps).
+    let mut sel = Vec::new();
     let mut seen = std::collections::HashSet::new();
-    for t in projected.tuples() {
-        if t.wsd.prob(ctx.wt)? > 0.0 && seen.insert(t.data.clone()) {
-            out.push(t.data.clone());
+    for (i, t) in projected.tuples().iter().enumerate() {
+        if t.wsd.prob(ctx.wt)? > 0.0 && seen.insert(&t.data) {
+            sel.push(i);
         }
     }
+    let tuples = sel
+        .iter()
+        .map(|&i| projected.tuples()[i].data.clone())
+        .collect();
     Ok(QueryOutput::Certain(Relation::new_unchecked(
         Arc::new(projected.schema().without_qualifiers()),
-        out,
+        tuples,
     )))
 }
 
@@ -787,13 +792,14 @@ fn sources_binding(p: &EExpr, sources: &[URelation]) -> bool {
 }
 
 fn filter_bound(u: &URelation, bound: &EExpr) -> Result<URelation> {
-    let mut out = Vec::new();
-    for t in u.tuples() {
+    // Selection vector: collect surviving row indices, gather once.
+    let mut sel = Vec::new();
+    for (i, t) in u.tuples().iter().enumerate() {
         if bound.eval_predicate(&t.data)? {
-            out.push(t.clone());
+            sel.push(i);
         }
     }
-    Ok(URelation::new(u.schema().clone(), out))
+    Ok(u.gather(&sel))
 }
 
 #[cfg(test)]

@@ -296,6 +296,13 @@ impl Expr {
 
     /// Evaluate against a tuple. The expression must be bound.
     pub fn eval(&self, tuple: &Tuple) -> Result<Value> {
+        self.eval_values(tuple.values())
+    }
+
+    /// Evaluate against a bare row slice (lets operators evaluate rows
+    /// staged in a [`crate::tuple::TupleBatch`] before they become
+    /// tuples). The expression must be bound.
+    pub fn eval_values(&self, row: &[Value]) -> Result<Value> {
         match self {
             Expr::Column { qualifier, name } => Err(EngineError::UnboundExpression {
                 expr: match qualifier {
@@ -303,19 +310,19 @@ impl Expr {
                     None => name.clone(),
                 },
             }),
-            Expr::ColumnIdx(i) => Ok(tuple.value(*i).clone()),
+            Expr::ColumnIdx(i) => Ok(row[*i].clone()),
             Expr::Literal(v) => Ok(v.clone()),
             Expr::Binary { left, op, right } => {
                 // Short-circuiting three-valued AND/OR.
                 if matches!(op, BinaryOp::And | BinaryOp::Or) {
-                    return eval_logical(*op, left, right, tuple);
+                    return eval_logical(*op, left, right, row);
                 }
-                let l = left.eval(tuple)?;
-                let r = right.eval(tuple)?;
+                let l = left.eval_values(row)?;
+                let r = right.eval_values(row)?;
                 eval_binary(*op, &l, &r)
             }
             Expr::Unary { op, expr } => {
-                let v = expr.eval(tuple)?;
+                let v = expr.eval_values(row)?;
                 match op {
                     UnaryOp::Not => Ok(match v {
                         Value::Null => Value::Null,
@@ -339,17 +346,17 @@ impl Expr {
                 }
             }
             Expr::IsNull { expr, negated } => {
-                let v = expr.eval(tuple)?;
+                let v = expr.eval_values(row)?;
                 Ok(Value::Bool(v.is_null() != *negated))
             }
             Expr::InList { expr, list, negated } => {
-                let probe = expr.eval(tuple)?;
+                let probe = expr.eval_values(row)?;
                 if probe.is_null() {
                     return Ok(Value::Null);
                 }
                 let mut saw_null = false;
                 for item in list {
-                    let v = item.eval(tuple)?;
+                    let v = item.eval_values(row)?;
                     match probe.sql_eq(&v) {
                         Some(true) => return Ok(Value::Bool(!negated)),
                         Some(false) => {}
@@ -364,22 +371,27 @@ impl Expr {
             }
             Expr::Case { branches, else_expr } => {
                 for (cond, result) in branches {
-                    if cond.eval(tuple)?.as_bool() == Some(true) {
-                        return result.eval(tuple);
+                    if cond.eval_values(row)?.as_bool() == Some(true) {
+                        return result.eval_values(row);
                     }
                 }
                 match else_expr {
-                    Some(e) => e.eval(tuple),
+                    Some(e) => e.eval_values(row),
                     None => Ok(Value::Null),
                 }
             }
-            Expr::Cast { expr, dtype } => cast_value(expr.eval(tuple)?, *dtype),
+            Expr::Cast { expr, dtype } => cast_value(expr.eval_values(row)?, *dtype),
         }
     }
 
     /// Evaluate as a predicate: `NULL` counts as not-satisfied (SQL WHERE).
     pub fn eval_predicate(&self, tuple: &Tuple) -> Result<bool> {
-        match self.eval(tuple)? {
+        self.eval_predicate_values(tuple.values())
+    }
+
+    /// Predicate evaluation over a bare row slice.
+    pub fn eval_predicate_values(&self, row: &[Value]) -> Result<bool> {
+        match self.eval_values(row)? {
             Value::Bool(b) => Ok(b),
             Value::Null => Ok(false),
             other => Err(EngineError::TypeMismatch {
@@ -420,7 +432,7 @@ impl Expr {
 }
 
 /// Kleene three-valued AND/OR with short-circuiting.
-fn eval_logical(op: BinaryOp, left: &Expr, right: &Expr, tuple: &Tuple) -> Result<Value> {
+fn eval_logical(op: BinaryOp, left: &Expr, right: &Expr, row: &[Value]) -> Result<Value> {
     let to_tv = |v: Value| -> Result<Option<bool>> {
         match v {
             Value::Bool(b) => Ok(Some(b)),
@@ -430,13 +442,13 @@ fn eval_logical(op: BinaryOp, left: &Expr, right: &Expr, tuple: &Tuple) -> Resul
             }),
         }
     };
-    let l = to_tv(left.eval(tuple)?)?;
+    let l = to_tv(left.eval_values(row)?)?;
     match (op, l) {
         (BinaryOp::And, Some(false)) => return Ok(Value::Bool(false)),
         (BinaryOp::Or, Some(true)) => return Ok(Value::Bool(true)),
         _ => {}
     }
-    let r = to_tv(right.eval(tuple)?)?;
+    let r = to_tv(right.eval_values(row)?)?;
     let out = match op {
         BinaryOp::And => match (l, r) {
             (Some(false), _) | (_, Some(false)) => Some(false),

@@ -53,6 +53,7 @@
 pub mod catalog;
 pub mod error;
 pub mod expr;
+pub mod hash;
 pub mod ops;
 pub mod optimizer;
 pub mod plan;

@@ -5,7 +5,6 @@
 //! `ecount`, `argmax`) live in `maybms-core`, which composes them from the
 //! same grouping machinery ([`group_indices`]).
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::error::{EngineError, Result};
@@ -74,17 +73,25 @@ pub fn group_indices(
     if bound.is_empty() {
         return Ok(vec![(Vec::new(), (0..input.len()).collect())]);
     }
-    let mut order: Vec<Vec<Value>> = Vec::new();
-    let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
+    // Hashed grouping over a reusable scratch key: the key values are
+    // evaluated into `scratch`, matched against existing groups through a
+    // hash bucket (verified by value equality), and only a *new* group
+    // clones the key out of the scratch — no per-row key allocation.
+    let mut buckets: crate::hash::FastMap<u64, Vec<usize>> = Default::default();
     let mut out: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
+    let mut scratch: Vec<Value> = Vec::with_capacity(bound.len());
     for (i, t) in input.tuples().iter().enumerate() {
-        let key: Vec<Value> = bound.iter().map(|e| e.eval(t)).collect::<Result<_>>()?;
-        match groups.get(&key) {
+        scratch.clear();
+        for e in &bound {
+            scratch.push(e.eval(t)?);
+        }
+        let h = crate::hash::fast_hash_one(&scratch[..]);
+        let bucket = buckets.entry(h).or_default();
+        match bucket.iter().find(|&&g| out[g].0 == scratch) {
             Some(&g) => out[g].1.push(i),
             None => {
-                groups.insert(key.clone(), out.len());
-                order.push(key.clone());
-                out.push((key, vec![i]));
+                bucket.push(out.len());
+                out.push((scratch.clone(), vec![i]));
             }
         }
     }

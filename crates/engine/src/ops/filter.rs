@@ -6,16 +6,19 @@ use crate::tuple::Relation;
 
 /// Keep tuples satisfying `predicate` (NULL counts as not satisfied).
 ///
-/// The predicate may be unbound; it is bound against the input schema here.
+/// The predicate may be unbound; it is bound against the input schema
+/// here. Runs as a selection vector: surviving row indices are collected
+/// first and the output is gathered once, sharing row storage with the
+/// input.
 pub fn filter(input: &Relation, predicate: &Expr) -> Result<Relation> {
     let bound = predicate.bind(input.schema())?;
-    let mut out = Vec::new();
-    for t in input.tuples() {
+    let mut sel = Vec::new();
+    for (i, t) in input.tuples().iter().enumerate() {
         if bound.eval_predicate(t)? {
-            out.push(t.clone());
+            sel.push(i);
         }
     }
-    Ok(Relation::new_unchecked(input.schema().clone(), out))
+    Ok(input.gather(&sel))
 }
 
 #[cfg(test)]

@@ -1,27 +1,56 @@
 //! Joins: cross product, predicate nested-loop join, and hash equi-join.
 
-use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use crate::error::{EngineError, Result};
 use crate::expr::Expr;
-use crate::tuple::{Relation, Tuple};
+use crate::hash::{FastHasher, FastMap};
+use crate::tuple::{Relation, TupleBatch};
 use crate::types::Value;
+
+/// Hash of a row's key columns, or `None` if any key is NULL (SQL
+/// equality: NULL never joins). `Value`'s `Hash` is consistent with its
+/// numeric cross-type equality, so equal keys always collide.
+pub fn join_key_hash(values: &[Value], keys: &[usize]) -> Option<u64> {
+    let mut h = FastHasher::default();
+    for &i in keys {
+        let v = &values[i];
+        if v.is_null() {
+            return None;
+        }
+        v.hash(&mut h);
+    }
+    Some(h.finish())
+}
+
+/// Verify hashed candidates: positional key equality between two rows.
+pub fn join_keys_eq(
+    left: &[Value],
+    left_keys: &[usize],
+    right: &[Value],
+    right_keys: &[usize],
+) -> bool {
+    left_keys.iter().zip(right_keys).all(|(&i, &j)| left[i] == right[j])
+}
 
 /// Cartesian product. Output schema is `left.schema ++ right.schema`.
 pub fn cross_join(left: &Relation, right: &Relation) -> Relation {
     let schema = Arc::new(left.schema().join(right.schema()));
-    let mut out = Vec::with_capacity(left.len().saturating_mul(right.len()));
+    let mut batch = TupleBatch::new();
     for l in left.tuples() {
         for r in right.tuples() {
-            out.push(l.concat(r));
+            batch.push_concat(l, r);
         }
     }
-    Relation::new_unchecked(schema, out)
+    Relation::new_unchecked(schema, batch.finish())
 }
 
 /// Nested-loop inner join with an arbitrary predicate over the combined
 /// schema. `None` means no predicate (cross join).
+///
+/// Candidate rows are staged in a reusable scratch row and evaluated
+/// there; only rows passing the predicate enter the output batch.
 pub fn nested_loop_join(
     left: &Relation,
     right: &Relation,
@@ -32,25 +61,29 @@ pub fn nested_loop_join(
         Some(p) => Some(p.bind(&schema)?),
         None => None,
     };
-    let mut out = Vec::new();
+    let mut batch = TupleBatch::new();
     for l in left.tuples() {
         for r in right.tuples() {
-            let joined = l.concat(r);
-            let keep = match &bound {
-                Some(p) => p.eval_predicate(&joined)?,
-                None => true,
-            };
-            if keep {
-                out.push(joined);
+            // Stage the candidate row directly in the batch; evaluate the
+            // predicate in place and drop the row if it fails — one copy
+            // per candidate either way.
+            batch.push_concat(l, r);
+            if let Some(p) = &bound {
+                if !p.eval_predicate_values(batch.last_row())? {
+                    batch.abandon_last();
+                }
             }
         }
     }
-    Ok(Relation::new_unchecked(schema, out))
+    Ok(Relation::new_unchecked(schema, batch.finish()))
 }
 
 /// Hash equi-join on positional key columns (`left_keys[i] = right_keys[i]`).
 ///
-/// NULL keys never match (SQL equality). Builds on the smaller input.
+/// NULL keys never match (SQL equality). Builds on the smaller input. The
+/// build table maps a 64-bit key hash to build-row indices — no per-row
+/// `Vec<Value>` key is ever allocated — and every hash match is verified
+/// by comparing the key columns before a row is emitted.
 pub fn hash_join(
     left: &Relation,
     right: &Relation,
@@ -94,35 +127,31 @@ pub fn hash_join(
         (right, left, right_keys, left_keys, false)
     };
 
-    let key_of = |t: &Tuple, keys: &[usize]| -> Option<Vec<Value>> {
-        let mut k = Vec::with_capacity(keys.len());
-        for &i in keys {
-            let v = t.value(i);
-            if v.is_null() {
-                return None; // NULL = NULL is unknown, never joins
-            }
-            k.push(v.clone());
-        }
-        Some(k)
-    };
-
-    let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::with_capacity(build.len());
-    for t in build.tuples() {
-        if let Some(k) = key_of(t, build_keys) {
-            table.entry(k).or_default().push(t);
+    let mut table: FastMap<u64, Vec<usize>> =
+        FastMap::with_capacity_and_hasher(build.len(), Default::default());
+    for (i, t) in build.tuples().iter().enumerate() {
+        if let Some(h) = join_key_hash(t.values(), build_keys) {
+            table.entry(h).or_default().push(i);
         }
     }
 
-    let mut out = Vec::new();
+    let mut batch = TupleBatch::new();
     for p in probe.tuples() {
-        let Some(k) = key_of(p, probe_keys) else { continue };
-        if let Some(matches) = table.get(&k) {
-            for b in matches {
-                out.push(if build_is_left { b.concat(p) } else { p.concat(b) });
+        let Some(h) = join_key_hash(p.values(), probe_keys) else { continue };
+        let Some(candidates) = table.get(&h) else { continue };
+        for &bi in candidates {
+            let b = &build.tuples()[bi];
+            if !join_keys_eq(b.values(), build_keys, p.values(), probe_keys) {
+                continue; // hash collision
+            }
+            if build_is_left {
+                batch.push_concat(b, p);
+            } else {
+                batch.push_concat(p, b);
             }
         }
     }
-    Ok(Relation::new_unchecked(schema, out))
+    Ok(Relation::new_unchecked(schema, batch.finish()))
 }
 
 #[cfg(test)]

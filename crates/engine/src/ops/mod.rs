@@ -18,7 +18,7 @@ mod sort;
 
 pub use aggregate::{aggregate, group_indices, AggCall, AggFunc};
 pub use filter::filter;
-pub use join::{cross_join, hash_join, nested_loop_join};
+pub use join::{cross_join, hash_join, join_key_hash, join_keys_eq, nested_loop_join};
 pub use project::{project, ProjectItem};
 pub use set::{distinct, union_all};
 pub use sort::{limit, sort, SortKey};

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use crate::error::Result;
 use crate::expr::Expr;
 use crate::schema::{Field, Schema};
-use crate::tuple::{Relation, Tuple};
+use crate::tuple::{Relation, TupleBatch};
 
 /// One output column: an expression and its output name.
 #[derive(Debug, Clone)]
@@ -42,13 +42,14 @@ pub fn project(input: &Relation, items: &[ProjectItem]) -> Result<Relation> {
         })
         .collect::<Result<_>>()?;
     let schema = Arc::new(Schema::new(bound.iter().map(|(_, f)| f.clone()).collect()));
-    let mut out = Vec::with_capacity(input.len());
+    let mut batch = TupleBatch::new();
     for t in input.tuples() {
-        let row: Vec<_> =
-            bound.iter().map(|(e, _)| e.eval(t)).collect::<Result<_>>()?;
-        out.push(Tuple::new(row));
+        batch.begin_row();
+        for (e, _) in &bound {
+            batch.push_value(e.eval(t)?);
+        }
     }
-    Ok(Relation::new_unchecked(schema, out))
+    Ok(Relation::new_unchecked(schema, batch.finish()))
 }
 
 #[cfg(test)]

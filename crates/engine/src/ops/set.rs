@@ -1,8 +1,7 @@
 //! Bag union and duplicate elimination.
 
-use std::collections::HashSet;
-
 use crate::error::{EngineError, Result};
+use crate::hash::FastSet;
 use crate::tuple::Relation;
 
 /// SQL `UNION ALL`: concatenates inputs. All inputs must have the same
@@ -43,15 +42,18 @@ pub fn union_all(inputs: &[&Relation]) -> Result<Relation> {
 }
 
 /// Duplicate elimination, preserving first occurrence order.
+///
+/// Dedups by reference into a selection vector — no tuple is cloned until
+/// the surviving rows are gathered (and that clone is an `Arc` bump).
 pub fn distinct(input: &Relation) -> Relation {
-    let mut seen = HashSet::with_capacity(input.len());
-    let mut out = Vec::new();
-    for t in input.tuples() {
-        if seen.insert(t.clone()) {
-            out.push(t.clone());
+    let mut seen = FastSet::with_capacity_and_hasher(input.len(), Default::default());
+    let mut sel = Vec::new();
+    for (i, t) in input.tuples().iter().enumerate() {
+        if seen.insert(t) {
+            sel.push(i);
         }
     }
-    Relation::new_unchecked(input.schema().clone(), out)
+    input.gather(&sel)
 }
 
 #[cfg(test)]

@@ -27,6 +27,10 @@ impl SortKey {
 }
 
 /// Stable sort by the given keys (NULLs first, engine total order).
+///
+/// Sorts a selection vector decorated with the precomputed key values and
+/// gathers the permuted rows once at the end — row data is never moved or
+/// copied during the sort itself.
 pub fn sort(input: &Relation, keys: &[SortKey]) -> Result<Relation> {
     let bound: Vec<(Expr, bool)> = keys
         .iter()
@@ -48,17 +52,14 @@ pub fn sort(input: &Relation, keys: &[SortKey]) -> Result<Relation> {
         }
         ia.cmp(ib) // stability tiebreak
     });
-    let tuples = decorated
-        .into_iter()
-        .map(|(_, i)| input.tuples()[i].clone())
-        .collect();
-    Ok(Relation::new_unchecked(input.schema().clone(), tuples))
+    let sel: Vec<usize> = decorated.into_iter().map(|(_, i)| i).collect();
+    Ok(input.gather(&sel))
 }
 
 /// Keep the first `n` tuples.
 pub fn limit(input: &Relation, n: usize) -> Relation {
-    let tuples = input.tuples().iter().take(n).cloned().collect();
-    Relation::new_unchecked(input.schema().clone(), tuples)
+    let sel: Vec<usize> = (0..input.len().min(n)).collect();
+    input.gather(&sel)
 }
 
 #[cfg(test)]

@@ -1,4 +1,28 @@
 //! Tuples and materialised relations.
+//!
+//! # Sharing invariants (zero-clone execution core)
+//!
+//! A [`Tuple`] is an immutable **view into a reference-counted value
+//! buffer**: `(Arc<[Value]>, start, len)`. Cloning a tuple is a refcount
+//! bump, never a copy of the values, so operators are free to route the
+//! *same* physical row through filters, sorts, joins, and duplicate
+//! elimination without duplicating data. Nothing may mutate a row after
+//! construction — there is deliberately no `&mut` accessor. Equality,
+//! ordering, and hashing are over the logical value slice, so tuples from
+//! different buffers compare like plain rows.
+//!
+//! Operators that merely choose or reorder rows (σ, sort, limit,
+//! distinct, ∪) work on **selection vectors**: they compute the indices
+//! of the surviving input rows and materialise the output once via
+//! [`Relation::gather`], which clones only `Arc` handles.
+//!
+//! Operators that construct genuinely new rows (π over expressions, ⋈
+//! output concatenation) assemble them through a [`TupleBatch`], which
+//! packs many rows into one shared buffer — one `Arc` allocation per
+//! [`TupleBatch::CHUNK_VALUES`] values instead of one per row. Because
+//! every row of a chunk keeps the whole chunk alive, batches seal their
+//! buffer at a bounded chunk size: a selective operator downstream retains
+//! at most one chunk per surviving row, not an unbounded ancestor buffer.
 
 use std::fmt;
 use std::sync::Arc;
@@ -7,45 +31,84 @@ use crate::error::{EngineError, Result};
 use crate::schema::Schema;
 use crate::types::Value;
 
-/// A single row of values.
-///
-/// Stored as a boxed slice: two words instead of three, and rows never grow
-/// after construction.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Tuple(Box<[Value]>);
+/// A single row of values: a cheap-to-clone view into a shared buffer
+/// (see the module docs for the sharing invariants).
+#[derive(Debug, Clone)]
+pub struct Tuple {
+    buf: Arc<[Value]>,
+    start: u32,
+    len: u32,
+}
 
 impl Tuple {
-    /// Build from values.
+    /// Build from values (the row owns its whole buffer).
     pub fn new(values: Vec<Value>) -> Tuple {
-        Tuple(values.into_boxed_slice())
+        let buf: Arc<[Value]> = values.into();
+        Tuple { start: 0, len: buf.len() as u32, buf }
+    }
+
+    /// Build by copying a slice (one allocation, no intermediate `Vec`).
+    pub fn from_slice(values: &[Value]) -> Tuple {
+        let buf: Arc<[Value]> = Arc::from(values);
+        Tuple { start: 0, len: buf.len() as u32, buf }
     }
 
     /// The values, in schema order.
     pub fn values(&self) -> &[Value] {
-        &self.0
+        &self.buf[self.start as usize..(self.start + self.len) as usize]
     }
 
     /// Value at column `idx`.
     pub fn value(&self, idx: usize) -> &Value {
-        &self.0[idx]
+        &self.values()[idx]
     }
 
     /// Number of columns.
     pub fn arity(&self) -> usize {
-        self.0.len()
+        self.len as usize
     }
 
-    /// Concatenate two tuples (used by joins).
+    /// Concatenate two tuples. For bulk join output prefer
+    /// [`TupleBatch::push_concat`], which shares one buffer across rows.
     pub fn concat(&self, other: &Tuple) -> Tuple {
-        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
-        v.extend_from_slice(&self.0);
-        v.extend_from_slice(&other.0);
-        Tuple(v.into_boxed_slice())
+        let mut v = Vec::with_capacity(self.arity() + other.arity());
+        v.extend_from_slice(self.values());
+        v.extend_from_slice(other.values());
+        Tuple::new(v)
     }
 
     /// A tuple with only the columns at `indices`, in that order.
     pub fn take(&self, indices: &[usize]) -> Tuple {
-        Tuple(indices.iter().map(|&i| self.0[i].clone()).collect())
+        let row = self.values();
+        Tuple::new(indices.iter().map(|&i| row[i].clone()).collect())
+    }
+}
+
+// Comparisons and hashing are over the logical slice, independent of which
+// buffer backs the row.
+impl PartialEq for Tuple {
+    fn eq(&self, other: &Tuple) -> bool {
+        self.values() == other.values()
+    }
+}
+
+impl Eq for Tuple {}
+
+impl PartialOrd for Tuple {
+    fn partial_cmp(&self, other: &Tuple) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Tuple {
+    fn cmp(&self, other: &Tuple) -> std::cmp::Ordering {
+        self.values().cmp(other.values())
+    }
+}
+
+impl std::hash::Hash for Tuple {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.values().hash(state);
     }
 }
 
@@ -58,13 +121,110 @@ impl From<Vec<Value>> for Tuple {
 impl fmt::Display for Tuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "(")?;
-        for (i, v) in self.0.iter().enumerate() {
+        for (i, v) in self.values().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
             write!(f, "{v}")?;
         }
         write!(f, ")")
+    }
+}
+
+/// Bulk row builder: packs many new rows into shared value buffers.
+///
+/// Joins and projections construct one fresh row per output tuple;
+/// allocating an `Arc` per row dominated their runtime. A `TupleBatch`
+/// appends row values into a growing buffer and *seals* it into one shared
+/// `Arc<[Value]>` every [`TupleBatch::CHUNK_VALUES`] values; the emitted
+/// [`Tuple`]s are views into the sealed chunks. See the module docs for
+/// the retention trade-off that motivates chunking.
+#[derive(Debug, Default)]
+pub struct TupleBatch {
+    values: Vec<Value>,
+    /// `(start, len)` of each pending row within `values`.
+    rows: Vec<(u32, u32)>,
+    /// Rows already sealed into shared chunks.
+    done: Vec<Tuple>,
+}
+
+impl TupleBatch {
+    /// Values per sealed chunk (soft bound; a row never spans chunks).
+    pub const CHUNK_VALUES: usize = 4096;
+
+    /// Empty batch.
+    pub fn new() -> TupleBatch {
+        TupleBatch::default()
+    }
+
+    /// Start a new row; subsequent [`TupleBatch::push_value`] calls append
+    /// to it. Seals the current chunk when it is full.
+    pub fn begin_row(&mut self) {
+        if self.values.len() >= Self::CHUNK_VALUES {
+            self.seal();
+        }
+        let start = self.values.len() as u32;
+        self.rows.push((start, 0));
+    }
+
+    /// Append one value to the row opened by [`TupleBatch::begin_row`].
+    pub fn push_value(&mut self, v: Value) {
+        self.values.push(v);
+        self.rows.last_mut().expect("begin_row before push_value").1 += 1;
+    }
+
+    /// Append a full row that is the concatenation of two existing rows
+    /// (the join output shape).
+    pub fn push_concat(&mut self, left: &Tuple, right: &Tuple) {
+        self.begin_row();
+        self.values.extend_from_slice(left.values());
+        self.values.extend_from_slice(right.values());
+        self.rows.last_mut().expect("just begun").1 = left.len + right.len;
+    }
+
+    /// The values of the most recently pushed (still pending) row —
+    /// lets callers evaluate a predicate on a staged row before deciding
+    /// to keep it.
+    pub fn last_row(&self) -> &[Value] {
+        let &(start, len) = self.rows.last().expect("no pending row");
+        &self.values[start as usize..(start + len) as usize]
+    }
+
+    /// Drop the most recently pushed row (it must still be pending, i.e.
+    /// pushed since the last chunk seal — always true right after a push).
+    pub fn abandon_last(&mut self) {
+        let (start, _) = self.rows.pop().expect("no pending row");
+        self.values.truncate(start as usize);
+    }
+
+    /// Number of rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.done.len() + self.rows.len()
+    }
+
+    /// True iff no rows were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Seal the pending chunk: move its values into one shared buffer and
+    /// emit the pending rows as views.
+    fn seal(&mut self) {
+        if self.rows.is_empty() {
+            self.values.clear();
+            return;
+        }
+        let buf: Arc<[Value]> = std::mem::take(&mut self.values).into();
+        for &(start, len) in &self.rows {
+            self.done.push(Tuple { buf: buf.clone(), start, len });
+        }
+        self.rows.clear();
+    }
+
+    /// Finish: seal the last chunk and return all rows.
+    pub fn finish(mut self) -> Vec<Tuple> {
+        self.seal();
+        self.done
     }
 }
 
@@ -144,6 +304,17 @@ impl Relation {
     /// Consume into the tuple vector.
     pub fn into_tuples(self) -> Vec<Tuple> {
         self.tuples
+    }
+
+    /// Materialise a selection vector: the relation holding the rows at
+    /// `indices`, in that order, sharing the underlying row storage
+    /// (clones are `Arc` bumps). Indices may repeat; they must be in
+    /// range.
+    pub fn gather(&self, indices: &[usize]) -> Relation {
+        Relation {
+            schema: self.schema.clone(),
+            tuples: indices.iter().map(|&i| self.tuples[i].clone()).collect(),
+        }
     }
 
     /// Replace the schema (e.g. re-qualifying after aliasing). The new
@@ -289,5 +460,66 @@ mod tests {
     fn tuple_display() {
         let t = Tuple::new(vec![1.into(), "x".into()]);
         assert_eq!(t.to_string(), "(1, x)");
+    }
+
+    #[test]
+    fn gather_shares_rows_and_allows_repeats() {
+        let r = sample();
+        let g = r.gather(&[1, 0, 1]);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.tuples()[0], r.tuples()[1]);
+        assert_eq!(g.tuples()[2], r.tuples()[1]);
+        assert_eq!(g.schema(), r.schema());
+    }
+
+    #[test]
+    fn batch_rows_equal_individually_built_tuples() {
+        let mut batch = TupleBatch::new();
+        batch.push_concat(
+            &Tuple::new(vec![1.into(), 2.into()]),
+            &Tuple::new(vec!["x".into()]),
+        );
+        batch.begin_row();
+        batch.push_value(7.into());
+        batch.begin_row(); // empty row
+        let rows = batch.finish();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], Tuple::new(vec![1.into(), 2.into(), "x".into()]));
+        assert_eq!(rows[1], Tuple::new(vec![7.into()]));
+        assert_eq!(rows[2].arity(), 0);
+    }
+
+    #[test]
+    fn batch_seals_across_chunks() {
+        // Force several chunk seals and verify every row survives intact.
+        let mut batch = TupleBatch::new();
+        let n = TupleBatch::CHUNK_VALUES; // 2 values per row -> n/2 rows per chunk
+        for i in 0..n {
+            batch.begin_row();
+            batch.push_value(Value::Int(i as i64));
+            batch.push_value(Value::Int((i * 2) as i64));
+        }
+        assert_eq!(batch.len(), n);
+        let rows = batch.finish();
+        assert_eq!(rows.len(), n);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.values(), &[Value::Int(i as i64), Value::Int((i * 2) as i64)]);
+        }
+    }
+
+    #[test]
+    fn tuples_from_different_buffers_compare_by_value() {
+        use std::collections::HashSet;
+        let owned = Tuple::new(vec![1.into(), 2.into()]);
+        let mut batch = TupleBatch::new();
+        batch.begin_row();
+        batch.push_value(1.into());
+        batch.push_value(2.into());
+        let batched = batch.finish().pop().unwrap();
+        assert_eq!(owned, batched);
+        assert_eq!(owned.cmp(&batched), std::cmp::Ordering::Equal);
+        let mut set = HashSet::new();
+        set.insert(owned);
+        assert!(set.contains(&batched));
     }
 }

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use maybms_engine::catalog::Catalog;
-use maybms_engine::ops::{ProjectItem, SortKey};
+use maybms_engine::ops::SortKey;
 use maybms_engine::optimizer::optimize;
 use maybms_engine::{
     BinaryOp, DataType, Expr, PhysicalPlan, Relation, Schema, Tuple,

@@ -15,25 +15,28 @@
 //! completely independent of the (possibly exponential) number of worlds —
 //! the property benchmarked by experiment E5.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use maybms_engine::ops::ProjectItem;
-use maybms_engine::{EngineError, Expr, Value};
+use maybms_engine::hash::FastMap;
+use maybms_engine::ops::{join_key_hash, join_keys_eq, ProjectItem};
+use maybms_engine::tuple::TupleBatch;
+use maybms_engine::{EngineError, Expr};
 
 use crate::error::Result;
-use crate::urelation::{URelation, UTuple};
+use crate::urelation::{zip_batch, URelation};
 
-/// σ: keep tuples whose *data* satisfies the predicate.
+/// σ: keep tuples whose *data* satisfies the predicate. Runs as a
+/// selection vector — WSDs and row data are shared with the input, not
+/// copied.
 pub fn select(input: &URelation, predicate: &Expr) -> Result<URelation> {
     let bound = predicate.bind(input.schema())?;
-    let mut out = Vec::new();
-    for t in input.tuples() {
+    let mut sel = Vec::new();
+    for (i, t) in input.tuples().iter().enumerate() {
         if bound.eval_predicate(&t.data)? {
-            out.push(t.clone());
+            sel.push(i);
         }
     }
-    Ok(URelation::new(input.schema().clone(), out))
+    Ok(input.gather(&sel))
 }
 
 /// π: evaluate the projection list per tuple; conditions are preserved and
@@ -52,15 +55,16 @@ pub fn project(input: &URelation, items: &[ProjectItem]) -> Result<URelation> {
     let schema = Arc::new(maybms_engine::Schema::new(
         bound.iter().map(|(_, f)| f.clone()).collect(),
     ));
-    let mut out = Vec::with_capacity(input.len());
+    let mut batch = TupleBatch::new();
+    let mut wsds = Vec::with_capacity(input.len());
     for t in input.tuples() {
-        let row: Vec<Value> = bound
-            .iter()
-            .map(|(e, _)| e.eval(&t.data))
-            .collect::<std::result::Result<_, _>>()?;
-        out.push(UTuple::new(maybms_engine::Tuple::new(row), t.wsd.clone()));
+        batch.begin_row();
+        for (e, _) in &bound {
+            batch.push_value(e.eval(&t.data)?);
+        }
+        wsds.push(t.wsd.clone());
     }
-    Ok(URelation::new(schema, out))
+    Ok(URelation::new(schema, zip_batch(batch, wsds)))
 }
 
 /// ⋈ (nested loop): concatenate data, conjoin conditions, drop
@@ -73,24 +77,32 @@ pub fn nested_loop_join(
 ) -> Result<URelation> {
     let schema = Arc::new(left.schema().join(right.schema()));
     let bound = predicate.map(|p| p.bind(&schema)).transpose()?;
-    let mut out = Vec::new();
+    let mut batch = TupleBatch::new();
+    let mut wsds = Vec::new();
     for l in left.tuples() {
         for r in right.tuples() {
             let Some(wsd) = l.wsd.conjoin(&r.wsd) else { continue };
-            let data = l.data.concat(&r.data);
+            // Stage the candidate row in the batch, evaluate in place,
+            // and drop it if the predicate rejects — one copy per row.
+            batch.push_concat(&l.data, &r.data);
             if let Some(p) = &bound {
-                if !p.eval_predicate(&data)? {
+                if !p.eval_predicate_values(batch.last_row())? {
+                    batch.abandon_last();
                     continue;
                 }
             }
-            out.push(UTuple::new(data, wsd));
+            wsds.push(wsd);
         }
     }
-    Ok(URelation::new(schema, out))
+    Ok(URelation::new(schema, zip_batch(batch, wsds)))
 }
 
 /// ⋈ (hash): equi-join on positional keys with WSD conjunction. NULL keys
 /// never match.
+///
+/// The build table maps a 64-bit key hash to build-row indices (no
+/// per-row `Vec<Value>` key allocation); hash matches are verified by
+/// comparing the key columns before the WSDs are conjoined.
 pub fn hash_join(
     left: &URelation,
     right: &URelation,
@@ -104,35 +116,30 @@ pub fn hash_join(
         .into());
     }
     let schema = Arc::new(left.schema().join(right.schema()));
-    let key_of = |t: &UTuple, keys: &[usize]| -> Option<Vec<Value>> {
-        let mut k = Vec::with_capacity(keys.len());
-        for &i in keys {
-            let v = t.data.value(i);
-            if v.is_null() {
-                return None;
-            }
-            k.push(v.clone());
-        }
-        Some(k)
-    };
-    let mut table: HashMap<Vec<Value>, Vec<&UTuple>> = HashMap::with_capacity(left.len());
-    for t in left.tuples() {
-        if let Some(k) = key_of(t, left_keys) {
-            table.entry(k).or_default().push(t);
+    let mut table: FastMap<u64, Vec<usize>> =
+        FastMap::with_capacity_and_hasher(left.len(), Default::default());
+    for (i, t) in left.tuples().iter().enumerate() {
+        if let Some(h) = join_key_hash(t.data.values(), left_keys) {
+            table.entry(h).or_default().push(i);
         }
     }
-    let mut out = Vec::new();
+    let mut batch = TupleBatch::new();
+    let mut wsds = Vec::new();
     for r in right.tuples() {
-        let Some(k) = key_of(r, right_keys) else { continue };
-        if let Some(matches) = table.get(&k) {
-            for l in matches {
-                if let Some(wsd) = l.wsd.conjoin(&r.wsd) {
-                    out.push(UTuple::new(l.data.concat(&r.data), wsd));
-                }
+        let Some(h) = join_key_hash(r.data.values(), right_keys) else { continue };
+        let Some(candidates) = table.get(&h) else { continue };
+        for &li in candidates {
+            let l = &left.tuples()[li];
+            if !join_keys_eq(l.data.values(), left_keys, r.data.values(), right_keys) {
+                continue; // hash collision
+            }
+            if let Some(wsd) = l.wsd.conjoin(&r.wsd) {
+                batch.push_concat(&l.data, &r.data);
+                wsds.push(wsd);
             }
         }
     }
-    Ok(URelation::new(schema, out))
+    Ok(URelation::new(schema, zip_batch(batch, wsds)))
 }
 
 /// ∪: multiset union (§2.2 — `union` over uncertain relations is the
@@ -166,6 +173,7 @@ pub fn union_all(inputs: &[&URelation]) -> Result<URelation> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::urelation::UTuple;
     use crate::var::Var;
     use crate::world_table::WorldTable;
     use crate::wsd::Wsd;

@@ -65,10 +65,13 @@ pub fn repair_key(
 
     let groups = group_indices(input, key_exprs)?;
     let mut out = Vec::with_capacity(input.len());
+    // Scratch buffers reused across groups (no per-group allocation).
+    let mut alive: Vec<usize> = Vec::new();
+    let mut probs: Vec<f64> = Vec::new();
     for (_key, indices) in groups {
         // Keep only alternatives with positive weight.
-        let alive: Vec<usize> =
-            indices.iter().copied().filter(|&i| weights[i] > 0.0).collect();
+        alive.clear();
+        alive.extend(indices.iter().copied().filter(|&i| weights[i] > 0.0));
         if alive.is_empty() {
             if indices.is_empty() {
                 continue;
@@ -84,7 +87,8 @@ pub fn repair_key(
             continue;
         }
         let total: f64 = alive.iter().map(|&i| weights[i]).sum();
-        let probs: Vec<f64> = alive.iter().map(|&i| weights[i] / total).collect();
+        probs.clear();
+        probs.extend(alive.iter().map(|&i| weights[i] / total));
         let var = wt.new_var(&probs)?;
         for (alt, &i) in alive.iter().enumerate() {
             out.push(UTuple::new(input.tuples()[i].clone(), Wsd::of(var, alt as u16)));

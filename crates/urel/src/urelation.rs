@@ -4,14 +4,37 @@
 //!
 //! A [`URelation`] pairs each data tuple with a [`Wsd`]. A U-relation with
 //! only tautological WSDs is a *typed-certain (t-certain) table* (§2.2).
+//!
+//! # Sharing invariants (zero-clone execution core)
+//!
+//! A [`UTuple`] is cheap to clone by construction: its `data` is an
+//! `Arc`-backed engine [`Tuple`] (clone = refcount bump) and its `wsd`
+//! stores small conjunctions inline (clone = a few words copied, no
+//! allocation for ≤ 2 assignments). Operators that only choose rows —
+//! selection, ordering, dedup — therefore run on selection vectors and
+//! materialise once through [`URelation::gather`]; only operators that
+//! build new rows (projection over expressions, join concatenation)
+//! allocate.
 
 use std::sync::Arc;
 
+use maybms_engine::tuple::TupleBatch;
 use maybms_engine::{Relation, Schema, Tuple};
 
 use crate::error::Result;
 use crate::world_table::WorldTable;
 use crate::wsd::Wsd;
+
+/// Zip batch-built data rows with their WSDs into `UTuple`s (shared by
+/// the algebra operators and the vertical-decomposition row builders).
+pub(crate) fn zip_batch(batch: TupleBatch, wsds: Vec<Wsd>) -> Vec<UTuple> {
+    batch
+        .finish()
+        .into_iter()
+        .zip(wsds)
+        .map(|(data, wsd)| UTuple::new(data, wsd))
+        .collect()
+}
 
 /// One uncertain tuple: data plus the condition under which it exists.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,6 +97,17 @@ impl URelation {
     /// Mutable access (updates).
     pub fn tuples_mut(&mut self) -> &mut Vec<UTuple> {
         &mut self.tuples
+    }
+
+    /// Materialise a selection vector: the U-relation holding the tuples
+    /// at `indices`, in that order. Row data is shared with the input
+    /// (`UTuple` clones are cheap — see the module docs). Indices may
+    /// repeat; they must be in range.
+    pub fn gather(&self, indices: &[usize]) -> URelation {
+        URelation {
+            schema: self.schema.clone(),
+            tuples: indices.iter().map(|&i| self.tuples[i].clone()).collect(),
+        }
     }
 
     /// Number of stored tuples (representation size, *not* world count).

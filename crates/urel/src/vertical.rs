@@ -11,7 +11,8 @@
 
 use std::sync::Arc;
 
-use maybms_engine::{DataType, Field, Schema, Tuple, Value};
+use maybms_engine::tuple::TupleBatch;
+use maybms_engine::{DataType, Field, Schema, Value};
 
 use crate::error::{Result, UrelError};
 use crate::urelation::{URelation, UTuple};
@@ -51,20 +52,18 @@ pub fn decompose(input: &URelation, groups: &[Vec<usize>]) -> Result<Vec<URelati
             fields.push(input.schema().field(c).clone());
         }
         let schema = Arc::new(Schema::new(fields));
-        let tuples = input
-            .tuples()
-            .iter()
-            .enumerate()
-            .map(|(tid, t)| {
-                let mut row = Vec::with_capacity(g.len() + 1);
-                row.push(Value::Int(tid as i64));
-                for &c in g {
-                    row.push(t.data.value(c).clone());
-                }
-                UTuple::new(Tuple::new(row), t.wsd.clone())
-            })
-            .collect();
-        out.push(URelation::new(schema, tuples));
+        // Piece rows share one batch buffer instead of allocating each.
+        let mut batch = TupleBatch::new();
+        let mut wsds = Vec::with_capacity(input.len());
+        for (tid, t) in input.tuples().iter().enumerate() {
+            batch.begin_row();
+            batch.push_value(Value::Int(tid as i64));
+            for &c in g {
+                batch.push_value(t.data.value(c).clone());
+            }
+            wsds.push(t.wsd.clone());
+        }
+        out.push(URelation::new(schema, crate::urelation::zip_batch(batch, wsds)));
     }
     Ok(out)
 }

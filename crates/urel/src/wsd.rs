@@ -8,27 +8,113 @@
 //! the same variable with two different alternatives is unsatisfiable and
 //! is represented by [`Wsd::conjoin`] returning `None` — such tuples are
 //! dropped by the join translation.
+//!
+//! # Representation (zero-clone execution core)
+//!
+//! The paper's point (§2.4) is that conditions are just "pairs of
+//! integers" riding on relational tuples, and almost every WSD produced by
+//! `repair key` / `pick tuples` and their joins holds **0–2** assignments.
+//! [`Wsd`] therefore stores up to [`INLINE_WSD`] assignments inline
+//! (no heap allocation at all) and spills to a `Vec` only beyond that.
+//! Constructing, cloning, and conjoining the common small conjunctions is
+//! allocation-free, which is what keeps per-output-row cost of the
+//! U-relational join near the certain join's. The assignment list is
+//! always sorted by variable id and mentions each variable at most once —
+//! every constructor establishes this invariant, so `conjoin` can merge
+//! linearly.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use crate::error::Result;
 use crate::var::{Assignment, Var};
 use crate::world_table::WorldTable;
 
+/// Number of assignments a [`Wsd`] stores without heap allocation.
+pub const INLINE_WSD: usize = 2;
+
+/// Padding value for unused inline slots (never observed through the
+/// public API, which always bounds reads by `len`).
+const PAD: Assignment = Assignment { var: Var(0), alt: 0 };
+
+/// Inline-or-heap storage for the sorted assignment list.
+#[derive(Clone)]
+enum Repr {
+    /// Up to [`INLINE_WSD`] assignments stored in place.
+    Inline { len: u8, buf: [Assignment; INLINE_WSD] },
+    /// Longer conjunctions spill to the heap.
+    Heap(Vec<Assignment>),
+}
+
 /// A satisfiable conjunction of assignments over *distinct* variables,
-/// sorted by variable id.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
-pub struct Wsd(Vec<Assignment>);
+/// sorted by variable id. Small conjunctions (the overwhelmingly common
+/// case) are stored inline — see the module docs.
+#[derive(Clone)]
+pub struct Wsd(Repr);
+
+impl Default for Wsd {
+    fn default() -> Wsd {
+        Wsd::tautology()
+    }
+}
+
+// Equality/order/hash are over the logical assignment slice, independent
+// of inline-vs-heap representation.
+impl PartialEq for Wsd {
+    fn eq(&self, other: &Wsd) -> bool {
+        self.assignments() == other.assignments()
+    }
+}
+
+impl Eq for Wsd {}
+
+impl PartialOrd for Wsd {
+    fn partial_cmp(&self, other: &Wsd) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Wsd {
+    fn cmp(&self, other: &Wsd) -> std::cmp::Ordering {
+        self.assignments().cmp(other.assignments())
+    }
+}
+
+impl Hash for Wsd {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.assignments().hash(state);
+    }
+}
+
+impl fmt::Debug for Wsd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Wsd").field(&self.assignments()).finish()
+    }
+}
 
 impl Wsd {
     /// The empty conjunction (true in every world).
     pub fn tautology() -> Wsd {
-        Wsd(Vec::new())
+        Wsd(Repr::Inline { len: 0, buf: [PAD; INLINE_WSD] })
     }
 
-    /// A single-assignment WSD.
+    /// A single-assignment WSD (allocation-free).
     pub fn of(var: Var, alt: u16) -> Wsd {
-        Wsd(vec![Assignment::new(var, alt)])
+        let mut buf = [PAD; INLINE_WSD];
+        buf[0] = Assignment::new(var, alt);
+        Wsd(Repr::Inline { len: 1, buf })
+    }
+
+    /// Build from a sorted, conflict-free assignment list (the invariant
+    /// every public constructor establishes); inlines short lists.
+    fn from_sorted(assignments: Vec<Assignment>) -> Wsd {
+        if assignments.len() <= INLINE_WSD {
+            let mut buf = [PAD; INLINE_WSD];
+            buf[..assignments.len()].copy_from_slice(&assignments);
+            Wsd(Repr::Inline { len: assignments.len() as u8, buf })
+        } else {
+            Wsd(Repr::Heap(assignments))
+        }
     }
 
     /// Build from assignments. Returns `None` when two assignments bind the
@@ -41,47 +127,68 @@ impl Wsd {
                 return None; // same var, different alt (dedup removed equals)
             }
         }
-        Some(Wsd(assignments))
+        Some(Wsd::from_sorted(assignments))
     }
 
     /// The assignments, sorted by variable.
     pub fn assignments(&self) -> &[Assignment] {
-        &self.0
+        match &self.0 {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Heap(v) => v,
+        }
     }
 
     /// True iff this is the tautology.
     pub fn is_tautology(&self) -> bool {
-        self.0.is_empty()
+        self.assignments().is_empty()
     }
 
     /// Number of assignments.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.assignments().len()
     }
 
     /// True iff no assignments (same as [`Wsd::is_tautology`]).
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.assignments().is_empty()
     }
 
     /// The variables mentioned.
     pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
-        self.0.iter().map(|a| a.var)
+        self.assignments().iter().map(|a| a.var)
     }
 
     /// The alternative this WSD binds `var` to, if any.
     pub fn get(&self, var: Var) -> Option<u16> {
-        self.0
+        let slice = self.assignments();
+        slice
             .binary_search_by_key(&var, |a| a.var)
             .ok()
-            .map(|i| self.0[i].alt)
+            .map(|i| slice[i].alt)
     }
 
     /// Conjunction. `None` when the result is unsatisfiable — this is the
     /// workhorse of the join translation: joined tuples whose conditions
     /// conflict exist in no common world and are dropped.
+    ///
+    /// Allocation-free whenever the result fits inline (both operands hold
+    /// at most [`INLINE_WSD`] assignments combined — the common case for
+    /// joins of `repair key` / `pick tuples` outputs).
     pub fn conjoin(&self, other: &Wsd) -> Option<Wsd> {
-        let (a, b) = (&self.0, &other.0);
+        let (a, b) = (self.assignments(), other.assignments());
+        // Tautologies are identities; the clone below is an inline copy or
+        // a cheap Vec clone, never a merge.
+        if b.is_empty() {
+            return Some(self.clone());
+        }
+        if a.is_empty() {
+            return Some(other.clone());
+        }
+        if a.len() + b.len() <= INLINE_WSD {
+            let mut buf = [PAD; INLINE_WSD];
+            let len = merge_into(a, b, &mut buf)?;
+            return Some(Wsd(Repr::Inline { len: len as u8, buf }));
+        }
         let mut out = Vec::with_capacity(a.len() + b.len());
         let (mut i, mut j) = (0, 0);
         while i < a.len() && j < b.len() {
@@ -106,14 +213,14 @@ impl Wsd {
         }
         out.extend_from_slice(&a[i..]);
         out.extend_from_slice(&b[j..]);
-        Some(Wsd(out))
+        Some(Wsd::from_sorted(out))
     }
 
     /// Probability of the conjunction: the product of the assignments'
     /// probabilities (variables are independent and distinct within a WSD).
     pub fn prob(&self, wt: &WorldTable) -> Result<f64> {
         let mut p = 1.0;
-        for &a in &self.0 {
+        for &a in self.assignments() {
             p *= wt.prob(a)?;
         }
         Ok(p)
@@ -121,7 +228,9 @@ impl Wsd {
 
     /// Whether a full world satisfies this conjunction.
     pub fn satisfied_by(&self, world: &[u16]) -> bool {
-        self.0.iter().all(|a| world.get(a.var.0 as usize) == Some(&a.alt))
+        self.assignments()
+            .iter()
+            .all(|a| world.get(a.var.0 as usize) == Some(&a.alt))
     }
 
     /// Condition on `var = alt`: `Some(reduced)` when compatible (with the
@@ -132,20 +241,61 @@ impl Wsd {
             None => Some(self.clone()),
             Some(a) if a == alt => {
                 let reduced =
-                    self.0.iter().copied().filter(|x| x.var != var).collect();
-                Some(Wsd(reduced))
+                    self.assignments().iter().copied().filter(|x| x.var != var).collect();
+                Some(Wsd::from_sorted(reduced))
             }
             Some(_) => None,
         }
     }
 }
 
+/// Merge two sorted conflict-checked slices into `buf`; returns the merged
+/// length or `None` on a variable conflict. Caller guarantees
+/// `a.len() + b.len() <= buf.len()`.
+fn merge_into(
+    a: &[Assignment],
+    b: &[Assignment],
+    buf: &mut [Assignment; INLINE_WSD],
+) -> Option<usize> {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].var.cmp(&b[j].var) {
+            std::cmp::Ordering::Less => {
+                buf[n] = a[i];
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                buf[n] = b[j];
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                if a[i].alt != b[j].alt {
+                    return None;
+                }
+                buf[n] = a[i];
+                i += 1;
+                j += 1;
+            }
+        }
+        n += 1;
+    }
+    for &x in &a[i..] {
+        buf[n] = x;
+        n += 1;
+    }
+    for &x in &b[j..] {
+        buf[n] = x;
+        n += 1;
+    }
+    Some(n)
+}
+
 impl fmt::Display for Wsd {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0.is_empty() {
+        if self.is_tautology() {
             return f.write_str("⊤");
         }
-        for (i, a) in self.0.iter().enumerate() {
+        for (i, a) in self.assignments().iter().enumerate() {
             if i > 0 {
                 f.write_str(" ∧ ")?;
             }
@@ -251,5 +401,51 @@ mod tests {
         assert_eq!(Wsd::tautology().to_string(), "⊤");
         let w = Wsd::of(Var(0), 0);
         assert_eq!(w.to_string(), "x0 ↦ 1");
+    }
+
+    /// Inline and heap representations must be indistinguishable through
+    /// the public API: equality, ordering, and hashing are over the
+    /// logical assignment list.
+    #[test]
+    fn inline_heap_boundary_is_invisible() {
+        use std::collections::HashSet;
+        // 0, 1, 2 assignments: inline; 3+: heap.
+        let sizes: Vec<Wsd> = (0..5)
+            .map(|n| {
+                Wsd::from_assignments((0..n).map(|v| asg(v, 1)).collect()).unwrap()
+            })
+            .collect();
+        for (n, w) in sizes.iter().enumerate() {
+            assert_eq!(w.len(), n);
+            assert_eq!(w.assignments().len(), n);
+            assert!(w.assignments().windows(2).all(|p| p[0] < p[1]));
+        }
+        // Conjoin across the boundary: 2 + 2 distinct vars = 4 (heap),
+        // result equal to direct construction.
+        let a = Wsd::from_assignments(vec![asg(0, 1), asg(1, 0)]).unwrap();
+        let b = Wsd::from_assignments(vec![asg(2, 1), asg(3, 0)]).unwrap();
+        let ab = a.conjoin(&b).unwrap();
+        assert_eq!(
+            ab,
+            Wsd::from_assignments(vec![asg(0, 1), asg(1, 0), asg(2, 1), asg(3, 0)])
+                .unwrap()
+        );
+        // Conditioning a heap WSD back down to inline sizes keeps
+        // equality/hash consistent.
+        let reduced = ab.condition(Var(0), 1).unwrap().condition(Var(1), 0).unwrap();
+        assert_eq!(reduced, b);
+        let mut set = HashSet::new();
+        set.insert(reduced);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn conjoin_small_is_inline_and_correct() {
+        let a = Wsd::of(Var(3), 1);
+        let b = Wsd::of(Var(1), 0);
+        let c = a.conjoin(&b).unwrap();
+        assert_eq!(c.assignments(), &[asg(1, 0), asg(3, 1)]);
+        // Identical singletons conjoin to themselves.
+        assert_eq!(a.conjoin(&a).unwrap(), a);
     }
 }

@@ -1,0 +1,37 @@
+-- Figure 1 (SIGMOD'09 demo): fitness prediction as a random walk on a
+-- per-player stochastic matrix. `repair key` turns the transition matrix
+-- into one independent variable per (player, init) group; conf() folds
+-- the walk back into a t-certain distribution.
+
+create table ft (player text, init text, final text, p double precision);
+
+create table states (player text, state text);
+
+insert into ft values
+    ('Bryant', 'F',  'F',  0.8),
+    ('Bryant', 'F',  'SE', 0.05),
+    ('Bryant', 'F',  'SL', 0.15),
+    ('Bryant', 'SE', 'F',  0.1),
+    ('Bryant', 'SE', 'SE', 0.6),
+    ('Bryant', 'SE', 'SL', 0.3),
+    ('Bryant', 'SL', 'F',  0.8),
+    ('Bryant', 'SL', 'SL', 0.2),
+    ('Duncan', 'F',  'F',  0.6),
+    ('Duncan', 'F',  'SE', 0.2),
+    ('Duncan', 'F',  'SL', 0.2),
+    ('Duncan', 'SE', 'F',  0.3),
+    ('Duncan', 'SE', 'SE', 0.5),
+    ('Duncan', 'SE', 'SL', 0.2),
+    ('Duncan', 'SL', 'F',  0.5),
+    ('Duncan', 'SL', 'SE', 0.1),
+    ('Duncan', 'SL', 'SL', 0.4);
+
+insert into states values ('Bryant', 'F'), ('Duncan', 'SE');
+
+create table walk as
+select s.player, r1.final as state, conf() as p
+from (repair key player, init in ft weight by p) r1, states s
+where r1.player = s.player and r1.init = s.state
+group by s.player, r1.final;
+
+select player, state, p from walk order by player, p desc;
