@@ -1,0 +1,284 @@
+//! Determinism property tests for the parallel execution paths.
+//!
+//! `maybms-par` callers promise that parallel output is **identical** to
+//! the sequential path — same tuples, same order, same WSDs, bit-equal
+//! confidence values — at any thread count. These properties check that
+//! promise on explicit 1/2/8-thread pools with chunk sizes small enough
+//! that tiny random inputs really split across tasks, over the same
+//! adversarial input families as `op_equiv.rs`: NULL join keys (which
+//! must never match), cross-type numeric keys (1 == 1.0), and
+//! conflicting WSDs (whose join pairs must drop as unsatisfiable).
+
+use maybms_conf::{dklr, exact, karp_luby::KarpLuby, Dnf};
+use maybms_engine::{ops, BinaryOp, DataType, Expr, Relation, Schema, Tuple, Value};
+use maybms_par::ThreadPool;
+use maybms_urel::{algebra, Assignment, URelation, UTuple, Var, WorldTable, Wsd};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Thread counts every property is checked at (1 must equal 2 must equal
+/// 8 must equal the sequential reference).
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Chunk size small enough that 0..24-row relations split across tasks.
+const TINY_CHUNK: usize = 3;
+
+fn arb_num() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        (0i64..5).prop_map(Value::Int),
+        (0i64..8).prop_map(|i| Value::Float(i as f64 / 2.0)),
+    ]
+}
+
+fn arb_text() -> impl Strategy<Value = Value> {
+    prop::sample::select(vec!["a", "b", "c"]).prop_map(Value::str)
+}
+
+fn schema3() -> Arc<Schema> {
+    Arc::new(Schema::from_pairs(&[
+        ("k", DataType::Unknown),
+        ("v", DataType::Unknown),
+        ("s", DataType::Text),
+    ]))
+}
+
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    prop::collection::vec((arb_num(), arb_num(), arb_text()), 0..24).prop_map(|rows| {
+        Relation::new_unchecked(
+            schema3(),
+            rows.into_iter().map(|(k, v, s)| Tuple::new(vec![k, v, s])).collect(),
+        )
+    })
+}
+
+/// A U-relation over three shared variables: self-joins hit conflicting
+/// assignments, i.e. unsatisfiable-WSD drops.
+fn arb_urelation() -> impl Strategy<Value = (WorldTable, URelation)> {
+    (
+        prop::collection::vec((arb_num(), arb_num(), arb_text()), 0..16),
+        prop::collection::vec(prop::collection::vec((0u32..3, 0u16..2), 0..3), 0..16),
+    )
+        .prop_map(|(rows, raw_wsds)| {
+            let mut wt = WorldTable::new();
+            for _ in 0..3 {
+                wt.new_var(&[0.5, 0.5]).unwrap();
+            }
+            let tuples = rows
+                .into_iter()
+                .zip(raw_wsds.into_iter().chain(std::iter::repeat(Vec::new())))
+                .map(|((k, v, s), raw)| {
+                    let wsd = Wsd::from_assignments(
+                        raw.into_iter()
+                            .map(|(v, a)| Assignment::new(Var(v), a))
+                            .collect(),
+                    )
+                    .unwrap_or_else(Wsd::tautology);
+                    UTuple::new(Tuple::new(vec![k, v, s]), wsd)
+                })
+                .collect();
+            (wt, URelation::new(schema3(), tuples))
+        })
+}
+
+/// A DNF with independent blocks (exercising parallel partitions) plus a
+/// few cross-block clauses (forcing Shannon nodes above them).
+fn arb_dnf() -> impl Strategy<Value = (WorldTable, Dnf)> {
+    (
+        2usize..5,                                         // blocks
+        prop::collection::vec((0u16..2, 0u16..2), 1..4),   // cross clauses
+    )
+        .prop_map(|(blocks, cross)| {
+            let mut wt = WorldTable::new();
+            let mut vars = Vec::new();
+            let mut clauses = Vec::new();
+            for b in 0..blocks {
+                let x = wt.new_var(&[0.4, 0.6]).unwrap();
+                let y = wt.new_var(&[0.3 + 0.1 * (b % 3) as f64, 0.7 - 0.1 * (b % 3) as f64]).unwrap();
+                vars.push((x, y));
+                clauses.push(
+                    Wsd::from_assignments(vec![
+                        Assignment::new(x, 1),
+                        Assignment::new(y, 1),
+                    ])
+                    .unwrap(),
+                );
+                clauses.push(
+                    Wsd::from_assignments(vec![
+                        Assignment::new(x, 0),
+                        Assignment::new(y, 0),
+                    ])
+                    .unwrap(),
+                );
+            }
+            for (i, &(a0, a1)) in cross.iter().enumerate() {
+                let (x, _) = vars[i % vars.len()];
+                let (_, y) = vars[(i + 1) % vars.len()];
+                if let Some(w) = Wsd::from_assignments(vec![
+                    Assignment::new(x, a0),
+                    Assignment::new(y, a1),
+                ]) {
+                    clauses.push(w);
+                }
+            }
+            (wt, Dnf::new(clauses))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// σ: the chunk-parallel selection vector equals the sequential scan,
+    /// order included, at 1/2/8 threads.
+    #[test]
+    fn par_filter_identical(r in arb_relation()) {
+        let pred = Expr::col("v").binary(BinaryOp::Gt, Expr::lit(1i64));
+        let seq = ops::filter(&r, &pred).unwrap();
+        for threads in THREADS {
+            let pool = ThreadPool::new(threads);
+            let par = ops::filter_with(&r, &pred, &pool, TINY_CHUNK).unwrap();
+            prop_assert_eq!(seq.tuples(), par.tuples(), "threads = {}", threads);
+        }
+    }
+
+    /// ⋈: the partitioned-build / chunked-probe join equals the
+    /// sequential join tuple-for-tuple (order included), NULL keys and
+    /// cross-type numeric keys included.
+    #[test]
+    fn par_hash_join_identical(l in arb_relation(), r in arb_relation()) {
+        let seq = ops::hash_join(&l, &r, &[0], &[0]).unwrap();
+        for threads in THREADS {
+            let pool = ThreadPool::new(threads);
+            let par = ops::hash_join_with(&l, &r, &[0], &[0], &pool, TINY_CHUNK).unwrap();
+            prop_assert_eq!(seq.tuples(), par.tuples(), "threads = {}", threads);
+        }
+    }
+
+    /// Multi-column keys take the generic (non-columnar) path; it must be
+    /// deterministic too.
+    #[test]
+    fn par_hash_join_two_keys_identical(l in arb_relation(), r in arb_relation()) {
+        let seq = ops::hash_join(&l, &r, &[0, 1], &[0, 1]).unwrap();
+        for threads in THREADS {
+            let pool = ThreadPool::new(threads);
+            let par =
+                ops::hash_join_with(&l, &r, &[0, 1], &[0, 1], &pool, TINY_CHUNK).unwrap();
+            prop_assert_eq!(seq.tuples(), par.tuples(), "threads = {}", threads);
+        }
+    }
+
+    /// Grouping: chunk-local groups merged in chunk order equal the
+    /// sequential first-seen key order and ascending member lists.
+    #[test]
+    fn par_group_indices_identical(r in arb_relation()) {
+        let exprs = [Expr::col("k")];
+        let seq = ops::group_indices(&r, &exprs).unwrap();
+        for threads in THREADS {
+            let pool = ThreadPool::new(threads);
+            let par = ops::group_indices_with(&r, &exprs, &pool, TINY_CHUNK).unwrap();
+            prop_assert_eq!(&seq, &par, "threads = {}", threads);
+        }
+    }
+
+    /// U-relational σ: WSDs ride along unchanged, order preserved.
+    #[test]
+    fn par_select_u_identical((_wt, u) in arb_urelation()) {
+        let pred = Expr::col("v").binary(BinaryOp::Gt, Expr::lit(1i64));
+        let seq = algebra::select(&u, &pred).unwrap();
+        for threads in THREADS {
+            let pool = ThreadPool::new(threads);
+            let par = algebra::select_with(&u, &pred, &pool, TINY_CHUNK).unwrap();
+            prop_assert_eq!(seq.tuples(), par.tuples(), "threads = {}", threads);
+        }
+    }
+
+    /// U-relational self-⋈: conflicting WSDs (unsatisfiable conjunctions)
+    /// drop identically in the parallel probe, and surviving (data, wsd)
+    /// pairs come out in the sequential order.
+    #[test]
+    fn par_hash_join_u_identical((_wt, u) in arb_urelation()) {
+        let seq = algebra::hash_join(&u, &u, &[0], &[0]).unwrap();
+        for threads in THREADS {
+            let pool = ThreadPool::new(threads);
+            let par = algebra::hash_join_with(&u, &u, &[0], &[0], &pool, TINY_CHUNK).unwrap();
+            prop_assert_eq!(seq.tuples(), par.tuples(), "threads = {}", threads);
+        }
+    }
+
+    /// Exact confidence: parallel independent-partition evaluation is
+    /// bit-identical to the sequential d-tree, with identical node
+    /// statistics (memoization off — the standard `conf()` path).
+    #[test]
+    fn par_exact_conf_bit_identical((wt, dnf) in arb_dnf()) {
+        let opts = exact::ExactOptions::standard();
+        let (seq_p, seq_stats) = exact::probability_with(&dnf, &wt, &opts).unwrap();
+        for threads in THREADS {
+            let pool = ThreadPool::new(threads);
+            let (par_p, par_stats) =
+                exact::probability_par(&dnf, &wt, &opts, &pool, 1).unwrap();
+            prop_assert_eq!(seq_p.to_bits(), par_p.to_bits(), "threads = {}", threads);
+            prop_assert_eq!(&seq_stats, &par_stats, "threads = {}", threads);
+        }
+    }
+
+    /// Seeded Karp–Luby and DKLR: estimates and sample counts are
+    /// bit-identical at every thread count for the same seed.
+    #[test]
+    fn par_sampling_bit_identical((wt, dnf) in arb_dnf(), seed in 0u64..1000) {
+        let kl = KarpLuby::new(&dnf, &wt).unwrap();
+        let p1 = ThreadPool::new(1);
+        if kl.constant_value().is_some() {
+            return Ok(());
+        }
+        let est_ref = kl.estimate_seeded(&wt, 2500, seed, &p1);
+        let opts = dklr::DklrOptions::new(0.25, 0.2);
+        let aa_ref = dklr::approximate_seeded(&kl, &wt, &opts, seed, &p1).unwrap();
+        for threads in [2usize, 8] {
+            let pool = ThreadPool::new(threads);
+            let est = kl.estimate_seeded(&wt, 2500, seed, &pool);
+            prop_assert_eq!(est_ref.to_bits(), est.to_bits(), "threads = {}", threads);
+            let aa = dklr::approximate_seeded(&kl, &wt, &opts, seed, &pool).unwrap();
+            prop_assert_eq!(aa_ref.estimate.to_bits(), aa.estimate.to_bits());
+            prop_assert_eq!(aa_ref.samples, aa.samples, "threads = {}", threads);
+        }
+    }
+}
+
+/// Non-property check: an unsatisfiable self-join pair (x↦0 ∧ x↦1) must
+/// drop in both paths — the `op_equiv.rs` edge case, pinned explicitly.
+#[test]
+fn unsatisfiable_wsd_pairs_drop_in_parallel_join() {
+    let mut wt = WorldTable::new();
+    let x = wt.new_var(&[0.5, 0.5]).unwrap();
+    let schema = Arc::new(Schema::from_pairs(&[("k", DataType::Int)]));
+    let u = URelation::new(
+        schema,
+        vec![
+            UTuple::new(Tuple::new(vec![Value::Int(1)]), Wsd::of(x, 0)),
+            UTuple::new(Tuple::new(vec![Value::Int(1)]), Wsd::of(x, 1)),
+        ],
+    );
+    let seq = algebra::hash_join(&u, &u, &[0], &[0]).unwrap();
+    assert_eq!(seq.len(), 2, "only the self-consistent pairs survive");
+    for threads in THREADS {
+        let pool = ThreadPool::new(threads);
+        let par = algebra::hash_join_with(&u, &u, &[0], &[0], &pool, 1).unwrap();
+        assert_eq!(seq.tuples(), par.tuples(), "threads = {threads}");
+    }
+}
+
+/// NULL keys never match, in parallel exactly as sequentially.
+#[test]
+fn null_keys_never_match_in_parallel_join() {
+    let r = maybms_engine::rel(
+        &[("k", DataType::Int)],
+        vec![vec![Value::Null], vec![Value::Null], vec![1.into()], vec![1.into()]],
+    );
+    let seq = ops::hash_join(&r, &r, &[0], &[0]).unwrap();
+    assert_eq!(seq.len(), 4, "2×2 non-NULL pairs only");
+    for threads in THREADS {
+        let pool = ThreadPool::new(threads);
+        let par = ops::hash_join_with(&r, &r, &[0], &[0], &pool, 1).unwrap();
+        assert_eq!(seq.tuples(), par.tuples(), "threads = {threads}");
+    }
+}

@@ -20,12 +20,13 @@
 //! is rescaled by the constant `S`, the *relative* error guarantee carries
 //! over to the DNF probability.
 
+use maybms_par::ThreadPool;
 use rand::Rng;
 
 use maybms_urel::{Result, UrelError, WorldTable};
 
 use crate::dnf::Dnf;
-use crate::karp_luby::KarpLuby;
+use crate::karp_luby::{KarpLuby, SAMPLE_BATCH};
 
 /// λ = e − 2, the constant of the generalised zero-one estimator theorem.
 const LAMBDA: f64 = std::f64::consts::E - 2.0;
@@ -192,6 +193,180 @@ pub fn aconf<R: Rng + ?Sized>(
     Ok(approximate(&kl, wt, &DklrOptions::new(epsilon, delta), rng)?.estimate)
 }
 
+// ---------------------------------------------------------------------
+// Seeded, deterministically parallel drivers
+// ---------------------------------------------------------------------
+//
+// The `*_seeded` functions below re-express the DKLR drivers over the
+// *seeded batch stream* of `maybms_conf::karp_luby`: the sample sequence
+// is the concatenation of SAMPLE_BATCH-sized batches, batch `b` drawn
+// from an RNG seeded with `derive_seed(phase_seed, b)`. The stream is a
+// pure function of the seed, so batches can be computed speculatively in
+// parallel while the sequential-analysis logic (stopping rule, sample
+// accounting) consumes them strictly in stream order — estimates and
+// sample counts are bit-identical at any thread count.
+
+/// Seed of phase `phase` of a seeded DKLR run (the phases — coarse SRA,
+/// variance pairs, main run — must draw from disjoint streams).
+fn phase_seed(seed: u64, phase: u64) -> u64 {
+    maybms_par::derive_seed(seed, phase)
+}
+
+/// Deterministic batch-parallel [`stopping_rule`]: consume the seeded
+/// stream until the running sum reaches `Υ₁`. Batches are precomputed
+/// `threads` at a time (speculation past the stopping point is discarded),
+/// but the scan — and therefore the estimate and the consumed-sample
+/// count — follows stream order exactly.
+pub fn stopping_rule_seeded(
+    kl: &KarpLuby,
+    wt: &WorldTable,
+    options: &DklrOptions,
+    seed: u64,
+    pool: &ThreadPool,
+) -> Result<Approximation> {
+    options.validate()?;
+    if let Some(p) = kl.constant_value() {
+        return Ok(Approximation { estimate: p, samples: 0 });
+    }
+    let upsilon1 = 1.0 + (1.0 + options.epsilon) * upsilon(options.epsilon, options.delta);
+    let mut sum = 0.0;
+    let mut n: u64 = 0;
+    let stride = pool.threads() as u64;
+    let mut next_batch: u64 = 0;
+    loop {
+        let round: Vec<Vec<f64>> =
+            pool.par_map((next_batch..next_batch + stride).collect(), |b| {
+                kl.batch_indicators(wt, seed, b, SAMPLE_BATCH)
+            });
+        next_batch += stride;
+        for batch in round {
+            for x in batch {
+                if n >= options.max_samples {
+                    return Err(UrelError::BadProbability {
+                        message: format!(
+                            "stopping rule exceeded {} samples (sum {sum:.1} < \
+                             {upsilon1:.1}); the event probability is too small \
+                             for this (ε, δ)",
+                            options.max_samples
+                        ),
+                    });
+                }
+                sum += x;
+                n += 1;
+                if sum >= upsilon1 {
+                    return Ok(Approximation {
+                        estimate: kl.scale() * upsilon1 / n as f64,
+                        samples: n,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Sum `f` over the first `samples` draws of phase stream `seed`,
+/// batch-parallel with in-order combination. `f` folds one batch's
+/// indicator slice into a partial (identity on indicators for plain sums,
+/// paired squared differences for the variance phase).
+fn batched_stream_sum(
+    kl: &KarpLuby,
+    wt: &WorldTable,
+    samples: u64,
+    seed: u64,
+    pool: &ThreadPool,
+    f: impl Fn(&[f64]) -> f64 + Sync,
+) -> f64 {
+    let batches = (samples as usize).div_ceil(SAMPLE_BATCH);
+    let partials: Vec<f64> = pool.par_map((0..batches as u64).collect(), |b| {
+        let len = SAMPLE_BATCH.min(samples as usize - b as usize * SAMPLE_BATCH);
+        f(&kl.batch_indicators(wt, seed, b, len))
+    });
+    partials.iter().sum()
+}
+
+/// Deterministic batch-parallel [`approximate`] (the 𝒜𝒜 algorithm).
+///
+/// Same three phases as the sequential driver, each over its own seeded
+/// stream; per-phase results are bit-identical at any thread count, so
+/// the derived sample counts — and hence the final estimate and total
+/// sample accounting — are too. The variance phase pairs consecutive
+/// stream draws; [`SAMPLE_BATCH`] is even, so pairs never straddle batch
+/// boundaries and each batch folds its pairs locally.
+pub fn approximate_seeded(
+    kl: &KarpLuby,
+    wt: &WorldTable,
+    options: &DklrOptions,
+    seed: u64,
+    pool: &ThreadPool,
+) -> Result<Approximation> {
+    options.validate()?;
+    if let Some(p) = kl.constant_value() {
+        return Ok(Approximation { estimate: p, samples: 0 });
+    }
+    let eps = options.epsilon;
+    let delta = options.delta;
+    let ups = upsilon(eps, delta);
+    let ups2 = 2.0 * (1.0 + eps.sqrt()) * (1.0 + 2.0 * eps.sqrt())
+        * (1.0 + (3.0f64 / 2.0).ln() / (2.0 / delta).ln())
+        * ups;
+
+    // Step 1: coarse SRA with ε' = min(1/2, √ε), δ' = δ/3.
+    let coarse = DklrOptions {
+        epsilon: (0.5f64).min(eps.sqrt()),
+        delta: delta / 3.0,
+        max_samples: options.max_samples,
+    };
+    let sra = stopping_rule_seeded(kl, wt, &coarse, phase_seed(seed, 1), pool)?;
+    let mut spent = sra.samples;
+    let mu_hat = sra.estimate / kl.scale();
+
+    // Step 2: variance estimation from sample pairs.
+    let n2 = ((ups2 * eps / mu_hat).ceil() as u64).max(1);
+    if spent + 2 * n2 > options.max_samples {
+        return Err(UrelError::BadProbability {
+            message: format!(
+                "AA step 2 would need {} samples, above the cap {}",
+                2 * n2,
+                options.max_samples
+            ),
+        });
+    }
+    let s2 = batched_stream_sum(kl, wt, 2 * n2, phase_seed(seed, 2), pool, |xs| {
+        xs.chunks_exact(2).map(|p| (p[0] - p[1]) * (p[0] - p[1]) / 2.0).sum()
+    });
+    spent += 2 * n2;
+    let rho_hat = (s2 / n2 as f64).max(eps * mu_hat);
+
+    // Step 3: the optimal main run.
+    let n3 = ((ups2 * rho_hat / (mu_hat * mu_hat)).ceil() as u64).max(1);
+    if spent + n3 > options.max_samples {
+        return Err(UrelError::BadProbability {
+            message: format!(
+                "AA step 3 would need {n3} samples, above the cap {}",
+                options.max_samples
+            ),
+        });
+    }
+    let sum =
+        batched_stream_sum(kl, wt, n3, phase_seed(seed, 3), pool, |xs| xs.iter().sum());
+    spent += n3;
+    Ok(Approximation { estimate: kl.scale() * sum / n3 as f64, samples: spent })
+}
+
+/// Seeded `aconf(ε, δ)`: prepare Karp–Luby and run the deterministic
+/// parallel 𝒜𝒜 — the engine of the SQL `aconf` aggregate.
+pub fn aconf_seeded(
+    dnf: &Dnf,
+    wt: &WorldTable,
+    epsilon: f64,
+    delta: f64,
+    seed: u64,
+    pool: &ThreadPool,
+) -> Result<f64> {
+    let kl = KarpLuby::new(dnf, wt)?;
+    Ok(approximate_seeded(&kl, wt, &DklrOptions::new(epsilon, delta), seed, pool)?.estimate)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +487,60 @@ mod tests {
             tight.samples,
             loose.samples
         );
+    }
+
+    #[test]
+    fn seeded_drivers_bit_identical_across_thread_counts() {
+        let mut wt = WorldTable::new();
+        let d = test_dnf(&mut wt, 3);
+        let kl = KarpLuby::new(&d, &wt).unwrap();
+        let opts = DklrOptions::new(0.1, 0.05);
+        let p1 = ThreadPool::new(1);
+        let sra_ref = stopping_rule_seeded(&kl, &wt, &opts, 42, &p1).unwrap();
+        let aa_ref = approximate_seeded(&kl, &wt, &opts, 42, &p1).unwrap();
+        for threads in [2, 8] {
+            let pool = ThreadPool::new(threads);
+            let sra = stopping_rule_seeded(&kl, &wt, &opts, 42, &pool).unwrap();
+            assert_eq!(sra_ref.estimate.to_bits(), sra.estimate.to_bits());
+            assert_eq!(sra_ref.samples, sra.samples, "threads = {threads}");
+            let aa = approximate_seeded(&kl, &wt, &opts, 42, &pool).unwrap();
+            assert_eq!(aa_ref.estimate.to_bits(), aa.estimate.to_bits());
+            assert_eq!(aa_ref.samples, aa.samples, "threads = {threads}");
+        }
+        // Different seeds give different runs.
+        let other = approximate_seeded(&kl, &wt, &opts, 43, &p1).unwrap();
+        assert_ne!(aa_ref.estimate.to_bits(), other.estimate.to_bits());
+    }
+
+    #[test]
+    fn seeded_drivers_achieve_relative_error() {
+        let mut wt = WorldTable::new();
+        let d = test_dnf(&mut wt, 3);
+        let truth = exact::probability(&d, &wt).unwrap();
+        let kl = KarpLuby::new(&d, &wt).unwrap();
+        let opts = DklrOptions::new(0.1, 0.05);
+        let pool = ThreadPool::new(4);
+        let mut failures = 0;
+        let runs = 30;
+        for seed in 0..runs {
+            let a = approximate_seeded(&kl, &wt, &opts, seed, &pool).unwrap();
+            if ((a.estimate - truth) / truth).abs() > opts.epsilon {
+                failures += 1;
+            }
+        }
+        // δ = 0.05: expect ~1.5 failures in 30; allow generous slack.
+        assert!(failures <= 4, "failures {failures}/{runs}");
+    }
+
+    #[test]
+    fn seeded_sample_cap_enforced() {
+        let mut wt = WorldTable::new();
+        let d = test_dnf(&mut wt, 2);
+        let kl = KarpLuby::new(&d, &wt).unwrap();
+        let pool = ThreadPool::new(2);
+        let opts = DklrOptions { epsilon: 0.01, delta: 0.01, max_samples: 100 };
+        assert!(stopping_rule_seeded(&kl, &wt, &opts, 1, &pool).is_err());
+        assert!(approximate_seeded(&kl, &wt, &opts, 1, &pool).is_err());
     }
 
     #[test]

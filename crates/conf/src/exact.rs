@@ -23,9 +23,14 @@
 
 use std::collections::HashMap;
 
+use maybms_par::ThreadPool;
 use maybms_urel::{Result, Var, WorldTable};
 
 use crate::dnf::Dnf;
+
+/// Default clause-count floor below which independent partitions are not
+/// worth fanning out to the pool.
+pub const PAR_MIN_CLAUSES: usize = 32;
 
 /// Heuristic for picking the variable to eliminate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -88,9 +93,17 @@ pub struct ExactStats {
     pub cache_hits: usize,
 }
 
-/// Exact probability of `dnf` with the standard options.
+/// Exact probability of `dnf` with the standard options. Independent
+/// d-tree partitions fan out to the process-wide pool when the DNF is
+/// large enough; the result is bit-identical to the sequential recursion.
 pub fn probability(dnf: &Dnf, wt: &WorldTable) -> Result<f64> {
-    probability_with(dnf, wt, &ExactOptions::standard()).map(|(p, _)| p)
+    let pool = maybms_par::pool();
+    if pool.threads() > 1 {
+        probability_par(dnf, wt, &ExactOptions::standard(), &pool, PAR_MIN_CLAUSES)
+            .map(|(p, _)| p)
+    } else {
+        probability_with(dnf, wt, &ExactOptions::standard()).map(|(p, _)| p)
+    }
 }
 
 /// Exact probability with explicit options; also returns d-tree statistics.
@@ -101,13 +114,58 @@ pub fn probability_with(
 ) -> Result<(f64, ExactStats)> {
     let mut stats = ExactStats::default();
     let d = if options.simplify { dnf.simplify() } else { dnf.clone() };
-    let mut cache: Option<HashMap<Vec<maybms_urel::Wsd>, f64>> =
-        options.memoize.then(HashMap::new);
-    let p = go(&d, wt, options, &mut stats, 1, &mut cache)?;
+    let mut cache: Cache = options.memoize.then(HashMap::new);
+    let p = go(&d, wt, options, &mut stats, 1, &mut cache, None)?;
+    Ok((p, stats))
+}
+
+/// [`probability_with`] on an explicit pool: independent-partition nodes
+/// whose DNF holds at least `min_par_clauses` clauses evaluate their
+/// children as parallel tasks (each child is a var-disjoint subproblem).
+///
+/// The probability is **bit-identical** to the sequential recursion at
+/// any thread count: children are pure functions of their component and
+/// the `1 − Π(1 − pᵢ)` combination multiplies in the (sorted) component
+/// order either way. Statistics are identical too, except `cache_hits`
+/// under [`ExactOptions::memoize`]: parallel children use task-local
+/// caches (components share no variables, so no *cross-component* hit is
+/// ever lost, but a later Shannon sibling cannot hit entries produced
+/// inside a parallel child).
+pub fn probability_par(
+    dnf: &Dnf,
+    wt: &WorldTable,
+    options: &ExactOptions,
+    pool: &ThreadPool,
+    min_par_clauses: usize,
+) -> Result<(f64, ExactStats)> {
+    let mut stats = ExactStats::default();
+    let d = if options.simplify { dnf.simplify() } else { dnf.clone() };
+    let mut cache: Cache = options.memoize.then(HashMap::new);
+    let ctx = ParCtx { pool, min_clauses: min_par_clauses.max(1) };
+    let p = go(&d, wt, options, &mut stats, 1, &mut cache, Some(&ctx))?;
     Ok((p, stats))
 }
 
 type Cache = Option<HashMap<Vec<maybms_urel::Wsd>, f64>>;
+
+/// Parallel-recursion context threaded through [`go`].
+struct ParCtx<'p> {
+    pool: &'p ThreadPool,
+    /// Fan out a partition node only when its DNF has at least this many
+    /// clauses (smaller subproblems finish faster than a task costs).
+    min_clauses: usize,
+}
+
+impl ExactStats {
+    /// Fold a (parallel) child's statistics into the parent's.
+    fn absorb(&mut self, child: &ExactStats) {
+        self.decompositions += child.decompositions;
+        self.eliminations += child.eliminations;
+        self.leaves += child.leaves;
+        self.cache_hits += child.cache_hits;
+        self.max_depth = self.max_depth.max(child.max_depth);
+    }
+}
 
 /// Canonical cache key: the clause list, which [`Dnf`] keeps sorted as a
 /// construction invariant — no re-sort per node.
@@ -123,6 +181,7 @@ fn go(
     stats: &mut ExactStats,
     depth: usize,
     cache: &mut Cache,
+    par: Option<&ParCtx>,
 ) -> Result<f64> {
     stats.max_depth = stats.max_depth.max(depth);
     // Constant leaves.
@@ -152,9 +211,49 @@ fn go(
         if comps.len() > 1 {
             stats.decompositions += 1;
             let mut none = 1.0;
-            for comp in comps {
-                let p = go(&comp, wt, options, stats, depth + 1, cache)?;
-                none *= 1.0 - p;
+            let fan_out = par
+                .filter(|c| c.pool.threads() > 1 && dnf.len() >= c.min_clauses);
+            if let Some(ctx) = fan_out {
+                // Components share no variables, so each child is an
+                // independent pure subproblem. Fan out *chunks* of
+                // components (one task per component would drown small
+                // children in scheduling overhead); every chunk returns
+                // its children's probabilities in component order, and
+                // the parent multiplies the flat sequence left-to-right —
+                // the exact float-operation order of the sequential loop
+                // below, hence bit-identical results.
+                let chunk =
+                    maybms_par::auto_chunk(comps.len(), ctx.pool.threads(), 1);
+                let children: Vec<Result<(Vec<f64>, ExactStats)>> =
+                    ctx.pool.par_map_chunks(comps.len(), chunk, |range| {
+                        let mut chunk_stats = ExactStats::default();
+                        let mut chunk_cache: Cache = options.memoize.then(HashMap::new);
+                        let mut probs = Vec::with_capacity(range.len());
+                        for ci in range {
+                            probs.push(go(
+                                &comps[ci],
+                                wt,
+                                options,
+                                &mut chunk_stats,
+                                depth + 1,
+                                &mut chunk_cache,
+                                par,
+                            )?);
+                        }
+                        Ok((probs, chunk_stats))
+                    });
+                for child in children {
+                    let (probs, chunk_stats) = child?;
+                    for p in probs {
+                        none *= 1.0 - p;
+                    }
+                    stats.absorb(&chunk_stats);
+                }
+            } else {
+                for comp in comps {
+                    let p = go(&comp, wt, options, stats, depth + 1, cache, par)?;
+                    none *= 1.0 - p;
+                }
             }
             let total = 1.0 - none;
             if let (Some(c), Some(k)) = (cache.as_mut(), key) {
@@ -175,7 +274,7 @@ fn go(
         let conditioned = dnf.condition(x, alt as u16);
         let conditioned =
             if options.simplify { conditioned.simplify() } else { conditioned };
-        total += p_alt * go(&conditioned, wt, options, stats, depth + 1, cache)?;
+        total += p_alt * go(&conditioned, wt, options, stats, depth + 1, cache, par)?;
     }
     if let (Some(c), Some(k)) = (cache.as_mut(), key) {
         c.insert(k, total);
@@ -422,6 +521,42 @@ mod tests {
             "memoized {s_memo:?} vs plain {s_plain:?}"
         );
         assert_eq!(s_plain.cache_hits, 0);
+    }
+
+    #[test]
+    fn parallel_partitions_bit_identical_to_sequential() {
+        // Many independent blocks — the decomposition-heavy family — plus
+        // a shared-variable DNF that forces Shannon nodes above nested
+        // partitions.
+        let mut wt = WorldTable::new();
+        let mut clauses = Vec::new();
+        for i in 0..8 {
+            let x = wt.new_var(&[0.3 + 0.05 * i as f64, 0.7 - 0.05 * i as f64]).unwrap();
+            let y = wt.new_var(&[0.5, 0.5]).unwrap();
+            clauses.push(clause(&[(x, 1), (y, 1)]));
+            clauses.push(clause(&[(x, 0), (y, 0)]));
+        }
+        let d = Dnf::new(clauses);
+        for memoize in [false, true] {
+            let opts = ExactOptions { memoize, ..ExactOptions::standard() };
+            let (seq_p, seq_stats) = probability_with(&d, &wt, &opts).unwrap();
+            for threads in [1, 2, 8] {
+                let pool = ThreadPool::new(threads);
+                let (par_p, par_stats) =
+                    probability_par(&d, &wt, &opts, &pool, 1).unwrap();
+                assert_eq!(
+                    seq_p.to_bits(),
+                    par_p.to_bits(),
+                    "threads = {threads}, memoize = {memoize}"
+                );
+                if !memoize {
+                    // Node counts are scheduling-independent; cache hit
+                    // counts may legitimately differ under memoization
+                    // (task-local caches).
+                    assert_eq!(seq_stats, par_stats, "threads = {threads}");
+                }
+            }
+        }
     }
 
     #[test]

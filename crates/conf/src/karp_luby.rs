@@ -16,11 +16,24 @@
 //! probability, and `E[X] ≥ 1/m` for `m` clauses — the property the
 //! Dagum–Karp–Luby–Ross stopping rules rely on.
 
-use rand::Rng;
+use maybms_par::ThreadPool;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use maybms_urel::{Result, Var, WorldTable};
 
 use crate::dnf::Dnf;
+
+/// Samples per deterministic batch in the seeded estimators.
+///
+/// The seeded sample stream is *defined* as the concatenation of
+/// fixed-size batches, batch `b` drawn from an RNG seeded with
+/// [`maybms_par::derive_seed`]`(seed, b)`. Because neither the batch size
+/// nor the per-batch seed depends on the thread count, the stream — and
+/// every estimate computed from it — is bit-identical at any parallelism.
+/// Kept even so that the DKLR variance phase's sample *pairs* never
+/// straddle a batch boundary.
+pub const SAMPLE_BATCH: usize = 1024;
 
 /// A prepared Karp–Luby sampler over a fixed DNF.
 #[derive(Debug, Clone)]
@@ -139,6 +152,54 @@ impl KarpLuby {
         }
         self.sum * acc / samples as f64
     }
+
+    /// The indicators of seeded batch `batch` (`len` draws from an RNG
+    /// seeded by `derive_seed(seed, batch)`) — the unit of deterministic
+    /// parallel sampling. Used by the DKLR drivers, which need per-sample
+    /// granularity for their stopping rule.
+    pub(crate) fn batch_indicators(
+        &self,
+        wt: &WorldTable,
+        seed: u64,
+        batch: u64,
+        len: usize,
+    ) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(maybms_par::derive_seed(seed, batch));
+        (0..len).map(|_| self.sample_indicator(wt, &mut rng)).collect()
+    }
+
+    /// Seeded fixed-count Monte Carlo estimate, batch-parallel on `pool`.
+    ///
+    /// The sample stream is the concatenation of [`SAMPLE_BATCH`]-sized
+    /// seeded batches (see the constant's docs); batch sums accumulate in
+    /// batch order. The estimate is therefore **bit-identical at any
+    /// thread count** — a 1-thread and an 8-thread pool return the same
+    /// float for the same `(samples, seed)`.
+    pub fn estimate_seeded(
+        &self,
+        wt: &WorldTable,
+        samples: usize,
+        seed: u64,
+        pool: &ThreadPool,
+    ) -> f64 {
+        if let Some(p) = self.constant {
+            return p;
+        }
+        if samples == 0 {
+            return 0.0;
+        }
+        let batches = samples.div_ceil(SAMPLE_BATCH);
+        let sums: Vec<f64> = pool.par_map((0..batches as u64).collect(), |b| {
+            let len = SAMPLE_BATCH.min(samples - b as usize * SAMPLE_BATCH);
+            let mut acc = 0.0;
+            for x in self.batch_indicators(wt, seed, b, len) {
+                acc += x;
+            }
+            acc
+        });
+        let acc: f64 = sums.iter().sum();
+        self.sum * acc / samples as f64
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +291,38 @@ mod tests {
         let d = Dnf::new(vec![clause(&[(x, 1)]), clause(&[(y, 0)])]);
         let kl = KarpLuby::new(&d, &wt).unwrap();
         assert!((kl.scale() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seeded_estimate_bit_identical_across_thread_counts() {
+        let mut wt = WorldTable::new();
+        let vars: Vec<Var> =
+            (0..6).map(|_| wt.new_var(&[0.6, 0.4]).unwrap()).collect();
+        let d = Dnf::new(vec![
+            clause(&[(vars[0], 1), (vars[1], 1)]),
+            clause(&[(vars[1], 1), (vars[2], 1)]),
+            clause(&[(vars[2], 0), (vars[3], 1), (vars[4], 1)]),
+            clause(&[(vars[5], 1)]),
+        ]);
+        let kl = KarpLuby::new(&d, &wt).unwrap();
+        // A sample count that is not a batch multiple (exercises the tail).
+        let samples = 3 * SAMPLE_BATCH + 137;
+        let p1 = ThreadPool::new(1);
+        let reference = kl.estimate_seeded(&wt, samples, 99, &p1);
+        for threads in [2, 8] {
+            let pool = ThreadPool::new(threads);
+            let est = kl.estimate_seeded(&wt, samples, 99, &pool);
+            assert_eq!(reference.to_bits(), est.to_bits(), "threads = {threads}");
+        }
+        // Different seeds give different estimates (the seed is live).
+        assert_ne!(
+            reference.to_bits(),
+            kl.estimate_seeded(&wt, samples, 100, &p1).to_bits()
+        );
+        // And the estimate is statistically sound.
+        let truth = exact::probability(&d, &wt).unwrap();
+        let est = kl.estimate_seeded(&wt, 400_000, 7, &p1);
+        assert!(((est - truth) / truth).abs() < 0.02, "est {est} truth {truth}");
     }
 
     #[test]

@@ -24,6 +24,17 @@
 //!
 //! The [`ConfMethod`]/[`confidence`] pair is the dispatcher used by the
 //! `conf()` / `aconf(ε,δ)` SQL aggregates in `maybms-core`.
+//!
+//! # Parallel confidence computation
+//!
+//! Both engines parallelise on the vendored `maybms-par` pool while
+//! staying **bit-identical to their sequential runs** at any thread
+//! count: the d-tree recursion fans out independent-partition children
+//! (var-disjoint subproblems whose probabilities multiply in a fixed
+//! order — [`exact::probability_par`]), and the Monte Carlo drivers draw
+//! from a seeded batch stream whose per-batch RNGs derive from SplitMix64
+//! of `(seed, batch index)` ([`karp_luby::SAMPLE_BATCH`],
+//! [`dklr::approximate_seeded`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -37,8 +48,6 @@ pub mod naive;
 pub mod sprout;
 
 use maybms_urel::{Result, WorldTable};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 pub use dnf::Dnf;
 
@@ -66,6 +75,11 @@ pub enum ConfMethod {
 }
 
 /// Compute the probability of a DNF lineage event with the chosen method.
+///
+/// `Exact` and `Approx` run batch-parallel on the process-wide
+/// `maybms-par` pool; both are deterministic — `Approx` draws from the
+/// seeded batch stream, so the same `(ε, δ, seed)` returns the same
+/// estimate at any thread count.
 pub fn confidence(dnf: &Dnf, wt: &WorldTable, method: ConfMethod) -> Result<f64> {
     match method {
         ConfMethod::Exact => exact::probability(dnf, wt),
@@ -73,8 +87,7 @@ pub fn confidence(dnf: &Dnf, wt: &WorldTable, method: ConfMethod) -> Result<f64>
             exact::probability_with(dnf, wt, &opts).map(|(p, _)| p)
         }
         ConfMethod::Approx { epsilon, delta, seed } => {
-            let mut rng = StdRng::seed_from_u64(seed);
-            dklr::aconf(dnf, wt, epsilon, delta, &mut rng)
+            dklr::aconf_seeded(dnf, wt, epsilon, delta, seed, &maybms_par::pool())
         }
         ConfMethod::Naive { limit } => naive::probability(dnf, wt, limit),
     }

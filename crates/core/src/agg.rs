@@ -8,6 +8,12 @@
 //! * `argmax` and the standard SQL aggregates require t-certain input —
 //!   "we do not support the standard SQL aggregates such as sum or count
 //!   on uncertain relations".
+//!
+//! Per-group aggregate evaluation (in particular the per-group `conf()`
+//! calls, each an independent #P-hard subproblem) fans out to the
+//! `maybms-par` pool; `aconf` seeds are numbered by (group, slot) rather
+//! than a running counter, so the output is identical at any thread
+//! count.
 
 use std::sync::Arc;
 
@@ -169,10 +175,17 @@ pub fn aggregate_groups(
     }
     let schema = Arc::new(Schema::new(fields));
 
-    let mut out = Vec::with_capacity(groups.keys.len());
-    let mut seed_bump = 0u64;
-    for (key, members) in groups.keys.iter().zip(&groups.members) {
-        let mut row = key.clone();
+    // One output row per group, computed independently. `aconf` seeds are
+    // numbered by (group, slot) — group g's j-th aconf call draws seed
+    // `ctx.seed + g·n_aconf + j + 1`, exactly the sequence the old
+    // sequential running bump produced — so the rows are identical
+    // whether groups evaluate in a loop or fan out to the pool.
+    let n_aconf =
+        aggs.iter().filter(|(s, _)| matches!(s, AggSpec::AConf { .. })).count() as u64;
+    let eval_row = |g: usize| -> Result<Tuple> {
+        let members = &groups.members[g];
+        let mut row = groups.keys[g].clone();
+        let mut aconf_slot = 0u64;
         for (spec, _) in aggs {
             let v = match spec {
                 AggSpec::Conf => Value::float(group_confidence(
@@ -183,7 +196,7 @@ pub fn aggregate_groups(
                     ctx,
                 )?)?,
                 AggSpec::AConf { epsilon, delta } => {
-                    seed_bump += 1;
+                    aconf_slot += 1;
                     Value::float(group_confidence(
                         u,
                         members,
@@ -191,7 +204,10 @@ pub fn aggregate_groups(
                         ConfMethod::Approx {
                             epsilon: *epsilon,
                             delta: *delta,
-                            seed: ctx.seed.wrapping_add(seed_bump),
+                            seed: ctx
+                                .seed
+                                .wrapping_add(g as u64 * n_aconf)
+                                .wrapping_add(aconf_slot),
                         },
                         ctx,
                     )?)?
@@ -236,8 +252,25 @@ pub fn aggregate_groups(
             };
             row.push(v);
         }
-        out.push(Tuple::new(row));
-    }
+        Ok(Tuple::new(row))
+    };
+
+    let n_groups = groups.keys.len();
+    let pool = maybms_par::pool();
+    let out: Vec<Tuple> = if n_groups >= 8 && pool.threads() > 1 {
+        // Per-group confidence computation (#P-hard in general) dominates;
+        // fan groups out in small chunks and merge rows in group order.
+        let chunk = maybms_par::auto_chunk(n_groups, pool.threads(), 1);
+        let partials: Vec<Result<Vec<Tuple>>> =
+            pool.par_map_chunks(n_groups, chunk, |range| range.map(&eval_row).collect());
+        let mut out = Vec::with_capacity(n_groups);
+        for p in partials {
+            out.extend(p?);
+        }
+        out
+    } else {
+        (0..n_groups).map(eval_row).collect::<Result<_>>()?
+    };
     Ok(Relation::new_unchecked(schema, out))
 }
 
@@ -257,8 +290,7 @@ pub fn eval_tconf(
         fields.push(Field::new(n.clone(), DataType::Float));
     }
     let schema = Arc::new(Schema::new(fields));
-    let mut out = Vec::with_capacity(u.len());
-    for t in u.tuples() {
+    let eval_row = |t: &maybms_urel::UTuple| -> Result<Tuple> {
         let mut row: Vec<Value> = scalar_items
             .iter()
             .map(|(e, _)| e.eval(&t.data))
@@ -267,7 +299,26 @@ pub fn eval_tconf(
         for _ in tconf_names {
             row.push(p.clone());
         }
-        out.push(Tuple::new(row));
+        Ok(Tuple::new(row))
+    };
+    let pool = maybms_par::pool();
+    if u.len() >= 8192 && pool.threads() > 1 {
+        // Per-tuple marginals are independent; chunk rows and merge in
+        // chunk order (identical output to the sequential scan).
+        let chunk = maybms_par::auto_chunk(u.len(), pool.threads(), 2048);
+        let partials: Vec<Result<Vec<Tuple>>> =
+            pool.par_map_chunks(u.len(), chunk, |range| {
+                range.map(|i| eval_row(&u.tuples()[i])).collect()
+            });
+        let mut out = Vec::with_capacity(u.len());
+        for p in partials {
+            out.extend(p?);
+        }
+        return Ok(Relation::new_unchecked(schema, out));
+    }
+    let mut out = Vec::with_capacity(u.len());
+    for t in u.tuples() {
+        out.push(eval_row(t)?);
     }
     Ok(Relation::new_unchecked(schema, out))
 }

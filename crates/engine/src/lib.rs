@@ -18,8 +18,10 @@
 //!   merging/pushdown, trivial-plan elimination;
 //! * [`catalog`] — in-memory named tables.
 //!
-//! Everything is deterministic and single-threaded per query, matching the
-//! execution model the paper's rewrites target.
+//! Everything is deterministic, matching the execution model the paper's
+//! rewrites target: large batches run chunk-parallel on the vendored
+//! `maybms-par` pool, but operator output (tuple order and values) is
+//! identical to the sequential path at any thread count (see [`ops`]).
 //!
 //! ## Quick example
 //!

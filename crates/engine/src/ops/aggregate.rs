@@ -63,11 +63,20 @@ impl AggCall {
 ///
 /// Returns `(group key values, tuple indices)` per group, in first-seen
 /// order. An empty `group_exprs` yields a single global group (even over an
-/// empty input, matching SQL's scalar-aggregate behaviour).
+/// empty input, matching SQL's scalar-aggregate behaviour). Large inputs
+/// evaluate the group keys chunk-parallel on the process-wide pool; the
+/// result (key order and member order) is identical to the sequential
+/// scan.
 pub fn group_indices(
     input: &Relation,
     group_exprs: &[Expr],
 ) -> Result<Vec<(Vec<Value>, Vec<usize>)>> {
+    if !group_exprs.is_empty() && input.len() >= super::PAR_MIN_ROWS {
+        let pool = maybms_par::pool();
+        if pool.threads() > 1 {
+            return group_indices_with(input, group_exprs, &pool, super::PAR_MIN_CHUNK);
+        }
+    }
     let bound: Vec<Expr> =
         group_exprs.iter().map(|e| e.bind(input.schema())).collect::<Result<_>>()?;
     if bound.is_empty() {
@@ -92,6 +101,67 @@ pub fn group_indices(
             None => {
                 bucket.push(out.len());
                 out.push((scratch.clone(), vec![i]));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// [`group_indices`] on an explicit pool: each chunk of rows groups
+/// locally (keeping the key hash alongside each local group), then the
+/// chunk results merge sequentially in chunk order.
+///
+/// Determinism: global first-seen key order equals the sequential scan
+/// (the earliest chunk containing a key merges first), and each group's
+/// member list stays in ascending row order (chunks are disjoint,
+/// ascending ranges merged in order).
+pub fn group_indices_with(
+    input: &Relation,
+    group_exprs: &[Expr],
+    pool: &maybms_par::ThreadPool,
+    min_chunk: usize,
+) -> Result<Vec<(Vec<Value>, Vec<usize>)>> {
+    let bound: Vec<Expr> =
+        group_exprs.iter().map(|e| e.bind(input.schema())).collect::<Result<_>>()?;
+    if bound.is_empty() {
+        return Ok(vec![(Vec::new(), (0..input.len()).collect())]);
+    }
+    type LocalGroups = Vec<(u64, Vec<Value>, Vec<usize>)>;
+    let chunk = maybms_par::auto_chunk(input.len(), pool.threads(), min_chunk);
+    let partials: Vec<Result<LocalGroups>> =
+        pool.par_map_chunks(input.len(), chunk, |range| {
+            let mut buckets: crate::hash::FastMap<u64, Vec<usize>> = Default::default();
+            let mut local: LocalGroups = Vec::new();
+            let mut scratch: Vec<Value> = Vec::with_capacity(bound.len());
+            for i in range {
+                let t = &input.tuples()[i];
+                scratch.clear();
+                for e in &bound {
+                    scratch.push(e.eval(t)?);
+                }
+                let h = crate::hash::fast_hash_one(&scratch[..]);
+                let bucket = buckets.entry(h).or_default();
+                match bucket.iter().find(|&&g| local[g].1 == scratch) {
+                    Some(&g) => local[g].2.push(i),
+                    None => {
+                        bucket.push(local.len());
+                        local.push((h, scratch.clone(), vec![i]));
+                    }
+                }
+            }
+            Ok(local)
+        });
+    let mut buckets: crate::hash::FastMap<u64, Vec<usize>> = Default::default();
+    let mut out: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
+    for partial in partials {
+        for (h, key, members) in partial? {
+            let bucket = buckets.entry(h).or_default();
+            match bucket.iter().find(|&&g| out[g].0 == key) {
+                Some(&g) => out[g].1.extend(members),
+                None => {
+                    bucket.push(out.len());
+                    out.push((key, members));
+                }
             }
         }
     }
@@ -144,6 +214,30 @@ pub fn aggregate(
         Vec::new()
     };
 
+    // Aggregate evaluation is independent per group: fan out chunks of
+    // groups when there are enough of them to amortise a task. Rows are
+    // merged in group (chunk) order — identical to the sequential loop.
+    let pool = maybms_par::pool();
+    if groups.len() >= 256 && pool.threads() > 1 && !bound_aggs.is_empty() {
+        let partials: Vec<Result<Vec<Tuple>>> =
+            pool.par_map_chunks(groups.len(), 64, |range| {
+                let mut rows = Vec::with_capacity(range.len());
+                for g in range {
+                    let (key, indices) = &groups[g];
+                    let mut row = key.clone();
+                    for (func, arg) in &bound_aggs {
+                        row.push(eval_agg(*func, arg.as_ref(), input, indices)?);
+                    }
+                    rows.push(Tuple::new(row));
+                }
+                Ok(rows)
+            });
+        let mut out = Vec::with_capacity(groups.len());
+        for p in partials {
+            out.extend(p?);
+        }
+        return Ok(Relation::new_unchecked(schema, out));
+    }
     let mut out = Vec::with_capacity(groups.len());
     for (key, indices) in groups {
         let mut row = key;
@@ -382,5 +476,28 @@ mod tests {
         assert_eq!(gs[0].0[0], Value::str("Bryant"));
         assert_eq!(gs[0].1, vec![0, 1]);
         assert_eq!(gs[1].1, vec![2, 3]);
+    }
+
+    #[test]
+    fn parallel_group_indices_identical_to_sequential() {
+        // Interleaved keys (incl. NULL) across chunk boundaries.
+        let r = rel(
+            &[("k", DataType::Unknown)],
+            (0..100)
+                .map(|i| {
+                    vec![match i % 7 {
+                        0 => Value::Null,
+                        j => Value::Int(j as i64 % 3),
+                    }]
+                })
+                .collect(),
+        );
+        let exprs = [Expr::col("k")];
+        let seq = group_indices(&r, &exprs).unwrap();
+        for threads in [1, 2, 8] {
+            let pool = maybms_par::ThreadPool::new(threads);
+            let par = group_indices_with(&r, &exprs, &pool, 9).unwrap();
+            assert_eq!(seq, par, "threads = {threads}");
+        }
     }
 }

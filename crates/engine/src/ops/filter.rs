@@ -1,5 +1,7 @@
 //! Selection (σ).
 
+use maybms_par::ThreadPool;
+
 use crate::error::Result;
 use crate::expr::Expr;
 use crate::tuple::Relation;
@@ -9,14 +11,53 @@ use crate::tuple::Relation;
 /// The predicate may be unbound; it is bound against the input schema
 /// here. Runs as a selection vector: surviving row indices are collected
 /// first and the output is gathered once, sharing row storage with the
-/// input.
+/// input. Large inputs evaluate the selection vector chunk-parallel on
+/// the process-wide pool; the output is identical to the sequential scan.
 pub fn filter(input: &Relation, predicate: &Expr) -> Result<Relation> {
+    if input.len() >= super::PAR_MIN_ROWS {
+        let pool = maybms_par::pool();
+        if pool.threads() > 1 {
+            return filter_with(input, predicate, &pool, super::PAR_MIN_CHUNK);
+        }
+    }
     let bound = predicate.bind(input.schema())?;
     let mut sel = Vec::new();
     for (i, t) in input.tuples().iter().enumerate() {
         if bound.eval_predicate(t)? {
             sel.push(i);
         }
+    }
+    Ok(input.gather(&sel))
+}
+
+/// [`filter`] on an explicit pool with an explicit minimum chunk size.
+///
+/// Each chunk of rows evaluates the predicate into a chunk-local
+/// selection vector; chunk vectors are concatenated in chunk order, so
+/// the gathered output equals the sequential scan row-for-row. An
+/// evaluation error in the earliest failing row wins, as it does
+/// sequentially.
+pub fn filter_with(
+    input: &Relation,
+    predicate: &Expr,
+    pool: &ThreadPool,
+    min_chunk: usize,
+) -> Result<Relation> {
+    let bound = predicate.bind(input.schema())?;
+    let chunk = maybms_par::auto_chunk(input.len(), pool.threads(), min_chunk);
+    let partials: Vec<Result<Vec<usize>>> =
+        pool.par_map_chunks(input.len(), chunk, |range| {
+            let mut sel = Vec::new();
+            for i in range {
+                if bound.eval_predicate(&input.tuples()[i])? {
+                    sel.push(i);
+                }
+            }
+            Ok(sel)
+        });
+    let mut sel = Vec::new();
+    for p in partials {
+        sel.extend(p?);
     }
     Ok(input.gather(&sel))
 }

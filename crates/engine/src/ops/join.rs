@@ -1,12 +1,20 @@
 //! Joins: cross product, predicate nested-loop join, and hash equi-join.
+//!
+//! The hash join runs in two batch-granular phases that parallelise on
+//! the `maybms-par` pool for large inputs (see [`hash_join_with`]): the
+//! build table is partitioned by key hash, and the probe side is chunked
+//! by row range. Both phases preserve the sequential output exactly —
+//! same tuples, same order — at any thread count.
 
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
+use maybms_par::ThreadPool;
+
 use crate::error::{EngineError, Result};
 use crate::expr::Expr;
-use crate::hash::{FastHasher, FastMap};
-use crate::tuple::{Relation, TupleBatch};
+use crate::hash::{fast_hash_one, FastHasher, FastMap};
+use crate::tuple::{Relation, Tuple, TupleBatch};
 use crate::types::Value;
 
 /// Hash of a row's key columns, or `None` if any key is NULL (SQL
@@ -22,6 +30,19 @@ pub fn join_key_hash(values: &[Value], keys: &[usize]) -> Option<u64> {
         v.hash(&mut h);
     }
     Some(h.finish())
+}
+
+/// Columnar single-key hash: hash one key `Value` directly, with no
+/// per-row key-slice dispatch. Produces the same hash as
+/// [`join_key_hash`] over a one-element key list, so the two paths can be
+/// mixed freely across the build and probe sides.
+#[inline]
+pub fn single_key_hash(v: &Value) -> Option<u64> {
+    if v.is_null() {
+        None
+    } else {
+        Some(fast_hash_one(v))
+    }
 }
 
 /// Verify hashed candidates: positional key equality between two rows.
@@ -78,18 +99,34 @@ pub fn nested_loop_join(
     Ok(Relation::new_unchecked(schema, batch.finish()))
 }
 
-/// Hash equi-join on positional key columns (`left_keys[i] = right_keys[i]`).
-///
-/// NULL keys never match (SQL equality). Builds on the smaller input. The
-/// build table maps a 64-bit key hash to build-row indices — no per-row
-/// `Vec<Value>` key is ever allocated — and every hash match is verified
-/// by comparing the key columns before a row is emitted.
-pub fn hash_join(
-    left: &Relation,
-    right: &Relation,
-    left_keys: &[usize],
-    right_keys: &[usize],
-) -> Result<Relation> {
+/// Key-hash dispatch shared by build and probe (and by the U-relational
+/// joins in `maybms-urel`): columnar for a single key column, generic
+/// slice walk otherwise.
+#[inline]
+pub fn tuple_key_hash(t: &Tuple, keys: &[usize]) -> Option<u64> {
+    if let [k] = keys {
+        single_key_hash(t.value(*k))
+    } else {
+        join_key_hash(t.values(), keys)
+    }
+}
+
+/// Key-equality dispatch mirroring [`tuple_key_hash`].
+#[inline]
+pub fn tuple_keys_eq(
+    build: &Tuple,
+    build_keys: &[usize],
+    probe: &Tuple,
+    probe_keys: &[usize],
+) -> bool {
+    if let ([bk], [pk]) = (build_keys, probe_keys) {
+        build.value(*bk) == probe.value(*pk)
+    } else {
+        join_keys_eq(build.values(), build_keys, probe.values(), probe_keys)
+    }
+}
+
+fn validate_keys(left: &Relation, right: &Relation, left_keys: &[usize], right_keys: &[usize]) -> Result<()> {
     if left_keys.len() != right_keys.len() {
         return Err(EngineError::InvalidOperator {
             message: format!(
@@ -118,6 +155,31 @@ pub fn hash_join(
             });
         }
     }
+    Ok(())
+}
+
+/// Hash equi-join on positional key columns (`left_keys[i] = right_keys[i]`).
+///
+/// NULL keys never match (SQL equality). Builds on the smaller input. The
+/// build table maps a 64-bit key hash to build-row indices — no per-row
+/// `Vec<Value>` key is ever allocated — and every hash match is verified
+/// by comparing the key columns before a row is emitted. Single-column
+/// keys hash columnar, straight from the key `Value`. Large inputs
+/// dispatch to the chunk-parallel path ([`hash_join_with`]) on the
+/// process-wide pool; output is identical either way.
+pub fn hash_join(
+    left: &Relation,
+    right: &Relation,
+    left_keys: &[usize],
+    right_keys: &[usize],
+) -> Result<Relation> {
+    if left.len() + right.len() >= super::PAR_MIN_ROWS {
+        let pool = maybms_par::pool();
+        if pool.threads() > 1 {
+            return hash_join_with(left, right, left_keys, right_keys, &pool, super::PAR_MIN_CHUNK);
+        }
+    }
+    validate_keys(left, right, left_keys, right_keys)?;
     let schema = Arc::new(left.schema().join(right.schema()));
 
     // Build side: the smaller relation.
@@ -130,18 +192,18 @@ pub fn hash_join(
     let mut table: FastMap<u64, Vec<usize>> =
         FastMap::with_capacity_and_hasher(build.len(), Default::default());
     for (i, t) in build.tuples().iter().enumerate() {
-        if let Some(h) = join_key_hash(t.values(), build_keys) {
+        if let Some(h) = tuple_key_hash(t, build_keys) {
             table.entry(h).or_default().push(i);
         }
     }
 
     let mut batch = TupleBatch::new();
     for p in probe.tuples() {
-        let Some(h) = join_key_hash(p.values(), probe_keys) else { continue };
+        let Some(h) = tuple_key_hash(p, probe_keys) else { continue };
         let Some(candidates) = table.get(&h) else { continue };
         for &bi in candidates {
             let b = &build.tuples()[bi];
-            if !join_keys_eq(b.values(), build_keys, p.values(), probe_keys) {
+            if !tuple_keys_eq(b, build_keys, p, probe_keys) {
                 continue; // hash collision
             }
             if build_is_left {
@@ -152,6 +214,100 @@ pub fn hash_join(
         }
     }
     Ok(Relation::new_unchecked(schema, batch.finish()))
+}
+
+/// [`hash_join`] on an explicit pool: hash-partitioned parallel build,
+/// chunked parallel probe.
+///
+/// * **Build**: build-row key hashes are computed chunk-parallel, then
+///   each of `threads` partitions owns the hashes with `h mod P == p` and
+///   inserts its rows in ascending row order — the same candidate order
+///   the sequential single-table build produces.
+/// * **Probe**: probe rows are chunked by range; each chunk emits its
+///   matches into a chunk-local [`TupleBatch`] and the chunk outputs are
+///   concatenated in chunk order — the sequential probe order.
+///
+/// The output relation is therefore tuple-for-tuple identical to the
+/// sequential join at any thread count and any chunk size.
+pub fn hash_join_with(
+    left: &Relation,
+    right: &Relation,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    pool: &ThreadPool,
+    min_chunk: usize,
+) -> Result<Relation> {
+    validate_keys(left, right, left_keys, right_keys)?;
+    let schema = Arc::new(left.schema().join(right.schema()));
+    let (build, probe, build_keys, probe_keys, build_is_left) = if left.len() <= right.len() {
+        (left, right, left_keys, right_keys, true)
+    } else {
+        (right, left, right_keys, left_keys, false)
+    };
+
+    // Phase 1: partitioned build — partition p owns hashes ≡ p (mod P).
+    // The chunked hash pass pre-buckets (hash, row) pairs by partition,
+    // so each partition task touches only its own pairs (total build
+    // work stays O(rows), not O(threads · rows)). Chunks are visited in
+    // chunk (= row) order and rows within a chunk are ascending, so each
+    // bucket's candidate list reproduces the sequential insertion order.
+    let parts = if pool.threads() > 1 && build.len() >= min_chunk {
+        pool.threads()
+    } else {
+        1
+    };
+    let chunk = maybms_par::auto_chunk(build.len(), pool.threads(), min_chunk);
+    let bucketed: Vec<Vec<Vec<(u64, u32)>>> =
+        pool.par_map_chunks(build.len(), chunk, |range| {
+            let mut buckets: Vec<Vec<(u64, u32)>> = vec![Vec::new(); parts];
+            for i in range {
+                if let Some(h) = tuple_key_hash(&build.tuples()[i], build_keys) {
+                    buckets[(h as usize) % parts].push((h, i as u32));
+                }
+            }
+            buckets
+        });
+    let tables: Vec<FastMap<u64, Vec<usize>>> =
+        pool.par_map((0..parts).collect::<Vec<_>>(), |p| {
+            let mut table: FastMap<u64, Vec<usize>> = FastMap::with_capacity_and_hasher(
+                build.len() / parts + 1,
+                Default::default(),
+            );
+            for chunk_buckets in &bucketed {
+                for &(h, i) in &chunk_buckets[p] {
+                    table.entry(h).or_default().push(i as usize);
+                }
+            }
+            table
+        });
+
+    // Phase 2: chunked probe.
+    let chunk = maybms_par::auto_chunk(probe.len(), pool.threads(), min_chunk);
+    let outputs: Vec<Vec<Tuple>> = pool.par_map_chunks(probe.len(), chunk, |range| {
+        let mut batch = TupleBatch::new();
+        for pi in range {
+            let p = &probe.tuples()[pi];
+            let Some(h) = tuple_key_hash(p, probe_keys) else { continue };
+            let Some(candidates) = tables[(h as usize) % parts].get(&h) else { continue };
+            for &bi in candidates {
+                let b = &build.tuples()[bi];
+                if !tuple_keys_eq(b, build_keys, p, probe_keys) {
+                    continue; // hash collision
+                }
+                if build_is_left {
+                    batch.push_concat(b, p);
+                } else {
+                    batch.push_concat(p, b);
+                }
+            }
+        }
+        batch.finish()
+    });
+    let mut tuples = Vec::with_capacity(outputs.iter().map(Vec::len).sum());
+    for o in outputs {
+        tuples.extend(o);
+    }
+    Ok(Relation::new_unchecked(schema, tuples))
 }
 
 #[cfg(test)]
@@ -253,5 +409,41 @@ mod tests {
         let out = nested_loop_join(&l, &r, Some(&pred)).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out.tuples()[0].value(0), &Value::Int(1));
+    }
+
+    #[test]
+    fn single_key_hash_agrees_with_slice_hash() {
+        for v in [Value::Int(7), Value::Float(7.0), Value::str("x"), Value::Bool(true)] {
+            assert_eq!(single_key_hash(&v), join_key_hash(std::slice::from_ref(&v), &[0]));
+        }
+        assert_eq!(single_key_hash(&Value::Null), None);
+    }
+
+    #[test]
+    fn parallel_join_identical_to_sequential() {
+        // Keys with duplicates, NULLs, and cross-type (1 == 1.0) matches.
+        let mk = |n: usize, stride: i64| -> Relation {
+            rel(
+                &[("k", DataType::Unknown), ("v", DataType::Int)],
+                (0..n)
+                    .map(|i| {
+                        let k = match i % 5 {
+                            0 => Value::Null,
+                            1 => Value::Float((i as i64 % stride) as f64),
+                            _ => Value::Int(i as i64 % stride),
+                        };
+                        vec![k, Value::Int(i as i64)]
+                    })
+                    .collect(),
+            )
+        };
+        let l = mk(97, 7);
+        let r = mk(131, 7);
+        let seq = hash_join(&l, &r, &[0], &[0]).unwrap();
+        for threads in [1, 2, 8] {
+            let pool = ThreadPool::new(threads);
+            let par = hash_join_with(&l, &r, &[0], &[0], &pool, 8).unwrap();
+            assert_eq!(seq.tuples(), par.tuples(), "threads = {threads}");
+        }
     }
 }

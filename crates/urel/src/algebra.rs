@@ -18,23 +18,62 @@
 use std::sync::Arc;
 
 use maybms_engine::hash::FastMap;
-use maybms_engine::ops::{join_key_hash, join_keys_eq, ProjectItem};
+use maybms_engine::ops::{
+    tuple_key_hash, tuple_keys_eq, ProjectItem, PAR_MIN_CHUNK, PAR_MIN_ROWS,
+};
 use maybms_engine::tuple::TupleBatch;
 use maybms_engine::{EngineError, Expr};
+use maybms_par::ThreadPool;
 
 use crate::error::Result;
-use crate::urelation::{zip_batch, URelation};
+use crate::urelation::{zip_batch, URelation, UTuple};
+use crate::wsd::Wsd;
 
 /// σ: keep tuples whose *data* satisfies the predicate. Runs as a
 /// selection vector — WSDs and row data are shared with the input, not
-/// copied.
+/// copied. Large inputs evaluate the selection vector chunk-parallel;
+/// output is identical to the sequential scan.
 pub fn select(input: &URelation, predicate: &Expr) -> Result<URelation> {
+    if input.len() >= PAR_MIN_ROWS {
+        let pool = maybms_par::pool();
+        if pool.threads() > 1 {
+            return select_with(input, predicate, &pool, PAR_MIN_CHUNK);
+        }
+    }
     let bound = predicate.bind(input.schema())?;
     let mut sel = Vec::new();
     for (i, t) in input.tuples().iter().enumerate() {
         if bound.eval_predicate(&t.data)? {
             sel.push(i);
         }
+    }
+    Ok(input.gather(&sel))
+}
+
+/// [`select`] on an explicit pool: chunk-local selection vectors are
+/// concatenated in chunk order, so the gathered output equals the
+/// sequential scan row-for-row at any thread count.
+pub fn select_with(
+    input: &URelation,
+    predicate: &Expr,
+    pool: &ThreadPool,
+    min_chunk: usize,
+) -> Result<URelation> {
+    let bound = predicate.bind(input.schema())?;
+    let chunk = maybms_par::auto_chunk(input.len(), pool.threads(), min_chunk);
+    let partials: Vec<Result<Vec<usize>>> =
+        pool.par_map_chunks(input.len(), chunk, |range| {
+            let mut sel = Vec::new();
+            for i in range {
+                if bound.eval_predicate(&input.tuples()[i].data)? {
+                    sel.push(i);
+                }
+            }
+            Ok(sel)
+        });
+    let mut sel = Vec::new();
+    for p in partials {
+        sel.extend(p?);
     }
     Ok(input.gather(&sel))
 }
@@ -102,13 +141,21 @@ pub fn nested_loop_join(
 ///
 /// The build table maps a 64-bit key hash to build-row indices (no
 /// per-row `Vec<Value>` key allocation); hash matches are verified by
-/// comparing the key columns before the WSDs are conjoined.
+/// comparing the key columns before the WSDs are conjoined. Single-column
+/// keys hash columnar. Large inputs dispatch to the chunk-parallel path
+/// ([`hash_join_with`]); output is identical either way.
 pub fn hash_join(
     left: &URelation,
     right: &URelation,
     left_keys: &[usize],
     right_keys: &[usize],
 ) -> Result<URelation> {
+    if left.len() + right.len() >= PAR_MIN_ROWS {
+        let pool = maybms_par::pool();
+        if pool.threads() > 1 {
+            return hash_join_with(left, right, left_keys, right_keys, &pool, PAR_MIN_CHUNK);
+        }
+    }
     if left_keys.len() != right_keys.len() || left_keys.is_empty() {
         return Err(EngineError::InvalidOperator {
             message: "hash join requires matching, non-empty key lists".into(),
@@ -119,18 +166,18 @@ pub fn hash_join(
     let mut table: FastMap<u64, Vec<usize>> =
         FastMap::with_capacity_and_hasher(left.len(), Default::default());
     for (i, t) in left.tuples().iter().enumerate() {
-        if let Some(h) = join_key_hash(t.data.values(), left_keys) {
+        if let Some(h) = tuple_key_hash(&t.data, left_keys) {
             table.entry(h).or_default().push(i);
         }
     }
     let mut batch = TupleBatch::new();
     let mut wsds = Vec::new();
     for r in right.tuples() {
-        let Some(h) = join_key_hash(r.data.values(), right_keys) else { continue };
+        let Some(h) = tuple_key_hash(&r.data, right_keys) else { continue };
         let Some(candidates) = table.get(&h) else { continue };
         for &li in candidates {
             let l = &left.tuples()[li];
-            if !join_keys_eq(l.data.values(), left_keys, r.data.values(), right_keys) {
+            if !tuple_keys_eq(&l.data, left_keys, &r.data, right_keys) {
                 continue; // hash collision
             }
             if let Some(wsd) = l.wsd.conjoin(&r.wsd) {
@@ -140,6 +187,95 @@ pub fn hash_join(
         }
     }
     Ok(URelation::new(schema, zip_batch(batch, wsds)))
+}
+
+/// [`hash_join`] on an explicit pool: hash-partitioned parallel build
+/// over the left side, chunked parallel probe over the right, exactly
+/// mirroring the engine's `hash_join_with` but conjoining WSDs (and
+/// dropping unsatisfiable pairs) per emitted row.
+///
+/// Determinism: partition tables insert build rows in ascending index
+/// order (the sequential candidate order) and probe chunk outputs are
+/// concatenated in chunk order, so the output U-relation — tuples, WSDs,
+/// and order — is identical to the sequential join at any thread count.
+pub fn hash_join_with(
+    left: &URelation,
+    right: &URelation,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    pool: &ThreadPool,
+    min_chunk: usize,
+) -> Result<URelation> {
+    if left_keys.len() != right_keys.len() || left_keys.is_empty() {
+        return Err(EngineError::InvalidOperator {
+            message: "hash join requires matching, non-empty key lists".into(),
+        }
+        .into());
+    }
+    let schema = Arc::new(left.schema().join(right.schema()));
+
+    // Partitioned build: partition p owns hashes ≡ p (mod P). The
+    // chunked hash pass pre-buckets (hash, row) pairs by partition, so
+    // each partition task touches only its own pairs (O(rows) total
+    // build work); chunk order = row order keeps every bucket's
+    // candidate list in the sequential insertion order.
+    let parts = if pool.threads() > 1 && left.len() >= min_chunk {
+        pool.threads()
+    } else {
+        1
+    };
+    let chunk = maybms_par::auto_chunk(left.len(), pool.threads(), min_chunk);
+    let bucketed: Vec<Vec<Vec<(u64, u32)>>> =
+        pool.par_map_chunks(left.len(), chunk, |range| {
+            let mut buckets: Vec<Vec<(u64, u32)>> = vec![Vec::new(); parts];
+            for i in range {
+                if let Some(h) = tuple_key_hash(&left.tuples()[i].data, left_keys) {
+                    buckets[(h as usize) % parts].push((h, i as u32));
+                }
+            }
+            buckets
+        });
+    let tables: Vec<FastMap<u64, Vec<usize>>> =
+        pool.par_map((0..parts).collect::<Vec<_>>(), |p| {
+            let mut table: FastMap<u64, Vec<usize>> = FastMap::with_capacity_and_hasher(
+                left.len() / parts + 1,
+                Default::default(),
+            );
+            for chunk_buckets in &bucketed {
+                for &(h, i) in &chunk_buckets[p] {
+                    table.entry(h).or_default().push(i as usize);
+                }
+            }
+            table
+        });
+
+    // Chunked probe with WSD conjunction.
+    let chunk = maybms_par::auto_chunk(right.len(), pool.threads(), min_chunk);
+    let outputs: Vec<Vec<UTuple>> = pool.par_map_chunks(right.len(), chunk, |range| {
+        let mut batch = TupleBatch::new();
+        let mut wsds: Vec<Wsd> = Vec::new();
+        for ri in range {
+            let r = &right.tuples()[ri];
+            let Some(h) = tuple_key_hash(&r.data, right_keys) else { continue };
+            let Some(candidates) = tables[(h as usize) % parts].get(&h) else { continue };
+            for &li in candidates {
+                let l = &left.tuples()[li];
+                if !tuple_keys_eq(&l.data, left_keys, &r.data, right_keys) {
+                    continue; // hash collision
+                }
+                if let Some(wsd) = l.wsd.conjoin(&r.wsd) {
+                    batch.push_concat(&l.data, &r.data);
+                    wsds.push(wsd);
+                }
+            }
+        }
+        zip_batch(batch, wsds)
+    });
+    let mut tuples = Vec::with_capacity(outputs.iter().map(Vec::len).sum());
+    for o in outputs {
+        tuples.extend(o);
+    }
+    Ok(URelation::new(schema, tuples))
 }
 
 /// ∪: multiset union (§2.2 — `union` over uncertain relations is the
@@ -256,6 +392,27 @@ mod tests {
         a.sort_by(|x, y| x.partial_cmp(y).unwrap());
         b.sort_by(|x, y| x.partial_cmp(y).unwrap());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_join_and_select_identical_to_sequential() {
+        let (_, u) = setup();
+        // Grow the input so chunking actually splits it (conflicting WSDs
+        // included via self-join).
+        let mut big = u.clone();
+        for _ in 0..4 {
+            big = union_all(&[&big, &u]).unwrap();
+        }
+        let pred = Expr::col("state").eq(Expr::lit("F"));
+        let seq_sel = select(&big, &pred).unwrap();
+        let seq_join = hash_join(&big, &big, &[0], &[0]).unwrap();
+        for threads in [1, 2, 8] {
+            let pool = maybms_par::ThreadPool::new(threads);
+            let par_sel = select_with(&big, &pred, &pool, 3).unwrap();
+            assert_eq!(seq_sel.tuples(), par_sel.tuples(), "select, threads = {threads}");
+            let par_join = hash_join_with(&big, &big, &[0], &[0], &pool, 3).unwrap();
+            assert_eq!(seq_join.tuples(), par_join.tuples(), "join, threads = {threads}");
+        }
     }
 
     #[test]

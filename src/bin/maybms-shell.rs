@@ -13,8 +13,12 @@
 //! ```
 //!
 //! Meta commands: `\q` quit, `\d [table]` list/describe tables, `\w` world
-//! table summary, `\timing` toggle timing, `\i FILE` run a SQL script,
-//! `\help`.
+//! table summary, `\threads [N]` show/resize the execution pool,
+//! `\timing` toggle timing (on by default, so parallel speedups are
+//! visible per statement), `\i FILE` run a SQL script, `\help`.
+//!
+//! The execution pool honours `MAYBMS_THREADS` at startup (unset or `0`
+//! → all cores) and can be resized at runtime with `\threads N`.
 
 use std::io::{BufRead, Write};
 use std::time::Instant;
@@ -23,7 +27,7 @@ use maybms::{MayBms, QueryOutput, StatementResult};
 
 fn main() {
     let mut db = MayBms::new();
-    let mut timing = false;
+    let mut timing = true;
     let stdin = std::io::stdin();
     let mut buffer = String::new();
     print_banner();
@@ -53,6 +57,10 @@ fn main() {
 
 fn print_banner() {
     println!("MayBMS shell — probabilistic database management system (SIGMOD 2009 reproduction)");
+    println!(
+        "Execution pool: {} thread(s) (MAYBMS_THREADS or \\threads N to change)",
+        maybms_par::current_threads()
+    );
     println!("Type SQL terminated by `;`, or \\help for meta commands.\n");
 }
 
@@ -130,7 +138,8 @@ fn handle_meta(cmd: &str, db: &mut MayBms, timing: &mut bool) -> bool {
         "\\help" | "\\?" => {
             println!("\\d [table]   list tables / describe one");
             println!("\\w           world-table summary (variables, worlds)");
-            println!("\\timing      toggle per-statement timing");
+            println!("\\threads [N] show or set the execution pool size");
+            println!("\\timing      toggle per-statement timing (default on)");
             println!("\\i FILE      execute a SQL script");
             println!("\\q           quit");
         }
@@ -177,6 +186,16 @@ fn handle_meta(cmd: &str, db: &mut MayBms, timing: &mut bool) -> bool {
             *timing = !*timing;
             println!("Timing is {}.", if *timing { "on" } else { "off" });
         }
+        "\\threads" => match arg {
+            None => println!("Execution pool: {} thread(s)", maybms_par::current_threads()),
+            Some(n) => match n.parse::<usize>() {
+                Ok(n) if n > 0 => {
+                    let pool = maybms_par::set_threads(n);
+                    println!("Execution pool resized to {} thread(s)", pool.threads());
+                }
+                _ => println!("usage: \\threads N   (N ≥ 1)"),
+            },
+        },
         "\\i" => match arg {
             None => println!("usage: \\i FILE"),
             Some(path) => match std::fs::read_to_string(path) {
@@ -242,6 +261,21 @@ mod tests {
         assert!(timing);
         assert!(handle_meta("\\nonsense", &mut db, &mut timing));
         assert!(!handle_meta("\\q", &mut db, &mut timing));
+    }
+
+    #[test]
+    fn threads_meta_command_resizes_pool() {
+        let mut db = MayBms::new();
+        let mut timing = false;
+        let before = maybms_par::current_threads();
+        assert!(handle_meta("\\threads", &mut db, &mut timing));
+        assert!(handle_meta("\\threads 2", &mut db, &mut timing));
+        assert_eq!(maybms_par::current_threads(), 2);
+        // Invalid arguments are reported, not applied.
+        assert!(handle_meta("\\threads 0", &mut db, &mut timing));
+        assert!(handle_meta("\\threads potato", &mut db, &mut timing));
+        assert_eq!(maybms_par::current_threads(), 2);
+        maybms_par::set_threads(before);
     }
 
     #[test]
