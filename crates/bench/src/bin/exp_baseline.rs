@@ -18,6 +18,12 @@
 //! cores the machine actually has: on a single-core container the par
 //! numbers bound scheduling overhead rather than demonstrating multicore
 //! scaling, while the columnar-key and zero-clone gains still apply.
+//!
+//! The `filter_project_chain` and `join_pipelined` workloads are
+//! **three-way**: seed-naive vs materialising optimized operators vs the
+//! `maybms-pipe` morsel-driven streaming executor; their JSON rows carry
+//! an extra `pipelined_ms` plus `pipelined_speedup` (materialized ÷
+//! pipelined — the fusion win, net of everything else).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -25,7 +31,7 @@ use std::time::Instant;
 use maybms_bench::{naive, workloads};
 use maybms_conf::exact::{self, ExactOptions};
 use maybms_conf::karp_luby::KarpLuby;
-use maybms_engine::{ops, BinaryOp, Expr};
+use maybms_engine::{ops, BinaryOp, Catalog, Expr, PhysicalPlan};
 use maybms_urel::pick::PickTuplesOptions;
 use maybms_urel::repair::RepairKeyOptions;
 use maybms_urel::{algebra, WorldTable};
@@ -38,6 +44,8 @@ struct Outcome {
     rows_out: usize,
     naive_ms: f64,
     optimized_ms: f64,
+    /// Set only for the three-way streaming workloads.
+    pipelined_ms: Option<f64>,
 }
 
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -64,6 +72,38 @@ where
         assert_eq!(rows_out, o_rows, "naive and optimized disagree on cardinality");
     }
     (median(n_samples), median(o_samples), rows_out)
+}
+
+/// Three-way interleaved comparison: naive, materialized, pipelined.
+fn compare3<N, O, P>(
+    reps: usize,
+    mut naive_run: N,
+    mut opt_run: O,
+    mut pipe_run: P,
+) -> (f64, f64, f64, usize)
+where
+    N: FnMut() -> usize,
+    O: FnMut() -> usize,
+    P: FnMut() -> usize,
+{
+    let mut n_samples = Vec::with_capacity(reps);
+    let mut o_samples = Vec::with_capacity(reps);
+    let mut p_samples = Vec::with_capacity(reps);
+    let mut rows_out = 0;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        rows_out = std::hint::black_box(naive_run());
+        n_samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        let o_rows = std::hint::black_box(opt_run());
+        o_samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        let p_rows = std::hint::black_box(pipe_run());
+        p_samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(rows_out, o_rows, "naive and materialized disagree on cardinality");
+        assert_eq!(rows_out, p_rows, "materialized and pipelined disagree on cardinality");
+    }
+    (median(n_samples), median(o_samples), median(p_samples), rows_out)
 }
 
 fn main() {
@@ -93,6 +133,7 @@ fn main() {
         rows_out: out,
         naive_ms: n,
         optimized_ms: o,
+        pipelined_ms: None,
     });
 
     // -- σ over the U-relational twin (WSDs ride along) ----------------
@@ -107,6 +148,7 @@ fn main() {
         rows_out: out,
         naive_ms: n,
         optimized_ms: o,
+        pipelined_ms: None,
     });
 
     // -- E5 wide self-join: output ≈ 5× input, copy-bound --------------
@@ -114,10 +156,12 @@ fn main() {
     let (cw, _wtw, uw) = workloads::overhead_pair(22, wide_rows, (wide_rows / 10) as i64);
     let cwf = ops::filter(&cw, &pred).unwrap();
     let uwf = algebra::select(&uw, &pred).unwrap();
+    // (Joins put the smaller input on the right: the stack's hash joins
+    // build the right side by convention.)
     let (n, o, out) = compare(
         reps,
-        || naive::hash_join(&cwf, &cw, &[0], &[0]).unwrap().len(),
-        || ops::hash_join(&cwf, &cw, &[0], &[0]).unwrap().len(),
+        || naive::hash_join(&cw, &cwf, &[0], &[0]).unwrap().len(),
+        || ops::hash_join(&cw, &cwf, &[0], &[0]).unwrap().len(),
     );
     outcomes.push(Outcome {
         name: "join_wide_certain",
@@ -125,11 +169,15 @@ fn main() {
         rows_out: out,
         naive_ms: n,
         optimized_ms: o,
+        pipelined_ms: None,
     });
+    // naive::hash_join_u always builds its LEFT argument, the optimized
+    // join its RIGHT; each gets the small (filtered) side as its build
+    // side so the baseline stays the seed algorithm at its best.
     let (n, o, out) = compare(
         reps,
         || naive::hash_join_u(&uwf, &uw, &[0], &[0]).unwrap().len(),
-        || algebra::hash_join(&uwf, &uw, &[0], &[0]).unwrap().len(),
+        || algebra::hash_join(&uw, &uwf, &[0], &[0]).unwrap().len(),
     );
     outcomes.push(Outcome {
         name: "join_wide_urel",
@@ -137,6 +185,7 @@ fn main() {
         rows_out: out,
         naive_ms: n,
         optimized_ms: o,
+        pipelined_ms: None,
     });
 
     // -- Selective FK join: huge probe side, small output — the
@@ -145,8 +194,8 @@ fn main() {
     let (small, _w3, usmall) = workloads::overhead_pair(34, scale / 50, 1_000_000);
     let (n, o, out) = compare(
         reps,
-        || naive::hash_join(&small, &big, &[0], &[0]).unwrap().len(),
-        || ops::hash_join(&small, &big, &[0], &[0]).unwrap().len(),
+        || naive::hash_join(&big, &small, &[0], &[0]).unwrap().len(),
+        || ops::hash_join(&big, &small, &[0], &[0]).unwrap().len(),
     );
     outcomes.push(Outcome {
         name: "join_selective_certain",
@@ -154,11 +203,14 @@ fn main() {
         rows_out: out,
         naive_ms: n,
         optimized_ms: o,
+        pipelined_ms: None,
     });
+    // As above: small build side for both (naive builds left, optimized
+    // builds right).
     let (n, o, out) = compare(
         reps,
         || naive::hash_join_u(&usmall, &ubig, &[0], &[0]).unwrap().len(),
-        || algebra::hash_join(&usmall, &ubig, &[0], &[0]).unwrap().len(),
+        || algebra::hash_join(&ubig, &usmall, &[0], &[0]).unwrap().len(),
     );
     outcomes.push(Outcome {
         name: "join_selective_urel",
@@ -166,6 +218,7 @@ fn main() {
         rows_out: out,
         naive_ms: n,
         optimized_ms: o,
+        pipelined_ms: None,
     });
 
     // -- Duplicate elimination under heavy duplication -----------------
@@ -188,6 +241,7 @@ fn main() {
         rows_out: out,
         naive_ms: n,
         optimized_ms: o,
+        pipelined_ms: None,
     });
 
     // -- ORDER BY (selection-vector sort vs clone-per-row) -------------
@@ -203,6 +257,7 @@ fn main() {
         rows_out: out,
         naive_ms: n,
         optimized_ms: o,
+        pipelined_ms: None,
     });
 
     // -- repair key: hypothesis-space construction ---------------------
@@ -234,6 +289,7 @@ fn main() {
         rows_out: out,
         naive_ms: n,
         optimized_ms: o,
+        pipelined_ms: None,
     });
 
     // -- pick tuples ---------------------------------------------------
@@ -259,6 +315,7 @@ fn main() {
         rows_out: out,
         naive_ms: n,
         optimized_ms: o,
+        pipelined_ms: None,
     });
 
     // -- Parallel variants on an explicit 4-thread pool ----------------
@@ -268,8 +325,8 @@ fn main() {
     // probe + columnar single-column keys vs the naive join.
     let (n, o, out) = compare(
         reps,
-        || naive::hash_join(&small, &big, &[0], &[0]).unwrap().len(),
-        || ops::hash_join_with(&small, &big, &[0], &[0], &pool4, 4096).unwrap().len(),
+        || naive::hash_join(&big, &small, &[0], &[0]).unwrap().len(),
+        || ops::hash_join_with(&big, &small, &[0], &[0], &pool4, 4096).unwrap().len(),
     );
     outcomes.push(Outcome {
         name: "join_selective_par4",
@@ -277,13 +334,14 @@ fn main() {
         rows_out: out,
         naive_ms: n,
         optimized_ms: o,
+        pipelined_ms: None,
     });
 
     // Wide (output-copy-bound) join, parallel vs naive.
     let (n, o, out) = compare(
         reps,
-        || naive::hash_join(&cwf, &cw, &[0], &[0]).unwrap().len(),
-        || ops::hash_join_with(&cwf, &cw, &[0], &[0], &pool4, 4096).unwrap().len(),
+        || naive::hash_join(&cw, &cwf, &[0], &[0]).unwrap().len(),
+        || ops::hash_join_with(&cw, &cwf, &[0], &[0], &pool4, 4096).unwrap().len(),
     );
     outcomes.push(Outcome {
         name: "join_wide_par4",
@@ -291,6 +349,7 @@ fn main() {
         rows_out: out,
         naive_ms: n,
         optimized_ms: o,
+        pipelined_ms: None,
     });
 
     // Exact confidence over a block DNF (many independent components):
@@ -316,6 +375,7 @@ fn main() {
         rows_out: out,
         naive_ms: n,
         optimized_ms: o,
+        pipelined_ms: None,
     });
 
     // Karp–Luby sampling at a fixed sample count: the sequential
@@ -344,12 +404,110 @@ fn main() {
         rows_out: out,
         naive_ms: n,
         optimized_ms: o,
+        pipelined_ms: None,
+    });
+
+    // -- Streaming (maybms-pipe) three-way workloads -------------------
+    // A σ→π→σ→π chain: the materialising path builds three intermediate
+    // relations; the pipelined path fuses all four stages into one
+    // morsel-driven pass.
+    let mut chain_catalog = Catalog::new();
+    chain_catalog.create("wide", certain.clone()).expect("fresh catalog");
+    let pred1 = Expr::col("v").binary(BinaryOp::Lt, Expr::lit(500i64));
+    let proj1 = [
+        ops::ProjectItem::col("k"),
+        ops::ProjectItem::new(
+            Expr::col("v").binary(BinaryOp::Add, Expr::col("k")),
+            "t",
+        ),
+    ];
+    let pred2 = Expr::col("t").binary(BinaryOp::Mod, Expr::lit(2i64)).eq(Expr::lit(0i64));
+    let proj2 = [
+        ops::ProjectItem::new(
+            Expr::col("t").binary(BinaryOp::Mul, Expr::lit(3i64)),
+            "t3",
+        ),
+        ops::ProjectItem::col("k"),
+    ];
+    let chain_plan = PhysicalPlan::Project {
+        input: Box::new(PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::Project {
+                input: Box::new(PhysicalPlan::Filter {
+                    input: Box::new(PhysicalPlan::Scan { table: "wide".into(), alias: None }),
+                    predicate: pred1.clone(),
+                }),
+                items: proj1.to_vec(),
+            }),
+            predicate: pred2.clone(),
+        }),
+        items: proj2.to_vec(),
+    };
+    let (n, o, p, out) = compare3(
+        reps,
+        || {
+            let a = naive::filter(&certain, &pred1).unwrap();
+            let b = naive::project(&a, &proj1).unwrap();
+            let c = naive::filter(&b, &pred2).unwrap();
+            naive::project(&c, &proj2).unwrap().len()
+        },
+        || chain_plan.execute(&chain_catalog).unwrap().len(),
+        || maybms_pipe::execute(&chain_plan, &chain_catalog).unwrap().len(),
+    );
+    outcomes.push(Outcome {
+        name: "filter_project_chain",
+        rows_in: certain.len(),
+        rows_out: out,
+        naive_ms: n,
+        optimized_ms: o,
+        pipelined_ms: Some(p),
+    });
+
+    // A selective σ → hash-probe → π pipeline: the filtered probe stream
+    // flows straight into the join probe and output projection without
+    // materialising the filtered input or the raw join output.
+    let mut join_catalog = Catalog::new();
+    join_catalog.create("big", big.clone()).expect("fresh catalog");
+    join_catalog.create("small", small.clone()).expect("fresh catalog");
+    let join_pred = Expr::col("v").binary(BinaryOp::Lt, Expr::lit(500i64));
+    let join_proj = [
+        ops::ProjectItem::new(Expr::ColumnIdx(0), "k"),
+        ops::ProjectItem::new(Expr::ColumnIdx(4), "v2"),
+    ];
+    let join_plan = PhysicalPlan::Project {
+        input: Box::new(PhysicalPlan::HashJoin {
+            left: Box::new(PhysicalPlan::Filter {
+                input: Box::new(PhysicalPlan::Scan { table: "big".into(), alias: None }),
+                predicate: join_pred.clone(),
+            }),
+            right: Box::new(PhysicalPlan::Scan { table: "small".into(), alias: None }),
+            left_keys: vec![0],
+            right_keys: vec![0],
+        }),
+        items: join_proj.to_vec(),
+    };
+    let (n, o, p, out) = compare3(
+        reps,
+        || {
+            let f = naive::filter(&big, &join_pred).unwrap();
+            let j = naive::hash_join(&f, &small, &[0], &[0]).unwrap();
+            naive::project(&j, &join_proj).unwrap().len()
+        },
+        || join_plan.execute(&join_catalog).unwrap().len(),
+        || maybms_pipe::execute(&join_plan, &join_catalog).unwrap().len(),
+    );
+    outcomes.push(Outcome {
+        name: "join_pipelined",
+        rows_in: big.len(),
+        rows_out: out,
+        naive_ms: n,
+        optimized_ms: o,
+        pipelined_ms: Some(p),
     });
 
     // -- Report --------------------------------------------------------
     println!(
-        "{:<24} {:>10} {:>10} {:>12} {:>12} {:>9}",
-        "workload", "rows_in", "rows_out", "naive ms", "opt ms", "speedup"
+        "{:<24} {:>10} {:>10} {:>12} {:>12} {:>12} {:>9}",
+        "workload", "rows_in", "rows_out", "naive ms", "opt ms", "pipe ms", "speedup"
     );
     let mut json = String::new();
     json.push_str("{\n");
@@ -364,22 +522,38 @@ fn main() {
          the optimized operators on an explicit 4-thread maybms-par pool \
          (conf_dtree_par4 and karp_luby_par4 baselines are the *sequential \
          optimized* algorithms, isolating the scheduler; with cores=1 the par \
-         columns bound threading overhead, not multicore scaling); interleaved \
-         medians, same process\" }},"
+         columns bound threading overhead, not multicore scaling); workloads \
+         with pipelined_ms additionally run the maybms-pipe morsel-driven \
+         streaming executor over the same plan (pipelined_speedup = \
+         optimized_ms / pipelined_ms, the fusion win over full \
+         materialisation); interleaved medians, same process\" }},"
     );
     json.push_str("  \"workloads\": [\n");
     for (i, w) in outcomes.iter().enumerate() {
         let speedup = w.naive_ms / w.optimized_ms;
+        let pipe_col = match w.pipelined_ms {
+            Some(p) => format!("{p:>12.3}"),
+            None => format!("{:>12}", "-"),
+        };
         println!(
-            "{:<24} {:>10} {:>10} {:>12.3} {:>12.3} {:>8.2}x",
-            w.name, w.rows_in, w.rows_out, w.naive_ms, w.optimized_ms, speedup
+            "{:<24} {:>10} {:>10} {:>12.3} {:>12.3} {} {:>8.2}x",
+            w.name, w.rows_in, w.rows_out, w.naive_ms, w.optimized_ms, pipe_col, speedup
         );
         let _ = write!(
             json,
             "    {{ \"name\": \"{}\", \"rows_in\": {}, \"rows_out\": {}, \
-             \"naive_ms\": {:.3}, \"optimized_ms\": {:.3}, \"speedup\": {:.2} }}",
+             \"naive_ms\": {:.3}, \"optimized_ms\": {:.3}, \"speedup\": {:.2}",
             w.name, w.rows_in, w.rows_out, w.naive_ms, w.optimized_ms, speedup
         );
+        if let Some(p) = w.pipelined_ms {
+            let _ = write!(
+                json,
+                ", \"pipelined_ms\": {:.3}, \"pipelined_speedup\": {:.2}",
+                p,
+                w.optimized_ms / p
+            );
+        }
+        json.push_str(" }");
         json.push_str(if i + 1 < outcomes.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");

@@ -46,6 +46,36 @@ pub fn filter(input: &Relation, predicate: &Expr) -> Result<Relation, EngineErro
     Ok(Relation::new_unchecked(input.schema().clone(), out))
 }
 
+/// Seed π: evaluate the items per row into a fresh per-row allocation
+/// (one `Vec` + one buffer per output row — the seed's cost model,
+/// bypassing today's batched shared buffers).
+pub fn project(
+    input: &Relation,
+    items: &[ops::ProjectItem],
+) -> Result<Relation, EngineError> {
+    let in_schema = input.schema();
+    let bound: Vec<(Expr, maybms_engine::Field)> = items
+        .iter()
+        .map(|item| {
+            let e = item.expr.bind(in_schema)?;
+            let dtype = e.data_type(in_schema);
+            Ok((e, maybms_engine::Field::new(item.name.clone(), dtype)))
+        })
+        .collect::<Result<_, EngineError>>()?;
+    let schema = std::sync::Arc::new(maybms_engine::Schema::new(
+        bound.iter().map(|(_, f)| f.clone()).collect(),
+    ));
+    let mut out = Vec::with_capacity(input.len());
+    for t in input.tuples() {
+        let vals: Vec<Value> = bound
+            .iter()
+            .map(|(e, _)| e.eval(t))
+            .collect::<Result<_, EngineError>>()?;
+        out.push(Tuple::new(vals));
+    }
+    Ok(Relation::new_unchecked(schema, out))
+}
+
 /// Seed `distinct`: the double clone (seen-set + output).
 pub fn distinct(input: &Relation) -> Relation {
     let mut seen = HashSet::with_capacity(input.len());

@@ -152,10 +152,34 @@ impl MayBms {
     pub fn execute(&mut self, stmt: &Statement) -> Result<StatementResult> {
         match stmt {
             Statement::Select(q) => {
-                let mut ctx =
-                    ExecCtx { catalog: &self.tables, wt: &mut self.wt, conf: self.conf };
+                let mut ctx = ExecCtx::new(&self.tables, &mut self.wt, self.conf);
                 let out = eval_query(q, &mut ctx)?;
                 Ok(StatementResult::Query(out))
+            }
+            Statement::Explain { query } => {
+                let mut ctx = ExecCtx::new(&self.tables, &mut self.wt, self.conf);
+                ctx.trace = Some(Vec::new());
+                let out = eval_query(query, &mut ctx)?;
+                let pipelines = ctx.trace.take().unwrap_or_default();
+                let mut message = format!("EXPLAIN {query}\n");
+                message.push_str(
+                    "pipeline decomposition (morsel-driven executor, executed):\n",
+                );
+                for (i, p) in pipelines.iter().enumerate() {
+                    for (j, line) in p.lines().enumerate() {
+                        if j == 0 {
+                            message.push_str(&format!("#{} {line}\n", i + 1));
+                        } else {
+                            message.push_str(&format!("   {line}\n"));
+                        }
+                    }
+                }
+                let (rows, kind) = match &out {
+                    QueryOutput::Certain(r) => (r.len(), "t-certain"),
+                    QueryOutput::Uncertain(u) => (u.len(), "uncertain"),
+                };
+                message.push_str(&format!("result: {rows} {kind} rows\n"));
+                Ok(StatementResult::Ok { message })
             }
             Statement::CreateTable { name, columns } => {
                 let fields: Vec<Field> = columns
@@ -167,8 +191,7 @@ impl MayBms {
                 Ok(StatementResult::Ok { message: "CREATE TABLE".into() })
             }
             Statement::CreateTableAs { name, query } => {
-                let mut ctx =
-                    ExecCtx { catalog: &self.tables, wt: &mut self.wt, conf: self.conf };
+                let mut ctx = ExecCtx::new(&self.tables, &mut self.wt, self.conf);
                 let out = eval_query(query, &mut ctx)?.into_urelation();
                 self.register_u(name, out)?;
                 Ok(StatementResult::Ok { message: "CREATE TABLE AS".into() })
@@ -218,8 +241,7 @@ impl MayBms {
                     .collect::<Result<_>>()?
             }
             InsertSource::Query(q) => {
-                let mut ctx =
-                    ExecCtx { catalog: &self.tables, wt: &mut self.wt, conf: self.conf };
+                let mut ctx = ExecCtx::new(&self.tables, &mut self.wt, self.conf);
                 let out = eval_query(q, &mut ctx)?;
                 match out {
                     QueryOutput::Certain(r) => r.into_tuples(),
@@ -462,6 +484,49 @@ mod tests {
         let mut db = db_with_games();
         assert!(db.query("select * from (pick tuples from games) p").is_err());
         assert!(db.query_uncertain("select * from (pick tuples from games) p").is_ok());
+    }
+
+    #[test]
+    fn explain_reports_pipeline_decomposition() {
+        let mut db = db_with_games();
+        db.register(
+            "teams",
+            rel(
+                &[("player", DataType::Text), ("team", DataType::Text)],
+                vec![
+                    vec!["Bryant".into(), "LAL".into()],
+                    vec!["Duncan".into(), "SAS".into()],
+                ],
+            ),
+        )
+        .unwrap();
+        let StatementResult::Ok { message } = db
+            .run(
+                "explain select g.player from games g, teams t \
+                 where g.player = t.player and g.pts > 30",
+            )
+            .unwrap()
+        else {
+            panic!("EXPLAIN must return a message")
+        };
+        assert!(message.contains("pipeline decomposition"), "{message}");
+        assert!(message.contains("-> filter"), "{message}");
+        assert!(message.contains("hash probe"), "{message}");
+        assert!(message.contains("hash-join build side"), "{message}");
+        assert!(message.contains("-> project"), "{message}");
+        assert!(message.contains("result: 1 t-certain rows"), "{message}");
+    }
+
+    #[test]
+    fn explain_aggregate_shows_breaker() {
+        let mut db = db_with_games();
+        let StatementResult::Ok { message } = db
+            .run("explain select player, conf() as p from games group by player")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert!(message.contains("aggregation breaker"), "{message}");
     }
 
     #[test]

@@ -14,12 +14,23 @@
 //!    `argmax`), enforcing the typing rules of §2.2;
 //! 4. UNION is multiset union; ORDER BY orders the representation; LIMIT
 //!    is only allowed on t-certain results.
+//!
+//! The select/project/join chain of a SELECT block is threaded through a
+//! [`maybms_pipe::UStream`]: pushed-down filters, hash-join probes, and
+//! the final projection accumulate as **fused stages** over the first
+//! FROM source and run in one morsel-driven pass — no intermediate
+//! U-relation is materialised. Materialisation happens only at breakers
+//! (hash-join build sides, nested-loop joins, `IN`-subquery rewrites,
+//! aggregation, `select possible`, DISTINCT, union) and at the final
+//! output. `EXPLAIN` records every collected pipeline via
+//! [`ExecCtx::trace`].
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use maybms_engine::ops::ProjectItem;
 use maybms_engine::{BinaryOp, Expr as EExpr, Field, Relation, Schema, Tuple};
+use maybms_pipe::UStream;
 use maybms_sql::{Expr as SExpr, FromItem, Query, QueryInput, Select, SelectItem};
 use maybms_urel::{
     algebra, pick_tuples_u, repair_key_u, PickTuplesOptions, RepairKeyOptions, URelation,
@@ -39,6 +50,40 @@ pub struct ExecCtx<'a> {
     pub wt: &'a mut WorldTable,
     /// Confidence-computation configuration.
     pub conf: ConfContext,
+    /// When set, every pipeline the executor collects appends its
+    /// decomposition (source, fused stages, breaker reason) — the
+    /// `EXPLAIN` implementation.
+    pub trace: Option<Vec<String>>,
+}
+
+impl<'a> ExecCtx<'a> {
+    /// A context without explain tracing.
+    pub fn new(
+        catalog: &'a BTreeMap<String, URelation>,
+        wt: &'a mut WorldTable,
+        conf: ConfContext,
+    ) -> ExecCtx<'a> {
+        ExecCtx { catalog, wt, conf, trace: None }
+    }
+}
+
+/// Materialise a pipeline, recording its decomposition when the context
+/// traces for `EXPLAIN`.
+fn collect_traced(
+    stream: UStream,
+    ctx: &mut ExecCtx<'_>,
+    reason: &str,
+) -> Result<URelation> {
+    if let Some(trace) = &mut ctx.trace {
+        let mut entry = format!("pipeline ({reason})\n");
+        for line in stream.describe().lines() {
+            entry.push_str("  ");
+            entry.push_str(line);
+            entry.push('\n');
+        }
+        trace.push(entry);
+    }
+    Ok(stream.collect()?)
 }
 
 /// The result of a query: a t-certain table or an uncertain one.
@@ -217,16 +262,18 @@ pub fn eval_query(q: &Query, ctx: &mut ExecCtx<'_>) -> Result<QueryOutput> {
 /// Evaluate one SELECT block.
 pub fn eval_select(s: &Select, ctx: &mut ExecCtx<'_>) -> Result<QueryOutput> {
     // ---- FROM --------------------------------------------------------
-    let mut sources: Vec<URelation> = Vec::with_capacity(s.from.len());
+    // Every FROM item becomes a pipeline head; pushed-down predicates,
+    // probes, and the final projection fuse onto these streams.
+    let mut sources: Vec<UStream> = Vec::with_capacity(s.from.len());
     for item in &s.from {
-        sources.push(eval_from_item(item, ctx)?);
+        sources.push(UStream::new(eval_from_item(item, ctx)?));
     }
     if sources.is_empty() {
         // SELECT without FROM: one empty tuple.
-        sources.push(URelation::new(
+        sources.push(UStream::new(URelation::new(
             Schema::empty(),
             vec![maybms_urel::UTuple::certain(Tuple::new(Vec::new()))],
-        ));
+        )));
     }
 
     // ---- WHERE: conjunct split --------------------------------------
@@ -241,18 +288,22 @@ pub fn eval_select(s: &Select, ctx: &mut ExecCtx<'_>) -> Result<QueryOutput> {
     let mut predicates: Vec<EExpr> =
         plain.iter().map(scalar).collect::<Result<_>>()?;
 
-    // Push single-source predicates down.
-    for src in &mut sources {
+    // Push single-source predicates down (fused σ stages, not
+    // materialised selects).
+    let mut filtered = Vec::with_capacity(sources.len());
+    for mut src in sources {
         let mut kept = Vec::new();
         for p in predicates.drain(..) {
-            if p.bind(src.schema()).is_ok() && sources_binding(&p, std::slice::from_ref(&*src)) {
-                *src = algebra::select(src, &p)?;
+            if p.bind(src.schema()).is_ok() {
+                src = src.filter(&p)?;
             } else {
                 kept.push(p);
             }
         }
         predicates = kept;
+        filtered.push(src);
     }
+    let mut sources = filtered;
 
     // Greedy join of the sources using equality conjuncts.
     // (predicate idx, source idx, [(left col, left qual, right col, right qual)])
@@ -286,18 +337,26 @@ pub fn eval_select(s: &Select, ctx: &mut ExecCtx<'_>) -> Result<QueryOutput> {
                 let (jn, jq, sn, sq) = &keys[0];
                 let lk = joined.schema().index_of(jq.as_deref(), jn)?;
                 let rk = src.schema().index_of(sq.as_deref(), sn)?;
-                joined = algebra::hash_join(&joined, &src, &[lk], &[rk])?;
+                // The new source is the build side (a breaker: it
+                // materialises, morsel-locally hashed); `joined` keeps
+                // streaming through the probe stage.
+                let build = collect_traced(src, ctx, "hash-join build side")?;
+                joined = joined.hash_join(build, &[lk], &[rk])?;
             }
             None => {
+                // No equality conjunct: a nested-loop join breaks the
+                // pipeline on both sides.
                 let src = sources.remove(0);
-                joined = algebra::nested_loop_join(&joined, &src, None)?;
+                let left = collect_traced(joined, ctx, "nested-loop join input")?;
+                let right = collect_traced(src, ctx, "nested-loop join input")?;
+                joined = UStream::new(algebra::nested_loop_join(&left, &right, None)?);
             }
         }
         // Apply any predicates that became fully bound.
         let mut kept = Vec::new();
         for p in predicates.drain(..) {
             match p.bind(joined.schema()) {
-                Ok(bound) => joined = filter_bound(&joined, &bound)?,
+                Ok(bound) => joined = joined.filter(&bound)?,
                 Err(_) => kept.push(p),
             }
         }
@@ -306,20 +365,21 @@ pub fn eval_select(s: &Select, ctx: &mut ExecCtx<'_>) -> Result<QueryOutput> {
     // Any remaining predicate must now bind.
     for p in predicates {
         let bound = p.bind(joined.schema())?;
-        joined = filter_bound(&joined, &bound)?;
+        joined = joined.filter(&bound)?;
     }
 
     // ---- IN (SELECT …) rewrites --------------------------------------
     for in_sel in &in_selects {
         let SExpr::InSelect { expr, query } = in_sel else { unreachable!() };
-        joined = rewrite_in_select(joined, expr, query, ctx)?;
+        let materialized = collect_traced(joined, ctx, "IN-subquery rewrite")?;
+        joined = UStream::new(rewrite_in_select(materialized, expr, query, ctx)?);
     }
 
     // ---- SELECT list --------------------------------------------------
-    let items = expand_items(s, &joined)?;
+    let items = expand_items(s, joined.schema())?;
 
     if s.possible {
-        return eval_possible(&joined, &items, ctx);
+        return eval_possible(joined, &items, ctx);
     }
 
     let has_aggs = items.iter().any(|i| matches!(i, Item::Agg { .. }));
@@ -348,6 +408,7 @@ pub fn eval_select(s: &Select, ctx: &mut ExecCtx<'_>) -> Result<QueryOutput> {
                 Item::Agg { name, .. } => tconf_names.push(name.clone()),
             }
         }
+        let joined = collect_traced(joined, ctx, "tconf breaker")?;
         let rel = agg::eval_tconf(&joined, &scalars, &tconf_names, ctx.wt)?;
         // Reorder columns to the select order.
         let rel = reorder_to_select_order(rel, &items)?;
@@ -355,6 +416,7 @@ pub fn eval_select(s: &Select, ctx: &mut ExecCtx<'_>) -> Result<QueryOutput> {
     }
 
     if has_aggs || !s.group_by.is_empty() {
+        let joined = collect_traced(joined, ctx, "aggregation breaker")?;
         let out = eval_aggregate_select(s, &joined, &items, ctx)?;
         return Ok(QueryOutput::Certain(apply_having(out, s)?));
     }
@@ -363,7 +425,8 @@ pub fn eval_select(s: &Select, ctx: &mut ExecCtx<'_>) -> Result<QueryOutput> {
         return Err(plan_err("HAVING requires GROUP BY or aggregates"));
     }
 
-    // Plain projection.
+    // Plain projection: one more fused stage, then the single
+    // materialisation of the whole block.
     let proj: Vec<ProjectItem> = items
         .iter()
         .map(|i| match i {
@@ -371,7 +434,8 @@ pub fn eval_select(s: &Select, ctx: &mut ExecCtx<'_>) -> Result<QueryOutput> {
             Item::Agg { .. } => unreachable!("no aggregates on this path"),
         })
         .collect::<Result<_>>()?;
-    let projected = algebra::project(&joined, &proj)?;
+    let reason = if s.distinct { "distinct breaker" } else { "output" };
+    let projected = collect_traced(joined.project(&proj)?, ctx, reason)?;
     if s.distinct {
         if !projected.is_t_certain() {
             return Err(typing(
@@ -390,11 +454,12 @@ pub fn eval_select(s: &Select, ctx: &mut ExecCtx<'_>) -> Result<QueryOutput> {
 }
 
 /// `select possible …` (§2.2): project, drop zero-probability tuples,
-/// deduplicate — mapping uncertain to t-certain.
+/// deduplicate — mapping uncertain to t-certain. The projection fuses
+/// onto the incoming stream; dedup is the breaker.
 fn eval_possible(
-    joined: &URelation,
+    joined: UStream,
     items: &[Item],
-    ctx: &ExecCtx<'_>,
+    ctx: &mut ExecCtx<'_>,
 ) -> Result<QueryOutput> {
     let proj: Vec<ProjectItem> = items
         .iter()
@@ -405,7 +470,7 @@ fn eval_possible(
             )),
         })
         .collect::<Result<_>>()?;
-    let projected = algebra::project(joined, &proj)?;
+    let projected = collect_traced(joined.project(&proj)?, ctx, "select possible breaker")?;
     // Dedup by row reference, gathering only the surviving rows at the
     // end (final clones are Arc bumps).
     let mut sel = Vec::new();
@@ -546,12 +611,12 @@ fn apply_having(rel: Relation, s: &Select) -> Result<Relation> {
 }
 
 /// Expand wildcards and classify the select list.
-fn expand_items(s: &Select, joined: &URelation) -> Result<Vec<Item>> {
+fn expand_items(s: &Select, schema: &Schema) -> Result<Vec<Item>> {
     let mut items = Vec::new();
     for (pos, item) in s.items.iter().enumerate() {
         match item {
             SelectItem::Wildcard => {
-                for (i, f) in joined.schema().fields().iter().enumerate() {
+                for (i, f) in schema.fields().iter().enumerate() {
                     items.push(Item::Scalar {
                         expr: EExpr::ColumnIdx(i),
                         name: f.name.clone(),
@@ -560,7 +625,7 @@ fn expand_items(s: &Select, joined: &URelation) -> Result<Vec<Item>> {
             }
             SelectItem::QualifiedWildcard(q) => {
                 let mut any = false;
-                for (i, f) in joined.schema().fields().iter().enumerate() {
+                for (i, f) in schema.fields().iter().enumerate() {
                     if f.qualifier.as_deref().is_some_and(|fq| fq.eq_ignore_ascii_case(q)) {
                         items.push(Item::Scalar {
                             expr: EExpr::ColumnIdx(i),
@@ -784,24 +849,6 @@ fn as_column_equality(
     None
 }
 
-/// Does the predicate reference only columns resolvable in these sources?
-/// (Guards against pushing a literal-only predicate into the wrong place —
-/// harmless, but keeps plans predictable.)
-fn sources_binding(p: &EExpr, sources: &[URelation]) -> bool {
-    sources.iter().any(|s| p.bind(s.schema()).is_ok())
-}
-
-fn filter_bound(u: &URelation, bound: &EExpr) -> Result<URelation> {
-    // Selection vector: collect surviving row indices, gather once.
-    let mut sel = Vec::new();
-    for (i, t) in u.tuples().iter().enumerate() {
-        if bound.eval_predicate(&t.data)? {
-            sel.push(i);
-        }
-    }
-    Ok(u.gather(&sel))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -840,7 +887,7 @@ mod tests {
 
     fn run(sql: &str) -> Result<QueryOutput> {
         let (catalog, mut wt) = fixture();
-        let mut ctx = ExecCtx { catalog: &catalog, wt: &mut wt, conf: ConfContext::default() };
+        let mut ctx = ExecCtx::new(&catalog, &mut wt, ConfContext::default());
         let q = parse_query(sql).unwrap();
         eval_query(&q, &mut ctx)
     }
@@ -1020,8 +1067,7 @@ mod tests {
     #[test]
     fn order_by_on_uncertain_representation() {
         let (catalog, mut wt) = fixture();
-        let mut ctx =
-            ExecCtx { catalog: &catalog, wt: &mut wt, conf: ConfContext::default() };
+        let mut ctx = ExecCtx::new(&catalog, &mut wt, ConfContext::default());
         let q = parse_query(
             "select * from (pick tuples from games) p order by pts desc",
         )
@@ -1042,8 +1088,7 @@ mod tests {
         // Positive IN over an uncertain subquery: rewrites to a join; the
         // result is uncertain (conditions ride along).
         let (catalog, mut wt) = fixture();
-        let mut ctx =
-            ExecCtx { catalog: &catalog, wt: &mut wt, conf: ConfContext::default() };
+        let mut ctx = ExecCtx::new(&catalog, &mut wt, ConfContext::default());
         let q = parse_query(
             "select player from games where team in
                (select team from (pick tuples from teams) pt)",

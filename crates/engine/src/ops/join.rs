@@ -160,13 +160,21 @@ fn validate_keys(left: &Relation, right: &Relation, left_keys: &[usize], right_k
 
 /// Hash equi-join on positional key columns (`left_keys[i] = right_keys[i]`).
 ///
-/// NULL keys never match (SQL equality). Builds on the smaller input. The
-/// build table maps a 64-bit key hash to build-row indices — no per-row
-/// `Vec<Value>` key is ever allocated — and every hash match is verified
-/// by comparing the key columns before a row is emitted. Single-column
-/// keys hash columnar, straight from the key `Value`. Large inputs
-/// dispatch to the chunk-parallel path ([`hash_join_with`]) on the
-/// process-wide pool; output is identical either way.
+/// NULL keys never match (SQL equality). **Builds on the right input and
+/// probes with the left** — the fixed convention shared by the whole
+/// stack (the U-relational joins in `maybms-urel` and the morsel-driven
+/// probes in `maybms-pipe`): output rows are emitted in left-row order
+/// with right-side candidates in build (ascending row) order. Fixing the
+/// build side at plan time is what lets a streaming executor probe the
+/// left input morsel-by-morsel and still reproduce this output
+/// bit-for-bit; callers that know the cardinalities put the smaller
+/// input on the right. The build table maps a 64-bit key hash to
+/// build-row indices — no per-row `Vec<Value>` key is ever allocated —
+/// and every hash match is verified by comparing the key columns before
+/// a row is emitted. Single-column keys hash columnar, straight from the
+/// key `Value`. Large inputs dispatch to the chunk-parallel path
+/// ([`hash_join_with`]) on the process-wide pool; output is identical
+/// either way.
 pub fn hash_join(
     left: &Relation,
     right: &Relation,
@@ -182,42 +190,31 @@ pub fn hash_join(
     validate_keys(left, right, left_keys, right_keys)?;
     let schema = Arc::new(left.schema().join(right.schema()));
 
-    // Build side: the smaller relation.
-    let (build, probe, build_keys, probe_keys, build_is_left) = if left.len() <= right.len() {
-        (left, right, left_keys, right_keys, true)
-    } else {
-        (right, left, right_keys, left_keys, false)
-    };
-
     let mut table: FastMap<u64, Vec<usize>> =
-        FastMap::with_capacity_and_hasher(build.len(), Default::default());
-    for (i, t) in build.tuples().iter().enumerate() {
-        if let Some(h) = tuple_key_hash(t, build_keys) {
+        FastMap::with_capacity_and_hasher(right.len(), Default::default());
+    for (i, t) in right.tuples().iter().enumerate() {
+        if let Some(h) = tuple_key_hash(t, right_keys) {
             table.entry(h).or_default().push(i);
         }
     }
 
     let mut batch = TupleBatch::new();
-    for p in probe.tuples() {
-        let Some(h) = tuple_key_hash(p, probe_keys) else { continue };
+    for l in left.tuples() {
+        let Some(h) = tuple_key_hash(l, left_keys) else { continue };
         let Some(candidates) = table.get(&h) else { continue };
-        for &bi in candidates {
-            let b = &build.tuples()[bi];
-            if !tuple_keys_eq(b, build_keys, p, probe_keys) {
+        for &ri in candidates {
+            let r = &right.tuples()[ri];
+            if !tuple_keys_eq(r, right_keys, l, left_keys) {
                 continue; // hash collision
             }
-            if build_is_left {
-                batch.push_concat(b, p);
-            } else {
-                batch.push_concat(p, b);
-            }
+            batch.push_concat(l, r);
         }
     }
     Ok(Relation::new_unchecked(schema, batch.finish()))
 }
 
-/// [`hash_join`] on an explicit pool: hash-partitioned parallel build,
-/// chunked parallel probe.
+/// [`hash_join`] on an explicit pool: hash-partitioned parallel build
+/// over the right input, chunked parallel probe over the left.
 ///
 /// * **Build**: build-row key hashes are computed chunk-parallel, then
 ///   each of `threads` partitions owns the hashes with `h mod P == p` and
@@ -239,11 +236,6 @@ pub fn hash_join_with(
 ) -> Result<Relation> {
     validate_keys(left, right, left_keys, right_keys)?;
     let schema = Arc::new(left.schema().join(right.schema()));
-    let (build, probe, build_keys, probe_keys, build_is_left) = if left.len() <= right.len() {
-        (left, right, left_keys, right_keys, true)
-    } else {
-        (right, left, right_keys, left_keys, false)
-    };
 
     // Phase 1: partitioned build — partition p owns hashes ≡ p (mod P).
     // The chunked hash pass pre-buckets (hash, row) pairs by partition,
@@ -251,17 +243,17 @@ pub fn hash_join_with(
     // work stays O(rows), not O(threads · rows)). Chunks are visited in
     // chunk (= row) order and rows within a chunk are ascending, so each
     // bucket's candidate list reproduces the sequential insertion order.
-    let parts = if pool.threads() > 1 && build.len() >= min_chunk {
+    let parts = if pool.threads() > 1 && right.len() >= min_chunk {
         pool.threads()
     } else {
         1
     };
-    let chunk = maybms_par::auto_chunk(build.len(), pool.threads(), min_chunk);
+    let chunk = maybms_par::auto_chunk(right.len(), pool.threads(), min_chunk);
     let bucketed: Vec<Vec<Vec<(u64, u32)>>> =
-        pool.par_map_chunks(build.len(), chunk, |range| {
+        pool.par_map_chunks(right.len(), chunk, |range| {
             let mut buckets: Vec<Vec<(u64, u32)>> = vec![Vec::new(); parts];
             for i in range {
-                if let Some(h) = tuple_key_hash(&build.tuples()[i], build_keys) {
+                if let Some(h) = tuple_key_hash(&right.tuples()[i], right_keys) {
                     buckets[(h as usize) % parts].push((h, i as u32));
                 }
             }
@@ -270,7 +262,7 @@ pub fn hash_join_with(
     let tables: Vec<FastMap<u64, Vec<usize>>> =
         pool.par_map((0..parts).collect::<Vec<_>>(), |p| {
             let mut table: FastMap<u64, Vec<usize>> = FastMap::with_capacity_and_hasher(
-                build.len() / parts + 1,
+                right.len() / parts + 1,
                 Default::default(),
             );
             for chunk_buckets in &bucketed {
@@ -281,24 +273,20 @@ pub fn hash_join_with(
             table
         });
 
-    // Phase 2: chunked probe.
-    let chunk = maybms_par::auto_chunk(probe.len(), pool.threads(), min_chunk);
-    let outputs: Vec<Vec<Tuple>> = pool.par_map_chunks(probe.len(), chunk, |range| {
+    // Phase 2: chunked probe over the left input.
+    let chunk = maybms_par::auto_chunk(left.len(), pool.threads(), min_chunk);
+    let outputs: Vec<Vec<Tuple>> = pool.par_map_chunks(left.len(), chunk, |range| {
         let mut batch = TupleBatch::new();
-        for pi in range {
-            let p = &probe.tuples()[pi];
-            let Some(h) = tuple_key_hash(p, probe_keys) else { continue };
+        for li in range {
+            let l = &left.tuples()[li];
+            let Some(h) = tuple_key_hash(l, left_keys) else { continue };
             let Some(candidates) = tables[(h as usize) % parts].get(&h) else { continue };
-            for &bi in candidates {
-                let b = &build.tuples()[bi];
-                if !tuple_keys_eq(b, build_keys, p, probe_keys) {
+            for &ri in candidates {
+                let r = &right.tuples()[ri];
+                if !tuple_keys_eq(r, right_keys, l, left_keys) {
                     continue; // hash collision
                 }
-                if build_is_left {
-                    batch.push_concat(b, p);
-                } else {
-                    batch.push_concat(p, b);
-                }
+                batch.push_concat(l, r);
             }
         }
         batch.finish()

@@ -10,6 +10,10 @@
 //!   side of joins (when the predicate binds against one input's schema);
 //! * trivial-filter elimination (`σ_true(R) → R`,
 //!   `σ_false(R) → ∅`);
+//! * `Project` merging (`π_a(π_b(R)) → π_{a∘b}(R)`, substituting the
+//!   inner expressions into the outer ones) and identity-projection
+//!   elimination (`π_{all columns, unchanged} (R) → R`) — so the fused
+//!   pipelines of `maybms-pipe` see a single projection stage;
 //! * `Distinct` idempotence and `Limit(0)` short-circuiting.
 //!
 //! Every rewrite preserves the bag semantics of the plan; the property
@@ -112,7 +116,7 @@ fn rewrite(plan: PhysicalPlan, catalog: &Catalog) -> Result<PhysicalPlan> {
                     i
                 })
                 .collect();
-            PhysicalPlan::Project { input: Box::new(input), items }
+            apply_project_rules(input, items, catalog)?
         }
         PhysicalPlan::NestedLoopJoin { left, right, predicate } => {
             PhysicalPlan::NestedLoopJoin {
@@ -235,6 +239,182 @@ fn apply_filter_rules(
         }
         other => Ok(PhysicalPlan::Filter { input: Box::new(other), predicate }),
     }
+}
+
+/// The projection-specific rewrites, applied after the child is
+/// optimized.
+fn apply_project_rules(
+    input: PhysicalPlan,
+    items: Vec<crate::ops::ProjectItem>,
+    catalog: &Catalog,
+) -> Result<PhysicalPlan> {
+    // π_a(π_b(R)) → π_{a∘b}(R): substitute the inner output expressions
+    // into the outer items, collapsing adjacent projections into one.
+    if let PhysicalPlan::Project { input: inner_input, items: inner_items } = input {
+        if let Some(merged) = merge_projections(&items, &inner_items) {
+            return apply_project_rules(*inner_input, merged, catalog);
+        }
+        // Substitution failed (e.g. a qualified reference): keep both.
+        return Ok(PhysicalPlan::Project {
+            input: Box::new(PhysicalPlan::Project {
+                input: inner_input,
+                items: inner_items,
+            }),
+            items,
+        });
+    }
+    // π over all columns, unchanged and in order → the input itself.
+    let schema = plan_schema(&input, catalog)?;
+    if is_identity_projection(&items, &schema) {
+        return Ok(input);
+    }
+    Ok(PhysicalPlan::Project { input: Box::new(input), items })
+}
+
+/// Compose `outer ∘ inner`, returning `None` when any outer reference
+/// cannot be resolved against the inner output (merge must then be
+/// skipped). An inner item that can fail at runtime (e.g. `1/0` kept
+/// unfolded) must neither be dropped (unreferenced) nor moved into a
+/// position the outer expression may *skip* — CASE branches past the
+/// first condition, the right side of short-circuiting AND/OR, IN-list
+/// candidates — otherwise merging would silently drop its runtime
+/// error; `None` in those cases too.
+fn merge_projections(
+    outer: &[crate::ops::ProjectItem],
+    inner: &[crate::ops::ProjectItem],
+) -> Option<Vec<crate::ops::ProjectItem>> {
+    // Resolve outer references against the inner output names.
+    let lookup = Schema::new(
+        inner
+            .iter()
+            .map(|i| crate::schema::Field::new(i.name.clone(), crate::types::DataType::Unknown))
+            .collect(),
+    );
+    let mut referenced = vec![false; inner.len()];
+    let merged: Option<Vec<_>> = outer
+        .iter()
+        .map(|item| {
+            let expr = substitute(&item.expr, inner, &lookup, &mut referenced, false)?;
+            Some(crate::ops::ProjectItem::new(fold(expr), item.name.clone()))
+        })
+        .collect();
+    let merged = merged?;
+    // Dropping an unreferenced inner item is only safe when evaluating it
+    // could not have failed.
+    for (item, used) in inner.iter().zip(&referenced) {
+        if !used && !is_infallible(&item.expr) {
+            return None;
+        }
+    }
+    Some(merged)
+}
+
+/// Replace every column reference in `e` with the inner expression it
+/// names; `None` when a reference does not resolve. `guarded` marks
+/// positions the evaluator may skip (short-circuiting) — a fallible
+/// inner expression must not move into one, since the inner projection
+/// evaluated it unconditionally.
+fn substitute(
+    e: &Expr,
+    inner: &[crate::ops::ProjectItem],
+    lookup: &Schema,
+    referenced: &mut Vec<bool>,
+    guarded: bool,
+) -> Option<Expr> {
+    let resolve = |i: usize, referenced: &mut Vec<bool>| -> Option<Expr> {
+        let item = inner.get(i)?;
+        if guarded && !is_infallible(&item.expr) {
+            return None;
+        }
+        referenced[i] = true;
+        Some(item.expr.clone())
+    };
+    Some(match e {
+        Expr::Column { qualifier, name } => {
+            let i = lookup.index_of(qualifier.as_deref(), name).ok()?;
+            resolve(i, referenced)?
+        }
+        Expr::ColumnIdx(i) => resolve(*i, referenced)?,
+        Expr::Literal(v) => Expr::Literal(v.clone()),
+        Expr::Binary { left, op, right } => {
+            // AND/OR short-circuit: the right operand may never run.
+            let rhs_guarded =
+                guarded || matches!(op, BinaryOp::And | BinaryOp::Or);
+            Expr::Binary {
+                left: Box::new(substitute(left, inner, lookup, referenced, guarded)?),
+                op: *op,
+                right: Box::new(substitute(right, inner, lookup, referenced, rhs_guarded)?),
+            }
+        }
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(substitute(expr, inner, lookup, referenced, guarded)?),
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(substitute(expr, inner, lookup, referenced, guarded)?),
+            negated: *negated,
+        },
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(substitute(expr, inner, lookup, referenced, guarded)?),
+            // Candidates after a match are never evaluated.
+            list: list
+                .iter()
+                .map(|x| substitute(x, inner, lookup, referenced, true))
+                .collect::<Option<_>>()?,
+            negated: *negated,
+        },
+        Expr::Case { branches, else_expr } => Expr::Case {
+            // Only the first condition is evaluated unconditionally;
+            // everything else depends on the branches taken.
+            branches: branches
+                .iter()
+                .enumerate()
+                .map(|(bi, (c, r))| {
+                    Some((
+                        substitute(c, inner, lookup, referenced, guarded || bi > 0)?,
+                        substitute(r, inner, lookup, referenced, true)?,
+                    ))
+                })
+                .collect::<Option<_>>()?,
+            else_expr: match else_expr {
+                Some(x) => Some(Box::new(substitute(x, inner, lookup, referenced, true)?)),
+                None => None,
+            },
+        },
+        Expr::Cast { expr, dtype } => Expr::Cast {
+            expr: Box::new(substitute(expr, inner, lookup, referenced, guarded)?),
+            dtype: *dtype,
+        },
+    })
+}
+
+/// Expressions whose evaluation can never raise (bound or unbound column
+/// references and literals) — safe to drop unreferenced.
+fn is_infallible(e: &Expr) -> bool {
+    matches!(e, Expr::Column { .. } | Expr::ColumnIdx(_) | Expr::Literal(_))
+}
+
+/// Does the projection keep exactly the input columns, unchanged, in
+/// order, under their own names? (Only unqualified input fields qualify:
+/// projection output drops qualifiers, so re-qualified schemas are not
+/// identities.)
+fn is_identity_projection(items: &[crate::ops::ProjectItem], schema: &Schema) -> bool {
+    if items.len() != schema.len() {
+        return false;
+    }
+    items.iter().enumerate().all(|(i, item)| {
+        let field = schema.field(i);
+        if field.qualifier.is_some() || item.name != field.name {
+            return false;
+        }
+        match &item.expr {
+            Expr::ColumnIdx(j) => *j == i,
+            Expr::Column { qualifier: None, name } => {
+                matches!(schema.index_of(None, name), Ok(j) if j == i)
+            }
+            _ => false,
+        }
+    })
 }
 
 /// Is the expression free of positional column references? Pushing a
@@ -524,6 +704,133 @@ mod tests {
         let out = opt.execute(&c).unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(out.tuples()[0].value(1), &Value::Int(20)); // still sorted desc
+    }
+
+    #[test]
+    fn adjacent_projects_merge() {
+        let c = catalog();
+        // π_{kk+1 as m} (π_{k+k as kk, v as v}(t)) → π_{(k+k)+1 as m}(t)
+        let inner = PhysicalPlan::Project {
+            input: Box::new(scan("t")),
+            items: vec![
+                ProjectItem::new(Expr::col("k").binary(BinaryOp::Add, Expr::col("k")), "kk"),
+                ProjectItem::col("v"),
+            ],
+        };
+        let p = PhysicalPlan::Project {
+            input: Box::new(inner),
+            items: vec![ProjectItem::new(
+                Expr::col("kk").binary(BinaryOp::Add, Expr::lit(1i64)),
+                "m",
+            )],
+        };
+        let opt = optimize(&p, &c).unwrap();
+        let PhysicalPlan::Project { input, items } = &opt else { panic!("{opt:?}") };
+        assert!(matches!(**input, PhysicalPlan::Scan { .. }), "merged to one projection");
+        assert_eq!(items.len(), 1);
+        let out = opt.execute(&c).unwrap();
+        assert_eq!(out.schema().names(), vec!["m"]);
+        assert_eq!(out.tuples()[0].value(0), &Value::Int(3)); // (1+1)+1
+        assert_eq!(out.tuples(), p.execute(&c).unwrap().tuples());
+    }
+
+    #[test]
+    fn project_merge_keeps_unreferenced_fallible_inner() {
+        let c = catalog();
+        // The inner `1/0` stays a runtime error; dropping it via a merge
+        // would change semantics, so the two projections must survive.
+        let inner = PhysicalPlan::Project {
+            input: Box::new(scan("t")),
+            items: vec![
+                ProjectItem::col("k"),
+                ProjectItem::new(Expr::lit(1i64).binary(BinaryOp::Div, Expr::lit(0i64)), "boom"),
+            ],
+        };
+        let p = PhysicalPlan::Project {
+            input: Box::new(inner),
+            items: vec![ProjectItem::col("k")],
+        };
+        let opt = optimize(&p, &c).unwrap();
+        let PhysicalPlan::Project { input, .. } = &opt else { panic!("{opt:?}") };
+        assert!(matches!(**input, PhysicalPlan::Project { .. }));
+        assert!(opt.execute(&c).is_err(), "runtime error preserved");
+    }
+
+    #[test]
+    fn project_merge_refuses_fallible_inner_in_short_circuit_position() {
+        let c = catalog();
+        // Inner `1/0` is evaluated for every row by the inner projection;
+        // the outer CASE only evaluates `boom` in a never-taken branch.
+        // Merging would swallow the division-by-zero, so it must not.
+        let inner = PhysicalPlan::Project {
+            input: Box::new(scan("t")),
+            items: vec![
+                ProjectItem::col("k"),
+                ProjectItem::new(
+                    Expr::lit(1i64).binary(BinaryOp::Div, Expr::lit(0i64)),
+                    "boom",
+                ),
+            ],
+        };
+        let p = PhysicalPlan::Project {
+            input: Box::new(inner),
+            items: vec![ProjectItem::new(
+                Expr::Case {
+                    branches: vec![(
+                        Expr::col("k").binary(BinaryOp::Gt, Expr::lit(100i64)),
+                        Expr::col("boom"),
+                    )],
+                    else_expr: Some(Box::new(Expr::lit(0i64))),
+                },
+                "x",
+            )],
+        };
+        assert!(p.execute(&c).is_err(), "unoptimized plan raises");
+        let opt = optimize(&p, &c).unwrap();
+        let PhysicalPlan::Project { input, .. } = &opt else { panic!("{opt:?}") };
+        assert!(matches!(**input, PhysicalPlan::Project { .. }), "merge refused");
+        assert!(opt.execute(&c).is_err(), "optimized plan still raises");
+    }
+
+    #[test]
+    fn identity_projection_eliminated() {
+        let c = catalog();
+        let p = PhysicalPlan::Project {
+            input: Box::new(scan("t")),
+            items: vec![ProjectItem::col("k"), ProjectItem::col("v")],
+        };
+        assert!(matches!(optimize(&p, &c).unwrap(), PhysicalPlan::Scan { .. }));
+        // Reordered columns are not an identity.
+        let p = PhysicalPlan::Project {
+            input: Box::new(scan("t")),
+            items: vec![ProjectItem::col("v"), ProjectItem::col("k")],
+        };
+        assert!(matches!(optimize(&p, &c).unwrap(), PhysicalPlan::Project { .. }));
+        // Renaming is not an identity.
+        let p = PhysicalPlan::Project {
+            input: Box::new(scan("t")),
+            items: vec![ProjectItem::new(Expr::col("k"), "k2"), ProjectItem::col("v")],
+        };
+        assert!(matches!(optimize(&p, &c).unwrap(), PhysicalPlan::Project { .. }));
+    }
+
+    #[test]
+    fn triple_projection_collapses_to_one() {
+        let c = catalog();
+        let mut plan = scan("t");
+        for _ in 0..3 {
+            plan = PhysicalPlan::Project {
+                input: Box::new(plan),
+                items: vec![
+                    ProjectItem::new(Expr::col("k").binary(BinaryOp::Add, Expr::lit(1i64)), "k"),
+                    ProjectItem::col("v"),
+                ],
+            };
+        }
+        let opt = optimize(&plan, &c).unwrap();
+        let PhysicalPlan::Project { input, .. } = &opt else { panic!("{opt:?}") };
+        assert!(matches!(**input, PhysicalPlan::Scan { .. }));
+        assert_eq!(opt.execute(&c).unwrap().tuples(), plan.execute(&c).unwrap().tuples());
     }
 
     #[test]

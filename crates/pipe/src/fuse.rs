@@ -1,0 +1,274 @@
+//! The shared fused-execution core: one morsel-driven stage walker
+//! serving both front ends.
+//!
+//! The certain ([`plan`](crate::plan)) and U-relational
+//! ([`ustream`](crate::ustream)) executors run the *same* machine — a
+//! source of rows pushed through Filter/Project/Probe stages morsel by
+//! morsel — differing only in the **payload** that rides along with
+//! each row: nothing for certain relations, a [`Wsd`] for U-relations
+//! (conjoined at probe stages, with unsatisfiable conjunctions dropping
+//! the row). [`RowSource`] abstracts exactly that difference, so the
+//! selection-vector fast path, the scratch-buffer recursion, and the
+//! morsel-ordered merge exist once.
+//!
+//! Build tables for probe stages are constructed *here*, at execution
+//! time, morsel-locally on the caller's pool — deferring the build to
+//! the same pool and morsel size the rest of the pipeline uses.
+
+use maybms_engine::error::Result;
+use maybms_engine::tuple::{Relation, Tuple, TupleBatch};
+use maybms_engine::{ops, Expr, Value};
+use maybms_par::ThreadPool;
+use maybms_urel::{URelation, Wsd};
+
+use crate::build::BuildTable;
+use crate::row_key_hash;
+
+/// A bag of rows, each a value slice plus a cheap-to-clone payload.
+pub(crate) trait RowSource: Sync {
+    /// What rides along with each row (conditions, or nothing).
+    type Payload: Clone + Send;
+    /// Number of rows.
+    fn len(&self) -> usize;
+    /// Row `i`'s values and payload.
+    fn row(&self, i: usize) -> (&[Value], &Self::Payload);
+    /// Combine the payloads of a probe row and a build row; `None`
+    /// drops the joined row.
+    fn conjoin(a: &Self::Payload, b: &Self::Payload) -> Option<Self::Payload>;
+}
+
+impl RowSource for Relation {
+    type Payload = ();
+
+    fn len(&self) -> usize {
+        Relation::len(self)
+    }
+
+    fn row(&self, i: usize) -> (&[Value], &()) {
+        (self.tuples()[i].values(), &())
+    }
+
+    fn conjoin(_: &(), _: &()) -> Option<()> {
+        Some(())
+    }
+}
+
+impl RowSource for URelation {
+    type Payload = Wsd;
+
+    fn len(&self) -> usize {
+        URelation::len(self)
+    }
+
+    fn row(&self, i: usize) -> (&[Value], &Wsd) {
+        let t = &self.tuples()[i];
+        (t.data.values(), &t.wsd)
+    }
+
+    fn conjoin(a: &Wsd, b: &Wsd) -> Option<Wsd> {
+        a.conjoin(b)
+    }
+}
+
+/// One bound, ready-to-run stage. The build side of a probe has the
+/// same row type as the stream (its table is built at run time).
+pub(crate) enum Stage<S: RowSource> {
+    /// σ — expressions bound to the incoming row shape.
+    Filter(Expr),
+    /// π — one bound expression per output column.
+    Project(Vec<Expr>),
+    /// Hash-join probe: `stream row ++ build row` per verified
+    /// candidate, payloads conjoined.
+    Probe {
+        /// The materialised build side.
+        build: S,
+        /// Key columns in the incoming row.
+        left_keys: Vec<usize>,
+        /// Key columns in the build rows.
+        right_keys: Vec<usize>,
+    },
+}
+
+/// What a fused pipeline produced.
+pub(crate) enum FusedOutput<P> {
+    /// All-filter pipeline: the surviving source indices, in order —
+    /// gather them to share row storage with the source.
+    Select(Vec<usize>),
+    /// Constructed rows and their payloads, in order.
+    Rows(Vec<Tuple>, Vec<P>),
+}
+
+/// Run `stages` over every row of `source`, morsel-parallel on `pool`.
+/// Morsel outputs merge in morsel order; the earliest morsel's error
+/// wins — the output (and error row, if any) is identical to a
+/// sequential scan at any thread count.
+pub(crate) fn run<S: RowSource>(
+    source: &S,
+    stages: &[Stage<S>],
+    pool: &ThreadPool,
+    min_morsel: usize,
+) -> Result<FusedOutput<S::Payload>> {
+    // Morsel-local build tables for the probe stages, on this pool.
+    let tables: Vec<Option<BuildTable>> = stages
+        .iter()
+        .map(|s| match s {
+            Stage::Probe { build, right_keys, .. } => Some(BuildTable::build(
+                build.len(),
+                |i| row_key_hash(build.row(i).0, right_keys),
+                pool,
+                min_morsel,
+            )),
+            _ => None,
+        })
+        .collect();
+
+    let chunk = maybms_par::auto_chunk(source.len(), pool.threads(), min_morsel);
+
+    // All-filter pipelines stay a selection vector end to end.
+    if stages.iter().all(|s| matches!(s, Stage::Filter(_))) {
+        let partials: Vec<Result<Vec<usize>>> =
+            pool.par_map_chunks(source.len(), chunk, |range| {
+                let mut sel = Vec::new();
+                'row: for i in range {
+                    let (row, _) = source.row(i);
+                    for s in stages {
+                        let Stage::Filter(p) = s else { unreachable!() };
+                        if !p.eval_predicate_values(row)? {
+                            continue 'row;
+                        }
+                    }
+                    sel.push(i);
+                }
+                Ok(sel)
+            });
+        let mut sel = Vec::new();
+        for p in partials {
+            sel.extend(p?);
+        }
+        return Ok(FusedOutput::Select(sel));
+    }
+
+    // General fused path: push every source row through the stage chain
+    // into a morsel-local batch.
+    type MorselOut<P> = (Vec<Tuple>, Vec<P>);
+    let outputs: Vec<Result<MorselOut<S::Payload>>> =
+        pool.par_map_chunks(source.len(), chunk, |range| {
+            let mut batch = TupleBatch::new();
+            let mut payloads: Vec<S::Payload> = Vec::new();
+            let mut scratch: Vec<Vec<Value>> = vec![Vec::new(); stages.len()];
+            for i in range {
+                let (row, payload) = source.row(i);
+                push_row::<S>(
+                    row,
+                    payload,
+                    stages,
+                    &tables,
+                    0,
+                    &mut scratch,
+                    &mut batch,
+                    &mut payloads,
+                )?;
+            }
+            Ok((batch.finish(), payloads))
+        });
+    let mut tuples = Vec::new();
+    let mut payloads = Vec::new();
+    for o in outputs {
+        let (t, p) = o?;
+        tuples.extend(t);
+        payloads.extend(p);
+    }
+    Ok(FusedOutput::Rows(tuples, payloads))
+}
+
+/// Push one in-flight row through `stages[depth..]`. `scratch[depth]`
+/// is the reusable value buffer of the constructing stage at `depth` —
+/// taken out around the recursion and always restored, so the morsel
+/// allocates nothing after warmup even across evaluation errors.
+#[allow(clippy::too_many_arguments)]
+fn push_row<S: RowSource>(
+    row: &[Value],
+    payload: &S::Payload,
+    stages: &[Stage<S>],
+    tables: &[Option<BuildTable>],
+    depth: usize,
+    scratch: &mut [Vec<Value>],
+    out: &mut TupleBatch,
+    payloads: &mut Vec<S::Payload>,
+) -> Result<()> {
+    let Some(stage) = stages.get(depth) else {
+        out.begin_row();
+        for v in row {
+            out.push_value(v.clone());
+        }
+        payloads.push(payload.clone());
+        return Ok(());
+    };
+    match stage {
+        Stage::Filter(p) => {
+            if p.eval_predicate_values(row)? {
+                push_row::<S>(row, payload, stages, tables, depth + 1, scratch, out, payloads)?;
+            }
+            Ok(())
+        }
+        Stage::Project(exprs) => {
+            let mut vals = std::mem::take(&mut scratch[depth]);
+            vals.clear();
+            let mut result = Ok(());
+            for e in exprs {
+                match e.eval_values(row) {
+                    Ok(v) => vals.push(v),
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
+                }
+            }
+            if result.is_ok() {
+                result = push_row::<S>(
+                    &vals,
+                    payload,
+                    stages,
+                    tables,
+                    depth + 1,
+                    scratch,
+                    out,
+                    payloads,
+                );
+            }
+            scratch[depth] = vals;
+            result
+        }
+        Stage::Probe { build, left_keys, right_keys } => {
+            let Some(h) = row_key_hash(row, left_keys) else { return Ok(()) };
+            let table = tables[depth].as_ref().expect("probe stage has a build table");
+            let mut vals = std::mem::take(&mut scratch[depth]);
+            let mut result = Ok(());
+            for &ri in table.candidates(h) {
+                let (brow, bpayload) = build.row(ri as usize);
+                if !ops::join_keys_eq(row, left_keys, brow, right_keys) {
+                    continue; // hash collision
+                }
+                let Some(joined) = S::conjoin(payload, bpayload) else { continue };
+                vals.clear();
+                vals.extend_from_slice(row);
+                vals.extend_from_slice(brow);
+                if let Err(e) = push_row::<S>(
+                    &vals,
+                    &joined,
+                    stages,
+                    tables,
+                    depth + 1,
+                    scratch,
+                    out,
+                    payloads,
+                ) {
+                    result = Err(e);
+                    break;
+                }
+            }
+            scratch[depth] = vals;
+            result
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! # maybms-pipe — morsel-driven streaming execution
+//!
+//! The substrate's original executors run bottom-up and fully materialise
+//! every intermediate relation: a `σ → π → σ → π` chain allocates four
+//! complete relations, and memory traffic — not the probabilistic
+//! bookkeeping — dominates the hot path. This crate is the push-based
+//! streaming layer on top of the same operators:
+//!
+//! * a query plan is decomposed into **pipelines** split at *breakers* —
+//!   operators that must see all of their input before emitting anything
+//!   (hash-join *build*, aggregation, sort, distinct, limit, union,
+//!   nested-loop join);
+//! * within a pipeline, fused `Scan → Filter → Project → (join-probe)`
+//!   stages consume the source in **morsels** (contiguous row ranges) and
+//!   push each row through the whole stage chain with **no intermediate
+//!   materialisation** — only the pipeline's final output is built, one
+//!   morsel-local [`TupleBatch`](maybms_engine::tuple::TupleBatch) at a
+//!   time;
+//! * hash-join **builds are morsel-local**: each morsel constructs a
+//!   private hash table and the per-key candidate lists are merged in
+//!   morsel order ([`BuildTable`]), so the merged table is identical to a
+//!   sequential build at any thread count;
+//! * morsels run on the `maybms-par` pool and morsel outputs are
+//!   concatenated in morsel order, preserving PR 2's determinism
+//!   contract: **pipelined output is bit-identical to the materialising
+//!   path at any thread count** (property-tested at 1/2/8 threads in
+//!   `crates/bench/tests/pipe_equiv.rs`).
+//!
+//! Two front ends share the machinery:
+//!
+//! * [`plan`] — decomposes and executes an engine
+//!   [`PhysicalPlan`](maybms_engine::PhysicalPlan) (certain relations);
+//! * [`ustream`] — a lazy [`UStream`] over U-relations that
+//!   `maybms-core` threads through its select/project/join chains,
+//!   conjoining world-set descriptors in the probe stage and dropping
+//!   unsatisfiable rows exactly as `urel::algebra` does.
+//!
+//! Both expose an `explain`-style description of the decomposition —
+//! what the SQL `EXPLAIN` statement prints.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod build;
+pub(crate) mod fuse;
+pub mod plan;
+pub mod ustream;
+
+pub use build::BuildTable;
+pub use plan::{decompose, execute, execute_with, explain, PipePlan};
+pub use ustream::UStream;
+
+/// Hash of a row slice's key columns (columnar single-key fast path),
+/// `None` when any key is NULL. Agrees with the engine's
+/// `tuple_key_hash`, so pipelined probes hit the same buckets as
+/// materialised joins.
+#[inline]
+pub(crate) fn row_key_hash(row: &[maybms_engine::Value], keys: &[usize]) -> Option<u64> {
+    if let [k] = keys {
+        maybms_engine::ops::single_key_hash(&row[*k])
+    } else {
+        maybms_engine::ops::join_key_hash(row, keys)
+    }
+}

@@ -1,0 +1,292 @@
+//! A lazy, morsel-driven pipeline over U-relations.
+//!
+//! `maybms-core` evaluates the parsimonious translation (§2.3) as a chain
+//! of `urel::algebra` calls, materialising every intermediate U-relation.
+//! A [`UStream`] records the same chain — σ, π, and hash-join probes —
+//! as **fused stages** over one source U-relation and runs it in a
+//! single morsel-driven pass at [`UStream::collect`]: WSDs ride along
+//! with each in-flight row, probe stages conjoin them (dropping
+//! unsatisfiable pairs), and nothing is materialised between stages.
+//!
+//! Determinism contract: `collect()` is bit-identical — data, WSDs, and
+//! row order — to applying the equivalent `algebra::select` /
+//! `algebra::project` / `algebra::hash_join` sequence, at any thread
+//! count (morsel outputs concatenate in morsel order; build tables merge
+//! morsel-locally in morsel order, matching the joins' fixed
+//! build-right/probe-left convention).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use maybms_engine::ops::ProjectItem;
+use maybms_engine::{EngineError, Expr, Field, Schema};
+use maybms_par::ThreadPool;
+use maybms_urel::{Result, URelation, UTuple};
+
+use crate::fuse::{self, FusedOutput, Stage};
+
+/// A lazily evaluated U-relational pipeline: a source plus fused stages
+/// (run by the shared executor in [`fuse`]).
+///
+/// Stage constructors bind their expressions against the stream's
+/// current schema immediately (so planning errors surface where the
+/// materialising code would raise them); rows only flow — and probe
+/// build tables are only constructed, morsel-locally, on the collecting
+/// pool — at [`UStream::collect`].
+pub struct UStream {
+    source: URelation,
+    stages: Vec<Stage<URelation>>,
+    schema: Arc<Schema>,
+}
+
+impl UStream {
+    /// Start a pipeline from a materialised U-relation.
+    pub fn new(source: URelation) -> UStream {
+        let schema = source.schema().clone();
+        UStream { source, stages: Vec::new(), schema }
+    }
+
+    /// The schema rows will have after the recorded stages.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of source (not output) rows — an upper bound for
+    /// filter-only pipelines, a hint otherwise.
+    pub fn source_len(&self) -> usize {
+        self.source.len()
+    }
+
+    /// Number of recorded stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Append a σ stage (equivalent to `algebra::select`).
+    pub fn filter(mut self, predicate: &Expr) -> Result<UStream> {
+        let bound = predicate.bind(&self.schema)?;
+        self.stages.push(Stage::Filter(bound));
+        Ok(self)
+    }
+
+    /// Append a π stage (equivalent to `algebra::project`).
+    pub fn project(mut self, items: &[ProjectItem]) -> Result<UStream> {
+        let mut exprs = Vec::with_capacity(items.len());
+        let mut fields = Vec::with_capacity(items.len());
+        for item in items {
+            let e = item.expr.bind(&self.schema)?;
+            fields.push(Field::new(item.name.clone(), e.data_type(&self.schema)));
+            exprs.push(e);
+        }
+        self.schema = Arc::new(Schema::new(fields));
+        self.stages.push(Stage::Project(exprs));
+        Ok(self)
+    }
+
+    /// Replace the output schema (same arity; e.g. re-qualifying after a
+    /// projection) without touching the stages.
+    pub fn with_schema(mut self, schema: Arc<Schema>) -> UStream {
+        self.schema = schema;
+        self
+    }
+
+    /// Append a hash-join probe stage against `build` (equivalent to
+    /// `algebra::hash_join(stream, build, ..)`: the stream is the left /
+    /// probe side, `build` the right / build side). The build table is
+    /// constructed at collect time, morsel-locally on the collecting
+    /// pool.
+    pub fn hash_join(
+        mut self,
+        build: URelation,
+        left_keys: &[usize],
+        right_keys: &[usize],
+    ) -> Result<UStream> {
+        if left_keys.len() != right_keys.len() || left_keys.is_empty() {
+            return Err(EngineError::InvalidOperator {
+                message: "hash join requires matching, non-empty key lists".into(),
+            }
+            .into());
+        }
+        if left_keys.iter().any(|&k| k >= self.schema.len())
+            || right_keys.iter().any(|&k| k >= build.schema().len())
+        {
+            return Err(EngineError::InvalidOperator {
+                message: "hash join key out of range".into(),
+            }
+            .into());
+        }
+        self.schema = Arc::new(self.schema.join(build.schema()));
+        self.stages.push(Stage::Probe {
+            build,
+            left_keys: left_keys.to_vec(),
+            right_keys: right_keys.to_vec(),
+        });
+        Ok(self)
+    }
+
+    /// Run the pipeline on the process-wide pool. Dispatches morsels in
+    /// parallel for large sources, exactly like the materialising
+    /// operators; output is identical either way.
+    pub fn collect(self) -> Result<URelation> {
+        let pool = maybms_par::pool();
+        self.collect_with(&pool, maybms_engine::ops::PAR_MIN_CHUNK)
+    }
+
+    /// [`UStream::collect`] on an explicit pool and minimum morsel size
+    /// (what the determinism property tests pin to 1/2/8 threads).
+    pub fn collect_with(self, pool: &ThreadPool, min_morsel: usize) -> Result<URelation> {
+        let UStream { source, stages, schema } = self;
+        if stages.is_empty() {
+            return Ok(source.with_schema(schema));
+        }
+        match fuse::run(&source, &stages, pool, min_morsel)? {
+            // Filter-only pipeline: gather shares rows (data + WSDs)
+            // with the source, like chained `algebra::select`.
+            FusedOutput::Select(sel) => Ok(source.gather(&sel).with_schema(schema)),
+            FusedOutput::Rows(tuples, wsds) => Ok(URelation::new(
+                schema,
+                tuples
+                    .into_iter()
+                    .zip(wsds)
+                    .map(|(data, wsd)| UTuple::new(data, wsd))
+                    .collect(),
+            )),
+        }
+    }
+
+    /// One-line-per-stage description of the pipeline, used by `EXPLAIN`.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "source: {} stored rows", self.source.len());
+        for stage in &self.stages {
+            match stage {
+                Stage::Filter(predicate) => {
+                    let _ = writeln!(out, "-> filter {predicate}");
+                }
+                Stage::Project(exprs) => {
+                    let cols: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
+                    let _ = writeln!(out, "-> project [{}]", cols.join(", "));
+                }
+                Stage::Probe { build, left_keys, right_keys } => {
+                    let keys: Vec<String> = left_keys
+                        .iter()
+                        .zip(right_keys)
+                        .map(|(l, r)| format!("#{l} = build #{r}"))
+                        .collect();
+                    let _ = writeln!(
+                        out,
+                        "-> hash probe [{}] against {}-row build (WSD conjunction)",
+                        keys.join(", "),
+                        build.len()
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maybms_engine::{rel, DataType};
+    use maybms_urel::{algebra, Var, WorldTable, Wsd};
+
+    fn setup() -> (WorldTable, URelation) {
+        let mut wt = WorldTable::new();
+        let x = wt.new_var(&[0.8, 0.2]).unwrap();
+        let y = wt.new_var(&[0.5, 0.5]).unwrap();
+        let base = rel(
+            &[("player", DataType::Text), ("state", DataType::Text)],
+            vec![
+                vec!["Bryant".into(), "F".into()],
+                vec!["Bryant".into(), "SE".into()],
+                vec!["Duncan".into(), "F".into()],
+                vec!["Duncan".into(), "SL".into()],
+            ],
+        );
+        let mut u = URelation::from_certain(&base);
+        u.tuples_mut()[0].wsd = Wsd::of(x, 0);
+        u.tuples_mut()[1].wsd = Wsd::of(x, 1);
+        u.tuples_mut()[2].wsd = Wsd::of(y, 0);
+        u.tuples_mut()[3].wsd = Wsd::of(y, 1);
+        (wt, u)
+    }
+
+    /// Fused σ → probe → π equals the materialising algebra chain, WSDs
+    /// and order included — including the self-join's unsatisfiable
+    /// conjunctions being dropped.
+    #[test]
+    fn fused_chain_matches_algebra_chain() {
+        let (_, u) = setup();
+        let pred = Expr::col("state").eq(Expr::lit("F"));
+        let items = [ProjectItem::new(Expr::ColumnIdx(0), "who")];
+
+        let materialized = {
+            let s = algebra::select(&u, &pred).unwrap();
+            let j = algebra::hash_join(&s, &u, &[0], &[0]).unwrap();
+            algebra::project(&j, &items).unwrap()
+        };
+        let pipelined = UStream::new(u.clone())
+            .filter(&pred)
+            .unwrap()
+            .hash_join(u.clone(), &[0], &[0])
+            .unwrap()
+            .project(&items)
+            .unwrap();
+        assert_eq!(pipelined.schema().names(), vec!["who"]);
+        for threads in [1, 2, 8] {
+            let pool = ThreadPool::new(threads);
+            let got = UStream::new(u.clone())
+                .filter(&pred)
+                .unwrap()
+                .hash_join(u.clone(), &[0], &[0])
+                .unwrap()
+                .project(&items)
+                .unwrap()
+                .collect_with(&pool, 1)
+                .unwrap();
+            assert_eq!(got.tuples(), materialized.tuples(), "threads = {threads}");
+        }
+        let got = pipelined.collect().unwrap();
+        assert_eq!(got.tuples(), materialized.tuples());
+    }
+
+    #[test]
+    fn filter_only_stream_gathers() {
+        let (_, u) = setup();
+        let pred = Expr::col("player").eq(Expr::lit("Bryant"));
+        let got = UStream::new(u.clone()).filter(&pred).unwrap().collect().unwrap();
+        let want = algebra::select(&u, &pred).unwrap();
+        assert_eq!(got.tuples(), want.tuples());
+        assert_eq!(got.tuples()[0].wsd, Wsd::of(Var(0), 0));
+    }
+
+    #[test]
+    fn empty_stream_returns_source() {
+        let (_, u) = setup();
+        let got = UStream::new(u.clone()).collect().unwrap();
+        assert_eq!(got.tuples(), u.tuples());
+    }
+
+    #[test]
+    fn binding_errors_surface_at_stage_construction() {
+        let (_, u) = setup();
+        assert!(UStream::new(u.clone()).filter(&Expr::col("nope").eq(Expr::lit(1i64))).is_err());
+        assert!(UStream::new(u.clone()).hash_join(u.clone(), &[], &[]).is_err());
+        assert!(UStream::new(u.clone()).hash_join(u, &[7], &[0]).is_err());
+    }
+
+    #[test]
+    fn describe_names_stages() {
+        let (_, u) = setup();
+        let s = UStream::new(u.clone())
+            .filter(&Expr::col("state").eq(Expr::lit("F")))
+            .unwrap()
+            .hash_join(u, &[0], &[0])
+            .unwrap();
+        let d = s.describe();
+        assert!(d.contains("-> filter"), "{d}");
+        assert!(d.contains("hash probe"), "{d}");
+    }
+}

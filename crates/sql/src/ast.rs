@@ -561,6 +561,15 @@ impl fmt::Display for ColumnDef {
 pub enum Statement {
     /// A query.
     Select(Query),
+    /// `EXPLAIN query` — runs the query and reports the optimized
+    /// evaluation structure: the pipelines the morsel-driven executor
+    /// fused, their stages, and the breakers between them (EXPLAIN
+    /// ANALYZE style — the substrate is in-memory, so running is the
+    /// cheapest way to an honest plan).
+    Explain {
+        /// The explained query.
+        query: Query,
+    },
     /// `CREATE TABLE name (col type, …)`.
     CreateTable {
         /// Table name.
@@ -623,6 +632,7 @@ impl fmt::Display for Statement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Statement::Select(q) => write!(f, "{q}"),
+            Statement::Explain { query } => write!(f, "EXPLAIN {query}"),
             Statement::CreateTable { name, columns } => {
                 write!(f, "CREATE TABLE {name} (")?;
                 for (i, c) in columns.iter().enumerate() {

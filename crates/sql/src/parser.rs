@@ -155,6 +155,10 @@ impl Parser {
         match self.peek() {
             Some(Token::Kw(K::Select)) | Some(Token::LParen) | Some(Token::Kw(K::Repair))
             | Some(Token::Kw(K::Pick)) => Ok(Statement::Select(self.query()?)),
+            Some(Token::Kw(K::Explain)) => {
+                self.expect_kw(K::Explain)?;
+                Ok(Statement::Explain { query: self.query()? })
+            }
             Some(Token::Kw(K::Create)) => self.create(),
             Some(Token::Kw(K::Insert)) => self.insert(),
             Some(Token::Kw(K::Update)) => self.update(),
@@ -768,6 +772,23 @@ impl Parser {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn explain_statement_parses_and_roundtrips() {
+        let stmt = parse_statement("explain select player from games where pts > 10").unwrap();
+        let Statement::Explain { query } = &stmt else { panic!("{stmt:?}") };
+        assert_eq!(query.first.from.len(), 1);
+        let printed = stmt.to_string();
+        assert!(printed.starts_with("EXPLAIN SELECT"), "{printed}");
+        assert_eq!(parse_statement(&printed).unwrap(), stmt);
+        // EXPLAIN wraps a full query, UNION/ORDER BY included.
+        assert!(parse_statement(
+            "explain select a from t union select a from s order by a limit 3"
+        )
+        .is_ok());
+        // EXPLAIN of a non-query is rejected.
+        assert!(parse_statement("explain drop table t").is_err());
+    }
 
     /// The first Figure-1 statement, verbatim from the paper.
     const FIGURE1_FT2: &str = "\

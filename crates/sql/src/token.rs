@@ -21,6 +21,7 @@ pub enum Keyword {
     Else,
     End,
     Exists,
+    Explain,
     False,
     From,
     Group,
@@ -78,6 +79,7 @@ impl Keyword {
             "ELSE" => Else,
             "END" => End,
             "EXISTS" => Exists,
+            "EXPLAIN" => Explain,
             "FALSE" => False,
             "FROM" => From,
             "GROUP" => Group,

@@ -139,11 +139,17 @@ pub fn nested_loop_join(
 /// ⋈ (hash): equi-join on positional keys with WSD conjunction. NULL keys
 /// never match.
 ///
-/// The build table maps a 64-bit key hash to build-row indices (no
-/// per-row `Vec<Value>` key allocation); hash matches are verified by
-/// comparing the key columns before the WSDs are conjoined. Single-column
-/// keys hash columnar. Large inputs dispatch to the chunk-parallel path
-/// ([`hash_join_with`]); output is identical either way.
+/// **Builds on the right input and probes with the left** — the fixed
+/// convention shared with the engine's `hash_join` and the morsel-driven
+/// probes in `maybms-pipe`: output rows are emitted in left-row order
+/// with right-side candidates in build (ascending row) order, so a
+/// streaming executor can probe the left side morsel-by-morsel and
+/// reproduce this output bit-for-bit. The build table maps a 64-bit key
+/// hash to build-row indices (no per-row `Vec<Value>` key allocation);
+/// hash matches are verified by comparing the key columns before the
+/// WSDs are conjoined. Single-column keys hash columnar. Large inputs
+/// dispatch to the chunk-parallel path ([`hash_join_with`]); output is
+/// identical either way.
 pub fn hash_join(
     left: &URelation,
     right: &URelation,
@@ -164,20 +170,20 @@ pub fn hash_join(
     }
     let schema = Arc::new(left.schema().join(right.schema()));
     let mut table: FastMap<u64, Vec<usize>> =
-        FastMap::with_capacity_and_hasher(left.len(), Default::default());
-    for (i, t) in left.tuples().iter().enumerate() {
-        if let Some(h) = tuple_key_hash(&t.data, left_keys) {
+        FastMap::with_capacity_and_hasher(right.len(), Default::default());
+    for (i, t) in right.tuples().iter().enumerate() {
+        if let Some(h) = tuple_key_hash(&t.data, right_keys) {
             table.entry(h).or_default().push(i);
         }
     }
     let mut batch = TupleBatch::new();
     let mut wsds = Vec::new();
-    for r in right.tuples() {
-        let Some(h) = tuple_key_hash(&r.data, right_keys) else { continue };
+    for l in left.tuples() {
+        let Some(h) = tuple_key_hash(&l.data, left_keys) else { continue };
         let Some(candidates) = table.get(&h) else { continue };
-        for &li in candidates {
-            let l = &left.tuples()[li];
-            if !tuple_keys_eq(&l.data, left_keys, &r.data, right_keys) {
+        for &ri in candidates {
+            let r = &right.tuples()[ri];
+            if !tuple_keys_eq(&r.data, right_keys, &l.data, left_keys) {
                 continue; // hash collision
             }
             if let Some(wsd) = l.wsd.conjoin(&r.wsd) {
@@ -190,7 +196,7 @@ pub fn hash_join(
 }
 
 /// [`hash_join`] on an explicit pool: hash-partitioned parallel build
-/// over the left side, chunked parallel probe over the right, exactly
+/// over the right side, chunked parallel probe over the left, exactly
 /// mirroring the engine's `hash_join_with` but conjoining WSDs (and
 /// dropping unsatisfiable pairs) per emitted row.
 ///
@@ -219,17 +225,17 @@ pub fn hash_join_with(
     // each partition task touches only its own pairs (O(rows) total
     // build work); chunk order = row order keeps every bucket's
     // candidate list in the sequential insertion order.
-    let parts = if pool.threads() > 1 && left.len() >= min_chunk {
+    let parts = if pool.threads() > 1 && right.len() >= min_chunk {
         pool.threads()
     } else {
         1
     };
-    let chunk = maybms_par::auto_chunk(left.len(), pool.threads(), min_chunk);
+    let chunk = maybms_par::auto_chunk(right.len(), pool.threads(), min_chunk);
     let bucketed: Vec<Vec<Vec<(u64, u32)>>> =
-        pool.par_map_chunks(left.len(), chunk, |range| {
+        pool.par_map_chunks(right.len(), chunk, |range| {
             let mut buckets: Vec<Vec<(u64, u32)>> = vec![Vec::new(); parts];
             for i in range {
-                if let Some(h) = tuple_key_hash(&left.tuples()[i].data, left_keys) {
+                if let Some(h) = tuple_key_hash(&right.tuples()[i].data, right_keys) {
                     buckets[(h as usize) % parts].push((h, i as u32));
                 }
             }
@@ -238,7 +244,7 @@ pub fn hash_join_with(
     let tables: Vec<FastMap<u64, Vec<usize>>> =
         pool.par_map((0..parts).collect::<Vec<_>>(), |p| {
             let mut table: FastMap<u64, Vec<usize>> = FastMap::with_capacity_and_hasher(
-                left.len() / parts + 1,
+                right.len() / parts + 1,
                 Default::default(),
             );
             for chunk_buckets in &bucketed {
@@ -249,18 +255,18 @@ pub fn hash_join_with(
             table
         });
 
-    // Chunked probe with WSD conjunction.
-    let chunk = maybms_par::auto_chunk(right.len(), pool.threads(), min_chunk);
-    let outputs: Vec<Vec<UTuple>> = pool.par_map_chunks(right.len(), chunk, |range| {
+    // Chunked probe over the left input, with WSD conjunction.
+    let chunk = maybms_par::auto_chunk(left.len(), pool.threads(), min_chunk);
+    let outputs: Vec<Vec<UTuple>> = pool.par_map_chunks(left.len(), chunk, |range| {
         let mut batch = TupleBatch::new();
         let mut wsds: Vec<Wsd> = Vec::new();
-        for ri in range {
-            let r = &right.tuples()[ri];
-            let Some(h) = tuple_key_hash(&r.data, right_keys) else { continue };
+        for li in range {
+            let l = &left.tuples()[li];
+            let Some(h) = tuple_key_hash(&l.data, left_keys) else { continue };
             let Some(candidates) = tables[(h as usize) % parts].get(&h) else { continue };
-            for &li in candidates {
-                let l = &left.tuples()[li];
-                if !tuple_keys_eq(&l.data, left_keys, &r.data, right_keys) {
+            for &ri in candidates {
+                let r = &right.tuples()[ri];
+                if !tuple_keys_eq(&r.data, right_keys, &l.data, left_keys) {
                     continue; // hash collision
                 }
                 if let Some(wsd) = l.wsd.conjoin(&r.wsd) {

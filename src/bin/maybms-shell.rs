@@ -17,6 +17,9 @@
 //! `\timing` toggle timing (on by default, so parallel speedups are
 //! visible per statement), `\i FILE` run a SQL script, `\help`.
 //!
+//! `EXPLAIN <query>;` prints the morsel-driven executor's pipeline
+//! decomposition (fused stages and breakers) instead of the result.
+//!
 //! The execution pool honours `MAYBMS_THREADS` at startup (unset or `0`
 //! → all cores) and can be resized at runtime with `\threads N`.
 
@@ -136,6 +139,7 @@ fn handle_meta(cmd: &str, db: &mut MayBms, timing: &mut bool) -> bool {
     match head {
         "\\q" | "\\quit" => return false,
         "\\help" | "\\?" => {
+            println!("EXPLAIN <query>;  print the executed pipeline decomposition");
             println!("\\d [table]   list tables / describe one");
             println!("\\w           world-table summary (variables, worlds)");
             println!("\\threads [N] show or set the execution pool size");

@@ -40,6 +40,7 @@ pub use maybms_conf as conf;
 pub use maybms_core as core;
 pub use maybms_engine as engine;
 pub use maybms_par as par;
+pub use maybms_pipe as pipe;
 pub use maybms_sql as sql;
 pub use maybms_urel as urel;
 
