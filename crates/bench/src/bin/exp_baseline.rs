@@ -31,7 +31,10 @@ use std::time::Instant;
 use maybms_bench::{naive, workloads};
 use maybms_conf::exact::{self, ExactOptions};
 use maybms_conf::karp_luby::KarpLuby;
-use maybms_engine::{ops, BinaryOp, Catalog, Expr, PhysicalPlan};
+use maybms_core::agg as coreagg;
+use maybms_core::translate::AggSpec;
+use maybms_engine::{ops, BinaryOp, Catalog, DataType, Expr, Field, PhysicalPlan};
+use maybms_pipe::UStream;
 use maybms_urel::pick::PickTuplesOptions;
 use maybms_urel::repair::RepairKeyOptions;
 use maybms_urel::{algebra, WorldTable};
@@ -504,6 +507,146 @@ fn main() {
         pipelined_ms: Some(p),
     });
 
+    // -- Grouped aggregation, certain: σ → π → GROUP BY k three-way ----
+    // The projection makes the breaker's input a *constructed* relation:
+    // naive = seed operators + two-pass grouping (owned Vec<Value> keys,
+    // per-group index-list rescans); materialized = selection-vector σ,
+    // batched π, then a single-pass AggState fold over the materialised
+    // intermediate; streaming = the grouped-aggregation breaker (σ and π
+    // fused into the morsel-local group fold — no intermediate relation
+    // exists at all).
+    let group_pred = Expr::col("v").binary(BinaryOp::Lt, Expr::lit(500i64));
+    let group_proj = [
+        ops::ProjectItem::col("k"),
+        ops::ProjectItem::new(
+            Expr::col("v").binary(BinaryOp::Add, Expr::col("k")),
+            "t",
+        ),
+    ];
+    let group_keys = [Expr::col("k")];
+    let group_names = ["k".to_string()];
+    let group_aggs = [
+        ops::AggCall::new(ops::AggFunc::Count, None, "n"),
+        ops::AggCall::new(ops::AggFunc::Sum, Some(Expr::col("t")), "s"),
+        ops::AggCall::new(ops::AggFunc::Avg, Some(Expr::col("t")), "m"),
+    ];
+    let mut group_catalog = Catalog::new();
+    group_catalog.create("wide", certain.clone()).expect("fresh catalog");
+    let group_plan = PhysicalPlan::Aggregate {
+        input: Box::new(PhysicalPlan::Project {
+            input: Box::new(PhysicalPlan::Filter {
+                input: Box::new(PhysicalPlan::Scan { table: "wide".into(), alias: None }),
+                predicate: group_pred.clone(),
+            }),
+            items: group_proj.to_vec(),
+        }),
+        group_exprs: group_keys.to_vec(),
+        group_names: group_names.to_vec(),
+        aggs: group_aggs.to_vec(),
+    };
+    let (n, o, p, out) = compare3(
+        reps,
+        || {
+            let f = naive::filter(&certain, &group_pred).unwrap();
+            let pr = naive::project(&f, &group_proj).unwrap();
+            naive::aggregate(&pr, &group_keys, &group_names, &group_aggs).unwrap().len()
+        },
+        || group_plan.execute(&group_catalog).unwrap().len(),
+        || maybms_pipe::execute(&group_plan, &group_catalog).unwrap().len(),
+    );
+    outcomes.push(Outcome {
+        name: "group_by_certain",
+        rows_in: certain.len(),
+        rows_out: out,
+        naive_ms: n,
+        optimized_ms: o,
+        pipelined_ms: Some(p),
+    });
+
+    // -- Grouped aggregation, uncertain: σ → π → GROUP BY k + conf() ---
+    // The MayBMS workhorse (§2.2: uncertain → t-certain). All three run
+    // the same per-group confidence evaluation (SPROUT fast path over
+    // tuple-independent lineage), so the delta isolates grouping and
+    // materialisation: naive = deep-clone σ/π + owned-key grouping over
+    // the materialised chain; materialized = the PR 3 path (fused σ→π,
+    // collect, two-pass group + aggregate); streaming = the grouped
+    // breaker folding member WSDs and running esum/ecount partial sums
+    // morsel-locally — the projected U-relation never exists.
+    let conf_ctx = maybms_core::ConfContext::default();
+    // Projected shape: (k, t = v + k); group by k, conf/ecount/esum(t).
+    let conf_key = [Expr::ColumnIdx(0)];
+    let conf_key_fields = vec![Field::new("k", DataType::Int)];
+    let conf_aggs = [
+        (AggSpec::Conf, "p".to_string()),
+        (AggSpec::ECount(None), "ec".to_string()),
+        (AggSpec::ESum(Expr::ColumnIdx(1)), "es".to_string()),
+    ];
+    let (n, o, p, out) = compare3(
+        reps,
+        || {
+            let f = naive::select_u(&uncertain, &group_pred).unwrap();
+            let pr = naive::project_u(&f, &group_proj).unwrap();
+            let (keys, members) = naive::group_u(&pr, &conf_key).unwrap();
+            let groups = coreagg::Groups { keys, members };
+            coreagg::aggregate_groups(
+                &pr,
+                &groups,
+                conf_key_fields.clone(),
+                &conf_aggs,
+                &_wt,
+                &conf_ctx,
+            )
+            .unwrap()
+            .len()
+        },
+        || {
+            let pr = UStream::new(uncertain.clone())
+                .filter(&group_pred)
+                .unwrap()
+                .project(&group_proj)
+                .unwrap()
+                .collect()
+                .unwrap();
+            let groups = coreagg::group(&pr, &conf_key).unwrap();
+            coreagg::aggregate_groups(
+                &pr,
+                &groups,
+                conf_key_fields.clone(),
+                &conf_aggs,
+                &_wt,
+                &conf_ctx,
+            )
+            .unwrap()
+            .len()
+        },
+        || {
+            let stream = UStream::new(uncertain.clone())
+                .filter(&group_pred)
+                .unwrap()
+                .project(&group_proj)
+                .unwrap();
+            coreagg::aggregate_stream(
+                stream,
+                &conf_key,
+                1,
+                conf_key_fields.clone(),
+                &conf_aggs,
+                &_wt,
+                &conf_ctx,
+            )
+            .unwrap()
+            .len()
+        },
+    );
+    outcomes.push(Outcome {
+        name: "group_by_conf",
+        rows_in: uncertain.len(),
+        rows_out: out,
+        naive_ms: n,
+        optimized_ms: o,
+        pipelined_ms: Some(p),
+    });
+
     // -- Report --------------------------------------------------------
     println!(
         "{:<24} {:>10} {:>10} {:>12} {:>12} {:>12} {:>9}",
@@ -526,7 +669,11 @@ fn main() {
          with pipelined_ms additionally run the maybms-pipe morsel-driven \
          streaming executor over the same plan (pipelined_speedup = \
          optimized_ms / pipelined_ms, the fusion win over full \
-         materialisation); interleaved medians, same process\" }},"
+         materialisation); group_by_* are three-way grouped-aggregation \
+         workloads: seed two-pass grouping vs single-pass AggState fold \
+         over a materialised input vs the streaming grouped-aggregation \
+         breaker (morsel-local group fold, input never materialised); \
+         interleaved medians, same process\" }},"
     );
     json.push_str("  \"workloads\": [\n");
     for (i, w) in outcomes.iter().enumerate() {

@@ -16,8 +16,12 @@
 
 use std::sync::Arc;
 
-use maybms_engine::ops::{ProjectItem, SortKey};
-use maybms_engine::{optimizer, Catalog, DataType, Expr, PhysicalPlan, Relation, Schema, Tuple, Value};
+use maybms_core::agg as uagg;
+use maybms_core::translate::AggSpec;
+use maybms_engine::ops::{AggCall, AggFunc, ProjectItem, SortKey};
+use maybms_engine::{
+    optimizer, Catalog, DataType, Expr, Field, PhysicalPlan, Relation, Schema, Tuple, Value,
+};
 use maybms_par::ThreadPool;
 use maybms_pipe::UStream;
 use maybms_urel::{algebra, Assignment, URelation, UTuple, Var, WorldTable, Wsd};
@@ -94,7 +98,7 @@ fn build_plan(base: u8, tokens: &[Token]) -> PhysicalPlan {
     let mut plan = PhysicalPlan::Scan { table, alias: None };
     for &(op, a, b) in tokens {
         let col = |x: u8| Expr::ColumnIdx(x as usize % arity);
-        match op % 8 {
+        match op % 9 {
             0 => {
                 let cmp = if b % 2 == 0 {
                     maybms_engine::BinaryOp::Gt
@@ -144,6 +148,31 @@ fn build_plan(base: u8, tokens: &[Token]) -> PhysicalPlan {
             6 => {
                 plan = PhysicalPlan::UnionAll { inputs: vec![plan.clone(), plan] };
             }
+            8 => {
+                // Grouped aggregation (the streaming breaker): every
+                // aggregate function, with and without group keys, over
+                // numeric-or-NULL columns (NULL keys form groups too).
+                let n_keys = (a % 2) as usize;
+                let (group_exprs, group_names) = if n_keys == 1 {
+                    (vec![col(b)], vec!["g".to_string()])
+                } else {
+                    (Vec::new(), Vec::new())
+                };
+                let aggs = vec![
+                    AggCall::new(AggFunc::Count, None, "n"),
+                    AggCall::new(AggFunc::Sum, Some(col(a)), "s"),
+                    AggCall::new(AggFunc::Avg, Some(col(b)), "m"),
+                    AggCall::new(AggFunc::Min, Some(col(a)), "lo"),
+                    AggCall::new(AggFunc::Max, Some(col(b)), "hi"),
+                ];
+                plan = PhysicalPlan::Aggregate {
+                    input: Box::new(plan),
+                    group_exprs,
+                    group_names,
+                    aggs,
+                };
+                arity = n_keys + 5;
+            }
             _ => {
                 let (rt, ra) = table_arity(b);
                 let pred = Expr::ColumnIdx(a as usize % arity)
@@ -161,7 +190,7 @@ fn build_plan(base: u8, tokens: &[Token]) -> PhysicalPlan {
 }
 
 fn arb_tokens() -> impl Strategy<Value = Vec<Token>> {
-    prop::collection::vec((0u8..8, 0u8..16, 0u8..16), 0..6)
+    prop::collection::vec((0u8..9, 0u8..16, 0u8..16), 0..6)
 }
 
 proptest! {
@@ -275,12 +304,13 @@ struct UChain {
 }
 
 /// Fold tokens into both the eager algebra chain and the lazy stream.
-/// Returns `(materialized, stream)`; both built from identical stages.
+/// Returns `(materialized, stream, per-column numeric-or-NULL flags)`;
+/// both sides built from identical stages.
 fn build_uchain(
     u1: &URelation,
     u2: &URelation,
     tokens: &[Token],
-) -> (URelation, UStream) {
+) -> (URelation, UStream, Vec<bool>) {
     let mut info = UChain { numeric: vec![true, true, false] };
     let mut eager = u1.clone();
     let mut lazy = UStream::new(u1.clone());
@@ -331,7 +361,8 @@ fn build_uchain(
             }
         }
     }
-    (eager, lazy)
+    let UChain { numeric } = info;
+    (eager, lazy, numeric)
 }
 
 proptest! {
@@ -346,17 +377,105 @@ proptest! {
         (_w2, u2) in arb_urelation(),
         tokens in prop::collection::vec((0u8..3, 0u8..16, 0u8..16), 0..5),
     ) {
-        let (eager, lazy) = build_uchain(&u1, &u2, &tokens);
+        let (eager, lazy, _) = build_uchain(&u1, &u2, &tokens);
         prop_assert_eq!(lazy.schema().len(), eager.schema().len());
         for threads in [1usize, 2, 8] {
             let pool = ThreadPool::new(threads);
             // Rebuild the stream per thread count (collect consumes it).
-            let (_, stream) = build_uchain(&u1, &u2, &tokens);
+            let (_, stream, _) = build_uchain(&u1, &u2, &tokens);
             let got = stream.collect_with(&pool, 1).unwrap();
             prop_assert_eq!(got.tuples(), eager.tuples(), "threads {}", threads);
         }
-        let (_, stream) = build_uchain(&u1, &u2, &tokens);
+        let (_, stream, _) = build_uchain(&u1, &u2, &tokens);
         prop_assert_eq!(stream.collect().unwrap().tuples(), eager.tuples());
         let _ = lazy;
+    }
+
+    /// The streaming grouped-aggregation breaker ≡ materialising the
+    /// chain and running the two-pass group + aggregate path — group
+    /// keys (incl. NULLs and duplicate select keys), `conf()`,
+    /// `esum`/`ecount` partial sums, and `aconf` seed numbering — at
+    /// 1/2/8 threads with single-row morsels. Covers empty inputs with
+    /// and without GROUP BY (0-row generators).
+    #[test]
+    fn grouped_streaming_matches_two_pass(
+        (wt, u1) in arb_urelation(),
+        (_w2, u2) in arb_urelation(),
+        tokens in prop::collection::vec((0u8..3, 0u8..16, 0u8..16), 0..4),
+        key_pick in 0u8..3,
+        agg_pick in 0u8..4,
+    ) {
+        let (eager, _, numeric) = build_uchain(&u1, &u2, &tokens);
+        // Group keys: global (none), one key, or a duplicated key pair
+        // (the same expression selected twice).
+        let k0 = Expr::ColumnIdx(0);
+        let grouping: Vec<Expr> = match key_pick {
+            0 => Vec::new(),
+            1 => vec![k0.clone()],
+            _ => vec![k0.clone(), k0],
+        };
+        let key_fields: Vec<Field> = (0..grouping.len())
+            .map(|i| Field::new(format!("k{i}"), DataType::Unknown))
+            .collect();
+        // esum needs a numeric argument; pick the first numeric column
+        // (falling back to column 0, where both paths must then raise
+        // the same typing error).
+        let num_col = numeric
+            .iter()
+            .position(|&n| n)
+            .map(Expr::ColumnIdx)
+            .unwrap_or(Expr::ColumnIdx(0));
+        let aggs: Vec<(AggSpec, String)> = match agg_pick {
+            0 => vec![(AggSpec::Conf, "p".into())],
+            1 => vec![
+                (AggSpec::ESum(num_col.clone()), "es".into()),
+                (AggSpec::ECount(None), "ec".into()),
+            ],
+            2 => vec![
+                (AggSpec::AConf { epsilon: 0.5, delta: 0.4 }, "ap".into()),
+                (AggSpec::Conf, "p".into()),
+            ],
+            _ => vec![
+                (AggSpec::ECount(Some(Expr::ColumnIdx(1))), "ec".into()),
+                (AggSpec::Conf, "p".into()),
+                (AggSpec::ESum(num_col.clone()), "es".into()),
+            ],
+        };
+        let ctx = uagg::ConfContext::default();
+        // Two-pass reference over the materialised chain.
+        let want = uagg::group(&eager, &grouping).and_then(|groups| {
+            uagg::aggregate_groups(&eager, &groups, key_fields.clone(), &aggs, &wt, &ctx)
+        });
+        for threads in [1usize, 2, 8] {
+            let pool = ThreadPool::new(threads);
+            let (_, stream, _) = build_uchain(&u1, &u2, &tokens);
+            let got = uagg::aggregate_stream_with(
+                stream,
+                &grouping,
+                grouping.len(),
+                key_fields.clone(),
+                &aggs,
+                &wt,
+                &ctx,
+                &pool,
+                1,
+            );
+            match (&want, &got) {
+                (Ok(w), Ok(g)) => prop_assert_eq!(
+                    g.tuples(),
+                    w.tuples(),
+                    "threads {}",
+                    threads
+                ),
+                (Err(_), Err(_)) => {}
+                (w, g) => prop_assert!(
+                    false,
+                    "two-pass {:?} vs streaming {:?} (threads {})",
+                    w,
+                    g,
+                    threads
+                ),
+            }
+        }
     }
 }

@@ -18,12 +18,25 @@
 use std::sync::Arc;
 
 use maybms_conf::{confidence, ConfMethod, Dnf};
-use maybms_engine::ops::AggFunc;
-use maybms_engine::{DataType, Expr, Field, Relation, Schema, Tuple, Value};
-use maybms_urel::{URelation, WorldTable};
+use maybms_engine::ops::{AggFunc, AggState, ExactSum};
+use maybms_engine::{DataType, EngineError, Expr, Field, Relation, Schema, Tuple, Value};
+use maybms_pipe::UStream;
+use maybms_urel::{URelation, UrelError, WorldTable, Wsd};
 
-use crate::error::{plan_err, typing, Result};
+use crate::error::{plan_err, typing, CoreError, Result};
 use crate::translate::AggSpec;
+
+/// §2.2 typing rule shared by the materialising and streaming paths (the
+/// streaming fold raises it row-by-row as a tagged engine error that
+/// [`aggregate_stream_with`] maps back to a typing error).
+const STD_ON_UNCERTAIN: &str = "standard SQL aggregates (sum/count/avg/min/max) are \
+                                not supported on uncertain relations; use esum/ecount \
+                                or conf (§2.2)";
+/// §2.2 typing rule for `argmax` (same mechanism).
+const ARGMAX_ON_UNCERTAIN: &str = "argmax requires a t-certain input relation (§2.2)";
+/// Prefix of the esum type error, shared between the materialising and
+/// streaming paths (and the error remap) so the wording cannot drift.
+const ESUM_NON_NUMERIC: &str = "esum over non-numeric value";
 
 /// How `conf()` should be computed (the executor threads this through so
 /// benches can switch engines and `aconf` can carry its parameters).
@@ -85,15 +98,35 @@ pub fn group(u: &URelation, key_exprs: &[Expr]) -> Result<Groups> {
     Ok(Groups { keys, members })
 }
 
-/// Is the lineage of this group tuple-independent (each clause at most one
+/// Is this lineage tuple-independent (each clause at most one
 /// assignment, no variable shared between clauses)? If so `conf` reduces to
 /// the aggregation `1 − Π(1 − pᵢ)` — the SPROUT fast path (§2.3).
-fn independent_group(u: &URelation, members: &[usize]) -> bool {
+fn independent_wsds<'a>(wsds: impl Iterator<Item = &'a Wsd>) -> bool {
     let mut seen = std::collections::HashSet::new();
-    members.iter().all(|&i| {
-        let wsd = &u.tuples()[i].wsd;
-        wsd.len() <= 1 && wsd.vars().all(|v| seen.insert(v))
-    })
+    let mut wsds = wsds;
+    wsds.all(|wsd| wsd.len() <= 1 && wsd.vars().all(|v| seen.insert(v)))
+}
+
+/// Compute one confidence value from a group's member WSDs (what the
+/// streaming grouped-aggregation breaker accumulates per group).
+pub fn wsds_confidence(
+    wsds: &[Wsd],
+    wt: &WorldTable,
+    method: ConfMethod,
+    ctx: &ConfContext,
+) -> Result<f64> {
+    if ctx.sprout_fast_path
+        && matches!(method, ConfMethod::Exact)
+        && independent_wsds(wsds.iter())
+    {
+        let mut none = 1.0;
+        for wsd in wsds {
+            none *= 1.0 - wsd.prob(wt)?;
+        }
+        return Ok(1.0 - none);
+    }
+    let dnf = Dnf::from_wsds(wsds.iter());
+    Ok(confidence(&dnf, wt, method)?)
 }
 
 /// Compute one confidence value for a group of tuples.
@@ -106,7 +139,7 @@ pub fn group_confidence(
 ) -> Result<f64> {
     if ctx.sprout_fast_path
         && matches!(method, ConfMethod::Exact)
-        && independent_group(u, members)
+        && independent_wsds(members.iter().map(|&i| &u.tuples()[i].wsd))
     {
         let mut none = 1.0;
         for &i in members {
@@ -139,9 +172,7 @@ pub fn aggregate_groups(
         }
         let (AggSpec::ArgMax { arg, value }, name) = &aggs[0] else { unreachable!() };
         if !input_certain {
-            return Err(typing(
-                "argmax requires a t-certain input relation (§2.2)",
-            ));
+            return Err(typing(ARGMAX_ON_UNCERTAIN));
         }
         return eval_argmax(u, groups, key_fields, arg, value, name);
     }
@@ -149,10 +180,7 @@ pub fn aggregate_groups(
     // Standard aggregates demand a t-certain input.
     for (spec, _) in aggs {
         if matches!(spec, AggSpec::Std { .. }) && !input_certain {
-            return Err(typing(
-                "standard SQL aggregates (sum/count/avg/min/max) are not supported on \
-                 uncertain relations; use esum/ecount or conf (§2.2)",
-            ));
+            return Err(typing(STD_ON_UNCERTAIN));
         }
     }
 
@@ -218,7 +246,10 @@ pub fn aggregate_groups(
                     ))
                 }
                 AggSpec::ESum(e) => {
-                    let mut acc = 0.0;
+                    // ExactSum, like the streaming breaker: the rounded
+                    // result is independent of fold order, so the two
+                    // paths agree bit-for-bit.
+                    let mut acc = ExactSum::new();
                     for &i in members {
                         let t = &u.tuples()[i];
                         let v = e.eval(&t.data)?;
@@ -226,14 +257,14 @@ pub fn aggregate_groups(
                             continue;
                         }
                         let x = v.as_f64().ok_or_else(|| {
-                            typing(format!("esum over non-numeric value {v}"))
+                            typing(format!("{ESUM_NON_NUMERIC} {v}"))
                         })?;
-                        acc += x * t.wsd.prob(wt)?;
+                        acc.add(x * t.wsd.prob(wt)?);
                     }
-                    Value::float(acc)?
+                    Value::float(acc.round())?
                 }
                 AggSpec::ECount(e) => {
-                    let mut acc = 0.0;
+                    let mut acc = ExactSum::new();
                     for &i in members {
                         let t = &u.tuples()[i];
                         if let Some(expr) = e {
@@ -241,9 +272,9 @@ pub fn aggregate_groups(
                                 continue;
                             }
                         }
-                        acc += t.wsd.prob(wt)?;
+                        acc.add(t.wsd.prob(wt)?);
                     }
-                    Value::float(acc)?
+                    Value::float(acc.round())?
                 }
                 AggSpec::Std { func, arg } => {
                     eval_std(u, members, *func, arg.as_ref())?
@@ -271,6 +302,361 @@ pub fn aggregate_groups(
     } else {
         (0..n_groups).map(eval_row).collect::<Result<_>>()?
     };
+    Ok(Relation::new_unchecked(schema, out))
+}
+
+// ---------------------------------------------------------------------
+// Streaming grouped aggregation (the maybms-pipe breaker)
+// ---------------------------------------------------------------------
+
+/// One aggregate slot's morsel-mergeable partial state.
+#[derive(Debug)]
+enum Partial {
+    /// `conf()` / `aconf()`: computed from the group's member WSDs at
+    /// finish time (the whole lineage is needed — it *is* the DNF).
+    Lineage,
+    /// `esum` / `ecount`: the running expectation. [`ExactSum`] makes the
+    /// per-morsel partial sums split-invariant, so the merged value is
+    /// bit-identical to the sequential fold.
+    Expect(ExactSum),
+    /// A standard SQL aggregate's state.
+    Std(AggState),
+    /// `argmax`: the running group maximum plus the arg values of the
+    /// rows attaining it, in member order (memory proportional to ties,
+    /// not group size). The arg expression is evaluated only for rows
+    /// that match or beat the best seen *so far* — losing rows never
+    /// evaluate it, like the two-pass path's winners-only second scan.
+    ArgMax {
+        /// The largest non-NULL value seen.
+        best: Option<Value>,
+        /// Arg values of the rows attaining `best`, in member order
+        /// (deduplicated first-seen at finish).
+        args: Vec<Value>,
+    },
+}
+
+impl Partial {
+    fn new(spec: &AggSpec) -> Partial {
+        match spec {
+            AggSpec::Conf | AggSpec::AConf { .. } => Partial::Lineage,
+            AggSpec::ESum(_) | AggSpec::ECount(_) => Partial::Expect(ExactSum::new()),
+            AggSpec::Std { func, .. } => Partial::Std(AggState::new(*func)),
+            AggSpec::ArgMax { .. } => Partial::ArgMax { best: None, args: Vec::new() },
+            AggSpec::TConf => unreachable!("tconf is rejected before streaming"),
+        }
+    }
+}
+
+/// Per-group accumulator of the streaming grouped-aggregation breaker:
+/// member WSDs (kept only when a `conf`/`aconf` slot needs the group's
+/// lineage) plus one [`Partial`] per aggregate.
+#[derive(Debug)]
+pub struct StreamAcc {
+    wsds: Vec<Wsd>,
+    parts: Vec<Partial>,
+}
+
+/// Map the streaming fold's tagged engine errors back to the typing /
+/// plan errors the materialising path raises.
+fn remap_stream_err(e: UrelError) -> CoreError {
+    if let UrelError::Engine(EngineError::TypeMismatch { message }) = &e {
+        if message == STD_ON_UNCERTAIN
+            || message == ARGMAX_ON_UNCERTAIN
+            || message.starts_with(ESUM_NON_NUMERIC)
+        {
+            return typing(message.clone());
+        }
+    }
+    e.into()
+}
+
+/// Evaluate grouped aggregates **streaming**: the pipeline's fused stage
+/// chain runs morsel-by-morsel and every surviving row folds straight
+/// into a morsel-local group table ([`maybms_pipe::GroupTable`]) — the
+/// joined input is never materialised. Per group the fold accumulates
+/// member WSDs and running `esum`/`ecount` partial sums; the
+/// deterministic morsel-ordered merge then feeds the same per-group
+/// `conf()` fan-out (and `(group, slot)` `aconf` seed numbering) as
+/// [`aggregate_groups`], so the output is **bit-identical** to
+/// materialising the stream and running the two-pass path, at any thread
+/// count and morsel size.
+///
+/// `grouping` are the bound group-key expressions; only the first
+/// `n_out_keys` of them are output columns (named by `key_fields`), the
+/// rest are grouped-but-not-selected.
+pub fn aggregate_stream(
+    stream: UStream,
+    grouping: &[Expr],
+    n_out_keys: usize,
+    key_fields: Vec<Field>,
+    aggs: &[(AggSpec, String)],
+    wt: &WorldTable,
+    ctx: &ConfContext,
+) -> Result<Relation> {
+    let pool = maybms_par::pool();
+    aggregate_stream_with(
+        stream,
+        grouping,
+        n_out_keys,
+        key_fields,
+        aggs,
+        wt,
+        ctx,
+        &pool,
+        maybms_engine::ops::PAR_MIN_CHUNK,
+    )
+}
+
+/// [`aggregate_stream`] on an explicit pool and minimum morsel size
+/// (what the determinism property tests pin to 1/2/8 threads and
+/// single-row morsels).
+#[allow(clippy::too_many_arguments)]
+pub fn aggregate_stream_with(
+    stream: UStream,
+    grouping: &[Expr],
+    n_out_keys: usize,
+    key_fields: Vec<Field>,
+    aggs: &[(AggSpec, String)],
+    wt: &WorldTable,
+    ctx: &ConfContext,
+    pool: &maybms_par::ThreadPool,
+    min_morsel: usize,
+) -> Result<Relation> {
+    // Shape rules first (same errors, same timing as the two-pass path).
+    let has_argmax = aggs.iter().any(|(s, _)| matches!(s, AggSpec::ArgMax { .. }));
+    if has_argmax && aggs.len() != 1 {
+        return Err(plan_err("argmax cannot be combined with other aggregates"));
+    }
+    if aggs.iter().any(|(s, _)| matches!(s, AggSpec::TConf)) {
+        return Err(plan_err(
+            "tconf() is per-tuple and cannot be grouped; use it without GROUP BY",
+        ));
+    }
+    let in_schema = stream.schema().clone();
+    let needs_wsds =
+        aggs.iter().any(|(s, _)| matches!(s, AggSpec::Conf | AggSpec::AConf { .. }));
+
+    // ---- the morsel-local fold -------------------------------------
+    let new_state =
+        || StreamAcc { wsds: Vec::new(), parts: aggs.iter().map(|(s, _)| Partial::new(s)).collect() };
+    let fold = |acc: &mut StreamAcc, row: &[Value], wsd: &Wsd| -> maybms_urel::Result<()> {
+        if needs_wsds {
+            acc.wsds.push(wsd.clone());
+        }
+        for (part, (spec, _)) in acc.parts.iter_mut().zip(aggs) {
+            match (part, spec) {
+                (Partial::Lineage, _) => {}
+                (Partial::Expect(sum), AggSpec::ESum(e)) => {
+                    let v = e.eval_values(row)?;
+                    if !v.is_null() {
+                        let x = v.as_f64().ok_or_else(|| EngineError::TypeMismatch {
+                            message: format!("{ESUM_NON_NUMERIC} {v}"),
+                        })?;
+                        sum.add(x * wsd.prob(wt)?);
+                    }
+                }
+                (Partial::Expect(sum), AggSpec::ECount(e)) => {
+                    if let Some(expr) = e {
+                        if expr.eval_values(row)?.is_null() {
+                            continue;
+                        }
+                    }
+                    sum.add(wsd.prob(wt)?);
+                }
+                (Partial::Std(st), AggSpec::Std { arg, .. }) => {
+                    if !wsd.is_tautology() {
+                        return Err(EngineError::TypeMismatch {
+                            message: STD_ON_UNCERTAIN.to_string(),
+                        }
+                        .into());
+                    }
+                    match arg {
+                        None => st.fold_present(),
+                        Some(e) => st.fold(&e.eval_values(row)?)?,
+                    }
+                }
+                (Partial::ArgMax { best, args }, AggSpec::ArgMax { arg, value }) => {
+                    if !wsd.is_tautology() {
+                        return Err(EngineError::TypeMismatch {
+                            message: ARGMAX_ON_UNCERTAIN.to_string(),
+                        }
+                        .into());
+                    }
+                    let v = value.eval_values(row)?;
+                    if v.is_null() {
+                        continue;
+                    }
+                    match best {
+                        Some(b) if v < *b => {}
+                        Some(b) if v == *b => args.push(arg.eval_values(row)?),
+                        _ => {
+                            *best = Some(v);
+                            args.clear();
+                            args.push(arg.eval_values(row)?);
+                        }
+                    }
+                }
+                _ => unreachable!("partial/spec lists are parallel"),
+            }
+        }
+        Ok(())
+    };
+    let merge = |a: &mut StreamAcc, b: StreamAcc| -> maybms_urel::Result<()> {
+        a.wsds.extend(b.wsds);
+        for (pa, pb) in a.parts.iter_mut().zip(b.parts) {
+            match (pa, pb) {
+                (Partial::Lineage, Partial::Lineage) => {}
+                (Partial::Expect(x), Partial::Expect(y)) => x.merge(&y),
+                (Partial::Std(x), Partial::Std(y)) => x.merge(y)?,
+                (
+                    Partial::ArgMax { best, args },
+                    Partial::ArgMax { best: ob, args: oa },
+                ) => match (&*best, ob) {
+                    (_, None) => {}
+                    (None, Some(b)) => {
+                        *best = Some(b);
+                        *args = oa;
+                    }
+                    (Some(a), Some(b)) => {
+                        // `self` is the earlier morsel: on ties its args
+                        // come first, matching the sequential member order.
+                        if b > *a {
+                            *best = Some(b);
+                            *args = oa;
+                        } else if b == *a {
+                            args.extend(oa);
+                        }
+                    }
+                },
+                _ => unreachable!("partial lists are parallel"),
+            }
+        }
+        Ok(())
+    };
+    let (full_keys, states) = stream
+        .collect_grouped_with(grouping, pool, min_morsel, new_state, fold, merge)
+        .map_err(remap_stream_err)?;
+    // Reduce keys to the selected prefix for output.
+    let keys: Vec<Vec<Value>> = full_keys
+        .into_iter()
+        .map(|mut k| {
+            k.truncate(n_out_keys);
+            k
+        })
+        .collect();
+
+    // ---- finish ----------------------------------------------------
+    if has_argmax {
+        let (AggSpec::ArgMax { arg, .. }, name) = &aggs[0] else { unreachable!() };
+        return finish_argmax(keys, states, key_fields, arg.data_type(&in_schema), name);
+    }
+
+    let mut fields = key_fields;
+    for (spec, name) in aggs {
+        let dtype = match spec {
+            AggSpec::Conf | AggSpec::AConf { .. } | AggSpec::TConf => DataType::Float,
+            AggSpec::ESum(_) | AggSpec::ECount(_) => DataType::Float,
+            AggSpec::Std { func, arg } => match func {
+                AggFunc::Count => DataType::Int,
+                AggFunc::Avg => DataType::Float,
+                _ => arg
+                    .as_ref()
+                    .map(|e| e.data_type(&in_schema))
+                    .unwrap_or(DataType::Unknown),
+            },
+            AggSpec::ArgMax { .. } => unreachable!("handled above"),
+        };
+        fields.push(Field::new(name.clone(), dtype));
+    }
+    let schema = Arc::new(Schema::new(fields));
+
+    // One output row per group. `aconf` seeds keep the (group, slot)
+    // numbering of the two-pass path, so rows are identical whether
+    // groups evaluate in a loop or fan out to the pool.
+    let n_aconf =
+        aggs.iter().filter(|(s, _)| matches!(s, AggSpec::AConf { .. })).count() as u64;
+    let eval_row = |g: usize| -> Result<Tuple> {
+        let acc = &states[g];
+        let mut row = keys[g].clone();
+        let mut aconf_slot = 0u64;
+        for (part, (spec, _)) in acc.parts.iter().zip(aggs) {
+            let v = match (part, spec) {
+                (Partial::Lineage, AggSpec::Conf) => {
+                    Value::float(wsds_confidence(&acc.wsds, wt, ctx.exact, ctx)?)?
+                }
+                (Partial::Lineage, AggSpec::AConf { epsilon, delta }) => {
+                    aconf_slot += 1;
+                    Value::float(wsds_confidence(
+                        &acc.wsds,
+                        wt,
+                        ConfMethod::Approx {
+                            epsilon: *epsilon,
+                            delta: *delta,
+                            seed: ctx
+                                .seed
+                                .wrapping_add(g as u64 * n_aconf)
+                                .wrapping_add(aconf_slot),
+                        },
+                        ctx,
+                    )?)?
+                }
+                (Partial::Expect(sum), _) => Value::float(sum.round())?,
+                (Partial::Std(st), _) => st.finish()?,
+                _ => unreachable!("partial/spec lists are parallel"),
+            };
+            row.push(v);
+        }
+        Ok(Tuple::new(row))
+    };
+
+    let n_groups = keys.len();
+    let out: Vec<Tuple> = if n_groups >= 8 && pool.threads() > 1 {
+        // Per-group confidence computation (#P-hard in general) dominates;
+        // fan groups out in small chunks and merge rows in group order.
+        let chunk = maybms_par::auto_chunk(n_groups, pool.threads(), 1);
+        let partials: Vec<Result<Vec<Tuple>>> =
+            pool.par_map_chunks(n_groups, chunk, |range| range.map(&eval_row).collect());
+        let mut out = Vec::with_capacity(n_groups);
+        for p in partials {
+            out.extend(p?);
+        }
+        out
+    } else {
+        (0..n_groups).map(eval_row).collect::<Result<_>>()?
+    };
+    Ok(Relation::new_unchecked(schema, out))
+}
+
+/// `argmax` finish over the streamed per-group maxima: all distinct arg
+/// values attaining each group's maximum, in first-seen member order —
+/// the same rows as [`eval_argmax`] on a materialised input.
+fn finish_argmax(
+    keys: Vec<Vec<Value>>,
+    states: Vec<StreamAcc>,
+    key_fields: Vec<Field>,
+    arg_dtype: DataType,
+    name: &str,
+) -> Result<Relation> {
+    let mut fields = key_fields;
+    fields.push(Field::new(name.to_string(), arg_dtype));
+    let schema = Arc::new(Schema::new(fields));
+    let mut out = Vec::new();
+    for (key, acc) in keys.into_iter().zip(states) {
+        let [Partial::ArgMax { best, args }] = &acc.parts[..] else {
+            unreachable!("argmax is the only aggregate on this path")
+        };
+        if best.is_none() {
+            continue; // no non-NULL value in the group
+        }
+        let mut seen = std::collections::HashSet::new();
+        for a in args {
+            if seen.insert(a.clone()) {
+                let mut row = key.clone();
+                row.push(a.clone());
+                out.push(Tuple::new(row));
+            }
+        }
+    }
     Ok(Relation::new_unchecked(schema, out))
 }
 
@@ -579,6 +965,134 @@ mod tests {
             &ConfContext::default(),
         );
         assert!(matches!(out, Err(crate::error::CoreError::Typing { .. })));
+    }
+
+    #[test]
+    fn streaming_grouped_aggregation_matches_two_pass() {
+        // The streaming breaker must be bit-identical to materialising
+        // the stream and running group + aggregate_groups — at any
+        // thread count, down to single-row morsels.
+        let (wt, u) = ti_setup();
+        let key = Expr::col("g").bind(u.schema()).unwrap();
+        let v = Expr::col("v").bind(u.schema()).unwrap();
+        let aggs = [
+            (AggSpec::Conf, "p".to_string()),
+            (AggSpec::ESum(v.clone()), "es".to_string()),
+            (AggSpec::ECount(None), "ec".to_string()),
+            (AggSpec::AConf { epsilon: 0.4, delta: 0.4 }, "ap".to_string()),
+        ];
+        let ctx = ConfContext::default();
+        let groups = group(&u, std::slice::from_ref(&key)).unwrap();
+        let want = aggregate_groups(
+            &u,
+            &groups,
+            vec![Field::new("g", DataType::Text)],
+            &aggs,
+            &wt,
+            &ctx,
+        )
+        .unwrap();
+        for threads in [1usize, 2, 8] {
+            let pool = maybms_par::ThreadPool::new(threads);
+            let got = aggregate_stream_with(
+                UStream::new(u.clone()),
+                std::slice::from_ref(&key),
+                1,
+                vec![Field::new("g", DataType::Text)],
+                &aggs,
+                &wt,
+                &ctx,
+                &pool,
+                1,
+            )
+            .unwrap();
+            assert_eq!(got.tuples(), want.tuples(), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn streaming_std_on_uncertain_is_typing_error() {
+        let (wt, u) = ti_setup();
+        let v = Expr::col("v").bind(u.schema()).unwrap();
+        let out = aggregate_stream(
+            UStream::new(u),
+            &[],
+            0,
+            vec![],
+            &[(AggSpec::Std { func: AggFunc::Sum, arg: Some(v) }, "s".to_string())],
+            &wt,
+            &ConfContext::default(),
+        );
+        assert!(matches!(out, Err(crate::error::CoreError::Typing { .. })), "{out:?}");
+    }
+
+    #[test]
+    fn streaming_argmax_matches_two_pass() {
+        let wt = WorldTable::new();
+        let u = URelation::from_certain(&rel(
+            &[("team", DataType::Text), ("player", DataType::Text), ("pts", DataType::Int)],
+            vec![
+                vec!["LAL".into(), "Bryant".into(), 40.into()],
+                vec!["LAL".into(), "Gasol".into(), 40.into()],
+                vec!["LAL".into(), "Fisher".into(), 10.into()],
+                vec!["SAS".into(), "Duncan".into(), 25.into()],
+            ],
+        ));
+        let key = Expr::col("team").bind(u.schema()).unwrap();
+        let arg = Expr::col("player").bind(u.schema()).unwrap();
+        let val = Expr::col("pts").bind(u.schema()).unwrap();
+        let aggs =
+            [(AggSpec::ArgMax { arg, value: val }, "star".to_string())];
+        let groups = group(&u, std::slice::from_ref(&key)).unwrap();
+        let want = aggregate_groups(
+            &u,
+            &groups,
+            vec![Field::new("team", DataType::Text)],
+            &aggs,
+            &wt,
+            &ConfContext::default(),
+        )
+        .unwrap();
+        for threads in [1usize, 2, 8] {
+            let pool = maybms_par::ThreadPool::new(threads);
+            let got = aggregate_stream_with(
+                UStream::new(u.clone()),
+                std::slice::from_ref(&key),
+                1,
+                vec![Field::new("team", DataType::Text)],
+                &aggs,
+                &wt,
+                &ConfContext::default(),
+                &pool,
+                1,
+            )
+            .unwrap();
+            assert_eq!(got.tuples(), want.tuples(), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn streaming_global_group_over_empty_input() {
+        // No GROUP BY over an empty stream still yields one row (SQL
+        // scalar-aggregate behaviour), exactly like the two-pass path.
+        let wt = WorldTable::new();
+        let u = URelation::from_certain(&rel(&[("v", DataType::Int)], vec![]));
+        let out = aggregate_stream(
+            UStream::new(u),
+            &[],
+            0,
+            vec![],
+            &[
+                (AggSpec::ECount(None), "ec".to_string()),
+                (AggSpec::Conf, "p".to_string()),
+            ],
+            &wt,
+            &ConfContext::default(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.tuples()[0].value(0), &Value::Float(0.0));
+        assert_eq!(out.tuples()[0].value(1), &Value::Float(0.0));
     }
 
     #[test]

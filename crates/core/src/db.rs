@@ -518,7 +518,7 @@ mod tests {
     }
 
     #[test]
-    fn explain_aggregate_shows_breaker() {
+    fn explain_aggregate_shows_streaming_breaker() {
         let mut db = db_with_games();
         let StatementResult::Ok { message } = db
             .run("explain select player, conf() as p from games group by player")
@@ -526,7 +526,33 @@ mod tests {
         else {
             panic!()
         };
-        assert!(message.contains("aggregation breaker"), "{message}");
+        assert!(
+            message.contains("grouped aggregation (streaming, 1 keys, 1 aggs)"),
+            "{message}"
+        );
+        // The old full-input materialisation breaker is gone.
+        assert!(!message.contains("aggregation breaker"), "{message}");
+    }
+
+    #[test]
+    fn explain_grouped_aggregate_keeps_fused_stages() {
+        // Pushed-down filters stay fused stages *inside* the grouped
+        // aggregation's pipeline — nothing materialises before the fold.
+        let mut db = db_with_games();
+        let StatementResult::Ok { message } = db
+            .run(
+                "explain select player, count(*) as n from games \
+                 where pts > 20 group by player",
+            )
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert!(
+            message.contains("grouped aggregation (streaming, 1 keys, 1 aggs)"),
+            "{message}"
+        );
+        assert!(message.contains("-> filter"), "{message}");
     }
 
     #[test]

@@ -19,11 +19,14 @@
 //! [`maybms_pipe::UStream`]: pushed-down filters, hash-join probes, and
 //! the final projection accumulate as **fused stages** over the first
 //! FROM source and run in one morsel-driven pass — no intermediate
-//! U-relation is materialised. Materialisation happens only at breakers
-//! (hash-join build sides, nested-loop joins, `IN`-subquery rewrites,
-//! aggregation, `select possible`, DISTINCT, union) and at the final
-//! output. `EXPLAIN` records every collected pipeline via
-//! [`ExecCtx::trace`].
+//! U-relation is materialised. Grouped aggregation is a **streaming
+//! breaker**: the accumulated pipeline's rows fold straight into
+//! morsel-local group tables ([`agg::aggregate_stream`]), so `GROUP BY
+//! conf()/esum/ecount` plans stream end-to-end. Materialisation happens
+//! only at the remaining breakers (hash-join build sides, nested-loop
+//! joins, `IN`-subquery rewrites, `select possible`, DISTINCT, tconf,
+//! union) and at the final output. `EXPLAIN` records every collected
+//! pipeline via [`ExecCtx::trace`].
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -398,6 +401,13 @@ pub fn eval_select(s: &Select, ctx: &mut ExecCtx<'_>) -> Result<QueryOutput> {
         }) {
             return Err(plan_err("tconf() cannot be combined with other aggregates"));
         }
+        // tconf() is per-tuple, not grouped: HAVING has no groups to
+        // filter here, exactly as on the plain-projection path.
+        if s.having.is_some() {
+            return Err(plan_err(
+                "HAVING requires GROUP BY or aggregates (tconf() is per-tuple)",
+            ));
+        }
         let mut scalars = Vec::new();
         let mut tconf_names = Vec::new();
         for item in &items {
@@ -412,12 +422,11 @@ pub fn eval_select(s: &Select, ctx: &mut ExecCtx<'_>) -> Result<QueryOutput> {
         let rel = agg::eval_tconf(&joined, &scalars, &tconf_names, ctx.wt)?;
         // Reorder columns to the select order.
         let rel = reorder_to_select_order(rel, &items)?;
-        return Ok(QueryOutput::Certain(apply_having(rel, s)?));
+        return Ok(QueryOutput::Certain(rel));
     }
 
     if has_aggs || !s.group_by.is_empty() {
-        let joined = collect_traced(joined, ctx, "aggregation breaker")?;
-        let out = eval_aggregate_select(s, &joined, &items, ctx)?;
+        let out = eval_aggregate_select(s, joined, &items, ctx)?;
         return Ok(QueryOutput::Certain(apply_having(out, s)?));
     }
 
@@ -490,18 +499,24 @@ fn eval_possible(
     )))
 }
 
-/// Grouped/aggregate SELECT evaluation.
+/// Grouped/aggregate SELECT evaluation — the **streaming
+/// grouped-aggregation breaker**: the accumulated pipeline is not
+/// materialised; its fused stages run morsel-by-morsel and every
+/// surviving row folds into a morsel-local group table
+/// ([`agg::aggregate_stream`]). Output is bit-identical to collecting
+/// the stream and running the two-pass [`agg::aggregate_groups`] path.
 fn eval_aggregate_select(
     s: &Select,
-    joined: &URelation,
+    joined: UStream,
     items: &[Item],
     ctx: &mut ExecCtx<'_>,
 ) -> Result<Relation> {
+    let schema = joined.schema().clone();
     // Bind group-by expressions.
     let group_exprs: Vec<EExpr> = s
         .group_by
         .iter()
-        .map(|e| Ok(scalar(e)?.bind(joined.schema())?))
+        .map(|e| Ok(scalar(e)?.bind(&schema)?))
         .collect::<Result<_>>()?;
     // Every scalar select item must match a group-by expression.
     let mut key_fields = Vec::new();
@@ -510,18 +525,17 @@ fn eval_aggregate_select(
     for item in items {
         match item {
             Item::Scalar { expr, name } => {
-                let bound = expr.bind(joined.schema())?;
+                let bound = expr.bind(&schema)?;
                 if !group_exprs.contains(&bound) {
                     return Err(plan_err(format!(
                         "select item `{name}` must appear in GROUP BY or be aggregated"
                     )));
                 }
-                key_fields
-                    .push(Field::new(name.clone(), bound.data_type(joined.schema())));
+                key_fields.push(Field::new(name.clone(), bound.data_type(&schema)));
                 key_exprs.push(bound);
             }
             Item::Agg { spec, name } => {
-                let spec = bind_agg(spec, joined.schema())?;
+                let spec = bind_agg(spec, &schema)?;
                 aggs.push((spec, name.clone()));
             }
         }
@@ -534,18 +548,28 @@ fn eval_aggregate_select(
             grouping.push(g.clone());
         }
     }
-    let groups_full = agg::group(joined, &grouping)?;
-    // Reduce keys to the selected prefix for output.
-    let groups = agg::Groups {
-        keys: groups_full
-            .keys
-            .iter()
-            .map(|k| k[..key_exprs.len()].to_vec())
-            .collect(),
-        members: groups_full.members,
-    };
-    let rel =
-        agg::aggregate_groups(joined, &groups, key_fields, &aggs, ctx.wt, &ctx.conf)?;
+    if let Some(trace) = &mut ctx.trace {
+        let mut entry = format!(
+            "pipeline (grouped aggregation (streaming, {} keys, {} aggs))\n",
+            grouping.len(),
+            aggs.len()
+        );
+        for line in joined.describe().lines() {
+            entry.push_str("  ");
+            entry.push_str(line);
+            entry.push('\n');
+        }
+        trace.push(entry);
+    }
+    let rel = agg::aggregate_stream(
+        joined,
+        &grouping,
+        key_exprs.len(),
+        key_fields,
+        &aggs,
+        ctx.wt,
+        &ctx.conf,
+    )?;
     reorder_to_select_order(rel, items)
 }
 
@@ -598,13 +622,16 @@ fn reorder_to_select_order(rel: Relation, items: &[Item]) -> Result<Relation> {
     Ok(Relation::new_unchecked(schema, tuples))
 }
 
-/// Apply HAVING to an aggregate output (binds against the output schema,
-/// so aliases like `p` work).
+/// Apply HAVING to an aggregate output. The predicate binds against the
+/// output schema (so aliases like `p` work) with the same
+/// qualifier-stripping fallback ORDER BY gets: aggregate outputs lose
+/// their qualifiers, but `GROUP BY r1.player … HAVING r1.player = 'X'`
+/// is idiomatic SQL.
 fn apply_having(rel: Relation, s: &Select) -> Result<Relation> {
     match &s.having {
         None => Ok(rel),
         Some(h) => {
-            let pred = scalar(h)?;
+            let pred = bind_with_fallback(&scalar(h)?, rel.schema())?;
             Ok(maybms_engine::ops::filter(&rel, &pred)?)
         }
     }
@@ -955,6 +982,46 @@ mod tests {
             "select player, sum(pts) as total from games group by player having total > 30",
         );
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn having_with_qualified_column_binds_with_fallback() {
+        // Aggregate outputs lose their qualifiers; HAVING gets the same
+        // qualifier-stripping fallback ORDER BY has.
+        let r = certain(
+            "select g.player, sum(pts) as total from games g \
+             group by g.player having g.player = 'Bryant'",
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.tuples()[0].value(0), &Value::str("Bryant"));
+        assert_eq!(r.tuples()[0].value(1), &Value::Int(70));
+        // The matching ORDER BY spelling worked before; both must agree.
+        let r = certain(
+            "select g.player, sum(pts) as total from games g \
+             group by g.player order by g.player",
+        );
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn having_on_tconf_rejected() {
+        // tconf() is per-tuple, not grouped: HAVING must be rejected just
+        // like on the plain-projection path, not silently applied.
+        let err = run(
+            "select player, tconf() as p from (pick tuples from games) g having p > 0.5",
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, crate::error::CoreError::Plan { ref message }
+                if message.contains("HAVING")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn having_without_group_by_or_aggregates_rejected() {
+        let err = run("select player from games having player = 'Bryant'").unwrap_err();
+        assert!(err.to_string().contains("HAVING"), "{err}");
     }
 
     #[test]

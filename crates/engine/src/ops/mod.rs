@@ -35,7 +35,11 @@ pub const PAR_MIN_ROWS: usize = 8192;
 /// Minimum chunk size the auto-dispatching operators hand to the pool.
 pub const PAR_MIN_CHUNK: usize = 4096;
 
-pub use aggregate::{aggregate, group_indices, group_indices_with, AggCall, AggFunc};
+pub use aggregate::{
+    aggregate, aggregate_schema, aggregate_with, bind_agg_calls, fold_agg_row,
+    group_indices, group_indices_with, merge_agg_states, new_agg_states, AggCall, AggFunc,
+    AggState, ExactSum,
+};
 pub use filter::{filter, filter_with};
 pub use join::{
     cross_join, hash_join, hash_join_with, join_key_hash, join_keys_eq, nested_loop_join,

@@ -11,11 +11,20 @@
 //! selection-vector fast path, the scratch-buffer recursion, and the
 //! morsel-ordered merge exist once.
 //!
+//! What happens to a row that survives the whole stage chain is equally
+//! pluggable: a [`MorselSink`] receives each output row. The default
+//! sink batches rows into a morsel-local
+//! [`TupleBatch`](maybms_engine::tuple::TupleBatch) (pipelines that
+//! *materialise*); the grouped-aggregation breaker
+//! ([`groupby`](crate::groupby)) instead folds each row straight into a
+//! morsel-local group table, so grouped plans never materialise their
+//! input at all.
+//!
 //! Build tables for probe stages are constructed *here*, at execution
 //! time, morsel-locally on the caller's pool — deferring the build to
 //! the same pool and morsel size the rest of the pipeline uses.
 
-use maybms_engine::error::Result;
+use maybms_engine::error::{EngineError, Result};
 use maybms_engine::tuple::{Relation, Tuple, TupleBatch};
 use maybms_engine::{ops, Expr, Value};
 use maybms_par::ThreadPool;
@@ -89,6 +98,40 @@ pub(crate) enum Stage<S: RowSource> {
     },
 }
 
+/// A morsel-local consumer of rows that survive the stage chain. One
+/// sink exists per morsel; the caller merges finished sinks in morsel
+/// order, so a sink never needs to be thread-safe itself.
+///
+/// The error type is associated (rather than fixed to [`EngineError`])
+/// so U-relational sinks can fail with `maybms-urel` errors — stage
+/// evaluation errors convert in via `From`.
+pub(crate) trait MorselSink<P> {
+    /// The error the sink's consumer works in.
+    type Err: From<EngineError> + Send;
+    /// Consume one surviving row and its payload.
+    fn push(&mut self, row: &[Value], payload: &P) -> std::result::Result<(), Self::Err>;
+}
+
+/// The materialising sink: rows into a morsel-local [`TupleBatch`],
+/// payloads alongside.
+pub(crate) struct RowsSink<P> {
+    pub(crate) batch: TupleBatch,
+    pub(crate) payloads: Vec<P>,
+}
+
+impl<P: Clone + Send> MorselSink<P> for RowsSink<P> {
+    type Err = EngineError;
+
+    fn push(&mut self, row: &[Value], payload: &P) -> Result<()> {
+        self.batch.begin_row();
+        for v in row {
+            self.batch.push_value(v.clone());
+        }
+        self.payloads.push(payload.clone());
+        Ok(())
+    }
+}
+
 /// What a fused pipeline produced.
 pub(crate) enum FusedOutput<P> {
     /// All-filter pipeline: the surviving source indices, in order —
@@ -98,16 +141,23 @@ pub(crate) enum FusedOutput<P> {
     Rows(Vec<Tuple>, Vec<P>),
 }
 
-/// Run `stages` over every row of `source`, morsel-parallel on `pool`.
-/// Morsel outputs merge in morsel order; the earliest morsel's error
-/// wins — the output (and error row, if any) is identical to a
+/// Run `stages` over every row of `source`, morsel-parallel on `pool`,
+/// feeding every surviving row into a fresh per-morsel sink built by
+/// `make_sink`. Returns the finished sinks **in morsel order**; the
+/// earliest morsel's error wins, so the error (if any) is identical to a
 /// sequential scan at any thread count.
-pub(crate) fn run<S: RowSource>(
+pub(crate) fn run_sink<S, Sk, MK>(
     source: &S,
     stages: &[Stage<S>],
     pool: &ThreadPool,
     min_morsel: usize,
-) -> Result<FusedOutput<S::Payload>> {
+    make_sink: MK,
+) -> std::result::Result<Vec<Sk>, Sk::Err>
+where
+    S: RowSource,
+    Sk: MorselSink<S::Payload> + Send,
+    MK: Fn() -> Sk + Sync,
+{
     // Morsel-local build tables for the probe stages, on this pool.
     let tables: Vec<Option<BuildTable>> = stages
         .iter()
@@ -122,10 +172,47 @@ pub(crate) fn run<S: RowSource>(
         })
         .collect();
 
-    let chunk = maybms_par::auto_chunk(source.len(), pool.threads(), min_morsel);
+    // A one-thread pool runs morsels back-to-back anyway; one morsel
+    // spares the sink merges (the merged result is identical either way).
+    let chunk = if pool.threads() == 1 {
+        source.len().max(1)
+    } else {
+        maybms_par::auto_chunk(source.len(), pool.threads(), min_morsel)
+    };
+    let outputs: Vec<std::result::Result<Sk, Sk::Err>> =
+        pool.par_map_chunks(source.len(), chunk, |range| {
+            let mut sink = make_sink();
+            let mut scratch: Vec<Vec<Value>> = vec![Vec::new(); stages.len()];
+            for i in range {
+                let (row, payload) = source.row(i);
+                push_row::<S, Sk>(
+                    row,
+                    payload,
+                    stages,
+                    &tables,
+                    0,
+                    &mut scratch,
+                    &mut sink,
+                )?;
+            }
+            Ok(sink)
+        });
+    outputs.into_iter().collect()
+}
 
+/// Run `stages` over every row of `source`, morsel-parallel on `pool`,
+/// materialising the surviving rows. Morsel outputs merge in morsel
+/// order; the output (and error row, if any) is identical to a
+/// sequential scan at any thread count.
+pub(crate) fn run<S: RowSource>(
+    source: &S,
+    stages: &[Stage<S>],
+    pool: &ThreadPool,
+    min_morsel: usize,
+) -> Result<FusedOutput<S::Payload>> {
     // All-filter pipelines stay a selection vector end to end.
     if stages.iter().all(|s| matches!(s, Stage::Filter(_))) {
+        let chunk = maybms_par::auto_chunk(source.len(), pool.threads(), min_morsel);
         let partials: Vec<Result<Vec<usize>>> =
             pool.par_map_chunks(source.len(), chunk, |range| {
                 let mut sel = Vec::new();
@@ -150,33 +237,15 @@ pub(crate) fn run<S: RowSource>(
 
     // General fused path: push every source row through the stage chain
     // into a morsel-local batch.
-    type MorselOut<P> = (Vec<Tuple>, Vec<P>);
-    let outputs: Vec<Result<MorselOut<S::Payload>>> =
-        pool.par_map_chunks(source.len(), chunk, |range| {
-            let mut batch = TupleBatch::new();
-            let mut payloads: Vec<S::Payload> = Vec::new();
-            let mut scratch: Vec<Vec<Value>> = vec![Vec::new(); stages.len()];
-            for i in range {
-                let (row, payload) = source.row(i);
-                push_row::<S>(
-                    row,
-                    payload,
-                    stages,
-                    &tables,
-                    0,
-                    &mut scratch,
-                    &mut batch,
-                    &mut payloads,
-                )?;
-            }
-            Ok((batch.finish(), payloads))
-        });
+    let sinks = run_sink(source, stages, pool, min_morsel, || RowsSink {
+        batch: TupleBatch::new(),
+        payloads: Vec::new(),
+    })?;
     let mut tuples = Vec::new();
     let mut payloads = Vec::new();
-    for o in outputs {
-        let (t, p) = o?;
-        tuples.extend(t);
-        payloads.extend(p);
+    for sink in sinks {
+        tuples.extend(sink.batch.finish());
+        payloads.extend(sink.payloads);
     }
     Ok(FusedOutput::Rows(tuples, payloads))
 }
@@ -185,29 +254,22 @@ pub(crate) fn run<S: RowSource>(
 /// is the reusable value buffer of the constructing stage at `depth` —
 /// taken out around the recursion and always restored, so the morsel
 /// allocates nothing after warmup even across evaluation errors.
-#[allow(clippy::too_many_arguments)]
-fn push_row<S: RowSource>(
+fn push_row<S: RowSource, Sk: MorselSink<S::Payload>>(
     row: &[Value],
     payload: &S::Payload,
     stages: &[Stage<S>],
     tables: &[Option<BuildTable>],
     depth: usize,
     scratch: &mut [Vec<Value>],
-    out: &mut TupleBatch,
-    payloads: &mut Vec<S::Payload>,
-) -> Result<()> {
+    sink: &mut Sk,
+) -> std::result::Result<(), Sk::Err> {
     let Some(stage) = stages.get(depth) else {
-        out.begin_row();
-        for v in row {
-            out.push_value(v.clone());
-        }
-        payloads.push(payload.clone());
-        return Ok(());
+        return sink.push(row, payload);
     };
     match stage {
         Stage::Filter(p) => {
-            if p.eval_predicate_values(row)? {
-                push_row::<S>(row, payload, stages, tables, depth + 1, scratch, out, payloads)?;
+            if p.eval_predicate_values(row).map_err(Sk::Err::from)? {
+                push_row::<S, Sk>(row, payload, stages, tables, depth + 1, scratch, sink)?;
             }
             Ok(())
         }
@@ -219,21 +281,20 @@ fn push_row<S: RowSource>(
                 match e.eval_values(row) {
                     Ok(v) => vals.push(v),
                     Err(e) => {
-                        result = Err(e);
+                        result = Err(Sk::Err::from(e));
                         break;
                     }
                 }
             }
             if result.is_ok() {
-                result = push_row::<S>(
+                result = push_row::<S, Sk>(
                     &vals,
                     payload,
                     stages,
                     tables,
                     depth + 1,
                     scratch,
-                    out,
-                    payloads,
+                    sink,
                 );
             }
             scratch[depth] = vals;
@@ -253,15 +314,14 @@ fn push_row<S: RowSource>(
                 vals.clear();
                 vals.extend_from_slice(row);
                 vals.extend_from_slice(brow);
-                if let Err(e) = push_row::<S>(
+                if let Err(e) = push_row::<S, Sk>(
                     &vals,
                     &joined,
                     stages,
                     tables,
                     depth + 1,
                     scratch,
-                    out,
-                    payloads,
+                    sink,
                 ) {
                     result = Err(e);
                     break;

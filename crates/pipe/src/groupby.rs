@@ -1,0 +1,256 @@
+//! Morsel-local grouped aggregation with a deterministic merge — the
+//! grouped-aggregation **breaker**, sibling of [`crate::build`].
+//!
+//! Before this module, every `GROUP BY` plan materialised its full input
+//! (the aggregation breaker collected the whole pipeline output, then a
+//! second pass grouped it). Here the grouping *is* the sink: each morsel
+//! of the fused stage chain folds its surviving rows into a **private**
+//! [`GroupTable`] — hashed key → accumulator state — and the private
+//! tables merge **in morsel order**:
+//!
+//! * a key's first-seen position is decided by the earliest morsel that
+//!   contains it, so the merged key order equals the sequential scan's
+//!   first-seen order at any thread count or morsel size;
+//! * two states for the same key merge with a caller-supplied `merge`
+//!   (e.g. [`AggState::merge`](maybms_engine::ops::AggState::merge)),
+//!   whose contract is that fold-then-merge equals folding the
+//!   concatenated rows — float sums use
+//!   [`ExactSum`](maybms_engine::ops::ExactSum) to make that hold
+//!   bit-for-bit.
+//!
+//! The state type is generic: the certain executor folds
+//! `Vec<AggState>` per group; `maybms-core` threads the U-relational
+//! side through [`UStream::collect_grouped`](crate::UStream::collect_grouped)
+//! with an accumulator holding member WSDs (for the per-group `conf()`
+//! fan-out) and running `esum`/`ecount` partial sums.
+
+use maybms_engine::error::EngineError;
+use maybms_engine::hash::{fast_hash_one, FastMap};
+use maybms_engine::{Expr, Value};
+use maybms_par::ThreadPool;
+
+use crate::fuse::{self, MorselSink, RowSource, Stage};
+
+/// A hashed group → state table in first-seen key order.
+///
+/// Keys are staged in a caller scratch buffer and cloned only when they
+/// open a *new* group ([`GroupTable::entry`]), so grouping allocates per
+/// group, not per row. [`GroupTable::merge_in`] absorbs a later
+/// (higher-morsel) table deterministically.
+#[derive(Debug)]
+pub struct GroupTable<A> {
+    /// key hash → indices into `keys`/`states` (equality-verified).
+    buckets: FastMap<u64, Vec<u32>>,
+    /// Group keys in first-seen order.
+    keys: Vec<Vec<Value>>,
+    /// One state per group, parallel to `keys`.
+    states: Vec<A>,
+}
+
+impl<A> Default for GroupTable<A> {
+    fn default() -> Self {
+        GroupTable::new()
+    }
+}
+
+impl<A> GroupTable<A> {
+    /// An empty table.
+    pub fn new() -> GroupTable<A> {
+        GroupTable { buckets: Default::default(), keys: Vec::new(), states: Vec::new() }
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no group has been opened.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The state for `key`, opening a new group (cloning the key and
+    /// calling `new_state`) on first sight.
+    pub fn entry(&mut self, key: &[Value], new_state: impl FnOnce() -> A) -> &mut A {
+        let h = fast_hash_one(key);
+        let bucket = self.buckets.entry(h).or_default();
+        match bucket.iter().find(|&&g| self.keys[g as usize] == key) {
+            Some(&g) => &mut self.states[g as usize],
+            None => {
+                bucket.push(self.keys.len() as u32);
+                self.keys.push(key.to_vec());
+                self.states.push(new_state());
+                self.states.last_mut().expect("just pushed")
+            }
+        }
+    }
+
+    /// Absorb a **later** table: `other`'s groups are visited in its
+    /// first-seen order; a key already present merges states (`self`'s
+    /// state is the earlier one), a new key appends. Merging tables in
+    /// morsel order therefore reproduces the sequential first-seen key
+    /// order exactly.
+    pub fn merge_in<E>(
+        &mut self,
+        other: GroupTable<A>,
+        mut merge: impl FnMut(&mut A, A) -> Result<(), E>,
+    ) -> Result<(), E> {
+        for (key, state) in other.keys.into_iter().zip(other.states) {
+            let h = fast_hash_one(&key[..]);
+            let bucket = self.buckets.entry(h).or_default();
+            match bucket.iter().find(|&&g| self.keys[g as usize] == key) {
+                Some(&g) => merge(&mut self.states[g as usize], state)?,
+                None => {
+                    bucket.push(self.keys.len() as u32);
+                    self.keys.push(key);
+                    self.states.push(state);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The keys and states, parallel, in first-seen order.
+    pub fn into_parts(self) -> (Vec<Vec<Value>>, Vec<A>) {
+        (self.keys, self.states)
+    }
+}
+
+/// The grouped morsel sink: evaluates the (bound) key expressions into a
+/// scratch buffer, opens/looks up the group, and folds the row.
+struct GroupSink<'a, A, NF, FF> {
+    table: GroupTable<A>,
+    key_exprs: &'a [Expr],
+    new_state: &'a NF,
+    fold: &'a FF,
+    scratch: Vec<Value>,
+}
+
+impl<'a, P, A, E, NF, FF> MorselSink<P> for GroupSink<'a, A, NF, FF>
+where
+    E: From<EngineError> + Send,
+    NF: Fn() -> A,
+    FF: Fn(&mut A, &[Value], &P) -> Result<(), E>,
+{
+    type Err = E;
+
+    fn push(&mut self, row: &[Value], payload: &P) -> Result<(), E> {
+        self.scratch.clear();
+        for e in self.key_exprs {
+            self.scratch.push(e.eval_values(row).map_err(E::from)?);
+        }
+        let state = self.table.entry(&self.scratch, self.new_state);
+        (self.fold)(state, row, payload)
+    }
+}
+
+/// Run a fused stage chain with grouped aggregation as the terminal
+/// sink: per-morsel [`GroupTable`]s, merged in morsel order. Returns
+/// `(keys, states)` in first-seen order.
+///
+/// With no key expressions, a single global group is guaranteed (even
+/// over an empty input — SQL's scalar-aggregate behaviour).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn group_stream<S, A, E, NF, FF, MF>(
+    source: &S,
+    stages: &[Stage<S>],
+    key_exprs: &[Expr],
+    pool: &ThreadPool,
+    min_morsel: usize,
+    new_state: NF,
+    fold: FF,
+    mut merge: MF,
+) -> Result<(Vec<Vec<Value>>, Vec<A>), E>
+where
+    S: RowSource,
+    A: Send,
+    E: From<EngineError> + Send,
+    NF: Fn() -> A + Sync,
+    FF: Fn(&mut A, &[Value], &S::Payload) -> Result<(), E> + Sync,
+    MF: FnMut(&mut A, A) -> Result<(), E>,
+{
+    let sinks = fuse::run_sink(source, stages, pool, min_morsel, || GroupSink {
+        table: GroupTable::new(),
+        key_exprs,
+        new_state: &new_state,
+        fold: &fold,
+        scratch: Vec::with_capacity(key_exprs.len()),
+    })?;
+    let mut merged = GroupTable::new();
+    for sink in sinks {
+        merged.merge_in(sink.table, &mut merge)?;
+    }
+    if key_exprs.is_empty() && merged.is_empty() {
+        merged.entry(&[], &new_state);
+    }
+    Ok(merged.into_parts())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Morsel-ordered merge reproduces the sequential first-seen key
+    /// order and the sequential state (here: a simple count), regardless
+    /// of how the rows were split into tables.
+    #[test]
+    fn merge_in_is_order_deterministic() {
+        let rows: Vec<Vec<Value>> = (0..40)
+            .map(|i| {
+                vec![match i % 5 {
+                    0 => Value::Null,
+                    j => Value::Int(j as i64 % 3),
+                }]
+            })
+            .collect();
+        let sequential = {
+            let mut t: GroupTable<u64> = GroupTable::new();
+            for r in &rows {
+                *t.entry(r, || 0) += 1;
+            }
+            t.into_parts()
+        };
+        for split in [1usize, 3, 7] {
+            let mut merged: GroupTable<u64> = GroupTable::new();
+            for chunk in rows.chunks(split) {
+                let mut local: GroupTable<u64> = GroupTable::new();
+                for r in chunk {
+                    *local.entry(r, || 0) += 1;
+                }
+                merged
+                    .merge_in(local, |a, b| -> Result<(), EngineError> {
+                        *a += b;
+                        Ok(())
+                    })
+                    .unwrap();
+            }
+            let got = merged.into_parts();
+            assert_eq!(got.0, sequential.0, "keys, split {split}");
+            assert_eq!(got.1, sequential.1, "states, split {split}");
+        }
+    }
+
+    #[test]
+    fn entry_clones_key_only_once() {
+        let mut t: GroupTable<u32> = GroupTable::new();
+        let key = [Value::Int(7)];
+        *t.entry(&key, || 0) += 1;
+        *t.entry(&key, || 0) += 1;
+        assert_eq!(t.len(), 1);
+        let (keys, states) = t.into_parts();
+        assert_eq!(keys, vec![vec![Value::Int(7)]]);
+        assert_eq!(states, vec![2]);
+    }
+
+    #[test]
+    fn merge_error_propagates() {
+        let mut a: GroupTable<u32> = GroupTable::new();
+        a.entry(&[Value::Int(1)], || 0);
+        let mut b: GroupTable<u32> = GroupTable::new();
+        b.entry(&[Value::Int(1)], || 0);
+        let err = a.merge_in(b, |_, _| {
+            Err(EngineError::TypeMismatch { message: "boom".into() })
+        });
+        assert!(err.is_err());
+    }
+}

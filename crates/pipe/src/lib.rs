@@ -20,6 +20,11 @@
 //!   private hash table and the per-key candidate lists are merged in
 //!   morsel order ([`BuildTable`]), so the merged table is identical to a
 //!   sequential build at any thread count;
+//! * grouped aggregation is **streaming**: the breaker's input pipeline
+//!   folds each surviving row into a morsel-local [`GroupTable`] of
+//!   mergeable accumulator states, merged in morsel order with global
+//!   first-seen key order ([`groupby`]) — `GROUP BY` plans never
+//!   materialise their input;
 //! * morsels run on the `maybms-par` pool and morsel outputs are
 //!   concatenated in morsel order, preserving PR 2's determinism
 //!   contract: **pipelined output is bit-identical to the materialising
@@ -43,10 +48,12 @@
 
 pub mod build;
 pub(crate) mod fuse;
+pub mod groupby;
 pub mod plan;
 pub mod ustream;
 
 pub use build::BuildTable;
+pub use groupby::GroupTable;
 pub use plan::{decompose, execute, execute_with, explain, PipePlan};
 pub use ustream::UStream;
 

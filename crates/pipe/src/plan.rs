@@ -228,11 +228,28 @@ fn run(
     if pipe.stages.is_empty() {
         return Ok(source);
     }
+    let (bound, schema) =
+        bind_stages(&pipe.stages, source.schema().clone(), catalog, pool, min_morsel)?;
+    match fuse::run(&source, &bound, pool, min_morsel)? {
+        // All-filter pipeline: gather shares rows with the source,
+        // exactly like a chain of materialising filters would.
+        FusedOutput::Select(sel) => Ok(source.gather(&sel)),
+        FusedOutput::Rows(tuples, _) => Ok(Relation::new_unchecked(schema, tuples)),
+    }
+}
 
-    // Bind the stage chain against the evolving row schema.
-    let mut schema = source.schema().clone();
-    let mut bound: Vec<Stage<Relation>> = Vec::with_capacity(pipe.stages.len());
-    for stage in &pipe.stages {
+/// Bind a stage chain against the evolving row schema, recursively
+/// running probe build sides. Returns the bound stages and the output
+/// schema of the chain.
+fn bind_stages(
+    stages: &[StageSpec],
+    mut schema: Arc<Schema>,
+    catalog: &Catalog,
+    pool: &ThreadPool,
+    min_morsel: usize,
+) -> Result<(Vec<Stage<Relation>>, Arc<Schema>)> {
+    let mut bound: Vec<Stage<Relation>> = Vec::with_capacity(stages.len());
+    for stage in stages {
         match stage {
             StageSpec::Filter { predicate } => {
                 bound.push(Stage::Filter(predicate.bind(&schema)?));
@@ -263,13 +280,51 @@ fn run(
             }
         }
     }
+    Ok((bound, schema))
+}
 
-    match fuse::run(&source, &bound, pool, min_morsel)? {
-        // All-filter pipeline: gather shares rows with the source,
-        // exactly like a chain of materialising filters would.
-        FusedOutput::Select(sel) => Ok(source.gather(&sel)),
-        FusedOutput::Rows(tuples, _) => Ok(Relation::new_unchecked(schema, tuples)),
+/// The streaming grouped-aggregation breaker: runs the input pipeline's
+/// fused stage chain with a morsel-local [`crate::GroupTable`] of
+/// [`ops::AggState`]s as the sink — the input is never materialised.
+/// Output is bit-identical to materialising the input and calling
+/// [`ops::aggregate`] on it, at any thread count and morsel size.
+fn run_grouped_aggregate(
+    input: &PipePlan,
+    group_exprs: &[Expr],
+    group_names: &[String],
+    aggs: &[AggCall],
+    catalog: &Catalog,
+    pool: &ThreadPool,
+    min_morsel: usize,
+) -> Result<Relation> {
+    let source = run_source(&input.source, catalog, pool, min_morsel)?;
+    let (stages, in_schema) =
+        bind_stages(&input.stages, source.schema().clone(), catalog, pool, min_morsel)?;
+    let out_schema = ops::aggregate_schema(&in_schema, group_exprs, group_names, aggs)?;
+    let bound_aggs = ops::bind_agg_calls(&in_schema, aggs)?;
+    let bound_keys: Vec<Expr> =
+        group_exprs.iter().map(|e| e.bind(&in_schema)).collect::<Result<_>>()?;
+    let (keys, states) = crate::groupby::group_stream(
+        &source,
+        &stages,
+        &bound_keys,
+        pool,
+        min_morsel,
+        || ops::new_agg_states(&bound_aggs),
+        |states: &mut Vec<ops::AggState>, row: &[maybms_engine::Value], _: &()| {
+            ops::fold_agg_row(states, &bound_aggs, row)
+        },
+        |a: &mut Vec<ops::AggState>, b| ops::merge_agg_states(a, b),
+    )?;
+    let mut out = Vec::with_capacity(keys.len());
+    for (key, sts) in keys.into_iter().zip(states) {
+        let mut row = key;
+        for st in &sts {
+            row.push(st.finish()?);
+        }
+        out.push(Tuple::new(row));
     }
+    Ok(Relation::new_unchecked(out_schema, out))
 }
 
 /// Materialise a pipeline source.
@@ -301,12 +356,11 @@ fn run_source(
             Breaker::Limit { input, n } => {
                 Ok(ops::limit(&run(input, catalog, pool, min_morsel)?, *n))
             }
-            Breaker::Aggregate { input, group_exprs, group_names, aggs } => ops::aggregate(
-                &run(input, catalog, pool, min_morsel)?,
-                group_exprs,
-                group_names,
-                aggs,
-            ),
+            Breaker::Aggregate { input, group_exprs, group_names, aggs } => {
+                run_grouped_aggregate(
+                    input, group_exprs, group_names, aggs, catalog, pool, min_morsel,
+                )
+            }
             Breaker::UnionAll { inputs } => {
                 if inputs.is_empty() {
                     return Err(EngineError::InvalidOperator {
@@ -439,7 +493,7 @@ fn describe_source(source: &Source, depth: usize, out: &mut String) {
                 Breaker::Aggregate { input, group_exprs, aggs, .. } => {
                     let _ = writeln!(
                         out,
-                        "source: breaker aggregate ({} group keys, {} aggregates) over",
+                        "source: grouped aggregation (streaming, {} keys, {} aggs) over",
                         group_exprs.len(),
                         aggs.len()
                     );
@@ -612,7 +666,7 @@ mod tests {
             aggs: vec![],
         };
         let text = explain(&plan);
-        assert!(text.contains("breaker aggregate"), "{text}");
+        assert!(text.contains("grouped aggregation (streaming, 1 keys, 0 aggs)"), "{text}");
         assert!(text.contains("-> filter"), "{text}");
         assert!(text.contains("scan games"), "{text}");
     }

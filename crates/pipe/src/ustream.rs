@@ -19,9 +19,9 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use maybms_engine::ops::ProjectItem;
-use maybms_engine::{EngineError, Expr, Field, Schema};
+use maybms_engine::{EngineError, Expr, Field, Schema, Value};
 use maybms_par::ThreadPool;
-use maybms_urel::{Result, URelation, UTuple};
+use maybms_urel::{Result, URelation, UTuple, Wsd};
 
 use crate::fuse::{self, FusedOutput, Stage};
 
@@ -152,6 +152,73 @@ impl UStream {
                     .collect(),
             )),
         }
+    }
+
+    /// Run the pipeline with **grouped aggregation as the breaker**: every
+    /// morsel's surviving rows fold straight into a morsel-local
+    /// [`crate::GroupTable`] keyed by the (bound-here) `group_exprs`, and
+    /// the tables merge in morsel order — the input is never materialised.
+    ///
+    /// The accumulator is caller-defined: `new_state` opens a group,
+    /// `fold` absorbs one row (data values plus its WSD), `merge` absorbs
+    /// a later morsel's state into an earlier one. Determinism contract:
+    /// provided `fold`-then-`merge` equals folding the concatenated rows
+    /// (see [`maybms_engine::ops::ExactSum`] for float sums), the returned
+    /// `(keys, states)` — first-seen key order included — are identical to
+    /// a sequential scan at any thread count and morsel size.
+    ///
+    /// With no group expressions a single global group is guaranteed,
+    /// even over an empty input (SQL's scalar-aggregate behaviour).
+    pub fn collect_grouped<A, NF, FF, MF>(
+        self,
+        group_exprs: &[Expr],
+        new_state: NF,
+        fold: FF,
+        merge: MF,
+    ) -> Result<(Vec<Vec<Value>>, Vec<A>)>
+    where
+        A: Send,
+        NF: Fn() -> A + Sync,
+        FF: Fn(&mut A, &[Value], &Wsd) -> Result<()> + Sync,
+        MF: FnMut(&mut A, A) -> Result<()>,
+    {
+        let pool = maybms_par::pool();
+        self.collect_grouped_with(
+            group_exprs,
+            &pool,
+            maybms_engine::ops::PAR_MIN_CHUNK,
+            new_state,
+            fold,
+            merge,
+        )
+    }
+
+    /// [`UStream::collect_grouped`] on an explicit pool and minimum
+    /// morsel size (what the determinism property tests pin to 1/2/8
+    /// threads and single-row morsels).
+    pub fn collect_grouped_with<A, NF, FF, MF>(
+        self,
+        group_exprs: &[Expr],
+        pool: &ThreadPool,
+        min_morsel: usize,
+        new_state: NF,
+        fold: FF,
+        merge: MF,
+    ) -> Result<(Vec<Vec<Value>>, Vec<A>)>
+    where
+        A: Send,
+        NF: Fn() -> A + Sync,
+        FF: Fn(&mut A, &[Value], &Wsd) -> Result<()> + Sync,
+        MF: FnMut(&mut A, A) -> Result<()>,
+    {
+        let UStream { source, stages, schema } = self;
+        let bound: Vec<Expr> = group_exprs
+            .iter()
+            .map(|e| e.bind(&schema))
+            .collect::<std::result::Result<_, EngineError>>()?;
+        crate::groupby::group_stream(
+            &source, &stages, &bound, pool, min_morsel, new_state, fold, merge,
+        )
     }
 
     /// One-line-per-stage description of the pipeline, used by `EXPLAIN`.
