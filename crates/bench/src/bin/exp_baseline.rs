@@ -647,6 +647,97 @@ fn main() {
         pipelined_ms: Some(p),
     });
 
+    // -- Expression-heavy chain: wide predicate + arithmetic projection
+    //    σ→π→σ→π, every stage kernel-eligible. Three-way: naive seed
+    //    operators vs the row-morsel streaming executor vs the columnar
+    //    (vectorised) streaming executor — for this workload the
+    //    `pipelined_*` columns are the row path and `columnar_*` the
+    //    vectorised one, so pipelined_speedup isolates the kernel win.
+    let expr_rel = workloads::expr_table(63, scale);
+    let epred1 = Expr::col("a")
+        .binary(BinaryOp::Mul, Expr::lit(3i64))
+        .binary(BinaryOp::Add, Expr::col("b"))
+        .binary(BinaryOp::Gt, Expr::col("c").binary(BinaryOp::Mul, Expr::lit(2i64)))
+        .and(Expr::col("d").binary(BinaryOp::Lt, Expr::lit(800i64)));
+    let eproj1 = [
+        ops::ProjectItem::new(Expr::col("a").binary(BinaryOp::Add, Expr::col("b")), "ab"),
+        ops::ProjectItem::new(Expr::col("c").binary(BinaryOp::Mul, Expr::col("d")), "cd"),
+        ops::ProjectItem::col("x"),
+        ops::ProjectItem::col("a"),
+    ];
+    let epred2 = Expr::col("ab")
+        .binary(BinaryOp::Add, Expr::col("cd"))
+        .binary(BinaryOp::Mod, Expr::lit(10i64))
+        .binary(BinaryOp::Lt, Expr::lit(6i64));
+    let eproj2 = [
+        ops::ProjectItem::new(
+            Expr::col("ab")
+                .binary(BinaryOp::Mul, Expr::lit(2i64))
+                .binary(BinaryOp::Add, Expr::col("cd")),
+            "v1",
+        ),
+        ops::ProjectItem::new(
+            Expr::col("x").binary(BinaryOp::Mul, Expr::lit(maybms_engine::Value::Float(0.25))),
+            "v2",
+        ),
+        ops::ProjectItem::col("a"),
+    ];
+    let mut expr_catalog = Catalog::new();
+    expr_catalog.create("e", expr_rel.clone()).expect("fresh catalog");
+    let expr_plan = PhysicalPlan::Project {
+        input: Box::new(PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::Project {
+                input: Box::new(PhysicalPlan::Filter {
+                    input: Box::new(PhysicalPlan::Scan { table: "e".into(), alias: None }),
+                    predicate: epred1.clone(),
+                }),
+                items: eproj1.to_vec(),
+            }),
+            predicate: epred2.clone(),
+        }),
+        items: eproj2.to_vec(),
+    };
+    let expr_pool = maybms_par::pool();
+    let (n, o, p, out) = compare3(
+        reps,
+        || {
+            let a = naive::filter(&expr_rel, &epred1).unwrap();
+            let b = naive::project(&a, &eproj1).unwrap();
+            let c = naive::filter(&b, &epred2).unwrap();
+            naive::project(&c, &eproj2).unwrap().len()
+        },
+        || {
+            maybms_pipe::execute_opts(
+                &expr_plan,
+                &expr_catalog,
+                &expr_pool,
+                ops::PAR_MIN_CHUNK,
+                false,
+            )
+            .unwrap()
+            .len()
+        },
+        || {
+            maybms_pipe::execute_opts(
+                &expr_plan,
+                &expr_catalog,
+                &expr_pool,
+                ops::PAR_MIN_CHUNK,
+                true,
+            )
+            .unwrap()
+            .len()
+        },
+    );
+    outcomes.push(Outcome {
+        name: "expr_heavy_columnar",
+        rows_in: expr_rel.len(),
+        rows_out: out,
+        naive_ms: n,
+        optimized_ms: o,
+        pipelined_ms: Some(p),
+    });
+
     // -- Report --------------------------------------------------------
     println!(
         "{:<24} {:>10} {:>10} {:>12} {:>12} {:>12} {:>9}",
@@ -667,12 +758,17 @@ fn main() {
          optimized* algorithms, isolating the scheduler; with cores=1 the par \
          columns bound threading overhead, not multicore scaling); workloads \
          with pipelined_ms additionally run the maybms-pipe morsel-driven \
-         streaming executor over the same plan (pipelined_speedup = \
+         streaming executor over the same plan, columnar path at its \
+         default, on (pipelined_speedup = \
          optimized_ms / pipelined_ms, the fusion win over full \
          materialisation); group_by_* are three-way grouped-aggregation \
          workloads: seed two-pass grouping vs single-pass AggState fold \
          over a materialised input vs the streaming grouped-aggregation \
          breaker (morsel-local group fold, input never materialised); \
+         expr_heavy_columnar is naive vs the ROW-morsel streaming \
+         executor (optimized_ms) vs the COLUMNAR vectorised one \
+         (pipelined_ms) — its pipelined_speedup isolates the typed \
+         kernel win over per-cell Value dispatch; \
          interleaved medians, same process\" }},"
     );
     json.push_str("  \"workloads\": [\n");
@@ -703,7 +799,28 @@ fn main() {
         json.push_str(" }");
         json.push_str(if i + 1 < outcomes.len() { ",\n" } else { "\n" });
     }
-    json.push_str("  ]\n}\n");
-    std::fs::write(&out_path, json).expect("write baseline json");
+    json.push_str("  ]\n}");
+
+    // The baseline file is a *trajectory*: each full-scale run appends
+    // (per ROADMAP, so the measured history survives across PRs). A
+    // legacy single-run file wraps into the runs array on first append.
+    let full = match std::fs::read_to_string(&out_path) {
+        // A runs file this binary wrote: splice before the closing `]}`.
+        // A hand-edited tail that no longer matches falls through to the
+        // wrap branch — never panic away a finished run's measurements.
+        Ok(old)
+            if old.trim_start().starts_with("{\n\"runs\"")
+                && old.trim_end().ends_with("\n]\n}") =>
+        {
+            let trimmed = old.trim_end();
+            let body = &trimmed[..trimmed.len() - "\n]\n}".len()];
+            format!("{body},\n{json}\n]\n}}\n")
+        }
+        Ok(old) if !old.trim().is_empty() => {
+            format!("{{\n\"runs\": [\n{},\n{json}\n]\n}}\n", old.trim_end())
+        }
+        _ => format!("{{\n\"runs\": [\n{json}\n]\n}}\n"),
+    };
+    std::fs::write(&out_path, full).expect("write baseline json");
     println!("\nwrote {out_path}");
 }

@@ -252,6 +252,34 @@ pub fn overhead_pair(seed: u64, rows: usize, keys: i64) -> (Relation, WorldTable
     (certain, wt, uncertain)
 }
 
+/// Expression-heavy workload table: four integer columns plus a float —
+/// the shape where per-cell `Value` dispatch dominates a fused σ/π
+/// chain and the columnar kernels have the most to win. Ranges keep all
+/// generated arithmetic overflow-free.
+pub fn expr_table(seed: u64, rows: usize) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        data.push(vec![
+            Value::Int(rng.gen_range(0..1000)),
+            Value::Int(rng.gen_range(0..1000)),
+            Value::Int(rng.gen_range(0..1000)),
+            Value::Int(rng.gen_range(0..1000)),
+            Value::Float(rng.gen_range(0.0..1.0)),
+        ]);
+    }
+    maybms_engine::rel(
+        &[
+            ("a", DataType::Int),
+            ("b", DataType::Int),
+            ("c", DataType::Int),
+            ("d", DataType::Int),
+            ("x", DataType::Float),
+        ],
+        data,
+    )
+}
+
 /// E6 workload: a key-violating relation with `groups` keys ×
 /// `alternatives` rows per key and random positive weights.
 pub fn repair_input(seed: u64, groups: usize, alternatives: usize) -> Relation {

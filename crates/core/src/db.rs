@@ -518,6 +518,23 @@ mod tests {
     }
 
     #[test]
+    fn explain_marks_vectorised_stages() {
+        // The columnar planner's per-stage decision surfaces in EXPLAIN:
+        // a kernel-eligible filter is marked, so users can see which
+        // stages run vectorised (default-on; MAYBMS_COLUMNAR=0 disables).
+        if !maybms_pipe::columnar_default() {
+            return;
+        }
+        let mut db = db_with_games();
+        let StatementResult::Ok { message } =
+            db.run("explain select player from games where pts > 30").unwrap()
+        else {
+            panic!("EXPLAIN must return a message")
+        };
+        assert!(message.contains("(vectorised)"), "{message}");
+    }
+
+    #[test]
     fn explain_aggregate_shows_streaming_breaker() {
         let mut db = db_with_games();
         let StatementResult::Ok { message } = db

@@ -1,0 +1,635 @@
+//! Column-major morsels: typed column vectors with null bitmaps.
+//!
+//! The row-major execution core shuttles `Vec<Value>` rows through every
+//! fused stage, paying the `Value` enum tag (and its match dispatch) per
+//! cell per operator. Following MonetDB/X100-style vectorised execution,
+//! a [`ColumnBatch`] stores one *morsel* of rows column-major: each
+//! [`Column`] is a typed vector (`Vec<i64>`, `Vec<f64>`, …) plus a
+//! [`NullMask`] bitmap, so the vectorised kernels in [`crate::vector`]
+//! run tight monomorphic loops over primitive slices instead of matching
+//! on `Value` per cell.
+//!
+//! # Representation invariants
+//!
+//! * A typed column ([`ColumnData::Int`] / `Float` / `Bool` / `Str`)
+//!   holds **only values of that one variant**; NULL slots hold a
+//!   placeholder and are marked in the mask. Columns whose rows mix
+//!   variants (legal — `Value` is dynamically typed and `1 = 1.0`) fall
+//!   back to [`ColumnData::Values`], where the per-row `Value` is
+//!   authoritative. This keeps the row ↔ column pivot a *bijection*:
+//!   `value_at` returns the exact `Value` that was pivoted in, variant
+//!   included (an `Int(1)` never comes back as `Float(1.0)` — `Concat`
+//!   and `CAST` observe the variant).
+//! * [`ColumnData::Const`] broadcasts one value (vectorised literals,
+//!   all-NULL columns) without materialising it per row.
+//! * Float bits are preserved exactly (no normalisation on pivot), so
+//!   columnar execution is bit-identical to the row path.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::tuple::TupleBatch;
+use crate::types::Value;
+
+/// A null bitmap: bit `i` set ⇔ row `i` is NULL. Empty (no words) means
+/// "no nulls", the common fast path.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NullMask {
+    bits: Vec<u64>,
+}
+
+impl NullMask {
+    /// A mask with no nulls.
+    pub fn none() -> NullMask {
+        NullMask::default()
+    }
+
+    /// Is row `i` null?
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        self.bits.get(i / 64).is_some_and(|w| (w >> (i % 64)) & 1 == 1)
+    }
+
+    /// Mark row `i` null.
+    #[inline]
+    pub fn set_null(&mut self, i: usize) {
+        let word = i / 64;
+        if word >= self.bits.len() {
+            self.bits.resize(word + 1, 0);
+        }
+        self.bits[word] |= 1 << (i % 64);
+    }
+
+    /// True iff any row is null. O(words), with the empty-mask fast path.
+    pub fn any(&self) -> bool {
+        self.bits.iter().any(|w| *w != 0)
+    }
+
+    /// Mask for the rows at `sel`, in that order.
+    pub fn gather(&self, sel: &[u32]) -> NullMask {
+        let mut out = NullMask::none();
+        if self.any() {
+            for (j, &i) in sel.iter().enumerate() {
+                if self.is_null(i as usize) {
+                    out.set_null(j);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The physical storage of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// All non-null rows are `Value::Int`.
+    Int(Vec<i64>),
+    /// All non-null rows are `Value::Float` (bits preserved).
+    Float(Vec<f64>),
+    /// All non-null rows are `Value::Bool`.
+    Bool(Vec<bool>),
+    /// All non-null rows are `Value::Str`.
+    Str(Vec<Arc<str>>),
+    /// Mixed-variant (or otherwise untypable) rows: the per-row `Value`
+    /// is authoritative, including its nulls.
+    Values(Vec<Value>),
+    /// Every row is this same value (vectorised literal / all-NULL).
+    Const(Value),
+}
+
+/// One typed column of a [`ColumnBatch`]: data plus null bitmap plus
+/// logical length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    data: ColumnData,
+    nulls: NullMask,
+    len: usize,
+}
+
+impl Column {
+    /// A column repeating `v` for `len` rows.
+    pub fn from_const(v: Value, len: usize) -> Column {
+        Column { data: ColumnData::Const(v), nulls: NullMask::none(), len }
+    }
+
+    /// An `Int` column from raw parts.
+    pub fn from_ints(v: Vec<i64>, nulls: NullMask) -> Column {
+        let len = v.len();
+        Column { data: ColumnData::Int(v), nulls, len }
+    }
+
+    /// A `Float` column from raw parts.
+    pub fn from_floats(v: Vec<f64>, nulls: NullMask) -> Column {
+        let len = v.len();
+        Column { data: ColumnData::Float(v), nulls, len }
+    }
+
+    /// A `Bool` column from raw parts.
+    pub fn from_bools(v: Vec<bool>, nulls: NullMask) -> Column {
+        let len = v.len();
+        Column { data: ColumnData::Bool(v), nulls, len }
+    }
+
+    /// A `Str` column from raw parts.
+    pub fn from_strs(v: Vec<Arc<str>>, nulls: NullMask) -> Column {
+        let len = v.len();
+        Column { data: ColumnData::Str(v), nulls, len }
+    }
+
+    /// Build from owned values, choosing the tightest representation
+    /// (typed vector, `Const` for all-NULL, `Values` for mixed).
+    pub fn from_values(values: Vec<Value>) -> Column {
+        let mut b = ColumnBuilder::new();
+        for v in &values {
+            b.push(v);
+        }
+        b.finish()
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The physical storage.
+    #[inline]
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// The null bitmap (not authoritative for `Values` / `Const` — use
+    /// [`Column::is_null`]).
+    #[inline]
+    pub fn nulls(&self) -> &NullMask {
+        &self.nulls
+    }
+
+    /// Is row `i` NULL?
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        match &self.data {
+            ColumnData::Const(v) => v.is_null(),
+            ColumnData::Values(v) => v[i].is_null(),
+            _ => self.nulls.is_null(i),
+        }
+    }
+
+    /// True iff any row is NULL.
+    pub fn has_nulls(&self) -> bool {
+        match &self.data {
+            ColumnData::Const(v) => self.len > 0 && v.is_null(),
+            ColumnData::Values(v) => v.iter().any(Value::is_null),
+            _ => self.nulls.any(),
+        }
+    }
+
+    /// The `Value` at row `i` — the exact value that was pivoted in
+    /// (variant and float bits included). Cheap: `Str` is an `Arc` bump.
+    #[inline]
+    pub fn value_at(&self, i: usize) -> Value {
+        debug_assert!(i < self.len);
+        match &self.data {
+            ColumnData::Const(v) => v.clone(),
+            ColumnData::Values(v) => v[i].clone(),
+            ColumnData::Int(v) => {
+                if self.nulls.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Int(v[i])
+                }
+            }
+            ColumnData::Float(v) => {
+                if self.nulls.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Float(v[i])
+                }
+            }
+            ColumnData::Bool(v) => {
+                if self.nulls.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Bool(v[i])
+                }
+            }
+            ColumnData::Str(v) => {
+                if self.nulls.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Str(v[i].clone())
+                }
+            }
+        }
+    }
+
+    /// The rows at `sel`, in that order (typed gather; indices may
+    /// repeat and must be in range).
+    pub fn gather(&self, sel: &[u32]) -> Column {
+        let len = sel.len();
+        let data = match &self.data {
+            ColumnData::Const(v) => {
+                return Column { data: ColumnData::Const(v.clone()), nulls: NullMask::none(), len }
+            }
+            ColumnData::Int(v) => ColumnData::Int(sel.iter().map(|&i| v[i as usize]).collect()),
+            ColumnData::Float(v) => {
+                ColumnData::Float(sel.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::Bool(v) => {
+                ColumnData::Bool(sel.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::Str(v) => {
+                ColumnData::Str(sel.iter().map(|&i| v[i as usize].clone()).collect())
+            }
+            ColumnData::Values(v) => {
+                ColumnData::Values(sel.iter().map(|&i| v[i as usize].clone()).collect())
+            }
+        };
+        Column { data, nulls: self.nulls.gather(sel), len }
+    }
+
+    /// Shorten to the first `n` rows (no-op when already ≤ `n`).
+    pub fn truncate(&mut self, n: usize) {
+        if n >= self.len {
+            return;
+        }
+        match &mut self.data {
+            ColumnData::Const(_) => {}
+            ColumnData::Int(v) => v.truncate(n),
+            ColumnData::Float(v) => v.truncate(n),
+            ColumnData::Bool(v) => v.truncate(n),
+            ColumnData::Str(v) => v.truncate(n),
+            ColumnData::Values(v) => v.truncate(n),
+        }
+        self.len = n;
+    }
+}
+
+/// Incremental [`Column`] builder: starts optimistic (typed on the first
+/// non-null value) and degrades to [`ColumnData::Values`] on the first
+/// variant mismatch, reconstructing the already-pushed values exactly.
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    state: BuilderState,
+    nulls: NullMask,
+    len: usize,
+}
+
+#[derive(Debug)]
+enum BuilderState {
+    /// Only NULLs seen so far.
+    AllNull,
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Bool(Vec<bool>),
+    Str(Vec<Arc<str>>),
+    Values(Vec<Value>),
+}
+
+impl Default for ColumnBuilder {
+    fn default() -> Self {
+        ColumnBuilder::new()
+    }
+}
+
+impl ColumnBuilder {
+    /// An empty builder.
+    pub fn new() -> ColumnBuilder {
+        ColumnBuilder { state: BuilderState::AllNull, nulls: NullMask::none(), len: 0 }
+    }
+
+    /// Rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff nothing was pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one value.
+    pub fn push(&mut self, v: &Value) {
+        use BuilderState::*;
+        let i = self.len;
+        match (&mut self.state, v) {
+            (_, Value::Null) => {
+                self.nulls.set_null(i);
+                match &mut self.state {
+                    AllNull => {}
+                    Int(xs) => xs.push(0),
+                    Float(xs) => xs.push(0.0),
+                    Bool(xs) => xs.push(false),
+                    Str(xs) => xs.push(Arc::from("")),
+                    Values(xs) => xs.push(Value::Null),
+                }
+            }
+            (AllNull, _) => {
+                // First non-null value decides the optimistic type.
+                self.state = match v {
+                    Value::Int(x) => Int(backfill(i, 0).chain([*x]).collect()),
+                    Value::Float(x) => Float(backfill(i, 0.0).chain([*x]).collect()),
+                    Value::Bool(x) => Bool(backfill(i, false).chain([*x]).collect()),
+                    Value::Str(s) => {
+                        Str(backfill(i, Arc::from("")).chain([s.clone()]).collect())
+                    }
+                    Value::Null => unreachable!("handled above"),
+                };
+            }
+            (Int(xs), Value::Int(x)) => xs.push(*x),
+            (Float(xs), Value::Float(x)) => xs.push(*x),
+            (Bool(xs), Value::Bool(x)) => xs.push(*x),
+            (Str(xs), Value::Str(s)) => xs.push(s.clone()),
+            (Values(xs), _) => xs.push(v.clone()),
+            // Variant mismatch: degrade to per-row values, rebuilding the
+            // prefix exactly from the typed vector plus the null mask.
+            (_, _) => {
+                let col = std::mem::take(self).finish();
+                let mut vals: Vec<Value> = (0..col.len()).map(|j| col.value_at(j)).collect();
+                vals.push(v.clone());
+                self.state = Values(vals);
+                self.nulls = NullMask::none();
+                self.len = i;
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Finish into a column. All-NULL input becomes `Const(NULL)`.
+    pub fn finish(self) -> Column {
+        let len = self.len;
+        let (data, nulls) = match self.state {
+            BuilderState::AllNull => (ColumnData::Const(Value::Null), NullMask::none()),
+            BuilderState::Int(v) => (ColumnData::Int(v), self.nulls),
+            BuilderState::Float(v) => (ColumnData::Float(v), self.nulls),
+            BuilderState::Bool(v) => (ColumnData::Bool(v), self.nulls),
+            BuilderState::Str(v) => (ColumnData::Str(v), self.nulls),
+            BuilderState::Values(v) => (ColumnData::Values(v), NullMask::none()),
+        };
+        Column { data, nulls, len }
+    }
+}
+
+/// `n` copies of a placeholder (backfills NULL-prefixed typed columns).
+fn backfill<T: Clone>(n: usize, v: T) -> impl Iterator<Item = T> {
+    std::iter::repeat_n(v, n)
+}
+
+/// A column-major morsel: parallel [`Column`]s of one common length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnBatch {
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl ColumnBatch {
+    /// Pivot `rows` (each of one common arity) into columns, keeping
+    /// only the source columns at `cols` (in that order). `n_rows` must
+    /// equal the iterator length — kept explicit so a zero-column pivot
+    /// still knows its row count.
+    pub fn pivot<'a>(
+        n_rows: usize,
+        rows: impl Iterator<Item = &'a [Value]>,
+        cols: &[usize],
+    ) -> ColumnBatch {
+        let mut builders: Vec<ColumnBuilder> =
+            (0..cols.len()).map(|_| ColumnBuilder::new()).collect();
+        let mut seen = 0usize;
+        for row in rows {
+            for (b, &c) in builders.iter_mut().zip(cols) {
+                b.push(&row[c]);
+            }
+            seen += 1;
+        }
+        debug_assert_eq!(seen, n_rows, "pivot row count mismatch");
+        ColumnBatch { columns: builders.into_iter().map(ColumnBuilder::finish).collect(), rows: n_rows }
+    }
+
+    /// Assemble from already-built columns, truncating each to `rows`
+    /// (columns may be longer after a partial evaluation).
+    pub fn from_columns(mut columns: Vec<Column>, rows: usize) -> ColumnBatch {
+        for c in &mut columns {
+            debug_assert!(c.len() >= rows, "column shorter than batch");
+            c.truncate(rows);
+        }
+        ColumnBatch { columns, rows }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True iff the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Column `i`.
+    #[inline]
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// The rows at `sel`, in that order.
+    pub fn gather(&self, sel: &[u32]) -> ColumnBatch {
+        ColumnBatch {
+            columns: self.columns.iter().map(|c| c.gather(sel)).collect(),
+            rows: sel.len(),
+        }
+    }
+
+    /// Write row `i` into `out` (cleared first) — the row ↔ column
+    /// pivot inverse, used by scalar fallbacks and the pivot back to
+    /// shared-row tuples.
+    pub fn write_row(&self, i: usize, out: &mut Vec<Value>) {
+        out.clear();
+        for c in &self.columns {
+            out.push(c.value_at(i));
+        }
+    }
+
+    /// Pivot back to row-major tuples sharing chunked buffers (the same
+    /// [`TupleBatch`] machinery the row operators use).
+    pub fn to_tuple_batch(&self) -> TupleBatch {
+        let mut batch = TupleBatch::new();
+        for i in 0..self.rows {
+            batch.begin_row();
+            for c in &self.columns {
+                batch.push_value(c.value_at(i));
+            }
+        }
+        batch
+    }
+}
+
+impl fmt::Display for Column {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for i in 0..self.len.min(16) {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.value_at(i))?;
+        }
+        if self.len > 16 {
+            write!(f, ", … ({} rows)", self.len)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: Vec<Value>) {
+        let col = Column::from_values(values.clone());
+        assert_eq!(col.len(), values.len());
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(&col.value_at(i), v, "row {i}");
+            assert_eq!(col.is_null(i), v.is_null(), "null flag row {i}");
+        }
+    }
+
+    #[test]
+    fn typed_columns_roundtrip_exactly() {
+        roundtrip(vec![Value::Int(1), Value::Null, Value::Int(-3)]);
+        roundtrip(vec![Value::Float(0.5), Value::Float(-0.0), Value::Null]);
+        roundtrip(vec![Value::Bool(true), Value::Null, Value::Bool(false)]);
+        roundtrip(vec![Value::str("a"), Value::Null, Value::str("")]);
+    }
+
+    #[test]
+    fn mixed_variants_fall_back_to_values_preserving_variant() {
+        // 1 and 1.0 compare equal but are distinct variants; the pivot
+        // must not coerce (Concat/CAST observe the variant).
+        let vals = vec![Value::Int(1), Value::Float(1.0), Value::Null, Value::str("x")];
+        let col = Column::from_values(vals.clone());
+        assert!(matches!(col.data(), ColumnData::Values(_)));
+        for (i, v) in vals.iter().enumerate() {
+            let got = col.value_at(i);
+            assert_eq!(&got, v);
+            assert_eq!(got.data_type(), v.data_type(), "variant preserved at {i}");
+        }
+    }
+
+    #[test]
+    fn all_null_becomes_const_null() {
+        let col = Column::from_values(vec![Value::Null, Value::Null]);
+        assert!(matches!(col.data(), ColumnData::Const(Value::Null)));
+        assert_eq!(col.len(), 2);
+        assert!(col.is_null(0) && col.is_null(1));
+    }
+
+    #[test]
+    fn null_prefix_backfills_typed() {
+        let col = Column::from_values(vec![Value::Null, Value::Null, Value::Int(7)]);
+        assert!(matches!(col.data(), ColumnData::Int(_)));
+        assert_eq!(col.value_at(0), Value::Null);
+        assert_eq!(col.value_at(2), Value::Int(7));
+    }
+
+    #[test]
+    fn degrade_after_nulls_and_values_is_exact() {
+        let vals =
+            vec![Value::Null, Value::Int(1), Value::Null, Value::str("s"), Value::Int(2)];
+        roundtrip(vals);
+    }
+
+    #[test]
+    fn gather_and_truncate() {
+        let col = Column::from_values(vec![
+            Value::Int(10),
+            Value::Null,
+            Value::Int(30),
+            Value::Int(40),
+        ]);
+        let g = col.gather(&[3, 1, 1, 0]);
+        assert_eq!(g.value_at(0), Value::Int(40));
+        assert_eq!(g.value_at(1), Value::Null);
+        assert_eq!(g.value_at(2), Value::Null);
+        assert_eq!(g.value_at(3), Value::Int(10));
+        let mut t = col.clone();
+        t.truncate(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.value_at(1), Value::Null);
+    }
+
+    #[test]
+    fn const_column_broadcasts_and_gathers() {
+        let c = Column::from_const(Value::str("k"), 5);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.value_at(4), Value::str("k"));
+        let g = c.gather(&[0, 0]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.value_at(1), Value::str("k"));
+    }
+
+    #[test]
+    fn batch_pivot_projects_columns_and_inverts() {
+        let rows: Vec<Vec<Value>> = vec![
+            vec![Value::Int(1), Value::str("a"), Value::Float(0.5)],
+            vec![Value::Int(2), Value::Null, Value::Float(1.5)],
+        ];
+        let batch = ColumnBatch::pivot(2, rows.iter().map(|r| r.as_slice()), &[2, 0]);
+        assert_eq!(batch.rows(), 2);
+        assert_eq!(batch.arity(), 2);
+        assert_eq!(batch.column(0).value_at(1), Value::Float(1.5));
+        assert_eq!(batch.column(1).value_at(0), Value::Int(1));
+        let mut row = Vec::new();
+        batch.write_row(1, &mut row);
+        assert_eq!(row, vec![Value::Float(1.5), Value::Int(2)]);
+    }
+
+    #[test]
+    fn batch_to_tuple_batch_matches_rows() {
+        let rows: Vec<Vec<Value>> =
+            vec![vec![Value::Int(1), Value::Null], vec![Value::str("x"), Value::Bool(true)]];
+        let batch = ColumnBatch::pivot(2, rows.iter().map(|r| r.as_slice()), &[0, 1]);
+        let tuples = batch.to_tuple_batch().finish();
+        assert_eq!(tuples.len(), 2);
+        assert_eq!(tuples[0].values(), rows[0].as_slice());
+        assert_eq!(tuples[1].values(), rows[1].as_slice());
+    }
+
+    #[test]
+    fn zero_column_pivot_keeps_row_count() {
+        let rows: Vec<Vec<Value>> = vec![vec![Value::Int(1)]; 3];
+        let batch = ColumnBatch::pivot(3, rows.iter().map(|r| r.as_slice()), &[]);
+        assert_eq!(batch.rows(), 3);
+        assert_eq!(batch.arity(), 0);
+        let mut row = vec![Value::Int(9)];
+        batch.write_row(2, &mut row);
+        assert!(row.is_empty());
+    }
+
+    #[test]
+    fn float_bits_preserved_through_pivot() {
+        // -0.0 and NaN are constructible Values; the pivot must not
+        // normalise them (bit-identity with the row path).
+        let neg_zero = Value::Float(-0.0);
+        let col = Column::from_values(vec![neg_zero.clone(), Value::Float(1.0)]);
+        match col.value_at(0) {
+            Value::Float(f) => assert!(f.is_sign_negative()),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+}

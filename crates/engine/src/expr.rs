@@ -400,6 +400,74 @@ impl Expr {
         }
     }
 
+    /// Can evaluating this expression never raise a runtime error?
+    ///
+    /// Conservative and structural: column references and literals never
+    /// raise; `IS NULL` raises iff its operand does; `||` never raises
+    /// (any value renders); `CASE` only errors through its
+    /// subexpressions (a non-boolean condition is simply "not taken");
+    /// `IN` compares with `sql_eq`, which cannot fail. Everything else —
+    /// arithmetic (overflow, division by zero), `NOT`/`AND`/`OR`
+    /// (non-boolean operands), comparisons (incomparable types), casts,
+    /// negation — counts as fallible.
+    ///
+    /// Used by the optimizer's projection-merge guard and by the
+    /// bind-time `Filter(false)` shortcut: an infallible stage can be
+    /// dropped without swallowing a runtime error.
+    pub fn infallible(&self) -> bool {
+        match self {
+            Expr::Column { .. } | Expr::ColumnIdx(_) | Expr::Literal(_) => true,
+            Expr::IsNull { expr, .. } => expr.infallible(),
+            Expr::Binary { op: BinaryOp::Concat, left, right } => {
+                left.infallible() && right.infallible()
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.infallible() && list.iter().all(Expr::infallible)
+            }
+            Expr::Case { branches, else_expr } => {
+                branches.iter().all(|(c, r)| c.infallible() && r.infallible())
+                    && else_expr.as_ref().is_none_or(|e| e.infallible())
+            }
+            _ => false,
+        }
+    }
+
+    /// A copy with every bound column index `i` replaced by `map(i)`
+    /// (used when evaluating against a batch that pivoted only a subset
+    /// of the source columns).
+    pub fn remap_columns(&self, map: &dyn Fn(usize) -> usize) -> Expr {
+        match self {
+            Expr::ColumnIdx(i) => Expr::ColumnIdx(map(*i)),
+            Expr::Column { .. } | Expr::Literal(_) => self.clone(),
+            Expr::Binary { left, op, right } => Expr::Binary {
+                left: Box::new(left.remap_columns(map)),
+                op: *op,
+                right: Box::new(right.remap_columns(map)),
+            },
+            Expr::Unary { op, expr } => {
+                Expr::Unary { op: *op, expr: Box::new(expr.remap_columns(map)) }
+            }
+            Expr::IsNull { expr, negated } => {
+                Expr::IsNull { expr: Box::new(expr.remap_columns(map)), negated: *negated }
+            }
+            Expr::InList { expr, list, negated } => Expr::InList {
+                expr: Box::new(expr.remap_columns(map)),
+                list: list.iter().map(|e| e.remap_columns(map)).collect(),
+                negated: *negated,
+            },
+            Expr::Case { branches, else_expr } => Expr::Case {
+                branches: branches
+                    .iter()
+                    .map(|(c, r)| (c.remap_columns(map), r.remap_columns(map)))
+                    .collect(),
+                else_expr: else_expr.as_ref().map(|e| Box::new(e.remap_columns(map))),
+            },
+            Expr::Cast { expr, dtype } => {
+                Expr::Cast { expr: Box::new(expr.remap_columns(map)), dtype: *dtype }
+            }
+        }
+    }
+
     /// All column indices referenced by this (bound) expression.
     pub fn referenced_columns(&self, out: &mut Vec<usize>) {
         match self {
@@ -465,8 +533,10 @@ fn eval_logical(op: BinaryOp, left: &Expr, right: &Expr, row: &[Value]) -> Resul
     Ok(out.map_or(Value::Null, Value::Bool))
 }
 
-/// Evaluate a non-logical binary operator on concrete values.
-fn eval_binary(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+/// Evaluate a non-logical binary operator on concrete values. Shared
+/// with the vectorised kernels ([`crate::vector`]) so the per-value
+/// fallback paths are the scalar evaluator, not a re-implementation.
+pub(crate) fn eval_binary(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
     if l.is_null() || r.is_null() {
         return Ok(Value::Null);
     }
@@ -551,8 +621,8 @@ fn eval_binary(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
     }
 }
 
-/// Runtime CAST between scalar types.
-fn cast_value(v: Value, target: DataType) -> Result<Value> {
+/// Runtime CAST between scalar types. Shared with [`crate::vector`].
+pub(crate) fn cast_value(v: Value, target: DataType) -> Result<Value> {
     if v.is_null() {
         return Ok(Value::Null);
     }

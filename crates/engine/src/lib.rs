@@ -11,6 +11,11 @@
 //! * [`schema`] — named, typed, qualifier-aware columns;
 //! * [`mod@tuple`] — rows and materialised bag [`tuple::Relation`]s;
 //! * [`expr`] — scalar expressions with SQL three-valued logic;
+//! * [`column`] — column-major morsels: typed column vectors with null
+//!   bitmaps (MonetDB/X100-style);
+//! * [`vector`] — vectorised expression kernels over [`column`] batches,
+//!   bit-identical to the scalar evaluator (scalar fallback on any
+//!   divergence);
 //! * [`ops`] — physical operators: σ, π, ⨯, ⋈ (nested-loop and hash),
 //!   ∪, distinct, sort, limit, grouped aggregation;
 //! * [`plan`] — a composable physical plan tree;
@@ -53,6 +58,7 @@
 #![forbid(unsafe_code)]
 
 pub mod catalog;
+pub mod column;
 pub mod error;
 pub mod expr;
 pub mod hash;
@@ -62,8 +68,10 @@ pub mod plan;
 pub mod schema;
 pub mod tuple;
 pub mod types;
+pub mod vector;
 
 pub use catalog::Catalog;
+pub use column::{Column, ColumnBatch, ColumnBuilder, ColumnData, NullMask};
 pub use error::{EngineError, Result};
 pub use expr::{BinaryOp, Expr, UnaryOp};
 pub use plan::PhysicalPlan;

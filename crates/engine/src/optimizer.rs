@@ -302,7 +302,7 @@ fn merge_projections(
     // Dropping an unreferenced inner item is only safe when evaluating it
     // could not have failed.
     for (item, used) in inner.iter().zip(&referenced) {
-        if !used && !is_infallible(&item.expr) {
+        if !used && !item.expr.infallible() {
             return None;
         }
     }
@@ -323,7 +323,7 @@ fn substitute(
 ) -> Option<Expr> {
     let resolve = |i: usize, referenced: &mut Vec<bool>| -> Option<Expr> {
         let item = inner.get(i)?;
-        if guarded && !is_infallible(&item.expr) {
+        if guarded && !item.expr.infallible() {
             return None;
         }
         referenced[i] = true;
@@ -388,12 +388,6 @@ fn substitute(
     })
 }
 
-/// Expressions whose evaluation can never raise (bound or unbound column
-/// references and literals) — safe to drop unreferenced.
-fn is_infallible(e: &Expr) -> bool {
-    matches!(e, Expr::Column { .. } | Expr::ColumnIdx(_) | Expr::Literal(_))
-}
-
 /// Does the projection keep exactly the input columns, unchanged, in
 /// order, under their own names? (Only unqualified input fields qualify:
 /// projection output drops qualifiers, so re-qualified schemas are not
@@ -433,22 +427,45 @@ pub fn fold(e: Expr) -> Expr {
         Expr::Binary { left, op, right } => {
             let left = fold(*left);
             let right = fold(*right);
-            // Boolean short-circuits with one constant side.
+            // Boolean short-circuits with one constant side. Guarded
+            // like every fold: an operand the scalar evaluator *always*
+            // runs (the left side; the right side once the left didn't
+            // decide) may only fold away when it can neither raise —
+            // `(1/0 = 1) AND false` must stay a runtime error — nor
+            // change the outcome's boolean type check (`3 AND false`
+            // errors; plain `false` would not). `is_boolish` is the
+            // type half of that guard; [`Expr::infallible`] the other.
             match (op, &left, &right) {
-                (BinaryOp::And, Expr::Literal(Value::Bool(false)), _)
-                | (BinaryOp::And, _, Expr::Literal(Value::Bool(false))) => {
+                // Scalar short-circuit: the right side never runs.
+                (BinaryOp::And, Expr::Literal(Value::Bool(false)), _) => {
                     return Expr::Literal(Value::Bool(false));
                 }
-                (BinaryOp::And, Expr::Literal(Value::Bool(true)), other)
-                | (BinaryOp::And, other, Expr::Literal(Value::Bool(true))) => {
-                    return other.clone();
-                }
-                (BinaryOp::Or, Expr::Literal(Value::Bool(true)), _)
-                | (BinaryOp::Or, _, Expr::Literal(Value::Bool(true))) => {
+                (BinaryOp::Or, Expr::Literal(Value::Bool(true)), _) => {
                     return Expr::Literal(Value::Bool(true));
                 }
+                // The always-evaluated side folds away entirely.
+                (BinaryOp::And, other, Expr::Literal(Value::Bool(false)))
+                    if other.infallible() && is_boolish(other) =>
+                {
+                    return Expr::Literal(Value::Bool(false));
+                }
+                (BinaryOp::Or, other, Expr::Literal(Value::Bool(true)))
+                    if other.infallible() && is_boolish(other) =>
+                {
+                    return Expr::Literal(Value::Bool(true));
+                }
+                // The surviving side keeps evaluating (errors intact);
+                // it just must already be boolean-valued.
+                (BinaryOp::And, Expr::Literal(Value::Bool(true)), other)
+                | (BinaryOp::And, other, Expr::Literal(Value::Bool(true)))
+                    if is_boolish(other) =>
+                {
+                    return other.clone();
+                }
                 (BinaryOp::Or, Expr::Literal(Value::Bool(false)), other)
-                | (BinaryOp::Or, other, Expr::Literal(Value::Bool(false))) => {
+                | (BinaryOp::Or, other, Expr::Literal(Value::Bool(false)))
+                    if is_boolish(other) =>
+                {
                     return other.clone();
                 }
                 _ => {}
@@ -492,6 +509,22 @@ pub fn fold(e: Expr) -> Expr {
             try_eval_const(Expr::Cast { expr: Box::new(fold(*expr)), dtype }, &empty)
         }
         other => other,
+    }
+}
+
+/// Structurally guaranteed to evaluate to boolean or NULL whenever it
+/// evaluates at all — so `AND`/`OR` may absorb it (or hand the result
+/// to it) without dropping the type check `eval_logical` performs on
+/// every operand it sees.
+fn is_boolish(e: &Expr) -> bool {
+    match e {
+        Expr::Literal(Value::Bool(_)) | Expr::Literal(Value::Null) => true,
+        Expr::IsNull { .. } | Expr::InList { .. } => true,
+        Expr::Unary { op: UnaryOp::Not, .. } => true,
+        Expr::Binary { op, .. } => {
+            op.is_comparison() || matches!(op, BinaryOp::And | BinaryOp::Or)
+        }
+        _ => false,
     }
 }
 
@@ -569,8 +602,35 @@ mod tests {
         assert_eq!(fold(e).to_string(), "(x = 1)");
         let e = Expr::lit(false).and(Expr::col("x").eq(Expr::lit(1i64)));
         assert_eq!(fold(e), Expr::Literal(Value::Bool(false)));
+        // A bare column is not provably boolean: `false OR y` would
+        // type-error on a non-boolean y, so it must not fold to `y`.
         let e = Expr::lit(false).or(Expr::col("y"));
-        assert_eq!(fold(e).to_string(), "y");
+        assert_eq!(fold(e).to_string(), "(false OR y)");
+        let e = Expr::lit(false).or(Expr::col("y").eq(Expr::lit(1i64)));
+        assert_eq!(fold(e).to_string(), "(y = 1)");
+    }
+
+    #[test]
+    fn fold_keeps_fallible_always_evaluated_operands() {
+        // `(1/0 = 1) AND false`: the scalar evaluator always runs the
+        // left side first, so the division error must survive folding.
+        let boom = Expr::lit(1i64).binary(BinaryOp::Div, Expr::lit(0i64)).eq(Expr::lit(1i64));
+        let e = boom.clone().and(Expr::lit(false));
+        assert_eq!(fold(e.clone()), e, "fallible left of AND-false stays");
+        let e = boom.clone().or(Expr::lit(true));
+        assert_eq!(fold(e.clone()), e, "fallible left of OR-true stays");
+        // The mirrored positions short-circuit in the scalar evaluator,
+        // so there the fold *is* allowed.
+        let e = Expr::lit(false).and(boom.clone());
+        assert_eq!(fold(e), Expr::Literal(Value::Bool(false)));
+        let e = Expr::lit(true).or(boom.clone());
+        assert_eq!(fold(e), Expr::Literal(Value::Bool(true)));
+        // `X AND true -> X` keeps X evaluated, so fallible X is fine…
+        let e = boom.clone().and(Expr::lit(true));
+        assert_eq!(fold(e), boom);
+        // …but a non-boolean X must keep the AND (type check preserved).
+        let e = Expr::lit(3i64).and(Expr::lit(true));
+        assert_eq!(fold(e).to_string(), "(3 AND true)");
     }
 
     #[test]

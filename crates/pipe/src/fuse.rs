@@ -24,9 +24,10 @@
 //! time, morsel-locally on the caller's pool — deferring the build to
 //! the same pool and morsel size the rest of the pipeline uses.
 
+use maybms_engine::column::ColumnBatch;
 use maybms_engine::error::{EngineError, Result};
 use maybms_engine::tuple::{Relation, Tuple, TupleBatch};
-use maybms_engine::{ops, Expr, Value};
+use maybms_engine::{ops, vector, Expr, Value};
 use maybms_par::ThreadPool;
 use maybms_urel::{URelation, Wsd};
 
@@ -98,6 +99,161 @@ pub(crate) enum Stage<S: RowSource> {
     },
 }
 
+/// Can no stage of this chain raise a runtime error? Probes evaluate no
+/// expressions (hash, verify, conjoin), so only σ/π expressions count.
+/// This is the guard for the bind-time `σ_false → empty` shortcut: an
+/// all-infallible chain can be skipped without swallowing an error.
+pub(crate) fn stages_infallible<S: RowSource>(stages: &[Stage<S>]) -> bool {
+    stages.iter().all(|s| match s {
+        Stage::Filter(p) => p.infallible(),
+        Stage::Project(es) => es.iter().all(Expr::infallible),
+        Stage::Probe { .. } => true,
+    })
+}
+
+/// How many leading stages of `stages` are kernel-eligible: a run of
+/// σ/π whose expressions all pass [`vector::vectorisable`], ending at
+/// the first probe (probes — and the U-relational WSD bookkeeping that
+/// rides on them — stay row-wise; the batch pivots back to shared-row
+/// tuples there). This is the per-stage decision `EXPLAIN` reports.
+pub(crate) fn vector_prefix_len<S: RowSource>(stages: &[Stage<S>]) -> usize {
+    stages
+        .iter()
+        .take_while(|s| match s {
+            Stage::Filter(p) => vector::vectorisable(p),
+            Stage::Project(es) => es.iter().all(vector::vectorisable),
+            Stage::Probe { .. } => false,
+        })
+        .count()
+}
+
+/// One stage of the columnar plan, expressions remapped (where they
+/// predate the first projection) to the pivoted column subset.
+enum VecStage {
+    Filter(Expr),
+    Project(Vec<Expr>),
+}
+
+/// The columnar execution plan for a pipeline's kernel-eligible prefix,
+/// computed once per pipeline run (plan time), shared by every morsel.
+pub(crate) struct VecPrefix {
+    /// Number of `stages` covered (the rest run row-wise).
+    len: usize,
+    stages: Vec<VecStage>,
+    /// Source columns to pivot — only those the prefix reads (up to and
+    /// including the first projection, which replaces the row shape).
+    pivot_cols: Vec<usize>,
+}
+
+/// Plan the columnar prefix, or `None` when nothing vectorises.
+pub(crate) fn plan_vec<S: RowSource>(stages: &[Stage<S>], columnar: bool) -> Option<VecPrefix> {
+    if !columnar {
+        return None;
+    }
+    let len = vector_prefix_len(stages);
+    if len == 0 {
+        return None;
+    }
+    let first_proj = stages[..len]
+        .iter()
+        .position(|s| matches!(s, Stage::Project(_)));
+    // Stages up to (and including) the first projection read the source
+    // row shape; later prefix stages read the projected batch whole.
+    let remap_upto = first_proj.map_or(len, |p| p + 1);
+    let mut pivot_cols = Vec::new();
+    for s in &stages[..remap_upto] {
+        match s {
+            Stage::Filter(p) => p.referenced_columns(&mut pivot_cols),
+            Stage::Project(es) => es.iter().for_each(|e| e.referenced_columns(&mut pivot_cols)),
+            Stage::Probe { .. } => unreachable!("prefix stops at probes"),
+        }
+    }
+    pivot_cols.sort_unstable();
+    pivot_cols.dedup();
+    let map = |i: usize| {
+        pivot_cols.binary_search(&i).expect("referenced column collected above")
+    };
+    let mut vec_stages = Vec::with_capacity(len);
+    for (k, s) in stages[..len].iter().enumerate() {
+        let remap = k < remap_upto;
+        match s {
+            Stage::Filter(p) => vec_stages.push(VecStage::Filter(if remap {
+                p.remap_columns(&map)
+            } else {
+                p.clone()
+            })),
+            Stage::Project(es) => vec_stages.push(VecStage::Project(
+                es.iter()
+                    .map(|e| if remap { e.remap_columns(&map) } else { e.clone() })
+                    .collect(),
+            )),
+            Stage::Probe { .. } => unreachable!("prefix stops at probes"),
+        }
+    }
+    Some(VecPrefix { len, stages: vec_stages, pivot_cols })
+}
+
+/// Run the columnar prefix over one morsel. Returns the surviving rows'
+/// batch (when the prefix projected), their source indices (for
+/// payloads, and for the row values when it did not), and the morsel's
+/// pending error.
+///
+/// Error discipline (replicating the row-major scalar order): whenever a
+/// stage errors at some row, the batch truncates to the rows *before*
+/// it and later stages keep running on them — any error they find is at
+/// a strictly earlier source row and replaces the pending one, so the
+/// error that survives is the one the scalar row-at-a-time walk would
+/// have hit first. Rows that survive every stage ahead of the error row
+/// still reach the sink, exactly as the scalar walk pushed them before
+/// erroring (the sink is discarded on error either way).
+pub(crate) fn run_vec<S: RowSource>(
+    pre: &VecPrefix,
+    source: &S,
+    range: std::ops::Range<usize>,
+) -> (Option<ColumnBatch>, Vec<u32>, Option<EngineError>) {
+    let mut src: Vec<u32> = range.clone().map(|i| i as u32).collect();
+    let mut batch = ColumnBatch::pivot(
+        range.len(),
+        range.clone().map(|i| source.row(i).0),
+        &pre.pivot_cols,
+    );
+    let mut pending = None;
+    let mut projected = false;
+    for stage in &pre.stages {
+        match stage {
+            VecStage::Filter(p) => {
+                let (sel, err) = vector::selection(p, &batch);
+                if let Some((_, e)) = err {
+                    pending = Some(e);
+                }
+                batch = batch.gather(&sel);
+                src = sel.iter().map(|&j| src[j as usize]).collect();
+            }
+            VecStage::Project(es) => {
+                let mut n_valid = batch.rows();
+                let mut cols = Vec::with_capacity(es.len());
+                for e in es {
+                    let (col, err) = vector::eval_batch(e, &batch);
+                    if let Some((k, er)) = err {
+                        // Scalar order: expressions left to right within
+                        // a row, rows in order — a later expression's
+                        // error only wins at a strictly earlier row.
+                        if k < n_valid {
+                            n_valid = k;
+                            pending = Some(er);
+                        }
+                    }
+                    cols.push(col);
+                }
+                batch = ColumnBatch::from_columns(cols, n_valid);
+                src.truncate(n_valid);
+                projected = true;
+            }
+        }
+    }
+    (projected.then_some(batch), src, pending)
+}
+
 /// A morsel-local consumer of rows that survive the stage chain. One
 /// sink exists per morsel; the caller merges finished sinks in morsel
 /// order, so a sink never needs to be thread-safe itself.
@@ -146,11 +302,17 @@ pub(crate) enum FusedOutput<P> {
 /// `make_sink`. Returns the finished sinks **in morsel order**; the
 /// earliest morsel's error wins, so the error (if any) is identical to a
 /// sequential scan at any thread count.
+///
+/// With `columnar` set, the kernel-eligible σ/π prefix of the chain
+/// runs vectorised per morsel (pivot → typed kernels → gather), pivoting
+/// back to rows for the remaining stages and the sink — output and
+/// errors bit-identical to the row walk.
 pub(crate) fn run_sink<S, Sk, MK>(
     source: &S,
     stages: &[Stage<S>],
     pool: &ThreadPool,
     min_morsel: usize,
+    columnar: bool,
     make_sink: MK,
 ) -> std::result::Result<Vec<Sk>, Sk::Err>
 where
@@ -171,6 +333,7 @@ where
             _ => None,
         })
         .collect();
+    let pre = plan_vec(stages, columnar);
 
     // A one-thread pool runs morsels back-to-back anyway; one morsel
     // spares the sink merges (the merged result is identical either way).
@@ -182,18 +345,51 @@ where
     let outputs: Vec<std::result::Result<Sk, Sk::Err>> =
         pool.par_map_chunks(source.len(), chunk, |range| {
             let mut sink = make_sink();
-            let mut scratch: Vec<Vec<Value>> = vec![Vec::new(); stages.len()];
-            for i in range {
-                let (row, payload) = source.row(i);
-                push_row::<S, Sk>(
-                    row,
-                    payload,
-                    stages,
-                    &tables,
-                    0,
-                    &mut scratch,
-                    &mut sink,
-                )?;
+            if let Some(pre) = &pre {
+                // Columnar prefix, then the row walk for the rest.
+                let rest = &stages[pre.len..];
+                let rest_tables = &tables[pre.len..];
+                let mut scratch: Vec<Vec<Value>> = vec![Vec::new(); rest.len()];
+                let (batch, src, pending) = run_vec(pre, source, range);
+                let mut rowbuf: Vec<Value> = Vec::new();
+                for (j, &si) in src.iter().enumerate() {
+                    let (srow, payload) = source.row(si as usize);
+                    let row: &[Value] = match &batch {
+                        Some(b) => {
+                            b.write_row(j, &mut rowbuf);
+                            &rowbuf
+                        }
+                        None => srow,
+                    };
+                    push_row::<S, Sk>(
+                        row,
+                        payload,
+                        rest,
+                        rest_tables,
+                        0,
+                        &mut scratch,
+                        &mut sink,
+                    )?;
+                }
+                // Any row-walk error above was at an earlier source row
+                // than the prefix's pending error — row-major order.
+                if let Some(e) = pending {
+                    return Err(Sk::Err::from(e));
+                }
+            } else {
+                let mut scratch: Vec<Vec<Value>> = vec![Vec::new(); stages.len()];
+                for i in range {
+                    let (row, payload) = source.row(i);
+                    push_row::<S, Sk>(
+                        row,
+                        payload,
+                        stages,
+                        &tables,
+                        0,
+                        &mut scratch,
+                        &mut sink,
+                    )?;
+                }
             }
             Ok(sink)
         });
@@ -203,28 +399,42 @@ where
 /// Run `stages` over every row of `source`, morsel-parallel on `pool`,
 /// materialising the surviving rows. Morsel outputs merge in morsel
 /// order; the output (and error row, if any) is identical to a
-/// sequential scan at any thread count.
+/// sequential scan at any thread count — with or without `columnar`.
 pub(crate) fn run<S: RowSource>(
     source: &S,
     stages: &[Stage<S>],
     pool: &ThreadPool,
     min_morsel: usize,
+    columnar: bool,
 ) -> Result<FusedOutput<S::Payload>> {
-    // All-filter pipelines stay a selection vector end to end.
+    // All-filter pipelines stay a selection vector end to end (columnar
+    // predicates produce the selection directly; no project means no
+    // batch survives — the output shares the source's row storage).
     if stages.iter().all(|s| matches!(s, Stage::Filter(_))) {
+        let pre = plan_vec(stages, columnar);
         let chunk = maybms_par::auto_chunk(source.len(), pool.threads(), min_morsel);
         let partials: Vec<Result<Vec<usize>>> =
             pool.par_map_chunks(source.len(), chunk, |range| {
+                let (src, pending, start) = match &pre {
+                    Some(pre) => {
+                        let (_, src, pending) = run_vec(pre, source, range);
+                        (src, pending, pre.len)
+                    }
+                    None => (range.map(|i| i as u32).collect(), None, 0),
+                };
                 let mut sel = Vec::new();
-                'row: for i in range {
-                    let (row, _) = source.row(i);
-                    for s in stages {
+                'row: for &si in &src {
+                    let (row, _) = source.row(si as usize);
+                    for s in &stages[start..] {
                         let Stage::Filter(p) = s else { unreachable!() };
                         if !p.eval_predicate_values(row)? {
                             continue 'row;
                         }
                     }
-                    sel.push(i);
+                    sel.push(si as usize);
+                }
+                if let Some(e) = pending {
+                    return Err(e);
                 }
                 Ok(sel)
             });
@@ -237,7 +447,7 @@ pub(crate) fn run<S: RowSource>(
 
     // General fused path: push every source row through the stage chain
     // into a morsel-local batch.
-    let sinks = run_sink(source, stages, pool, min_morsel, || RowsSink {
+    let sinks = run_sink(source, stages, pool, min_morsel, columnar, || RowsSink {
         batch: TupleBatch::new(),
         payloads: Vec::new(),
     })?;

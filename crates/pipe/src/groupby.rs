@@ -157,6 +157,7 @@ pub(crate) fn group_stream<S, A, E, NF, FF, MF>(
     key_exprs: &[Expr],
     pool: &ThreadPool,
     min_morsel: usize,
+    columnar: bool,
     new_state: NF,
     fold: FF,
     mut merge: MF,
@@ -169,7 +170,7 @@ where
     FF: Fn(&mut A, &[Value], &S::Payload) -> Result<(), E> + Sync,
     MF: FnMut(&mut A, A) -> Result<(), E>,
 {
-    let sinks = fuse::run_sink(source, stages, pool, min_morsel, || GroupSink {
+    let sinks = fuse::run_sink(source, stages, pool, min_morsel, columnar, || GroupSink {
         table: GroupTable::new(),
         key_exprs,
         new_state: &new_state,

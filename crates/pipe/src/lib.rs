@@ -25,11 +25,23 @@
 //!   mergeable accumulator states, merged in morsel order with global
 //!   first-seen key order ([`groupby`]) — `GROUP BY` plans never
 //!   materialise their input;
+//! * the **kernel-eligible σ/π prefix** of a pipeline runs *columnar*:
+//!   each morsel pivots into a typed
+//!   [`ColumnBatch`](maybms_engine::column::ColumnBatch) (only the
+//!   referenced source columns), predicates and projections evaluate
+//!   through the vectorised kernels of
+//!   [`maybms_engine::vector`], and rows pivot back to shared-row
+//!   tuples at probes, breakers, and sinks (where the U-relational WSD
+//!   bookkeeping lives). The planner decides eligibility per stage at
+//!   plan time; `EXPLAIN` marks those stages `(vectorised)`. Off-switch:
+//!   `MAYBMS_COLUMNAR=0` (see [`columnar_default`]);
 //! * morsels run on the `maybms-par` pool and morsel outputs are
 //!   concatenated in morsel order, preserving PR 2's determinism
 //!   contract: **pipelined output is bit-identical to the materialising
-//!   path at any thread count** (property-tested at 1/2/8 threads in
-//!   `crates/bench/tests/pipe_equiv.rs`).
+//!   path at any thread count** — and the columnar path is bit-identical
+//!   to the row path, values *and* errors (property-tested at 1/2/8
+//!   threads in `crates/bench/tests/pipe_equiv.rs` and
+//!   `crates/bench/tests/vec_equiv.rs`).
 //!
 //! Two front ends share the machinery:
 //!
@@ -54,8 +66,21 @@ pub mod ustream;
 
 pub use build::BuildTable;
 pub use groupby::GroupTable;
-pub use plan::{decompose, execute, execute_with, explain, PipePlan};
+pub use plan::{decompose, execute, execute_opts, execute_with, explain, PipePlan};
 pub use ustream::UStream;
+
+/// Is the columnar (vectorised) execution path enabled by default?
+///
+/// On unless `MAYBMS_COLUMNAR=0` — the default [`execute`] /
+/// [`UStream::collect`] entry points consult this; the `*_opts`
+/// variants take the flag explicitly (what the columnar ≡ row
+/// equivalence property tests pin). Read once per process.
+pub fn columnar_default() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| {
+        std::env::var("MAYBMS_COLUMNAR").map_or(true, |v| v.trim() != "0")
+    })
+}
 
 /// Hash of a row slice's key columns (columnar single-key fast path),
 /// `None` when any key is NULL. Agrees with the engine's

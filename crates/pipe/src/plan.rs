@@ -16,7 +16,8 @@ use maybms_engine::error::{EngineError, Result};
 use maybms_engine::expr::Expr;
 use maybms_engine::ops::{self, AggCall, ProjectItem, SortKey};
 use maybms_engine::tuple::{Relation, Tuple};
-use maybms_engine::{Catalog, PhysicalPlan, Schema};
+use maybms_engine::types::Value;
+use maybms_engine::{optimizer, vector, Catalog, PhysicalPlan, Schema};
 use maybms_par::ThreadPool;
 
 use crate::fuse::{self, FusedOutput, Stage};
@@ -204,15 +205,28 @@ pub fn execute(plan: &PhysicalPlan, catalog: &Catalog) -> Result<Relation> {
 }
 
 /// [`execute`] on an explicit pool with an explicit minimum morsel size
-/// (what the 1/2/8-thread determinism property tests pin).
+/// (what the 1/2/8-thread determinism property tests pin). Columnar
+/// execution follows [`crate::columnar_default`].
 pub fn execute_with(
     plan: &PhysicalPlan,
     catalog: &Catalog,
     pool: &ThreadPool,
     min_morsel: usize,
 ) -> Result<Relation> {
+    execute_opts(plan, catalog, pool, min_morsel, crate::columnar_default())
+}
+
+/// [`execute_with`] with the columnar path pinned explicitly — what the
+/// columnar ≡ row equivalence tests and the three-way benchmarks use.
+pub fn execute_opts(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    pool: &ThreadPool,
+    min_morsel: usize,
+    columnar: bool,
+) -> Result<Relation> {
     let pipe = decompose(plan);
-    run(&pipe, catalog, pool, min_morsel)
+    run(&pipe, catalog, pool, min_morsel, columnar)
 }
 
 /// Run one pipeline (recursively running breaker inputs and build
@@ -223,14 +237,18 @@ fn run(
     catalog: &Catalog,
     pool: &ThreadPool,
     min_morsel: usize,
+    columnar: bool,
 ) -> Result<Relation> {
-    let source = run_source(&pipe.source, catalog, pool, min_morsel)?;
+    let source = run_source(&pipe.source, catalog, pool, min_morsel, columnar)?;
     if pipe.stages.is_empty() {
         return Ok(source);
     }
-    let (bound, schema) =
-        bind_stages(&pipe.stages, source.schema().clone(), catalog, pool, min_morsel)?;
-    match fuse::run(&source, &bound, pool, min_morsel)? {
+    let (bound, schema, const_empty) =
+        bind_stages(&pipe.stages, source.schema().clone(), catalog, pool, min_morsel, columnar)?;
+    if const_empty {
+        return Ok(Relation::empty(schema));
+    }
+    match fuse::run(&source, &bound, pool, min_morsel, columnar)? {
         // All-filter pipeline: gather shares rows with the source,
         // exactly like a chain of materialising filters would.
         FusedOutput::Select(sel) => Ok(source.gather(&sel)),
@@ -239,37 +257,57 @@ fn run(
 }
 
 /// Bind a stage chain against the evolving row schema, recursively
-/// running probe build sides. Returns the bound stages and the output
-/// schema of the chain.
+/// running probe build sides, **constant-folding every stage expression
+/// at bind time** (fewer nodes reaching both evaluation and the
+/// kernel-eligibility check). A predicate folding to `true` drops its
+/// stage; one folding to `false`/`NULL` short-circuits the whole chain
+/// to an empty output — but only when every stage bound so far is
+/// infallible, so a runtime error a fused σ/π would have raised is
+/// never swallowed. Returns the bound stages, the chain's output
+/// schema, and whether the chain is constantly empty.
 fn bind_stages(
     stages: &[StageSpec],
     mut schema: Arc<Schema>,
     catalog: &Catalog,
     pool: &ThreadPool,
     min_morsel: usize,
-) -> Result<(Vec<Stage<Relation>>, Arc<Schema>)> {
+    columnar: bool,
+) -> Result<(Vec<Stage<Relation>>, Arc<Schema>, bool)> {
     let mut bound: Vec<Stage<Relation>> = Vec::with_capacity(stages.len());
+    let mut const_empty = false;
     for stage in stages {
         match stage {
             StageSpec::Filter { predicate } => {
-                bound.push(Stage::Filter(predicate.bind(&schema)?));
+                let p = optimizer::fold(predicate.bind(&schema)?);
+                match &p {
+                    Expr::Literal(Value::Bool(true)) => {} // σ_true: no stage
+                    Expr::Literal(Value::Bool(false)) | Expr::Literal(Value::Null)
+                        if fuse::stages_infallible(&bound) =>
+                    {
+                        const_empty = true;
+                        bound.push(Stage::Filter(p));
+                    }
+                    _ => bound.push(Stage::Filter(p)),
+                }
             }
             StageSpec::Project { items } => {
                 let mut exprs = Vec::with_capacity(items.len());
                 let mut fields = Vec::with_capacity(items.len());
                 for item in items {
                     let e = item.expr.bind(&schema)?;
+                    // Field type from the unfolded expression, so the
+                    // output schema matches the materialising path.
                     fields.push(maybms_engine::Field::new(
                         item.name.clone(),
                         e.data_type(&schema),
                     ));
-                    exprs.push(e);
+                    exprs.push(optimizer::fold(e));
                 }
                 schema = Arc::new(Schema::new(fields));
                 bound.push(Stage::Project(exprs));
             }
             StageSpec::Probe { build, left_keys, right_keys } => {
-                let build_rel = run(build, catalog, pool, min_morsel)?;
+                let build_rel = run(build, catalog, pool, min_morsel, columnar)?;
                 validate_probe_keys(&schema, build_rel.schema(), left_keys, right_keys)?;
                 schema = Arc::new(schema.join(build_rel.schema()));
                 bound.push(Stage::Probe {
@@ -280,7 +318,7 @@ fn bind_stages(
             }
         }
     }
-    Ok((bound, schema))
+    Ok((bound, schema, const_empty))
 }
 
 /// The streaming grouped-aggregation breaker: runs the input pipeline's
@@ -288,6 +326,7 @@ fn bind_stages(
 /// [`ops::AggState`]s as the sink — the input is never materialised.
 /// Output is bit-identical to materialising the input and calling
 /// [`ops::aggregate`] on it, at any thread count and morsel size.
+#[allow(clippy::too_many_arguments)]
 fn run_grouped_aggregate(
     input: &PipePlan,
     group_exprs: &[Expr],
@@ -296,20 +335,39 @@ fn run_grouped_aggregate(
     catalog: &Catalog,
     pool: &ThreadPool,
     min_morsel: usize,
+    columnar: bool,
 ) -> Result<Relation> {
-    let source = run_source(&input.source, catalog, pool, min_morsel)?;
-    let (stages, in_schema) =
-        bind_stages(&input.stages, source.schema().clone(), catalog, pool, min_morsel)?;
+    let source = run_source(&input.source, catalog, pool, min_morsel, columnar)?;
+    let (stages, in_schema, const_empty) = bind_stages(
+        &input.stages,
+        source.schema().clone(),
+        catalog,
+        pool,
+        min_morsel,
+        columnar,
+    )?;
     let out_schema = ops::aggregate_schema(&in_schema, group_exprs, group_names, aggs)?;
     let bound_aggs = ops::bind_agg_calls(&in_schema, aggs)?;
-    let bound_keys: Vec<Expr> =
-        group_exprs.iter().map(|e| e.bind(&in_schema)).collect::<Result<_>>()?;
+    let bound_keys: Vec<Expr> = group_exprs
+        .iter()
+        .map(|e| Ok(optimizer::fold(e.bind(&in_schema)?)))
+        .collect::<Result<_>>()?;
+    // A constantly-empty input still aggregates (a global group must
+    // appear for GROUP-BY-less aggregates): fold over no rows at all.
+    let empty_source;
+    let (source, stages): (&Relation, &[Stage<Relation>]) = if const_empty {
+        empty_source = Relation::empty(in_schema.clone());
+        (&empty_source, &[])
+    } else {
+        (&source, stages.as_slice())
+    };
     let (keys, states) = crate::groupby::group_stream(
-        &source,
-        &stages,
+        source,
+        stages,
         &bound_keys,
         pool,
         min_morsel,
+        columnar,
         || ops::new_agg_states(&bound_aggs),
         |states: &mut Vec<ops::AggState>, row: &[maybms_engine::Value], _: &()| {
             ops::fold_agg_row(states, &bound_aggs, row)
@@ -333,6 +391,7 @@ fn run_source(
     catalog: &Catalog,
     pool: &ThreadPool,
     min_morsel: usize,
+    columnar: bool,
 ) -> Result<Relation> {
     match source {
         Source::Scan { table, alias } => {
@@ -348,17 +407,18 @@ fn run_source(
         Source::Values { schema, rows } => Relation::new(schema.clone(), rows.clone()),
         Source::Breaker(b) => match &**b {
             Breaker::Distinct { input } => {
-                Ok(ops::distinct(&run(input, catalog, pool, min_morsel)?))
+                Ok(ops::distinct(&run(input, catalog, pool, min_morsel, columnar)?))
             }
             Breaker::Sort { input, keys } => {
-                ops::sort(&run(input, catalog, pool, min_morsel)?, keys)
+                ops::sort(&run(input, catalog, pool, min_morsel, columnar)?, keys)
             }
             Breaker::Limit { input, n } => {
-                Ok(ops::limit(&run(input, catalog, pool, min_morsel)?, *n))
+                Ok(ops::limit(&run(input, catalog, pool, min_morsel, columnar)?, *n))
             }
             Breaker::Aggregate { input, group_exprs, group_names, aggs } => {
                 run_grouped_aggregate(
                     input, group_exprs, group_names, aggs, catalog, pool, min_morsel,
+                    columnar,
                 )
             }
             Breaker::UnionAll { inputs } => {
@@ -369,14 +429,14 @@ fn run_source(
                 }
                 let rels: Vec<Relation> = inputs
                     .iter()
-                    .map(|p| run(p, catalog, pool, min_morsel))
+                    .map(|p| run(p, catalog, pool, min_morsel, columnar))
                     .collect::<Result<_>>()?;
                 let refs: Vec<&Relation> = rels.iter().collect();
                 ops::union_all(&refs)
             }
             Breaker::NestedLoopJoin { left, right, predicate } => ops::nested_loop_join(
-                &run(left, catalog, pool, min_morsel)?,
-                &run(right, catalog, pool, min_morsel)?,
+                &run(left, catalog, pool, min_morsel, columnar)?,
+                &run(right, catalog, pool, min_morsel, columnar)?,
                 predicate.as_ref(),
             ),
         },
@@ -422,21 +482,42 @@ fn indent(out: &mut String, depth: usize) {
     }
 }
 
+/// How many leading stages the columnar planner would vectorise (the
+/// per-stage plan-time decision `EXPLAIN` reports; 0 when the columnar
+/// path is disabled).
+fn spec_vector_prefix(stages: &[StageSpec]) -> usize {
+    if !crate::columnar_default() {
+        return 0;
+    }
+    stages
+        .iter()
+        .take_while(|s| match s {
+            StageSpec::Filter { predicate } => vector::vectorisable(predicate),
+            StageSpec::Project { items } => {
+                items.iter().all(|i| vector::vectorisable(&i.expr))
+            }
+            StageSpec::Probe { .. } => false,
+        })
+        .count()
+}
+
 fn describe(pipe: &PipePlan, depth: usize, out: &mut String) {
     indent(out, depth);
     out.push_str("pipeline\n");
     describe_source(&pipe.source, depth + 1, out);
-    for stage in &pipe.stages {
+    let vectorised = spec_vector_prefix(&pipe.stages);
+    for (k, stage) in pipe.stages.iter().enumerate() {
+        let vec_mark = if k < vectorised { " (vectorised)" } else { "" };
         match stage {
             StageSpec::Filter { predicate } => {
                 indent(out, depth + 1);
-                let _ = writeln!(out, "-> filter {predicate}");
+                let _ = writeln!(out, "-> filter {predicate}{vec_mark}");
             }
             StageSpec::Project { items } => {
                 indent(out, depth + 1);
                 let names: Vec<String> =
                     items.iter().map(|i| format!("{} as {}", i.expr, i.name)).collect();
-                let _ = writeln!(out, "-> project [{}]", names.join(", "));
+                let _ = writeln!(out, "-> project [{}]{vec_mark}", names.join(", "));
             }
             StageSpec::Probe { build, left_keys, right_keys } => {
                 indent(out, depth + 1);

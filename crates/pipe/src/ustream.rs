@@ -19,7 +19,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use maybms_engine::ops::ProjectItem;
-use maybms_engine::{EngineError, Expr, Field, Schema, Value};
+use maybms_engine::{optimizer, EngineError, Expr, Field, Schema, Value};
 use maybms_par::ThreadPool;
 use maybms_urel::{Result, URelation, UTuple, Wsd};
 
@@ -63,20 +63,43 @@ impl UStream {
     }
 
     /// Append a σ stage (equivalent to `algebra::select`).
+    ///
+    /// The predicate is constant-folded at bind time (the PR 3
+    /// projection-merge guard applies: fallible subexpressions never
+    /// fold out of short-circuited positions). A predicate folding to
+    /// `true` records no stage at all; one folding to `false`/`NULL`
+    /// short-circuits the whole stream to an empty U-relation — but
+    /// only when every stage recorded so far is infallible, so a
+    /// runtime error the fused chain would have raised is never
+    /// swallowed.
     pub fn filter(mut self, predicate: &Expr) -> Result<UStream> {
-        let bound = predicate.bind(&self.schema)?;
+        let bound = optimizer::fold(predicate.bind(&self.schema)?);
+        match &bound {
+            Expr::Literal(Value::Bool(true)) => return Ok(self),
+            Expr::Literal(Value::Bool(false)) | Expr::Literal(Value::Null)
+                if fuse::stages_infallible(&self.stages) =>
+            {
+                self.source = URelation::new(self.schema.clone(), Vec::new());
+                self.stages.clear();
+                return Ok(self);
+            }
+            _ => {}
+        }
         self.stages.push(Stage::Filter(bound));
         Ok(self)
     }
 
-    /// Append a π stage (equivalent to `algebra::project`).
+    /// Append a π stage (equivalent to `algebra::project`). Expressions
+    /// are constant-folded at bind time.
     pub fn project(mut self, items: &[ProjectItem]) -> Result<UStream> {
         let mut exprs = Vec::with_capacity(items.len());
         let mut fields = Vec::with_capacity(items.len());
         for item in items {
             let e = item.expr.bind(&self.schema)?;
+            // Field type from the unfolded expression, so the stream's
+            // schema matches the materialising path exactly.
             fields.push(Field::new(item.name.clone(), e.data_type(&self.schema)));
-            exprs.push(e);
+            exprs.push(optimizer::fold(e));
         }
         self.schema = Arc::new(Schema::new(fields));
         self.stages.push(Stage::Project(exprs));
@@ -134,12 +157,24 @@ impl UStream {
 
     /// [`UStream::collect`] on an explicit pool and minimum morsel size
     /// (what the determinism property tests pin to 1/2/8 threads).
+    /// Columnar execution follows [`crate::columnar_default`].
     pub fn collect_with(self, pool: &ThreadPool, min_morsel: usize) -> Result<URelation> {
+        self.collect_opts(pool, min_morsel, crate::columnar_default())
+    }
+
+    /// [`UStream::collect_with`] with the columnar path pinned
+    /// explicitly (what the columnar ≡ row equivalence tests use).
+    pub fn collect_opts(
+        self,
+        pool: &ThreadPool,
+        min_morsel: usize,
+        columnar: bool,
+    ) -> Result<URelation> {
         let UStream { source, stages, schema } = self;
         if stages.is_empty() {
             return Ok(source.with_schema(schema));
         }
-        match fuse::run(&source, &stages, pool, min_morsel)? {
+        match fuse::run(&source, &stages, pool, min_morsel, columnar)? {
             // Filter-only pipeline: gather shares rows (data + WSDs)
             // with the source, like chained `algebra::select`.
             FusedOutput::Select(sel) => Ok(source.gather(&sel).with_schema(schema)),
@@ -217,22 +252,38 @@ impl UStream {
             .map(|e| e.bind(&schema))
             .collect::<std::result::Result<_, EngineError>>()?;
         crate::groupby::group_stream(
-            &source, &stages, &bound, pool, min_morsel, new_state, fold, merge,
+            &source,
+            &stages,
+            &bound,
+            pool,
+            min_morsel,
+            crate::columnar_default(),
+            new_state,
+            fold,
+            merge,
         )
     }
 
-    /// One-line-per-stage description of the pipeline, used by `EXPLAIN`.
+    /// One-line-per-stage description of the pipeline, used by
+    /// `EXPLAIN`. Stages the columnar planner will run vectorised are
+    /// marked `(vectorised)`.
     pub fn describe(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "source: {} stored rows", self.source.len());
-        for stage in &self.stages {
+        let vectorised = if crate::columnar_default() {
+            fuse::vector_prefix_len(&self.stages)
+        } else {
+            0
+        };
+        for (k, stage) in self.stages.iter().enumerate() {
+            let vec_mark = if k < vectorised { " (vectorised)" } else { "" };
             match stage {
                 Stage::Filter(predicate) => {
-                    let _ = writeln!(out, "-> filter {predicate}");
+                    let _ = writeln!(out, "-> filter {predicate}{vec_mark}");
                 }
                 Stage::Project(exprs) => {
                     let cols: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
-                    let _ = writeln!(out, "-> project [{}]", cols.join(", "));
+                    let _ = writeln!(out, "-> project [{}]{vec_mark}", cols.join(", "));
                 }
                 Stage::Probe { build, left_keys, right_keys } => {
                     let keys: Vec<String> = left_keys

@@ -8,11 +8,16 @@
 //! own variables (different attributes of one logical tuple may vary
 //! independently). [`recompose`] joins the pieces back on `_tid`,
 //! conjoining their conditions.
+//!
+//! Decomposition runs on the engine's shared column-major machinery
+//! ([`maybms_engine::column`]): the input pivots once into a
+//! [`ColumnBatch`] and every piece is a selection of its columns — the
+//! same representation the vectorised expression kernels execute on.
 
 use std::sync::Arc;
 
-use maybms_engine::tuple::TupleBatch;
-use maybms_engine::{DataType, Field, Schema, Value};
+use maybms_engine::column::{Column, ColumnBatch, NullMask};
+use maybms_engine::{DataType, Field, Schema};
 
 use crate::error::{Result, UrelError};
 use crate::urelation::{URelation, UTuple};
@@ -45,24 +50,32 @@ pub fn decompose(input: &URelation, groups: &[Vec<usize>]) -> Result<Vec<URelati
             }
         }
     }
+    // Vertical decomposition *is* a columnar operation: pivot the
+    // referenced columns once into the engine's shared column
+    // representation, then each piece is the system tid column plus a
+    // selection of the pivoted columns (cloned — groups may overlap).
+    let n = input.len();
+    let mut used: Vec<usize> = groups.iter().flatten().copied().collect();
+    used.sort_unstable();
+    used.dedup();
+    let pivot =
+        ColumnBatch::pivot(n, input.tuples().iter().map(|t| t.data.values()), &used);
+    let pivot_idx =
+        |c: usize| used.binary_search(&c).expect("group column collected above");
+    let tid = Column::from_ints((0..n as i64).collect(), NullMask::none());
     let mut out = Vec::with_capacity(groups.len());
     for g in groups {
         let mut fields = vec![Field::new(TID_COLUMN, DataType::Int)];
+        let mut cols = vec![tid.clone()];
         for &c in g {
             fields.push(input.schema().field(c).clone());
+            cols.push(pivot.column(pivot_idx(c)).clone());
         }
         let schema = Arc::new(Schema::new(fields));
-        // Piece rows share one batch buffer instead of allocating each.
-        let mut batch = TupleBatch::new();
-        let mut wsds = Vec::with_capacity(input.len());
-        for (tid, t) in input.tuples().iter().enumerate() {
-            batch.begin_row();
-            batch.push_value(Value::Int(tid as i64));
-            for &c in g {
-                batch.push_value(t.data.value(c).clone());
-            }
-            wsds.push(t.wsd.clone());
-        }
+        // Pivot back through the shared TupleBatch machinery: piece rows
+        // share chunked buffers instead of allocating each.
+        let batch = ColumnBatch::from_columns(cols, n).to_tuple_batch();
+        let wsds = input.tuples().iter().map(|t| t.wsd.clone()).collect();
         out.push(URelation::new(schema, crate::urelation::zip_batch(batch, wsds)));
     }
     Ok(out)
@@ -121,7 +134,7 @@ mod tests {
     use super::*;
     use crate::world_table::WorldTable;
     use crate::wsd::Wsd;
-    use maybms_engine::{rel, DataType};
+    use maybms_engine::{rel, DataType, Value};
 
     fn sample() -> URelation {
         URelation::from_certain(&rel(
