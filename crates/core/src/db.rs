@@ -5,13 +5,18 @@
 //! system, [updates, concurrency control and recovery] cause surprisingly
 //! little difficulty. U-relations are represented relationally and updates
 //! are just modifications of these tables" (§2.3). Accordingly INSERT /
-//! UPDATE / DELETE here are plain representation-level edits.
+//! UPDATE / DELETE here are plain representation-level edits — and, when a
+//! data directory is attached ([`MayBms::open`]), each edit is logged
+//! physically to the write-ahead log *before* it is installed in memory,
+//! so a crash at any instant loses at most the statement in flight.
 
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::Arc;
 
 use maybms_engine::{Field, Relation, Schema, Tuple, Value};
 use maybms_sql::{parse_statement, parse_statements, InsertSource, Statement};
+use maybms_store::{Op, Store, StoreStatus, Vfs};
 use maybms_urel::{URelation, UTuple, WorldTable};
 
 use crate::agg::ConfContext;
@@ -41,18 +46,91 @@ impl StatementResult {
     }
 }
 
-/// An in-memory MayBMS database.
+/// What crash recovery found when a database was opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Stored tables after recovery.
+    pub tables: usize,
+    /// WAL records replayed on top of the snapshot.
+    pub replayed: usize,
+    /// Whether a torn WAL tail (crash mid-append) was truncated away.
+    pub truncated_tail: bool,
+}
+
+/// A MayBMS database: in-memory by default, durable when opened on a
+/// data directory.
 #[derive(Debug, Default)]
 pub struct MayBms {
     tables: BTreeMap<String, URelation>,
     wt: WorldTable,
     conf: ConfContext,
+    store: Option<Store>,
+    recovery: Option<RecoveryReport>,
 }
 
 impl MayBms {
-    /// A fresh, empty database.
+    /// A fresh, empty, purely in-memory database (no durability).
     pub fn new() -> MayBms {
         MayBms::default()
+    }
+
+    /// Open (or create) a durable database in `dir`, running crash
+    /// recovery: load the latest snapshot, replay the WAL tail, truncate
+    /// a torn final record if the last session died mid-append.
+    pub fn open(dir: impl AsRef<Path>) -> Result<MayBms> {
+        Self::open_with_vfs(Arc::new(maybms_store::StdVfs::open(dir)?))
+    }
+
+    /// [`MayBms::open`] over an arbitrary [`Vfs`] — the fault-injection
+    /// and crash-matrix tests drive the whole database through this.
+    pub fn open_with_vfs(vfs: Arc<dyn Vfs>) -> Result<MayBms> {
+        let (store, recovered) = Store::open(vfs)?;
+        Ok(MayBms {
+            recovery: Some(RecoveryReport {
+                tables: recovered.tables.len(),
+                replayed: recovered.replayed,
+                truncated_tail: recovered.truncated_tail,
+            }),
+            tables: recovered.tables,
+            wt: recovered.wt,
+            conf: ConfContext::default(),
+            store: Some(store),
+        })
+    }
+
+    /// What recovery found, if this database was opened from a data
+    /// directory.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.recovery
+    }
+
+    /// Durability status (data location, WAL bytes since the last
+    /// checkpoint), if a data directory is attached.
+    pub fn durability_status(&self) -> Option<StoreStatus> {
+        self.store.as_ref().map(Store::status)
+    }
+
+    /// Fold the whole catalog into an atomic snapshot and empty the WAL.
+    /// Errors if the database is in-memory.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        match &mut self.store {
+            Some(store) => Ok(store.checkpoint(&self.tables, &self.wt)?),
+            None => Err(plan_err("no data directory attached; open the database \
+                                  with --data-dir to enable checkpoints")),
+        }
+    }
+
+    /// Log `op` to the WAL (fsynced, when durable) and then install it in
+    /// the in-memory catalog. Ordering matters: the record hits disk
+    /// first, so the catalog never holds a change the log could lose.
+    /// Callers validate before building the op; an apply failure after
+    /// that is an internal invariant break.
+    fn commit(&mut self, op: Op) -> Result<()> {
+        if let Some(store) = &mut self.store {
+            store.log(&op, &self.wt)?;
+        }
+        maybms_store::apply_op(&mut self.tables, op)
+            .map_err(|e| plan_err(format!("internal: logged op failed to apply: {e}")))
     }
 
     /// Access the world table (variable registry).
@@ -94,8 +172,7 @@ impl MayBms {
             }));
         }
         let schema = Arc::new(u.schema().without_qualifiers());
-        self.tables.insert(key, u.with_schema(schema));
-        Ok(())
+        self.commit(Op::PutTable { name: key, table: u.with_schema(schema) })
     }
 
     /// Look up a stored table.
@@ -210,7 +287,9 @@ impl MayBms {
             }
             Statement::Drop { table, if_exists } => {
                 let key = table.to_ascii_lowercase();
-                if self.tables.remove(&key).is_none() && !if_exists {
+                if self.tables.contains_key(&key) {
+                    self.commit(Op::DropTable { name: key })?;
+                } else if !if_exists {
                     return Err(CoreError::Engine(
                         maybms_engine::EngineError::TableNotFound { name: table.clone() },
                     ));
@@ -254,7 +333,8 @@ impl MayBms {
                 }
             }
         };
-        let target = self.tables.get_mut(&table.to_ascii_lowercase()).ok_or_else(|| {
+        let key = table.to_ascii_lowercase();
+        let target = self.tables.get(&key).ok_or_else(|| {
             CoreError::Engine(maybms_engine::EngineError::TableNotFound {
                 name: table.to_string(),
             })
@@ -269,7 +349,10 @@ impl MayBms {
                     .collect::<Result<_>>()?,
             ),
         };
-        let n = rows.len();
+        // Validate every row and assemble the physical insert set before
+        // anything is logged or installed: a mid-statement arity error
+        // must leave both the WAL and the table untouched.
+        let mut new_rows = Vec::with_capacity(rows.len());
         for row in rows {
             let tuple = match &mapping {
                 None => {
@@ -304,7 +387,11 @@ impl MayBms {
                     Tuple::new(vals)
                 }
             };
-            target.tuples_mut().push(UTuple::certain(tuple));
+            new_rows.push(UTuple::certain(tuple));
+        }
+        let n = new_rows.len();
+        if n > 0 {
+            self.commit(Op::InsertRows { table: key, rows: new_rows })?;
         }
         Ok(n)
     }
@@ -315,7 +402,8 @@ impl MayBms {
         assignments: &[(String, maybms_sql::Expr)],
         filter: Option<&maybms_sql::Expr>,
     ) -> Result<usize> {
-        let target = self.tables.get_mut(&table.to_ascii_lowercase()).ok_or_else(|| {
+        let key = table.to_ascii_lowercase();
+        let target = self.tables.get(&key).ok_or_else(|| {
             CoreError::Engine(maybms_engine::EngineError::TableNotFound {
                 name: table.to_string(),
             })
@@ -328,8 +416,12 @@ impl MayBms {
                 Ok::<_, CoreError>((schema.index_of(None, c)?, scalar(e)?.bind(&schema)?))
             })
             .collect::<Result<_>>()?;
+        // Build the full post-image off to the side (logged physically:
+        // replaying expressions would be fragile), then commit it as one
+        // atomic replace. An evaluation error leaves the table untouched.
+        let mut rows = target.tuples().to_vec();
         let mut n = 0;
-        for t in target.tuples_mut() {
+        for t in &mut rows {
             let hit = match &pred {
                 None => true,
                 Some(p) => p.eval_predicate(&t.data)?,
@@ -343,11 +435,15 @@ impl MayBms {
                 n += 1;
             }
         }
+        if n > 0 {
+            self.commit(Op::ReplaceRows { table: key, rows })?;
+        }
         Ok(n)
     }
 
     fn delete(&mut self, table: &str, filter: Option<&maybms_sql::Expr>) -> Result<usize> {
-        let target = self.tables.get_mut(&table.to_ascii_lowercase()).ok_or_else(|| {
+        let key = table.to_ascii_lowercase();
+        let target = self.tables.get(&key).ok_or_else(|| {
             CoreError::Engine(maybms_engine::EngineError::TableNotFound {
                 name: table.to_string(),
             })
@@ -355,23 +451,25 @@ impl MayBms {
         let schema = target.schema().clone();
         let pred = filter.map(|f| Ok::<_, CoreError>(scalar(f)?.bind(&schema)?)).transpose()?;
         let before = target.len();
-        match pred {
-            None => target.tuples_mut().clear(),
+        // Compute the surviving rows first; a predicate error must leave
+        // the table (and the log) untouched.
+        let rows: Vec<UTuple> = match pred {
+            None => Vec::new(),
             Some(p) => {
-                let mut err = None;
-                target.tuples_mut().retain(|t| match p.eval_predicate(&t.data) {
-                    Ok(hit) => !hit,
-                    Err(e) => {
-                        err.get_or_insert(e);
-                        true
+                let mut kept = Vec::new();
+                for t in target.tuples() {
+                    if !p.eval_predicate(&t.data)? {
+                        kept.push(t.clone());
                     }
-                });
-                if let Some(e) = err {
-                    return Err(e.into());
                 }
+                kept
             }
+        };
+        let n = before - rows.len();
+        if n > 0 {
+            self.commit(Op::ReplaceRows { table: key, rows })?;
         }
-        Ok(before - target.len())
+        Ok(n)
     }
 }
 

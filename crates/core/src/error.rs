@@ -4,6 +4,7 @@ use std::fmt;
 
 use maybms_engine::EngineError;
 use maybms_sql::ParseError;
+use maybms_store::StoreError;
 use maybms_urel::UrelError;
 
 /// Error raised while planning or executing a MayBMS statement.
@@ -15,6 +16,8 @@ pub enum CoreError {
     Engine(EngineError),
     /// U-relational-layer failure.
     Urel(UrelError),
+    /// Durability-layer failure (WAL append, checkpoint, recovery).
+    Store(StoreError),
     /// The statement violates a MayBMS typing rule (§2.2) — e.g. standard
     /// SQL aggregates over an uncertain relation.
     Typing {
@@ -40,6 +43,7 @@ impl fmt::Display for CoreError {
             CoreError::Parse(e) => write!(f, "{e}"),
             CoreError::Engine(e) => write!(f, "{e}"),
             CoreError::Urel(e) => write!(f, "{e}"),
+            CoreError::Store(e) => write!(f, "{e}"),
             CoreError::Typing { message } => write!(f, "typing error: {message}"),
             CoreError::Unsupported { message } => write!(f, "unsupported: {message}"),
             CoreError::Plan { message } => write!(f, "plan error: {message}"),
@@ -53,6 +57,7 @@ impl std::error::Error for CoreError {
             CoreError::Parse(e) => Some(e),
             CoreError::Engine(e) => Some(e),
             CoreError::Urel(e) => Some(e),
+            CoreError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -73,6 +78,12 @@ impl From<EngineError> for CoreError {
 impl From<UrelError> for CoreError {
     fn from(e: UrelError) -> Self {
         CoreError::Urel(e)
+    }
+}
+
+impl From<StoreError> for CoreError {
+    fn from(e: StoreError) -> Self {
+        CoreError::Store(e)
     }
 }
 

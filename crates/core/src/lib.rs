@@ -54,6 +54,6 @@ pub mod exec;
 pub mod translate;
 
 pub use agg::ConfContext;
-pub use db::{MayBms, StatementResult};
+pub use db::{MayBms, RecoveryReport, StatementResult};
 pub use error::{CoreError, Result};
 pub use exec::QueryOutput;

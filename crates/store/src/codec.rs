@@ -1,0 +1,540 @@
+//! Binary encoding of catalog state for the WAL and snapshots.
+//!
+//! A deliberately boring little-endian format with no external
+//! dependencies (the container has no network; see ROADMAP's bootstrap
+//! caveat): length-prefixed strings, tag bytes for enums, `f64` as raw
+//! IEEE-754 bits so probabilities round-trip *bit-exactly* — the
+//! determinism contract (bit-identical results at any thread count)
+//! must survive a restart, so serialization may not perturb a single
+//! float bit.
+//!
+//! Decoding is total: every read is bounds-checked and surfaces a
+//! [`CodecError`] with the byte offset, which recovery converts into a
+//! "corrupt at byte N" report instead of a panic.
+
+use std::sync::Arc;
+
+use maybms_engine::{DataType, Field, Schema, Tuple, Value};
+use maybms_urel::{Assignment, URelation, UTuple, Var, Wsd};
+
+/// A bounds-checked decode failure at a byte offset (relative to the
+/// start of the buffer being decoded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// Offset of the first byte that could not be decoded.
+    pub offset: u64,
+    /// What was expected.
+    pub reason: String,
+}
+
+/// Decode result.
+pub type DecodeResult<T> = std::result::Result<T, CodecError>;
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, the zlib polynomial), byte-at-a-time with a
+// compile-time table.
+// ---------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 checksum of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+/// Append-only encode buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Fresh empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// The encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length (for framing).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True iff nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub(crate) fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_f64(&mut self, v: f64) {
+        // Raw bits: exact round-trip, -0.0 and subnormals included.
+        self.put_u64(v.to_bits());
+    }
+
+    pub(crate) fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+/// Bounds-checked decode cursor.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub fn offset(&self) -> u64 {
+        self.pos as u64
+    }
+
+    /// True iff every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn fail<T>(&self, reason: impl Into<String>) -> DecodeResult<T> {
+        Err(CodecError { offset: self.pos as u64, reason: reason.into() })
+    }
+
+    fn take(&mut self, n: usize) -> DecodeResult<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return self.fail(format!(
+                "need {n} bytes, {} remain",
+                self.buf.len() - self.pos
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> DecodeResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> DecodeResult<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    pub(crate) fn u32(&mut self) -> DecodeResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn u64(&mut self) -> DecodeResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn i64(&mut self) -> DecodeResult<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn f64(&mut self) -> DecodeResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub(crate) fn str(&mut self) -> DecodeResult<String> {
+        let n = self.u32()? as usize;
+        let start = self.pos;
+        let bytes = self.take(n)?;
+        match std::str::from_utf8(bytes) {
+            Ok(s) => Ok(s.to_string()),
+            Err(_) => Err(CodecError {
+                offset: start as u64,
+                reason: "invalid UTF-8 in string".into(),
+            }),
+        }
+    }
+
+    /// A collection count, sanity-bounded so a corrupt length cannot
+    /// drive a multi-gigabyte allocation before the bounds checks kick
+    /// in element-by-element.
+    fn count(&mut self, what: &str) -> DecodeResult<usize> {
+        let n = self.u32()? as usize;
+        // Each element consumes at least one byte; more than `remaining`
+        // elements is provably corrupt.
+        if n > self.buf.len() - self.pos {
+            return self.fail(format!("{what} count {n} exceeds remaining bytes"));
+        }
+        Ok(n)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Catalog types
+// ---------------------------------------------------------------------
+
+fn dtype_tag(t: DataType) -> u8 {
+    match t {
+        DataType::Bool => 0,
+        DataType::Int => 1,
+        DataType::Float => 2,
+        DataType::Text => 3,
+        DataType::Unknown => 4,
+    }
+}
+
+fn dtype_of(tag: u8) -> Option<DataType> {
+    Some(match tag {
+        0 => DataType::Bool,
+        1 => DataType::Int,
+        2 => DataType::Float,
+        3 => DataType::Text,
+        4 => DataType::Unknown,
+        _ => return None,
+    })
+}
+
+/// Encode a scalar value.
+pub fn put_value(w: &mut Writer, v: &Value) {
+    match v {
+        Value::Null => w.put_u8(0),
+        Value::Bool(b) => {
+            w.put_u8(1);
+            w.put_u8(*b as u8);
+        }
+        Value::Int(i) => {
+            w.put_u8(2);
+            w.put_i64(*i);
+        }
+        Value::Float(f) => {
+            w.put_u8(3);
+            w.put_f64(*f);
+        }
+        Value::Str(s) => {
+            w.put_u8(4);
+            w.put_str(s);
+        }
+    }
+}
+
+/// Decode a scalar value.
+pub fn get_value(r: &mut Reader<'_>) -> DecodeResult<Value> {
+    Ok(match r.u8()? {
+        0 => Value::Null,
+        1 => Value::Bool(r.u8()? != 0),
+        2 => Value::Int(r.i64()?),
+        3 => Value::Float(r.f64()?),
+        4 => Value::Str(Arc::from(r.str()?.as_str())),
+        t => return r.fail(format!("unknown value tag {t}")),
+    })
+}
+
+/// Encode a schema.
+pub fn put_schema(w: &mut Writer, s: &Schema) {
+    w.put_u32(s.len() as u32);
+    for f in s.fields() {
+        match &f.qualifier {
+            None => w.put_u8(0),
+            Some(q) => {
+                w.put_u8(1);
+                w.put_str(q);
+            }
+        }
+        w.put_str(&f.name);
+        w.put_u8(dtype_tag(f.dtype));
+    }
+}
+
+/// Decode a schema.
+pub fn get_schema(r: &mut Reader<'_>) -> DecodeResult<Schema> {
+    let n = r.count("field")?;
+    let mut fields = Vec::with_capacity(n);
+    for _ in 0..n {
+        let qualifier = match r.u8()? {
+            0 => None,
+            1 => Some(r.str()?),
+            t => return r.fail(format!("unknown qualifier tag {t}")),
+        };
+        let name = r.str()?;
+        let tag = r.u8()?;
+        let dtype = match dtype_of(tag) {
+            Some(d) => d,
+            None => return r.fail(format!("unknown data type tag {tag}")),
+        };
+        fields.push(match qualifier {
+            Some(q) => Field::qualified(q, name, dtype),
+            None => Field::new(name, dtype),
+        });
+    }
+    Ok(Schema::new(fields))
+}
+
+/// Encode a WSD (sorted assignment list).
+pub fn put_wsd(w: &mut Writer, wsd: &Wsd) {
+    w.put_u32(wsd.len() as u32);
+    for a in wsd.assignments() {
+        w.put_u32(a.var.0);
+        w.put_u16(a.alt);
+    }
+}
+
+/// Decode a WSD; rejects conflicting assignment lists.
+pub fn get_wsd(r: &mut Reader<'_>) -> DecodeResult<Wsd> {
+    let n = r.count("assignment")?;
+    let mut assignments = Vec::with_capacity(n);
+    for _ in 0..n {
+        let var = Var(r.u32()?);
+        let alt = r.u16()?;
+        assignments.push(Assignment::new(var, alt));
+    }
+    match Wsd::from_assignments(assignments) {
+        Some(wsd) => Ok(wsd),
+        None => r.fail("unsatisfiable WSD (conflicting assignments)"),
+    }
+}
+
+/// Encode one uncertain tuple (data row + condition).
+pub fn put_utuple(w: &mut Writer, t: &UTuple) {
+    w.put_u32(t.data.arity() as u32);
+    for v in t.data.values() {
+        put_value(w, v);
+    }
+    put_wsd(w, &t.wsd);
+}
+
+/// Decode one uncertain tuple.
+pub fn get_utuple(r: &mut Reader<'_>) -> DecodeResult<UTuple> {
+    let arity = r.count("column")?;
+    let mut values = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        values.push(get_value(r)?);
+    }
+    let wsd = get_wsd(r)?;
+    Ok(UTuple::new(Tuple::new(values), wsd))
+}
+
+/// Encode a whole U-relation (schema + rows).
+pub fn put_urelation(w: &mut Writer, u: &URelation) {
+    put_schema(w, u.schema());
+    w.put_u32(u.len() as u32);
+    for t in u.tuples() {
+        put_utuple(w, t);
+    }
+}
+
+/// Decode a whole U-relation, checking row arity against the schema.
+pub fn get_urelation(r: &mut Reader<'_>) -> DecodeResult<URelation> {
+    let schema = get_schema(r)?;
+    let n = r.count("tuple")?;
+    let arity = schema.len();
+    let mut tuples = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t = get_utuple(r)?;
+        if t.data.arity() != arity {
+            return r.fail(format!(
+                "row arity {} does not match schema arity {arity}",
+                t.data.arity()
+            ));
+        }
+        tuples.push(t);
+    }
+    Ok(URelation::new(Arc::new(schema), tuples))
+}
+
+/// Encode a list of probability distributions (world-table tail).
+pub fn put_dists(w: &mut Writer, dists: &[Vec<f64>]) {
+    w.put_u32(dists.len() as u32);
+    for d in dists {
+        w.put_u32(d.len() as u32);
+        for &p in d {
+            w.put_f64(p);
+        }
+    }
+}
+
+/// Decode a list of probability distributions.
+pub fn get_dists(r: &mut Reader<'_>) -> DecodeResult<Vec<Vec<f64>>> {
+    let n = r.count("distribution")?;
+    let mut dists = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = r.count("alternative")?;
+        let mut d = Vec::with_capacity(len);
+        for _ in 0..len {
+            d.push(r.f64()?);
+        }
+        dists.push(d);
+    }
+    Ok(dists)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maybms_engine::rel;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn value_roundtrip_bit_exact() {
+        let values = vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Float(0.05),
+            Value::Float(-0.0),
+            Value::Float(f64::MIN_POSITIVE / 2.0), // subnormal
+            Value::str("héllo ↦ wörld"),
+            Value::str(""),
+        ];
+        let mut w = Writer::new();
+        for v in &values {
+            put_value(&mut w, v);
+        }
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        for v in &values {
+            let got = get_value(&mut r).unwrap();
+            // PartialEq on Value uses total_cmp for floats, so -0.0 vs
+            // 0.0 would already fail here if bits were perturbed.
+            if let (Value::Float(a), Value::Float(b)) = (v, &got) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            assert_eq!(&got, v);
+        }
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn urelation_roundtrip() {
+        let base = rel(
+            &[("player", DataType::Text), ("pts", DataType::Int)],
+            vec![
+                vec!["Bryant".into(), 40.into()],
+                vec!["Duncan".into(), Value::Null],
+            ],
+        );
+        let mut u = URelation::from_certain(&base);
+        u.tuples_mut()[0].wsd = Wsd::from_assignments(vec![
+            Assignment::new(Var(3), 1),
+            Assignment::new(Var(0), 0),
+            Assignment::new(Var(7), 2),
+        ])
+        .unwrap();
+        let mut w = Writer::new();
+        put_urelation(&mut w, &u);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        let got = get_urelation(&mut r).unwrap();
+        assert_eq!(got, u);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_input_reports_offset_not_panic() {
+        let mut w = Writer::new();
+        put_value(&mut w, &Value::str("abcdef"));
+        let bytes = w.finish();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            let e = get_value(&mut r).unwrap_err();
+            assert!(e.offset <= cut as u64);
+        }
+    }
+
+    #[test]
+    fn hostile_count_is_rejected_before_allocation() {
+        // A 4 GiB element count with a 12-byte buffer must fail fast.
+        let mut w = Writer::new();
+        w.put_u32(u32::MAX);
+        w.put_u64(0);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        assert!(get_dists(&mut r).is_err());
+        let mut r = Reader::new(&bytes);
+        assert!(get_schema(&mut r).is_err());
+    }
+
+    #[test]
+    fn conflicting_wsd_is_corrupt() {
+        let mut w = Writer::new();
+        w.put_u32(2);
+        w.put_u32(5);
+        w.put_u16(0);
+        w.put_u32(5);
+        w.put_u16(1);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        let e = get_wsd(&mut r).unwrap_err();
+        assert!(e.reason.contains("unsatisfiable"));
+    }
+
+    #[test]
+    fn dists_roundtrip_exact_bits() {
+        let dists = vec![vec![0.8, 0.05, 0.15], vec![1.0], vec![0.5, 0.5]];
+        let mut w = Writer::new();
+        put_dists(&mut w, &dists);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        let got = get_dists(&mut r).unwrap();
+        assert_eq!(got.len(), dists.len());
+        for (a, b) in got.iter().flatten().zip(dists.iter().flatten()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

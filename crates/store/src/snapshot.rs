@@ -1,0 +1,239 @@
+//! Checkpointed catalog snapshots.
+//!
+//! A snapshot is the whole durable state — world table, every stored
+//! U-relation, and the WAL position it covers — in one file, written
+//! atomically: serialize to `snapshot.tmp`, fsync, rename over
+//! `snapshot`, fsync the directory. A reader therefore sees either the
+//! old snapshot or the new one, never a torn mix, and the WAL can be
+//! truncated once the rename lands (records with `lsn < base_lsn` that
+//! survive a crash between rename and truncate are skipped on replay).
+//!
+//! Unlike the WAL — whose tail is *expected* to tear in a crash — a
+//! snapshot that fails validation was damaged at rest, so corruption
+//! here is an error with the offset, not a silent fallback.
+
+use std::collections::BTreeMap;
+
+use maybms_urel::{URelation, Var, WorldTable};
+
+use crate::codec::{self, Reader, Writer};
+use crate::error::{Result, StoreError};
+use crate::vfs::Vfs;
+
+/// Snapshot file name inside the data directory.
+pub const SNAPSHOT_FILE: &str = "snapshot";
+
+/// Scratch name the snapshot is staged under before the atomic rename.
+pub const SNAPSHOT_TMP: &str = "snapshot.tmp";
+
+/// Magic bytes heading every snapshot file (version byte last).
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"MAYBSNP\x01";
+
+/// The catalog of stored tables, keyed by lowercased name.
+pub type Catalog = BTreeMap<String, URelation>;
+
+/// A loaded snapshot.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// WAL records with `lsn < base_lsn` are already folded in.
+    pub base_lsn: u64,
+    /// The world table at checkpoint time.
+    pub wt: WorldTable,
+    /// The stored tables at checkpoint time.
+    pub tables: Catalog,
+}
+
+/// Serialize the full catalog state into a framed snapshot file image.
+pub fn encode(base_lsn: u64, tables: &Catalog, wt: &WorldTable) -> Result<Vec<u8>> {
+    let mut w = Writer::new();
+    w.put_u64(base_lsn);
+    let dists = all_dists(wt)?;
+    codec::put_dists(&mut w, &dists);
+    w.put_u32(tables.len() as u32);
+    for (name, table) in tables {
+        w.put_str(name);
+        codec::put_urelation(&mut w, table);
+    }
+    let payload = w.finish();
+    let mut out = Vec::with_capacity(payload.len() + 16);
+    out.extend_from_slice(SNAPSHOT_MAGIC);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&codec::crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// Every distribution in the world table, in variable order.
+pub fn all_dists(wt: &WorldTable) -> Result<Vec<Vec<f64>>> {
+    (0..wt.num_vars())
+        .map(|i| {
+            wt.distribution(Var(i as u32)).map(<[f64]>::to_vec).map_err(|e| {
+                StoreError::corrupt(SNAPSHOT_FILE, 0, format!("world table: {e}"))
+            })
+        })
+        .collect()
+}
+
+/// Rebuild a world table from serialized distributions.
+pub fn world_table_from_dists(dists: &[Vec<f64>], path: &str) -> Result<WorldTable> {
+    let mut wt = WorldTable::new();
+    for (i, d) in dists.iter().enumerate() {
+        wt.new_var(d).map_err(|e| {
+            StoreError::corrupt(path, 0, format!("variable x{i} distribution invalid: {e}"))
+        })?;
+    }
+    Ok(wt)
+}
+
+/// Decode a snapshot file image.
+pub fn decode(bytes: &[u8]) -> Result<Snapshot> {
+    if bytes.len() < SNAPSHOT_MAGIC.len() + 8 {
+        return Err(StoreError::corrupt(
+            SNAPSHOT_FILE,
+            0,
+            format!("file too short ({} bytes) for a snapshot header", bytes.len()),
+        ));
+    }
+    if &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+        return Err(StoreError::corrupt(SNAPSHOT_FILE, 0, "bad snapshot magic"));
+    }
+    let hdr = SNAPSHOT_MAGIC.len();
+    let len = u32::from_le_bytes(bytes[hdr..hdr + 4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[hdr + 4..hdr + 8].try_into().expect("4 bytes"));
+    let body = &bytes[hdr + 8..];
+    if body.len() != len {
+        return Err(StoreError::corrupt(
+            SNAPSHOT_FILE,
+            (hdr + 8) as u64,
+            format!("payload length {} does not match header {len}", body.len()),
+        ));
+    }
+    if codec::crc32(body) != crc {
+        return Err(StoreError::corrupt(
+            SNAPSHOT_FILE,
+            (hdr + 8) as u64,
+            "snapshot checksum mismatch",
+        ));
+    }
+    let base = (hdr + 8) as u64;
+    let mut r = Reader::new(body);
+    let mk_err =
+        |e: codec::CodecError| StoreError::corrupt(SNAPSHOT_FILE, base + e.offset, e.reason);
+    let base_lsn = r.u64().map_err(mk_err)?;
+    let dists = codec::get_dists(&mut r).map_err(mk_err)?;
+    let wt = world_table_from_dists(&dists, SNAPSHOT_FILE)?;
+    let ntables = r.u32().map_err(mk_err)? as usize;
+    let mut tables = Catalog::new();
+    for _ in 0..ntables {
+        let name = r.str().map_err(mk_err)?;
+        let table = codec::get_urelation(&mut r).map_err(mk_err)?;
+        tables.insert(name, table);
+    }
+    if !r.is_exhausted() {
+        return Err(StoreError::corrupt(
+            SNAPSHOT_FILE,
+            base + r.offset(),
+            "trailing bytes after snapshot payload",
+        ));
+    }
+    Ok(Snapshot { base_lsn, wt, tables })
+}
+
+/// Write a snapshot atomically: stage under [`SNAPSHOT_TMP`], fsync,
+/// rename over [`SNAPSHOT_FILE`].
+pub fn write(vfs: &dyn Vfs, base_lsn: u64, tables: &Catalog, wt: &WorldTable) -> Result<()> {
+    let image = encode(base_lsn, tables, wt)?;
+    let mut f = vfs.create(SNAPSHOT_TMP)?;
+    f.append(&image)?;
+    f.sync()?;
+    drop(f);
+    vfs.rename(SNAPSHOT_TMP, SNAPSHOT_FILE)
+}
+
+/// Load the snapshot, if one exists. `Ok(None)` on a fresh directory.
+pub fn load(vfs: &dyn Vfs) -> Result<Option<Snapshot>> {
+    if !vfs.exists(SNAPSHOT_FILE)? {
+        return Ok(None);
+    }
+    let bytes = vfs.read(SNAPSHOT_FILE)?;
+    decode(&bytes).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::MemVfs;
+    use maybms_engine::{rel, DataType};
+    use maybms_urel::Wsd;
+
+    fn sample_state() -> (Catalog, WorldTable) {
+        let mut wt = WorldTable::new();
+        let x = wt.new_var(&[0.8, 0.2]).unwrap();
+        wt.new_var(&[0.5, 0.5]).unwrap();
+        let base = rel(
+            &[("player", DataType::Text), ("pts", DataType::Int)],
+            vec![vec!["Bryant".into(), 40.into()], vec!["Duncan".into(), 25.into()]],
+        );
+        let mut u = URelation::from_certain(&base);
+        u.tuples_mut()[0].wsd = Wsd::of(x, 1);
+        let mut tables = Catalog::new();
+        tables.insert("games".into(), u);
+        (tables, wt)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (tables, wt) = sample_state();
+        let vfs = MemVfs::new();
+        write(&vfs, 42, &tables, &wt).unwrap();
+        let snap = load(&vfs).unwrap().unwrap();
+        assert_eq!(snap.base_lsn, 42);
+        assert_eq!(snap.tables, tables);
+        assert_eq!(snap.wt.num_vars(), 2);
+        assert_eq!(snap.wt.distribution(Var(0)).unwrap(), &[0.8, 0.2]);
+    }
+
+    #[test]
+    fn missing_snapshot_is_none() {
+        let vfs = MemVfs::new();
+        assert!(load(&vfs).unwrap().is_none());
+    }
+
+    #[test]
+    fn bit_flip_is_reported_with_offset() {
+        let (tables, wt) = sample_state();
+        let mut image = encode(7, &tables, &wt).unwrap();
+        let mid = image.len() / 2;
+        image[mid] ^= 0x40;
+        match decode(&image) {
+            Err(StoreError::Corrupt { path, .. }) => assert_eq!(path, SNAPSHOT_FILE),
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_snapshot_is_corrupt_not_panic() {
+        let (tables, wt) = sample_state();
+        let image = encode(7, &tables, &wt).unwrap();
+        for cut in 0..image.len() {
+            assert!(decode(&image[..cut]).is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn write_is_atomic_under_crash() {
+        let (tables, wt) = sample_state();
+        let vfs = MemVfs::new();
+        write(&vfs, 1, &tables, &wt).unwrap();
+        // Stage a second snapshot but crash before its rename: create
+        // the tmp file with half an image, never synced.
+        let image = encode(2, &tables, &wt).unwrap();
+        let mut f = vfs.create(SNAPSHOT_TMP).unwrap();
+        f.append(&image[..image.len() / 2]).unwrap();
+        drop(f);
+        vfs.crash();
+        let snap = load(&vfs).unwrap().unwrap();
+        assert_eq!(snap.base_lsn, 1); // old snapshot intact
+        assert!(!vfs.exists(SNAPSHOT_TMP).unwrap()); // tmp died with the crash
+    }
+}

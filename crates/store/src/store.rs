@@ -1,0 +1,560 @@
+//! The durable store: ties [`crate::wal`] and [`crate::snapshot`]
+//! together behind one object with three verbs — recover on open, log a
+//! mutation, checkpoint on demand.
+//!
+//! # Protocol
+//!
+//! * **Log.** Each catalog mutation serializes as one [`Op`] plus the
+//!   world-table extension it depends on, framed, appended to the WAL,
+//!   and fsynced *before* the caller installs the change in memory. A
+//!   crash therefore lands on a record boundary: either the whole
+//!   statement is durable or none of it is.
+//! * **Checkpoint.** The entire state goes to `snapshot.tmp` → fsync →
+//!   atomic rename → the WAL is reset to empty. A crash between rename
+//!   and reset leaves stale records (`lsn < base_lsn`) in the WAL;
+//!   recovery skips them by LSN.
+//! * **Recover.** Load the snapshot (if any), replay the WAL tail in
+//!   order, stop cleanly at the first torn record and truncate it away.
+//!   Recovery is idempotent: recovering twice yields the same state and
+//!   the same files as recovering once.
+//! * **Poisoning.** Once an append or checkpoint fails, the in-memory
+//!   catalog may be ahead of the durable state; the store refuses
+//!   further writes ([`StoreError::Poisoned`]) until reopened, so the
+//!   two cannot silently diverge.
+
+use std::sync::Arc;
+
+use maybms_urel::{Var, WorldTable};
+
+use crate::codec::{self, Writer};
+use crate::error::{Result, StoreError};
+use crate::snapshot::{self, Catalog};
+use crate::vfs::{Vfs, VfsFile};
+use crate::wal::{self, Op, WalRecord, WAL_FILE, WAL_MAGIC};
+
+/// Apply one logged operation to a catalog. Shared by live execution
+/// (after the WAL append succeeds) and recovery replay, so the two can
+/// never disagree about what an [`Op`] means. Errors are descriptive
+/// strings; callers wrap them with context (file offset on replay).
+pub fn apply_op(tables: &mut Catalog, op: Op) -> std::result::Result<(), String> {
+    match op {
+        Op::CreateTable { name, schema } => {
+            if tables.contains_key(&name) {
+                return Err(format!("create table {name}: already exists"));
+            }
+            tables.insert(
+                name,
+                maybms_urel::URelation::empty(Arc::new(schema)),
+            );
+        }
+        Op::PutTable { name, table } => {
+            if tables.contains_key(&name) {
+                return Err(format!("put table {name}: already exists"));
+            }
+            tables.insert(name, table);
+        }
+        Op::InsertRows { table, rows } => {
+            let t = tables
+                .get_mut(&table)
+                .ok_or_else(|| format!("insert into {table}: no such table"))?;
+            t.tuples_mut().extend(rows);
+        }
+        Op::ReplaceRows { table, rows } => {
+            let t = tables
+                .get_mut(&table)
+                .ok_or_else(|| format!("replace rows of {table}: no such table"))?;
+            *t.tuples_mut() = rows;
+        }
+        Op::DropTable { name } => {
+            if tables.remove(&name).is_none() {
+                return Err(format!("drop table {name}: no such table"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Extend a world table per a record's world extension. Idempotent:
+/// variables below the current count are assumed already present
+/// (recovery re-applying a snapshot-covered extension), and a gap below
+/// `first` is padded with certain (`[1.0]`) variables — those ids were
+/// burnt by query side effects that never became durable, and nothing
+/// durable references them, but later ids must line up exactly.
+fn apply_world_ext(
+    wt: &mut WorldTable,
+    first: u32,
+    dists: &[Vec<f64>],
+) -> std::result::Result<(), String> {
+    while wt.num_vars() < first as usize {
+        wt.new_var(&[1.0]).map_err(|e| format!("world-table padding: {e}"))?;
+    }
+    for (i, d) in dists.iter().enumerate() {
+        let id = first as usize + i;
+        if id < wt.num_vars() {
+            continue; // already durable (snapshot covered it)
+        }
+        wt.new_var(d).map_err(|e| format!("world variable x{id}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// State reconstructed by [`Store::open`].
+#[derive(Debug)]
+pub struct Recovered {
+    /// The stored tables.
+    pub tables: Catalog,
+    /// The world table (exactly the durable variables).
+    pub wt: WorldTable,
+    /// How many WAL records were replayed on top of the snapshot.
+    pub replayed: usize,
+    /// Whether a torn WAL tail was truncated away.
+    pub truncated_tail: bool,
+}
+
+/// Durability status, for banners and monitoring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreStatus {
+    /// Where the data lives (directory path, or `<memory>`).
+    pub location: String,
+    /// WAL bytes appended since the last checkpoint (replay debt).
+    pub wal_bytes: u64,
+    /// Next log sequence number.
+    pub next_lsn: u64,
+    /// Whether a snapshot file exists.
+    pub has_snapshot: bool,
+    /// Whether the store is refusing writes after an I/O failure.
+    pub poisoned: bool,
+}
+
+/// A durable catalog store. See the module docs for the protocol.
+pub struct Store {
+    vfs: Arc<dyn Vfs>,
+    /// Append handle on the WAL (recreated on checkpoint).
+    wal_file: Box<dyn VfsFile>,
+    next_lsn: u64,
+    /// World-table variables already durable (snapshot + logged exts).
+    durable_vars: usize,
+    wal_bytes: u64,
+    has_snapshot: bool,
+    poisoned: Option<String>,
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("location", &self.vfs.location())
+            .field("next_lsn", &self.next_lsn)
+            .field("durable_vars", &self.durable_vars)
+            .field("wal_bytes", &self.wal_bytes)
+            .field("poisoned", &self.poisoned)
+            .finish()
+    }
+}
+
+impl Store {
+    /// Open a data directory through `vfs`, running crash recovery:
+    /// load the latest snapshot, replay the WAL tail, truncate any torn
+    /// record. Returns the store plus the recovered catalog state.
+    pub fn open(vfs: Arc<dyn Vfs>) -> Result<(Store, Recovered)> {
+        // A stale staging file is volatile garbage from a crashed
+        // checkpoint; clear it so it can never shadow anything.
+        if vfs.exists(snapshot::SNAPSHOT_TMP)? {
+            let _ = vfs.remove(snapshot::SNAPSHOT_TMP);
+        }
+        let (mut base_lsn, mut wt, mut tables, has_snapshot) =
+            match snapshot::load(vfs.as_ref())? {
+                Some(s) => (s.base_lsn, s.wt, s.tables, true),
+                None => (0, WorldTable::new(), Catalog::new(), false),
+            };
+        let mut next_lsn = base_lsn;
+        let mut replayed = 0usize;
+        let mut truncated_tail = false;
+        let wal_file = if vfs.exists(WAL_FILE)? {
+            let bytes = vfs.read(WAL_FILE)?;
+            let scan = wal::scan(&bytes)?;
+            let mut stale = 0usize;
+            let mut offset = WAL_MAGIC.len() as u64;
+            for rec in scan.records {
+                let frame_len = 8 + wal::encode_record(&rec).len() as u64;
+                if rec.lsn < base_lsn {
+                    // Folded into the snapshot already (crash between
+                    // checkpoint rename and WAL reset).
+                    stale += 1;
+                } else {
+                    if rec.lsn != next_lsn {
+                        return Err(StoreError::corrupt(
+                            WAL_FILE,
+                            offset,
+                            format!("LSN gap: record {} where {next_lsn} expected", rec.lsn),
+                        ));
+                    }
+                    if let Some((first, dists)) = &rec.world_ext {
+                        apply_world_ext(&mut wt, *first, dists)
+                            .map_err(|e| StoreError::corrupt(WAL_FILE, offset, e))?;
+                    }
+                    apply_op(&mut tables, rec.op)
+                        .map_err(|e| StoreError::corrupt(WAL_FILE, offset, e))?;
+                    next_lsn = rec.lsn + 1;
+                    replayed += 1;
+                }
+                offset += frame_len;
+            }
+            if stale > 0 && replayed == 0 {
+                // Every record predates the snapshot: finish the
+                // interrupted checkpoint by resetting the WAL.
+                base_lsn = next_lsn;
+                let _ = base_lsn; // next_lsn already correct
+                Self::reset_wal(vfs.as_ref())?
+            } else {
+                if scan.valid_len < bytes.len() as u64 {
+                    // Chop the torn tail so appends resume on a clean
+                    // record boundary.
+                    vfs.truncate(WAL_FILE, scan.valid_len.max(WAL_MAGIC.len() as u64))?;
+                    truncated_tail = true;
+                }
+                if scan.valid_len < WAL_MAGIC.len() as u64 {
+                    // The header itself tore; rewrite it.
+                    Self::reset_wal(vfs.as_ref())?
+                } else {
+                    vfs.open_append(WAL_FILE)?
+                }
+            }
+        } else {
+            Self::reset_wal(vfs.as_ref())?
+        };
+        let wal_bytes =
+            vfs.read(WAL_FILE)?.len().saturating_sub(WAL_MAGIC.len()) as u64;
+        let durable_vars = wt.num_vars();
+        let store = Store {
+            vfs,
+            wal_file,
+            next_lsn,
+            durable_vars,
+            wal_bytes,
+            has_snapshot,
+            poisoned: None,
+        };
+        Ok((store, Recovered { tables, wt, replayed, truncated_tail }))
+    }
+
+    /// Create a fresh WAL (header only, fsynced) and return its handle.
+    fn reset_wal(vfs: &dyn Vfs) -> Result<Box<dyn VfsFile>> {
+        let mut f = vfs.create(WAL_FILE)?;
+        f.append(WAL_MAGIC)?;
+        f.sync()?;
+        Ok(f)
+    }
+
+    fn check_poisoned(&self) -> Result<()> {
+        match &self.poisoned {
+            Some(cause) => Err(StoreError::Poisoned { cause: cause.clone() }),
+            None => Ok(()),
+        }
+    }
+
+    fn poison<T>(&mut self, r: Result<T>) -> Result<T> {
+        if let Err(e) = &r {
+            self.poisoned = Some(e.to_string());
+        }
+        r
+    }
+
+    /// Append one mutation to the WAL and fsync it. `wt` is the *live*
+    /// world table: any variables beyond the durable count are logged
+    /// with the record, so rows referencing them commit atomically.
+    /// Call this *before* installing the mutation in memory.
+    pub fn log(&mut self, op: &Op, wt: &WorldTable) -> Result<()> {
+        self.check_poisoned()?;
+        let world_ext = if wt.num_vars() > self.durable_vars {
+            let dists = (self.durable_vars..wt.num_vars())
+                .map(|i| {
+                    wt.distribution(Var(i as u32)).map(<[f64]>::to_vec).map_err(|e| {
+                        StoreError::corrupt(WAL_FILE, 0, format!("world table: {e}"))
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?;
+            Some((self.durable_vars as u32, dists))
+        } else {
+            None
+        };
+        let rec = WalRecord { lsn: self.next_lsn, world_ext, op: op.clone() };
+        let frame = wal::frame_record(&rec);
+        let r = self.wal_file.append(&frame).and_then(|()| self.wal_file.sync());
+        self.poison(r)?;
+        self.next_lsn += 1;
+        self.durable_vars = wt.num_vars();
+        self.wal_bytes += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Write an atomic snapshot of the full state and reset the WAL.
+    pub fn checkpoint(&mut self, tables: &Catalog, wt: &WorldTable) -> Result<()> {
+        self.check_poisoned()?;
+        let r = snapshot::write(self.vfs.as_ref(), self.next_lsn, tables, wt);
+        self.poison(r)?;
+        let r = Self::reset_wal(self.vfs.as_ref());
+        self.wal_file = self.poison(r)?;
+        self.durable_vars = wt.num_vars();
+        self.wal_bytes = 0;
+        self.has_snapshot = true;
+        Ok(())
+    }
+
+    /// Current durability status.
+    pub fn status(&self) -> StoreStatus {
+        StoreStatus {
+            location: self.vfs.location(),
+            wal_bytes: self.wal_bytes,
+            next_lsn: self.next_lsn,
+            has_snapshot: self.has_snapshot,
+            poisoned: self.poisoned.is_some(),
+        }
+    }
+}
+
+/// A canonical byte fingerprint of the *observable* catalog state: every
+/// stored table (schema, rows, WSDs) plus the distribution of every
+/// world-table variable some stored WSD references. Two databases with
+/// equal fingerprints answer every query identically — including exact
+/// confidence computation — so the crash-matrix tests compare these.
+pub fn fingerprint(tables: &Catalog, wt: &WorldTable) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u32(tables.len() as u32);
+    let mut referenced: Vec<u32> = Vec::new();
+    for (name, table) in tables {
+        w.put_str(name);
+        codec::put_urelation(&mut w, table);
+        for t in table.tuples() {
+            referenced.extend(t.wsd.vars().map(|v| v.0));
+        }
+    }
+    referenced.sort_unstable();
+    referenced.dedup();
+    w.put_u32(referenced.len() as u32);
+    for v in referenced {
+        w.put_u32(v);
+        match wt.distribution(Var(v)) {
+            Ok(d) => {
+                w.put_u32(d.len() as u32);
+                for &p in d {
+                    w.put_f64(p);
+                }
+            }
+            // A dangling variable is itself part of the observable
+            // state; encode it distinctly rather than failing.
+            Err(_) => w.put_u32(u32::MAX),
+        }
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::MemVfs;
+    use maybms_engine::{DataType, Schema, Tuple, Value};
+    use maybms_urel::{URelation, UTuple, Wsd};
+
+    fn row(vals: Vec<Value>) -> UTuple {
+        UTuple::certain(Tuple::new(vals))
+    }
+
+    fn open_mem(vfs: &MemVfs) -> (Store, Recovered) {
+        Store::open(Arc::new(vfs.clone())).unwrap()
+    }
+
+    #[test]
+    fn fresh_open_is_empty_wal_only() {
+        let vfs = MemVfs::new();
+        let (store, rec) = open_mem(&vfs);
+        assert!(rec.tables.is_empty());
+        assert_eq!(rec.wt.num_vars(), 0);
+        assert_eq!(store.status().wal_bytes, 0);
+        assert!(!store.status().has_snapshot);
+    }
+
+    #[test]
+    fn log_replay_roundtrip() {
+        let vfs = MemVfs::new();
+        let wt = WorldTable::new();
+        let (mut store, mut rec) = open_mem(&vfs);
+        let ops = vec![
+            Op::CreateTable {
+                name: "t".into(),
+                schema: Schema::from_pairs(&[("a", DataType::Int)]),
+            },
+            Op::InsertRows {
+                table: "t".into(),
+                rows: vec![row(vec![Value::Int(1)]), row(vec![Value::Int(2)])],
+            },
+            Op::ReplaceRows { table: "t".into(), rows: vec![row(vec![Value::Int(9)])] },
+        ];
+        for op in &ops {
+            store.log(op, &wt).unwrap();
+            apply_op(&mut rec.tables, op.clone()).unwrap();
+        }
+        drop(store);
+        let (_, rec2) = open_mem(&vfs);
+        assert_eq!(rec2.replayed, 3);
+        assert_eq!(rec2.tables, rec.tables);
+        assert_eq!(fingerprint(&rec2.tables, &rec2.wt), fingerprint(&rec.tables, &wt));
+    }
+
+    #[test]
+    fn unsynced_record_dies_with_crash() {
+        let vfs = MemVfs::new();
+        let wt = WorldTable::new();
+        let (mut store, _) = open_mem(&vfs);
+        store
+            .log(
+                &Op::CreateTable {
+                    name: "t".into(),
+                    schema: Schema::from_pairs(&[("a", DataType::Int)]),
+                },
+                &wt,
+            )
+            .unwrap();
+        // Tear the tail: append garbage straight to the file, unsynced.
+        let mut f = vfs.open_append(WAL_FILE).unwrap();
+        f.append(&[1, 2, 3]).unwrap();
+        drop(f);
+        drop(store);
+        vfs.crash();
+        let (_, rec) = open_mem(&vfs);
+        assert_eq!(rec.replayed, 1);
+        assert!(rec.tables.contains_key("t"));
+    }
+
+    #[test]
+    fn world_ext_commits_with_rows() {
+        let vfs = MemVfs::new();
+        let mut wt = WorldTable::new();
+        let (mut store, _) = open_mem(&vfs);
+        // Query side effect burnt var 0 without storing anything.
+        wt.new_var(&[0.3, 0.7]).unwrap();
+        // Now a CTAS stores rows referencing var 1.
+        let x = wt.new_var(&[0.5, 0.5]).unwrap();
+        let schema = Arc::new(Schema::from_pairs(&[("a", DataType::Int)]));
+        let mut table = URelation::empty(schema);
+        table
+            .tuples_mut()
+            .push(UTuple::new(Tuple::new(vec![Value::Int(1)]), Wsd::of(x, 1)));
+        let op = Op::PutTable { name: "picks".into(), table };
+        store.log(&op, &wt).unwrap();
+        drop(store);
+        let (_, rec) = open_mem(&vfs);
+        // Both variables durable (the ext covers everything non-durable).
+        assert_eq!(rec.wt.num_vars(), 2);
+        assert_eq!(rec.wt.distribution(Var(1)).unwrap(), &[0.5, 0.5]);
+        assert_eq!(rec.tables["picks"].tuples()[0].wsd, Wsd::of(x, 1));
+    }
+
+    #[test]
+    fn checkpoint_then_snapshot_only_restart() {
+        let vfs = MemVfs::new();
+        let mut wt = WorldTable::new();
+        wt.new_var(&[0.25, 0.75]).unwrap();
+        let (mut store, mut rec) = open_mem(&vfs);
+        let op = Op::CreateTable {
+            name: "t".into(),
+            schema: Schema::from_pairs(&[("a", DataType::Int)]),
+        };
+        store.log(&op, &wt).unwrap();
+        apply_op(&mut rec.tables, op).unwrap();
+        store.checkpoint(&rec.tables, &wt).unwrap();
+        assert_eq!(store.status().wal_bytes, 0);
+        drop(store);
+        let (store2, rec2) = open_mem(&vfs);
+        assert_eq!(rec2.replayed, 0); // snapshot-only: nothing to replay
+        assert!(store2.status().has_snapshot);
+        assert_eq!(rec2.tables, rec.tables);
+        assert_eq!(rec2.wt.num_vars(), 1);
+        assert_eq!(rec2.wt.distribution(Var(0)).unwrap(), &[0.25, 0.75]);
+    }
+
+    #[test]
+    fn stale_records_after_interrupted_checkpoint_are_skipped() {
+        let vfs = MemVfs::new();
+        let wt = WorldTable::new();
+        let (mut store, mut rec) = open_mem(&vfs);
+        let op = Op::CreateTable {
+            name: "t".into(),
+            schema: Schema::from_pairs(&[("a", DataType::Int)]),
+        };
+        store.log(&op, &wt).unwrap();
+        apply_op(&mut rec.tables, op).unwrap();
+        // Simulate a checkpoint that crashed between the snapshot
+        // rename and the WAL reset: write the snapshot by hand, leave
+        // the WAL untouched.
+        snapshot::write(&vfs, store.next_lsn, &rec.tables, &wt).unwrap();
+        drop(store);
+        vfs.crash();
+        let (_, rec2) = open_mem(&vfs);
+        assert_eq!(rec2.replayed, 0); // stale record skipped by LSN
+        assert_eq!(rec2.tables, rec.tables);
+        // And the interrupted checkpoint was finished: WAL reset.
+        assert_eq!(vfs.read(WAL_FILE).unwrap(), WAL_MAGIC);
+    }
+
+    #[test]
+    fn double_recovery_is_identical_including_files() {
+        let vfs = MemVfs::new();
+        let wt = WorldTable::new();
+        let (mut store, _) = open_mem(&vfs);
+        for i in 0..3 {
+            store
+                .log(
+                    &Op::CreateTable {
+                        name: format!("t{i}"),
+                        schema: Schema::from_pairs(&[("a", DataType::Int)]),
+                    },
+                    &wt,
+                )
+                .unwrap();
+        }
+        // Tear the last record's bytes.
+        let bytes = vfs.read(WAL_FILE).unwrap();
+        vfs.truncate(WAL_FILE, bytes.len() as u64 - 3).unwrap();
+        drop(store);
+        vfs.crash();
+        let (_, rec1) = open_mem(&vfs);
+        assert!(rec1.truncated_tail);
+        let wal_after_1 = vfs.read(WAL_FILE).unwrap();
+        let (_, rec2) = open_mem(&vfs);
+        assert!(!rec2.truncated_tail); // second recovery finds a clean log
+        assert_eq!(vfs.read(WAL_FILE).unwrap(), wal_after_1);
+        assert_eq!(rec1.tables, rec2.tables);
+        assert_eq!(rec1.replayed, rec2.replayed);
+    }
+
+    #[test]
+    fn poisoned_store_refuses_further_writes() {
+        use crate::vfs::{FaultMode, FaultVfs};
+        let mem = MemVfs::new();
+        let fault = FaultVfs::new(mem.clone(), 6, FaultMode::FailStop);
+        let wt = WorldTable::new();
+        let (mut store, _) = Store::open(Arc::new(fault)).unwrap(); // ops 1-3
+        let op = Op::CreateTable {
+            name: "t".into(),
+            schema: Schema::from_pairs(&[("a", DataType::Int)]),
+        };
+        store.log(&op, &wt).unwrap(); // ops 4-5
+        let err = store.log(&op, &wt).unwrap_err(); // op 6 injected
+        assert!(matches!(err, StoreError::Io { .. }), "{err}");
+        let err = store.log(&op, &wt).unwrap_err();
+        assert!(matches!(err, StoreError::Poisoned { .. }), "{err}");
+        let err = store.checkpoint(&Catalog::new(), &wt).unwrap_err();
+        assert!(matches!(err, StoreError::Poisoned { .. }), "{err}");
+    }
+
+    #[test]
+    fn apply_op_reports_missing_tables() {
+        let mut tables = Catalog::new();
+        assert!(apply_op(&mut tables, Op::DropTable { name: "x".into() }).is_err());
+        assert!(apply_op(
+            &mut tables,
+            Op::InsertRows { table: "x".into(), rows: vec![] }
+        )
+        .is_err());
+    }
+}

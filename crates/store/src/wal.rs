@@ -1,0 +1,389 @@
+//! The write-ahead log: length-prefixed, CRC32-checksummed records.
+//!
+//! File layout:
+//!
+//! ```text
+//! [8-byte magic "MAYBWAL\x01"]
+//! repeat: [u32 payload_len][u32 crc32(payload)][payload]
+//! ```
+//!
+//! Each payload is one [`WalRecord`]: an LSN, the world-table extension
+//! the logged operation depends on (so a single record is atomic — the
+//! new random variables and the table rows referencing them commit
+//! together), and the [`Op`] itself.
+//!
+//! Replay semantics ([`scan`]): records are applied in file order. A
+//! record whose frame is incomplete or whose CRC does not match is a
+//! *torn tail* — the crash interrupted the append — and replay stops
+//! cleanly there, reporting the valid prefix length so the caller can
+//! truncate it away. A record whose CRC matches but whose payload does
+//! not decode is genuine corruption (bit rot, hand editing) and is an
+//! error carrying the file offset.
+
+use maybms_urel::URelation;
+use maybms_urel::UTuple;
+
+use crate::codec::{self, Reader, Writer};
+use crate::error::{Result, StoreError};
+
+/// WAL file name inside the data directory.
+pub const WAL_FILE: &str = "wal";
+
+/// Magic bytes heading every WAL file (version byte last).
+pub const WAL_MAGIC: &[u8; 8] = b"MAYBWAL\x01";
+
+/// A logged catalog mutation: the *physical result* of a statement
+/// (per §2.3, updates are just modifications of the representation
+/// tables, so results — including `repair key` / `pick tuples` output —
+/// log as plain rows).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// `CREATE TABLE`: an empty table with the given schema.
+    CreateTable {
+        /// Catalog key (lowercased).
+        name: String,
+        /// Column schema.
+        schema: maybms_engine::Schema,
+    },
+    /// Store a full table image (`CREATE TABLE AS`, programmatic
+    /// registration). The rows may carry WSDs.
+    PutTable {
+        /// Catalog key (lowercased).
+        name: String,
+        /// The stored U-relation.
+        table: URelation,
+    },
+    /// `INSERT`: rows appended to an existing table.
+    InsertRows {
+        /// Catalog key (lowercased).
+        table: String,
+        /// The appended rows.
+        rows: Vec<UTuple>,
+    },
+    /// `UPDATE` / `DELETE`: the table's full post-statement row list
+    /// (schema unchanged).
+    ReplaceRows {
+        /// Catalog key (lowercased).
+        table: String,
+        /// The replacement rows.
+        rows: Vec<UTuple>,
+    },
+    /// `DROP TABLE`.
+    DropTable {
+        /// Catalog key (lowercased).
+        name: String,
+    },
+}
+
+impl Op {
+    /// Short human-readable label (for EXPLAIN-style status output).
+    pub fn describe(&self) -> String {
+        match self {
+            Op::CreateTable { name, .. } => format!("create {name}"),
+            Op::PutTable { name, table } => format!("put {name} ({} rows)", table.len()),
+            Op::InsertRows { table, rows } => format!("insert {table} (+{} rows)", rows.len()),
+            Op::ReplaceRows { table, rows } => {
+                format!("replace {table} ({} rows)", rows.len())
+            }
+            Op::DropTable { name } => format!("drop {name}"),
+        }
+    }
+}
+
+/// New random variables the operation's rows may reference:
+/// `(first_var_id, distributions)` — the world table is extended with
+/// `distributions[i]` at id `first_var_id + i` before the op applies.
+pub type WorldExt = Option<(u32, Vec<Vec<f64>>)>;
+
+/// One WAL record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// Log sequence number (monotonic; snapshots store the next LSN so
+    /// records already folded into a snapshot are skipped on replay).
+    pub lsn: u64,
+    /// World-table extension committed atomically with the op.
+    pub world_ext: WorldExt,
+    /// The mutation.
+    pub op: Op,
+}
+
+fn put_rows(w: &mut Writer, rows: &[UTuple]) {
+    w.put_u32(rows.len() as u32);
+    for t in rows {
+        codec::put_utuple(w, t);
+    }
+}
+
+fn get_rows(r: &mut Reader<'_>) -> codec::DecodeResult<Vec<UTuple>> {
+    let n = r.u32()? as usize;
+    let mut rows = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        rows.push(codec::get_utuple(r)?);
+    }
+    Ok(rows)
+}
+
+/// Encode a record payload (no framing).
+pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(rec.lsn);
+    match &rec.world_ext {
+        None => w.put_u8(0),
+        Some((first, dists)) => {
+            w.put_u8(1);
+            w.put_u32(*first);
+            codec::put_dists(&mut w, dists);
+        }
+    }
+    match &rec.op {
+        Op::CreateTable { name, schema } => {
+            w.put_u8(0);
+            w.put_str(name);
+            codec::put_schema(&mut w, schema);
+        }
+        Op::PutTable { name, table } => {
+            w.put_u8(1);
+            w.put_str(name);
+            codec::put_urelation(&mut w, table);
+        }
+        Op::InsertRows { table, rows } => {
+            w.put_u8(2);
+            w.put_str(table);
+            put_rows(&mut w, rows);
+        }
+        Op::ReplaceRows { table, rows } => {
+            w.put_u8(3);
+            w.put_str(table);
+            put_rows(&mut w, rows);
+        }
+        Op::DropTable { name } => {
+            w.put_u8(4);
+            w.put_str(name);
+        }
+    }
+    w.finish()
+}
+
+/// Decode a record payload.
+pub fn decode_record(payload: &[u8]) -> codec::DecodeResult<WalRecord> {
+    let mut r = Reader::new(payload);
+    let lsn = r.u64()?;
+    let world_ext = match r.u8()? {
+        0 => None,
+        1 => {
+            let first = r.u32()?;
+            let dists = codec::get_dists(&mut r)?;
+            Some((first, dists))
+        }
+        t => {
+            return Err(codec::CodecError {
+                offset: r.offset(),
+                reason: format!("unknown world-ext tag {t}"),
+            })
+        }
+    };
+    let op = match r.u8()? {
+        0 => Op::CreateTable { name: r.str()?, schema: codec::get_schema(&mut r)? },
+        1 => Op::PutTable { name: r.str()?, table: codec::get_urelation(&mut r)? },
+        2 => Op::InsertRows { table: r.str()?, rows: get_rows(&mut r)? },
+        3 => Op::ReplaceRows { table: r.str()?, rows: get_rows(&mut r)? },
+        4 => Op::DropTable { name: r.str()? },
+        t => {
+            return Err(codec::CodecError {
+                offset: r.offset(),
+                reason: format!("unknown op tag {t}"),
+            })
+        }
+    };
+    if !r.is_exhausted() {
+        return Err(codec::CodecError {
+            offset: r.offset(),
+            reason: "trailing bytes after record".into(),
+        });
+    }
+    Ok(WalRecord { lsn, world_ext, op })
+}
+
+/// Frame a record for appending: `[len][crc][payload]`.
+pub fn frame_record(rec: &WalRecord) -> Vec<u8> {
+    let payload = encode_record(rec);
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&codec::crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Result of scanning a WAL file.
+#[derive(Debug)]
+pub struct WalScan {
+    /// The decoded records, in file order.
+    pub records: Vec<WalRecord>,
+    /// Length of the valid prefix (bytes). Anything past this is a torn
+    /// tail and should be truncated before appending resumes.
+    pub valid_len: u64,
+    /// Whether a torn tail was found (incomplete frame or CRC mismatch
+    /// on the final record).
+    pub torn: bool,
+}
+
+/// Scan a WAL file's bytes. See the module docs for the stop rules.
+pub fn scan(bytes: &[u8]) -> Result<WalScan> {
+    // A file shorter than the magic is what a crash during the very
+    // first create+write leaves behind: an empty WAL, as long as what
+    // *is* there is a prefix of the magic.
+    if bytes.len() < WAL_MAGIC.len() {
+        if *bytes != WAL_MAGIC[..bytes.len()] {
+            return Err(StoreError::corrupt(WAL_FILE, 0, "bad WAL magic"));
+        }
+        return Ok(WalScan { records: Vec::new(), valid_len: 0, torn: !bytes.is_empty() });
+    }
+    if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(StoreError::corrupt(WAL_FILE, 0, "bad WAL magic"));
+    }
+    let mut records = Vec::new();
+    let mut pos = WAL_MAGIC.len();
+    loop {
+        let remaining = bytes.len() - pos;
+        if remaining == 0 {
+            return Ok(WalScan { records, valid_len: pos as u64, torn: false });
+        }
+        if remaining < 8 {
+            return Ok(WalScan { records, valid_len: pos as u64, torn: true });
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"))
+            as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if len > remaining - 8 {
+            // Frame promises more bytes than the file holds: torn append.
+            return Ok(WalScan { records, valid_len: pos as u64, torn: true });
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        if codec::crc32(payload) != crc {
+            // Checksum mismatch: the append tore inside the payload (or
+            // the tail rotted). Either way nothing after it can be
+            // trusted — stop cleanly at the last good record.
+            return Ok(WalScan { records, valid_len: pos as u64, torn: true });
+        }
+        match decode_record(payload) {
+            Ok(rec) => records.push(rec),
+            Err(e) => {
+                // CRC-valid but undecodable: not a crash artifact.
+                return Err(StoreError::corrupt(
+                    WAL_FILE,
+                    (pos + 8) as u64 + e.offset,
+                    e.reason,
+                ));
+            }
+        }
+        pos += 8 + len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maybms_engine::{DataType, Schema};
+
+    fn rec(lsn: u64) -> WalRecord {
+        WalRecord {
+            lsn,
+            world_ext: if lsn.is_multiple_of(2) {
+                Some((lsn as u32, vec![vec![0.5, 0.5], vec![1.0]]))
+            } else {
+                None
+            },
+            op: Op::CreateTable {
+                name: format!("t{lsn}"),
+                schema: Schema::from_pairs(&[("a", DataType::Int)]),
+            },
+        }
+    }
+
+    fn wal_bytes(recs: &[WalRecord]) -> Vec<u8> {
+        let mut bytes = WAL_MAGIC.to_vec();
+        for r in recs {
+            bytes.extend_from_slice(&frame_record(r));
+        }
+        bytes
+    }
+
+    #[test]
+    fn roundtrip_and_scan() {
+        let recs: Vec<WalRecord> = (0..5).map(rec).collect();
+        let bytes = wal_bytes(&recs);
+        let scan = scan(&bytes).unwrap();
+        assert_eq!(scan.records, recs);
+        assert_eq!(scan.valid_len, bytes.len() as u64);
+        assert!(!scan.torn);
+    }
+
+    #[test]
+    fn every_truncation_point_stops_cleanly() {
+        let recs: Vec<WalRecord> = (0..3).map(rec).collect();
+        let bytes = wal_bytes(&recs);
+        for cut in 0..bytes.len() {
+            let s = scan(&bytes[..cut]).unwrap();
+            // The scan keeps only whole records and reports a valid
+            // prefix no longer than the cut.
+            assert!(s.valid_len <= cut as u64);
+            assert!(s.records.len() <= recs.len());
+            for (got, want) in s.records.iter().zip(&recs) {
+                assert_eq!(got, want);
+            }
+            // Every mid-record cut is flagged torn.
+            if s.valid_len < cut as u64 {
+                assert!(s.torn, "cut at {cut} not flagged torn");
+            }
+        }
+    }
+
+    #[test]
+    fn crc_flip_in_final_record_is_torn_not_error() {
+        let recs: Vec<WalRecord> = (0..2).map(rec).collect();
+        let mut bytes = wal_bytes(&recs);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        let s = scan(&bytes).unwrap();
+        assert_eq!(s.records.len(), 1);
+        assert!(s.torn);
+    }
+
+    #[test]
+    fn bad_magic_is_corrupt() {
+        let mut bytes = wal_bytes(&[rec(0)]);
+        bytes[0] = b'X';
+        match scan(&bytes) {
+            Err(StoreError::Corrupt { path, offset, .. }) => {
+                assert_eq!(path, WAL_FILE);
+                assert_eq!(offset, 0);
+            }
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crc_valid_garbage_is_corrupt_with_offset() {
+        // Hand-build a frame whose CRC matches a nonsense payload.
+        let payload = vec![9u8; 16];
+        let mut bytes = WAL_MAGIC.to_vec();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&codec::crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        match scan(&bytes) {
+            Err(StoreError::Corrupt { offset, .. }) => {
+                assert!(offset >= WAL_MAGIC.len() as u64 + 8);
+            }
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_and_magic_prefix_files_scan_empty() {
+        assert!(scan(b"").unwrap().records.is_empty());
+        let s = scan(&WAL_MAGIC[..3]).unwrap();
+        assert!(s.records.is_empty());
+        assert!(s.torn);
+        assert!(scan(WAL_MAGIC).unwrap().records.is_empty());
+    }
+}

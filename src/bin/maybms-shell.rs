@@ -1,7 +1,14 @@
-//! An interactive MayBMS shell (psql-style) over the in-memory database.
+//! An interactive MayBMS shell (psql-style).
+//!
+//! By default the database is in-memory and vanishes on exit. With
+//! `--data-dir DIR` the catalog is durable: every DDL/DML statement is
+//! WAL-logged before it applies, `\checkpoint` folds the log into an
+//! atomic snapshot, and restarting on the same directory recovers the
+//! catalog (replaying the WAL tail, truncating a torn final record if
+//! the previous process died mid-append).
 //!
 //! ```text
-//! $ cargo run --bin maybms-shell
+//! $ cargo run --bin maybms-shell -- --data-dir ./nba-data
 //! maybms> create table coin (face text, w double precision);
 //! CREATE TABLE
 //! maybms> insert into coin values ('heads', 1.0), ('tails', 1.0);
@@ -15,7 +22,8 @@
 //! Meta commands: `\q` quit, `\d [table]` list/describe tables, `\w` world
 //! table summary, `\threads [N]` show/resize the execution pool,
 //! `\timing` toggle timing (on by default, so parallel speedups are
-//! visible per statement), `\i FILE` run a SQL script, `\help`.
+//! visible per statement), `\i FILE` run a SQL script, `\checkpoint`
+//! snapshot the catalog and truncate the WAL, `\help`.
 //!
 //! `EXPLAIN <query>;` prints the morsel-driven executor's pipeline
 //! decomposition (fused stages and breakers) instead of the result.
@@ -29,11 +37,17 @@ use std::time::Instant;
 use maybms::{MayBms, QueryOutput, StatementResult};
 
 fn main() {
-    let mut db = MayBms::new();
+    let mut db = match open_database(std::env::args().skip(1)) {
+        Ok(db) => db,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    };
     let mut timing = true;
     let stdin = std::io::stdin();
     let mut buffer = String::new();
-    print_banner();
+    print_banner(&db);
     prompt(&buffer);
     for line in stdin.lock().lines() {
         let line = match line {
@@ -58,12 +72,58 @@ fn main() {
     }
 }
 
-fn print_banner() {
+/// Parse command-line arguments and open the database. In-memory unless
+/// `--data-dir DIR` is given; a missing directory is created, a corrupt
+/// one is reported with the failing file and byte offset — never a panic.
+fn open_database(args: impl Iterator<Item = String>) -> Result<MayBms, String> {
+    let mut data_dir: Option<String> = None;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        if arg == "--data-dir" {
+            match args.next() {
+                Some(dir) => data_dir = Some(dir),
+                None => return Err("--data-dir requires a directory argument".into()),
+            }
+        } else if let Some(dir) = arg.strip_prefix("--data-dir=") {
+            data_dir = Some(dir.to_string());
+        } else {
+            return Err(format!(
+                "unknown argument `{arg}` (usage: maybms-shell [--data-dir DIR])"
+            ));
+        }
+    }
+    match data_dir {
+        None => Ok(MayBms::new()),
+        Some(dir) => MayBms::open(&dir)
+            .map_err(|e| format!("cannot open data directory {dir}: {e}")),
+    }
+}
+
+fn print_banner(db: &MayBms) {
     println!("MayBMS shell — probabilistic database management system (SIGMOD 2009 reproduction)");
     println!(
         "Execution pool: {} thread(s) (MAYBMS_THREADS or \\threads N to change)",
         maybms_par::current_threads()
     );
+    match db.durability_status() {
+        Some(status) => {
+            println!(
+                "Durability: data dir {} — {} WAL byte(s) since last checkpoint{}",
+                status.location,
+                status.wal_bytes,
+                if status.has_snapshot { "" } else { " (no snapshot yet)" }
+            );
+            if let Some(r) = db.recovery_report() {
+                println!(
+                    "Recovered {} table(s), replayed {} WAL record(s){}",
+                    r.tables,
+                    r.replayed,
+                    if r.truncated_tail { ", truncated a torn WAL tail" } else { "" }
+                );
+            }
+        }
+        None => println!("Durability: in-memory only (start with --data-dir DIR to persist)"),
+    }
     println!("Type SQL terminated by `;`, or \\help for meta commands.\n");
 }
 
@@ -77,13 +137,21 @@ fn prompt(buffer: &str) {
 }
 
 /// Pop the first complete `;`-terminated statement off the buffer,
-/// respecting string literals (a `;` inside `'…'` does not terminate).
+/// respecting string literals (a `;` inside `'…'` does not terminate)
+/// and `--` line comments (whose content — quotes included — is inert,
+/// so piping a commented .sql file through stdin behaves like `\i`).
 fn take_statement(buffer: &mut String) -> Option<String> {
     let mut in_string = false;
     let chars: Vec<char> = buffer.chars().collect();
     let mut i = 0;
     while i < chars.len() {
         match chars[i] {
+            '-' if !in_string && chars.get(i + 1) == Some(&'-') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                continue;
+            }
             '\'' => {
                 // `''` is an escaped quote inside a string.
                 if in_string && chars.get(i + 1) == Some(&'\'') {
@@ -145,6 +213,7 @@ fn handle_meta(cmd: &str, db: &mut MayBms, timing: &mut bool) -> bool {
             println!("\\threads [N] show or set the execution pool size");
             println!("\\timing      toggle per-statement timing (default on)");
             println!("\\i FILE      execute a SQL script");
+            println!("\\checkpoint  snapshot the catalog atomically and truncate the WAL");
             println!("\\q           quit");
         }
         "\\d" => match arg {
@@ -190,6 +259,15 @@ fn handle_meta(cmd: &str, db: &mut MayBms, timing: &mut bool) -> bool {
             *timing = !*timing;
             println!("Timing is {}.", if *timing { "on" } else { "off" });
         }
+        "\\checkpoint" => match db.checkpoint() {
+            Ok(()) => match db.durability_status() {
+                Some(status) => {
+                    println!("CHECKPOINT — snapshot written to {}", status.location)
+                }
+                None => println!("CHECKPOINT"),
+            },
+            Err(e) => println!("error: {e}"),
+        },
         "\\threads" => match arg {
             None => println!("Execution pool: {} thread(s)", maybms_par::current_threads()),
             Some(n) => match n.parse::<usize>() {
@@ -256,6 +334,17 @@ mod tests {
     }
 
     #[test]
+    fn take_statement_ignores_quotes_and_semicolons_in_comments() {
+        // An unbalanced quote in a `--` comment (e.g. "SIGMOD'09") must
+        // not poison the string-state tracking for the rest of the file.
+        let mut buf = "-- it's a comment; really\nselect 1;\n".to_string();
+        let stmt = take_statement(&mut buf).unwrap();
+        assert!(stmt.contains("select 1"), "{stmt}");
+        let mut buf = "select -- trailing; note\n 2;".to_string();
+        assert_eq!(take_statement(&mut buf).as_deref(), Some("select -- trailing; note\n 2;"));
+    }
+
+    #[test]
     fn meta_commands_do_not_quit_except_q() {
         let mut db = MayBms::new();
         let mut timing = false;
@@ -288,5 +377,60 @@ mod tests {
         execute("select * from missing;", &mut db, false);
         execute("create table t (a bigint);", &mut db, true);
         execute("select a from t;", &mut db, false);
+    }
+
+    fn args(list: &[&str]) -> impl Iterator<Item = String> {
+        list.iter().map(|s| s.to_string()).collect::<Vec<_>>().into_iter()
+    }
+
+    #[test]
+    fn open_database_parses_arguments() {
+        assert!(open_database(args(&[])).is_ok());
+        assert!(open_database(args(&["--data-dir"])).is_err());
+        assert!(open_database(args(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn checkpoint_on_in_memory_database_is_a_clean_error() {
+        let mut db = MayBms::new();
+        let mut timing = false;
+        // Must print an error and keep the shell alive, not panic.
+        assert!(handle_meta("\\checkpoint", &mut db, &mut timing));
+    }
+
+    #[test]
+    fn data_dir_roundtrip_survives_restart() {
+        let dir = std::env::temp_dir()
+            .join(format!("maybms-shell-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_arg = format!("--data-dir={}", dir.display());
+        {
+            let mut db = open_database(args(&[&dir_arg])).unwrap();
+            db.run("create table t (a bigint)").unwrap();
+            db.run("insert into t values (7)").unwrap();
+            let mut timing = false;
+            assert!(handle_meta("\\checkpoint", &mut db, &mut timing));
+            db.run("insert into t values (8)").unwrap(); // WAL tail on top
+        }
+        let mut db = open_database(args(&[&dir_arg])).unwrap();
+        print_banner(&db); // must not panic on a durable database
+        let r = db.query("select a from t").unwrap();
+        assert_eq!(r.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_data_dir_is_a_clean_error_with_offset() {
+        let dir = std::env::temp_dir()
+            .join(format!("maybms-shell-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("wal"), b"not a wal at all").unwrap();
+        let dir_arg = format!("--data-dir={}", dir.display());
+        let err = open_database(args(&[&dir_arg])).unwrap_err();
+        assert!(err.contains("cannot open data directory"), "{err}");
+        assert!(err.contains("wal"), "{err}");
+        assert!(err.contains("byte 0"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -16,7 +16,8 @@
 //! * [`sql`] — the parser/AST;
 //! * [`urel`] — U-relations, world-set descriptors, `repair-key`;
 //! * [`conf`] — confidence computation;
-//! * [`core`] — planner/executor internals.
+//! * [`core`] — planner/executor internals;
+//! * [`store`] — durability: write-ahead log, checkpoints, recovery.
 //!
 //! ## Quickstart
 //!
@@ -42,6 +43,7 @@ pub use maybms_engine as engine;
 pub use maybms_par as par;
 pub use maybms_pipe as pipe;
 pub use maybms_sql as sql;
+pub use maybms_store as store;
 pub use maybms_urel as urel;
 
 pub use maybms_core::{ConfContext, CoreError, MayBms, QueryOutput, Result, StatementResult};
