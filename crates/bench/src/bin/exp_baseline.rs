@@ -9,8 +9,19 @@
 //! writes `BENCH_baseline.json` with both numbers per workload. Later PRs
 //! re-run this to extend the measured trajectory.
 //!
-//! Usage: `exp_baseline [--quick] [output.json]`
-//!   --quick   small sizes / few reps (CI smoke; result file still valid)
+//! Usage: `exp_baseline [--quick] [--assert-overhead PCT] [output.json]`
+//!   --quick               small sizes / few reps (CI smoke; result file
+//!                         still valid)
+//!   --assert-overhead PCT re-run the filter_project_chain pipeline with
+//!                         the stats collector detached vs attached and
+//!                         fail if the attached median exceeds PCT
+//!                         percent overhead (the near-zero-cost gate)
+//!
+//! Each workload row also carries a `stats` object — process-wide
+//! `maybms-obs` metric deltas (morsels driven, scalar kernel fallbacks,
+//! Monte Carlo samples drawn) accumulated across every rep of every
+//! variant in that workload section — so the baseline trajectory records
+//! *how* the engine ran, not just how fast.
 //!
 //! The `*_par4` workloads measure the `maybms-par` parallel operator and
 //! confidence paths on an explicit 4-thread pool against the same naive
@@ -37,7 +48,7 @@ use maybms_engine::{ops, BinaryOp, Catalog, DataType, Expr, Field, PhysicalPlan}
 use maybms_pipe::UStream;
 use maybms_urel::pick::PickTuplesOptions;
 use maybms_urel::repair::RepairKeyOptions;
-use maybms_urel::{algebra, WorldTable};
+use maybms_urel::{algebra, URelation, WorldTable};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -49,6 +60,34 @@ struct Outcome {
     optimized_ms: f64,
     /// Set only for the three-way streaming workloads.
     pipelined_ms: Option<f64>,
+    /// Metric deltas accumulated over this workload's section.
+    stats: StatDelta,
+}
+
+/// Process-wide `maybms-obs` metric deltas attributed to one workload
+/// section: everything counted between two consecutive [`take_delta`]
+/// calls (all reps, all variants — naive included, though only the
+/// instrumented engine paths actually bump these counters).
+struct StatDelta {
+    morsels: u64,
+    scalar_fallbacks: u64,
+    samples_drawn: u64,
+}
+
+fn metric_mark() -> [u64; 3] {
+    let m = maybms_obs::metrics();
+    [m.morsels.get(), m.scalar_fallbacks.get(), m.mc_samples.get()]
+}
+
+fn take_delta(mark: &mut [u64; 3]) -> StatDelta {
+    let now = metric_mark();
+    let d = StatDelta {
+        morsels: now[0] - mark[0],
+        scalar_fallbacks: now[1] - mark[1],
+        samples_drawn: now[2] - mark[2],
+    };
+    *mark = now;
+    d
 }
 
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -112,14 +151,24 @@ where
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let overhead_flag = args.iter().position(|a| a == "--assert-overhead");
+    let assert_overhead: Option<f64> = overhead_flag.map(|i| {
+        args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("error: --assert-overhead needs a percentage, e.g. --assert-overhead 5");
+            std::process::exit(1);
+        })
+    });
+    let overhead_val = overhead_flag.map(|i| i + 1);
     let out_path = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
+        .enumerate()
+        .find(|(i, a)| !a.starts_with("--") && Some(*i) != overhead_val)
+        .map(|(_, a)| a.clone())
         .unwrap_or_else(|| "BENCH_baseline.json".to_string());
 
     let (scale, reps) = if quick { (10_000usize, 3usize) } else { (100_000, 11) };
     let mut outcomes: Vec<Outcome> = Vec::new();
+    let mut mark = metric_mark();
 
     // -- σ over a wide certain relation --------------------------------
     let (certain, _wt, uncertain) =
@@ -137,6 +186,7 @@ fn main() {
         naive_ms: n,
         optimized_ms: o,
         pipelined_ms: None,
+        stats: take_delta(&mut mark),
     });
 
     // -- σ over the U-relational twin (WSDs ride along) ----------------
@@ -152,6 +202,7 @@ fn main() {
         naive_ms: n,
         optimized_ms: o,
         pipelined_ms: None,
+        stats: take_delta(&mut mark),
     });
 
     // -- E5 wide self-join: output ≈ 5× input, copy-bound --------------
@@ -173,6 +224,7 @@ fn main() {
         naive_ms: n,
         optimized_ms: o,
         pipelined_ms: None,
+        stats: take_delta(&mut mark),
     });
     // naive::hash_join_u always builds its LEFT argument, the optimized
     // join its RIGHT; each gets the small (filtered) side as its build
@@ -189,6 +241,7 @@ fn main() {
         naive_ms: n,
         optimized_ms: o,
         pipelined_ms: None,
+        stats: take_delta(&mut mark),
     });
 
     // -- Selective FK join: huge probe side, small output — the
@@ -207,6 +260,7 @@ fn main() {
         naive_ms: n,
         optimized_ms: o,
         pipelined_ms: None,
+        stats: take_delta(&mut mark),
     });
     // As above: small build side for both (naive builds left, optimized
     // builds right).
@@ -222,6 +276,7 @@ fn main() {
         naive_ms: n,
         optimized_ms: o,
         pipelined_ms: None,
+        stats: take_delta(&mut mark),
     });
 
     // -- Duplicate elimination under heavy duplication -----------------
@@ -245,6 +300,7 @@ fn main() {
         naive_ms: n,
         optimized_ms: o,
         pipelined_ms: None,
+        stats: take_delta(&mut mark),
     });
 
     // -- ORDER BY (selection-vector sort vs clone-per-row) -------------
@@ -261,6 +317,7 @@ fn main() {
         naive_ms: n,
         optimized_ms: o,
         pipelined_ms: None,
+        stats: take_delta(&mut mark),
     });
 
     // -- repair key: hypothesis-space construction ---------------------
@@ -293,6 +350,7 @@ fn main() {
         naive_ms: n,
         optimized_ms: o,
         pipelined_ms: None,
+        stats: take_delta(&mut mark),
     });
 
     // -- pick tuples ---------------------------------------------------
@@ -319,6 +377,7 @@ fn main() {
         naive_ms: n,
         optimized_ms: o,
         pipelined_ms: None,
+        stats: take_delta(&mut mark),
     });
 
     // -- Parallel variants on an explicit 4-thread pool ----------------
@@ -338,6 +397,7 @@ fn main() {
         naive_ms: n,
         optimized_ms: o,
         pipelined_ms: None,
+        stats: take_delta(&mut mark),
     });
 
     // Wide (output-copy-bound) join, parallel vs naive.
@@ -353,6 +413,7 @@ fn main() {
         naive_ms: n,
         optimized_ms: o,
         pipelined_ms: None,
+        stats: take_delta(&mut mark),
     });
 
     // Exact confidence over a block DNF (many independent components):
@@ -379,6 +440,7 @@ fn main() {
         naive_ms: n,
         optimized_ms: o,
         pipelined_ms: None,
+        stats: take_delta(&mut mark),
     });
 
     // Karp–Luby sampling at a fixed sample count: the sequential
@@ -408,6 +470,7 @@ fn main() {
         naive_ms: n,
         optimized_ms: o,
         pipelined_ms: None,
+        stats: take_delta(&mut mark),
     });
 
     // -- Streaming (maybms-pipe) three-way workloads -------------------
@@ -463,6 +526,7 @@ fn main() {
         naive_ms: n,
         optimized_ms: o,
         pipelined_ms: Some(p),
+        stats: take_delta(&mut mark),
     });
 
     // A selective σ → hash-probe → π pipeline: the filtered probe stream
@@ -505,6 +569,7 @@ fn main() {
         naive_ms: n,
         optimized_ms: o,
         pipelined_ms: Some(p),
+        stats: take_delta(&mut mark),
     });
 
     // -- Grouped aggregation, certain: σ → π → GROUP BY k three-way ----
@@ -561,6 +626,7 @@ fn main() {
         naive_ms: n,
         optimized_ms: o,
         pipelined_ms: Some(p),
+        stats: take_delta(&mut mark),
     });
 
     // -- Grouped aggregation, uncertain: σ → π → GROUP BY k + conf() ---
@@ -633,6 +699,7 @@ fn main() {
                 &conf_aggs,
                 &_wt,
                 &conf_ctx,
+                None,
             )
             .unwrap()
             .len()
@@ -645,6 +712,7 @@ fn main() {
         naive_ms: n,
         optimized_ms: o,
         pipelined_ms: Some(p),
+        stats: take_delta(&mut mark),
     });
 
     // -- Expression-heavy chain: wide predicate + arithmetic projection
@@ -736,6 +804,7 @@ fn main() {
         naive_ms: n,
         optimized_ms: o,
         pipelined_ms: Some(p),
+        stats: take_delta(&mut mark),
     });
 
     // -- Cold start: re-ingest vs WAL replay vs snapshot load ----------
@@ -808,8 +877,71 @@ fn main() {
         naive_ms: n,
         optimized_ms: o,
         pipelined_ms: Some(p),
+        stats: take_delta(&mut mark),
     });
     let _ = std::fs::remove_dir_all(&cold_root);
+
+    // -- Instrumentation-overhead gate (--assert-overhead PCT) ---------
+    // Re-runs the filter_project_chain pipeline through the streaming
+    // executor twice per rep, interleaved — stats collector detached vs
+    // attached — and fails if the attached median exceeds the requested
+    // percentage overhead. A small absolute slack keeps sub-millisecond
+    // medians (where one timer tick is several percent) from flaking.
+    if let Some(pct) = assert_overhead {
+        let pool = maybms_par::pool();
+        let u_chain = URelation::from_certain(&certain);
+        let chain_stream = |u: &URelation| {
+            UStream::new(u.clone())
+                .filter(&pred1)
+                .unwrap()
+                .project(&proj1)
+                .unwrap()
+                .filter(&pred2)
+                .unwrap()
+                .project(&proj2)
+                .unwrap()
+        };
+        let o_reps = reps.max(7);
+        let mut bare = Vec::with_capacity(o_reps);
+        let mut inst = Vec::with_capacity(o_reps);
+        for _ in 0..o_reps {
+            let s = chain_stream(&u_chain);
+            let t0 = Instant::now();
+            let n_bare = std::hint::black_box(
+                s.collect_stats(&pool, ops::PAR_MIN_CHUNK, maybms_pipe::columnar_default(), None)
+                    .unwrap()
+                    .len(),
+            );
+            bare.push(t0.elapsed().as_secs_f64() * 1e3);
+
+            let s = chain_stream(&u_chain);
+            let ps = s.stats_skeleton("overhead probe");
+            let t0 = Instant::now();
+            let n_inst = std::hint::black_box(
+                s.collect_stats(
+                    &pool,
+                    ops::PAR_MIN_CHUNK,
+                    maybms_pipe::columnar_default(),
+                    Some(&ps),
+                )
+                .unwrap()
+                .len(),
+            );
+            inst.push(t0.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(n_bare, n_inst, "instrumentation changed the result cardinality");
+        }
+        let (b, i) = (median(bare), median(inst));
+        let allowed = b * (1.0 + pct / 100.0) + 0.05;
+        println!(
+            "instrumentation overhead: detached {b:.3} ms, attached {i:.3} ms \
+             (gate: {pct}% + 0.05 ms slack)"
+        );
+        assert!(
+            i <= allowed,
+            "instrumented filter_project_chain median {i:.3} ms exceeds the \
+             {pct}% overhead gate over detached {b:.3} ms"
+        );
+    }
 
     // -- Report --------------------------------------------------------
     println!(
@@ -846,6 +978,10 @@ fn main() {
          directory: fresh SQL re-ingest of the amplified nba demo \
          (naive_ms) vs maybms-store WAL replay (optimized_ms) vs \
          checkpoint snapshot load (pipelined_ms); \
+         each workload row's stats object holds process-wide maybms-obs \
+         metric deltas (morsels driven, scalar kernel fallbacks, Monte \
+         Carlo samples drawn) accumulated across all reps and variants \
+         of that section; \
          interleaved medians, same process\" }},"
     );
     json.push_str("  \"workloads\": [\n");
@@ -873,6 +1009,12 @@ fn main() {
                 w.optimized_ms / p
             );
         }
+        let _ = write!(
+            json,
+            ", \"stats\": {{ \"morsels\": {}, \"scalar_fallbacks\": {}, \
+             \"samples_drawn\": {} }}",
+            w.stats.morsels, w.stats.scalar_fallbacks, w.stats.samples_drawn
+        );
         json.push_str(" }");
         json.push_str(if i + 1 < outcomes.len() { ",\n" } else { "\n" });
     }

@@ -221,6 +221,45 @@ proptest! {
         }
     }
 
+    /// Instrumented execution: attaching a per-pipeline stats collector
+    /// never changes the output, and the collected per-stage `(rows_in,
+    /// rows_out, build_rows)` counts are identical at 1/2/8 threads with
+    /// single-row morsels (order-independent sums — the instrumentation
+    /// side of the determinism contract).
+    #[test]
+    fn instrumented_ustream_stats_identical((_wt, u) in arb_urelation()) {
+        use maybms_pipe::UStream;
+        let pred = Expr::col("v").binary(BinaryOp::Gt, Expr::lit(0i64));
+        let build_stream = || {
+            UStream::new(u.clone())
+                .filter(&pred)
+                .unwrap()
+                .hash_join(u.clone(), &[0], &[0])
+                .unwrap()
+        };
+        let p1 = ThreadPool::new(1);
+        let reference = build_stream().collect_with(&p1, 1).unwrap();
+        let fingerprint = |ps: &maybms_obs::PipelineStats| -> Vec<(u64, u64, u64)> {
+            ps.stages
+                .iter()
+                .map(|s| (s.rows_in.get(), s.rows_out.get(), s.build_rows.get()))
+                .collect()
+        };
+        let mut prints = Vec::new();
+        for threads in THREADS {
+            let pool = ThreadPool::new(threads);
+            let stream = build_stream();
+            let ps = stream.stats_skeleton("par determinism");
+            let got = stream
+                .collect_stats(&pool, 1, maybms_pipe::columnar_default(), Some(&ps))
+                .unwrap();
+            prop_assert_eq!(got.tuples(), reference.tuples(), "threads = {}", threads);
+            prints.push(fingerprint(&ps));
+        }
+        prop_assert_eq!(&prints[1], &prints[0], "stats, threads 2 vs 1");
+        prop_assert_eq!(&prints[2], &prints[0], "stats, threads 8 vs 1");
+    }
+
     /// Seeded Karp–Luby and DKLR: estimates and sample counts are
     /// bit-identical at every thread count for the same seed.
     #[test]

@@ -27,6 +27,40 @@ use maybms_pipe::UStream;
 use maybms_urel::{algebra, Assignment, URelation, UTuple, Var, WorldTable, Wsd};
 use proptest::prelude::*;
 
+/// Per-stage `(label, rows_in, rows_out, build_rows)` fingerprint of an
+/// instrumented pipeline, plus its group count. Everything in here is
+/// part of the determinism contract — bit-identical at any thread count
+/// and morsel size. (Morsel counts and wall times are *not*: morsel
+/// boundaries depend on the pool.)
+fn stage_fingerprint(ps: &maybms_obs::PipelineStats) -> (Vec<(String, u64, u64, u64)>, u64) {
+    (
+        ps.stages
+            .iter()
+            .map(|s| (s.label.clone(), s.rows_in.get(), s.rows_out.get(), s.build_rows.get()))
+            .collect(),
+        ps.groups.get(),
+    )
+}
+
+/// The thread-invariant portion of a per-query collector: per-pipeline
+/// stage fingerprints plus the confidence-estimator effort counters.
+#[allow(clippy::type_complexity)]
+fn query_fingerprint(
+    qs: &maybms_obs::QueryStats,
+) -> (Vec<(Vec<(String, u64, u64, u64)>, u64)>, [u64; 5], u64) {
+    (
+        qs.pipelines().iter().map(|p| stage_fingerprint(p)).collect(),
+        [
+            qs.conf_calls.get(),
+            qs.dnf_clauses.get(),
+            qs.dtree_nodes.get(),
+            qs.samples_drawn.get(),
+            qs.sample_batches.get(),
+        ],
+        qs.max_rel_stderr().to_bits(),
+    )
+}
+
 // ---------------------------------------------------------------------
 // Certain path: random PhysicalPlans vs pipe::execute
 // ---------------------------------------------------------------------
@@ -379,13 +413,23 @@ proptest! {
     ) {
         let (eager, lazy, _) = build_uchain(&u1, &u2, &tokens);
         prop_assert_eq!(lazy.schema().len(), eager.schema().len());
+        // Collected per-stage stats must also be bit-identical across
+        // thread counts (order-independent sums — the instrumentation
+        // side of the determinism contract).
+        let mut fingerprints = Vec::new();
         for threads in [1usize, 2, 8] {
             let pool = ThreadPool::new(threads);
             // Rebuild the stream per thread count (collect consumes it).
             let (_, stream, _) = build_uchain(&u1, &u2, &tokens);
-            let got = stream.collect_with(&pool, 1).unwrap();
+            let ps = stream.stats_skeleton("property pipeline");
+            let got = stream
+                .collect_stats(&pool, 1, maybms_pipe::columnar_default(), Some(&ps))
+                .unwrap();
             prop_assert_eq!(got.tuples(), eager.tuples(), "threads {}", threads);
+            fingerprints.push(stage_fingerprint(&ps));
         }
+        prop_assert_eq!(&fingerprints[1], &fingerprints[0], "stats, threads 2 vs 1");
+        prop_assert_eq!(&fingerprints[2], &fingerprints[0], "stats, threads 8 vs 1");
         let (_, stream, _) = build_uchain(&u1, &u2, &tokens);
         prop_assert_eq!(stream.collect().unwrap().tuples(), eager.tuples());
         let _ = lazy;
@@ -446,9 +490,14 @@ proptest! {
         let want = uagg::group(&eager, &grouping).and_then(|groups| {
             uagg::aggregate_groups(&eager, &groups, key_fields.clone(), &aggs, &wt, &ctx)
         });
+        // Per-query collectors attached at every thread count: results
+        // AND collected stats (per-stage rows, group counts, estimator
+        // effort) must be bit-identical.
+        let mut fingerprints = Vec::new();
         for threads in [1usize, 2, 8] {
             let pool = ThreadPool::new(threads);
             let (_, stream, _) = build_uchain(&u1, &u2, &tokens);
+            let qs = maybms_obs::QueryStats::new();
             let got = uagg::aggregate_stream_with(
                 stream,
                 &grouping,
@@ -457,16 +506,15 @@ proptest! {
                 &aggs,
                 &wt,
                 &ctx,
+                Some(&qs),
                 &pool,
                 1,
             );
             match (&want, &got) {
-                (Ok(w), Ok(g)) => prop_assert_eq!(
-                    g.tuples(),
-                    w.tuples(),
-                    "threads {}",
-                    threads
-                ),
+                (Ok(w), Ok(g)) => {
+                    prop_assert_eq!(g.tuples(), w.tuples(), "threads {}", threads);
+                    fingerprints.push(query_fingerprint(&qs));
+                }
                 (Err(_), Err(_)) => {}
                 (w, g) => prop_assert!(
                     false,
@@ -476,6 +524,9 @@ proptest! {
                     threads
                 ),
             }
+        }
+        for (i, f) in fingerprints.iter().enumerate().skip(1) {
+            prop_assert_eq!(f, &fingerprints[0], "stats fingerprint, run {}", i);
         }
     }
 }

@@ -32,12 +32,39 @@ use crate::karp_luby::{KarpLuby, SAMPLE_BATCH};
 const LAMBDA: f64 = std::f64::consts::E - 2.0;
 
 /// Outcome of an (ε, δ) approximation, with sampling statistics.
+///
+/// Every field is deterministic for the seeded drivers: the *consumed*
+/// sample counts follow the stream order regardless of how many batches
+/// were computed speculatively, and `batches` counts consumed batches
+/// (`⌈samples/SAMPLE_BATCH⌉` per phase), not speculative ones — so the
+/// report is bit-identical at any thread count.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Approximation {
     /// The estimate `p̂`.
     pub estimate: f64,
     /// Total Karp–Luby invocations across all phases.
     pub samples: u64,
+    /// Seeded sample batches consumed (`⌈n/SAMPLE_BATCH⌉` per phase).
+    pub batches: u64,
+    /// Estimator variance `ρ̂` at stop (the 𝒜𝒜 step-2 estimate, floored
+    /// at `ε·μ̂`); `0` for the SRA and for constant DNFs.
+    pub variance: f64,
+    /// Achieved relative standard error of the final run,
+    /// `√(ρ̂/n₃)/μ̂` for 𝒜𝒜; the target `ε` for the SRA (which does not
+    /// estimate variance); `0` for constant DNFs.
+    pub rel_stderr: f64,
+}
+
+impl Approximation {
+    /// A zero-cost report for a constant DNF.
+    fn constant(p: f64) -> Approximation {
+        Approximation { estimate: p, samples: 0, batches: 0, variance: 0.0, rel_stderr: 0.0 }
+    }
+}
+
+/// Batches consumed by a phase that drew `samples` draws from its stream.
+fn phase_batches(samples: u64) -> u64 {
+    samples.div_ceil(SAMPLE_BATCH as u64)
 }
 
 /// Configuration for the DKLR driver.
@@ -91,7 +118,7 @@ pub fn stopping_rule<R: Rng + ?Sized>(
 ) -> Result<Approximation> {
     options.validate()?;
     if let Some(p) = kl.constant_value() {
-        return Ok(Approximation { estimate: p, samples: 0 });
+        return Ok(Approximation::constant(p));
     }
     let upsilon1 = 1.0 + (1.0 + options.epsilon) * upsilon(options.epsilon, options.delta);
     let mut sum = 0.0;
@@ -109,7 +136,13 @@ pub fn stopping_rule<R: Rng + ?Sized>(
         sum += kl.sample_indicator(wt, rng);
         n += 1;
     }
-    Ok(Approximation { estimate: kl.scale() * upsilon1 / n as f64, samples: n })
+    Ok(Approximation {
+        estimate: kl.scale() * upsilon1 / n as f64,
+        samples: n,
+        batches: phase_batches(n),
+        variance: 0.0,
+        rel_stderr: options.epsilon,
+    })
 }
 
 /// The 𝒜𝒜 algorithm (DKLR §2.2): optimal up to constants — its expected
@@ -123,7 +156,7 @@ pub fn approximate<R: Rng + ?Sized>(
 ) -> Result<Approximation> {
     options.validate()?;
     if let Some(p) = kl.constant_value() {
-        return Ok(Approximation { estimate: p, samples: 0 });
+        return Ok(Approximation::constant(p));
     }
     let eps = options.epsilon;
     let delta = options.delta;
@@ -140,6 +173,7 @@ pub fn approximate<R: Rng + ?Sized>(
     };
     let sra = stopping_rule(kl, wt, &coarse, rng)?;
     let mut spent = sra.samples;
+    let mut batches = sra.batches;
     // μ̂ of the *indicator* (mean in [0,1]), not of the scaled estimate.
     let mu_hat = sra.estimate / kl.scale();
 
@@ -161,6 +195,7 @@ pub fn approximate<R: Rng + ?Sized>(
         s2 += (a - b) * (a - b) / 2.0;
     }
     spent += 2 * n2;
+    batches += phase_batches(2 * n2);
     let rho_hat = (s2 / n2 as f64).max(eps * mu_hat);
 
     // Step 3: the optimal main run.
@@ -178,7 +213,14 @@ pub fn approximate<R: Rng + ?Sized>(
         sum += kl.sample_indicator(wt, rng);
     }
     spent += n3;
-    Ok(Approximation { estimate: kl.scale() * sum / n3 as f64, samples: spent })
+    batches += phase_batches(n3);
+    Ok(Approximation {
+        estimate: kl.scale() * sum / n3 as f64,
+        samples: spent,
+        batches,
+        variance: rho_hat,
+        rel_stderr: (rho_hat / n3 as f64).sqrt() / mu_hat,
+    })
 }
 
 /// Convenience: `aconf(ε, δ)` for a DNF — prepare Karp–Luby and run 𝒜𝒜.
@@ -226,7 +268,7 @@ pub fn stopping_rule_seeded(
 ) -> Result<Approximation> {
     options.validate()?;
     if let Some(p) = kl.constant_value() {
-        return Ok(Approximation { estimate: p, samples: 0 });
+        return Ok(Approximation::constant(p));
     }
     let upsilon1 = 1.0 + (1.0 + options.epsilon) * upsilon(options.epsilon, options.delta);
     let mut sum = 0.0;
@@ -257,6 +299,9 @@ pub fn stopping_rule_seeded(
                     return Ok(Approximation {
                         estimate: kl.scale() * upsilon1 / n as f64,
                         samples: n,
+                        batches: phase_batches(n),
+                        variance: 0.0,
+                        rel_stderr: options.epsilon,
                     });
                 }
             }
@@ -301,7 +346,7 @@ pub fn approximate_seeded(
 ) -> Result<Approximation> {
     options.validate()?;
     if let Some(p) = kl.constant_value() {
-        return Ok(Approximation { estimate: p, samples: 0 });
+        return Ok(Approximation::constant(p));
     }
     let eps = options.epsilon;
     let delta = options.delta;
@@ -318,6 +363,7 @@ pub fn approximate_seeded(
     };
     let sra = stopping_rule_seeded(kl, wt, &coarse, phase_seed(seed, 1), pool)?;
     let mut spent = sra.samples;
+    let mut batches = sra.batches;
     let mu_hat = sra.estimate / kl.scale();
 
     // Step 2: variance estimation from sample pairs.
@@ -335,6 +381,7 @@ pub fn approximate_seeded(
         xs.chunks_exact(2).map(|p| (p[0] - p[1]) * (p[0] - p[1]) / 2.0).sum()
     });
     spent += 2 * n2;
+    batches += phase_batches(2 * n2);
     let rho_hat = (s2 / n2 as f64).max(eps * mu_hat);
 
     // Step 3: the optimal main run.
@@ -350,11 +397,33 @@ pub fn approximate_seeded(
     let sum =
         batched_stream_sum(kl, wt, n3, phase_seed(seed, 3), pool, |xs| xs.iter().sum());
     spent += n3;
-    Ok(Approximation { estimate: kl.scale() * sum / n3 as f64, samples: spent })
+    batches += phase_batches(n3);
+    Ok(Approximation {
+        estimate: kl.scale() * sum / n3 as f64,
+        samples: spent,
+        batches,
+        variance: rho_hat,
+        rel_stderr: (rho_hat / n3 as f64).sqrt() / mu_hat,
+    })
 }
 
-/// Seeded `aconf(ε, δ)`: prepare Karp–Luby and run the deterministic
-/// parallel 𝒜𝒜 — the engine of the SQL `aconf` aggregate.
+/// Seeded `aconf(ε, δ)` with the full [`Approximation`] report: prepare
+/// Karp–Luby and run the deterministic parallel 𝒜𝒜 — the engine of the
+/// SQL `aconf` aggregate. Callers that only want the estimate use
+/// [`aconf_seeded`].
+pub fn aconf_seeded_report(
+    dnf: &Dnf,
+    wt: &WorldTable,
+    epsilon: f64,
+    delta: f64,
+    seed: u64,
+    pool: &ThreadPool,
+) -> Result<Approximation> {
+    let kl = KarpLuby::new(dnf, wt)?;
+    approximate_seeded(&kl, wt, &DklrOptions::new(epsilon, delta), seed, pool)
+}
+
+/// Seeded `aconf(ε, δ)`: [`aconf_seeded_report`] keeping the estimate only.
 pub fn aconf_seeded(
     dnf: &Dnf,
     wt: &WorldTable,
@@ -363,8 +432,7 @@ pub fn aconf_seeded(
     seed: u64,
     pool: &ThreadPool,
 ) -> Result<f64> {
-    let kl = KarpLuby::new(dnf, wt)?;
-    Ok(approximate_seeded(&kl, wt, &DklrOptions::new(epsilon, delta), seed, pool)?.estimate)
+    Ok(aconf_seeded_report(dnf, wt, epsilon, delta, seed, pool)?.estimate)
 }
 
 #[cfg(test)]
@@ -407,7 +475,9 @@ mod tests {
         let kl = KarpLuby::new(&Dnf::falsum(), &wt).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         let a = approximate(&kl, &wt, &DklrOptions::new(0.1, 0.1), &mut rng).unwrap();
-        assert_eq!(a, Approximation { estimate: 0.0, samples: 0 });
+        assert_eq!(a, Approximation::constant(0.0));
+        assert_eq!(a.samples, 0);
+        assert_eq!(a.batches, 0);
     }
 
     #[test]
@@ -506,6 +576,11 @@ mod tests {
             let aa = approximate_seeded(&kl, &wt, &opts, 42, &pool).unwrap();
             assert_eq!(aa_ref.estimate.to_bits(), aa.estimate.to_bits());
             assert_eq!(aa_ref.samples, aa.samples, "threads = {threads}");
+            // The whole effort report is deterministic, not just the
+            // estimate: consumed batches, variance, and stderr too.
+            assert_eq!(aa_ref.batches, aa.batches, "threads = {threads}");
+            assert_eq!(aa_ref.variance.to_bits(), aa.variance.to_bits());
+            assert_eq!(aa_ref.rel_stderr.to_bits(), aa.rel_stderr.to_bits());
         }
         // Different seeds give different runs.
         let other = approximate_seeded(&kl, &wt, &opts, 43, &p1).unwrap();

@@ -146,6 +146,7 @@ impl KarpLuby {
         if let Some(p) = self.constant {
             return p;
         }
+        maybms_obs::metrics().mc_samples.add(samples as u64);
         let mut acc = 0.0;
         for _ in 0..samples {
             acc += self.sample_indicator(wt, rng);
@@ -188,6 +189,7 @@ impl KarpLuby {
         if samples == 0 {
             return 0.0;
         }
+        maybms_obs::metrics().mc_samples.add(samples as u64);
         let batches = samples.div_ceil(SAMPLE_BATCH);
         let sums: Vec<f64> = pool.par_map((0..batches as u64).collect(), |b| {
             let len = SAMPLE_BATCH.min(samples - b as usize * SAMPLE_BATCH);

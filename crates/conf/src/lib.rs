@@ -74,6 +74,28 @@ pub enum ConfMethod {
     },
 }
 
+/// Per-call effort and accuracy report from [`confidence_with_effort`].
+///
+/// Every field is deterministic for a given `(DNF, method)` at any
+/// thread count: the exact engine's d-tree shape is thread-invariant and
+/// the seeded Monte Carlo drivers report *consumed* samples/batches, not
+/// speculatively computed ones.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ConfEffort {
+    /// Clauses in the lineage DNF handed to the engine.
+    pub dnf_clauses: u64,
+    /// D-tree nodes expanded (decompositions + eliminations + leaves);
+    /// `0` for Monte Carlo and naive runs.
+    pub dtree_nodes: u64,
+    /// Karp–Luby samples drawn across all DKLR phases; `0` for exact runs.
+    pub samples: u64,
+    /// Seeded sample batches consumed; `0` for exact runs.
+    pub batches: u64,
+    /// Achieved relative standard error of the Monte Carlo estimate
+    /// (see [`dklr::Approximation::rel_stderr`]); `0` for exact runs.
+    pub rel_stderr: f64,
+}
+
 /// Compute the probability of a DNF lineage event with the chosen method.
 ///
 /// `Exact` and `Approx` run batch-parallel on the process-wide
@@ -81,16 +103,59 @@ pub enum ConfMethod {
 /// seeded batch stream, so the same `(ε, δ, seed)` returns the same
 /// estimate at any thread count.
 pub fn confidence(dnf: &Dnf, wt: &WorldTable, method: ConfMethod) -> Result<f64> {
-    match method {
-        ConfMethod::Exact => exact::probability(dnf, wt),
+    confidence_with_effort(dnf, wt, method).map(|(p, _)| p)
+}
+
+/// [`confidence`] plus the per-call [`ConfEffort`] report. Also feeds the
+/// process-wide `maybms-obs` metrics registry (DNF clause counts, d-tree
+/// nodes, Monte Carlo samples/batches).
+pub fn confidence_with_effort(
+    dnf: &Dnf,
+    wt: &WorldTable,
+    method: ConfMethod,
+) -> Result<(f64, ConfEffort)> {
+    let mut effort = ConfEffort { dnf_clauses: dnf.len() as u64, ..ConfEffort::default() };
+    let p = match method {
+        ConfMethod::Exact => {
+            let opts = exact::ExactOptions::standard();
+            let pool = maybms_par::pool();
+            let (p, stats) = if pool.threads() > 1 {
+                exact::probability_par(dnf, wt, &opts, &pool, exact::PAR_MIN_CLAUSES)?
+            } else {
+                exact::probability_with(dnf, wt, &opts)?
+            };
+            effort.dtree_nodes =
+                (stats.decompositions + stats.eliminations + stats.leaves) as u64;
+            p
+        }
         ConfMethod::ExactWith(opts) => {
-            exact::probability_with(dnf, wt, &opts).map(|(p, _)| p)
+            let (p, stats) = exact::probability_with(dnf, wt, &opts)?;
+            effort.dtree_nodes =
+                (stats.decompositions + stats.eliminations + stats.leaves) as u64;
+            p
         }
         ConfMethod::Approx { epsilon, delta, seed } => {
-            dklr::aconf_seeded(dnf, wt, epsilon, delta, seed, &maybms_par::pool())
+            let a = dklr::aconf_seeded_report(
+                dnf,
+                wt,
+                epsilon,
+                delta,
+                seed,
+                &maybms_par::pool(),
+            )?;
+            effort.samples = a.samples;
+            effort.batches = a.batches;
+            effort.rel_stderr = a.rel_stderr;
+            a.estimate
         }
-        ConfMethod::Naive { limit } => naive::probability(dnf, wt, limit),
-    }
+        ConfMethod::Naive { limit } => naive::probability(dnf, wt, limit)?,
+    };
+    let m = maybms_obs::metrics();
+    m.dnf_clauses.add(effort.dnf_clauses);
+    m.dtree_nodes.add(effort.dtree_nodes);
+    m.mc_samples.add(effort.samples);
+    m.mc_batches.add(effort.batches);
+    Ok((p, effort))
 }
 
 #[cfg(test)]

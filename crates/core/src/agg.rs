@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use maybms_conf::{confidence, ConfMethod, Dnf};
+use maybms_conf::{confidence_with_effort, ConfEffort, ConfMethod, Dnf};
 use maybms_engine::ops::{AggFunc, AggState, ExactSum};
 use maybms_engine::{DataType, EngineError, Expr, Field, Relation, Schema, Tuple, Value};
 use maybms_pipe::UStream;
@@ -107,18 +107,37 @@ fn independent_wsds<'a>(wsds: impl Iterator<Item = &'a Wsd>) -> bool {
     wsds.all(|wsd| wsd.len() <= 1 && wsd.vars().all(|v| seen.insert(v)))
 }
 
+/// Record one confidence computation's effort into an attached per-query
+/// collector. Everything added is an order-independent sum/max, so the
+/// totals are identical at any thread count even though groups fan out.
+fn record_effort(stats: Option<&maybms_obs::QueryStats>, effort: &ConfEffort) {
+    if let Some(qs) = stats {
+        qs.conf_calls.inc();
+        qs.dnf_clauses.add(effort.dnf_clauses);
+        qs.dtree_nodes.add(effort.dtree_nodes);
+        qs.samples_drawn.add(effort.samples);
+        qs.sample_batches.add(effort.batches);
+        qs.record_rel_stderr(effort.rel_stderr);
+    }
+}
+
 /// Compute one confidence value from a group's member WSDs (what the
-/// streaming grouped-aggregation breaker accumulates per group).
+/// streaming grouped-aggregation breaker accumulates per group). With a
+/// collector attached, the call's effort (d-tree nodes, samples drawn,
+/// achieved relative standard error) is recorded into it.
 pub fn wsds_confidence(
     wsds: &[Wsd],
     wt: &WorldTable,
     method: ConfMethod,
     ctx: &ConfContext,
+    stats: Option<&maybms_obs::QueryStats>,
 ) -> Result<f64> {
     if ctx.sprout_fast_path
         && matches!(method, ConfMethod::Exact)
         && independent_wsds(wsds.iter())
     {
+        // SPROUT fast path: no d-tree, no sampling — just the clauses.
+        record_effort(stats, &ConfEffort { dnf_clauses: wsds.len() as u64, ..Default::default() });
         let mut none = 1.0;
         for wsd in wsds {
             none *= 1.0 - wsd.prob(wt)?;
@@ -126,7 +145,9 @@ pub fn wsds_confidence(
         return Ok(1.0 - none);
     }
     let dnf = Dnf::from_wsds(wsds.iter());
-    Ok(confidence(&dnf, wt, method)?)
+    let (p, effort) = confidence_with_effort(&dnf, wt, method)?;
+    record_effort(stats, &effort);
+    Ok(p)
 }
 
 /// Compute one confidence value for a group of tuples.
@@ -136,11 +157,16 @@ pub fn group_confidence(
     wt: &WorldTable,
     method: ConfMethod,
     ctx: &ConfContext,
+    stats: Option<&maybms_obs::QueryStats>,
 ) -> Result<f64> {
     if ctx.sprout_fast_path
         && matches!(method, ConfMethod::Exact)
         && independent_wsds(members.iter().map(|&i| &u.tuples()[i].wsd))
     {
+        record_effort(
+            stats,
+            &ConfEffort { dnf_clauses: members.len() as u64, ..Default::default() },
+        );
         let mut none = 1.0;
         for &i in members {
             none *= 1.0 - u.tuples()[i].wsd.prob(wt)?;
@@ -148,7 +174,9 @@ pub fn group_confidence(
         return Ok(1.0 - none);
     }
     let dnf = Dnf::from_wsds(members.iter().map(|&i| &u.tuples()[i].wsd));
-    Ok(confidence(&dnf, wt, method)?)
+    let (p, effort) = confidence_with_effort(&dnf, wt, method)?;
+    record_effort(stats, &effort);
+    Ok(p)
 }
 
 /// Evaluate a list of aggregates over grouped input, producing a t-certain
@@ -222,6 +250,7 @@ pub fn aggregate_groups(
                     wt,
                     ctx.exact,
                     ctx,
+                    None,
                 )?)?,
                 AggSpec::AConf { epsilon, delta } => {
                     aconf_slot += 1;
@@ -238,6 +267,7 @@ pub fn aggregate_groups(
                                 .wrapping_add(aconf_slot),
                         },
                         ctx,
+                        None,
                     )?)?
                 }
                 AggSpec::TConf => {
@@ -384,6 +414,7 @@ fn remap_stream_err(e: UrelError) -> CoreError {
 /// `grouping` are the bound group-key expressions; only the first
 /// `n_out_keys` of them are output columns (named by `key_fields`), the
 /// rest are grouped-but-not-selected.
+#[allow(clippy::too_many_arguments)]
 pub fn aggregate_stream(
     stream: UStream,
     grouping: &[Expr],
@@ -392,6 +423,7 @@ pub fn aggregate_stream(
     aggs: &[(AggSpec, String)],
     wt: &WorldTable,
     ctx: &ConfContext,
+    stats: Option<&maybms_obs::QueryStats>,
 ) -> Result<Relation> {
     let pool = maybms_par::pool();
     aggregate_stream_with(
@@ -402,6 +434,7 @@ pub fn aggregate_stream(
         aggs,
         wt,
         ctx,
+        stats,
         &pool,
         maybms_engine::ops::PAR_MIN_CHUNK,
     )
@@ -419,6 +452,7 @@ pub fn aggregate_stream_with(
     aggs: &[(AggSpec, String)],
     wt: &WorldTable,
     ctx: &ConfContext,
+    stats: Option<&maybms_obs::QueryStats>,
     pool: &maybms_par::ThreadPool,
     min_morsel: usize,
 ) -> Result<Relation> {
@@ -533,8 +567,25 @@ pub fn aggregate_stream_with(
         }
         Ok(())
     };
+    let pipe_stats = stats.map(|qs| {
+        let ps = Arc::new(stream.stats_skeleton(format!(
+            "grouped aggregation (streaming, {} keys, {} aggs)",
+            grouping.len(),
+            aggs.len()
+        )));
+        qs.register_pipeline(ps.clone());
+        ps
+    });
     let (full_keys, states) = stream
-        .collect_grouped_with(grouping, pool, min_morsel, new_state, fold, merge)
+        .collect_grouped_stats(
+            grouping,
+            pool,
+            min_morsel,
+            pipe_stats.as_deref(),
+            new_state,
+            fold,
+            merge,
+        )
         .map_err(remap_stream_err)?;
     // Reduce keys to the selected prefix for output.
     let keys: Vec<Vec<Value>> = full_keys
@@ -582,7 +633,7 @@ pub fn aggregate_stream_with(
         for (part, (spec, _)) in acc.parts.iter().zip(aggs) {
             let v = match (part, spec) {
                 (Partial::Lineage, AggSpec::Conf) => {
-                    Value::float(wsds_confidence(&acc.wsds, wt, ctx.exact, ctx)?)?
+                    Value::float(wsds_confidence(&acc.wsds, wt, ctx.exact, ctx, stats)?)?
                 }
                 (Partial::Lineage, AggSpec::AConf { epsilon, delta }) => {
                     aconf_slot += 1;
@@ -598,6 +649,7 @@ pub fn aggregate_stream_with(
                                 .wrapping_add(aconf_slot),
                         },
                         ctx,
+                        stats,
                     )?)?
                 }
                 (Partial::Expect(sum), _) => Value::float(sum.round())?,
@@ -801,9 +853,9 @@ mod tests {
         let ctx_fast = ConfContext::default();
         let ctx_slow = ConfContext { sprout_fast_path: false, ..Default::default() };
         for members in &groups.members {
-            let a = group_confidence(&u, members, &wt, ConfMethod::Exact, &ctx_fast)
+            let a = group_confidence(&u, members, &wt, ConfMethod::Exact, &ctx_fast, None)
                 .unwrap();
-            let b = group_confidence(&u, members, &wt, ConfMethod::Exact, &ctx_slow)
+            let b = group_confidence(&u, members, &wt, ConfMethod::Exact, &ctx_slow, None)
                 .unwrap();
             assert!((a - b).abs() < 1e-12);
         }
@@ -819,6 +871,7 @@ mod tests {
             &wt,
             ConfMethod::Exact,
             &ctx_fast,
+            None,
         )
         .unwrap();
         assert!((p - 0.75).abs() < 1e-12);
@@ -1002,6 +1055,7 @@ mod tests {
                 &aggs,
                 &wt,
                 &ctx,
+                None,
                 &pool,
                 1,
             )
@@ -1022,6 +1076,7 @@ mod tests {
             &[(AggSpec::Std { func: AggFunc::Sum, arg: Some(v) }, "s".to_string())],
             &wt,
             &ConfContext::default(),
+            None,
         );
         assert!(matches!(out, Err(crate::error::CoreError::Typing { .. })), "{out:?}");
     }
@@ -1063,6 +1118,7 @@ mod tests {
                 &aggs,
                 &wt,
                 &ConfContext::default(),
+                None,
                 &pool,
                 1,
             )
@@ -1088,6 +1144,7 @@ mod tests {
             ],
             &wt,
             &ConfContext::default(),
+            None,
         )
         .unwrap();
         assert_eq!(out.len(), 1);
@@ -1128,6 +1185,7 @@ mod tests {
             &wt,
             ConfMethod::Exact,
             &ConfContext::default(),
+            None,
         )
         .unwrap();
         assert!((p - 1.0).abs() < 1e-12);

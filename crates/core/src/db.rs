@@ -66,6 +66,9 @@ pub struct MayBms {
     conf: ConfContext,
     store: Option<Store>,
     recovery: Option<RecoveryReport>,
+    /// Stats collected for the most recently executed statement (the
+    /// shell's timing line and the slow-query log read these).
+    last_stats: Option<Arc<maybms_obs::QueryStats>>,
 }
 
 impl MayBms {
@@ -95,6 +98,7 @@ impl MayBms {
             wt: recovered.wt,
             conf: ConfContext::default(),
             store: Some(store),
+            last_stats: None,
         })
     }
 
@@ -156,6 +160,13 @@ impl MayBms {
     /// switch `conf()` engines or reseed `aconf`).
     pub fn conf_context_mut(&mut self) -> &mut ConfContext {
         &mut self.conf
+    }
+
+    /// The per-query stats collected for the most recently executed
+    /// statement (pipelines with per-stage row counts, confidence
+    /// effort, rows returned).
+    pub fn last_stats(&self) -> Option<&Arc<maybms_obs::QueryStats>> {
+        self.last_stats.as_ref()
     }
 
     /// Register a certain relation as a table (programmatic loading).
@@ -226,17 +237,77 @@ impl MayBms {
     }
 
     /// Execute a parsed statement.
+    ///
+    /// Every statement runs with a fresh [`maybms_obs::QueryStats`]
+    /// collector attached (allocation-light; never changes results),
+    /// retrievable afterwards via [`MayBms::last_stats`]. The statement
+    /// is timed into the process-wide query metrics and, when the
+    /// slow-query log is enabled (`MAYBMS_SLOW_MS` or
+    /// [`maybms_obs::set_slow_log_threshold`]), slow statements are
+    /// reported on stderr with their stats summary.
     pub fn execute(&mut self, stmt: &Statement) -> Result<StatementResult> {
+        let stats = Arc::new(maybms_obs::QueryStats::new());
+        let m = maybms_obs::metrics();
+        let fallbacks_before = m.scalar_fallbacks.get();
+        let t0 = std::time::Instant::now();
+        let result = self.execute_inner(stmt, &stats);
+        let elapsed = t0.elapsed();
+        // Scalar fallbacks are observable only inside the vector kernels,
+        // so attribute this statement's delta of the process-wide counter
+        // (statements on one database run serially under `&mut self`).
+        // `EXPLAIN ANALYZE` may have claimed part of the window already.
+        let window = m.scalar_fallbacks.get().saturating_sub(fallbacks_before);
+        stats.scalar_fallbacks.add(window.saturating_sub(stats.scalar_fallbacks.get()));
+        if let Ok(StatementResult::Query(out)) = &result {
+            stats.rows_returned.add(out.len() as u64);
+        }
+        m.queries.inc();
+        m.query_seconds.observe(elapsed);
+        if let Some(threshold) = maybms_obs::slow_log_threshold_ms() {
+            if elapsed.as_millis() as u64 >= threshold {
+                m.slow_queries.inc();
+                eprintln!(
+                    "[slow query] {:.3} ms ({}): {stmt}",
+                    elapsed.as_secs_f64() * 1e3,
+                    stats.summary(),
+                );
+            }
+        }
+        self.last_stats = Some(stats);
+        result
+    }
+
+    fn execute_inner(
+        &mut self,
+        stmt: &Statement,
+        stats: &Arc<maybms_obs::QueryStats>,
+    ) -> Result<StatementResult> {
         match stmt {
             Statement::Select(q) => {
                 let mut ctx = ExecCtx::new(&self.tables, &mut self.wt, self.conf);
+                ctx.stats = Some(stats.clone());
                 let out = eval_query(q, &mut ctx)?;
                 Ok(StatementResult::Query(out))
             }
-            Statement::Explain { query } => {
+            Statement::Explain { query, analyze } => {
                 let mut ctx = ExecCtx::new(&self.tables, &mut self.wt, self.conf);
                 ctx.trace = Some(Vec::new());
+                if *analyze {
+                    ctx.stats = Some(stats.clone());
+                }
+                let m = maybms_obs::metrics();
+                let fallbacks_before = m.scalar_fallbacks.get();
+                let t0 = std::time::Instant::now();
                 let out = eval_query(query, &mut ctx)?;
+                let elapsed = t0.elapsed();
+                if *analyze {
+                    stats.scalar_fallbacks.add(
+                        m.scalar_fallbacks.get().saturating_sub(fallbacks_before),
+                    );
+                    return Ok(StatementResult::Ok {
+                        message: render_analyze(query, stats, &out, elapsed),
+                    });
+                }
                 let pipelines = ctx.trace.take().unwrap_or_default();
                 let mut message = format!("EXPLAIN {query}\n");
                 message.push_str(
@@ -269,6 +340,7 @@ impl MayBms {
             }
             Statement::CreateTableAs { name, query } => {
                 let mut ctx = ExecCtx::new(&self.tables, &mut self.wt, self.conf);
+                ctx.stats = Some(stats.clone());
                 let out = eval_query(query, &mut ctx)?.into_urelation();
                 self.register_u(name, out)?;
                 Ok(StatementResult::Ok { message: "CREATE TABLE AS".into() })
@@ -473,6 +545,78 @@ impl MayBms {
     }
 }
 
+/// Render the measured side of `EXPLAIN ANALYZE`: per-pipeline wall time
+/// and morsel counts, per-stage `[in, out]` row counts (plus hash-join
+/// build sizes and group counts), and the confidence-estimator effort.
+fn render_analyze(
+    query: &maybms_sql::Query,
+    stats: &maybms_obs::QueryStats,
+    out: &QueryOutput,
+    elapsed: std::time::Duration,
+) -> String {
+    let mut s = format!("EXPLAIN ANALYZE {query}\n");
+    s.push_str("pipeline decomposition (morsel-driven executor, measured):\n");
+    for (i, p) in stats.pipelines().iter().enumerate() {
+        if p.stages.is_empty() && p.morsels.get() == 0 {
+            // A stage-less pipeline (bare scan feeding a breaker) passes
+            // its source through without driving any morsels.
+            s.push_str(&format!("#{} pipeline ({}) [source passthrough]\n", i + 1, p.label));
+        } else {
+            s.push_str(&format!(
+                "#{} pipeline ({}) [{:.3} ms, {} morsel(s)]\n",
+                i + 1,
+                p.label,
+                p.wall_nanos.get() as f64 / 1e6,
+                p.morsels.get(),
+            ));
+        }
+        s.push_str(&format!("   source: {}\n", p.source));
+        for st in &p.stages {
+            s.push_str(&format!(
+                "   -> {} [in {}, out {}",
+                st.label,
+                st.rows_in.get(),
+                st.rows_out.get()
+            ));
+            if st.build_rows.get() > 0 {
+                s.push_str(&format!(", build {}", st.build_rows.get()));
+            }
+            s.push_str("]\n");
+        }
+        if p.groups.get() > 0 {
+            s.push_str(&format!("   groups: {}\n", p.groups.get()));
+        }
+    }
+    if stats.conf_calls.get() > 0 {
+        s.push_str(&format!(
+            "estimator: {} conf call(s), {} DNF clause(s), {} d-tree node(s), \
+             {} sample(s) in {} batch(es)",
+            stats.conf_calls.get(),
+            stats.dnf_clauses.get(),
+            stats.dtree_nodes.get(),
+            stats.samples_drawn.get(),
+            stats.sample_batches.get(),
+        ));
+        let rse = stats.max_rel_stderr();
+        if rse > 0.0 {
+            s.push_str(&format!(", max rel stderr {rse:.4}"));
+        }
+        s.push('\n');
+    }
+    if stats.scalar_fallbacks.get() > 0 {
+        s.push_str(&format!("scalar fallbacks: {}\n", stats.scalar_fallbacks.get()));
+    }
+    let (rows, kind) = match out {
+        QueryOutput::Certain(r) => (r.len(), "t-certain"),
+        QueryOutput::Uncertain(u) => (u.len(), "uncertain"),
+    };
+    s.push_str(&format!(
+        "result: {rows} {kind} rows in {:.3} ms\n",
+        elapsed.as_secs_f64() * 1e3
+    ));
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -668,6 +812,74 @@ mod tests {
             "{message}"
         );
         assert!(message.contains("-> filter"), "{message}");
+    }
+
+    #[test]
+    fn explain_analyze_reports_measured_stage_stats() {
+        // The acceptance query: join + GROUP BY + conf() over an
+        // uncertain table. EXPLAIN ANALYZE must show per-stage measured
+        // row counts, morsels, wall time, and the estimator's effort.
+        let mut db = db_with_games();
+        db.register(
+            "teams",
+            rel(
+                &[("player", DataType::Text), ("team", DataType::Text)],
+                vec![
+                    vec!["Bryant".into(), "LAL".into()],
+                    vec!["Duncan".into(), "SAS".into()],
+                ],
+            ),
+        )
+        .unwrap();
+        db.run("create table picks as select * from (pick tuples from games with probability 0.5) p")
+            .unwrap();
+        let StatementResult::Ok { message } = db
+            .run(
+                "explain analyze select t.team, conf() as p, aconf(0.3, 0.3) as ap \
+                 from picks g, teams t where g.player = t.player group by t.team",
+            )
+            .unwrap()
+        else {
+            panic!("EXPLAIN ANALYZE must return a message")
+        };
+        // Per-pipeline measured header: wall time + morsel count.
+        assert!(message.contains("ms, "), "{message}");
+        assert!(message.contains("morsel(s)]"), "{message}");
+        // Both pipelines appear: the build side and the streaming
+        // grouped-aggregation breaker, with per-stage [in, out] counts.
+        assert!(message.contains("pipeline (hash-join build side)"), "{message}");
+        assert!(
+            message.contains("pipeline (grouped aggregation (streaming, 1 keys, 2 aggs))"),
+            "{message}"
+        );
+        assert!(message.contains("-> hash probe"), "{message}");
+        assert!(message.contains("[in 2, out 2"), "{message}");
+        assert!(message.contains("build 2"), "{message}");
+        assert!(message.contains("groups: 2"), "{message}");
+        // Estimator effort: 2 conf + 2 aconf calls, with samples drawn.
+        assert!(message.contains("estimator: 4 conf call(s)"), "{message}");
+        assert!(message.contains("sample(s)"), "{message}");
+        assert!(message.contains("max rel stderr"), "{message}");
+        assert!(message.contains("result: 2 t-certain rows in"), "{message}");
+        // The same stats are retrievable programmatically.
+        let stats = db.last_stats().unwrap();
+        assert_eq!(stats.conf_calls.get(), 4);
+        assert!(stats.samples_drawn.get() > 0);
+        assert_eq!(stats.pipeline_count(), 2);
+    }
+
+    #[test]
+    fn every_statement_collects_stats() {
+        let mut db = db_with_games();
+        let r = db.query("select player from games where pts > 30").unwrap();
+        assert_eq!(r.len(), 1);
+        let stats = db.last_stats().unwrap();
+        assert_eq!(stats.rows_returned.get(), 1);
+        assert_eq!(stats.pipeline_count(), 1);
+        let p = &stats.pipelines()[0];
+        assert!(p.morsels.get() >= 1);
+        assert_eq!(p.stages[0].rows_in.get(), 2);
+        assert_eq!(p.stages[0].rows_out.get(), 1);
     }
 
     #[test]

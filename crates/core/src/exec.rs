@@ -57,21 +57,28 @@ pub struct ExecCtx<'a> {
     /// decomposition (source, fused stages, breaker reason) — the
     /// `EXPLAIN` implementation.
     pub trace: Option<Vec<String>>,
+    /// When attached, every pipeline registers a per-stage stats
+    /// collector and the aggregates record confidence-computation effort
+    /// — the `EXPLAIN ANALYZE` / slow-query-log implementation. Never
+    /// changes results: everything collected is an order-independent
+    /// sum or max.
+    pub stats: Option<std::sync::Arc<maybms_obs::QueryStats>>,
 }
 
 impl<'a> ExecCtx<'a> {
-    /// A context without explain tracing.
+    /// A context without explain tracing or stats collection.
     pub fn new(
         catalog: &'a BTreeMap<String, URelation>,
         wt: &'a mut WorldTable,
         conf: ConfContext,
     ) -> ExecCtx<'a> {
-        ExecCtx { catalog, wt, conf, trace: None }
+        ExecCtx { catalog, wt, conf, trace: None, stats: None }
     }
 }
 
 /// Materialise a pipeline, recording its decomposition when the context
-/// traces for `EXPLAIN`.
+/// traces for `EXPLAIN` and registering a per-stage stats collector when
+/// the context carries one (`EXPLAIN ANALYZE`).
 fn collect_traced(
     stream: UStream,
     ctx: &mut ExecCtx<'_>,
@@ -86,7 +93,18 @@ fn collect_traced(
         }
         trace.push(entry);
     }
-    Ok(stream.collect()?)
+    let pipe_stats = ctx.stats.as_ref().map(|qs| {
+        let ps = std::sync::Arc::new(stream.stats_skeleton(reason));
+        qs.register_pipeline(ps.clone());
+        ps
+    });
+    let pool = maybms_par::pool();
+    Ok(stream.collect_stats(
+        &pool,
+        maybms_engine::ops::PAR_MIN_CHUNK,
+        maybms_pipe::columnar_default(),
+        pipe_stats.as_deref(),
+    )?)
 }
 
 /// The result of a query: a t-certain table or an uncertain one.
@@ -569,6 +587,7 @@ fn eval_aggregate_select(
         &aggs,
         ctx.wt,
         &ctx.conf,
+        ctx.stats.as_deref(),
     )?;
     reorder_to_select_order(rel, items)
 }

@@ -101,9 +101,11 @@ pub fn shortcircuit_safe(e: &Expr) -> bool {
 /// and, if evaluation errors, the first erroring row (scalar order) with
 /// its error — the column then holds the values of the rows before it.
 pub fn eval_batch(e: &Expr, batch: &ColumnBatch) -> (Column, Option<(usize, EngineError)>) {
+    maybms_obs::metrics().vector_batches.inc();
     match eval_vec(e, batch) {
         Ok(col) => (col.into_owned(), None),
         Err(Interrupt) => {
+            maybms_obs::metrics().scalar_fallbacks.inc();
             // Scalar redo: pivot each row back out and run the scalar
             // evaluator — the authoritative semantics, short-circuiting
             // and error order included.

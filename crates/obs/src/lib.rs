@@ -1,0 +1,574 @@
+//! # maybms-obs — observability for the MayBMS reproduction
+//!
+//! A std-only metrics layer (the build environment is offline, so no
+//! prometheus/metrics crates): lock-free atomic [`Counter`]s, [`Gauge`]s
+//! and fixed-bucket latency [`Histogram`]s in a process-wide registry
+//! ([`metrics`]), plus a per-query [`QueryStats`] collector the executor
+//! threads through pipelines, confidence computation and the shell.
+//!
+//! Two invariants the rest of the stack relies on:
+//!
+//! * **Near-zero cost.** Registry updates are relaxed atomic adds issued
+//!   at most once per morsel / batch / fsync, never per row; per-query
+//!   collection only happens when a [`QueryStats`] is attached, and the
+//!   per-row tallies it consumes are plain stack integers flushed once
+//!   per morsel.
+//! * **Determinism.** Everything a [`QueryStats`] accumulates is an
+//!   order-independent sum (or max) of per-morsel / per-call
+//!   contributions, so the collected numbers — like the query results
+//!   themselves — are bit-identical at any thread count and morsel size.
+//!
+//! Surfaces: `EXPLAIN ANALYZE` (core renders [`QueryStats`]), the shell's
+//! `\metrics` command ([`render_prometheus`]), and the opt-in slow-query
+//! log ([`slow_log_threshold_ms`], `MAYBMS_SLOW_MS` / `\slowlog N`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------
+
+/// A monotonically increasing event count. All operations are relaxed:
+/// counters are statistics, never synchronisation.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter (const, so counters can live in statics).
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one event.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time value (queue depth, recovery record count).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub const fn new() -> Gauge {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Set the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `v` if it is below (high-water marks).
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Maximum bucket count of a [`Histogram`] (bounds + the +Inf bucket).
+pub const MAX_BUCKETS: usize = 16;
+
+/// A fixed-bucket latency histogram: cumulative-style observation counts
+/// per upper bound (nanoseconds) plus a `+Inf` overflow bucket, a total
+/// count and a nanosecond sum — exactly the data a Prometheus histogram
+/// exposes. Buckets are plain relaxed atomics; observing is one binary
+/// chore of comparisons and two adds.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Ascending upper bounds, in nanoseconds (≤ [`MAX_BUCKETS`] − 1).
+    bounds: &'static [u64],
+    buckets: [AtomicU64; MAX_BUCKETS],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+}
+
+impl Histogram {
+    /// A zeroed histogram over `bounds` (ascending nanosecond bounds).
+    pub const fn new(bounds: &'static [u64]) -> Histogram {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        assert!(bounds.len() < MAX_BUCKETS);
+        Histogram { bounds, buckets: [ZERO; MAX_BUCKETS], count: AtomicU64::new(0), sum_nanos: AtomicU64::new(0) }
+    }
+
+    /// Record one duration.
+    #[inline]
+    pub fn observe(&self, d: Duration) {
+        self.observe_nanos(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record one observation of `nanos` nanoseconds.
+    pub fn observe_nanos(&self, nanos: u64) {
+        let i = self.bounds.partition_point(|&b| b < nanos);
+        self.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, in seconds.
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Render this histogram in Prometheus text exposition format
+    /// (cumulative `_bucket{le=…}` lines, `_sum`, `_count`).
+    fn render(&self, out: &mut String, name: &str) {
+        let mut cumulative = 0u64;
+        for (i, &bound) in self.bounds.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            let le = bound as f64 / 1e9;
+            out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+        cumulative += self.buckets[self.bounds.len()].load(Ordering::Relaxed);
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!("{name}_sum {}\n", self.sum_seconds()));
+        out.push_str(&format!("{name}_count {}\n", self.count()));
+    }
+}
+
+/// Fsync / checkpoint latency bounds: 50µs … 100ms.
+pub const IO_BOUNDS: &[u64] = &[
+    50_000, 100_000, 250_000, 500_000, 1_000_000, 2_500_000, 5_000_000, 10_000_000,
+    25_000_000, 50_000_000, 100_000_000,
+];
+
+/// Pipeline / query wall-time bounds: 100µs … 5s.
+pub const TIME_BOUNDS: &[u64] = &[
+    100_000, 250_000, 500_000, 1_000_000, 2_500_000, 5_000_000, 10_000_000, 25_000_000,
+    50_000_000, 100_000_000, 500_000_000, 1_000_000_000, 5_000_000_000,
+];
+
+// ---------------------------------------------------------------------
+// The process-wide registry
+// ---------------------------------------------------------------------
+
+/// Every engine-wide metric, one static instance ([`metrics`]).
+#[derive(Debug)]
+#[allow(missing_docs)] // field names + render help strings are the docs
+pub struct Metrics {
+    // maybms-pipe: the morsel-driven executor.
+    pub pipelines: Counter,
+    pub morsels: Counter,
+    pub rows_in: Counter,
+    pub rows_out: Counter,
+    pub vector_batches: Counter,
+    pub scalar_fallbacks: Counter,
+    pub join_build_rows: Counter,
+    pub groups: Counter,
+    pub pipeline_seconds: Histogram,
+    // maybms-conf: confidence computation.
+    pub dtree_nodes: Counter,
+    pub dnf_clauses: Counter,
+    pub mc_samples: Counter,
+    pub mc_batches: Counter,
+    // maybms-store: durability.
+    pub wal_appends: Counter,
+    pub wal_fsync_seconds: Histogram,
+    pub checkpoints: Counter,
+    pub checkpoint_seconds: Histogram,
+    pub recovery_replayed: Gauge,
+    pub recovery_truncated_tail: Gauge,
+    // maybms-par: the execution pool.
+    pub par_tasks: Counter,
+    pub par_queue_depth_hwm: Gauge,
+    // maybms-core: statements.
+    pub queries: Counter,
+    pub slow_queries: Counter,
+    pub query_seconds: Histogram,
+}
+
+static METRICS: Metrics = Metrics {
+    pipelines: Counter::new(),
+    morsels: Counter::new(),
+    rows_in: Counter::new(),
+    rows_out: Counter::new(),
+    vector_batches: Counter::new(),
+    scalar_fallbacks: Counter::new(),
+    join_build_rows: Counter::new(),
+    groups: Counter::new(),
+    pipeline_seconds: Histogram::new(TIME_BOUNDS),
+    dtree_nodes: Counter::new(),
+    dnf_clauses: Counter::new(),
+    mc_samples: Counter::new(),
+    mc_batches: Counter::new(),
+    wal_appends: Counter::new(),
+    wal_fsync_seconds: Histogram::new(IO_BOUNDS),
+    checkpoints: Counter::new(),
+    checkpoint_seconds: Histogram::new(IO_BOUNDS),
+    recovery_replayed: Gauge::new(),
+    recovery_truncated_tail: Gauge::new(),
+    par_tasks: Counter::new(),
+    par_queue_depth_hwm: Gauge::new(),
+    queries: Counter::new(),
+    slow_queries: Counter::new(),
+    query_seconds: Histogram::new(TIME_BOUNDS),
+};
+
+/// The process-wide metrics registry.
+pub fn metrics() -> &'static Metrics {
+    &METRICS
+}
+
+/// Render the whole registry in Prometheus text exposition format
+/// (`# HELP` / `# TYPE` / sample lines) — the `\metrics` shell command.
+pub fn render_prometheus() -> String {
+    let m = metrics();
+    let mut out = String::with_capacity(4096);
+    let mut counter = |name: &str, help: &str, c: &Counter| {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} counter\n{name} {}\n",
+            c.get()
+        ));
+    };
+    counter("maybms_pipe_pipelines_total", "Pipelines executed by the morsel-driven executor", &m.pipelines);
+    counter("maybms_pipe_morsels_total", "Morsels pushed through fused stage chains", &m.morsels);
+    counter("maybms_pipe_rows_in_total", "Rows entering fused stage chains", &m.rows_in);
+    counter("maybms_pipe_rows_out_total", "Rows surviving fused stage chains", &m.rows_out);
+    counter("maybms_pipe_vector_batches_total", "Columnar batches evaluated by vector kernels", &m.vector_batches);
+    counter("maybms_pipe_scalar_fallbacks_total", "Vector-kernel batches redone row-by-row (scalar fallback)", &m.scalar_fallbacks);
+    counter("maybms_pipe_join_build_rows_total", "Rows inserted into hash-join build tables", &m.join_build_rows);
+    counter("maybms_pipe_groups_total", "Groups created by streaming grouped aggregation", &m.groups);
+    counter("maybms_conf_dtree_nodes_total", "Decomposition-tree nodes expanded by exact confidence computation", &m.dtree_nodes);
+    counter("maybms_conf_dnf_clauses_total", "DNF clauses submitted to confidence computation", &m.dnf_clauses);
+    counter("maybms_conf_mc_samples_total", "Monte Carlo samples drawn (fixed-count Karp-Luby draws plus DKLR consumed samples)", &m.mc_samples);
+    counter("maybms_conf_mc_batches_total", "Seeded sample batches computed (including speculation)", &m.mc_batches);
+    counter("maybms_store_wal_appends_total", "WAL records appended", &m.wal_appends);
+    counter("maybms_store_checkpoints_total", "Atomic snapshot checkpoints written", &m.checkpoints);
+    counter("maybms_par_tasks_total", "Tasks executed by the execution pool", &m.par_tasks);
+    counter("maybms_query_total", "SQL statements executed", &m.queries);
+    counter("maybms_query_slow_total", "Statements at or above the slow-query threshold", &m.slow_queries);
+    let mut gauge = |name: &str, help: &str, g: &Gauge| {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {}\n",
+            g.get()
+        ));
+    };
+    gauge("maybms_store_recovery_replayed_records", "WAL records replayed at the last open", &m.recovery_replayed);
+    gauge("maybms_store_recovery_truncated_tail", "1 if the last open truncated a torn WAL tail", &m.recovery_truncated_tail);
+    gauge("maybms_par_queue_depth_hwm", "Execution-pool queue depth high-water mark", &m.par_queue_depth_hwm);
+    let mut histogram = |name: &str, help: &str, h: &Histogram| {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+        h.render(&mut out, name);
+    };
+    histogram("maybms_pipe_pipeline_seconds", "Per-pipeline wall time", &m.pipeline_seconds);
+    histogram("maybms_store_wal_fsync_seconds", "WAL append+fsync latency", &m.wal_fsync_seconds);
+    histogram("maybms_store_checkpoint_seconds", "Checkpoint duration", &m.checkpoint_seconds);
+    histogram("maybms_query_seconds", "Per-statement wall time", &m.query_seconds);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Per-query collection
+// ---------------------------------------------------------------------
+
+/// Per-stage collection slot of a [`PipelineStats`]: how many rows
+/// entered and survived one fused stage, plus (for probes) the build
+/// size. Totals are order-independent sums of per-morsel tallies, so
+/// they are bit-identical at any thread count.
+#[derive(Debug)]
+pub struct StageStats {
+    /// The stage's display label (from the pipeline description).
+    pub label: String,
+    /// Rows entering the stage.
+    pub rows_in: Counter,
+    /// Rows the stage passed downstream.
+    pub rows_out: Counter,
+    /// Hash-join build rows (probe stages only; 0 otherwise).
+    pub build_rows: Counter,
+}
+
+impl StageStats {
+    /// A zeroed slot labelled `label`.
+    pub fn new(label: impl Into<String>) -> StageStats {
+        StageStats {
+            label: label.into(),
+            rows_in: Counter::new(),
+            rows_out: Counter::new(),
+            build_rows: Counter::new(),
+        }
+    }
+}
+
+/// Collected execution statistics of one pipeline: its breaker label,
+/// source description, per-stage row counts, morsel count, group count
+/// (grouped-aggregation breakers) and wall time.
+#[derive(Debug)]
+pub struct PipelineStats {
+    /// Why this pipeline broke (the breaker reason shown by EXPLAIN).
+    pub label: String,
+    /// Source description (`"games (2 stored rows)"`).
+    pub source: String,
+    /// One slot per fused stage, in stage order.
+    pub stages: Vec<StageStats>,
+    /// Morsels executed.
+    pub morsels: Counter,
+    /// Groups created (streaming grouped-aggregation breakers; else 0).
+    pub groups: Counter,
+    /// Wall time of the collect, in nanoseconds (set once at finish).
+    pub wall_nanos: Counter,
+}
+
+impl PipelineStats {
+    /// A zeroed pipeline collector.
+    pub fn new(
+        label: impl Into<String>,
+        source: impl Into<String>,
+        stage_labels: Vec<String>,
+    ) -> PipelineStats {
+        PipelineStats {
+            label: label.into(),
+            source: source.into(),
+            stages: stage_labels.into_iter().map(StageStats::new).collect(),
+            morsels: Counter::new(),
+            groups: Counter::new(),
+            wall_nanos: Counter::new(),
+        }
+    }
+
+    /// Flush one morsel's per-stage `(rows_in, rows_out)` tally. Called
+    /// once per morsel; the per-row counting happened in plain integers
+    /// on the worker's stack.
+    pub fn flush_morsel(&self, tally: &[(u64, u64)]) {
+        self.morsels.inc();
+        for (slot, &(rin, rout)) in self.stages.iter().zip(tally) {
+            slot.rows_in.add(rin);
+            slot.rows_out.add(rout);
+        }
+    }
+
+    /// Record the pipeline's wall time.
+    pub fn record_wall(&self, d: Duration) {
+        self.wall_nanos.add(d.as_nanos().min(u64::MAX as u128) as u64);
+        metrics().pipeline_seconds.observe(d);
+    }
+}
+
+/// Per-query statistics collector, threaded through the execution stack
+/// when attached (`EXPLAIN ANALYZE`, the shell, the slow-query log).
+/// Everything here is an order-independent sum or max, preserving the
+/// determinism contract.
+#[derive(Debug, Default)]
+pub struct QueryStats {
+    pipelines: Mutex<Vec<std::sync::Arc<PipelineStats>>>,
+    /// conf()/aconf()/tconf confidence computations performed.
+    pub conf_calls: Counter,
+    /// Decomposition-tree nodes expanded by exact computations.
+    pub dtree_nodes: Counter,
+    /// DNF clauses submitted (lineage size).
+    pub dnf_clauses: Counter,
+    /// Monte Carlo samples drawn by approximate computations.
+    pub samples_drawn: Counter,
+    /// Seeded sample batches those samples came from (deterministic:
+    /// derived from sample counts, not from speculative execution).
+    pub sample_batches: Counter,
+    /// Vector-kernel batches that fell back to the scalar redo.
+    pub scalar_fallbacks: Counter,
+    /// Rows in the statement's result.
+    pub rows_returned: Counter,
+    /// Worst observed relative standard error at estimator stop, as f64
+    /// bits (positive floats order like their bit patterns, so
+    /// `fetch_max` on bits is max on values).
+    max_rel_stderr_bits: AtomicU64,
+}
+
+impl QueryStats {
+    /// A fresh, empty collector.
+    pub fn new() -> QueryStats {
+        QueryStats::default()
+    }
+
+    /// Register a pipeline collector (in execution order).
+    pub fn register_pipeline(&self, p: std::sync::Arc<PipelineStats>) {
+        self.pipelines.lock().expect("pipeline registry poisoned").push(p);
+    }
+
+    /// The registered pipelines, in execution order.
+    pub fn pipelines(&self) -> Vec<std::sync::Arc<PipelineStats>> {
+        self.pipelines.lock().expect("pipeline registry poisoned").clone()
+    }
+
+    /// Number of pipelines executed.
+    pub fn pipeline_count(&self) -> usize {
+        self.pipelines.lock().expect("pipeline registry poisoned").len()
+    }
+
+    /// Record one estimator run's relative standard error at stop.
+    pub fn record_rel_stderr(&self, rse: f64) {
+        if rse.is_finite() && rse > 0.0 {
+            self.max_rel_stderr_bits.fetch_max(rse.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Worst relative standard error across estimator runs (0.0 if no
+    /// approximate computation ran).
+    pub fn max_rel_stderr(&self) -> f64 {
+        f64::from_bits(self.max_rel_stderr_bits.load(Ordering::Relaxed))
+    }
+
+    /// One-line summary for the slow-query log and the shell timing line.
+    pub fn summary(&self) -> String {
+        let mut s = format!("{} pipeline(s)", self.pipeline_count());
+        let (morsels, rows_out) = self.pipelines().iter().fold((0, 0), |(m, r), p| {
+            (m + p.morsels.get(), r + p.stages.last().map_or(0, |s| s.rows_out.get()))
+        });
+        s.push_str(&format!(", {morsels} morsel(s), {rows_out} stage-output row(s)"));
+        if self.conf_calls.get() > 0 {
+            s.push_str(&format!(
+                ", {} conf call(s): {} d-tree node(s), {} sample(s)",
+                self.conf_calls.get(),
+                self.dtree_nodes.get(),
+                self.samples_drawn.get()
+            ));
+        }
+        if self.scalar_fallbacks.get() > 0 {
+            s.push_str(&format!(", {} scalar fallback(s)", self.scalar_fallbacks.get()));
+        }
+        s
+    }
+}
+
+// ---------------------------------------------------------------------
+// Slow-query log threshold
+// ---------------------------------------------------------------------
+
+/// Sentinel for "slow-query log disabled".
+const SLOW_OFF: u64 = u64::MAX;
+
+static SLOW_MS: AtomicU64 = AtomicU64::new(SLOW_OFF);
+static SLOW_INIT: std::sync::Once = std::sync::Once::new();
+
+/// The slow-query threshold in milliseconds, if logging is enabled.
+/// Initialised once from `MAYBMS_SLOW_MS` (0 logs every statement);
+/// overridable at runtime with [`set_slow_log_threshold`] (`\slowlog`).
+pub fn slow_log_threshold_ms() -> Option<u64> {
+    SLOW_INIT.call_once(|| {
+        if let Ok(v) = std::env::var("MAYBMS_SLOW_MS") {
+            if let Ok(ms) = v.trim().parse::<u64>() {
+                SLOW_MS.store(ms.min(SLOW_OFF - 1), Ordering::Relaxed);
+            }
+        }
+    });
+    match SLOW_MS.load(Ordering::Relaxed) {
+        SLOW_OFF => None,
+        ms => Some(ms),
+    }
+}
+
+/// Set (or, with `None`, disable) the slow-query threshold.
+pub fn set_slow_log_threshold(ms: Option<u64>) {
+    // Make sure the env read cannot overwrite an explicit setting later.
+    SLOW_INIT.call_once(|| {});
+    SLOW_MS.store(ms.map_or(SLOW_OFF, |m| m.min(SLOW_OFF - 1)), Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set_max(7);
+        g.set_max(3);
+        assert_eq!(g.get(), 7);
+        g.set(1);
+        assert_eq!(g.get(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        static BOUNDS: &[u64] = &[1_000, 10_000, 100_000];
+        let h = Histogram::new(BOUNDS);
+        h.observe_nanos(500); // bucket 0
+        h.observe_nanos(1_000); // le bound is inclusive -> bucket 0
+        h.observe_nanos(5_000); // bucket 1
+        h.observe_nanos(1_000_000); // +Inf
+        assert_eq!(h.count(), 4);
+        let mut out = String::new();
+        h.render(&mut out, "t");
+        assert!(out.contains("t_bucket{le=\"0.000001\"} 2"), "{out}");
+        assert!(out.contains("t_bucket{le=\"0.00001\"} 3"), "{out}");
+        assert!(out.contains("t_bucket{le=\"0.0001\"} 3"), "{out}");
+        assert!(out.contains("t_bucket{le=\"+Inf\"} 4"), "{out}");
+        assert!(out.contains("t_count 4"), "{out}");
+    }
+
+    #[test]
+    fn registry_renders_prometheus_text() {
+        metrics().wal_appends.inc();
+        metrics().wal_fsync_seconds.observe(Duration::from_micros(120));
+        let text = render_prometheus();
+        assert!(text.contains("# TYPE maybms_store_wal_appends_total counter"), "{text}");
+        assert!(text.contains("# TYPE maybms_store_wal_fsync_seconds histogram"), "{text}");
+        assert!(text.contains("maybms_store_wal_fsync_seconds_bucket{le=\"+Inf\"}"), "{text}");
+        assert!(text.contains("maybms_pipe_morsels_total"), "{text}");
+    }
+
+    #[test]
+    fn query_stats_accumulate_and_summarise() {
+        let qs = QueryStats::new();
+        let p = std::sync::Arc::new(PipelineStats::new(
+            "output",
+            "t (3 stored rows)",
+            vec!["filter x > 1".into(), "project [x]".into()],
+        ));
+        qs.register_pipeline(p.clone());
+        p.flush_morsel(&[(3, 2), (2, 2)]);
+        p.flush_morsel(&[(1, 1), (1, 1)]);
+        assert_eq!(p.morsels.get(), 2);
+        assert_eq!(p.stages[0].rows_in.get(), 4);
+        assert_eq!(p.stages[0].rows_out.get(), 3);
+        assert_eq!(p.stages[1].rows_out.get(), 3);
+        assert_eq!(qs.pipeline_count(), 1);
+        qs.record_rel_stderr(0.02);
+        qs.record_rel_stderr(0.01);
+        assert_eq!(qs.max_rel_stderr(), 0.02);
+        let s = qs.summary();
+        assert!(s.contains("1 pipeline(s)"), "{s}");
+        assert!(s.contains("2 morsel(s)"), "{s}");
+    }
+
+    #[test]
+    fn slow_log_threshold_settable() {
+        set_slow_log_threshold(Some(12));
+        assert_eq!(slow_log_threshold_ms(), Some(12));
+        set_slow_log_threshold(None);
+        assert_eq!(slow_log_threshold_ms(), None);
+    }
+}

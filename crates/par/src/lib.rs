@@ -78,7 +78,16 @@ struct Inner {
 
 impl Shared {
     fn push(&self, job: Job) {
-        self.inner.lock().expect("pool lock").queue.push_back(job);
+        let depth = {
+            let mut inner = self.inner.lock().expect("pool lock");
+            inner.queue.push_back(job);
+            inner.queue.len()
+        };
+        // Observability: tasks enqueued + queue-depth high-water mark,
+        // sampled while the push lock is held so the depth is exact.
+        let m = maybms_obs::metrics();
+        m.par_tasks.inc();
+        m.par_queue_depth_hwm.set_max(depth as u64);
         self.work.notify_one();
     }
 
@@ -552,6 +561,16 @@ mod tests {
         assert_eq!(pool().threads(), 3);
         assert_eq!(pool().par_map(vec![1, 2, 3], |x| x * 2), vec![2, 4, 6]);
         set_threads(before);
+    }
+
+    #[test]
+    fn queued_tasks_and_depth_hwm_are_counted() {
+        let before = maybms_obs::metrics().par_tasks.get();
+        let pool = ThreadPool::new(2);
+        let out = pool.par_map((0..16usize).collect::<Vec<_>>(), |i| i);
+        assert_eq!(out.len(), 16);
+        assert!(maybms_obs::metrics().par_tasks.get() >= before + 16);
+        assert!(maybms_obs::metrics().par_queue_depth_hwm.get() >= 1);
     }
 
     #[test]

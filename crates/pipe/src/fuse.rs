@@ -193,6 +193,14 @@ pub(crate) fn plan_vec<S: RowSource>(stages: &[Stage<S>], columnar: bool) -> Opt
     Some(VecPrefix { len, stages: vec_stages, pivot_cols })
 }
 
+/// Per-morsel, per-stage row tally: `(rows in, rows out)` for each
+/// stage, accumulated on the morsel's stack and flushed to an attached
+/// [`maybms_obs::PipelineStats`] once per morsel. Row counts per stage
+/// are independent of morsel boundaries, so their sums are identical to
+/// a sequential scan at any thread count or morsel size — attaching a
+/// collector never perturbs the determinism contract.
+pub(crate) type StageTally = [(u64, u64)];
+
 /// Run the columnar prefix over one morsel. Returns the surviving rows'
 /// batch (when the prefix projected), their source indices (for
 /// payloads, and for the row values when it did not), and the morsel's
@@ -210,6 +218,7 @@ pub(crate) fn run_vec<S: RowSource>(
     pre: &VecPrefix,
     source: &S,
     range: std::ops::Range<usize>,
+    tally: &mut StageTally,
 ) -> (Option<ColumnBatch>, Vec<u32>, Option<EngineError>) {
     let mut src: Vec<u32> = range.clone().map(|i| i as u32).collect();
     let mut batch = ColumnBatch::pivot(
@@ -219,7 +228,8 @@ pub(crate) fn run_vec<S: RowSource>(
     );
     let mut pending = None;
     let mut projected = false;
-    for stage in &pre.stages {
+    for (k, stage) in pre.stages.iter().enumerate() {
+        tally[k].0 += batch.rows() as u64;
         match stage {
             VecStage::Filter(p) => {
                 let (sel, err) = vector::selection(p, &batch);
@@ -250,6 +260,7 @@ pub(crate) fn run_vec<S: RowSource>(
                 projected = true;
             }
         }
+        tally[k].1 += batch.rows() as u64;
     }
     (projected.then_some(batch), src, pending)
 }
@@ -313,6 +324,7 @@ pub(crate) fn run_sink<S, Sk, MK>(
     pool: &ThreadPool,
     min_morsel: usize,
     columnar: bool,
+    stats: Option<&maybms_obs::PipelineStats>,
     make_sink: MK,
 ) -> std::result::Result<Vec<Sk>, Sk::Err>
 where
@@ -320,6 +332,20 @@ where
     Sk: MorselSink<S::Payload> + Send,
     MK: Fn() -> Sk + Sync,
 {
+    let metrics = maybms_obs::metrics();
+    metrics.pipelines.inc();
+    if let Some(st) = stats {
+        for (k, s) in stages.iter().enumerate() {
+            if let Stage::Probe { build, .. } = s {
+                st.stages[k].build_rows.add(build.len() as u64);
+            }
+        }
+    }
+    for s in stages {
+        if let Stage::Probe { build, .. } = s {
+            metrics.join_build_rows.add(build.len() as u64);
+        }
+    }
     // Morsel-local build tables for the probe stages, on this pool.
     let tables: Vec<Option<BuildTable>> = stages
         .iter()
@@ -344,13 +370,16 @@ where
     };
     let outputs: Vec<std::result::Result<Sk, Sk::Err>> =
         pool.par_map_chunks(source.len(), chunk, |range| {
+            let n_src = range.len() as u64;
+            let mut tally = vec![(0u64, 0u64); stages.len()];
             let mut sink = make_sink();
             if let Some(pre) = &pre {
                 // Columnar prefix, then the row walk for the rest.
                 let rest = &stages[pre.len..];
                 let rest_tables = &tables[pre.len..];
                 let mut scratch: Vec<Vec<Value>> = vec![Vec::new(); rest.len()];
-                let (batch, src, pending) = run_vec(pre, source, range);
+                let (prefix_tally, rest_tally) = tally.split_at_mut(pre.len);
+                let (batch, src, pending) = run_vec(pre, source, range, prefix_tally);
                 let mut rowbuf: Vec<Value> = Vec::new();
                 for (j, &si) in src.iter().enumerate() {
                     let (srow, payload) = source.row(si as usize);
@@ -368,6 +397,7 @@ where
                         rest_tables,
                         0,
                         &mut scratch,
+                        rest_tally,
                         &mut sink,
                     )?;
                 }
@@ -387,9 +417,17 @@ where
                         &tables,
                         0,
                         &mut scratch,
+                        &mut tally,
                         &mut sink,
                     )?;
                 }
+            }
+            let pushed = tally.last().map_or(n_src, |t| t.1);
+            metrics.morsels.inc();
+            metrics.rows_in.add(n_src);
+            metrics.rows_out.add(pushed);
+            if let Some(st) = stats {
+                st.flush_morsel(&tally);
             }
             Ok(sink)
         });
@@ -406,18 +444,23 @@ pub(crate) fn run<S: RowSource>(
     pool: &ThreadPool,
     min_morsel: usize,
     columnar: bool,
+    stats: Option<&maybms_obs::PipelineStats>,
 ) -> Result<FusedOutput<S::Payload>> {
     // All-filter pipelines stay a selection vector end to end (columnar
     // predicates produce the selection directly; no project means no
     // batch survives — the output shares the source's row storage).
     if stages.iter().all(|s| matches!(s, Stage::Filter(_))) {
+        let metrics = maybms_obs::metrics();
+        metrics.pipelines.inc();
         let pre = plan_vec(stages, columnar);
         let chunk = maybms_par::auto_chunk(source.len(), pool.threads(), min_morsel);
         let partials: Vec<Result<Vec<usize>>> =
             pool.par_map_chunks(source.len(), chunk, |range| {
+                let n_src = range.len() as u64;
+                let mut tally = vec![(0u64, 0u64); stages.len()];
                 let (src, pending, start) = match &pre {
                     Some(pre) => {
-                        let (_, src, pending) = run_vec(pre, source, range);
+                        let (_, src, pending) = run_vec(pre, source, range, &mut tally);
                         (src, pending, pre.len)
                     }
                     None => (range.map(|i| i as u32).collect(), None, 0),
@@ -425,16 +468,25 @@ pub(crate) fn run<S: RowSource>(
                 let mut sel = Vec::new();
                 'row: for &si in &src {
                     let (row, _) = source.row(si as usize);
-                    for s in &stages[start..] {
+                    for (k, s) in stages[start..].iter().enumerate() {
                         let Stage::Filter(p) = s else { unreachable!() };
+                        tally[start + k].0 += 1;
                         if !p.eval_predicate_values(row)? {
                             continue 'row;
                         }
+                        tally[start + k].1 += 1;
                     }
                     sel.push(si as usize);
                 }
                 if let Some(e) = pending {
                     return Err(e);
+                }
+                let pushed = tally.last().map_or(n_src, |t| t.1);
+                metrics.morsels.inc();
+                metrics.rows_in.add(n_src);
+                metrics.rows_out.add(pushed);
+                if let Some(st) = stats {
+                    st.flush_morsel(&tally);
                 }
                 Ok(sel)
             });
@@ -447,7 +499,7 @@ pub(crate) fn run<S: RowSource>(
 
     // General fused path: push every source row through the stage chain
     // into a morsel-local batch.
-    let sinks = run_sink(source, stages, pool, min_morsel, columnar, || RowsSink {
+    let sinks = run_sink(source, stages, pool, min_morsel, columnar, stats, || RowsSink {
         batch: TupleBatch::new(),
         payloads: Vec::new(),
     })?;
@@ -464,6 +516,7 @@ pub(crate) fn run<S: RowSource>(
 /// is the reusable value buffer of the constructing stage at `depth` —
 /// taken out around the recursion and always restored, so the morsel
 /// allocates nothing after warmup even across evaluation errors.
+#[allow(clippy::too_many_arguments)]
 fn push_row<S: RowSource, Sk: MorselSink<S::Payload>>(
     row: &[Value],
     payload: &S::Payload,
@@ -471,15 +524,27 @@ fn push_row<S: RowSource, Sk: MorselSink<S::Payload>>(
     tables: &[Option<BuildTable>],
     depth: usize,
     scratch: &mut [Vec<Value>],
+    tally: &mut StageTally,
     sink: &mut Sk,
 ) -> std::result::Result<(), Sk::Err> {
     let Some(stage) = stages.get(depth) else {
         return sink.push(row, payload);
     };
+    tally[depth].0 += 1;
     match stage {
         Stage::Filter(p) => {
             if p.eval_predicate_values(row).map_err(Sk::Err::from)? {
-                push_row::<S, Sk>(row, payload, stages, tables, depth + 1, scratch, sink)?;
+                tally[depth].1 += 1;
+                push_row::<S, Sk>(
+                    row,
+                    payload,
+                    stages,
+                    tables,
+                    depth + 1,
+                    scratch,
+                    tally,
+                    sink,
+                )?;
             }
             Ok(())
         }
@@ -497,6 +562,7 @@ fn push_row<S: RowSource, Sk: MorselSink<S::Payload>>(
                 }
             }
             if result.is_ok() {
+                tally[depth].1 += 1;
                 result = push_row::<S, Sk>(
                     &vals,
                     payload,
@@ -504,6 +570,7 @@ fn push_row<S: RowSource, Sk: MorselSink<S::Payload>>(
                     tables,
                     depth + 1,
                     scratch,
+                    tally,
                     sink,
                 );
             }
@@ -524,6 +591,7 @@ fn push_row<S: RowSource, Sk: MorselSink<S::Payload>>(
                 vals.clear();
                 vals.extend_from_slice(row);
                 vals.extend_from_slice(brow);
+                tally[depth].1 += 1;
                 if let Err(e) = push_row::<S, Sk>(
                     &vals,
                     &joined,
@@ -531,6 +599,7 @@ fn push_row<S: RowSource, Sk: MorselSink<S::Payload>>(
                     tables,
                     depth + 1,
                     scratch,
+                    tally,
                     sink,
                 ) {
                     result = Err(e);

@@ -158,6 +158,7 @@ pub(crate) fn group_stream<S, A, E, NF, FF, MF>(
     pool: &ThreadPool,
     min_morsel: usize,
     columnar: bool,
+    stats: Option<&maybms_obs::PipelineStats>,
     new_state: NF,
     fold: FF,
     mut merge: MF,
@@ -170,19 +171,24 @@ where
     FF: Fn(&mut A, &[Value], &S::Payload) -> Result<(), E> + Sync,
     MF: FnMut(&mut A, A) -> Result<(), E>,
 {
-    let sinks = fuse::run_sink(source, stages, pool, min_morsel, columnar, || GroupSink {
-        table: GroupTable::new(),
-        key_exprs,
-        new_state: &new_state,
-        fold: &fold,
-        scratch: Vec::with_capacity(key_exprs.len()),
-    })?;
+    let sinks =
+        fuse::run_sink(source, stages, pool, min_morsel, columnar, stats, || GroupSink {
+            table: GroupTable::new(),
+            key_exprs,
+            new_state: &new_state,
+            fold: &fold,
+            scratch: Vec::with_capacity(key_exprs.len()),
+        })?;
     let mut merged = GroupTable::new();
     for sink in sinks {
         merged.merge_in(sink.table, &mut merge)?;
     }
     if key_exprs.is_empty() && merged.is_empty() {
         merged.entry(&[], &new_state);
+    }
+    maybms_obs::metrics().groups.add(merged.len() as u64);
+    if let Some(st) = stats {
+        st.groups.add(merged.len() as u64);
     }
     Ok(merged.into_parts())
 }

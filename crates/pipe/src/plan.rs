@@ -248,7 +248,7 @@ fn run(
     if const_empty {
         return Ok(Relation::empty(schema));
     }
-    match fuse::run(&source, &bound, pool, min_morsel, columnar)? {
+    match fuse::run(&source, &bound, pool, min_morsel, columnar, None)? {
         // All-filter pipeline: gather shares rows with the source,
         // exactly like a chain of materialising filters would.
         FusedOutput::Select(sel) => Ok(source.gather(&sel)),
@@ -368,6 +368,7 @@ fn run_grouped_aggregate(
         pool,
         min_morsel,
         columnar,
+        None,
         || ops::new_agg_states(&bound_aggs),
         |states: &mut Vec<ops::AggState>, row: &[maybms_engine::Value], _: &()| {
             ops::fold_agg_row(states, &bound_aggs, row)

@@ -170,23 +170,43 @@ impl UStream {
         min_morsel: usize,
         columnar: bool,
     ) -> Result<URelation> {
+        self.collect_stats(pool, min_morsel, columnar, None)
+    }
+
+    /// [`UStream::collect_opts`] with an optional per-pipeline stats
+    /// collector attached (see [`UStream::stats_skeleton`]). Collection
+    /// is allocation-light (per-morsel stack tallies, flushed once per
+    /// morsel) and never changes the output: stats are order-independent
+    /// sums, bit-identical at any thread count or morsel size.
+    pub fn collect_stats(
+        self,
+        pool: &ThreadPool,
+        min_morsel: usize,
+        columnar: bool,
+        stats: Option<&maybms_obs::PipelineStats>,
+    ) -> Result<URelation> {
         let UStream { source, stages, schema } = self;
         if stages.is_empty() {
             return Ok(source.with_schema(schema));
         }
-        match fuse::run(&source, &stages, pool, min_morsel, columnar)? {
+        let t0 = stats.map(|_| std::time::Instant::now());
+        let out = match fuse::run(&source, &stages, pool, min_morsel, columnar, stats)? {
             // Filter-only pipeline: gather shares rows (data + WSDs)
             // with the source, like chained `algebra::select`.
-            FusedOutput::Select(sel) => Ok(source.gather(&sel).with_schema(schema)),
-            FusedOutput::Rows(tuples, wsds) => Ok(URelation::new(
+            FusedOutput::Select(sel) => source.gather(&sel).with_schema(schema),
+            FusedOutput::Rows(tuples, wsds) => URelation::new(
                 schema,
                 tuples
                     .into_iter()
                     .zip(wsds)
                     .map(|(data, wsd)| UTuple::new(data, wsd))
                     .collect(),
-            )),
+            ),
+        };
+        if let (Some(st), Some(t0)) = (stats, t0) {
+            st.record_wall(t0.elapsed());
         }
+        Ok(out)
     }
 
     /// Run the pipeline with **grouped aggregation as the breaker**: every
@@ -246,21 +266,93 @@ impl UStream {
         FF: Fn(&mut A, &[Value], &Wsd) -> Result<()> + Sync,
         MF: FnMut(&mut A, A) -> Result<()>,
     {
+        self.collect_grouped_stats(group_exprs, pool, min_morsel, None, new_state, fold, merge)
+    }
+
+    /// [`UStream::collect_grouped_with`] with an optional per-pipeline
+    /// stats collector attached (same contract as
+    /// [`UStream::collect_stats`]; the collector's group counter records
+    /// the merged group count).
+    #[allow(clippy::too_many_arguments)]
+    pub fn collect_grouped_stats<A, NF, FF, MF>(
+        self,
+        group_exprs: &[Expr],
+        pool: &ThreadPool,
+        min_morsel: usize,
+        stats: Option<&maybms_obs::PipelineStats>,
+        new_state: NF,
+        fold: FF,
+        merge: MF,
+    ) -> Result<(Vec<Vec<Value>>, Vec<A>)>
+    where
+        A: Send,
+        NF: Fn() -> A + Sync,
+        FF: Fn(&mut A, &[Value], &Wsd) -> Result<()> + Sync,
+        MF: FnMut(&mut A, A) -> Result<()>,
+    {
         let UStream { source, stages, schema } = self;
         let bound: Vec<Expr> = group_exprs
             .iter()
             .map(|e| e.bind(&schema))
             .collect::<std::result::Result<_, EngineError>>()?;
-        crate::groupby::group_stream(
+        let t0 = stats.map(|_| std::time::Instant::now());
+        let out = crate::groupby::group_stream(
             &source,
             &stages,
             &bound,
             pool,
             min_morsel,
             crate::columnar_default(),
+            stats,
             new_state,
             fold,
             merge,
+        )?;
+        if let (Some(st), Some(t0)) = (stats, t0) {
+            st.record_wall(t0.elapsed());
+        }
+        Ok(out)
+    }
+
+    /// A [`maybms_obs::PipelineStats`] collector shaped for this
+    /// pipeline: one stage-stats slot per recorded stage, labelled like
+    /// [`UStream::describe`]'s lines. Register it on a
+    /// [`maybms_obs::QueryStats`] and pass it to
+    /// [`UStream::collect_stats`] / [`UStream::collect_grouped_stats`].
+    pub fn stats_skeleton(&self, label: impl Into<String>) -> maybms_obs::PipelineStats {
+        let vectorised = if crate::columnar_default() {
+            fuse::vector_prefix_len(&self.stages)
+        } else {
+            0
+        };
+        let labels: Vec<String> = self
+            .stages
+            .iter()
+            .enumerate()
+            .map(|(k, stage)| {
+                let vec_mark = if k < vectorised { " (vectorised)" } else { "" };
+                match stage {
+                    Stage::Filter(predicate) => format!("filter {predicate}{vec_mark}"),
+                    Stage::Project(exprs) => {
+                        let cols: Vec<String> =
+                            exprs.iter().map(|e| e.to_string()).collect();
+                        format!("project [{}]{vec_mark}", cols.join(", "))
+                    }
+                    Stage::Probe { left_keys, right_keys, .. } => {
+                        let keys: Vec<String> = left_keys
+                            .iter()
+                            .zip(right_keys)
+                            .map(|(l, r)| format!("#{l} = build #{r}"))
+                            .collect();
+                        format!("hash probe [{}]", keys.join(", "))
+                    }
+                }
+            })
+            .collect();
+        maybms_obs::PipelineStats::new(
+            label,
+            format!("{} stored rows", self.source.len()),
+            labels,
         )
     }
 

@@ -561,14 +561,19 @@ impl fmt::Display for ColumnDef {
 pub enum Statement {
     /// A query.
     Select(Query),
-    /// `EXPLAIN query` — runs the query and reports the optimized
-    /// evaluation structure: the pipelines the morsel-driven executor
-    /// fused, their stages, and the breakers between them (EXPLAIN
-    /// ANALYZE style — the substrate is in-memory, so running is the
-    /// cheapest way to an honest plan).
+    /// `EXPLAIN [ANALYZE] query` — runs the query and reports the
+    /// optimized evaluation structure: the pipelines the morsel-driven
+    /// executor fused, their stages, and the breakers between them (the
+    /// substrate is in-memory, so running is the cheapest way to an
+    /// honest plan). With `ANALYZE`, each pipeline additionally reports
+    /// measured per-stage row counts, morsels, wall time, and the
+    /// confidence-estimator effort.
     Explain {
         /// The explained query.
         query: Query,
+        /// `EXPLAIN ANALYZE`: attach the per-query stats collector and
+        /// print measured execution statistics.
+        analyze: bool,
     },
     /// `CREATE TABLE name (col type, …)`.
     CreateTable {
@@ -632,7 +637,10 @@ impl fmt::Display for Statement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Statement::Select(q) => write!(f, "{q}"),
-            Statement::Explain { query } => write!(f, "EXPLAIN {query}"),
+            Statement::Explain { query, analyze: false } => write!(f, "EXPLAIN {query}"),
+            Statement::Explain { query, analyze: true } => {
+                write!(f, "EXPLAIN ANALYZE {query}")
+            }
             Statement::CreateTable { name, columns } => {
                 write!(f, "CREATE TABLE {name} (")?;
                 for (i, c) in columns.iter().enumerate() {

@@ -157,7 +157,8 @@ impl Parser {
             | Some(Token::Kw(K::Pick)) => Ok(Statement::Select(self.query()?)),
             Some(Token::Kw(K::Explain)) => {
                 self.expect_kw(K::Explain)?;
-                Ok(Statement::Explain { query: self.query()? })
+                let analyze = self.eat_kw(K::Analyze);
+                Ok(Statement::Explain { query: self.query()?, analyze })
             }
             Some(Token::Kw(K::Create)) => self.create(),
             Some(Token::Kw(K::Insert)) => self.insert(),
@@ -776,10 +777,16 @@ mod tests {
     #[test]
     fn explain_statement_parses_and_roundtrips() {
         let stmt = parse_statement("explain select player from games where pts > 10").unwrap();
-        let Statement::Explain { query } = &stmt else { panic!("{stmt:?}") };
+        let Statement::Explain { query, analyze: false } = &stmt else { panic!("{stmt:?}") };
         assert_eq!(query.first.from.len(), 1);
         let printed = stmt.to_string();
         assert!(printed.starts_with("EXPLAIN SELECT"), "{printed}");
+        assert_eq!(parse_statement(&printed).unwrap(), stmt);
+        // EXPLAIN ANALYZE parses, roundtrips, and sets the flag.
+        let stmt = parse_statement("explain analyze select player from games").unwrap();
+        let Statement::Explain { analyze: true, .. } = &stmt else { panic!("{stmt:?}") };
+        let printed = stmt.to_string();
+        assert!(printed.starts_with("EXPLAIN ANALYZE SELECT"), "{printed}");
         assert_eq!(parse_statement(&printed).unwrap(), stmt);
         // EXPLAIN wraps a full query, UNION/ORDER BY included.
         assert!(parse_statement(

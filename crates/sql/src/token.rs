@@ -7,6 +7,7 @@ use std::fmt;
 #[allow(missing_docs)] // each variant is the keyword it names
 pub enum Keyword {
     All,
+    Analyze,
     And,
     As,
     Asc,
@@ -65,6 +66,7 @@ impl Keyword {
         use Keyword::*;
         let kw = match s.to_ascii_uppercase().as_str() {
             "ALL" => All,
+            "ANALYZE" => Analyze,
             "AND" => And,
             "AS" => As,
             "ASC" => Asc,

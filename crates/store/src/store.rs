@@ -224,6 +224,9 @@ impl Store {
         };
         let wal_bytes =
             vfs.read(WAL_FILE)?.len().saturating_sub(WAL_MAGIC.len()) as u64;
+        let m = maybms_obs::metrics();
+        m.recovery_replayed.set(replayed as u64);
+        m.recovery_truncated_tail.set(truncated_tail as u64);
         let durable_vars = wt.num_vars();
         let store = Store {
             vfs,
@@ -279,8 +282,12 @@ impl Store {
         };
         let rec = WalRecord { lsn: self.next_lsn, world_ext, op: op.clone() };
         let frame = wal::frame_record(&rec);
+        let t0 = std::time::Instant::now();
         let r = self.wal_file.append(&frame).and_then(|()| self.wal_file.sync());
         self.poison(r)?;
+        let m = maybms_obs::metrics();
+        m.wal_appends.inc();
+        m.wal_fsync_seconds.observe(t0.elapsed());
         self.next_lsn += 1;
         self.durable_vars = wt.num_vars();
         self.wal_bytes += frame.len() as u64;
@@ -290,6 +297,7 @@ impl Store {
     /// Write an atomic snapshot of the full state and reset the WAL.
     pub fn checkpoint(&mut self, tables: &Catalog, wt: &WorldTable) -> Result<()> {
         self.check_poisoned()?;
+        let t0 = std::time::Instant::now();
         let r = snapshot::write(self.vfs.as_ref(), self.next_lsn, tables, wt);
         self.poison(r)?;
         let r = Self::reset_wal(self.vfs.as_ref());
@@ -297,6 +305,9 @@ impl Store {
         self.durable_vars = wt.num_vars();
         self.wal_bytes = 0;
         self.has_snapshot = true;
+        let m = maybms_obs::metrics();
+        m.checkpoints.inc();
+        m.checkpoint_seconds.observe(t0.elapsed());
         Ok(())
     }
 
@@ -545,6 +556,30 @@ mod tests {
         assert!(matches!(err, StoreError::Poisoned { .. }), "{err}");
         let err = store.checkpoint(&Catalog::new(), &wt).unwrap_err();
         assert!(matches!(err, StoreError::Poisoned { .. }), "{err}");
+    }
+
+    #[test]
+    fn wal_and_checkpoint_metrics_accumulate() {
+        let m = maybms_obs::metrics();
+        let appends = m.wal_appends.get();
+        let fsyncs = m.wal_fsync_seconds.count();
+        let checkpoints = m.checkpoints.get();
+        let vfs = MemVfs::new();
+        let wt = WorldTable::new();
+        let (mut store, rec) = open_mem(&vfs);
+        store
+            .log(
+                &Op::CreateTable {
+                    name: "t".into(),
+                    schema: Schema::from_pairs(&[("a", DataType::Int)]),
+                },
+                &wt,
+            )
+            .unwrap();
+        store.checkpoint(&rec.tables, &wt).unwrap();
+        assert!(m.wal_appends.get() > appends);
+        assert!(m.wal_fsync_seconds.count() > fsyncs);
+        assert!(m.checkpoints.get() > checkpoints);
     }
 
     #[test]

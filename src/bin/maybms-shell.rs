@@ -21,12 +21,17 @@
 //!
 //! Meta commands: `\q` quit, `\d [table]` list/describe tables, `\w` world
 //! table summary, `\threads [N]` show/resize the execution pool,
-//! `\timing` toggle timing (on by default, so parallel speedups are
-//! visible per statement), `\i FILE` run a SQL script, `\checkpoint`
-//! snapshot the catalog and truncate the WAL, `\help`.
+//! `\timing [on|off]` toggle or set timing (on by default, so parallel
+//! speedups are visible per statement; the line also reports rows
+//! returned and pipelines executed), `\metrics` dump the process-wide
+//! metrics registry in Prometheus text format, `\slowlog [N|off]` log
+//! statements slower than N ms to stderr, `\i FILE` run a SQL script,
+//! `\checkpoint` snapshot the catalog and truncate the WAL, `\help`.
 //!
 //! `EXPLAIN <query>;` prints the morsel-driven executor's pipeline
-//! decomposition (fused stages and breakers) instead of the result.
+//! decomposition (fused stages and breakers) instead of the result;
+//! `EXPLAIN ANALYZE <query>;` adds measured per-stage row counts,
+//! morsel counts, wall times, and confidence-estimator effort.
 //!
 //! The execution pool honours `MAYBMS_THREADS` at startup (unset or `0`
 //! → all cores) and can be resized at runtime with `\threads N`.
@@ -195,7 +200,17 @@ fn execute(sql: &str, db: &mut MayBms, timing: bool) {
         Err(e) => println!("error: {e}"),
     }
     if timing {
-        println!("Time: {:.3} ms", t0.elapsed().as_secs_f64() * 1e3);
+        let stats = db
+            .last_stats()
+            .map(|s| {
+                format!(
+                    " ({} row(s), {} pipeline(s))",
+                    s.rows_returned.get(),
+                    s.pipeline_count()
+                )
+            })
+            .unwrap_or_default();
+        println!("Time: {:.3} ms{stats}", t0.elapsed().as_secs_f64() * 1e3);
     }
 }
 
@@ -207,14 +222,17 @@ fn handle_meta(cmd: &str, db: &mut MayBms, timing: &mut bool) -> bool {
     match head {
         "\\q" | "\\quit" => return false,
         "\\help" | "\\?" => {
-            println!("EXPLAIN <query>;  print the executed pipeline decomposition");
-            println!("\\d [table]   list tables / describe one");
-            println!("\\w           world-table summary (variables, worlds)");
-            println!("\\threads [N] show or set the execution pool size");
-            println!("\\timing      toggle per-statement timing (default on)");
-            println!("\\i FILE      execute a SQL script");
-            println!("\\checkpoint  snapshot the catalog atomically and truncate the WAL");
-            println!("\\q           quit");
+            println!("EXPLAIN <query>;          print the executed pipeline decomposition");
+            println!("EXPLAIN ANALYZE <query>;  …with measured per-stage rows, morsels, time");
+            println!("\\d [table]     list tables / describe one");
+            println!("\\w             world-table summary (variables, worlds)");
+            println!("\\threads [N]   show or set the execution pool size");
+            println!("\\timing [on|off] toggle or set per-statement timing (default on)");
+            println!("\\metrics       dump the engine metrics registry (Prometheus text format)");
+            println!("\\slowlog [N|off] log statements slower than N ms to stderr (0 = all)");
+            println!("\\i FILE        execute a SQL script");
+            println!("\\checkpoint    snapshot the catalog atomically and truncate the WAL");
+            println!("\\q             quit");
         }
         "\\d" => match arg {
             None => {
@@ -256,9 +274,37 @@ fn handle_meta(cmd: &str, db: &mut MayBms, timing: &mut bool) -> bool {
             }
         }
         "\\timing" => {
-            *timing = !*timing;
+            // Bare `\timing` toggles; an explicit argument sets the state
+            // (so `\timing off` in a script is idempotent).
+            match arg {
+                None => *timing = !*timing,
+                Some("on") => *timing = true,
+                Some("off") => *timing = false,
+                Some(other) => {
+                    println!("usage: \\timing [on|off]   (got `{other}`)");
+                    return true;
+                }
+            }
             println!("Timing is {}.", if *timing { "on" } else { "off" });
         }
+        "\\metrics" => print!("{}", maybms_obs::render_prometheus()),
+        "\\slowlog" => match arg {
+            None => match maybms_obs::slow_log_threshold_ms() {
+                Some(ms) => println!("Slow-query log: statements ≥ {ms} ms go to stderr."),
+                None => println!("Slow-query log is off."),
+            },
+            Some("off") => {
+                maybms_obs::set_slow_log_threshold(None);
+                println!("Slow-query log is off.");
+            }
+            Some(n) => match n.parse::<u64>() {
+                Ok(ms) => {
+                    maybms_obs::set_slow_log_threshold(Some(ms));
+                    println!("Slow-query log: statements ≥ {ms} ms go to stderr.");
+                }
+                Err(_) => println!("usage: \\slowlog [N|off]   (N in milliseconds)"),
+            },
+        },
         "\\checkpoint" => match db.checkpoint() {
             Ok(()) => match db.durability_status() {
                 Some(status) => {
@@ -352,8 +398,41 @@ mod tests {
         assert!(handle_meta("\\w", &mut db, &mut timing));
         assert!(handle_meta("\\timing", &mut db, &mut timing));
         assert!(timing);
+        assert!(handle_meta("\\metrics", &mut db, &mut timing));
+        assert!(handle_meta("\\slowlog", &mut db, &mut timing));
         assert!(handle_meta("\\nonsense", &mut db, &mut timing));
         assert!(!handle_meta("\\q", &mut db, &mut timing));
+    }
+
+    #[test]
+    fn timing_meta_accepts_explicit_state() {
+        // `\timing off` when already off must stay off (the old bare
+        // toggle flipped it back on); bare `\timing` still toggles.
+        let mut db = MayBms::new();
+        let mut timing = false;
+        assert!(handle_meta("\\timing off", &mut db, &mut timing));
+        assert!(!timing);
+        assert!(handle_meta("\\timing on", &mut db, &mut timing));
+        assert!(timing);
+        assert!(handle_meta("\\timing on", &mut db, &mut timing));
+        assert!(timing);
+        assert!(handle_meta("\\timing", &mut db, &mut timing));
+        assert!(!timing);
+        // An unknown argument is reported and changes nothing.
+        assert!(handle_meta("\\timing potato", &mut db, &mut timing));
+        assert!(!timing);
+    }
+
+    #[test]
+    fn slowlog_meta_sets_and_clears_threshold() {
+        let mut db = MayBms::new();
+        let mut timing = false;
+        assert!(handle_meta("\\slowlog 150", &mut db, &mut timing));
+        assert_eq!(maybms_obs::slow_log_threshold_ms(), Some(150));
+        assert!(handle_meta("\\slowlog off", &mut db, &mut timing));
+        assert_eq!(maybms_obs::slow_log_threshold_ms(), None);
+        assert!(handle_meta("\\slowlog potato", &mut db, &mut timing));
+        assert_eq!(maybms_obs::slow_log_threshold_ms(), None);
     }
 
     #[test]
