@@ -9,13 +9,26 @@
 //! writes `BENCH_baseline.json` with both numbers per workload. Later PRs
 //! re-run this to extend the measured trajectory.
 //!
-//! Usage: `exp_baseline [--quick] [--assert-overhead PCT] [output.json]`
+//! Usage: `exp_baseline [--quick] [--trace] [--assert-overhead PCT] [output.json]`
 //!   --quick               small sizes / few reps (CI smoke; result file
 //!                         still valid)
+//!   --trace               run with the tracing span subsystem enabled
+//!                         (ring sink attached, no file export) — CI runs
+//!                         the overhead gate once plain and once with
+//!                         this flag, so span emission stays inside the
+//!                         same near-zero-cost envelope
 //!   --assert-overhead PCT re-run the filter_project_chain pipeline with
 //!                         the stats collector detached vs attached and
 //!                         fail if the attached median exceeds PCT
 //!                         percent overhead (the near-zero-cost gate)
+//!
+//! Every per-variant latency is reported as `*_ms` (the p50 of the
+//! interleaved samples — same statistic the file has always recorded)
+//! plus `*_p99_ms` (nearest-rank p99; with default reps this is the
+//! worst observed sample, bounding tail noise rather than estimating a
+//! population quantile). The run object also records the process's
+//! sliding statement-latency windows (`statement_windows`) for every
+//! statement kind the run exercised.
 //!
 //! Each workload row also carries a `stats` object — process-wide
 //! `maybms-obs` metric deltas (morsels driven, scalar kernel fallbacks,
@@ -56,12 +69,30 @@ struct Outcome {
     name: &'static str,
     rows_in: usize,
     rows_out: usize,
-    naive_ms: f64,
-    optimized_ms: f64,
+    naive: Lat,
+    optimized: Lat,
     /// Set only for the three-way streaming workloads.
-    pipelined_ms: Option<f64>,
+    pipelined: Option<Lat>,
     /// Metric deltas accumulated over this workload's section.
     stats: StatDelta,
+}
+
+/// p50/p99 of one variant's interleaved samples (milliseconds).
+#[derive(Clone, Copy)]
+struct Lat {
+    p50: f64,
+    p99: f64,
+}
+
+/// Nearest-rank quantile over sorted samples.
+fn quantile_sorted(xs: &[f64], q: f64) -> f64 {
+    let rank = (q * xs.len() as f64).ceil() as usize;
+    xs[rank.clamp(1, xs.len()) - 1]
+}
+
+fn lat(mut xs: Vec<f64>) -> Lat {
+    xs.sort_by(f64::total_cmp);
+    Lat { p50: xs[xs.len() / 2], p99: quantile_sorted(&xs, 0.99) }
 }
 
 /// Process-wide `maybms-obs` metric deltas attributed to one workload
@@ -96,7 +127,7 @@ fn median(mut xs: Vec<f64>) -> f64 {
 }
 
 /// Interleave naive/optimized samples so slow drift hits both equally.
-fn compare<N, O>(reps: usize, mut naive_run: N, mut opt_run: O) -> (f64, f64, usize)
+fn compare<N, O>(reps: usize, mut naive_run: N, mut opt_run: O) -> (Lat, Lat, usize)
 where
     N: FnMut() -> usize,
     O: FnMut() -> usize,
@@ -113,7 +144,7 @@ where
         o_samples.push(t0.elapsed().as_secs_f64() * 1e3);
         assert_eq!(rows_out, o_rows, "naive and optimized disagree on cardinality");
     }
-    (median(n_samples), median(o_samples), rows_out)
+    (lat(n_samples), lat(o_samples), rows_out)
 }
 
 /// Three-way interleaved comparison: naive, materialized, pipelined.
@@ -122,7 +153,7 @@ fn compare3<N, O, P>(
     mut naive_run: N,
     mut opt_run: O,
     mut pipe_run: P,
-) -> (f64, f64, f64, usize)
+) -> (Lat, Lat, Lat, usize)
 where
     N: FnMut() -> usize,
     O: FnMut() -> usize,
@@ -145,12 +176,19 @@ where
         assert_eq!(rows_out, o_rows, "naive and materialized disagree on cardinality");
         assert_eq!(rows_out, p_rows, "materialized and pipelined disagree on cardinality");
     }
-    (median(n_samples), median(o_samples), median(p_samples), rows_out)
+    (lat(n_samples), lat(o_samples), lat(p_samples), rows_out)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    maybms_obs::trace::init_from_env();
+    let trace_on = args.iter().any(|a| a == "--trace");
+    if trace_on {
+        // Ring sink attached (spans recorded and evicted in-memory), no
+        // file export — the tracing-attached leg of the overhead gate.
+        maybms_obs::trace::set_enabled(true);
+    }
     let overhead_flag = args.iter().position(|a| a == "--assert-overhead");
     let assert_overhead: Option<f64> = overhead_flag.map(|i| {
         args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -183,9 +221,9 @@ fn main() {
         name: "filter_certain",
         rows_in: certain.len(),
         rows_out: out,
-        naive_ms: n,
-        optimized_ms: o,
-        pipelined_ms: None,
+        naive: n,
+        optimized: o,
+        pipelined: None,
         stats: take_delta(&mut mark),
     });
 
@@ -199,9 +237,9 @@ fn main() {
         name: "select_urel",
         rows_in: uncertain.len(),
         rows_out: out,
-        naive_ms: n,
-        optimized_ms: o,
-        pipelined_ms: None,
+        naive: n,
+        optimized: o,
+        pipelined: None,
         stats: take_delta(&mut mark),
     });
 
@@ -221,9 +259,9 @@ fn main() {
         name: "join_wide_certain",
         rows_in: cw.len(),
         rows_out: out,
-        naive_ms: n,
-        optimized_ms: o,
-        pipelined_ms: None,
+        naive: n,
+        optimized: o,
+        pipelined: None,
         stats: take_delta(&mut mark),
     });
     // naive::hash_join_u always builds its LEFT argument, the optimized
@@ -238,9 +276,9 @@ fn main() {
         name: "join_wide_urel",
         rows_in: uw.len(),
         rows_out: out,
-        naive_ms: n,
-        optimized_ms: o,
-        pipelined_ms: None,
+        naive: n,
+        optimized: o,
+        pipelined: None,
         stats: take_delta(&mut mark),
     });
 
@@ -257,9 +295,9 @@ fn main() {
         name: "join_selective_certain",
         rows_in: big.len(),
         rows_out: out,
-        naive_ms: n,
-        optimized_ms: o,
-        pipelined_ms: None,
+        naive: n,
+        optimized: o,
+        pipelined: None,
         stats: take_delta(&mut mark),
     });
     // As above: small build side for both (naive builds left, optimized
@@ -273,9 +311,9 @@ fn main() {
         name: "join_selective_urel",
         rows_in: ubig.len(),
         rows_out: out,
-        naive_ms: n,
-        optimized_ms: o,
-        pipelined_ms: None,
+        naive: n,
+        optimized: o,
+        pipelined: None,
         stats: take_delta(&mut mark),
     });
 
@@ -297,9 +335,9 @@ fn main() {
         name: "distinct_certain",
         rows_in: dup.len(),
         rows_out: out,
-        naive_ms: n,
-        optimized_ms: o,
-        pipelined_ms: None,
+        naive: n,
+        optimized: o,
+        pipelined: None,
         stats: take_delta(&mut mark),
     });
 
@@ -314,9 +352,9 @@ fn main() {
         name: "sort_certain",
         rows_in: certain.len(),
         rows_out: out,
-        naive_ms: n,
-        optimized_ms: o,
-        pipelined_ms: None,
+        naive: n,
+        optimized: o,
+        pipelined: None,
         stats: take_delta(&mut mark),
     });
 
@@ -347,9 +385,9 @@ fn main() {
         name: "repair_key",
         rows_in: repair_in.len(),
         rows_out: out,
-        naive_ms: n,
-        optimized_ms: o,
-        pipelined_ms: None,
+        naive: n,
+        optimized: o,
+        pipelined: None,
         stats: take_delta(&mut mark),
     });
 
@@ -374,9 +412,9 @@ fn main() {
         name: "pick_tuples",
         rows_in: pick_in.len(),
         rows_out: out,
-        naive_ms: n,
-        optimized_ms: o,
-        pipelined_ms: None,
+        naive: n,
+        optimized: o,
+        pipelined: None,
         stats: take_delta(&mut mark),
     });
 
@@ -394,9 +432,9 @@ fn main() {
         name: "join_selective_par4",
         rows_in: big.len(),
         rows_out: out,
-        naive_ms: n,
-        optimized_ms: o,
-        pipelined_ms: None,
+        naive: n,
+        optimized: o,
+        pipelined: None,
         stats: take_delta(&mut mark),
     });
 
@@ -410,9 +448,9 @@ fn main() {
         name: "join_wide_par4",
         rows_in: cw.len(),
         rows_out: out,
-        naive_ms: n,
-        optimized_ms: o,
-        pipelined_ms: None,
+        naive: n,
+        optimized: o,
+        pipelined: None,
         stats: take_delta(&mut mark),
     });
 
@@ -437,9 +475,9 @@ fn main() {
         name: "conf_dtree_par4",
         rows_in: cdnf.len(),
         rows_out: out,
-        naive_ms: n,
-        optimized_ms: o,
-        pipelined_ms: None,
+        naive: n,
+        optimized: o,
+        pipelined: None,
         stats: take_delta(&mut mark),
     });
 
@@ -467,9 +505,9 @@ fn main() {
         name: "karp_luby_par4",
         rows_in: kdnf.len(),
         rows_out: out,
-        naive_ms: n,
-        optimized_ms: o,
-        pipelined_ms: None,
+        naive: n,
+        optimized: o,
+        pipelined: None,
         stats: take_delta(&mut mark),
     });
 
@@ -523,9 +561,9 @@ fn main() {
         name: "filter_project_chain",
         rows_in: certain.len(),
         rows_out: out,
-        naive_ms: n,
-        optimized_ms: o,
-        pipelined_ms: Some(p),
+        naive: n,
+        optimized: o,
+        pipelined: Some(p),
         stats: take_delta(&mut mark),
     });
 
@@ -566,9 +604,9 @@ fn main() {
         name: "join_pipelined",
         rows_in: big.len(),
         rows_out: out,
-        naive_ms: n,
-        optimized_ms: o,
-        pipelined_ms: Some(p),
+        naive: n,
+        optimized: o,
+        pipelined: Some(p),
         stats: take_delta(&mut mark),
     });
 
@@ -623,9 +661,9 @@ fn main() {
         name: "group_by_certain",
         rows_in: certain.len(),
         rows_out: out,
-        naive_ms: n,
-        optimized_ms: o,
-        pipelined_ms: Some(p),
+        naive: n,
+        optimized: o,
+        pipelined: Some(p),
         stats: take_delta(&mut mark),
     });
 
@@ -709,9 +747,9 @@ fn main() {
         name: "group_by_conf",
         rows_in: uncertain.len(),
         rows_out: out,
-        naive_ms: n,
-        optimized_ms: o,
-        pipelined_ms: Some(p),
+        naive: n,
+        optimized: o,
+        pipelined: Some(p),
         stats: take_delta(&mut mark),
     });
 
@@ -801,9 +839,9 @@ fn main() {
         name: "expr_heavy_columnar",
         rows_in: expr_rel.len(),
         rows_out: out,
-        naive_ms: n,
-        optimized_ms: o,
-        pipelined_ms: Some(p),
+        naive: n,
+        optimized: o,
+        pipelined: Some(p),
         stats: take_delta(&mut mark),
     });
 
@@ -874,9 +912,9 @@ fn main() {
         name: "cold_start",
         rows_in: extra_inserts + 19, // demo rows + amplified insert statements
         rows_out: out,
-        naive_ms: n,
-        optimized_ms: o,
-        pipelined_ms: Some(p),
+        naive: n,
+        optimized: o,
+        pipelined: Some(p),
         stats: take_delta(&mut mark),
     });
     let _ = std::fs::remove_dir_all(&cold_root);
@@ -954,7 +992,7 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"meta\": {{ \"scale\": {scale}, \"reps\": {reps}, \"quick\": {quick}, \
-         \"cores\": {cores}, \
+         \"cores\": {cores}, \"trace\": {trace_on}, \
          \"note\": \"naive = seed algorithms (deep clones, Vec<Value> join keys, \
          per-row WSD heap allocation); optimized = zero-clone core (selection \
          vectors, hashed keys, batched rows, inline WSDs); *_par4 workloads run \
@@ -986,27 +1024,37 @@ fn main() {
     );
     json.push_str("  \"workloads\": [\n");
     for (i, w) in outcomes.iter().enumerate() {
-        let speedup = w.naive_ms / w.optimized_ms;
-        let pipe_col = match w.pipelined_ms {
-            Some(p) => format!("{p:>12.3}"),
+        let speedup = w.naive.p50 / w.optimized.p50;
+        let pipe_col = match w.pipelined {
+            Some(p) => format!("{:>12.3}", p.p50),
             None => format!("{:>12}", "-"),
         };
         println!(
             "{:<24} {:>10} {:>10} {:>12.3} {:>12.3} {} {:>8.2}x",
-            w.name, w.rows_in, w.rows_out, w.naive_ms, w.optimized_ms, pipe_col, speedup
+            w.name, w.rows_in, w.rows_out, w.naive.p50, w.optimized.p50, pipe_col, speedup
         );
         let _ = write!(
             json,
             "    {{ \"name\": \"{}\", \"rows_in\": {}, \"rows_out\": {}, \
-             \"naive_ms\": {:.3}, \"optimized_ms\": {:.3}, \"speedup\": {:.2}",
-            w.name, w.rows_in, w.rows_out, w.naive_ms, w.optimized_ms, speedup
+             \"naive_ms\": {:.3}, \"naive_p99_ms\": {:.3}, \
+             \"optimized_ms\": {:.3}, \"optimized_p99_ms\": {:.3}, \"speedup\": {:.2}",
+            w.name,
+            w.rows_in,
+            w.rows_out,
+            w.naive.p50,
+            w.naive.p99,
+            w.optimized.p50,
+            w.optimized.p99,
+            speedup
         );
-        if let Some(p) = w.pipelined_ms {
+        if let Some(p) = w.pipelined {
             let _ = write!(
                 json,
-                ", \"pipelined_ms\": {:.3}, \"pipelined_speedup\": {:.2}",
-                p,
-                w.optimized_ms / p
+                ", \"pipelined_ms\": {:.3}, \"pipelined_p99_ms\": {:.3}, \
+                 \"pipelined_speedup\": {:.2}",
+                p.p50,
+                p.p99,
+                w.optimized.p50 / p.p50
             );
         }
         let _ = write!(
@@ -1018,7 +1066,29 @@ fn main() {
         json.push_str(" }");
         json.push_str(if i + 1 < outcomes.len() { ",\n" } else { "\n" });
     }
-    json.push_str("  ]\n}");
+    json.push_str("  ],\n");
+    // The cold_start section runs SQL through `MayBms::run_script`, so
+    // the process's sliding statement-latency windows have content:
+    // record their per-kind quantiles alongside the workload rows.
+    json.push_str("  \"statement_windows\": {");
+    for (i, kind) in maybms_obs::window::StatementKind::ALL.iter().enumerate() {
+        let snap = maybms_obs::window::window_for(*kind).snapshot();
+        let q = |q: f64| match snap.quantile(q) {
+            Some(seconds) => format!("{:.3}", seconds * 1e3),
+            None => "null".to_string(),
+        };
+        let _ = write!(
+            json,
+            "{}\"{}\": {{ \"count\": {}, \"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {} }}",
+            if i == 0 { " " } else { ", " },
+            kind.label(),
+            snap.count,
+            q(0.50),
+            q(0.95),
+            q(0.99)
+        );
+    }
+    json.push_str(" }\n}");
 
     // The baseline file is a *trajectory*: each full-scale run appends
     // (per ROADMAP, so the measured history survives across PRs). A

@@ -114,6 +114,15 @@ pub fn confidence_with_effort(
     wt: &WorldTable,
     method: ConfMethod,
 ) -> Result<(f64, ConfEffort)> {
+    let mut span = maybms_obs::trace::span("conf");
+    span.attr(
+        "method",
+        match method {
+            ConfMethod::Exact | ConfMethod::ExactWith(_) => "exact",
+            ConfMethod::Approx { .. } => "approx",
+            ConfMethod::Naive { .. } => "naive",
+        },
+    );
     let mut effort = ConfEffort { dnf_clauses: dnf.len() as u64, ..ConfEffort::default() };
     let p = match method {
         ConfMethod::Exact => {
@@ -155,6 +164,15 @@ pub fn confidence_with_effort(
     m.dtree_nodes.add(effort.dtree_nodes);
     m.mc_samples.add(effort.samples);
     m.mc_batches.add(effort.batches);
+    if span.is_active() {
+        span.attr("dnf_clauses", effort.dnf_clauses);
+        span.attr("dtree_nodes", effort.dtree_nodes);
+        span.attr("samples", effort.samples);
+        span.attr("batches", effort.batches);
+        if effort.rel_stderr > 0.0 {
+            span.attr("rel_stderr", effort.rel_stderr);
+        }
+    }
     Ok((p, effort))
 }
 

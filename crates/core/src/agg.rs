@@ -137,6 +137,10 @@ pub fn wsds_confidence(
         && independent_wsds(wsds.iter())
     {
         // SPROUT fast path: no d-tree, no sampling — just the clauses.
+        // Still a conf call, so it gets a `conf` span like the engines do.
+        let mut span = maybms_obs::trace::span("conf");
+        span.attr("method", "sprout");
+        span.attr("dnf_clauses", wsds.len() as u64);
         record_effort(stats, &ConfEffort { dnf_clauses: wsds.len() as u64, ..Default::default() });
         let mut none = 1.0;
         for wsd in wsds {
@@ -163,6 +167,9 @@ pub fn group_confidence(
         && matches!(method, ConfMethod::Exact)
         && independent_wsds(members.iter().map(|&i| &u.tuples()[i].wsd))
     {
+        let mut span = maybms_obs::trace::span("conf");
+        span.attr("method", "sprout");
+        span.attr("dnf_clauses", members.len() as u64);
         record_effort(
             stats,
             &ConfEffort { dnf_clauses: members.len() as u64, ..Default::default() },

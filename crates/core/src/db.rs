@@ -200,10 +200,15 @@ impl MayBms {
         self.tables.keys().map(String::as_str).collect()
     }
 
-    /// Parse and run one statement.
+    /// Parse and run one statement. The statement-root trace span opens
+    /// here so parsing shows up as a child next to execution.
     pub fn run(&mut self, sql: &str) -> Result<StatementResult> {
-        let stmt = parse_statement(sql)?;
-        self.execute(&stmt)
+        let root = maybms_obs::trace::span("statement");
+        let stmt = {
+            let _parse = maybms_obs::trace::span("parse");
+            parse_statement(sql)?
+        };
+        self.execute_traced(&stmt, root)
     }
 
     /// Parse and run a `;`-separated script, returning every result.
@@ -246,11 +251,28 @@ impl MayBms {
     /// [`maybms_obs::set_slow_log_threshold`]), slow statements are
     /// reported on stderr with their stats summary.
     pub fn execute(&mut self, stmt: &Statement) -> Result<StatementResult> {
+        let root = maybms_obs::trace::span("statement");
+        self.execute_traced(stmt, root)
+    }
+
+    /// [`MayBms::execute`] under an already-open statement-root span
+    /// ([`MayBms::run`] opens it before parsing).
+    fn execute_traced(
+        &mut self,
+        stmt: &Statement,
+        mut root: maybms_obs::trace::Span,
+    ) -> Result<StatementResult> {
         let stats = Arc::new(maybms_obs::QueryStats::new());
+        if root.is_active() {
+            stats.set_root_span(root.id());
+        }
         let m = maybms_obs::metrics();
         let fallbacks_before = m.scalar_fallbacks.get();
         let t0 = std::time::Instant::now();
-        let result = self.execute_inner(stmt, &stats);
+        let result = {
+            let _exec = maybms_obs::trace::span("execute");
+            self.execute_inner(stmt, &stats)
+        };
         let elapsed = t0.elapsed();
         // Scalar fallbacks are observable only inside the vector kernels,
         // so attribute this statement's delta of the process-wide counter
@@ -263,6 +285,22 @@ impl MayBms {
         }
         m.queries.inc();
         m.query_seconds.observe(elapsed);
+        // Statement kind for the sliding latency windows: conf-bearing
+        // queries are classified after execution (whether conf() ran is
+        // a property of the plan, not the statement's syntax alone).
+        let kind = match stmt {
+            Statement::Select(_) | Statement::Explain { .. } => {
+                if stats.conf_calls.get() > 0 {
+                    maybms_obs::window::StatementKind::Conf
+                } else {
+                    maybms_obs::window::StatementKind::Select
+                }
+            }
+            _ => maybms_obs::window::StatementKind::Dml,
+        };
+        maybms_obs::window::record_statement(kind, elapsed);
+        root.attr("kind", kind.label());
+        root.attr("rows", stats.rows_returned.get());
         if let Some(threshold) = maybms_obs::slow_log_threshold_ms() {
             if elapsed.as_millis() as u64 >= threshold {
                 m.slow_queries.inc();
@@ -271,6 +309,15 @@ impl MayBms {
                     elapsed.as_secs_f64() * 1e3,
                     stats.summary(),
                 );
+                maybms_obs::slow_log_write(&format!(
+                    "{{\"ms\":{:.3},\"kind\":\"{}\",\"statement\":\"{}\",\"summary\":\"{}\",\"root_span\":{},\"ok\":{}}}",
+                    elapsed.as_secs_f64() * 1e3,
+                    kind.label(),
+                    maybms_obs::trace::json_escaped(&stmt.to_string()),
+                    maybms_obs::trace::json_escaped(&stats.summary()),
+                    stats.root_span().unwrap_or(0),
+                    result.is_ok(),
+                ));
             }
         }
         self.last_stats = Some(stats);

@@ -21,13 +21,31 @@
 //! Surfaces: `EXPLAIN ANALYZE` (core renders [`QueryStats`]), the shell's
 //! `\metrics` command ([`render_prometheus`]), and the opt-in slow-query
 //! log ([`slow_log_threshold_ms`], `MAYBMS_SLOW_MS` / `\slowlog N`).
+//!
+//! Phase 2 adds three consumers on top of the registry: structured
+//! tracing spans with a ring sink and Chrome `trace_event` export
+//! ([`trace`]), sliding-window p50/p95/p99 latency tracking per
+//! statement kind ([`window`]), and a std-only Prometheus HTTP scrape
+//! endpoint ([`http`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod http;
+pub mod trace;
+pub mod window;
+
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::Duration;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Nanoseconds since the process trace epoch (first call wins). One
+/// monotonic clock shared by span timestamps and window rotation, so
+/// traces and latency windows line up.
+pub fn monotonic_nanos() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
 
 // ---------------------------------------------------------------------
 // Primitives
@@ -170,6 +188,15 @@ pub const TIME_BOUNDS: &[u64] = &[
     50_000_000, 100_000_000, 500_000_000, 1_000_000_000, 5_000_000_000,
 ];
 
+/// Statement-latency bounds: 50µs … 5s. Finer sub-millisecond buckets
+/// than [`TIME_BOUNDS`] so p50 of this box's sub-ms queries does not
+/// pin to the lowest bucket.
+pub const STATEMENT_BOUNDS: &[u64] = &[
+    50_000, 100_000, 250_000, 500_000, 1_000_000, 2_500_000, 5_000_000, 10_000_000,
+    25_000_000, 50_000_000, 100_000_000, 250_000_000, 500_000_000, 1_000_000_000,
+    5_000_000_000,
+];
+
 // ---------------------------------------------------------------------
 // The process-wide registry
 // ---------------------------------------------------------------------
@@ -233,7 +260,7 @@ static METRICS: Metrics = Metrics {
     par_queue_depth_hwm: Gauge::new(),
     queries: Counter::new(),
     slow_queries: Counter::new(),
-    query_seconds: Histogram::new(TIME_BOUNDS),
+    query_seconds: Histogram::new(STATEMENT_BOUNDS),
 };
 
 /// The process-wide metrics registry.
@@ -286,6 +313,7 @@ pub fn render_prometheus() -> String {
     histogram("maybms_store_wal_fsync_seconds", "WAL append+fsync latency", &m.wal_fsync_seconds);
     histogram("maybms_store_checkpoint_seconds", "Checkpoint duration", &m.checkpoint_seconds);
     histogram("maybms_query_seconds", "Per-statement wall time", &m.query_seconds);
+    window::render_prometheus_into(&mut out);
     out
 }
 
@@ -401,6 +429,9 @@ pub struct QueryStats {
     /// bits (positive floats order like their bit patterns, so
     /// `fetch_max` on bits is max on values).
     max_rel_stderr_bits: AtomicU64,
+    /// Root span id of the statement's trace tree (0 when tracing was
+    /// off) — links the slow-query log and tests to [`trace`] records.
+    root_span: AtomicU64,
 }
 
 impl QueryStats {
@@ -435,6 +466,19 @@ impl QueryStats {
     /// approximate computation ran).
     pub fn max_rel_stderr(&self) -> f64 {
         f64::from_bits(self.max_rel_stderr_bits.load(Ordering::Relaxed))
+    }
+
+    /// Link this query to its statement-root trace span.
+    pub fn set_root_span(&self, id: u64) {
+        self.root_span.store(id, Ordering::Relaxed);
+    }
+
+    /// The statement-root trace span id, or `None` if tracing was off.
+    pub fn root_span(&self) -> Option<u64> {
+        match self.root_span.load(Ordering::Relaxed) {
+            0 => None,
+            id => Some(id),
+        }
     }
 
     /// One-line summary for the slow-query log and the shell timing line.
@@ -491,6 +535,35 @@ pub fn set_slow_log_threshold(ms: Option<u64>) {
     // Make sure the env read cannot overwrite an explicit setting later.
     SLOW_INIT.call_once(|| {});
     SLOW_MS.store(ms.map_or(SLOW_OFF, |m| m.min(SLOW_OFF - 1)), Ordering::Relaxed);
+}
+
+static SLOW_LOG_FILE: OnceLock<Option<Mutex<std::fs::File>>> = OnceLock::new();
+
+/// Append one structured record (a complete JSON line, no trailing
+/// newline) to the `MAYBMS_SLOW_LOG_FILE` JSONL log. No-op unless the
+/// environment variable names a writable path (checked once).
+pub fn slow_log_write(line: &str) {
+    let file = SLOW_LOG_FILE.get_or_init(|| {
+        let path = std::env::var("MAYBMS_SLOW_LOG_FILE").ok()?;
+        let path = path.trim();
+        if path.is_empty() {
+            return None;
+        }
+        match std::fs::File::options().create(true).append(true).open(path) {
+            Ok(f) => Some(Mutex::new(f)),
+            Err(e) => {
+                eprintln!("maybms: cannot open MAYBMS_SLOW_LOG_FILE {path:?}: {e}");
+                None
+            }
+        }
+    });
+    if let Some(f) = file.as_ref() {
+        use std::io::Write as _;
+        let mut f = f.lock().expect("slow log file poisoned");
+        let _ = f.write_all(line.as_bytes());
+        let _ = f.write_all(b"\n");
+        let _ = f.flush();
+    }
 }
 
 #[cfg(test)]

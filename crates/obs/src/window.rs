@@ -1,0 +1,392 @@
+//! Sliding-window latency quantiles: a ring of fixed-bucket histogram
+//! frames rotated on a time base, merged over the last
+//! [`MERGE_WINDOWS`] windows to answer "p50/p95/p99 over the last
+//! minute" — per statement kind (plain select / conf-bearing / DML).
+//!
+//! Each [`WindowedHistogram`] keeps [`FRAME_COUNT`] frames; an
+//! observation lands in the frame addressed by `epoch % FRAME_COUNT`
+//! where `epoch = now / window_width`. The first observer of a new
+//! epoch CASes the frame's epoch forward and zeroes its buckets, so
+//! rotation is lock-free and costs nothing when no time boundary was
+//! crossed. (Observations racing a rotation can smear a count into the
+//! wrong window — these are statistics, not ledgers.) Quantiles use
+//! Prometheus-style linear interpolation within the winning bucket.
+//!
+//! All clock reads go through explicit `*_at(now_nanos)` entry points
+//! so rotation and expiry are unit-testable with a synthetic clock;
+//! the process-facing [`record_statement`] / [`latency_report`] wrap
+//! them with [`monotonic_nanos`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::{monotonic_nanos, MAX_BUCKETS, STATEMENT_BOUNDS};
+
+/// Frames kept per windowed histogram (must exceed [`MERGE_WINDOWS`]
+/// so an in-rotation frame never aliases one still being merged).
+pub const FRAME_COUNT: usize = 8;
+
+/// Windows merged into a snapshot (the "last N windows" of the report).
+pub const MERGE_WINDOWS: u64 = 6;
+
+/// Width of one window: 10 s, so reports cover the last minute.
+pub const WINDOW_NANOS: u64 = 10_000_000_000;
+
+/// One rotating histogram frame.
+#[derive(Debug)]
+struct Frame {
+    /// Which epoch this frame currently accumulates (0 = never used).
+    epoch: AtomicU64,
+    buckets: [AtomicU64; MAX_BUCKETS],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO_FRAME: Frame = Frame {
+    epoch: AtomicU64::new(0),
+    buckets: {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const Z: AtomicU64 = AtomicU64::new(0);
+        [Z; MAX_BUCKETS]
+    },
+    count: AtomicU64::new(0),
+    sum_nanos: AtomicU64::new(0),
+};
+
+/// A sliding-window histogram: fixed nanosecond bucket bounds, frames
+/// rotated on [`WINDOW_NANOS`] boundaries, mergeable into a
+/// [`WindowSnapshot`] covering the last [`MERGE_WINDOWS`] windows.
+#[derive(Debug)]
+pub struct WindowedHistogram {
+    bounds: &'static [u64],
+    window_nanos: u64,
+    frames: [Frame; FRAME_COUNT],
+}
+
+impl WindowedHistogram {
+    /// A zeroed windowed histogram over ascending nanosecond `bounds`.
+    pub const fn new(bounds: &'static [u64], window_nanos: u64) -> WindowedHistogram {
+        assert!(bounds.len() < MAX_BUCKETS);
+        assert!(window_nanos > 0);
+        WindowedHistogram { bounds, window_nanos, frames: [ZERO_FRAME; FRAME_COUNT] }
+    }
+
+    /// Epoch numbering starts at 1 so 0 can mean "frame never used".
+    fn epoch_of(&self, now_nanos: u64) -> u64 {
+        now_nanos / self.window_nanos + 1
+    }
+
+    /// Record an observation of `value_nanos` at clock reading
+    /// `now_nanos`.
+    pub fn observe_at(&self, value_nanos: u64, now_nanos: u64) {
+        let epoch = self.epoch_of(now_nanos);
+        let frame = &self.frames[(epoch % FRAME_COUNT as u64) as usize];
+        let cur = frame.epoch.load(Ordering::Acquire);
+        if cur != epoch {
+            // First observer of this window in this frame: claim it and
+            // zero the stale contents. Losers proceed directly — the
+            // winner's zeroing races their adds by at most a few counts.
+            if frame
+                .epoch
+                .compare_exchange(cur, epoch, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                for b in &frame.buckets {
+                    b.store(0, Ordering::Relaxed);
+                }
+                frame.count.store(0, Ordering::Relaxed);
+                frame.sum_nanos.store(0, Ordering::Relaxed);
+            }
+        }
+        let i = self.bounds.partition_point(|&b| b < value_nanos);
+        frame.buckets[i].fetch_add(1, Ordering::Relaxed);
+        frame.count.fetch_add(1, Ordering::Relaxed);
+        frame.sum_nanos.fetch_add(value_nanos, Ordering::Relaxed);
+    }
+
+    /// Record a duration observed "now".
+    pub fn observe(&self, d: Duration) {
+        self.observe_at(d.as_nanos().min(u64::MAX as u128) as u64, monotonic_nanos());
+    }
+
+    /// Merge the frames covering the last [`MERGE_WINDOWS`] windows as
+    /// of clock reading `now_nanos`.
+    pub fn snapshot_at(&self, now_nanos: u64) -> WindowSnapshot {
+        let now_epoch = self.epoch_of(now_nanos);
+        let min_epoch = now_epoch.saturating_sub(MERGE_WINDOWS - 1);
+        let mut snap = WindowSnapshot {
+            bounds: self.bounds,
+            buckets: [0; MAX_BUCKETS],
+            count: 0,
+            sum_nanos: 0,
+        };
+        for frame in &self.frames {
+            let epoch = frame.epoch.load(Ordering::Acquire);
+            if epoch < min_epoch || epoch > now_epoch {
+                continue;
+            }
+            for (i, b) in frame.buckets.iter().enumerate() {
+                snap.buckets[i] += b.load(Ordering::Relaxed);
+            }
+            snap.count += frame.count.load(Ordering::Relaxed);
+            snap.sum_nanos += frame.sum_nanos.load(Ordering::Relaxed);
+        }
+        snap
+    }
+
+    /// [`snapshot_at`](WindowedHistogram::snapshot_at) "now".
+    pub fn snapshot(&self) -> WindowSnapshot {
+        self.snapshot_at(monotonic_nanos())
+    }
+}
+
+/// A point-in-time merge of a [`WindowedHistogram`]'s live frames.
+#[derive(Debug, Clone)]
+pub struct WindowSnapshot {
+    bounds: &'static [u64],
+    buckets: [u64; MAX_BUCKETS],
+    /// Observations inside the window.
+    pub count: u64,
+    /// Sum of observed values inside the window, in nanoseconds.
+    pub sum_nanos: u64,
+}
+
+impl WindowSnapshot {
+    /// Quantile `q` (0 < q ≤ 1) in seconds, linearly interpolated
+    /// within the winning bucket (the last finite bound caps the +Inf
+    /// bucket, as with Prometheus `histogram_quantile`). `None` when
+    /// the window holds no observations.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, &in_bucket) in self.buckets.iter().enumerate() {
+            cumulative += in_bucket;
+            if cumulative >= rank {
+                let last = *self.bounds.last().unwrap_or(&0) as f64;
+                if i >= self.bounds.len() {
+                    return Some(last / 1e9); // +Inf bucket: cap
+                }
+                let upper = self.bounds[i] as f64;
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] as f64 };
+                let into = (rank - (cumulative - in_bucket)) as f64;
+                return Some((lower + (upper - lower) * into / in_bucket as f64) / 1e9);
+            }
+        }
+        None // unreachable: cumulative == count >= rank by the end
+    }
+
+    /// Mean observed value in seconds (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum_nanos as f64 / self.count as f64 / 1e9)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-statement-kind tracking
+// ---------------------------------------------------------------------
+
+/// What kind of statement a latency observation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatementKind {
+    /// Query without confidence computation.
+    Select,
+    /// Query that ran at least one conf()/aconf()/tconf computation.
+    Conf,
+    /// Data/definition mutation (INSERT/UPDATE/DELETE/CREATE/…).
+    Dml,
+}
+
+impl StatementKind {
+    /// Label used in Prometheus series and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            StatementKind::Select => "select",
+            StatementKind::Conf => "conf",
+            StatementKind::Dml => "dml",
+        }
+    }
+
+    /// All kinds, in rendering order.
+    pub const ALL: [StatementKind; 3] =
+        [StatementKind::Select, StatementKind::Conf, StatementKind::Dml];
+}
+
+static SELECT_WINDOW: WindowedHistogram =
+    WindowedHistogram::new(STATEMENT_BOUNDS, WINDOW_NANOS);
+static CONF_WINDOW: WindowedHistogram =
+    WindowedHistogram::new(STATEMENT_BOUNDS, WINDOW_NANOS);
+static DML_WINDOW: WindowedHistogram =
+    WindowedHistogram::new(STATEMENT_BOUNDS, WINDOW_NANOS);
+
+/// The process-wide windowed histogram for `kind`.
+pub fn window_for(kind: StatementKind) -> &'static WindowedHistogram {
+    match kind {
+        StatementKind::Select => &SELECT_WINDOW,
+        StatementKind::Conf => &CONF_WINDOW,
+        StatementKind::Dml => &DML_WINDOW,
+    }
+}
+
+/// Record one statement's latency into its kind's sliding window.
+pub fn record_statement(kind: StatementKind, d: Duration) {
+    window_for(kind).observe(d);
+}
+
+/// The quantiles every surface reports.
+pub const REPORT_QUANTILES: [f64; 3] = [0.50, 0.95, 0.99];
+
+/// Append the `maybms_latency_window_*` families to a Prometheus
+/// exposition (NaN quantiles for kinds with an empty window, like
+/// Prometheus summaries).
+pub fn render_prometheus_into(out: &mut String) {
+    out.push_str(
+        "# HELP maybms_latency_window_seconds Per-kind statement latency quantiles over the sliding window\n# TYPE maybms_latency_window_seconds gauge\n",
+    );
+    let snaps: Vec<(StatementKind, WindowSnapshot)> =
+        StatementKind::ALL.iter().map(|&k| (k, window_for(k).snapshot())).collect();
+    for (kind, snap) in &snaps {
+        for q in REPORT_QUANTILES {
+            let v = snap.quantile(q).map_or("NaN".to_string(), |s| s.to_string());
+            out.push_str(&format!(
+                "maybms_latency_window_seconds{{kind=\"{}\",quantile=\"{q}\"}} {v}\n",
+                kind.label()
+            ));
+        }
+    }
+    out.push_str(
+        "# HELP maybms_latency_window_count Statements observed in the sliding window\n# TYPE maybms_latency_window_count gauge\n",
+    );
+    for (kind, snap) in &snaps {
+        out.push_str(&format!(
+            "maybms_latency_window_count{{kind=\"{}\"}} {}\n",
+            kind.label(),
+            snap.count
+        ));
+    }
+}
+
+/// Human-readable latency table — the `\latency` shell command.
+pub fn latency_report() -> String {
+    let mut out = format!(
+        "statement latency over the last {} windows of {} s:\n{:<8} {:>8} {:>12} {:>12} {:>12} {:>12}\n",
+        MERGE_WINDOWS,
+        WINDOW_NANOS / 1_000_000_000,
+        "kind",
+        "count",
+        "mean",
+        "p50",
+        "p95",
+        "p99",
+    );
+    let fmt = |v: Option<f64>| match v {
+        Some(s) => crate::trace::fmt_nanos((s * 1e9) as u64),
+        None => "-".to_string(),
+    };
+    for kind in StatementKind::ALL {
+        let snap = window_for(kind).snapshot();
+        out.push_str(&format!(
+            "{:<8} {:>8} {:>12} {:>12} {:>12} {:>12}\n",
+            kind.label(),
+            snap.count,
+            fmt(snap.mean()),
+            fmt(snap.quantile(0.50)),
+            fmt(snap.quantile(0.95)),
+            fmt(snap.quantile(0.99)),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static BOUNDS: &[u64] = &[1_000, 10_000, 100_000];
+    const W: u64 = 1_000_000_000; // 1 s windows for the tests
+
+    #[test]
+    fn observations_rotate_out_of_the_window() {
+        let h = WindowedHistogram::new(BOUNDS, W);
+        h.observe_at(500, 0);
+        h.observe_at(5_000, 100);
+        assert_eq!(h.snapshot_at(100).count, 2);
+        // Still visible MERGE_WINDOWS−1 windows later…
+        let edge = (MERGE_WINDOWS - 1) * W;
+        assert_eq!(h.snapshot_at(edge).count, 2);
+        // …gone one window after that.
+        assert_eq!(h.snapshot_at(edge + W).count, 0);
+    }
+
+    #[test]
+    fn frames_are_reused_after_wraparound() {
+        let h = WindowedHistogram::new(BOUNDS, W);
+        h.observe_at(500, 0);
+        // Same frame index FRAME_COUNT windows later: the old epoch's
+        // count must not leak into the new window.
+        let later = FRAME_COUNT as u64 * W;
+        h.observe_at(700, later);
+        let snap = h.snapshot_at(later);
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum_nanos, 700);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = WindowedHistogram::new(BOUNDS, W);
+        for _ in 0..10 {
+            h.observe_at(500, 0); // bucket 0: (0, 1µs]
+        }
+        let snap = h.snapshot_at(0);
+        // p50 = rank 5 of 10, all in bucket 0 → 0 + 1000·(5/10).
+        assert_eq!(snap.quantile(0.5), Some(0.0000005));
+        assert_eq!(snap.quantile(1.0), Some(0.000001));
+        // Overflow observations cap at the last finite bound.
+        h.observe_at(10_000_000, 0);
+        let snap = h.snapshot_at(0);
+        assert_eq!(snap.quantile(1.0), Some(0.0001));
+        assert_eq!(snap.count, 11);
+    }
+
+    #[test]
+    fn empty_window_has_no_quantiles() {
+        let h = WindowedHistogram::new(BOUNDS, W);
+        assert_eq!(h.snapshot_at(0).quantile(0.5), None);
+        assert_eq!(h.snapshot_at(0).mean(), None);
+    }
+
+    #[test]
+    fn multiple_windows_merge() {
+        let h = WindowedHistogram::new(BOUNDS, W);
+        h.observe_at(500, 0);
+        h.observe_at(5_000, W); // next window
+        h.observe_at(50_000, 2 * W); // next again
+        let snap = h.snapshot_at(2 * W);
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.sum_nanos, 55_500);
+        assert_eq!(snap.quantile(1.0), Some(0.0001));
+    }
+
+    #[test]
+    fn kind_windows_render() {
+        record_statement(StatementKind::Select, Duration::from_micros(80));
+        let mut out = String::new();
+        render_prometheus_into(&mut out);
+        assert!(out.contains("# TYPE maybms_latency_window_seconds gauge"), "{out}");
+        assert!(
+            out.contains("maybms_latency_window_seconds{kind=\"select\",quantile=\"0.5\"}"),
+            "{out}"
+        );
+        assert!(out.contains("maybms_latency_window_count{kind=\"dml\"} 0"), "{out}");
+        let report = latency_report();
+        assert!(report.contains("select"), "{report}");
+        assert!(report.contains("p99"), "{report}");
+    }
+}

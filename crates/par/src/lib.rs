@@ -312,7 +312,14 @@ impl<'env> Scope<'env> {
     {
         *self.state.pending.lock().expect("scope lock") += 1;
         let state = self.state.clone();
+        // Capture the spawning thread's trace context so spans created
+        // inside the task (conf calls, nested pipelines) parent to the
+        // span that was live at the spawn site, not to whatever happens
+        // to be current on the worker. Keeps span-tree *shape*
+        // independent of the thread count.
+        let trace_ctx = maybms_obs::trace::current_context();
         let task = move || {
+            let _trace = maybms_obs::trace::enter_context(trace_ctx);
             let result = catch_unwind(AssertUnwindSafe(f));
             if let Err(payload) = result {
                 state.panic.lock().expect("panic slot").get_or_insert(payload);

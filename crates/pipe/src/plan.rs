@@ -243,17 +243,22 @@ fn run(
     if pipe.stages.is_empty() {
         return Ok(source);
     }
+    let mut span = maybms_obs::trace::span("pipeline");
+    span.attr("stages", pipe.stages.len());
+    span.attr("source_rows", source.len());
     let (bound, schema, const_empty) =
         bind_stages(&pipe.stages, source.schema().clone(), catalog, pool, min_morsel, columnar)?;
     if const_empty {
         return Ok(Relation::empty(schema));
     }
-    match fuse::run(&source, &bound, pool, min_morsel, columnar, None)? {
+    let out = match fuse::run(&source, &bound, pool, min_morsel, columnar, None)? {
         // All-filter pipeline: gather shares rows with the source,
         // exactly like a chain of materialising filters would.
-        FusedOutput::Select(sel) => Ok(source.gather(&sel)),
-        FusedOutput::Rows(tuples, _) => Ok(Relation::new_unchecked(schema, tuples)),
-    }
+        FusedOutput::Select(sel) => source.gather(&sel),
+        FusedOutput::Rows(tuples, _) => Relation::new_unchecked(schema, tuples),
+    };
+    span.attr("rows_out", out.len());
+    Ok(out)
 }
 
 /// Bind a stage chain against the evolving row schema, recursively
@@ -406,41 +411,59 @@ fn run_source(
             }
         }
         Source::Values { schema, rows } => Relation::new(schema.clone(), rows.clone()),
-        Source::Breaker(b) => match &**b {
-            Breaker::Distinct { input } => {
-                Ok(ops::distinct(&run(input, catalog, pool, min_morsel, columnar)?))
-            }
-            Breaker::Sort { input, keys } => {
-                ops::sort(&run(input, catalog, pool, min_morsel, columnar)?, keys)
-            }
-            Breaker::Limit { input, n } => {
-                Ok(ops::limit(&run(input, catalog, pool, min_morsel, columnar)?, *n))
-            }
-            Breaker::Aggregate { input, group_exprs, group_names, aggs } => {
-                run_grouped_aggregate(
-                    input, group_exprs, group_names, aggs, catalog, pool, min_morsel,
-                    columnar,
-                )
-            }
-            Breaker::UnionAll { inputs } => {
-                if inputs.is_empty() {
-                    return Err(EngineError::InvalidOperator {
-                        message: "UNION of zero inputs".into(),
-                    });
+        Source::Breaker(b) => {
+            let kind = match &**b {
+                Breaker::Distinct { .. } => "distinct",
+                Breaker::Sort { .. } => "sort",
+                Breaker::Limit { .. } => "limit",
+                Breaker::Aggregate { .. } => "aggregate",
+                Breaker::UnionAll { .. } => "union_all",
+                Breaker::NestedLoopJoin { .. } => "nested_loop_join",
+            };
+            let mut span = maybms_obs::trace::span("breaker");
+            span.attr("kind", kind);
+            let out = match &**b {
+                Breaker::Distinct { input } => {
+                    Ok(ops::distinct(&run(input, catalog, pool, min_morsel, columnar)?))
                 }
-                let rels: Vec<Relation> = inputs
-                    .iter()
-                    .map(|p| run(p, catalog, pool, min_morsel, columnar))
-                    .collect::<Result<_>>()?;
-                let refs: Vec<&Relation> = rels.iter().collect();
-                ops::union_all(&refs)
+                Breaker::Sort { input, keys } => {
+                    ops::sort(&run(input, catalog, pool, min_morsel, columnar)?, keys)
+                }
+                Breaker::Limit { input, n } => {
+                    Ok(ops::limit(&run(input, catalog, pool, min_morsel, columnar)?, *n))
+                }
+                Breaker::Aggregate { input, group_exprs, group_names, aggs } => {
+                    run_grouped_aggregate(
+                        input, group_exprs, group_names, aggs, catalog, pool, min_morsel,
+                        columnar,
+                    )
+                }
+                Breaker::UnionAll { inputs } => {
+                    if inputs.is_empty() {
+                        return Err(EngineError::InvalidOperator {
+                            message: "UNION of zero inputs".into(),
+                        });
+                    }
+                    let rels: Vec<Relation> = inputs
+                        .iter()
+                        .map(|p| run(p, catalog, pool, min_morsel, columnar))
+                        .collect::<Result<_>>()?;
+                    let refs: Vec<&Relation> = rels.iter().collect();
+                    ops::union_all(&refs)
+                }
+                Breaker::NestedLoopJoin { left, right, predicate } => {
+                    ops::nested_loop_join(
+                        &run(left, catalog, pool, min_morsel, columnar)?,
+                        &run(right, catalog, pool, min_morsel, columnar)?,
+                        predicate.as_ref(),
+                    )
+                }
+            };
+            if let Ok(rel) = &out {
+                span.attr("rows_out", rel.len());
             }
-            Breaker::NestedLoopJoin { left, right, predicate } => ops::nested_loop_join(
-                &run(left, catalog, pool, min_morsel, columnar)?,
-                &run(right, catalog, pool, min_morsel, columnar)?,
-                predicate.as_ref(),
-            ),
-        },
+            out
+        }
     }
 }
 

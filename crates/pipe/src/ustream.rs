@@ -186,7 +186,14 @@ impl UStream {
         stats: Option<&maybms_obs::PipelineStats>,
     ) -> Result<URelation> {
         let UStream { source, stages, schema } = self;
+        // The span opens before the stage-less early return so pipeline
+        // span count always equals EXPLAIN ANALYZE's pipeline count
+        // (stage-less pipelines register stats too).
+        let mut span = maybms_obs::trace::span("pipeline");
+        span.attr("stages", stages.len());
+        span.attr("source_rows", source.len());
         if stages.is_empty() {
+            span.attr("rows_out", source.len());
             return Ok(source.with_schema(schema));
         }
         let t0 = stats.map(|_| std::time::Instant::now());
@@ -205,7 +212,11 @@ impl UStream {
         };
         if let (Some(st), Some(t0)) = (stats, t0) {
             st.record_wall(t0.elapsed());
+            // Morsel counts are thread-dependent — attrs are excluded
+            // from the determinism contract (unlike span labels/links).
+            span.attr("morsels", st.morsels.get());
         }
+        span.attr("rows_out", out.len());
         Ok(out)
     }
 
@@ -295,6 +306,10 @@ impl UStream {
             .iter()
             .map(|e| e.bind(&schema))
             .collect::<std::result::Result<_, EngineError>>()?;
+        let mut span = maybms_obs::trace::span("pipeline");
+        span.attr("breaker", "group");
+        span.attr("stages", stages.len());
+        span.attr("source_rows", source.len());
         let t0 = stats.map(|_| std::time::Instant::now());
         let out = crate::groupby::group_stream(
             &source,
@@ -310,7 +325,9 @@ impl UStream {
         )?;
         if let (Some(st), Some(t0)) = (stats, t0) {
             st.record_wall(t0.elapsed());
+            span.attr("morsels", st.morsels.get());
         }
+        span.attr("groups", out.0.len());
         Ok(out)
     }
 

@@ -156,6 +156,7 @@ impl Store {
     /// load the latest snapshot, replay the WAL tail, truncate any torn
     /// record. Returns the store plus the recovered catalog state.
     pub fn open(vfs: Arc<dyn Vfs>) -> Result<(Store, Recovered)> {
+        let mut span = maybms_obs::trace::span("recovery");
         // A stale staging file is volatile garbage from a crashed
         // checkpoint; clear it so it can never shadow anything.
         if vfs.exists(snapshot::SNAPSHOT_TMP)? {
@@ -227,6 +228,9 @@ impl Store {
         let m = maybms_obs::metrics();
         m.recovery_replayed.set(replayed as u64);
         m.recovery_truncated_tail.set(truncated_tail as u64);
+        span.attr("replayed", replayed);
+        span.attr("truncated_tail", truncated_tail as u64);
+        span.attr("has_snapshot", has_snapshot as u64);
         let durable_vars = wt.num_vars();
         let store = Store {
             vfs,
@@ -282,12 +286,18 @@ impl Store {
         };
         let rec = WalRecord { lsn: self.next_lsn, world_ext, op: op.clone() };
         let frame = wal::frame_record(&rec);
+        let mut span = maybms_obs::trace::span("wal_append");
+        span.attr("bytes", frame.len());
         let t0 = std::time::Instant::now();
-        let r = self.wal_file.append(&frame).and_then(|()| self.wal_file.sync());
+        let r = {
+            let _fsync = maybms_obs::trace::span("wal_fsync");
+            self.wal_file.append(&frame).and_then(|()| self.wal_file.sync())
+        };
         self.poison(r)?;
         let m = maybms_obs::metrics();
         m.wal_appends.inc();
         m.wal_fsync_seconds.observe(t0.elapsed());
+        span.attr("lsn", self.next_lsn);
         self.next_lsn += 1;
         self.durable_vars = wt.num_vars();
         self.wal_bytes += frame.len() as u64;
@@ -297,6 +307,8 @@ impl Store {
     /// Write an atomic snapshot of the full state and reset the WAL.
     pub fn checkpoint(&mut self, tables: &Catalog, wt: &WorldTable) -> Result<()> {
         self.check_poisoned()?;
+        let mut span = maybms_obs::trace::span("checkpoint");
+        span.attr("tables", tables.len());
         let t0 = std::time::Instant::now();
         let r = snapshot::write(self.vfs.as_ref(), self.next_lsn, tables, wt);
         self.poison(r)?;

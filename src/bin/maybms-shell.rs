@@ -24,9 +24,19 @@
 //! `\timing [on|off]` toggle or set timing (on by default, so parallel
 //! speedups are visible per statement; the line also reports rows
 //! returned and pipelines executed), `\metrics` dump the process-wide
-//! metrics registry in Prometheus text format, `\slowlog [N|off]` log
+//! metrics registry in Prometheus text format, `\latency` show the
+//! sliding-window p50/p95/p99 latency table per statement kind,
+//! `\trace [on|off|dump [N]]` control the tracing span subsystem and
+//! print recent statement span trees, `\slowlog [N|off]` log
 //! statements slower than N ms to stderr, `\i FILE` run a SQL script,
 //! `\checkpoint` snapshot the catalog and truncate the WAL, `\help`.
+//!
+//! With `--metrics-addr ADDR` (or `MAYBMS_METRICS_ADDR`) the shell
+//! serves the metrics registry over HTTP: `GET /metrics` returns the
+//! Prometheus text format, `GET /healthz` returns `ok`. Tracing can be
+//! pre-enabled with `MAYBMS_TRACE=1`; `MAYBMS_TRACE_FILE=trace.jsonl`
+//! additionally streams finished spans as Chrome `trace_event` JSON
+//! lines (load the file in `about:tracing` / Perfetto).
 //!
 //! `EXPLAIN <query>;` prints the morsel-driven executor's pipeline
 //! decomposition (fused stages and breakers) instead of the result;
@@ -42,17 +52,28 @@ use std::time::Instant;
 use maybms::{MayBms, QueryOutput, StatementResult};
 
 fn main() {
-    let mut db = match open_database(std::env::args().skip(1)) {
-        Ok(db) => db,
+    maybms_obs::trace::init_from_env();
+    let (mut db, config) = match open_database(std::env::args().skip(1)) {
+        Ok(pair) => pair,
         Err(message) => {
             eprintln!("error: {message}");
             std::process::exit(1);
         }
     };
+    let metrics_addr = config.metrics_addr.or_else(|| {
+        std::env::var("MAYBMS_METRICS_ADDR").ok().filter(|s| !s.is_empty())
+    });
+    let bound = metrics_addr.map(|addr| match maybms_obs::http::serve(&addr) {
+        Ok(local) => local,
+        Err(e) => {
+            eprintln!("error: cannot serve metrics on {addr}: {e}");
+            std::process::exit(1);
+        }
+    });
     let mut timing = true;
     let stdin = std::io::stdin();
     let mut buffer = String::new();
-    print_banner(&db);
+    print_banner(&db, bound);
     prompt(&buffer);
     for line in stdin.lock().lines() {
         let line = match line {
@@ -77,11 +98,21 @@ fn main() {
     }
 }
 
+/// Shell options beyond the database location.
+#[derive(Debug)]
+struct ShellConfig {
+    /// `--metrics-addr ADDR`: serve `GET /metrics` + `/healthz` here.
+    metrics_addr: Option<String>,
+}
+
 /// Parse command-line arguments and open the database. In-memory unless
 /// `--data-dir DIR` is given; a missing directory is created, a corrupt
 /// one is reported with the failing file and byte offset — never a panic.
-fn open_database(args: impl Iterator<Item = String>) -> Result<MayBms, String> {
+fn open_database(
+    args: impl Iterator<Item = String>,
+) -> Result<(MayBms, ShellConfig), String> {
     let mut data_dir: Option<String> = None;
+    let mut metrics_addr: Option<String> = None;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         if arg == "--data-dir" {
@@ -91,20 +122,31 @@ fn open_database(args: impl Iterator<Item = String>) -> Result<MayBms, String> {
             }
         } else if let Some(dir) = arg.strip_prefix("--data-dir=") {
             data_dir = Some(dir.to_string());
+        } else if arg == "--metrics-addr" {
+            match args.next() {
+                Some(addr) => metrics_addr = Some(addr),
+                None => {
+                    return Err("--metrics-addr requires an ADDR argument (e.g. 127.0.0.1:9187)".into())
+                }
+            }
+        } else if let Some(addr) = arg.strip_prefix("--metrics-addr=") {
+            metrics_addr = Some(addr.to_string());
         } else {
             return Err(format!(
-                "unknown argument `{arg}` (usage: maybms-shell [--data-dir DIR])"
+                "unknown argument `{arg}` (usage: maybms-shell [--data-dir DIR] [--metrics-addr ADDR])"
             ));
         }
     }
+    let config = ShellConfig { metrics_addr };
     match data_dir {
-        None => Ok(MayBms::new()),
+        None => Ok((MayBms::new(), config)),
         Some(dir) => MayBms::open(&dir)
+            .map(|db| (db, config))
             .map_err(|e| format!("cannot open data directory {dir}: {e}")),
     }
 }
 
-fn print_banner(db: &MayBms) {
+fn print_banner(db: &MayBms, metrics: Option<std::net::SocketAddr>) {
     println!("MayBMS shell — probabilistic database management system (SIGMOD 2009 reproduction)");
     println!(
         "Execution pool: {} thread(s) (MAYBMS_THREADS or \\threads N to change)",
@@ -128,6 +170,12 @@ fn print_banner(db: &MayBms) {
             }
         }
         None => println!("Durability: in-memory only (start with --data-dir DIR to persist)"),
+    }
+    if let Some(addr) = metrics {
+        println!("Metrics: serving http://{addr}/metrics (and /healthz)");
+    }
+    if maybms_obs::trace::enabled() {
+        println!("Tracing: on (\\trace dump shows recent statement span trees)");
     }
     println!("Type SQL terminated by `;`, or \\help for meta commands.\n");
 }
@@ -229,6 +277,9 @@ fn handle_meta(cmd: &str, db: &mut MayBms, timing: &mut bool) -> bool {
             println!("\\threads [N]   show or set the execution pool size");
             println!("\\timing [on|off] toggle or set per-statement timing (default on)");
             println!("\\metrics       dump the engine metrics registry (Prometheus text format)");
+            println!("\\latency       sliding-window p50/p95/p99 statement latency per kind");
+            println!("\\trace [on|off] enable/disable tracing spans (or show the state)");
+            println!("\\trace dump [N] print the last N statement span trees (default 5)");
             println!("\\slowlog [N|off] log statements slower than N ms to stderr (0 = all)");
             println!("\\i FILE        execute a SQL script");
             println!("\\checkpoint    snapshot the catalog atomically and truncate the WAL");
@@ -288,6 +339,41 @@ fn handle_meta(cmd: &str, db: &mut MayBms, timing: &mut bool) -> bool {
             println!("Timing is {}.", if *timing { "on" } else { "off" });
         }
         "\\metrics" => print!("{}", maybms_obs::render_prometheus()),
+        "\\latency" => print!("{}", maybms_obs::window::latency_report()),
+        "\\trace" => match arg {
+            None => println!(
+                "Tracing is {}.",
+                if maybms_obs::trace::enabled() { "on" } else { "off" }
+            ),
+            Some("on") => {
+                maybms_obs::trace::set_enabled(true);
+                println!("Tracing is on.");
+            }
+            Some("off") => {
+                maybms_obs::trace::set_enabled(false);
+                println!("Tracing is off.");
+            }
+            Some(rest) if rest == "dump" || rest.starts_with("dump ") => {
+                let n = rest.strip_prefix("dump").unwrap_or("").trim();
+                let n = if n.is_empty() { Ok(5) } else { n.parse::<usize>() };
+                match n {
+                    Ok(n) if n > 0 => {
+                        let dump = maybms_obs::trace::render_recent(n);
+                        if dump.is_empty() {
+                            println!(
+                                "(no spans recorded — is tracing on? try \\trace on)"
+                            );
+                        } else {
+                            print!("{dump}");
+                        }
+                    }
+                    _ => println!("usage: \\trace dump [N]   (N ≥ 1)"),
+                }
+            }
+            Some(other) => {
+                println!("usage: \\trace [on|off|dump [N]]   (got `{other}`)")
+            }
+        },
         "\\slowlog" => match arg {
             None => match maybms_obs::slow_log_threshold_ms() {
                 Some(ms) => println!("Slow-query log: statements ≥ {ms} ms go to stderr."),
@@ -399,9 +485,28 @@ mod tests {
         assert!(handle_meta("\\timing", &mut db, &mut timing));
         assert!(timing);
         assert!(handle_meta("\\metrics", &mut db, &mut timing));
+        assert!(handle_meta("\\latency", &mut db, &mut timing));
         assert!(handle_meta("\\slowlog", &mut db, &mut timing));
         assert!(handle_meta("\\nonsense", &mut db, &mut timing));
         assert!(!handle_meta("\\q", &mut db, &mut timing));
+    }
+
+    #[test]
+    fn trace_meta_toggles_and_dumps() {
+        let mut db = MayBms::new();
+        let mut timing = false;
+        let before = maybms_obs::trace::enabled();
+        assert!(handle_meta("\\trace on", &mut db, &mut timing));
+        assert!(maybms_obs::trace::enabled());
+        execute("create table trace_meta_t (a bigint);", &mut db, false);
+        assert!(handle_meta("\\trace dump", &mut db, &mut timing));
+        assert!(handle_meta("\\trace dump 2", &mut db, &mut timing));
+        assert!(handle_meta("\\trace dump potato", &mut db, &mut timing));
+        assert!(handle_meta("\\trace off", &mut db, &mut timing));
+        assert!(!maybms_obs::trace::enabled());
+        assert!(handle_meta("\\trace", &mut db, &mut timing));
+        assert!(handle_meta("\\trace potato", &mut db, &mut timing));
+        maybms_obs::trace::set_enabled(before);
     }
 
     #[test]
@@ -467,6 +572,13 @@ mod tests {
         assert!(open_database(args(&[])).is_ok());
         assert!(open_database(args(&["--data-dir"])).is_err());
         assert!(open_database(args(&["--bogus"])).is_err());
+        assert!(open_database(args(&["--metrics-addr"])).is_err());
+        let (_, config) =
+            open_database(args(&["--metrics-addr=127.0.0.1:0"])).unwrap();
+        assert_eq!(config.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+        let (_, config) =
+            open_database(args(&["--metrics-addr", "127.0.0.1:9187"])).unwrap();
+        assert_eq!(config.metrics_addr.as_deref(), Some("127.0.0.1:9187"));
     }
 
     #[test]
@@ -484,15 +596,15 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let dir_arg = format!("--data-dir={}", dir.display());
         {
-            let mut db = open_database(args(&[&dir_arg])).unwrap();
+            let (mut db, _) = open_database(args(&[&dir_arg])).unwrap();
             db.run("create table t (a bigint)").unwrap();
             db.run("insert into t values (7)").unwrap();
             let mut timing = false;
             assert!(handle_meta("\\checkpoint", &mut db, &mut timing));
             db.run("insert into t values (8)").unwrap(); // WAL tail on top
         }
-        let mut db = open_database(args(&[&dir_arg])).unwrap();
-        print_banner(&db); // must not panic on a durable database
+        let (mut db, _) = open_database(args(&[&dir_arg])).unwrap();
+        print_banner(&db, None); // must not panic on a durable database
         let r = db.query("select a from t").unwrap();
         assert_eq!(r.len(), 2);
         let _ = std::fs::remove_dir_all(&dir);
