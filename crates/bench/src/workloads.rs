@@ -280,6 +280,28 @@ pub fn expr_table(seed: u64, rows: usize) -> Relation {
     )
 }
 
+/// String-keyed workload table: `(s Text, v Int)` with `keys` distinct
+/// key strings (realistic identifier-ish lengths, so string hashing and
+/// equality have real work to do), heavy duplication, and ~1% NULL keys
+/// — the shape where the columnar store's dictionary encoding pays:
+/// DISTINCT and GROUP BY on `s` can run over u32 codes instead of
+/// hashing each string per row.
+pub fn string_keyed(seed: u64, rows: usize, keys: usize) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool: Vec<String> =
+        (0..keys.max(1)).map(|k| format!("customer-{k:06}-{:08x}", k * 2_654_435_761)).collect();
+    let mut data = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let s = if rng.gen_range(0..100) == 0 {
+            Value::Null
+        } else {
+            Value::str(pool[rng.gen_range(0..pool.len())].as_str())
+        };
+        data.push(vec![s, Value::Int(rng.gen_range(0..1000))]);
+    }
+    maybms_engine::rel(&[("s", DataType::Text), ("v", DataType::Int)], data)
+}
+
 /// E6 workload: a key-violating relation with `groups` keys ×
 /// `alternatives` rows per key and random positive weights.
 pub fn repair_input(seed: u64, groups: usize, alternatives: usize) -> Relation {

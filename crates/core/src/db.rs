@@ -88,13 +88,24 @@ impl MayBms {
     /// and crash-matrix tests drive the whole database through this.
     pub fn open_with_vfs(vfs: Arc<dyn Vfs>) -> Result<MayBms> {
         let (store, recovered) = Store::open(vfs)?;
+        let mut tables = recovered.tables;
+        // Recovered tables (row-image WAL replays, legacy snapshots) are
+        // compacted to the at-rest representation once, here — the same
+        // install discipline as live DDL/DML.
+        if maybms_engine::columnar_store_default() {
+            for t in tables.values_mut() {
+                if !t.is_columnar() {
+                    *t = t.compact();
+                }
+            }
+        }
         Ok(MayBms {
             recovery: Some(RecoveryReport {
-                tables: recovered.tables.len(),
+                tables: tables.len(),
                 replayed: recovered.replayed,
                 truncated_tail: recovered.truncated_tail,
             }),
-            tables: recovered.tables,
+            tables,
             wt: recovered.wt,
             conf: ConfContext::default(),
             store: Some(store),
@@ -130,11 +141,39 @@ impl MayBms {
     /// Callers validate before building the op; an apply failure after
     /// that is an internal invariant break.
     fn commit(&mut self, op: Op) -> Result<()> {
+        // Pivot full table images *before* logging so the WAL record
+        // carries the columnar representation (op tag 5) and recovery
+        // restores it without re-pivoting; the post-apply compact below
+        // then finds the installed table already columnar.
+        let op = match op {
+            Op::PutTable { name, table }
+                if maybms_engine::columnar_store_default() && !table.is_columnar() =>
+            {
+                Op::PutTable { name, table: table.compact() }
+            }
+            op => op,
+        };
         if let Some(store) = &mut self.store {
             store.log(&op, &self.wt)?;
         }
+        let affected = match &op {
+            Op::CreateTable { name, .. }
+            | Op::PutTable { name, .. }
+            | Op::DropTable { name } => name.clone(),
+            Op::InsertRows { table, .. } | Op::ReplaceRows { table, .. } => table.clone(),
+        };
         maybms_store::apply_op(&mut self.tables, op)
-            .map_err(|e| plan_err(format!("internal: logged op failed to apply: {e}")))
+            .map_err(|e| plan_err(format!("internal: logged op failed to apply: {e}")))?;
+        // Re-install the at-rest representation: the one pivot per
+        // statement the columnar store pays (gated like every install).
+        if maybms_engine::columnar_store_default() {
+            if let Some(t) = self.tables.get_mut(&affected) {
+                if !t.is_columnar() {
+                    *t = t.compact();
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Access the world table (variable registry).

@@ -24,10 +24,21 @@
 //!   all-NULL columns) without materialising it per row.
 //! * Float bits are preserved exactly (no normalisation on pivot), so
 //!   columnar execution is bit-identical to the row path.
+//! * [`ColumnData::Dict`] stores strings dictionary-encoded: a shared,
+//!   insertion-ordered [`StrDict`] of distinct `Arc<str>` entries plus a
+//!   `u32` code per row. Within one column, code equality ⇔ string
+//!   equality, so hashing / comparing / grouping can run over codes.
+//!   `value_at` decodes to the exact `Arc<str>` that was encoded (an
+//!   `Arc` bump), keeping the bijection.
+//!
+//! Every call to [`ColumnBatch::pivot`] bumps the process-wide
+//! `maybms_pipe_pivots_total` / `maybms_pipe_pivot_rows_total` counters,
+//! so "zero pivots end-to-end" is an observable claim, not an intention.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
+use crate::hash::FastMap;
 use crate::tuple::TupleBatch;
 use crate::types::Value;
 
@@ -77,6 +88,90 @@ impl NullMask {
         }
         out
     }
+
+    /// Mask for the contiguous rows `[start, start + len)`.
+    pub fn slice(&self, start: usize, len: usize) -> NullMask {
+        let mut out = NullMask::none();
+        if self.any() {
+            for j in 0..len {
+                if self.is_null(start + j) {
+                    out.set_null(j);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// An insertion-ordered dictionary of distinct strings, shared by every
+/// slice of a dictionary-encoded column via `Arc`.
+///
+/// Codes are assigned in first-appearance order, so encoding is
+/// deterministic for a given row order. Per-entry derived data (the
+/// precomputed key hashes joins and grouping use) is cached once per
+/// dictionary lifetime behind a [`OnceLock`].
+#[derive(Debug, Default)]
+pub struct StrDict {
+    entries: Vec<Arc<str>>,
+    lookup: FastMap<Arc<str>, u32>,
+    hashes: OnceLock<Vec<u64>>,
+}
+
+impl PartialEq for StrDict {
+    fn eq(&self, other: &StrDict) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl StrDict {
+    /// An empty dictionary.
+    pub fn new() -> StrDict {
+        StrDict::default()
+    }
+
+    /// The code for `s`, interning it on first sight.
+    pub fn intern(&mut self, s: &Arc<str>) -> u32 {
+        if let Some(&code) = self.lookup.get(s) {
+            return code;
+        }
+        let code = self.entries.len() as u32;
+        self.entries.push(s.clone());
+        self.lookup.insert(s.clone(), code);
+        code
+    }
+
+    /// The code for `s`, if already interned.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.lookup.get(s).copied()
+    }
+
+    /// The string for `code`.
+    #[inline]
+    pub fn get(&self, code: u32) -> &Arc<str> {
+        &self.entries[code as usize]
+    }
+
+    /// Number of distinct entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff no strings are interned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries, in code order.
+    pub fn entries(&self) -> &[Arc<str>] {
+        &self.entries
+    }
+
+    /// Per-entry derived values (e.g. key hashes), computed once per
+    /// dictionary by `f` and cached. `f` must be deterministic — every
+    /// caller of the same dictionary sees the first computation.
+    pub fn cached_hashes(&self, f: impl FnOnce(&[Arc<str>]) -> Vec<u64>) -> &[u64] {
+        self.hashes.get_or_init(|| f(&self.entries))
+    }
 }
 
 /// The physical storage of one column.
@@ -90,6 +185,15 @@ pub enum ColumnData {
     Bool(Vec<bool>),
     /// All non-null rows are `Value::Str`.
     Str(Vec<Arc<str>>),
+    /// All non-null rows are `Value::Str`, dictionary-encoded: row `i`
+    /// holds `dict.get(codes[i])`. NULL rows carry code 0 as a
+    /// placeholder and are marked in the column's mask.
+    Dict {
+        /// Per-row dictionary codes.
+        codes: Vec<u32>,
+        /// The shared, insertion-ordered dictionary.
+        dict: Arc<StrDict>,
+    },
     /// Mixed-variant (or otherwise untypable) rows: the per-row `Value`
     /// is authoritative, including its nulls.
     Values(Vec<Value>),
@@ -136,6 +240,14 @@ impl Column {
         Column { data: ColumnData::Str(v), nulls, len }
     }
 
+    /// A dictionary-encoded column from raw parts (the store codec's
+    /// decode path). Every non-null row's code must index into `dict`;
+    /// the caller validates.
+    pub fn from_dict(codes: Vec<u32>, dict: Arc<StrDict>, nulls: NullMask) -> Column {
+        let len = codes.len();
+        Column { data: ColumnData::Dict { codes, dict }, nulls, len }
+    }
+
     /// Build from owned values, choosing the tightest representation
     /// (typed vector, `Const` for all-NULL, `Values` for mixed).
     pub fn from_values(values: Vec<Value>) -> Column {
@@ -144,6 +256,14 @@ impl Column {
             b.push(v);
         }
         b.finish()
+    }
+
+    /// A mixed-variant column from raw parts, keeping the
+    /// [`ColumnData::Values`] representation as-is (the store codec's
+    /// decode path, where re-encoding must be byte-identical).
+    pub fn from_raw_values(values: Vec<Value>) -> Column {
+        let len = values.len();
+        Column { data: ColumnData::Values(values), nulls: NullMask::none(), len }
     }
 
     /// Number of rows.
@@ -226,6 +346,13 @@ impl Column {
                     Value::Str(v[i].clone())
                 }
             }
+            ColumnData::Dict { codes, dict } => {
+                if self.nulls.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Str(dict.get(codes[i]).clone())
+                }
+            }
         }
     }
 
@@ -247,6 +374,10 @@ impl Column {
             ColumnData::Str(v) => {
                 ColumnData::Str(sel.iter().map(|&i| v[i as usize].clone()).collect())
             }
+            ColumnData::Dict { codes, dict } => ColumnData::Dict {
+                codes: sel.iter().map(|&i| codes[i as usize]).collect(),
+                dict: dict.clone(),
+            },
             ColumnData::Values(v) => {
                 ColumnData::Values(sel.iter().map(|&i| v[i as usize].clone()).collect())
             }
@@ -265,9 +396,55 @@ impl Column {
             ColumnData::Float(v) => v.truncate(n),
             ColumnData::Bool(v) => v.truncate(n),
             ColumnData::Str(v) => v.truncate(n),
+            ColumnData::Dict { codes, .. } => codes.truncate(n),
             ColumnData::Values(v) => v.truncate(n),
         }
         self.len = n;
+    }
+
+    /// The contiguous rows `[start, start + len)` as a new column. A
+    /// typed copy of the subrange (primitive memcpy / code copy sharing
+    /// the dictionary `Arc`) — **not** a pivot: no per-value dispatch,
+    /// no row materialisation.
+    pub fn slice(&self, start: usize, len: usize) -> Column {
+        debug_assert!(start + len <= self.len);
+        let data = match &self.data {
+            ColumnData::Const(v) => {
+                return Column { data: ColumnData::Const(v.clone()), nulls: NullMask::none(), len }
+            }
+            ColumnData::Int(v) => ColumnData::Int(v[start..start + len].to_vec()),
+            ColumnData::Float(v) => ColumnData::Float(v[start..start + len].to_vec()),
+            ColumnData::Bool(v) => ColumnData::Bool(v[start..start + len].to_vec()),
+            ColumnData::Str(v) => ColumnData::Str(v[start..start + len].to_vec()),
+            ColumnData::Dict { codes, dict } => ColumnData::Dict {
+                codes: codes[start..start + len].to_vec(),
+                dict: dict.clone(),
+            },
+            ColumnData::Values(v) => ColumnData::Values(v[start..start + len].to_vec()),
+        };
+        Column { data, nulls: self.nulls.slice(start, len), len }
+    }
+
+    /// Dictionary-encode a `Str` column (first-appearance code order);
+    /// every other representation is returned unchanged. The at-rest
+    /// compaction path for string columns.
+    pub fn dict_encode(&self) -> Column {
+        match &self.data {
+            ColumnData::Str(v) => {
+                let mut dict = StrDict::new();
+                let codes: Vec<u32> = v
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| if self.nulls.is_null(i) { 0 } else { dict.intern(s) })
+                    .collect();
+                Column {
+                    data: ColumnData::Dict { codes, dict: Arc::new(dict) },
+                    nulls: self.nulls.clone(),
+                    len: self.len,
+                }
+            }
+            _ => self.clone(),
+        }
     }
 }
 
@@ -398,6 +575,9 @@ impl ColumnBatch {
         rows: impl Iterator<Item = &'a [Value]>,
         cols: &[usize],
     ) -> ColumnBatch {
+        let m = maybms_obs::metrics();
+        m.pivots.inc();
+        m.pivot_rows.add(n_rows as u64);
         let mut builders: Vec<ColumnBuilder> =
             (0..cols.len()).map(|_| ColumnBuilder::new()).collect();
         let mut seen = 0usize;
@@ -453,6 +633,25 @@ impl ColumnBatch {
         ColumnBatch {
             columns: self.columns.iter().map(|c| c.gather(sel)).collect(),
             rows: sel.len(),
+        }
+    }
+
+    /// The contiguous rows `[start, start + len)` of the columns at
+    /// `cols` (in that order) — the zero-pivot morsel path: typed
+    /// subrange copies, no row materialisation, no pivot counted.
+    pub fn slice_cols(&self, start: usize, len: usize, cols: &[usize]) -> ColumnBatch {
+        ColumnBatch {
+            columns: cols.iter().map(|&c| self.columns[c].slice(start, len)).collect(),
+            rows: len,
+        }
+    }
+
+    /// Dictionary-encode every `Str` column (see [`Column::dict_encode`])
+    /// — the at-rest compaction applied once at load/CTAS/INSERT.
+    pub fn dict_encode(&self) -> ColumnBatch {
+        ColumnBatch {
+            columns: self.columns.iter().map(Column::dict_encode).collect(),
+            rows: self.rows,
         }
     }
 
@@ -619,6 +818,91 @@ mod tests {
         let mut row = vec![Value::Int(9)];
         batch.write_row(2, &mut row);
         assert!(row.is_empty());
+    }
+
+    #[test]
+    fn dict_encode_roundtrips_and_shares_dictionary() {
+        let strs: Vec<Arc<str>> =
+            vec![Arc::from("a"), Arc::from("b"), Arc::from("a"), Arc::from("")];
+        let mut nulls = NullMask::none();
+        nulls.set_null(2);
+        let col = Column::from_strs(strs, nulls);
+        let d = col.dict_encode();
+        let ColumnData::Dict { codes, dict } = d.data() else {
+            panic!("expected dict encoding, got {:?}", d.data());
+        };
+        // First-appearance code order; the NULL slot carries placeholder 0.
+        assert_eq!(codes, &vec![0, 1, 0, 2]);
+        assert_eq!(dict.len(), 3);
+        assert_eq!(dict.get(0).as_ref(), "a");
+        assert_eq!(d.value_at(0), Value::str("a"));
+        assert_eq!(d.value_at(2), Value::Null);
+        assert_eq!(d.value_at(3), Value::str(""));
+        // Gather and slice keep the same dictionary Arc.
+        let g = d.gather(&[3, 0]);
+        let ColumnData::Dict { dict: gd, .. } = g.data() else { panic!() };
+        assert!(Arc::ptr_eq(dict, gd));
+        assert_eq!(g.value_at(0), Value::str(""));
+        let s = d.slice(1, 2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.value_at(0), Value::str("b"));
+        assert_eq!(s.value_at(1), Value::Null);
+    }
+
+    #[test]
+    fn slice_matches_value_at_for_every_representation() {
+        let cols = vec![
+            Column::from_values(vec![Value::Int(1), Value::Null, Value::Int(3), Value::Int(4)]),
+            Column::from_values(vec![
+                Value::Float(0.5),
+                Value::Float(-0.0),
+                Value::Null,
+                Value::Float(2.0),
+            ]),
+            Column::from_values(vec![
+                Value::str("x"),
+                Value::Null,
+                Value::str("y"),
+                Value::str("x"),
+            ])
+            .dict_encode(),
+            Column::from_values(vec![
+                Value::Int(1),
+                Value::str("mixed"),
+                Value::Null,
+                Value::Bool(true),
+            ]),
+            Column::from_const(Value::str("k"), 4),
+        ];
+        for col in cols {
+            for start in 0..col.len() {
+                for len in 0..=(col.len() - start) {
+                    let s = col.slice(start, len);
+                    assert_eq!(s.len(), len);
+                    for j in 0..len {
+                        assert_eq!(s.value_at(j), col.value_at(start + j));
+                        assert_eq!(s.is_null(j), col.is_null(start + j));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pivot_bumps_pivot_counters() {
+        let m = maybms_obs::metrics();
+        let (p0, r0) = (m.pivots.get(), m.pivot_rows.get());
+        let rows: Vec<Vec<Value>> = vec![vec![Value::Int(1)]; 5];
+        let _ = ColumnBatch::pivot(5, rows.iter().map(|r| r.as_slice()), &[0]);
+        assert_eq!(m.pivots.get(), p0 + 1);
+        assert_eq!(m.pivot_rows.get(), r0 + 5);
+        // slice_cols is the zero-pivot path: counters stay put.
+        let batch = ColumnBatch::pivot(5, rows.iter().map(|r| r.as_slice()), &[0]);
+        let (p1, r1) = (m.pivots.get(), m.pivot_rows.get());
+        let s = batch.slice_cols(1, 3, &[0]);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(m.pivots.get(), p1);
+        assert_eq!(m.pivot_rows.get(), r1);
     }
 
     #[test]

@@ -43,9 +43,34 @@ pub fn union_all(inputs: &[&Relation]) -> Result<Relation> {
 
 /// Duplicate elimination, preserving first occurrence order.
 ///
-/// Dedups by reference into a selection vector — no tuple is cloned until
-/// the surviving rows are gathered (and that clone is an `Arc` bump).
+/// A columnar-at-rest input whose single column is dictionary-encoded
+/// dedups on the u32 codes through a dense seen-bitmap — no row
+/// materialisation, no string hashing (codes are equal iff the strings
+/// are: the dictionary interns). Otherwise dedups tuples by reference
+/// into a selection vector — no tuple is cloned until the surviving rows
+/// are gathered (and that clone is an `Arc` bump).
 pub fn distinct(input: &Relation) -> Relation {
+    if let Some(batch) = input.at_rest() {
+        if let [col] = batch.columns() {
+            if let crate::column::ColumnData::Dict { codes, dict } = col.data() {
+                let mut seen = vec![false; dict.len()];
+                let mut seen_null = false;
+                let mut sel = Vec::new();
+                for (i, &c) in codes.iter().enumerate() {
+                    if col.is_null(i) {
+                        if !seen_null {
+                            seen_null = true;
+                            sel.push(i);
+                        }
+                    } else if !seen[c as usize] {
+                        seen[c as usize] = true;
+                        sel.push(i);
+                    }
+                }
+                return input.gather(&sel);
+            }
+        }
+    }
     let mut seen = FastSet::with_capacity_and_hasher(input.len(), Default::default());
     let mut sel = Vec::new();
     for (i, t) in input.tuples().iter().enumerate() {
@@ -106,6 +131,28 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert_eq!(out.tuples()[0].value(0), &Value::Int(2));
         assert_eq!(out.tuples()[1].value(0), &Value::Int(1));
+    }
+
+    #[test]
+    fn distinct_on_dict_encoded_columnar_store_matches_row_path() {
+        let r = rel(
+            &[("s", DataType::Text)],
+            vec![
+                vec!["b".into()],
+                vec![Value::Null],
+                vec!["a".into()],
+                vec!["b".into()],
+                vec![Value::Null],
+                vec!["a".into()],
+                vec!["c".into()],
+            ],
+        );
+        let c = r.compact();
+        assert!(c.is_columnar());
+        let got = distinct(&c);
+        let want = distinct(&r);
+        assert_eq!(got.tuples(), want.tuples());
+        assert_eq!(got.len(), 4); // b, NULL, a, c — first-seen order
     }
 
     #[test]

@@ -178,7 +178,7 @@ pub fn selection(pred: &Expr, batch: &ColumnBatch) -> (Vec<u32>, Option<(usize, 
             let dtype_value = match other {
                 ColumnData::Int(_) => Value::Int(0),
                 ColumnData::Float(_) => Value::Float(0.0),
-                ColumnData::Str(_) => Value::str(""),
+                ColumnData::Str(_) | ColumnData::Dict { .. } => Value::str(""),
                 _ => unreachable!("bool/const/values handled above"),
             };
             for i in 0..n {
@@ -487,8 +487,57 @@ fn cmp(op: BinaryOp, l: &Column, r: &Column) -> KRes {
         }
         return Ok(Column::from_bools(out, nulls));
     }
+    // Dictionary fast path: equality against a string literal compares
+    // u32 codes (within one dictionary, code equality ⇔ string equality).
+    // A literal absent from the dictionary can match no row. Verdicts and
+    // NULL handling are exactly the string loop's.
+    if matches!(op, BinaryOp::Eq | BinaryOp::NotEq) {
+        let dict_eq = |codes: &[u32], dict: &crate::column::StrDict, col: &Column, s: &str| {
+            let want = dict.code_of(s);
+            let mut out = Vec::with_capacity(codes.len());
+            let mut nulls = NullMask::none();
+            for (i, &code) in codes.iter().enumerate() {
+                if col.is_null(i) {
+                    nulls.set_null(i);
+                    out.push(false);
+                } else {
+                    let hit = want == Some(code);
+                    out.push(if op == BinaryOp::Eq { hit } else { !hit });
+                }
+            }
+            Column::from_bools(out, nulls)
+        };
+        match (l.data(), r.data()) {
+            (ColumnData::Dict { codes, dict }, ColumnData::Const(Value::Str(s)))
+            | (ColumnData::Const(Value::Str(s)), ColumnData::Dict { codes, dict }) => {
+                let dcol = if matches!(l.data(), ColumnData::Dict { .. }) { l } else { r };
+                return Ok(dict_eq(codes, dict, dcol, s));
+            }
+            (
+                ColumnData::Dict { codes: lc, dict: ld },
+                ColumnData::Dict { codes: rc, dict: rd },
+            ) if Arc::ptr_eq(ld, rd) => {
+                let mut out = Vec::with_capacity(n);
+                let mut nulls = NullMask::none();
+                for i in 0..n {
+                    if l.is_null(i) || r.is_null(i) {
+                        nulls.set_null(i);
+                        out.push(false);
+                    } else {
+                        let hit = lc[i] == rc[i];
+                        out.push(if op == BinaryOp::Eq { hit } else { !hit });
+                    }
+                }
+                return Ok(Column::from_bools(out, nulls));
+            }
+            _ => {}
+        }
+    }
     let str_view = |c: &'_ Column| {
-        matches!(c.data(), ColumnData::Str(_) | ColumnData::Const(Value::Str(_)))
+        matches!(
+            c.data(),
+            ColumnData::Str(_) | ColumnData::Dict { .. } | ColumnData::Const(Value::Str(_))
+        )
     };
     let bool_view = |c: &'_ Column| {
         matches!(c.data(), ColumnData::Bool(_) | ColumnData::Const(Value::Bool(_)))

@@ -214,6 +214,8 @@ pub struct Metrics {
     pub scalar_fallbacks: Counter,
     pub join_build_rows: Counter,
     pub groups: Counter,
+    pub pivots: Counter,
+    pub pivot_rows: Counter,
     pub pipeline_seconds: Histogram,
     // maybms-conf: confidence computation.
     pub dtree_nodes: Counter,
@@ -245,6 +247,8 @@ static METRICS: Metrics = Metrics {
     scalar_fallbacks: Counter::new(),
     join_build_rows: Counter::new(),
     groups: Counter::new(),
+    pivots: Counter::new(),
+    pivot_rows: Counter::new(),
     pipeline_seconds: Histogram::new(TIME_BOUNDS),
     dtree_nodes: Counter::new(),
     dnf_clauses: Counter::new(),
@@ -287,6 +291,8 @@ pub fn render_prometheus() -> String {
     counter("maybms_pipe_scalar_fallbacks_total", "Vector-kernel batches redone row-by-row (scalar fallback)", &m.scalar_fallbacks);
     counter("maybms_pipe_join_build_rows_total", "Rows inserted into hash-join build tables", &m.join_build_rows);
     counter("maybms_pipe_groups_total", "Groups created by streaming grouped aggregation", &m.groups);
+    counter("maybms_pipe_pivots_total", "Row-major to column-major pivots performed (ColumnBatch::pivot calls)", &m.pivots);
+    counter("maybms_pipe_pivot_rows_total", "Rows pivoted from row-major to column-major", &m.pivot_rows);
     counter("maybms_conf_dtree_nodes_total", "Decomposition-tree nodes expanded by exact confidence computation", &m.dtree_nodes);
     counter("maybms_conf_dnf_clauses_total", "DNF clauses submitted to confidence computation", &m.dnf_clauses);
     counter("maybms_conf_mc_samples_total", "Monte Carlo samples drawn (fixed-count Karp-Luby draws plus DKLR consumed samples)", &m.mc_samples);

@@ -42,6 +42,17 @@ pub(crate) trait RowSource: Sync {
     fn len(&self) -> usize;
     /// Row `i`'s values and payload.
     fn row(&self, i: usize) -> (&[Value], &Self::Payload);
+    /// Row `i`'s payload alone — unlike [`RowSource::row`], never forces
+    /// a columnar-at-rest source to materialise its row view.
+    fn payload(&self, i: usize) -> &Self::Payload {
+        self.row(i).1
+    }
+    /// The at-rest column batch, when the source stores its rows
+    /// column-major. Kernel-eligible prefixes slice it directly instead
+    /// of pivoting each morsel (the zero-pivot scan path).
+    fn at_rest(&self) -> Option<&ColumnBatch> {
+        None
+    }
     /// Combine the payloads of a probe row and a build row; `None`
     /// drops the joined row.
     fn conjoin(a: &Self::Payload, b: &Self::Payload) -> Option<Self::Payload>;
@@ -56,6 +67,14 @@ impl RowSource for Relation {
 
     fn row(&self, i: usize) -> (&[Value], &()) {
         (self.tuples()[i].values(), &())
+    }
+
+    fn payload(&self, _i: usize) -> &() {
+        &()
+    }
+
+    fn at_rest(&self) -> Option<&ColumnBatch> {
+        Relation::at_rest(self)
     }
 
     fn conjoin(_: &(), _: &()) -> Option<()> {
@@ -73,6 +92,17 @@ impl RowSource for URelation {
     fn row(&self, i: usize) -> (&[Value], &Wsd) {
         let t = &self.tuples()[i];
         (t.data.values(), &t.wsd)
+    }
+
+    fn payload(&self, i: usize) -> &Wsd {
+        match URelation::at_rest(self) {
+            Some((_, wsds)) => &wsds[i],
+            None => &self.tuples()[i].wsd,
+        }
+    }
+
+    fn at_rest(&self) -> Option<&ColumnBatch> {
+        URelation::at_rest(self).map(|(batch, _)| batch)
     }
 
     fn conjoin(a: &Wsd, b: &Wsd) -> Option<Wsd> {
@@ -221,11 +251,17 @@ pub(crate) fn run_vec<S: RowSource>(
     tally: &mut StageTally,
 ) -> (Option<ColumnBatch>, Vec<u32>, Option<EngineError>) {
     let mut src: Vec<u32> = range.clone().map(|i| i as u32).collect();
-    let mut batch = ColumnBatch::pivot(
-        range.len(),
-        range.clone().map(|i| source.row(i).0),
-        &pre.pivot_cols,
-    );
+    // Columnar-at-rest sources hand the prefix typed column slices
+    // straight from storage — no pivot, no row materialisation. Row
+    // stores pivot this one morsel (counted by the pivot metrics).
+    let mut batch = match source.at_rest() {
+        Some(rest) => rest.slice_cols(range.start, range.len(), &pre.pivot_cols),
+        None => ColumnBatch::pivot(
+            range.len(),
+            range.clone().map(|i| source.row(i).0),
+            &pre.pivot_cols,
+        ),
+    };
     let mut pending = None;
     let mut projected = false;
     for (k, stage) in pre.stages.iter().enumerate() {
@@ -350,12 +386,9 @@ where
     let tables: Vec<Option<BuildTable>> = stages
         .iter()
         .map(|s| match s {
-            Stage::Probe { build, right_keys, .. } => Some(BuildTable::build(
-                build.len(),
-                |i| row_key_hash(build.row(i).0, right_keys),
-                pool,
-                min_morsel,
-            )),
+            Stage::Probe { build, right_keys, .. } => {
+                Some(build_table(build, right_keys, pool, min_morsel))
+            }
             _ => None,
         })
         .collect();
@@ -382,13 +415,13 @@ where
                 let (batch, src, pending) = run_vec(pre, source, range, prefix_tally);
                 let mut rowbuf: Vec<Value> = Vec::new();
                 for (j, &si) in src.iter().enumerate() {
-                    let (srow, payload) = source.row(si as usize);
+                    let payload = source.payload(si as usize);
                     let row: &[Value] = match &batch {
                         Some(b) => {
                             b.write_row(j, &mut rowbuf);
                             &rowbuf
                         }
-                        None => srow,
+                        None => source.row(si as usize).0,
                     };
                     push_row::<S, Sk>(
                         row,
@@ -434,6 +467,53 @@ where
     outputs.into_iter().collect()
 }
 
+/// Build a probe stage's hash table. A columnar-at-rest build side with
+/// a single dictionary-encoded key column hashes each *distinct*
+/// dictionary entry once (cached on the dictionary itself, so repeated
+/// joins against the same stored table never re-hash) and assigns row
+/// hashes by code lookup — no build-row materialisation. The hash values
+/// are exactly [`row_key_hash`]'s, so probe-side hashing, candidate
+/// verification, and NULL-key handling are unchanged.
+fn build_table<S: RowSource>(
+    build: &S,
+    right_keys: &[usize],
+    pool: &ThreadPool,
+    min_morsel: usize,
+) -> BuildTable {
+    if let ([k], Some(rest)) = (right_keys, build.at_rest()) {
+        let col = rest.column(*k);
+        if let maybms_engine::ColumnData::Dict { codes, dict } = col.data() {
+            let entry_hashes = dict.cached_hashes(|entries| {
+                entries
+                    .iter()
+                    .map(|s| {
+                        maybms_engine::ops::single_key_hash(&Value::Str(s.clone()))
+                            .expect("non-NULL string keys always hash")
+                    })
+                    .collect()
+            });
+            return BuildTable::build(
+                build.len(),
+                |i| {
+                    if col.is_null(i) {
+                        None // NULL keys never enter the table
+                    } else {
+                        Some(entry_hashes[codes[i] as usize])
+                    }
+                },
+                pool,
+                min_morsel,
+            );
+        }
+    }
+    BuildTable::build(
+        build.len(),
+        |i| row_key_hash(build.row(i).0, right_keys),
+        pool,
+        min_morsel,
+    )
+}
+
 /// Run `stages` over every row of `source`, morsel-parallel on `pool`,
 /// materialising the surviving rows. Morsel outputs merge in morsel
 /// order; the output (and error row, if any) is identical to a
@@ -466,17 +546,23 @@ pub(crate) fn run<S: RowSource>(
                     None => (range.map(|i| i as u32).collect(), None, 0),
                 };
                 let mut sel = Vec::new();
-                'row: for &si in &src {
-                    let (row, _) = source.row(si as usize);
-                    for (k, s) in stages[start..].iter().enumerate() {
-                        let Stage::Filter(p) = s else { unreachable!() };
-                        tally[start + k].0 += 1;
-                        if !p.eval_predicate_values(row)? {
-                            continue 'row;
+                if stages[start..].is_empty() {
+                    // Fully vectorised chain: the selection is final — on
+                    // a columnar-at-rest source no row is ever touched.
+                    sel.extend(src.iter().map(|&si| si as usize));
+                } else {
+                    'row: for &si in &src {
+                        let (row, _) = source.row(si as usize);
+                        for (k, s) in stages[start..].iter().enumerate() {
+                            let Stage::Filter(p) = s else { unreachable!() };
+                            tally[start + k].0 += 1;
+                            if !p.eval_predicate_values(row)? {
+                                continue 'row;
+                            }
+                            tally[start + k].1 += 1;
                         }
-                        tally[start + k].1 += 1;
+                        sel.push(si as usize);
                     }
-                    sel.push(si as usize);
                 }
                 if let Some(e) = pending {
                     return Err(e);

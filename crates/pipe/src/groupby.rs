@@ -114,6 +114,24 @@ impl<A> GroupTable<A> {
     pub fn into_parts(self) -> (Vec<Vec<Value>>, Vec<A>) {
         (self.keys, self.states)
     }
+
+    /// Open a new group, returning its index. The dense-code fast path
+    /// calls this only on a key's first sight (its own dense map
+    /// guarantees absence), so no bucket probe is needed — but the bucket
+    /// is still maintained, keeping the table valid as a merge target.
+    fn open_group(&mut self, key: Vec<Value>, state: A) -> u32 {
+        let g = self.keys.len() as u32;
+        self.buckets.entry(fast_hash_one(&key[..])).or_default().push(g);
+        self.keys.push(key);
+        self.states.push(state);
+        g
+    }
+
+    /// The state of group `g` (an index returned by
+    /// [`GroupTable::open_group`]).
+    fn state_mut(&mut self, g: u32) -> &mut A {
+        &mut self.states[g as usize]
+    }
 }
 
 /// The grouped morsel sink: evaluates the (bound) key expressions into a
@@ -171,17 +189,25 @@ where
     FF: Fn(&mut A, &[Value], &S::Payload) -> Result<(), E> + Sync,
     MF: FnMut(&mut A, A) -> Result<(), E>,
 {
-    let sinks =
-        fuse::run_sink(source, stages, pool, min_morsel, columnar, stats, || GroupSink {
-            table: GroupTable::new(),
-            key_exprs,
-            new_state: &new_state,
-            fold: &fold,
-            scratch: Vec::with_capacity(key_exprs.len()),
-        })?;
     let mut merged = GroupTable::new();
-    for sink in sinks {
-        merged.merge_in(sink.table, &mut merge)?;
+    if let Some(tables) =
+        dense_dict_groups(source, stages, key_exprs, pool, min_morsel, stats, &new_state, &fold)?
+    {
+        for table in tables {
+            merged.merge_in(table, &mut merge)?;
+        }
+    } else {
+        let sinks =
+            fuse::run_sink(source, stages, pool, min_morsel, columnar, stats, || GroupSink {
+                table: GroupTable::new(),
+                key_exprs,
+                new_state: &new_state,
+                fold: &fold,
+                scratch: Vec::with_capacity(key_exprs.len()),
+            })?;
+        for sink in sinks {
+            merged.merge_in(sink.table, &mut merge)?;
+        }
     }
     if key_exprs.is_empty() && merged.is_empty() {
         merged.entry(&[], &new_state);
@@ -191,6 +217,92 @@ where
         st.groups.add(merged.len() as u64);
     }
     Ok(merged.into_parts())
+}
+
+/// The dictionary-code grouped fold: a stage-less pipeline grouping a
+/// columnar-at-rest source by one dictionary-encoded column resolves
+/// each row's group through a **dense code → group map** (one slot per
+/// dictionary entry, NULLs in their own slot) instead of evaluating,
+/// hashing, and comparing the key string — the key `Value` is built once
+/// per *group*, not per row. Rows are written straight out of the column
+/// batch ([`maybms_engine::ColumnBatch::write_row`]): the lazy row view
+/// is never materialised and nothing pivots.
+///
+/// Returns `None` when the shape doesn't apply (any recorded stage, a
+/// non-columnar source, multiple or non-column keys, a non-dictionary
+/// key column). Determinism matches the hashed sink exactly: per-morsel
+/// first-seen group order, tables merged in morsel order.
+#[allow(clippy::too_many_arguments)]
+fn dense_dict_groups<S, A, E, NF, FF>(
+    source: &S,
+    stages: &[Stage<S>],
+    key_exprs: &[Expr],
+    pool: &ThreadPool,
+    min_morsel: usize,
+    stats: Option<&maybms_obs::PipelineStats>,
+    new_state: &NF,
+    fold: &FF,
+) -> Result<Option<Vec<GroupTable<A>>>, E>
+where
+    S: RowSource,
+    A: Send,
+    E: From<EngineError> + Send,
+    NF: Fn() -> A + Sync,
+    FF: Fn(&mut A, &[Value], &S::Payload) -> Result<(), E> + Sync,
+{
+    let [Expr::ColumnIdx(k)] = key_exprs else { return Ok(None) };
+    if !stages.is_empty() {
+        return Ok(None);
+    }
+    let Some(batch) = source.at_rest() else { return Ok(None) };
+    let col = batch.column(*k);
+    let maybms_engine::ColumnData::Dict { codes, dict } = col.data() else {
+        return Ok(None);
+    };
+    let metrics = maybms_obs::metrics();
+    metrics.pipelines.inc();
+    let chunk = if pool.threads() == 1 {
+        source.len().max(1)
+    } else {
+        maybms_par::auto_chunk(source.len(), pool.threads(), min_morsel)
+    };
+    let tables: Vec<Result<GroupTable<A>, E>> =
+        pool.par_map_chunks(source.len(), chunk, |range| {
+            let n_src = range.len() as u64;
+            let mut table: GroupTable<A> = GroupTable::new();
+            let mut dense: Vec<u32> = vec![u32::MAX; dict.len()];
+            let mut null_group = u32::MAX;
+            let mut rowbuf: Vec<Value> = Vec::new();
+            for i in range {
+                let g = if col.is_null(i) {
+                    if null_group == u32::MAX {
+                        null_group = table.open_group(vec![Value::Null], new_state());
+                    }
+                    null_group
+                } else {
+                    let c = codes[i] as usize;
+                    if dense[c] == u32::MAX {
+                        let key = Value::Str(dict.get(codes[i]).clone());
+                        dense[c] = table.open_group(vec![key], new_state());
+                    }
+                    dense[c]
+                };
+                batch.write_row(i, &mut rowbuf);
+                fold(table.state_mut(g), &rowbuf, source.payload(i))?;
+            }
+            metrics.morsels.inc();
+            metrics.rows_in.add(n_src);
+            metrics.rows_out.add(n_src);
+            if let Some(st) = stats {
+                st.flush_morsel(&[]);
+            }
+            Ok(table)
+        });
+    let mut out = Vec::with_capacity(tables.len());
+    for t in tables {
+        out.push(t?);
+    }
+    Ok(Some(out))
 }
 
 #[cfg(test)]

@@ -35,6 +35,16 @@
 //!   bookkeeping lives). The planner decides eligibility per stage at
 //!   plan time; `EXPLAIN` marks those stages `(vectorised)`. Off-switch:
 //!   `MAYBMS_COLUMNAR=0` (see [`columnar_default`]);
+//! * when the source table is **columnar at rest** (the catalog default
+//!   since the storage refactor — see `maybms_engine::catalog`), a
+//!   kernel-eligible scan skips the per-morsel pivot entirely: stages
+//!   borrow the stored column slices (dictionary codes included) and
+//!   the whole σ/π prefix runs **zero-pivot** — `EXPLAIN` marks the
+//!   source `(columnar, zero-pivot)` and the
+//!   `maybms_pipe_pivots_total` / `maybms_pipe_pivot_rows_total`
+//!   counters stay flat. Dictionary-encoded text columns feed the
+//!   hash-join build side and the dense GROUP BY key path with u32
+//!   codes and pre-cached hashes instead of strings;
 //! * morsels run on the `maybms-par` pool and morsel outputs are
 //!   concatenated in morsel order, preserving PR 2's determinism
 //!   contract: **pipelined output is bit-identical to the materialising

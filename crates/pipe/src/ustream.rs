@@ -366,11 +366,19 @@ impl UStream {
                 }
             })
             .collect();
-        maybms_obs::PipelineStats::new(
-            label,
-            format!("{} stored rows", self.source.len()),
-            labels,
-        )
+        maybms_obs::PipelineStats::new(label, self.source_mark(), labels)
+    }
+
+    /// Source label shared by [`UStream::describe`] and
+    /// [`UStream::stats_skeleton`] (so EXPLAIN and EXPLAIN ANALYZE print
+    /// the same line): columnar-at-rest sources are marked — their
+    /// vectorised prefix borrows column slices instead of pivoting.
+    fn source_mark(&self) -> String {
+        if self.source.is_columnar() {
+            format!("{} stored rows (columnar, zero-pivot)", self.source.len())
+        } else {
+            format!("{} stored rows", self.source.len())
+        }
     }
 
     /// One-line-per-stage description of the pipeline, used by
@@ -378,7 +386,7 @@ impl UStream {
     /// marked `(vectorised)`.
     pub fn describe(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "source: {} stored rows", self.source.len());
+        let _ = writeln!(out, "source: {}", self.source_mark());
         let vectorised = if crate::columnar_default() {
             fuse::vector_prefix_len(&self.stages)
         } else {

@@ -14,7 +14,9 @@
 
 use std::sync::Arc;
 
-use maybms_engine::{DataType, Field, Schema, Tuple, Value};
+use maybms_engine::{
+    Column, ColumnBatch, ColumnData, DataType, Field, NullMask, Schema, StrDict, Tuple, Value,
+};
 use maybms_urel::{Assignment, URelation, UTuple, Var, Wsd};
 
 /// A bounds-checked decode failure at a byte offset (relative to the
@@ -390,6 +392,231 @@ pub fn get_urelation(r: &mut Reader<'_>) -> DecodeResult<URelation> {
     Ok(URelation::new(Arc::new(schema), tuples))
 }
 
+// ---------------------------------------------------------------------
+// Columnar relation codec (the v2 representation-preserving format:
+// snapshot version \x02 bodies and WAL op tag 5 use it; v1 bodies and
+// op tags 0-4 keep the row-image layout above, so pre-refactor files
+// still decode)
+// ---------------------------------------------------------------------
+
+/// Sparse null positions: count + ascending row indices. Written for
+/// typed columns only (`Values`/`Const` carry nulls in the values).
+fn put_nullmask(w: &mut Writer, col: &Column) {
+    let nulls: Vec<u32> =
+        (0..col.len()).filter(|&i| col.nulls().is_null(i)).map(|i| i as u32).collect();
+    w.put_u32(nulls.len() as u32);
+    for i in nulls {
+        w.put_u32(i);
+    }
+}
+
+fn get_nullmask(r: &mut Reader<'_>, rows: usize) -> DecodeResult<NullMask> {
+    let n = r.count("null index")?;
+    let mut mask = NullMask::none();
+    for _ in 0..n {
+        let i = r.u32()? as usize;
+        if i >= rows {
+            return r.fail(format!("null index {i} out of range ({rows} rows)"));
+        }
+        mask.set_null(i);
+    }
+    Ok(mask)
+}
+
+/// Encode one column: a representation tag, the physical payload, and
+/// (for typed layouts) the null mask. The representation — typed vector
+/// vs dictionary vs `Values` vs `Const`, dictionary code order, NULL-slot
+/// placeholders — round-trips *exactly*, so re-encoding a decoded column
+/// is byte-identical (recovery relies on this to recompute WAL frame
+/// offsets).
+fn put_column(w: &mut Writer, col: &Column) {
+    match col.data() {
+        ColumnData::Int(v) => {
+            w.put_u8(0);
+            for &x in v {
+                w.put_i64(x);
+            }
+            put_nullmask(w, col);
+        }
+        ColumnData::Float(v) => {
+            w.put_u8(1);
+            for &x in v {
+                w.put_f64(x);
+            }
+            put_nullmask(w, col);
+        }
+        ColumnData::Bool(v) => {
+            w.put_u8(2);
+            for &x in v {
+                w.put_u8(x as u8);
+            }
+            put_nullmask(w, col);
+        }
+        ColumnData::Str(v) => {
+            w.put_u8(3);
+            for s in v {
+                w.put_str(s);
+            }
+            put_nullmask(w, col);
+        }
+        ColumnData::Dict { codes, dict } => {
+            w.put_u8(4);
+            w.put_u32(dict.len() as u32);
+            for e in dict.entries() {
+                w.put_str(e);
+            }
+            for &c in codes {
+                w.put_u32(c);
+            }
+            put_nullmask(w, col);
+        }
+        ColumnData::Values(v) => {
+            w.put_u8(5);
+            for x in v {
+                put_value(w, x);
+            }
+        }
+        ColumnData::Const(v) => {
+            w.put_u8(6);
+            put_value(w, v);
+        }
+    }
+}
+
+fn get_column(r: &mut Reader<'_>, rows: usize) -> DecodeResult<Column> {
+    // Preallocation cap: corrupt row counts fail element-by-element
+    // before large allocations, as everywhere else in this module.
+    let cap = rows.min(1 << 16);
+    Ok(match r.u8()? {
+        0 => {
+            let mut v = Vec::with_capacity(cap);
+            for _ in 0..rows {
+                v.push(r.i64()?);
+            }
+            Column::from_ints(v, get_nullmask(r, rows)?)
+        }
+        1 => {
+            let mut v = Vec::with_capacity(cap);
+            for _ in 0..rows {
+                v.push(r.f64()?);
+            }
+            Column::from_floats(v, get_nullmask(r, rows)?)
+        }
+        2 => {
+            let mut v = Vec::with_capacity(cap);
+            for _ in 0..rows {
+                v.push(r.u8()? != 0);
+            }
+            Column::from_bools(v, get_nullmask(r, rows)?)
+        }
+        3 => {
+            let mut v: Vec<Arc<str>> = Vec::with_capacity(cap);
+            for _ in 0..rows {
+                v.push(Arc::from(r.str()?.as_str()));
+            }
+            Column::from_strs(v, get_nullmask(r, rows)?)
+        }
+        4 => {
+            let n = r.count("dictionary entry")?;
+            let mut dict = StrDict::new();
+            for _ in 0..n {
+                let s: Arc<str> = Arc::from(r.str()?.as_str());
+                dict.intern(&s);
+            }
+            if dict.len() != n {
+                return r.fail("duplicate dictionary entry");
+            }
+            let mut codes = Vec::with_capacity(cap);
+            for _ in 0..rows {
+                codes.push(r.u32()?);
+            }
+            let nulls = get_nullmask(r, rows)?;
+            for (i, &c) in codes.iter().enumerate() {
+                if !nulls.is_null(i) && c as usize >= n {
+                    return r.fail(format!(
+                        "dictionary code {c} out of range ({n} entries)"
+                    ));
+                }
+            }
+            Column::from_dict(codes, Arc::new(dict), nulls)
+        }
+        5 => {
+            let mut v = Vec::with_capacity(cap);
+            for _ in 0..rows {
+                v.push(get_value(r)?);
+            }
+            Column::from_raw_values(v)
+        }
+        6 => Column::from_const(get_value(r)?, rows),
+        t => return r.fail(format!("unknown column tag {t}")),
+    })
+}
+
+/// Encode a U-relation preserving its storage representation: a
+/// columnar-at-rest table serializes its column batch (dictionaries
+/// included) and WSD sidecar; a row-major table serializes the row image
+/// via [`put_urelation`]. One leading tag byte says which.
+pub fn put_urelation_any(w: &mut Writer, u: &URelation) {
+    match u.at_rest() {
+        None => {
+            w.put_u8(0);
+            put_urelation(w, u);
+        }
+        Some((batch, wsds)) => {
+            w.put_u8(1);
+            put_schema(w, u.schema());
+            w.put_u32(batch.rows() as u32);
+            w.put_u32(batch.arity() as u32);
+            for col in batch.columns() {
+                put_column(w, col);
+            }
+            for wsd in wsds {
+                put_wsd(w, wsd);
+            }
+        }
+    }
+}
+
+/// Decode a [`put_urelation_any`] image, restoring the exact storage
+/// representation — recovery of a columnar table never re-pivots.
+pub fn get_urelation_any(r: &mut Reader<'_>) -> DecodeResult<URelation> {
+    match r.u8()? {
+        0 => get_urelation(r),
+        1 => {
+            let schema = get_schema(r)?;
+            let rows = r.u32()? as usize;
+            let ncols = r.count("column")?;
+            if ncols != schema.len() {
+                return r.fail(format!(
+                    "column count {ncols} does not match schema arity {}",
+                    schema.len()
+                ));
+            }
+            let mut cols = Vec::with_capacity(ncols);
+            for k in 0..ncols {
+                let c = get_column(r, rows)?;
+                if c.len() != rows {
+                    return r.fail(format!(
+                        "column {k} length {} does not match row count {rows}",
+                        c.len()
+                    ));
+                }
+                cols.push(c);
+            }
+            let mut wsds = Vec::with_capacity(rows.min(1 << 16));
+            for _ in 0..rows {
+                wsds.push(get_wsd(r)?);
+            }
+            Ok(URelation::from_batch(
+                Arc::new(schema),
+                ColumnBatch::from_columns(cols, rows),
+                wsds,
+            ))
+        }
+        t => r.fail(format!("unknown relation representation tag {t}")),
+    }
+}
+
 /// Encode a list of probability distributions (world-table tail).
 pub fn put_dists(w: &mut Writer, dists: &[Vec<f64>]) {
     w.put_u32(dists.len() as u32);
@@ -522,6 +749,82 @@ mod tests {
         let mut r = Reader::new(&bytes);
         let e = get_wsd(&mut r).unwrap_err();
         assert!(e.reason.contains("unsatisfiable"));
+    }
+
+    #[test]
+    fn columnar_urelation_roundtrips_every_column_kind() {
+                // One column per physical layout: Int, Float, Bool, Str→Dict,
+        // mixed Values, and an all-NULL Const — with NULLs sprinkled in
+        // so placeholder slots round-trip too.
+        let schema = Schema::new(vec![
+            Field::new("i", DataType::Int),
+            Field::new("f", DataType::Float),
+            Field::new("b", DataType::Bool),
+            Field::new("s", DataType::Text),
+            Field::new("m", DataType::Unknown),
+            Field::new("z", DataType::Unknown),
+        ]);
+        let rows: Vec<Vec<Value>> = vec![
+            vec![1.into(), Value::Float(-0.0), Value::Bool(true), "dup".into(), 7.into(), Value::Null],
+            vec![Value::Null, Value::Null, Value::Null, Value::Null, "mix".into(), Value::Null],
+            vec![2.into(), Value::Float(0.05), Value::Bool(false), "dup".into(), Value::Null, Value::Null],
+        ];
+        let base = maybms_engine::Relation::new_unchecked(
+            Arc::new(schema),
+            rows.into_iter().map(Tuple::new).collect(),
+        );
+        let u = URelation::from_certain(&base).compact();
+        let (batch, _) = u.at_rest().expect("compact is columnar");
+        assert!(matches!(batch.column(3).data(), ColumnData::Dict { .. }));
+        assert!(matches!(batch.column(4).data(), ColumnData::Values(_)));
+        assert!(matches!(batch.column(5).data(), ColumnData::Const(Value::Null)));
+        let mut w = Writer::new();
+        put_urelation_any(&mut w, &u);
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        let got = get_urelation_any(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(got, u);
+        assert!(got.is_columnar());
+        // Representation-exact: re-encoding is byte-identical.
+        let mut w2 = Writer::new();
+        put_urelation_any(&mut w2, &got);
+        assert_eq!(w2.finish(), bytes);
+    }
+
+    #[test]
+    fn columnar_codec_rejects_out_of_range_dictionary_code() {
+        let base = rel(&[("s", DataType::Text)], vec![vec!["a".into()]]);
+        let u = URelation::from_certain(&base).compact();
+        let mut w = Writer::new();
+        put_urelation_any(&mut w, &u);
+        let mut bytes = w.finish();
+        // The single code is the last 4 bytes before the (empty) null
+        // mask and the row's (empty-ish) WSD; corrupt it by scanning for
+        // the code u32 — simplest robust approach: flip every byte and
+        // require that no mutation panics, only errors or decodes.
+        for i in 0..bytes.len() {
+            bytes[i] ^= 0xff;
+            let mut r = Reader::new(&bytes);
+            let _ = get_urelation_any(&mut r); // must not panic
+            bytes[i] ^= 0xff;
+        }
+        // And a targeted case: declared dict of 1 entry, code 1.
+        let mut w = Writer::new();
+        w.put_u8(1); // columnar tag
+        put_schema(&mut w, &Schema::from_pairs(&[("s", DataType::Text)]));
+        w.put_u32(1); // rows
+        w.put_u32(1); // ncols
+        w.put_u8(4); // dict column
+        w.put_u32(1); // 1 entry
+        w.put_str("a");
+        w.put_u32(1); // code out of range
+        w.put_u32(0); // no nulls
+        put_wsd(&mut w, &Wsd::tautology());
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        let e = get_urelation_any(&mut r).unwrap_err();
+        assert!(e.reason.contains("out of range"), "{}", e.reason);
     }
 
     #[test]

@@ -26,8 +26,14 @@ pub const SNAPSHOT_FILE: &str = "snapshot";
 /// Scratch name the snapshot is staged under before the atomic rename.
 pub const SNAPSHOT_TMP: &str = "snapshot.tmp";
 
-/// Magic bytes heading every snapshot file (version byte last).
-pub const SNAPSHOT_MAGIC: &[u8; 8] = b"MAYBSNP\x01";
+/// Magic bytes heading every snapshot file this build writes (version
+/// byte last). Version 2 bodies encode tables via
+/// [`codec::put_urelation_any`], preserving columnar-at-rest storage.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"MAYBSNP\x02";
+
+/// Pre-columnar (row-image) snapshot magic; still accepted on load so
+/// data directories written before the columnar refactor recover.
+pub const SNAPSHOT_MAGIC_V1: &[u8; 8] = b"MAYBSNP\x01";
 
 /// The catalog of stored tables, keyed by lowercased name.
 pub type Catalog = BTreeMap<String, URelation>;
@@ -52,7 +58,7 @@ pub fn encode(base_lsn: u64, tables: &Catalog, wt: &WorldTable) -> Result<Vec<u8
     w.put_u32(tables.len() as u32);
     for (name, table) in tables {
         w.put_str(name);
-        codec::put_urelation(&mut w, table);
+        codec::put_urelation_any(&mut w, table);
     }
     let payload = w.finish();
     let mut out = Vec::with_capacity(payload.len() + 16);
@@ -94,7 +100,9 @@ pub fn decode(bytes: &[u8]) -> Result<Snapshot> {
             format!("file too short ({} bytes) for a snapshot header", bytes.len()),
         ));
     }
-    if &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+    let magic = &bytes[..SNAPSHOT_MAGIC.len()];
+    let v1 = magic == SNAPSHOT_MAGIC_V1;
+    if !v1 && magic != SNAPSHOT_MAGIC {
         return Err(StoreError::corrupt(SNAPSHOT_FILE, 0, "bad snapshot magic"));
     }
     let hdr = SNAPSHOT_MAGIC.len();
@@ -126,7 +134,11 @@ pub fn decode(bytes: &[u8]) -> Result<Snapshot> {
     let mut tables = Catalog::new();
     for _ in 0..ntables {
         let name = r.str().map_err(mk_err)?;
-        let table = codec::get_urelation(&mut r).map_err(mk_err)?;
+        let table = if v1 {
+            codec::get_urelation(&mut r).map_err(mk_err)?
+        } else {
+            codec::get_urelation_any(&mut r).map_err(mk_err)?
+        };
         tables.insert(name, table);
     }
     if !r.is_exhausted() {
@@ -191,6 +203,44 @@ mod tests {
         assert_eq!(snap.tables, tables);
         assert_eq!(snap.wt.num_vars(), 2);
         assert_eq!(snap.wt.distribution(Var(0)).unwrap(), &[0.8, 0.2]);
+    }
+
+    #[test]
+    fn columnar_table_roundtrips_columnar() {
+        let (mut tables, wt) = sample_state();
+        let compacted = tables["games"].compact();
+        assert!(compacted.is_columnar());
+        tables.insert("games".into(), compacted);
+        let vfs = MemVfs::new();
+        write(&vfs, 3, &tables, &wt).unwrap();
+        let snap = load(&vfs).unwrap().unwrap();
+        assert_eq!(snap.tables, tables);
+        // Representation survives: no re-pivot needed after recovery.
+        assert!(snap.tables["games"].is_columnar());
+    }
+
+    #[test]
+    fn pre_columnar_v1_snapshot_still_loads() {
+        let (tables, wt) = sample_state();
+        // Hand-build a version-1 image exactly as the pre-columnar code
+        // wrote it: row-image tables under the \x01 magic.
+        let mut w = Writer::new();
+        w.put_u64(9);
+        codec::put_dists(&mut w, &all_dists(&wt).unwrap());
+        w.put_u32(tables.len() as u32);
+        for (name, table) in &tables {
+            w.put_str(name);
+            codec::put_urelation(&mut w, table);
+        }
+        let payload = w.finish();
+        let mut image = Vec::with_capacity(payload.len() + 16);
+        image.extend_from_slice(SNAPSHOT_MAGIC_V1);
+        image.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        image.extend_from_slice(&codec::crc32(&payload).to_le_bytes());
+        image.extend_from_slice(&payload);
+        let snap = decode(&image).unwrap();
+        assert_eq!(snap.base_lsn, 9);
+        assert_eq!(snap.tables, tables);
     }
 
     #[test]

@@ -142,9 +142,20 @@ pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
             codec::put_schema(&mut w, schema);
         }
         Op::PutTable { name, table } => {
-            w.put_u8(1);
-            w.put_str(name);
-            codec::put_urelation(&mut w, table);
+            // Columnar-at-rest tables log under tag 5 so the exact
+            // representation (dictionaries included) replays without a
+            // re-pivot; row-major tables keep the pre-columnar tag 1,
+            // so a store running with MAYBMS_COLUMNAR_STORE=0 appends
+            // records any pre-refactor reader could still decode.
+            if table.is_columnar() {
+                w.put_u8(5);
+                w.put_str(name);
+                codec::put_urelation_any(&mut w, table);
+            } else {
+                w.put_u8(1);
+                w.put_str(name);
+                codec::put_urelation(&mut w, table);
+            }
         }
         Op::InsertRows { table, rows } => {
             w.put_u8(2);
@@ -188,6 +199,7 @@ pub fn decode_record(payload: &[u8]) -> codec::DecodeResult<WalRecord> {
         2 => Op::InsertRows { table: r.str()?, rows: get_rows(&mut r)? },
         3 => Op::ReplaceRows { table: r.str()?, rows: get_rows(&mut r)? },
         4 => Op::DropTable { name: r.str()? },
+        5 => Op::PutTable { name: r.str()?, table: codec::get_urelation_any(&mut r)? },
         t => {
             return Err(codec::CodecError {
                 offset: r.offset(),
@@ -316,6 +328,56 @@ mod tests {
         assert_eq!(scan.records, recs);
         assert_eq!(scan.valid_len, bytes.len() as u64);
         assert!(!scan.torn);
+    }
+
+    #[test]
+    fn columnar_put_table_roundtrips_and_reencodes_byte_identical() {
+        use maybms_engine::{rel, Value};
+        use maybms_urel::URelation;
+        let base = rel(
+            &[("s", DataType::Text), ("n", DataType::Int)],
+            vec![
+                vec!["x".into(), 1.into()],
+                vec![Value::Null, Value::Null],
+                vec!["y".into(), 2.into()],
+                vec!["x".into(), 3.into()],
+            ],
+        );
+        let table = URelation::from_certain(&base).compact();
+        assert!(table.is_columnar());
+        let record = WalRecord {
+            lsn: 7,
+            world_ext: None,
+            op: Op::PutTable { name: "t".into(), table },
+        };
+        let payload = encode_record(&record);
+        let decoded = decode_record(&payload).unwrap();
+        assert_eq!(decoded, record);
+        let Op::PutTable { table, .. } = &decoded.op else { unreachable!() };
+        assert!(table.is_columnar());
+        // Recovery recomputes frame offsets by re-encoding each decoded
+        // record, so the round-trip must be byte-identical.
+        assert_eq!(encode_record(&decoded), payload);
+    }
+
+    #[test]
+    fn row_major_put_table_still_logs_under_pre_columnar_tag() {
+        use maybms_engine::rel;
+        use maybms_urel::URelation;
+        let base = rel(&[("n", DataType::Int)], vec![vec![1.into()]]);
+        let table = URelation::from_certain(&base);
+        assert!(!table.is_columnar());
+        let record = WalRecord {
+            lsn: 1,
+            world_ext: None,
+            op: Op::PutTable { name: "t".into(), table },
+        };
+        let payload = encode_record(&record);
+        // Offset 8 (lsn) + 1 (world-ext tag): the op tag must be the
+        // pre-columnar 1, keeping row-image appends readable by older
+        // builds.
+        assert_eq!(payload[9], 1);
+        assert_eq!(decode_record(&payload).unwrap(), record);
     }
 
     #[test]

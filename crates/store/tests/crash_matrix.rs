@@ -83,7 +83,13 @@ fn workload() -> Vec<Step> {
         }),
         Step {
             new_vars: vec![vec![0.5, 0.5], vec![0.3, 0.7]],
-            action: Action::Apply(Op::PutTable { name: "picks".into(), table: picks }),
+            // Columnar-at-rest: this PutTable logs under the columnar
+            // WAL op tag and lands in version-2 snapshot bodies, so the
+            // whole fault matrix sweeps the columnar codec too.
+            action: Action::Apply(Op::PutTable {
+                name: "picks".into(),
+                table: picks.compact(),
+            }),
         },
         Step { new_vars: Vec::new(), action: Action::Checkpoint },
         Step {
@@ -100,6 +106,21 @@ fn workload() -> Vec<Step> {
                 Tuple::new(vec![Value::Int(10)]),
                 Wsd::of(Var(0), 1),
             )],
+        }),
+        step(Op::PutTable {
+            name: "names".into(),
+            // Dictionary-encoded text column (with a NULL slot) through
+            // the crash matrix: the dictionary must survive any fault.
+            table: URelation::from_certain(&maybms_engine::rel(
+                &[("who", DataType::Text)],
+                vec![
+                    vec![Value::str("ann")],
+                    vec![Value::Null],
+                    vec![Value::str("ann")],
+                    vec![Value::str("bob")],
+                ],
+            ))
+            .compact(),
         }),
         step(Op::DropTable { name: "t".into() }),
         step(Op::CreateTable {
@@ -225,6 +246,70 @@ fn run_matrix(mode: FaultMode) {
     // traffic; make sure the loop actually swept a real matrix and
     // terminated by exhaustion rather than the safety bound.
     assert!(points >= 20, "matrix covered only {points} fault points");
+}
+
+/// A data directory written *before* the columnar refactor — no
+/// snapshot, a WAL holding only row-image records (op tags 0–4, exactly
+/// what row-major tables still encode to) — must recover cleanly, and a
+/// checkpoint taken afterwards re-persists the state in the current
+/// format without losing a row.
+#[test]
+fn pre_refactor_row_image_wal_recovers() {
+    use maybms_store::wal;
+
+    let t_schema = Schema::from_pairs(&[("a", DataType::Int), ("c", DataType::Text)]);
+    let mut old_table = URelation::empty(Arc::new(Schema::from_pairs(&[(
+        "a",
+        DataType::Int,
+    )])));
+    old_table.tuples_mut().push(UTuple::new(
+        Tuple::new(vec![Value::Int(10)]),
+        Wsd::of(Var(0), 1),
+    ));
+    assert!(!old_table.is_columnar(), "fixture must be a row image");
+    let records = vec![
+        wal::WalRecord {
+            lsn: 0,
+            world_ext: None,
+            op: Op::CreateTable { name: "t".into(), schema: t_schema },
+        },
+        wal::WalRecord {
+            lsn: 1,
+            world_ext: None,
+            op: Op::InsertRows {
+                table: "t".into(),
+                rows: vec![certain(vec![Value::Int(1), Value::str("x")])],
+            },
+        },
+        wal::WalRecord {
+            lsn: 2,
+            world_ext: Some((0, vec![vec![0.4, 0.6]])),
+            op: Op::PutTable { name: "picks".into(), table: old_table },
+        },
+    ];
+    let mem = MemVfs::new();
+    let mut bytes = wal::WAL_MAGIC.to_vec();
+    for r in &records {
+        bytes.extend_from_slice(&wal::frame_record(r));
+    }
+    let mut f = mem.create(wal::WAL_FILE).unwrap();
+    f.append(&bytes).unwrap();
+    f.sync().unwrap();
+    drop(f);
+
+    let (mut store, rec) = Store::open(Arc::new(mem.clone())).expect("legacy WAL recovers");
+    assert_eq!(rec.tables.len(), 2);
+    assert_eq!(rec.tables["t"].len(), 1);
+    assert_eq!(rec.tables["picks"].len(), 1);
+    assert_eq!(rec.wt.num_vars(), 1);
+    let fp = fingerprint(&rec.tables, &rec.wt);
+
+    // Checkpoint rewrites the state in the current snapshot format;
+    // reopening must land on the identical state.
+    store.checkpoint(&rec.tables, &rec.wt).unwrap();
+    drop(store);
+    let (_, rec2) = Store::open(Arc::new(mem)).expect("reopen after checkpoint");
+    assert_eq!(fingerprint(&rec2.tables, &rec2.wt), fp);
 }
 
 #[test]

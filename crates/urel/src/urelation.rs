@@ -16,10 +16,21 @@
 //! build new rows (projection over expressions, join concatenation)
 //! allocate.
 
-use std::sync::Arc;
+//! # Columnar at rest
+//!
+//! Like the engine's `Relation`, a [`URelation`] may be backed by a
+//! column-major [`ColumnBatch`] over the data columns (dictionary-encoded
+//! strings included) with the per-tuple WSDs kept as a parallel sidecar
+//! vector — the at-rest representation catalog installs produce via
+//! [`URelation::compact`]. The `UTuple` row view is materialised lazily,
+//! once; mutation ([`URelation::tuples_mut`]) decays the store to rows
+//! first, so the at-rest batch never changes after construction and scans
+//! can borrow column slices from it without per-morsel pivots.
+
+use std::sync::{Arc, OnceLock};
 
 use maybms_engine::tuple::TupleBatch;
-use maybms_engine::{Relation, Schema, Tuple};
+use maybms_engine::{ColumnBatch, Relation, Schema, Tuple};
 
 use crate::error::Result;
 use crate::world_table::WorldTable;
@@ -57,30 +68,95 @@ impl UTuple {
     }
 }
 
+/// The physical backing of a [`URelation`] (see the module docs on
+/// columnar at rest).
+#[derive(Debug, Clone)]
+enum Store {
+    /// Row-major: the working representation updates mutate.
+    Rows(Vec<UTuple>),
+    /// Column-major data at rest plus WSD sidecar, shared via `Arc`.
+    Columnar(Arc<ColumnarURel>),
+}
+
+/// An immutable columnar U-relation body: data columns, parallel WSDs,
+/// and the lazily materialised `UTuple` view (built at most once; all
+/// clones share it through the `Arc`).
+#[derive(Debug)]
+struct ColumnarURel {
+    batch: ColumnBatch,
+    wsds: Vec<Wsd>,
+    rows: OnceLock<Vec<UTuple>>,
+}
+
+impl ColumnarURel {
+    fn new(batch: ColumnBatch, wsds: Vec<Wsd>) -> ColumnarURel {
+        debug_assert_eq!(batch.rows(), wsds.len(), "WSD sidecar length mismatch");
+        ColumnarURel { batch, wsds, rows: OnceLock::new() }
+    }
+
+    fn rows(&self) -> &[UTuple] {
+        self.rows.get_or_init(|| {
+            zip_batch(self.batch.to_tuple_batch(), self.wsds.clone())
+        })
+    }
+
+    fn into_rows(self) -> Vec<UTuple> {
+        match self.rows.into_inner() {
+            Some(rows) => rows,
+            None => zip_batch(self.batch.to_tuple_batch(), self.wsds),
+        }
+    }
+}
+
 /// A U-relation: schema over the *data* columns plus per-tuple WSDs.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct URelation {
     schema: Arc<Schema>,
-    tuples: Vec<UTuple>,
+    store: Store,
+}
+
+// Equality is logical — columnar-at-rest equals its row-major twin.
+impl PartialEq for URelation {
+    fn eq(&self, other: &URelation) -> bool {
+        self.schema == other.schema && self.tuples() == other.tuples()
+    }
 }
 
 impl URelation {
     /// Empty U-relation.
     pub fn empty(schema: Arc<Schema>) -> URelation {
-        URelation { schema, tuples: Vec::new() }
+        URelation { schema, store: Store::Rows(Vec::new()) }
     }
 
     /// Build from parts (arity unchecked; callers construct from typed
     /// operators).
     pub fn new(schema: Arc<Schema>, tuples: Vec<UTuple>) -> URelation {
-        URelation { schema, tuples }
+        URelation { schema, store: Store::Rows(tuples) }
     }
 
-    /// Lift a certain relation into a (t-certain) U-relation.
+    /// Build directly over an at-rest data batch plus WSD sidecar (the
+    /// storage decode / compaction path). Caller guarantees the batch
+    /// arity matches the schema and `wsds.len() == batch.rows()`, like
+    /// [`URelation::new`]'s unchecked discipline.
+    pub fn from_batch(schema: Arc<Schema>, batch: ColumnBatch, wsds: Vec<Wsd>) -> URelation {
+        debug_assert_eq!(batch.arity(), schema.len(), "batch arity mismatch");
+        URelation { schema, store: Store::Columnar(Arc::new(ColumnarURel::new(batch, wsds))) }
+    }
+
+    /// Lift a certain relation into a (t-certain) U-relation. A
+    /// columnar-at-rest input whose row view is cold keeps its columns
+    /// (tautological WSD sidecar, dictionaries shared).
     pub fn from_certain(rel: &Relation) -> URelation {
+        if let Some(batch) = rel.at_rest() {
+            return URelation::from_batch(
+                rel.schema().clone(),
+                batch.clone(),
+                vec![Wsd::tautology(); batch.rows()],
+            );
+        }
         URelation {
             schema: rel.schema().clone(),
-            tuples: rel.tuples().iter().cloned().map(UTuple::certain).collect(),
+            store: Store::Rows(rel.tuples().iter().cloned().map(UTuple::certain).collect()),
         }
     }
 
@@ -89,40 +165,117 @@ impl URelation {
         &self.schema
     }
 
-    /// The tuples.
+    /// The tuples. For a columnar-at-rest store the `UTuple` view is
+    /// materialised once, on first call, and cached.
     pub fn tuples(&self) -> &[UTuple] {
-        &self.tuples
+        match &self.store {
+            Store::Rows(t) => t,
+            Store::Columnar(c) => c.rows(),
+        }
     }
 
-    /// Mutable access (updates).
+    /// The at-rest data batch and WSD sidecar, if stored columnar —
+    /// the zero-pivot scan path.
+    pub fn at_rest(&self) -> Option<(&ColumnBatch, &[Wsd])> {
+        match &self.store {
+            Store::Rows(_) => None,
+            Store::Columnar(c) => Some((&c.batch, &c.wsds)),
+        }
+    }
+
+    /// True iff the canonical storage is column-major.
+    pub fn is_columnar(&self) -> bool {
+        matches!(self.store, Store::Columnar(_))
+    }
+
+    /// A columnar-at-rest copy: data columns pivoted once (counted by
+    /// the pivot metrics) and dictionary-encoded, WSDs in a parallel
+    /// sidecar. Already-columnar input returns a cheap `Arc` clone.
+    pub fn compact(&self) -> URelation {
+        match &self.store {
+            Store::Columnar(_) => self.clone(),
+            Store::Rows(tuples) => {
+                let cols: Vec<usize> = (0..self.schema.len()).collect();
+                let batch = ColumnBatch::pivot(
+                    tuples.len(),
+                    tuples.iter().map(|t| t.data.values()),
+                    &cols,
+                )
+                .dict_encode();
+                let wsds = tuples.iter().map(|t| t.wsd.clone()).collect();
+                URelation {
+                    schema: self.schema.clone(),
+                    store: Store::Columnar(Arc::new(ColumnarURel::new(batch, wsds))),
+                }
+            }
+        }
+    }
+
+    /// Mutable access (updates). Decays a columnar store to rows first —
+    /// the at-rest batch itself never mutates.
     pub fn tuples_mut(&mut self) -> &mut Vec<UTuple> {
-        &mut self.tuples
+        if matches!(self.store, Store::Columnar(_)) {
+            let store = std::mem::replace(&mut self.store, Store::Rows(Vec::new()));
+            if let Store::Columnar(arc) = store {
+                let rows = match Arc::try_unwrap(arc) {
+                    Ok(body) => body.into_rows(),
+                    Err(arc) => arc.rows().to_vec(),
+                };
+                self.store = Store::Rows(rows);
+            }
+        }
+        match &mut self.store {
+            Store::Rows(t) => t,
+            Store::Columnar(_) => unreachable!("just decayed"),
+        }
     }
 
     /// Materialise a selection vector: the U-relation holding the tuples
     /// at `indices`, in that order. Row data is shared with the input
     /// (`UTuple` clones are cheap — see the module docs). Indices may
-    /// repeat; they must be in range.
+    /// repeat; they must be in range. A columnar store whose row view is
+    /// cold gathers columns and WSDs instead, staying columnar.
     pub fn gather(&self, indices: &[usize]) -> URelation {
+        if let Store::Columnar(c) = &self.store {
+            if c.rows.get().is_none() {
+                debug_assert!(c.batch.rows() <= u32::MAX as usize);
+                let sel: Vec<u32> = indices.iter().map(|&i| i as u32).collect();
+                let wsds = indices.iter().map(|&i| c.wsds[i].clone()).collect();
+                return URelation {
+                    schema: self.schema.clone(),
+                    store: Store::Columnar(Arc::new(ColumnarURel::new(
+                        c.batch.gather(&sel),
+                        wsds,
+                    ))),
+                };
+            }
+        }
+        let tuples = self.tuples();
         URelation {
             schema: self.schema.clone(),
-            tuples: indices.iter().map(|&i| self.tuples[i].clone()).collect(),
+            store: Store::Rows(indices.iter().map(|&i| tuples[i].clone()).collect()),
         }
     }
 
     /// Number of stored tuples (representation size, *not* world count).
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        match &self.store {
+            Store::Rows(t) => t.len(),
+            Store::Columnar(c) => c.batch.rows(),
+        }
     }
 
     /// True iff no tuples are stored.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.len() == 0
     }
 
     /// True iff every tuple is unconditional — the t-certain test (§2.2).
     pub fn is_t_certain(&self) -> bool {
-        self.tuples.iter().all(|t| t.wsd.is_tautology())
+        match &self.store {
+            Store::Rows(t) => t.iter().all(|t| t.wsd.is_tautology()),
+            Store::Columnar(c) => c.wsds.iter().all(Wsd::is_tautology),
+        }
     }
 
     /// Replace the schema (same arity required by construction discipline).
@@ -132,19 +285,30 @@ impl URelation {
     }
 
     /// Forget the conditions, keeping every stored tuple. Only meaningful
-    /// for t-certain relations; used to hand results to the engine.
+    /// for t-certain relations; used to hand results to the engine. A
+    /// columnar store passes its batch through, staying columnar.
     pub fn into_certain(self) -> Relation {
-        Relation::new_unchecked(
-            self.schema,
-            self.tuples.into_iter().map(|t| t.data).collect(),
-        )
+        match self.store {
+            Store::Rows(tuples) => Relation::new_unchecked(
+                self.schema,
+                tuples.into_iter().map(|t| t.data).collect(),
+            ),
+            Store::Columnar(arc) => {
+                let batch = match Arc::try_unwrap(arc) {
+                    Ok(body) => body.batch,
+                    Err(arc) => arc.batch.clone(),
+                };
+                Relation::from_batch(self.schema, batch)
+                    .expect("batch arity matches schema by construction")
+            }
+        }
     }
 
     /// Instantiate the relation in one world: keep tuples whose WSD the
     /// world satisfies (semantics of the representation, §2.1).
     pub fn instantiate(&self, world: &[u16]) -> Relation {
         let tuples = self
-            .tuples
+            .tuples()
             .iter()
             .filter(|t| t.wsd.satisfied_by(world))
             .map(|t| t.data.clone())
@@ -160,8 +324,8 @@ impl URelation {
             self.schema.fields().iter().map(|f| f.qualified_name()).collect();
         headers.push("condition".into());
         headers.push("P".into());
-        let mut rows = Vec::with_capacity(self.tuples.len());
-        for t in &self.tuples {
+        let mut rows = Vec::with_capacity(self.len());
+        for t in self.tuples() {
             let mut row: Vec<String> =
                 t.data.values().iter().map(|v| v.to_string()).collect();
             row.push(t.wsd.to_string());
@@ -254,6 +418,48 @@ mod tests {
         let u = URelation::from_certain(&base());
         let r = u.into_certain();
         assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn compact_preserves_data_wsds_and_equality() {
+        let mut wt = WorldTable::new();
+        let x = wt.new_var(&[0.5, 0.5]).unwrap();
+        let mut u = URelation::from_certain(&base());
+        u.tuples_mut()[0].wsd = Wsd::of(x, 0);
+        let c = u.compact();
+        assert!(c.is_columnar() && !u.is_columnar());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c, u);
+        assert!(!c.is_t_certain());
+        let (batch, wsds) = c.at_rest().expect("columnar store");
+        assert_eq!(batch.rows(), 2);
+        assert_eq!(wsds[0], Wsd::of(x, 0));
+        // Instantiation over the lazy row view matches the row store.
+        assert_eq!(c.instantiate(&[0]), u.instantiate(&[0]));
+        assert_eq!(c.instantiate(&[1]), u.instantiate(&[1]));
+    }
+
+    #[test]
+    fn columnar_mutation_decays_and_gather_stays_columnar_when_cold() {
+        let u = URelation::from_certain(&base()).compact();
+        let g = u.gather(&[1, 0]);
+        assert!(g.is_columnar());
+        assert_eq!(g.tuples()[0], u.tuples()[1]);
+        let mut m = u.clone();
+        m.tuples_mut().pop();
+        assert!(!m.is_columnar());
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn certain_round_trip_keeps_columnar_store() {
+        let r = base().compact();
+        let u = URelation::from_certain(&r);
+        assert!(u.is_columnar(), "lifting a columnar relation keeps columns");
+        assert!(u.is_t_certain());
+        let back = u.into_certain();
+        assert!(back.is_columnar());
+        assert_eq!(back, base());
     }
 
     #[test]
