@@ -113,6 +113,27 @@ fn metric_mark() -> [u64; 4] {
     [m.morsels.get(), m.scalar_fallbacks.get(), m.mc_samples.get(), m.pivots.get()]
 }
 
+/// Names and values of the query-governor and store-retry counters. The
+/// baseline asserts their whole-run deltas are zero: with no limits
+/// armed the governor must never abort, degrade, or retry anything, so
+/// a nonzero delta means the measured reps were perturbed and the
+/// numbers are invalid (e.g. the run was launched with a statement
+/// timeout or `MAYBMS_STORE_FAULT_EVERY` exported).
+const GOV_COUNTERS: [&str; 6] =
+    ["cancelled", "deadline", "mem_rejected", "degraded_conf", "panics", "store_retries"];
+
+fn gov_metric_mark() -> [u64; 6] {
+    let m = maybms_obs::metrics();
+    [
+        m.gov_cancelled.get(),
+        m.gov_deadline.get(),
+        m.gov_mem_rejected.get(),
+        m.gov_degraded_conf.get(),
+        m.gov_panics.get(),
+        m.store_retries.get(),
+    ]
+}
+
 fn take_delta(mark: &mut [u64; 4]) -> StatDelta {
     let now = metric_mark();
     let d = StatDelta {
@@ -210,6 +231,7 @@ fn main() {
 
     let (scale, reps) = if quick { (10_000usize, 3usize) } else { (100_000, 11) };
     let mut outcomes: Vec<Outcome> = Vec::new();
+    let gov_mark = gov_metric_mark();
     let mut mark = metric_mark();
 
     // -- σ over a wide certain relation --------------------------------
@@ -1056,6 +1078,23 @@ fn main() {
         );
     }
 
+    // -- Governor-neutrality gate --------------------------------------
+    // The whole run executed with no statement limits armed, so every
+    // governor counter delta must be zero — otherwise something aborted,
+    // degraded, or retried inside the measured reps and the latency
+    // numbers above are contaminated.
+    let gov_now = gov_metric_mark();
+    let gov_delta: Vec<u64> =
+        gov_now.iter().zip(gov_mark).map(|(now, then)| now - then).collect();
+    for (name, d) in GOV_COUNTERS.iter().zip(&gov_delta) {
+        assert_eq!(
+            *d, 0,
+            "governor counter `{name}` moved by {d} during the baseline run; \
+             the measured reps were perturbed (statement limits or store \
+             fault injection armed?) and the results are invalid"
+        );
+    }
+
     // -- Report --------------------------------------------------------
     println!(
         "{:<24} {:>10} {:>10} {:>12} {:>12} {:>12} {:>9}",
@@ -1170,6 +1209,14 @@ fn main() {
             q(0.95),
             q(0.99)
         );
+    }
+    json.push_str(" },\n");
+    // Governor counter deltas over the whole run — asserted zero above,
+    // recorded so the trajectory file itself proves each measured run
+    // was unperturbed by aborts, degradation, or storage retries.
+    json.push_str("  \"governor\": {");
+    for (i, (name, d)) in GOV_COUNTERS.iter().zip(&gov_delta).enumerate() {
+        let _ = write!(json, "{}\"{name}\": {d}", if i == 0 { " " } else { ", " });
     }
     json.push_str(" }\n}");
 

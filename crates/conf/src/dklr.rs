@@ -53,12 +53,64 @@ pub struct Approximation {
     /// `√(ρ̂/n₃)/μ̂` for 𝒜𝒜; the target `ε` for the SRA (which does not
     /// estimate variance); `0` for constant DNFs.
     pub rel_stderr: f64,
+    /// Deadline degradation marker: `Some(b)` when the governor's
+    /// deadline cut the seeded run at consumed-batch index `b` (counted
+    /// across all phases). The estimate is then the partial seeded mean
+    /// at that batch boundary — still a pure function of `(seed, b)`,
+    /// so bit-identical given the same cut point — with `rel_stderr`
+    /// reporting the *achieved* error, not the requested `(ε, δ)`
+    /// guarantee. `None` = the run completed normally.
+    pub cut_batch: Option<u64>,
 }
 
 impl Approximation {
     /// A zero-cost report for a constant DNF.
     fn constant(p: f64) -> Approximation {
-        Approximation { estimate: p, samples: 0, batches: 0, variance: 0.0, rel_stderr: 0.0 }
+        Approximation {
+            estimate: p,
+            samples: 0,
+            batches: 0,
+            variance: 0.0,
+            rel_stderr: 0.0,
+            cut_batch: None,
+        }
+    }
+}
+
+/// Governor verdict at a sample-batch boundary: `Ok(false)` = proceed,
+/// `Ok(true)` = the deadline passed (degrade to the partial estimate),
+/// `Err` = hard abort (cancellation or memory budget).
+fn gov_batch_verdict() -> Result<bool> {
+    match maybms_gov::check() {
+        Ok(()) => Ok(false),
+        Err(maybms_gov::GovError::DeadlineExceeded { .. }) => Ok(true),
+        Err(g) => Err(UrelError::from(maybms_engine::EngineError::Gov(g))),
+    }
+}
+
+/// The degraded partial estimate over `n` consumed indicator draws with
+/// running `sum` / `sumsq`, cut at global consumed-batch index
+/// `cut_batch`. An empty prefix reports estimate 0 with infinite error.
+fn degraded(kl: &KarpLuby, sum: f64, sumsq: f64, n: u64, cut_batch: u64) -> Approximation {
+    let (estimate, rel_stderr) = if n == 0 {
+        (0.0, f64::INFINITY)
+    } else {
+        let mean = sum / n as f64;
+        let var = if n > 1 {
+            ((sumsq - n as f64 * mean * mean) / (n as f64 - 1.0)).max(0.0)
+        } else {
+            0.0
+        };
+        let rel = if mean > 0.0 { (var / n as f64).sqrt() / mean } else { f64::INFINITY };
+        (kl.scale() * mean, rel)
+    };
+    Approximation {
+        estimate,
+        samples: n,
+        batches: phase_batches(n),
+        variance: 0.0,
+        rel_stderr,
+        cut_batch: Some(cut_batch),
     }
 }
 
@@ -142,6 +194,7 @@ pub fn stopping_rule<R: Rng + ?Sized>(
         batches: phase_batches(n),
         variance: 0.0,
         rel_stderr: options.epsilon,
+        cut_batch: None,
     })
 }
 
@@ -220,6 +273,7 @@ pub fn approximate<R: Rng + ?Sized>(
         batches,
         variance: rho_hat,
         rel_stderr: (rho_hat / n3 as f64).sqrt() / mu_hat,
+        cut_batch: None,
     })
 }
 
@@ -259,6 +313,10 @@ fn phase_seed(seed: u64, phase: u64) -> u64 {
 /// `threads` at a time (speculation past the stopping point is discarded),
 /// but the scan — and therefore the estimate and the consumed-sample
 /// count — follows stream order exactly.
+///
+/// The governor is consulted once per consumed batch: a deadline cuts the
+/// run into a degraded partial estimate ([`Approximation::cut_batch`]);
+/// cancellation and memory aborts propagate as errors.
 pub fn stopping_rule_seeded(
     kl: &KarpLuby,
     wt: &WorldTable,
@@ -272,7 +330,9 @@ pub fn stopping_rule_seeded(
     }
     let upsilon1 = 1.0 + (1.0 + options.epsilon) * upsilon(options.epsilon, options.delta);
     let mut sum = 0.0;
+    let mut sumsq = 0.0;
     let mut n: u64 = 0;
+    let mut consumed: u64 = 0;
     let stride = pool.threads() as u64;
     let mut next_batch: u64 = 0;
     loop {
@@ -282,6 +342,9 @@ pub fn stopping_rule_seeded(
             });
         next_batch += stride;
         for batch in round {
+            if gov_batch_verdict()? {
+                return Ok(degraded(kl, sum, sumsq, n, consumed));
+            }
             for x in batch {
                 if n >= options.max_samples {
                     return Err(UrelError::BadProbability {
@@ -294,6 +357,7 @@ pub fn stopping_rule_seeded(
                     });
                 }
                 sum += x;
+                sumsq += x * x;
                 n += 1;
                 if sum >= upsilon1 {
                     return Ok(Approximation {
@@ -302,17 +366,37 @@ pub fn stopping_rule_seeded(
                         batches: phase_batches(n),
                         variance: 0.0,
                         rel_stderr: options.epsilon,
+                        cut_batch: None,
                     });
                 }
             }
+            consumed += 1;
         }
     }
+}
+
+/// Outcome of a governed batched stream fold.
+enum StreamSum {
+    /// All batches consumed: the fold total.
+    Done(f64),
+    /// Deadline cut before batch `consumed` (0-based within the phase):
+    /// the raw indicator `sum`/`sumsq` over the consumed full batches.
+    Cut {
+        /// Full batches consumed before the cut.
+        consumed: u64,
+        /// Indicator sum over those batches.
+        sum: f64,
+        /// Indicator square sum over those batches.
+        sumsq: f64,
+    },
 }
 
 /// Sum `f` over the first `samples` draws of phase stream `seed`,
 /// batch-parallel with in-order combination. `f` folds one batch's
 /// indicator slice into a partial (identity on indicators for plain sums,
-/// paired squared differences for the variance phase).
+/// paired squared differences for the variance phase). The governor is
+/// consulted once per consumed batch (batches are computed `threads` at a
+/// time; a cut discards the speculative remainder of the round).
 fn batched_stream_sum(
     kl: &KarpLuby,
     wt: &WorldTable,
@@ -320,13 +404,33 @@ fn batched_stream_sum(
     seed: u64,
     pool: &ThreadPool,
     f: impl Fn(&[f64]) -> f64 + Sync,
-) -> f64 {
-    let batches = (samples as usize).div_ceil(SAMPLE_BATCH);
-    let partials: Vec<f64> = pool.par_map((0..batches as u64).collect(), |b| {
-        let len = SAMPLE_BATCH.min(samples as usize - b as usize * SAMPLE_BATCH);
-        f(&kl.batch_indicators(wt, seed, b, len))
-    });
-    partials.iter().sum()
+) -> Result<StreamSum> {
+    let batches = (samples as usize).div_ceil(SAMPLE_BATCH) as u64;
+    let stride = (pool.threads() as u64).max(1);
+    let mut total = 0.0;
+    let mut sum = 0.0;
+    let mut sumsq = 0.0;
+    let mut consumed: u64 = 0;
+    let mut b: u64 = 0;
+    while b < batches {
+        let end = (b + stride).min(batches);
+        let round: Vec<(f64, f64, f64)> = pool.par_map((b..end).collect(), |bi| {
+            let len = SAMPLE_BATCH.min(samples as usize - bi as usize * SAMPLE_BATCH);
+            let xs = kl.batch_indicators(wt, seed, bi, len);
+            (f(&xs), xs.iter().sum(), xs.iter().map(|x| x * x).sum())
+        });
+        for (val, s, sq) in round {
+            if gov_batch_verdict()? {
+                return Ok(StreamSum::Cut { consumed, sum, sumsq });
+            }
+            total += val;
+            sum += s;
+            sumsq += sq;
+            consumed += 1;
+        }
+        b = end;
+    }
+    Ok(StreamSum::Done(total))
 }
 
 /// Deterministic batch-parallel [`approximate`] (the 𝒜𝒜 algorithm).
@@ -362,6 +466,11 @@ pub fn approximate_seeded(
         max_samples: options.max_samples,
     };
     let sra = stopping_rule_seeded(kl, wt, &coarse, phase_seed(seed, 1), pool)?;
+    if sra.cut_batch.is_some() {
+        // Deadline hit during the coarse run: its partial seeded mean is
+        // the best (and only) information available.
+        return Ok(sra);
+    }
     let mut spent = sra.samples;
     let mut batches = sra.batches;
     let mu_hat = sra.estimate / kl.scale();
@@ -377,9 +486,22 @@ pub fn approximate_seeded(
             ),
         });
     }
-    let s2 = batched_stream_sum(kl, wt, 2 * n2, phase_seed(seed, 2), pool, |xs| {
+    let s2 = match batched_stream_sum(kl, wt, 2 * n2, phase_seed(seed, 2), pool, |xs| {
         xs.chunks_exact(2).map(|p| (p[0] - p[1]) * (p[0] - p[1]) / 2.0).sum()
-    });
+    })? {
+        StreamSum::Done(total) => total,
+        StreamSum::Cut { consumed, .. } => {
+            // Deadline mid-variance-phase: the SRA estimate already holds
+            // with its coarse (ε', δ') guarantee, so fall back to it and
+            // account for the consumed variance samples.
+            return Ok(Approximation {
+                samples: spent + consumed * SAMPLE_BATCH as u64,
+                batches: batches + consumed,
+                cut_batch: Some(sra.batches + consumed),
+                ..sra
+            });
+        }
+    };
     spent += 2 * n2;
     batches += phase_batches(2 * n2);
     let rho_hat = (s2 / n2 as f64).max(eps * mu_hat);
@@ -395,7 +517,32 @@ pub fn approximate_seeded(
         });
     }
     let sum =
-        batched_stream_sum(kl, wt, n3, phase_seed(seed, 3), pool, |xs| xs.iter().sum());
+        match batched_stream_sum(kl, wt, n3, phase_seed(seed, 3), pool, |xs| xs.iter().sum())? {
+            StreamSum::Done(total) => total,
+            StreamSum::Cut { consumed, sum, sumsq } => {
+                if consumed == 0 {
+                    // Nothing from the main run yet: the SRA estimate is
+                    // still the best information available.
+                    return Ok(Approximation {
+                        samples: spent,
+                        batches,
+                        cut_batch: Some(batches),
+                        ..sra
+                    });
+                }
+                // Partial main run: seeded mean over the consumed batches,
+                // with the *achieved* standard error rather than the
+                // requested one.
+                let n = consumed * SAMPLE_BATCH as u64;
+                let partial = degraded(kl, sum, sumsq, n, batches + consumed);
+                return Ok(Approximation {
+                    samples: spent + n,
+                    batches: batches + consumed,
+                    variance: rho_hat,
+                    ..partial
+                });
+            }
+        };
     spent += n3;
     batches += phase_batches(n3);
     Ok(Approximation {
@@ -404,6 +551,7 @@ pub fn approximate_seeded(
         batches,
         variance: rho_hat,
         rel_stderr: (rho_hat / n3 as f64).sqrt() / mu_hat,
+        cut_batch: None,
     })
 }
 

@@ -24,7 +24,7 @@
 use std::collections::HashMap;
 
 use maybms_par::ThreadPool;
-use maybms_urel::{Result, Var, WorldTable};
+use maybms_urel::{Result, UrelError, Var, WorldTable};
 
 use crate::dnf::Dnf;
 
@@ -183,6 +183,10 @@ fn go(
     cache: &mut Cache,
     par: Option<&ParCtx>,
 ) -> Result<f64> {
+    // Governor checkpoint: one relaxed load per d-tree node when no
+    // limit is armed.
+    maybms_gov::check()
+        .map_err(|g| UrelError::from(maybms_engine::EngineError::Gov(g)))?;
     stats.max_depth = stats.max_depth.max(depth);
     // Constant leaves.
     if dnf.is_empty() {

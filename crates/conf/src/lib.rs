@@ -94,6 +94,11 @@ pub struct ConfEffort {
     /// Achieved relative standard error of the Monte Carlo estimate
     /// (see [`dklr::Approximation::rel_stderr`]); `0` for exact runs.
     pub rel_stderr: f64,
+    /// `Some(b)` when a governor deadline cut the seeded Monte Carlo run
+    /// at consumed-batch index `b` and the estimate is the degraded
+    /// partial mean (see [`dklr::Approximation::cut_batch`]); `None` for
+    /// exact runs and for approximations that ran to completion.
+    pub cut_batch: Option<u64>,
 }
 
 /// Compute the probability of a DNF lineage event with the chosen method.
@@ -155,6 +160,7 @@ pub fn confidence_with_effort(
             effort.samples = a.samples;
             effort.batches = a.batches;
             effort.rel_stderr = a.rel_stderr;
+            effort.cut_batch = a.cut_batch;
             a.estimate
         }
         ConfMethod::Naive { limit } => naive::probability(dnf, wt, limit)?,
@@ -164,6 +170,9 @@ pub fn confidence_with_effort(
     m.dtree_nodes.add(effort.dtree_nodes);
     m.mc_samples.add(effort.samples);
     m.mc_batches.add(effort.batches);
+    if effort.cut_batch.is_some() {
+        m.gov_degraded_conf.inc();
+    }
     if span.is_active() {
         span.attr("dnf_clauses", effort.dnf_clauses);
         span.attr("dtree_nodes", effort.dtree_nodes);
@@ -171,6 +180,9 @@ pub fn confidence_with_effort(
         span.attr("batches", effort.batches);
         if effort.rel_stderr > 0.0 {
             span.attr("rel_stderr", effort.rel_stderr);
+        }
+        if let Some(b) = effort.cut_batch {
+            span.attr("cut_batch", b);
         }
     }
     Ok((p, effort))

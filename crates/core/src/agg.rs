@@ -118,6 +118,9 @@ fn record_effort(stats: Option<&maybms_obs::QueryStats>, effort: &ConfEffort) {
         qs.samples_drawn.add(effort.samples);
         qs.sample_batches.add(effort.batches);
         qs.record_rel_stderr(effort.rel_stderr);
+        if effort.cut_batch.is_some() {
+            qs.degraded_conf.inc();
+        }
     }
 }
 

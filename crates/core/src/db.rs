@@ -81,7 +81,11 @@ impl MayBms {
     /// recovery: load the latest snapshot, replay the WAL tail, truncate
     /// a torn final record if the last session died mid-append.
     pub fn open(dir: impl AsRef<Path>) -> Result<MayBms> {
-        Self::open_with_vfs(Arc::new(maybms_store::StdVfs::open(dir)?))
+        // `MAYBMS_STORE_FAULT_EVERY=N` (the CI chaos leg) interposes
+        // deterministic transient faults the store must retry through.
+        Self::open_with_vfs(maybms_store::maybe_chaos(Arc::new(
+            maybms_store::StdVfs::open(dir)?,
+        )))
     }
 
     /// [`MayBms::open`] over an arbitrary [`Vfs`] — the fault-injection
@@ -119,6 +123,26 @@ impl MayBms {
         self.recovery
     }
 
+    /// Recover a poisoned (or healthy) durable database in-process: re-run
+    /// crash recovery over the same VFS — load the latest snapshot, replay
+    /// the WAL tail — and swap the recovered catalog in. The shell's
+    /// `\reopen` meta command; errors if the database is in-memory.
+    pub fn reopen(&mut self) -> Result<RecoveryReport> {
+        let vfs = match &self.store {
+            Some(store) => store.vfs(),
+            None => {
+                return Err(plan_err(
+                    "no data directory attached; nothing to reopen",
+                ))
+            }
+        };
+        let mut fresh = Self::open_with_vfs(vfs)?;
+        fresh.conf = self.conf;
+        let report = fresh.recovery.expect("open_with_vfs records a recovery report");
+        *self = fresh;
+        Ok(report)
+    }
+
     /// Durability status (data location, WAL bytes since the last
     /// checkpoint), if a data directory is attached.
     pub fn durability_status(&self) -> Option<StoreStatus> {
@@ -141,6 +165,13 @@ impl MayBms {
     /// Callers validate before building the op; an apply failure after
     /// that is an internal invariant break.
     fn commit(&mut self, op: Op) -> Result<()> {
+        // Abort-before-log: every catalog mutation passes through here,
+        // and nothing is durable or installed until `store.log` below
+        // succeeds — so honouring a pending cancel/deadline/budget abort
+        // at this point leaves the catalog (and its fingerprint)
+        // bit-identical to the pre-statement state.
+        maybms_gov::check()
+            .map_err(|g| CoreError::Engine(maybms_engine::EngineError::Gov(g)))?;
         // Pivot full table images *before* logging so the WAL record
         // carries the columnar representation (op tag 5) and recovery
         // restores it without re-pivoting; the post-apply compact below
@@ -301,6 +332,10 @@ impl MayBms {
         stmt: &Statement,
         mut root: maybms_obs::trace::Span,
     ) -> Result<StatementResult> {
+        // Arm the statement's governor limits (session timeout / memory
+        // budget / pending `\cancel`); the guard disarms them on every
+        // exit path, including panics.
+        let gov = maybms_gov::begin_statement();
         let stats = Arc::new(maybms_obs::QueryStats::new());
         if root.is_active() {
             stats.set_root_span(root.id());
@@ -310,9 +345,53 @@ impl MayBms {
         let t0 = std::time::Instant::now();
         let result = {
             let _exec = maybms_obs::trace::span("execute");
-            self.execute_inner(stmt, &stats)
+            // Panic isolation: a statement that panics (in the planner,
+            // an operator, or a kernel) is reported as an internal error
+            // with the engine still usable — mutations reach the catalog
+            // only through `commit`, which logs before installing, so a
+            // mid-statement panic leaves it consistent.
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.execute_inner(stmt, &stats)
+            }))
+            .unwrap_or_else(|payload| {
+                m.gov_panics.inc();
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                Err(CoreError::Internal { message })
+            })
         };
         let elapsed = t0.elapsed();
+        // Governor aborts: count by kind, once per statement (checks keep
+        // failing after the first abort, so counting at check sites would
+        // multiply). The label doubles as the root span's abort attribute.
+        let gov_abort_label = match &result {
+            Err(e) => match e.gov_abort() {
+                Some(maybms_gov::GovError::Cancelled) => {
+                    m.gov_cancelled.inc();
+                    Some("cancelled")
+                }
+                Some(maybms_gov::GovError::DeadlineExceeded { .. }) => {
+                    m.gov_deadline.inc();
+                    Some("deadline")
+                }
+                Some(maybms_gov::GovError::MemBudgetExceeded { .. }) => {
+                    m.gov_mem_rejected.inc();
+                    Some("mem_budget")
+                }
+                None => {
+                    if matches!(e, CoreError::Internal { .. }) {
+                        Some("panic")
+                    } else {
+                        None
+                    }
+                }
+            },
+            Ok(_) => None,
+        };
+        let aborted = gov_abort_label.is_some();
         // Scalar fallbacks are observable only inside the vector kernels,
         // so attribute this statement's delta of the process-wide counter
         // (statements on one database run serially under `&mut self`).
@@ -327,19 +406,35 @@ impl MayBms {
         // Statement kind for the sliding latency windows: conf-bearing
         // queries are classified after execution (whether conf() ran is
         // a property of the plan, not the statement's syntax alone).
-        let kind = match stmt {
-            Statement::Select(_) | Statement::Explain { .. } => {
-                if stats.conf_calls.get() > 0 {
-                    maybms_obs::window::StatementKind::Conf
-                } else {
-                    maybms_obs::window::StatementKind::Select
+        // Governor-aborted and panicked statements go to their own
+        // `aborted` window so abort storms don't skew the per-kind
+        // latency percentiles with artificially short samples.
+        let kind = if aborted {
+            maybms_obs::window::StatementKind::Aborted
+        } else {
+            match stmt {
+                Statement::Select(_) | Statement::Explain { .. } => {
+                    if stats.conf_calls.get() > 0 {
+                        maybms_obs::window::StatementKind::Conf
+                    } else {
+                        maybms_obs::window::StatementKind::Select
+                    }
                 }
+                _ => maybms_obs::window::StatementKind::Dml,
             }
-            _ => maybms_obs::window::StatementKind::Dml,
         };
         maybms_obs::window::record_statement(kind, elapsed);
         root.attr("kind", kind.label());
         root.attr("rows", stats.rows_returned.get());
+        if let Some(label) = gov_abort_label {
+            root.attr("gov_abort", label);
+        }
+        if let Some(slack) = gov.deadline_slack_nanos() {
+            root.attr("deadline_slack_ms", slack as f64 / 1e6);
+        }
+        if maybms_gov::statement_peak_bytes() > 0 {
+            root.attr("peak_charged_bytes", maybms_gov::statement_peak_bytes());
+        }
         if let Some(threshold) = maybms_obs::slow_log_threshold_ms() {
             if elapsed.as_millis() as u64 >= threshold {
                 m.slow_queries.inc();
@@ -686,6 +781,24 @@ fn render_analyze(
         let rse = stats.max_rel_stderr();
         if rse > 0.0 {
             s.push_str(&format!(", max rel stderr {rse:.4}"));
+        }
+        s.push('\n');
+        if stats.degraded_conf.get() > 0 {
+            s.push_str(&format!(
+                "warning: {} aconf estimate(s) cut early by the statement deadline \
+                 (degraded: partial seeded mean, achieved stderr above)\n",
+                stats.degraded_conf.get(),
+            ));
+        }
+    }
+    // Governor accounting: peak tracked working memory this statement
+    // charged, and how much headroom the deadline (if armed) had left.
+    let peak = maybms_gov::statement_peak_bytes();
+    let slack = maybms_gov::deadline_slack_nanos();
+    if peak > 0 || slack.is_some() {
+        s.push_str(&format!("governor: peak {:.1} KiB charged", peak as f64 / 1024.0));
+        if let Some(ns) = slack {
+            s.push_str(&format!(", deadline slack {:.3} ms", ns as f64 / 1e6));
         }
         s.push('\n');
     }

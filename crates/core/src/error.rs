@@ -35,6 +35,25 @@ pub enum CoreError {
         /// Description.
         message: String,
     },
+    /// A statement panicked; the panic was caught at the statement
+    /// boundary and the engine is still usable.
+    Internal {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl CoreError {
+    /// The governor abort behind this error, if that is what it is —
+    /// however deeply it is nested ([`EngineError::Gov`] directly or via
+    /// the u-relational layer).
+    pub fn gov_abort(&self) -> Option<&maybms_gov::GovError> {
+        match self {
+            CoreError::Engine(EngineError::Gov(g)) => Some(g),
+            CoreError::Urel(UrelError::Engine(EngineError::Gov(g))) => Some(g),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -47,6 +66,9 @@ impl fmt::Display for CoreError {
             CoreError::Typing { message } => write!(f, "typing error: {message}"),
             CoreError::Unsupported { message } => write!(f, "unsupported: {message}"),
             CoreError::Plan { message } => write!(f, "plan error: {message}"),
+            CoreError::Internal { message } => {
+                write!(f, "internal error (statement panicked): {message}")
+            }
         }
     }
 }

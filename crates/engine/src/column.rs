@@ -456,6 +456,10 @@ pub struct ColumnBuilder {
     state: BuilderState,
     nulls: NullMask,
     len: usize,
+    /// Governor working-memory tally: charged once per
+    /// [`CHARGE_STRIDE`](ColumnBuilder::CHARGE_STRIDE) pushed rows (never
+    /// per row), credited on drop.
+    charge: maybms_gov::MemCharge,
 }
 
 #[derive(Debug)]
@@ -476,9 +480,17 @@ impl Default for ColumnBuilder {
 }
 
 impl ColumnBuilder {
+    /// Rows between governor memory charges.
+    const CHARGE_STRIDE: usize = 1024;
+
     /// An empty builder.
     pub fn new() -> ColumnBuilder {
-        ColumnBuilder { state: BuilderState::AllNull, nulls: NullMask::none(), len: 0 }
+        ColumnBuilder {
+            state: BuilderState::AllNull,
+            nulls: NullMask::none(),
+            len: 0,
+            charge: maybms_gov::MemCharge::new(),
+        }
     }
 
     /// Rows pushed so far.
@@ -536,6 +548,9 @@ impl ColumnBuilder {
             }
         }
         self.len += 1;
+        if self.len.is_multiple_of(Self::CHARGE_STRIDE) {
+            self.charge.add(Self::CHARGE_STRIDE * std::mem::size_of::<Value>());
+        }
     }
 
     /// Finish into a column. All-NULL input becomes `Const(NULL)`.

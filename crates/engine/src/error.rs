@@ -55,6 +55,9 @@ pub enum EngineError {
         /// The textual form of the unbound expression.
         expr: String,
     },
+    /// The statement was aborted by the query governor (cancellation,
+    /// deadline, or memory budget) at a cooperative checkpoint.
+    Gov(maybms_gov::GovError),
 }
 
 impl fmt::Display for EngineError {
@@ -75,11 +78,18 @@ impl fmt::Display for EngineError {
             EngineError::UnboundExpression { expr } => {
                 write!(f, "expression `{expr}` was not bound to a schema before evaluation")
             }
+            EngineError::Gov(g) => write!(f, "{g}"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+impl From<maybms_gov::GovError> for EngineError {
+    fn from(g: maybms_gov::GovError) -> EngineError {
+        EngineError::Gov(g)
+    }
+}
 
 /// Convenient result alias used across the engine.
 pub type Result<T> = std::result::Result<T, EngineError>;

@@ -83,8 +83,13 @@ pub fn nested_loop_join(
         None => None,
     };
     let mut batch = TupleBatch::new();
+    let mut gov = maybms_gov::Ticker::new();
     for l in left.tuples() {
         for r in right.tuples() {
+            // The output is quadratic in the inputs — without a per-row
+            // governor tick a cross product over two in-RAM relations
+            // could neither be cancelled nor stopped by a memory budget.
+            gov.tick()?;
             // Stage the candidate row directly in the batch; evaluate the
             // predicate in place and drop the row if it fails — one copy
             // per candidate either way.

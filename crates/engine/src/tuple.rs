@@ -162,6 +162,9 @@ pub struct TupleBatch {
     rows: Vec<(u32, u32)>,
     /// Rows already sealed into shared chunks.
     done: Vec<Tuple>,
+    /// Governor working-memory tally: charged per sealed chunk, credited
+    /// when the batch is dropped (enforced only at morsel boundaries).
+    charge: maybms_gov::MemCharge,
 }
 
 impl TupleBatch {
@@ -231,6 +234,7 @@ impl TupleBatch {
             return;
         }
         let buf: Arc<[Value]> = std::mem::take(&mut self.values).into();
+        self.charge.add(buf.len() * std::mem::size_of::<Value>());
         for &(start, len) in &self.rows {
             self.done.push(Tuple { buf: buf.clone(), start, len });
         }

@@ -236,6 +236,13 @@ pub struct Metrics {
     pub queries: Counter,
     pub slow_queries: Counter,
     pub query_seconds: Histogram,
+    // maybms-gov: the query governor.
+    pub gov_cancelled: Counter,
+    pub gov_deadline: Counter,
+    pub gov_mem_rejected: Counter,
+    pub gov_degraded_conf: Counter,
+    pub gov_panics: Counter,
+    pub store_retries: Counter,
 }
 
 static METRICS: Metrics = Metrics {
@@ -265,6 +272,12 @@ static METRICS: Metrics = Metrics {
     queries: Counter::new(),
     slow_queries: Counter::new(),
     query_seconds: Histogram::new(STATEMENT_BOUNDS),
+    gov_cancelled: Counter::new(),
+    gov_deadline: Counter::new(),
+    gov_mem_rejected: Counter::new(),
+    gov_degraded_conf: Counter::new(),
+    gov_panics: Counter::new(),
+    store_retries: Counter::new(),
 };
 
 /// The process-wide metrics registry.
@@ -302,6 +315,12 @@ pub fn render_prometheus() -> String {
     counter("maybms_par_tasks_total", "Tasks executed by the execution pool", &m.par_tasks);
     counter("maybms_query_total", "SQL statements executed", &m.queries);
     counter("maybms_query_slow_total", "Statements at or above the slow-query threshold", &m.slow_queries);
+    counter("maybms_gov_cancelled_total", "Statements aborted by cancellation", &m.gov_cancelled);
+    counter("maybms_gov_deadline_total", "Statements aborted by their deadline", &m.gov_deadline);
+    counter("maybms_gov_mem_rejected_total", "Statements aborted by the memory budget", &m.gov_mem_rejected);
+    counter("maybms_gov_degraded_conf_total", "aconf() estimates cut early by a deadline (degraded, not aborted)", &m.gov_degraded_conf);
+    counter("maybms_gov_panics_total", "Statement panics caught and reported as internal errors", &m.gov_panics);
+    counter("maybms_store_retries_total", "Transient store I/O failures retried", &m.store_retries);
     let mut gauge = |name: &str, help: &str, g: &Gauge| {
         out.push_str(&format!(
             "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {}\n",
@@ -429,6 +448,9 @@ pub struct QueryStats {
     pub sample_batches: Counter,
     /// Vector-kernel batches that fell back to the scalar redo.
     pub scalar_fallbacks: Counter,
+    /// `aconf()` estimates in this statement that a governor deadline
+    /// cut early (degraded: partial seeded mean, achieved stderr).
+    pub degraded_conf: Counter,
     /// Rows in the statement's result.
     pub rows_returned: Counter,
     /// Worst observed relative standard error at estimator stop, as f64

@@ -202,6 +202,10 @@ pub enum StatementKind {
     Conf,
     /// Data/definition mutation (INSERT/UPDATE/DELETE/CREATE/…).
     Dml,
+    /// Statement aborted by the governor (cancel/deadline/memory) — kept
+    /// out of the per-kind feeds so an abort storm cannot skew the
+    /// select/conf/dml p50/p99.
+    Aborted,
 }
 
 impl StatementKind {
@@ -211,12 +215,13 @@ impl StatementKind {
             StatementKind::Select => "select",
             StatementKind::Conf => "conf",
             StatementKind::Dml => "dml",
+            StatementKind::Aborted => "aborted",
         }
     }
 
     /// All kinds, in rendering order.
-    pub const ALL: [StatementKind; 3] =
-        [StatementKind::Select, StatementKind::Conf, StatementKind::Dml];
+    pub const ALL: [StatementKind; 4] =
+        [StatementKind::Select, StatementKind::Conf, StatementKind::Dml, StatementKind::Aborted];
 }
 
 static SELECT_WINDOW: WindowedHistogram =
@@ -225,6 +230,8 @@ static CONF_WINDOW: WindowedHistogram =
     WindowedHistogram::new(STATEMENT_BOUNDS, WINDOW_NANOS);
 static DML_WINDOW: WindowedHistogram =
     WindowedHistogram::new(STATEMENT_BOUNDS, WINDOW_NANOS);
+static ABORTED_WINDOW: WindowedHistogram =
+    WindowedHistogram::new(STATEMENT_BOUNDS, WINDOW_NANOS);
 
 /// The process-wide windowed histogram for `kind`.
 pub fn window_for(kind: StatementKind) -> &'static WindowedHistogram {
@@ -232,6 +239,7 @@ pub fn window_for(kind: StatementKind) -> &'static WindowedHistogram {
         StatementKind::Select => &SELECT_WINDOW,
         StatementKind::Conf => &CONF_WINDOW,
         StatementKind::Dml => &DML_WINDOW,
+        StatementKind::Aborted => &ABORTED_WINDOW,
     }
 }
 

@@ -22,6 +22,9 @@ use maybms_par::ThreadPool;
 pub struct BuildTable {
     /// Shard `p` owns the keys with `hash % parts == p`.
     parts: Vec<FastMap<u64, Vec<u32>>>,
+    /// Governor working-memory tally: charged once per build from the
+    /// merged shard sizes, credited when the table drops.
+    _charge: maybms_gov::MemCharge,
 }
 
 impl BuildTable {
@@ -65,7 +68,14 @@ impl BuildTable {
                 }
                 table
             });
-        BuildTable { parts }
+        let mut charge = maybms_gov::MemCharge::new();
+        for part in &parts {
+            // Entry overhead plus each key's candidate list.
+            let entry = std::mem::size_of::<(u64, Vec<u32>)>();
+            let rows: usize = part.values().map(Vec::len).sum();
+            charge.add(part.len() * entry + rows * std::mem::size_of::<u32>());
+        }
+        BuildTable { parts, _charge: charge }
     }
 
     /// The build rows whose key hashes to `h`, in ascending row order

@@ -403,9 +403,13 @@ where
     };
     let outputs: Vec<std::result::Result<Sk, Sk::Err>> =
         pool.par_map_chunks(source.len(), chunk, |range| {
+            // Governor checkpoint: one relaxed load per morsel when no
+            // limit is armed.
+            maybms_gov::check().map_err(|g| Sk::Err::from(EngineError::Gov(g)))?;
             let n_src = range.len() as u64;
             let mut tally = vec![(0u64, 0u64); stages.len()];
             let mut sink = make_sink();
+            let mut gov = maybms_gov::Ticker::new();
             if let Some(pre) = &pre {
                 // Columnar prefix, then the row walk for the rest.
                 let rest = &stages[pre.len..];
@@ -432,6 +436,7 @@ where
                         &mut scratch,
                         rest_tally,
                         &mut sink,
+                        &mut gov,
                     )?;
                 }
                 // Any row-walk error above was at an earlier source row
@@ -452,6 +457,7 @@ where
                         &mut scratch,
                         &mut tally,
                         &mut sink,
+                        &mut gov,
                     )?;
                 }
             }
@@ -536,6 +542,7 @@ pub(crate) fn run<S: RowSource>(
         let chunk = maybms_par::auto_chunk(source.len(), pool.threads(), min_morsel);
         let partials: Vec<Result<Vec<usize>>> =
             pool.par_map_chunks(source.len(), chunk, |range| {
+                maybms_gov::check().map_err(EngineError::Gov)?;
                 let n_src = range.len() as u64;
                 let mut tally = vec![(0u64, 0u64); stages.len()];
                 let (src, pending, start) = match &pre {
@@ -551,7 +558,9 @@ pub(crate) fn run<S: RowSource>(
                     // a columnar-at-rest source no row is ever touched.
                     sel.extend(src.iter().map(|&si| si as usize));
                 } else {
+                    let mut gov = maybms_gov::Ticker::new();
                     'row: for &si in &src {
+                        gov.tick().map_err(EngineError::Gov)?;
                         let (row, _) = source.row(si as usize);
                         for (k, s) in stages[start..].iter().enumerate() {
                             let Stage::Filter(p) = s else { unreachable!() };
@@ -612,8 +621,15 @@ fn push_row<S: RowSource, Sk: MorselSink<S::Payload>>(
     scratch: &mut [Vec<Value>],
     tally: &mut StageTally,
     sink: &mut Sk,
+    gov: &mut maybms_gov::Ticker,
 ) -> std::result::Result<(), Sk::Err> {
     let Some(stage) = stages.get(depth) else {
+        // Morsel-boundary checks alone are not enough here: a probe
+        // chain can expand one source morsel into an unbounded cross
+        // product (and a one-thread pool runs the whole source as a
+        // single morsel), so a runaway join would be uncancellable and
+        // blow straight through a memory budget.
+        gov.tick().map_err(|g| Sk::Err::from(EngineError::Gov(g)))?;
         return sink.push(row, payload);
     };
     tally[depth].0 += 1;
@@ -630,6 +646,7 @@ fn push_row<S: RowSource, Sk: MorselSink<S::Payload>>(
                     scratch,
                     tally,
                     sink,
+                    gov,
                 )?;
             }
             Ok(())
@@ -658,6 +675,7 @@ fn push_row<S: RowSource, Sk: MorselSink<S::Payload>>(
                     scratch,
                     tally,
                     sink,
+                    gov,
                 );
             }
             scratch[depth] = vals;
@@ -687,6 +705,7 @@ fn push_row<S: RowSource, Sk: MorselSink<S::Payload>>(
                     scratch,
                     tally,
                     sink,
+                    gov,
                 ) {
                     result = Err(e);
                     break;

@@ -45,6 +45,9 @@ pub struct GroupTable<A> {
     keys: Vec<Vec<Value>>,
     /// One state per group, parallel to `keys`.
     states: Vec<A>,
+    /// Governor working-memory tally: charged once per opened group
+    /// (never per row), credited when the table drops.
+    charge: maybms_gov::MemCharge,
 }
 
 impl<A> Default for GroupTable<A> {
@@ -56,7 +59,20 @@ impl<A> Default for GroupTable<A> {
 impl<A> GroupTable<A> {
     /// An empty table.
     pub fn new() -> GroupTable<A> {
-        GroupTable { buckets: Default::default(), keys: Vec::new(), states: Vec::new() }
+        GroupTable {
+            buckets: Default::default(),
+            keys: Vec::new(),
+            states: Vec::new(),
+            charge: maybms_gov::MemCharge::new(),
+        }
+    }
+
+    /// Approximate bytes one group of `key_len` key values occupies.
+    fn group_bytes(key_len: usize) -> usize {
+        key_len * std::mem::size_of::<Value>()
+            + std::mem::size_of::<Vec<Value>>()
+            + std::mem::size_of::<A>()
+            + std::mem::size_of::<u32>()
     }
 
     /// Number of groups.
@@ -80,6 +96,7 @@ impl<A> GroupTable<A> {
                 bucket.push(self.keys.len() as u32);
                 self.keys.push(key.to_vec());
                 self.states.push(new_state());
+                self.charge.add(Self::group_bytes(key.len()));
                 self.states.last_mut().expect("just pushed")
             }
         }
@@ -102,6 +119,7 @@ impl<A> GroupTable<A> {
                 Some(&g) => merge(&mut self.states[g as usize], state)?,
                 None => {
                     bucket.push(self.keys.len() as u32);
+                    self.charge.add(Self::group_bytes(key.len()));
                     self.keys.push(key);
                     self.states.push(state);
                 }
@@ -122,6 +140,7 @@ impl<A> GroupTable<A> {
     fn open_group(&mut self, key: Vec<Value>, state: A) -> u32 {
         let g = self.keys.len() as u32;
         self.buckets.entry(fast_hash_one(&key[..])).or_default().push(g);
+        self.charge.add(Self::group_bytes(key.len()));
         self.keys.push(key);
         self.states.push(state);
         g

@@ -19,6 +19,11 @@ pub enum StoreError {
         op: &'static str,
         /// The underlying error message.
         message: String,
+        /// Whether the failure is classified as transient (momentary
+        /// contention, an interrupted syscall, an injected chaos fault):
+        /// the store retries these with bounded deterministic backoff
+        /// before poisoning; persistent failures poison immediately.
+        transient: bool,
     },
     /// A durable file failed validation (bad magic, CRC mismatch on the
     /// snapshot, an undecodable record, a replay that references a
@@ -49,13 +54,20 @@ impl StoreError {
     ) -> StoreError {
         StoreError::Corrupt { path: path.into(), offset, reason: reason.into() }
     }
+
+    /// Whether this failure is worth retrying (see [`StoreError::Io`]'s
+    /// `transient` field); corruption and poisoning never are.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StoreError::Io { transient: true, .. })
+    }
 }
 
 impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StoreError::Io { path, op, message } => {
-                write!(f, "storage I/O error: {op} {path}: {message}")
+            StoreError::Io { path, op, message, transient } => {
+                let kind = if *transient { "transient storage I/O error" } else { "storage I/O error" };
+                write!(f, "{kind}: {op} {path}: {message}")
             }
             StoreError::Corrupt { path, offset, reason } => {
                 write!(f, "corrupt data directory: {path} at byte {offset}: {reason}")

@@ -205,23 +205,28 @@ impl Store {
                 // interrupted checkpoint by resetting the WAL.
                 base_lsn = next_lsn;
                 let _ = base_lsn; // next_lsn already correct
-                Self::reset_wal(vfs.as_ref())?
+                Self::retry_transient(|| Self::reset_wal(vfs.as_ref()))?
             } else {
                 if scan.valid_len < bytes.len() as u64 {
                     // Chop the torn tail so appends resume on a clean
                     // record boundary.
-                    vfs.truncate(WAL_FILE, scan.valid_len.max(WAL_MAGIC.len() as u64))?;
+                    Self::retry_transient(|| {
+                        vfs.truncate(WAL_FILE, scan.valid_len.max(WAL_MAGIC.len() as u64))
+                    })?;
                     truncated_tail = true;
                 }
                 if scan.valid_len < WAL_MAGIC.len() as u64 {
                     // The header itself tore; rewrite it.
-                    Self::reset_wal(vfs.as_ref())?
+                    Self::retry_transient(|| Self::reset_wal(vfs.as_ref()))?
                 } else {
                     vfs.open_append(WAL_FILE)?
                 }
             }
         } else {
-            Self::reset_wal(vfs.as_ref())?
+            // A fresh directory's first WAL write deserves the same
+            // transient-retry budget as any later append: a blip here
+            // must not fail the whole open.
+            Self::retry_transient(|| Self::reset_wal(vfs.as_ref()))?
         };
         let wal_bytes =
             vfs.read(WAL_FILE)?.len().saturating_sub(WAL_MAGIC.len()) as u64;
@@ -252,10 +257,39 @@ impl Store {
         Ok(f)
     }
 
+    /// The VFS this store writes through — `\reopen` re-runs recovery
+    /// over it to resurrect a poisoned store in-process.
+    pub fn vfs(&self) -> Arc<dyn Vfs> {
+        self.vfs.clone()
+    }
+
     fn check_poisoned(&self) -> Result<()> {
         match &self.poisoned {
             Some(cause) => Err(StoreError::Poisoned { cause: cause.clone() }),
             None => Ok(()),
+        }
+    }
+
+    /// Run `f`, retrying *transient* failures with bounded, jitterless,
+    /// deterministic exponential backoff (1/2/4/8 ms). Persistent
+    /// failures — and transient ones that outlive the retry budget —
+    /// surface for the caller to poison on. Each retry counts in the
+    /// `maybms_store_retries_total` metric.
+    fn retry_transient<T>(mut f: impl FnMut() -> Result<T>) -> Result<T> {
+        const BACKOFF_MS: [u64; 4] = [1, 2, 4, 8];
+        let mut attempt = 0usize;
+        loop {
+            match f() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() && attempt < BACKOFF_MS.len() => {
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        BACKOFF_MS[attempt],
+                    ));
+                    maybms_obs::metrics().store_retries.inc();
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
 
@@ -289,10 +323,23 @@ impl Store {
         let mut span = maybms_obs::trace::span("wal_append");
         span.attr("bytes", frame.len());
         let t0 = std::time::Instant::now();
-        let r = {
+        // Transient append/fsync failures retry after truncating the WAL
+        // back to the pre-append boundary, so a half-written frame from a
+        // failed attempt can never linger mid-log. Only a persistent
+        // failure (or an exhausted retry budget) poisons the store.
+        let pre_len = WAL_MAGIC.len() as u64 + self.wal_bytes;
+        let mut first = true;
+        let vfs = self.vfs.clone();
+        let wal_file = &mut self.wal_file;
+        let r = Self::retry_transient(|| {
+            if !first {
+                vfs.truncate(WAL_FILE, pre_len)?;
+            }
+            first = false;
             let _fsync = maybms_obs::trace::span("wal_fsync");
-            self.wal_file.append(&frame).and_then(|()| self.wal_file.sync())
-        };
+            wal_file.append(&frame)?;
+            wal_file.sync()
+        });
         self.poison(r)?;
         let m = maybms_obs::metrics();
         m.wal_appends.inc();
@@ -310,9 +357,14 @@ impl Store {
         let mut span = maybms_obs::trace::span("checkpoint");
         span.attr("tables", tables.len());
         let t0 = std::time::Instant::now();
-        let r = snapshot::write(self.vfs.as_ref(), self.next_lsn, tables, wt);
+        // Both checkpoint halves are idempotent, so transient failures
+        // retry wholesale: rewriting `snapshot.tmp` or the WAL header
+        // from scratch is always safe.
+        let r = Self::retry_transient(|| {
+            snapshot::write(self.vfs.as_ref(), self.next_lsn, tables, wt)
+        });
         self.poison(r)?;
-        let r = Self::reset_wal(self.vfs.as_ref());
+        let r = Self::retry_transient(|| Self::reset_wal(self.vfs.as_ref()));
         self.wal_file = self.poison(r)?;
         self.durable_vars = wt.num_vars();
         self.wal_bytes = 0;

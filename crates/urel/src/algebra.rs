@@ -118,8 +118,12 @@ pub fn nested_loop_join(
     let bound = predicate.map(|p| p.bind(&schema)).transpose()?;
     let mut batch = TupleBatch::new();
     let mut wsds = Vec::new();
+    let mut gov = maybms_gov::Ticker::new();
     for l in left.tuples() {
         for r in right.tuples() {
+            // Quadratic output: tick the governor per candidate so a
+            // runaway cross product stays cancellable and budget-bound.
+            gov.tick().map_err(EngineError::from)?;
             let Some(wsd) = l.wsd.conjoin(&r.wsd) else { continue };
             // Stage the candidate row in the batch, evaluate in place,
             // and drop it if the predicate rejects — one copy per row.

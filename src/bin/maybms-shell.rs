@@ -29,7 +29,11 @@
 //! `\trace [on|off|dump [N]]` control the tracing span subsystem and
 //! print recent statement span trees, `\slowlog [N|off]` log
 //! statements slower than N ms to stderr, `\i FILE` run a SQL script,
-//! `\checkpoint` snapshot the catalog and truncate the WAL, `\help`.
+//! `\checkpoint` snapshot the catalog and truncate the WAL,
+//! `\timeout [N|off]` set a per-statement deadline in ms, `\memlimit
+//! [N|off]` cap tracked working memory per statement in MiB, `\cancel
+//! [N]` cancel the *next* statement after N ms (watchdog thread),
+//! `\reopen` recover a poisoned durable store in-process, `\help`.
 //!
 //! With `--metrics-addr ADDR` (or `MAYBMS_METRICS_ADDR`) the shell
 //! serves the metrics registry over HTTP: `GET /metrics` returns the
@@ -171,6 +175,15 @@ fn print_banner(db: &MayBms, metrics: Option<std::net::SocketAddr>) {
         }
         None => println!("Durability: in-memory only (start with --data-dir DIR to persist)"),
     }
+    let timeout = maybms_gov::statement_timeout_ms();
+    let budget = maybms_gov::mem_budget_bytes();
+    if timeout.is_some() || budget.is_some() {
+        println!(
+            "Governor: timeout {}, memory budget {} (\\timeout / \\memlimit to change)",
+            timeout.map(|ms| format!("{ms} ms")).unwrap_or_else(|| "off".into()),
+            budget.map(|b| format!("{} MiB", b >> 20)).unwrap_or_else(|| "off".into()),
+        );
+    }
     if let Some(addr) = metrics {
         println!("Metrics: serving http://{addr}/metrics (and /healthz)");
     }
@@ -283,6 +296,10 @@ fn handle_meta(cmd: &str, db: &mut MayBms, timing: &mut bool) -> bool {
             println!("\\slowlog [N|off] log statements slower than N ms to stderr (0 = all)");
             println!("\\i FILE        execute a SQL script");
             println!("\\checkpoint    snapshot the catalog atomically and truncate the WAL");
+            println!("\\timeout [N|off] per-statement deadline in ms (also MAYBMS_STATEMENT_TIMEOUT_MS)");
+            println!("\\memlimit [N|off] per-statement memory budget in MiB (also MAYBMS_MEM_BUDGET_MB)");
+            println!("\\cancel [N]    cancel the NEXT statement after N ms (default 0: immediately)");
+            println!("\\reopen        recover a poisoned durable store in-process (re-runs recovery)");
             println!("\\q             quit");
         }
         "\\d" => match arg {
@@ -398,6 +415,64 @@ fn handle_meta(cmd: &str, db: &mut MayBms, timing: &mut bool) -> bool {
                 }
                 None => println!("CHECKPOINT"),
             },
+            Err(e) => println!("error: {e}"),
+        },
+        "\\timeout" => match arg {
+            None => match maybms_gov::statement_timeout_ms() {
+                Some(ms) => println!("Statement timeout: {ms} ms."),
+                None => println!("Statement timeout is off."),
+            },
+            Some("off") => {
+                maybms_gov::set_statement_timeout_ms(None);
+                println!("Statement timeout is off.");
+            }
+            Some(n) => match n.parse::<u64>() {
+                Ok(ms) if ms > 0 => {
+                    maybms_gov::set_statement_timeout_ms(Some(ms));
+                    println!("Statement timeout: {ms} ms.");
+                }
+                _ => println!("usage: \\timeout [N|off]   (N in milliseconds, ≥ 1)"),
+            },
+        },
+        "\\memlimit" => match arg {
+            None => match maybms_gov::mem_budget_bytes() {
+                Some(b) => println!("Memory budget: {} MiB per statement.", b >> 20),
+                None => println!("Memory budget is off."),
+            },
+            Some("off") => {
+                maybms_gov::set_mem_budget_mb(None);
+                println!("Memory budget is off.");
+            }
+            Some(n) => match n.parse::<u64>() {
+                Ok(mb) if mb > 0 => {
+                    maybms_gov::set_mem_budget_mb(Some(mb));
+                    println!("Memory budget: {mb} MiB per statement.");
+                }
+                _ => println!("usage: \\memlimit [N|off]   (N in MiB, ≥ 1)"),
+            },
+        },
+        "\\cancel" => {
+            let delay = match arg {
+                None => Ok(0),
+                Some(n) => n.parse::<u64>(),
+            };
+            match delay {
+                Ok(ms) => {
+                    maybms_gov::arm_cancel(ms);
+                    println!(
+                        "Armed: the next statement will be cancelled after {ms} ms."
+                    );
+                }
+                Err(_) => println!("usage: \\cancel [N]   (N in milliseconds)"),
+            }
+        }
+        "\\reopen" => match db.reopen() {
+            Ok(r) => println!(
+                "REOPEN — recovered {} table(s), replayed {} WAL record(s){}",
+                r.tables,
+                r.replayed,
+                if r.truncated_tail { ", truncated a torn WAL tail" } else { "" }
+            ),
             Err(e) => println!("error: {e}"),
         },
         "\\threads" => match arg {
@@ -553,6 +628,39 @@ mod tests {
         assert!(handle_meta("\\threads potato", &mut db, &mut timing));
         assert_eq!(maybms_par::current_threads(), 2);
         maybms_par::set_threads(before);
+    }
+
+    #[test]
+    fn governor_meta_commands_set_and_clear_limits() {
+        // Large values: these settings are process-wide, and sibling
+        // tests in this binary run statements concurrently — a 60 s
+        // timeout or 1 GiB budget can never trip them.
+        let mut db = MayBms::new();
+        let mut timing = false;
+        assert!(handle_meta("\\timeout 60000", &mut db, &mut timing));
+        assert_eq!(maybms_gov::statement_timeout_ms(), Some(60000));
+        assert!(handle_meta("\\timeout", &mut db, &mut timing));
+        assert!(handle_meta("\\timeout off", &mut db, &mut timing));
+        assert_eq!(maybms_gov::statement_timeout_ms(), None);
+        assert!(handle_meta("\\timeout potato", &mut db, &mut timing));
+        assert_eq!(maybms_gov::statement_timeout_ms(), None);
+
+        assert!(handle_meta("\\memlimit 1024", &mut db, &mut timing));
+        assert_eq!(maybms_gov::mem_budget_bytes(), Some(1024 << 20));
+        assert!(handle_meta("\\memlimit off", &mut db, &mut timing));
+        assert_eq!(maybms_gov::mem_budget_bytes(), None);
+
+        assert!(handle_meta("\\cancel 60000", &mut db, &mut timing));
+        assert_eq!(maybms_gov::armed_cancel_ms(), Some(60000));
+        // Consume the one-shot arming so no later statement inherits it
+        // (the 60 s watchdog then targets an already-finished epoch).
+        drop(maybms_gov::begin_statement());
+        assert_eq!(maybms_gov::armed_cancel_ms(), None);
+        assert!(handle_meta("\\cancel potato", &mut db, &mut timing));
+        assert_eq!(maybms_gov::armed_cancel_ms(), None);
+
+        // \reopen without a data directory is a clean error.
+        assert!(handle_meta("\\reopen", &mut db, &mut timing));
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! Cancellation-point matrix (sibling of the store crash matrix): inject a
+//! governor abort — cancel, deadline, or memory-budget — at every Nth
+//! cooperative checkpoint of a statement, across statement classes
+//! (SELECT with conf(), DML, CTAS) and thread counts, and prove that
+//!
+//! * the statement fails with exactly the injected [`GovError`],
+//! * the catalog (in-memory *and* durable) is bit-identical to the
+//!   pre-statement state, and
+//! * the session stays healthy: the next statement succeeds.
+//!
+//! Plus the graceful-degradation contract for `aconf` (a deadline that
+//! cuts the sample stream yields a deterministic partial estimate, the
+//! same at any thread count) and the transient-storage-fault contract
+//! (short fault → retried through, long outage → poisoned store that
+//! `reopen` recovers once the outage ends).
+//!
+//! Governor state is process-global, so every test here serializes on
+//! one mutex (they share a test binary, which shares the statics).
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use maybms::store::{Catalog, FaultMode, FaultVfs, MemVfs};
+use maybms::{store, MayBms};
+use maybms_gov::{testing, AbortKind, GovError};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Canonical byte fingerprint of a database's observable state (same
+/// helper as the recovery tests).
+fn fp(db: &MayBms) -> Vec<u8> {
+    let tables: Catalog = db
+        .table_names()
+        .iter()
+        .map(|n| (n.to_string(), db.table(n).expect("listed table exists").clone()))
+        .collect();
+    store::fingerprint(&tables, db.world_table())
+}
+
+const SEED_SQL: &[&str] = &[
+    "create table games (player text, pts bigint, w double precision)",
+    "insert into games values ('Bryant', 40, 0.6), ('Duncan', 25, 0.4), \
+     ('Parker', 19, 0.7), ('Garnett', 22, 0.3)",
+    "create table picks as \
+     select * from (pick tuples from games with probability 0.5) x",
+];
+
+fn seed(mem: &MemVfs) -> MayBms {
+    let mut db = MayBms::open_with_vfs(Arc::new(mem.clone())).unwrap();
+    for sql in SEED_SQL {
+        db.run(sql).unwrap();
+    }
+    db
+}
+
+/// Did the statement die with exactly the injected abort?
+fn matches_kind(kind: AbortKind, e: &maybms::CoreError) -> bool {
+    matches!(
+        (kind, e.gov_abort()),
+        (AbortKind::Cancel, Some(GovError::Cancelled))
+            | (AbortKind::Deadline, Some(GovError::DeadlineExceeded { .. }))
+            | (AbortKind::MemBudget, Some(GovError::MemBudgetExceeded { .. }))
+    )
+}
+
+/// Upper bound on checkpoints per statement in this workload; the sweep
+/// asserts each statement completes un-aborted well before this.
+const MAX_SWEEP: u64 = 2000;
+
+#[test]
+fn abort_at_every_checkpoint_leaves_state_unchanged() {
+    let _l = lock();
+    let before_threads = maybms_par::current_threads();
+    let statements: &[(&str, &str)] = &[
+        ("select-conf", "select player, conf() as p from picks group by player"),
+        ("insert", "insert into games values ('Ginobili', 17, 0.9)"),
+        ("update", "update games set pts = pts + 1 where pts > 20"),
+        ("delete", "delete from games where pts < 20"),
+        (
+            "ctas",
+            "create table scratch as \
+             select * from (pick tuples from games with probability 0.5) x",
+        ),
+    ];
+    for threads in [1usize, 2, 8] {
+        maybms_par::set_threads(threads);
+        for (label, sql) in statements {
+            for kind in [AbortKind::Cancel, AbortKind::Deadline, AbortKind::MemBudget] {
+                // Fresh database per sweep: a sweep ends with the one run
+                // that completes, which may legitimately mutate state.
+                let mem = MemVfs::new();
+                let mut db = seed(&mem);
+                let baseline = fp(&db);
+                let mut completed = false;
+                for nth in 1..=MAX_SWEEP {
+                    testing::abort_at_checkpoint(nth, kind);
+                    let result = db.run(sql);
+                    let fired = testing::remaining() == Some(0);
+                    testing::clear();
+                    match result {
+                        Err(e) => {
+                            assert!(
+                                fired,
+                                "{label}/{kind:?}/t{threads} nth={nth}: \
+                                 error without the injection firing: {e}"
+                            );
+                            assert!(
+                                matches_kind(kind, &e),
+                                "{label}/{kind:?}/t{threads} nth={nth}: wrong error: {e}"
+                            );
+                            // The abort left the live catalog untouched…
+                            assert_eq!(
+                                fp(&db),
+                                baseline,
+                                "{label}/{kind:?}/t{threads} nth={nth}: abort mutated state"
+                            );
+                            // …and nothing leaked into the durable log.
+                            let recovered =
+                                MayBms::open_with_vfs(Arc::new(mem.clone())).unwrap();
+                            assert_eq!(
+                                fp(&recovered),
+                                baseline,
+                                "{label}/{kind:?}/t{threads} nth={nth}: abort reached the WAL"
+                            );
+                            // The session survives: next statement runs.
+                            db.run("select player from games").unwrap_or_else(|e| {
+                                panic!(
+                                    "{label}/{kind:?}/t{threads} nth={nth}: \
+                                     statement after abort failed: {e}"
+                                )
+                            });
+                        }
+                        Ok(_) => {
+                            assert!(
+                                !fired,
+                                "{label}/{kind:?}/t{threads} nth={nth}: \
+                                 injection fired but the statement succeeded"
+                            );
+                            completed = true;
+                            break;
+                        }
+                    }
+                }
+                assert!(
+                    completed,
+                    "{label}/{kind:?}/t{threads}: no checkpoint-free completion \
+                     within {MAX_SWEEP} checkpoints"
+                );
+            }
+        }
+    }
+    maybms_par::set_threads(before_threads);
+}
+
+// ---------------------------------------------------------------------
+// Graceful degradation: a deadline mid-`aconf` cuts the sample stream.
+// ---------------------------------------------------------------------
+
+/// Single-group uncertain table (one group keeps the per-group conf
+/// evaluation off the parallel fan-out, so the governor's checkpoint
+/// stream during sampling is sequential and the cut lands at a
+/// deterministic batch).
+fn aconf_db() -> MayBms {
+    let mut db = MayBms::new();
+    db.run("create table u (k bigint, v bigint, w double precision)").unwrap();
+    let rows: Vec<String> = (1..=12).map(|v| format!("(1, {v}, 0.5)")).collect();
+    db.run(&format!("insert into u values {}", rows.join(", "))).unwrap();
+    db.run(
+        "create table pu as \
+         select * from (pick tuples from u with probability 0.5) x",
+    )
+    .unwrap();
+    db
+}
+
+const ACONF_SQL: &str = "select k, aconf(0.05, 0.05) as p from pu group by k";
+
+/// Run the aconf query with a deadline injected at checkpoint `nth`;
+/// returns `Ok((bits, degraded))` on completion with the estimate's raw
+/// f64 bits, `Err(())` when the statement was aborted outright.
+fn run_aconf_cut(db: &mut MayBms, nth: u64) -> Result<(u64, bool), ()> {
+    testing::abort_at_checkpoint(nth, AbortKind::Deadline);
+    let result = db.query(ACONF_SQL);
+    testing::clear();
+    match result {
+        Err(_) => Err(()),
+        Ok(r) => {
+            assert_eq!(r.len(), 1, "single group");
+            let bits = r.tuples()[0].value(1).as_f64().unwrap().to_bits();
+            let degraded = db
+                .last_stats()
+                .map(|s| s.degraded_conf.get() > 0)
+                .unwrap_or(false);
+            Ok((bits, degraded))
+        }
+    }
+}
+
+#[test]
+fn degraded_aconf_estimate_is_deterministic_across_thread_counts() {
+    let _l = lock();
+    let before_threads = maybms_par::current_threads();
+    maybms_par::set_threads(1);
+
+    // Find the first checkpoint index where the deadline lands in the
+    // sample stream: the query then *succeeds* with a degraded estimate
+    // instead of erroring (every earlier index aborts it in the scan).
+    let mut db = aconf_db();
+    let mut cut = None;
+    for nth in 1..=MAX_SWEEP {
+        if let Ok((bits, degraded)) = run_aconf_cut(&mut db, nth) {
+            assert!(
+                degraded,
+                "first surviving run (nth={nth}) must be the degraded one"
+            );
+            cut = Some((nth, bits));
+            break;
+        }
+    }
+    let (nth, bits_1thread) = cut.expect("no deadline landed in the sample stream");
+
+    // The same cut point yields the bit-identical partial estimate at
+    // any thread count — degradation, like everything else, is
+    // deterministic.
+    for threads in [1usize, 2, 8] {
+        maybms_par::set_threads(threads);
+        let mut db = aconf_db();
+        let (bits, degraded) = run_aconf_cut(&mut db, nth)
+            .unwrap_or_else(|_| panic!("cut at nth={nth} aborted at {threads} threads"));
+        assert!(degraded, "cut at nth={nth} not degraded at {threads} threads");
+        assert_eq!(
+            bits, bits_1thread,
+            "degraded estimate differs at {threads} threads (nth={nth})"
+        );
+        // And it is reproducible within one thread count, too.
+        let (bits2, _) = run_aconf_cut(&mut db, nth).unwrap();
+        assert_eq!(bits, bits2, "degraded estimate not reproducible");
+    }
+    maybms_par::set_threads(before_threads);
+}
+
+// ---------------------------------------------------------------------
+// Transient-storage-fault contract.
+// ---------------------------------------------------------------------
+
+const INSERT_SQL: &str = "insert into games values ('Ginobili', 17, 0.9)";
+
+#[test]
+fn transient_wal_fault_is_retried_without_poisoning() {
+    let _l = lock();
+    let mem = MemVfs::new();
+    drop(seed(&mem));
+    // First mutating file op after reopen (the WAL append for the next
+    // statement) fails once, transiently.
+    let fault = FaultVfs::new(mem.clone(), 1, FaultMode::Transient { failures: 1 });
+    let mut db = MayBms::open_with_vfs(Arc::new(fault.clone())).unwrap();
+    let retries_before = maybms_obs::metrics().store_retries.get();
+    db.run(INSERT_SQL).expect("one transient fault must be retried through");
+    assert!(fault.triggered(), "fault window was never reached");
+    assert!(
+        maybms_obs::metrics().store_retries.get() > retries_before,
+        "retry counter did not move"
+    );
+    // Not poisoned: further mutations and a restart both see the insert.
+    db.run("update games set pts = pts + 1 where player = 'Ginobili'").unwrap();
+    let live = fp(&db);
+    drop(db);
+    let recovered = MayBms::open_with_vfs(Arc::new(mem.clone())).unwrap();
+    assert_eq!(fp(&recovered), live, "retried statements must be durable");
+}
+
+#[test]
+fn persistent_fault_poisons_the_store_and_preserves_state() {
+    let _l = lock();
+    let mem = MemVfs::new();
+    let baseline = {
+        let db = seed(&mem);
+        fp(&db)
+    };
+    let fault = FaultVfs::new(mem.clone(), 1, FaultMode::FailStop);
+    let mut db = MayBms::open_with_vfs(Arc::new(fault.clone())).unwrap();
+    let err = db.run(INSERT_SQL).expect_err("fail-stop fault must not be retried through");
+    assert!(err.gov_abort().is_none(), "storage error misclassified as governor abort");
+    // Poisoned: mutations keep failing; reads of the in-memory catalog work.
+    assert!(db.run(INSERT_SQL).is_err(), "poisoned store accepted a mutation");
+    db.run("select player from games").unwrap();
+    assert_eq!(fp(&db), baseline, "failed statement mutated the catalog");
+    // The durable image is exactly the pre-fault state.
+    let recovered = MayBms::open_with_vfs(Arc::new(mem.clone())).unwrap();
+    assert_eq!(fp(&recovered), baseline);
+}
+
+#[test]
+fn long_transient_outage_poisons_and_reopen_recovers() {
+    let _l = lock();
+    let mem = MemVfs::new();
+    drop(seed(&mem));
+    // An outage longer than the retry budget: every attempt of the next
+    // statement's WAL append (initial + all backoff retries) fails.
+    let fault = FaultVfs::new(mem.clone(), 1, FaultMode::Transient { failures: 40 });
+    let mut db = MayBms::open_with_vfs(Arc::new(fault.clone())).unwrap();
+    let baseline = fp(&db);
+    let err = db.run(INSERT_SQL).expect_err("outage must exhaust the retry budget");
+    assert!(err.gov_abort().is_none());
+    assert!(db.run(INSERT_SQL).is_err(), "store must be poisoned after the outage");
+    assert_eq!(fp(&db), baseline, "poisoning statement mutated the catalog");
+    // Recovery is read-only over a clean log, so `\reopen` works even
+    // mid-outage; mutations come back once the fault window is spent.
+    let mut healthy = false;
+    for _ in 0..20 {
+        db.reopen().expect("reopen must recover a poisoned store");
+        if db.run(INSERT_SQL).is_ok() {
+            healthy = true;
+            break;
+        }
+    }
+    assert!(healthy, "store never recovered after the outage window");
+    // Exactly one insert landed (every failed attempt stayed off the WAL).
+    let n = db
+        .query("select player from games where player = 'Ginobili'")
+        .unwrap()
+        .len();
+    assert_eq!(n, 1, "aborted attempts must not leave rows behind");
+    let live = fp(&db);
+    drop(db);
+    let recovered = MayBms::open_with_vfs(Arc::new(mem.clone())).unwrap();
+    assert_eq!(fp(&recovered), live, "post-recovery mutations must be durable");
+}
